@@ -1,0 +1,64 @@
+//! Design-choice ablations called out in DESIGN.md:
+//! page size, buffer-pool size, and lock granularity (document vs the
+//! finer-granularity subtree extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedna_bench::{fixture, optimized, run};
+use sedna_sas::XPtr;
+use sedna_storage::ParentMode;
+use sedna_txn::{LockManager, LockMode, TxnId};
+use sedna_xquery::exec::ConstructMode;
+
+fn page_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_page_size");
+    group.sample_size(10);
+    let xml = sedna_workload::library(800, 21);
+    let q = optimized("count(doc('lib')/library/book[issue/year > 1995])");
+    for &ps in &[4096usize, 16 * 1024, 64 * 1024] {
+        let fx = fixture(&xml, ps, 1 << 26 >> ps.trailing_zeros(), ParentMode::Indirect);
+        group.bench_with_input(BenchmarkId::new("predicate_query", ps), &ps, |b, _| {
+            b.iter(|| run(&fx, &q, ConstructMode::Embedded))
+        });
+    }
+    group.finish();
+}
+
+fn buffer_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_buffer_frames");
+    group.sample_size(10);
+    let xml = sedna_workload::library(800, 22);
+    let q = optimized("count(doc('lib')//author)");
+    for &frames in &[32usize, 128, 2048] {
+        let fx = fixture(&xml, 4096, frames, ParentMode::Indirect);
+        group.bench_with_input(BenchmarkId::new("descendant_count", frames), &frames, |b, _| {
+            b.iter(|| run(&fx, &q, ConstructMode::Embedded))
+        });
+    }
+    group.finish();
+}
+
+fn lock_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lock_granularity");
+    // Two writers on disjoint subtrees of one document: document-level
+    // locks serialize them; subtree locks (the paper's future-work
+    // extension) let both proceed. Measured as lock acquire+release cost
+    // per scheme (the blocking effect is shown in the lock-manager tests).
+    let lm = LockManager::default();
+    let s1 = XPtr::new(1, 4096);
+    group.bench_function("document_level", |b| {
+        b.iter(|| {
+            lm.lock_document(TxnId(1), 7, LockMode::X).unwrap();
+            lm.release_all(TxnId(1));
+        })
+    });
+    group.bench_function("subtree_level", |b| {
+        b.iter(|| {
+            lm.lock_subtree(TxnId(1), 7, s1, LockMode::X).unwrap();
+            lm.release_all(TxnId(1));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, page_size, buffer_frames, lock_granularity);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E11 (§6.4): two-step recovery time as a function of the committed work
+//! since the last checkpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedna_bench::TempDb;
+
+fn build_crashed_db(txns: usize) -> TempDb {
+    let tmp = TempDb::new("e11", sedna::DbConfig::small());
+    let mut s = tmp.db.session();
+    s.execute("CREATE DOCUMENT 'lib'").unwrap();
+    s.load_xml("lib", &sedna_workload::library(50, 12)).unwrap();
+    for i in 0..txns {
+        s.execute(&format!(
+            "UPDATE insert <author>A{i}</author> into doc('lib')/library/book[1]"
+        ))
+        .unwrap();
+    }
+    drop(s);
+    tmp.db.clone().crash();
+    tmp
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_recovery");
+    group.sample_size(10);
+    for &txns in &[20usize, 100] {
+        let tmp = build_crashed_db(txns);
+        group.bench_with_input(BenchmarkId::new("reopen_after_crash", txns), &txns, |b, _| {
+            b.iter(|| {
+                let db = sedna::Database::open(tmp.dir(), sedna::DbConfig::small()).unwrap();
+                db.crash(); // keep files for the next iteration
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

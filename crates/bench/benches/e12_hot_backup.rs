@@ -1,0 +1,47 @@
+//! E12 (§6.5): full vs incremental hot backup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sedna_bench::TempDb;
+
+fn bench(c: &mut Criterion) {
+    let tmp = TempDb::new("e12", sedna::DbConfig::small());
+    let mut s = tmp.db.session();
+    s.execute("CREATE DOCUMENT 'lib'").unwrap();
+    s.load_xml("lib", &sedna_workload::library(1000, 13)).unwrap();
+    drop(s);
+    let base = tmp.dir().join("bench-backup-base");
+    tmp.db.backup(&base).unwrap();
+    // A small update delta for the incremental measurements.
+    let mut s = tmp.db.session();
+    for i in 0..10 {
+        s.execute(&format!(
+            "UPDATE insert <author>Z{i}</author> into doc('lib')/library/book[1]"
+        ))
+        .unwrap();
+    }
+    drop(s);
+
+    let mut group = c.benchmark_group("e12_hot_backup");
+    group.sample_size(10);
+    // Incrementals first: every full backup rotates the log, which (by
+    // design) invalidates older incremental bases.
+    group.bench_function("incremental_backup", |b| {
+        b.iter(|| {
+            let p = tmp.db.backup_incremental(&base).unwrap();
+            let _ = std::fs::remove_file(p);
+        })
+    });
+    let mut n = 0u32;
+    group.bench_function("full_backup", |b| {
+        b.iter(|| {
+            n += 1;
+            let dest = tmp.dir().join(format!("full-{n}"));
+            tmp.db.backup(&dest).unwrap();
+            let _ = std::fs::remove_dir_all(&dest);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

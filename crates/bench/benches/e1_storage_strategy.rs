@@ -1,0 +1,57 @@
+//! E1 (§2, §4.1): schema-driven clustering vs subtree clustering.
+//!
+//! Workloads: (a) typed sub-element value scan, (b) predicate selection,
+//! (c) whole-element reconstruction — over the Figure-2-style library at
+//! two scales. The paper's claim: schema clustering wins (a) and (b)
+//! because "unnecessary nodes are not fetched from disk"; subtree
+//! clustering wins (c) via contiguous reads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedna_bench::{fixture, optimized, run};
+use sedna_storage::subtree::SubtreeStore;
+use sedna_storage::ParentMode;
+use sedna_xquery::exec::ConstructMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_storage_strategy");
+    group.sample_size(10);
+    for &books in &[200usize, 1000] {
+        let xml = sedna_workload::library(books, 11);
+        let fx = fixture(&xml, 4096, 8192, ParentMode::Indirect);
+        let dom = sedna_xml::parse(&xml).unwrap();
+        let sub = SubtreeStore::build(&fx.vas, &dom).unwrap();
+
+        let typed = optimized("for $p in doc('lib')/library/book/price return string($p)");
+        group.bench_with_input(BenchmarkId::new("typed_scan/schema", books), &books, |b, _| {
+            b.iter(|| run(&fx, &typed, ConstructMode::Embedded))
+        });
+        group.bench_with_input(BenchmarkId::new("typed_scan/subtree", books), &books, |b, _| {
+            b.iter(|| sub.scan_element_values(&fx.vas, "price").unwrap())
+        });
+
+        let pred = optimized("count(doc('lib')/library/book[issue/year > 1995])");
+        group.bench_with_input(BenchmarkId::new("predicate/schema", books), &books, |b, _| {
+            b.iter(|| run(&fx, &pred, ConstructMode::Embedded))
+        });
+        group.bench_with_input(BenchmarkId::new("predicate/subtree_fullscan", books), &books, |b, _| {
+            b.iter(|| sub.scan_element_values(&fx.vas, "year").unwrap())
+        });
+
+        let whole = optimized("doc('lib')/library/book");
+        let offsets = sub.find_elements(&fx.vas, "book").unwrap();
+        group.bench_with_input(BenchmarkId::new("whole_elem/schema", books), &books, |b, _| {
+            b.iter(|| run(&fx, &whole, ConstructMode::Embedded))
+        });
+        group.bench_with_input(BenchmarkId::new("whole_elem/subtree", books), &books, |b, _| {
+            b.iter(|| {
+                for &o in &offsets {
+                    let _ = sub.read_subtree(&fx.vas, o).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

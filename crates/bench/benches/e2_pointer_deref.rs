@@ -1,0 +1,60 @@
+//! E2 (§2, §4.2): pointer dereference — SAS equality-basis mapping vs a
+//! swizzling translation table vs a raw in-memory vector.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sedna_sas::{Sas, SasConfig, TxnToken, View};
+
+fn bench(c: &mut Criterion) {
+    let page_size = 4096usize;
+    let n_pages = 256u32;
+    let sas = Sas::in_memory(SasConfig {
+        page_size,
+        layer_size: page_size as u64 * 1024,
+        buffer_frames: 1024,
+    })
+    .unwrap();
+    let vas = sas.session();
+    vas.begin(View::LATEST, Some(TxnToken(1)));
+    let mut pages = Vec::new();
+    for i in 0..n_pages {
+        let (p, mut w) = vas.alloc_page().unwrap();
+        w.bytes_mut()[16] = i as u8;
+        drop(w);
+        pages.push(p);
+    }
+    let sw = sedna_sas::swizzle::SwizzleSpace::new(sas.clone(), View::LATEST);
+    let raw: Vec<Vec<u8>> = (0..n_pages).map(|i| vec![i as u8; 64]).collect();
+
+    let mut group = c.benchmark_group("e2_pointer_deref");
+    group.bench_function("raw_vec", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in &raw {
+                acc += r[16] as u64;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("sas_equality_mapping", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &pages {
+                acc += vas.read(p).unwrap()[16] as u64;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("swizzling_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &pages {
+                acc += sw.read(p).unwrap()[16] as u64;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

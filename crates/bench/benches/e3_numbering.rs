@@ -1,0 +1,44 @@
+//! E3 (§4.1.1): the lexicographic numbering scheme never relabels on
+//! insert; XISS-style intervals periodically rebuild every label.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sedna_numbering::{LabelAlloc, XissNumbering};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_numbering");
+    group.sample_size(10);
+    for &n in &[1000usize, 5000] {
+        group.bench_with_input(BenchmarkId::new("sedna_front_inserts", n), &n, |b, &n| {
+            b.iter(|| {
+                let root = LabelAlloc::root();
+                let mut first = LabelAlloc::append_child(&root, None);
+                for _ in 0..n {
+                    first = LabelAlloc::child(&root, None, Some(&first));
+                }
+                first
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("xiss_front_inserts", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut doc = XissNumbering::new(64);
+                for _ in 0..n {
+                    doc.insert(XissNumbering::ROOT, 0);
+                }
+                doc.relabels()
+            })
+        });
+        // Label operations themselves.
+        group.bench_with_input(BenchmarkId::new("ancestor_check", n), &n, |b, _| {
+            let root = LabelAlloc::root();
+            let child = LabelAlloc::append_child(&root, None);
+            let grand = LabelAlloc::append_child(&child, None);
+            b.iter(|| {
+                std::hint::black_box(root.is_ancestor_of(&grand) && !grand.is_ancestor_of(&root))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E4 (§4.1): node moves with the indirection table (O(1) pointer
+//! fix-ups) vs direct parent pointers (O(children) rewrites).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use sedna_bench::{fixture, Fixture};
+use sedna_schema::{NodeKind, SchemaName};
+use sedna_storage::ParentMode;
+
+fn build(mode: ParentMode, fanout: usize) -> Fixture {
+    let xml = sedna_workload::flat_records(200, fanout, 5);
+    fixture(&xml, 4096, 8192, mode)
+}
+
+/// Measures ONLY the mid-document inserts that force splits — the load is
+/// done in the (untimed) setup.
+fn split_workload(mut fx: Fixture) -> u64 {
+    let root = fx.doc.root_element(&fx.vas).unwrap().unwrap();
+    let recs = root.children_by_schema(&fx.vas, 0).unwrap();
+    let root_h = root.handle(&fx.vas).unwrap();
+    let mut left = recs[0].handle(&fx.vas).unwrap();
+    let right = recs[1].handle(&fx.vas).unwrap();
+    for _ in 0..40 {
+        left = fx
+            .doc
+            .insert_node(
+                &fx.vas,
+                &mut fx.schema,
+                root_h,
+                Some(left),
+                Some(right),
+                NodeKind::Element,
+                Some(SchemaName::local("rec")),
+                None,
+            )
+            .unwrap();
+    }
+    fx.doc.stats.pointer_updates
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_indirection");
+    group.sample_size(10);
+    for &fanout in &[4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("indirect_parent", fanout),
+            &fanout,
+            |b, &f| {
+                b.iter_batched(
+                    || build(ParentMode::Indirect, f),
+                    split_workload,
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct_parent", fanout),
+            &fanout,
+            |b, &f| {
+                b.iter_batched(
+                    || build(ParentMode::Direct, f),
+                    split_workload,
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

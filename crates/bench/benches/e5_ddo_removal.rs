@@ -1,0 +1,28 @@
+//! E5 (§5.1.1): removing unnecessary distinct-document-order operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sedna_bench::{default_fixture, optimized, run, unoptimized};
+use sedna_xquery::exec::ConstructMode;
+
+fn bench(c: &mut Criterion) {
+    let fx = default_fixture(&sedna_workload::library(1500, 3));
+    let q = "count(doc('lib')/library/book/author)";
+    let opt = optimized(q);
+    let base = unoptimized(q);
+    assert_eq!(
+        run(&fx, &opt, ConstructMode::Embedded).0,
+        run(&fx, &base, ConstructMode::Embedded).0
+    );
+    let mut group = c.benchmark_group("e5_ddo_removal");
+    group.sample_size(20);
+    group.bench_function("ddo_removed", |b| {
+        b.iter(|| run(&fx, &opt, ConstructMode::Embedded))
+    });
+    group.bench_function("ddo_kept_baseline", |b| {
+        b.iter(|| run(&fx, &base, ConstructMode::Embedded))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

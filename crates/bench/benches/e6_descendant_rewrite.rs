@@ -1,0 +1,27 @@
+//! E6 (§5.1.2): `//para` combined into `/descendant::para`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sedna_bench::{default_fixture, optimized, run, unoptimized};
+use sedna_xquery::exec::ConstructMode;
+
+fn bench(c: &mut Criterion) {
+    let fx = default_fixture(&sedna_workload::deep(60, 8, 4));
+    let q = "count(doc('lib')//para)";
+    let opt = optimized(q);
+    let base = unoptimized(q);
+    assert_eq!(
+        run(&fx, &opt, ConstructMode::Embedded).0,
+        run(&fx, &base, ConstructMode::Embedded).0
+    );
+    let mut group = c.benchmark_group("e6_descendant_rewrite");
+    group.bench_function("combined_descendant", |b| {
+        b.iter(|| run(&fx, &opt, ConstructMode::Embedded))
+    });
+    group.bench_function("naive_descendant_or_self", |b| {
+        b.iter(|| run(&fx, &base, ConstructMode::Embedded))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E7 (§5.1.3): loop-invariant binding expressions evaluated lazily.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sedna_bench::{default_fixture, optimized, run, unoptimized};
+use sedna_xquery::exec::ConstructMode;
+
+fn bench(c: &mut Criterion) {
+    let fx = default_fixture(&sedna_workload::library(200, 6));
+    let q = "count(for $b in doc('lib')/library/book for $p in doc('lib')/library/paper return 1)";
+    let opt = optimized(q);
+    let base = unoptimized(q);
+    assert_eq!(
+        run(&fx, &opt, ConstructMode::Embedded).0,
+        run(&fx, &base, ConstructMode::Embedded).0
+    );
+    let mut group = c.benchmark_group("e7_nested_flwor");
+    group.sample_size(10);
+    group.bench_function("lazy_invariant", |b| {
+        b.iter(|| run(&fx, &opt, ConstructMode::Embedded))
+    });
+    group.bench_function("reevaluated_baseline", |b| {
+        b.iter(|| run(&fx, &base, ConstructMode::Embedded))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

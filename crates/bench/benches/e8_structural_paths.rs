@@ -1,0 +1,28 @@
+//! E8 (§5.1.4): structural location paths over the descriptive schema vs
+//! navigational evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sedna_bench::{default_fixture, optimized, run, unoptimized};
+use sedna_xquery::exec::ConstructMode;
+
+fn bench(c: &mut Criterion) {
+    let fx = default_fixture(&sedna_workload::auction(1500, 8));
+    let q = "count(doc('lib')/site/open_auctions/open_auction/bidder)";
+    let opt = optimized(q);
+    let base = unoptimized(q);
+    assert_eq!(
+        run(&fx, &opt, ConstructMode::Embedded).0,
+        run(&fx, &base, ConstructMode::Embedded).0
+    );
+    let mut group = c.benchmark_group("e8_structural_paths");
+    group.bench_function("schema_mapped", |b| {
+        b.iter(|| run(&fx, &opt, ConstructMode::Embedded))
+    });
+    group.bench_function("navigational_baseline", |b| {
+        b.iter(|| run(&fx, &base, ConstructMode::Embedded))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

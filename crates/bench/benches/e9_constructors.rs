@@ -1,0 +1,26 @@
+//! E9 (§5.2.1): element constructors — deep copy vs embedded vs virtual.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sedna_bench::{default_fixture, optimized, run};
+use sedna_xquery::exec::ConstructMode;
+
+fn bench(c: &mut Criterion) {
+    let fx = default_fixture(&sedna_workload::library(400, 9));
+    let q = "<report><section><books>{doc('lib')/library/book}</books></section></report>";
+    let stmt = optimized(q);
+    let mut group = c.benchmark_group("e9_constructors");
+    group.sample_size(10);
+    group.bench_function("deep_copy_baseline", |b| {
+        b.iter(|| run(&fx, &stmt, ConstructMode::DeepCopy))
+    });
+    group.bench_function("embedded", |b| {
+        b.iter(|| run(&fx, &stmt, ConstructMode::Embedded))
+    });
+    group.bench_function("virtual", |b| {
+        b.iter(|| run(&fx, &stmt, ConstructMode::Virtual))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

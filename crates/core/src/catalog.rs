@@ -1,0 +1,564 @@
+//! The database catalog: named documents and value indexes, with the
+//! binary codecs used by checkpoint records and commit-time catalog
+//! deltas.
+
+use std::collections::HashMap;
+
+use sedna_index::{BTreeIndex, IndexKey};
+use sedna_sas::{Vas, XPtr};
+use sedna_schema::{NodeKind, SchemaTree};
+use sedna_storage::{DocStorage, NodeRef, ParentMode};
+use sedna_xquery::ast::{Axis, IndexKeyType, NodeTest, Step};
+
+use crate::error::{DbError, DbResult};
+
+/// One document: its descriptive schema and its storage anchors.
+#[derive(Clone)]
+pub struct DocData {
+    /// Stable document id (used by the lock manager).
+    pub id: u64,
+    /// The descriptive schema.
+    pub schema: SchemaTree,
+    /// The storage anchors.
+    pub storage: DocStorage,
+}
+
+/// Metadata of a value index (`CREATE INDEX`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexMeta {
+    /// Index name.
+    pub name: String,
+    /// Covered document.
+    pub doc: String,
+    /// Path from the document root selecting indexed nodes.
+    pub on: Vec<Step>,
+    /// Relative path from an indexed node to its key value.
+    pub by: Vec<Step>,
+    /// Key type.
+    pub key_type: IndexKeyType,
+}
+
+/// An index: metadata plus the B+-tree.
+#[derive(Clone)]
+pub struct IndexData {
+    /// Metadata.
+    pub meta: IndexMeta,
+    /// The tree.
+    pub tree: BTreeIndex,
+}
+
+/// The catalog.
+#[derive(Default, Clone)]
+pub struct Catalog {
+    /// Documents by name.
+    pub docs: HashMap<String, DocData>,
+    /// Indexes by name.
+    pub indexes: HashMap<String, IndexData>,
+    /// Next document id.
+    pub next_doc_id: u64,
+}
+
+impl Catalog {
+    /// Looks up a document or fails with [`DbError::NotFound`].
+    pub fn doc(&self, name: &str) -> DbResult<&DocData> {
+        self.docs
+            .get(name)
+            .ok_or_else(|| DbError::NotFound(format!("document '{name}'")))
+    }
+
+    /// Mutable document lookup.
+    pub fn doc_mut(&mut self, name: &str) -> DbResult<&mut DocData> {
+        self.docs
+            .get_mut(name)
+            .ok_or_else(|| DbError::NotFound(format!("document '{name}'")))
+    }
+
+    /// Indexes covering document `doc`.
+    pub fn indexes_of(&self, doc: &str) -> Vec<String> {
+        self.indexes
+            .values()
+            .filter(|i| i.meta.doc == doc)
+            .map(|i| i.meta.name.clone())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary codecs (catalog deltas in the WAL, full catalog in checkpoints)
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Rd<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.b.get(self.p..self.p + n)?;
+        self.p += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+}
+
+/// Serializes a document catalog entry.
+pub fn doc_payload(d: &DocData) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, d.id);
+    out.push(match d.storage.mode {
+        ParentMode::Indirect => 0,
+        ParentMode::Direct => 1,
+    });
+    put_u64(&mut out, d.storage.doc_handle.raw());
+    put_u64(&mut out, d.storage.overflow_indir.raw());
+    put_u32(&mut out, d.storage.text.heads.len() as u32);
+    for (&group, &head) in &d.storage.text.heads {
+        put_u32(&mut out, group);
+        put_u64(&mut out, head.raw());
+    }
+    let schema = d.schema.to_bytes();
+    put_u32(&mut out, schema.len() as u32);
+    out.extend_from_slice(&schema);
+    out
+}
+
+/// Deserializes [`doc_payload`] output.
+pub fn doc_from_payload(bytes: &[u8]) -> Option<DocData> {
+    let mut r = Rd { b: bytes, p: 0 };
+    let id = r.u64()?;
+    let mode = match r.u8()? {
+        0 => ParentMode::Indirect,
+        1 => ParentMode::Direct,
+        _ => return None,
+    };
+    let doc_handle = XPtr::from_raw(r.u64()?);
+    let overflow = XPtr::from_raw(r.u64()?);
+    let n_heads = r.u32()? as usize;
+    let mut heads = std::collections::BTreeMap::new();
+    for _ in 0..n_heads {
+        let group = r.u32()?;
+        heads.insert(group, XPtr::from_raw(r.u64()?));
+    }
+    let n = r.u32()? as usize;
+    let schema = SchemaTree::from_bytes(r.take(n)?)?;
+    let mut storage = DocStorage::with_anchors(mode, doc_handle, overflow);
+    storage.text.heads = heads;
+    Some(DocData {
+        id,
+        schema,
+        storage,
+    })
+}
+
+fn put_steps(out: &mut Vec<u8>, steps: &[Step]) {
+    put_u32(out, steps.len() as u32);
+    for s in steps {
+        out.push(match s.axis {
+            Axis::Child => 0,
+            Axis::Descendant => 1,
+            Axis::DescendantOrSelf => 2,
+            Axis::Attribute => 3,
+            _ => 255, // unsupported in index paths; rejected at DDL time
+        });
+        match &s.test {
+            NodeTest::Name(n) => {
+                out.push(0);
+                put_str(out, n.uri.as_deref().unwrap_or(""));
+                out.push(u8::from(n.uri.is_some()));
+                put_str(out, &n.local);
+            }
+            NodeTest::Wildcard => out.push(1),
+            NodeTest::Text => out.push(2),
+            NodeTest::Comment => out.push(3),
+            NodeTest::Pi(_) => out.push(4),
+            NodeTest::AnyKind => out.push(5),
+        }
+    }
+}
+
+fn read_steps(r: &mut Rd) -> Option<Vec<Step>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let axis = match r.u8()? {
+            0 => Axis::Child,
+            1 => Axis::Descendant,
+            2 => Axis::DescendantOrSelf,
+            3 => Axis::Attribute,
+            _ => return None,
+        };
+        let test = match r.u8()? {
+            0 => {
+                let uri = r.str()?;
+                let has_uri = r.u8()? == 1;
+                let local = r.str()?;
+                NodeTest::Name(sedna_schema::SchemaName {
+                    uri: has_uri.then_some(uri),
+                    local,
+                })
+            }
+            1 => NodeTest::Wildcard,
+            2 => NodeTest::Text,
+            3 => NodeTest::Comment,
+            4 => NodeTest::Pi(None),
+            5 => NodeTest::AnyKind,
+            _ => return None,
+        };
+        out.push(Step::plain(axis, test));
+    }
+    Some(out)
+}
+
+/// Serializes an index catalog entry.
+pub fn index_payload(i: &IndexData) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, &i.meta.name);
+    put_str(&mut out, &i.meta.doc);
+    put_steps(&mut out, &i.meta.on);
+    put_steps(&mut out, &i.meta.by);
+    out.push(match i.meta.key_type {
+        IndexKeyType::String => 0,
+        IndexKeyType::Number => 1,
+    });
+    put_u64(&mut out, i.tree.root.raw());
+    put_u64(&mut out, i.tree.entries);
+    out
+}
+
+/// Deserializes [`index_payload`] output.
+pub fn index_from_payload(bytes: &[u8]) -> Option<IndexData> {
+    let mut r = Rd { b: bytes, p: 0 };
+    let name = r.str()?;
+    let doc = r.str()?;
+    let on = read_steps(&mut r)?;
+    let by = read_steps(&mut r)?;
+    let key_type = match r.u8()? {
+        0 => IndexKeyType::String,
+        1 => IndexKeyType::Number,
+        _ => return None,
+    };
+    let root = XPtr::from_raw(r.u64()?);
+    let entries = r.u64()?;
+    Some(IndexData {
+        meta: IndexMeta {
+            name,
+            doc,
+            on,
+            by,
+            key_type,
+        },
+        tree: BTreeIndex::open(root, entries),
+    })
+}
+
+/// Serializes the full catalog (checkpoint payload).
+pub fn catalog_blob(cat: &Catalog) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, cat.next_doc_id);
+    put_u32(&mut out, cat.docs.len() as u32);
+    let mut names: Vec<&String> = cat.docs.keys().collect();
+    names.sort();
+    for name in names {
+        put_str(&mut out, name);
+        let payload = doc_payload(&cat.docs[name]);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+    }
+    put_u32(&mut out, cat.indexes.len() as u32);
+    let mut names: Vec<&String> = cat.indexes.keys().collect();
+    names.sort();
+    for name in names {
+        put_str(&mut out, name);
+        let payload = index_payload(&cat.indexes[name]);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Deserializes [`catalog_blob`] output.
+pub fn catalog_from_blob(bytes: &[u8]) -> Option<Catalog> {
+    let mut r = Rd { b: bytes, p: 0 };
+    let next_doc_id = r.u64()?;
+    let mut cat = Catalog {
+        next_doc_id,
+        ..Default::default()
+    };
+    let nd = r.u32()? as usize;
+    for _ in 0..nd {
+        let name = r.str()?;
+        let n = r.u32()? as usize;
+        let data = doc_from_payload(r.take(n)?)?;
+        cat.docs.insert(name, data);
+    }
+    let ni = r.u32()? as usize;
+    for _ in 0..ni {
+        let name = r.str()?;
+        let n = r.u32()? as usize;
+        let data = index_from_payload(r.take(n)?)?;
+        cat.indexes.insert(name, data);
+    }
+    Some(cat)
+}
+
+// ---------------------------------------------------------------------
+// Index evaluation helpers (build + incremental maintenance)
+// ---------------------------------------------------------------------
+
+/// The schema nodes selected by an index's ON path.
+pub fn on_schema_nodes(schema: &SchemaTree, meta: &IndexMeta) -> Vec<sedna_schema::SchemaNodeId> {
+    let steps: Vec<sedna_schema::PathStep> = meta
+        .on
+        .iter()
+        .map(|s| sedna_schema::PathStep {
+            axis: match s.axis {
+                Axis::Child => sedna_schema::SchemaAxis::Child,
+                Axis::Descendant => sedna_schema::SchemaAxis::Descendant,
+                Axis::DescendantOrSelf => sedna_schema::SchemaAxis::DescendantOrSelf,
+                Axis::Attribute => sedna_schema::SchemaAxis::Attribute,
+                _ => sedna_schema::SchemaAxis::Child,
+            },
+            test: match &s.test {
+                NodeTest::Name(n) => sedna_schema::SchemaTest::Name(n.clone()),
+                NodeTest::Wildcard => sedna_schema::SchemaTest::AnyName,
+                NodeTest::Text => sedna_schema::SchemaTest::Text,
+                NodeTest::Comment => sedna_schema::SchemaTest::Comment,
+                NodeTest::Pi(_) => sedna_schema::SchemaTest::Pi,
+                NodeTest::AnyKind => sedna_schema::SchemaTest::AnyKind,
+            },
+        })
+        .collect();
+    sedna_schema::path::eval_structural_path(schema, &steps)
+}
+
+/// Evaluates the BY path navigationally from `node`, returning the first
+/// matching node's string value (no key when the path selects nothing).
+pub fn eval_by_path(
+    vas: &Vas,
+    schema: &SchemaTree,
+    node: NodeRef,
+    steps: &[Step],
+) -> DbResult<Option<String>> {
+    let mut current = vec![node];
+    for step in steps {
+        let mut next = Vec::new();
+        for n in &current {
+            match step.axis {
+                Axis::Child | Axis::Attribute => {
+                    for c in n.children(vas).map_err(DbError::Storage)? {
+                        if test_matches(vas, schema, c, &step.test, step.axis == Axis::Attribute)? {
+                            next.push(c);
+                        }
+                    }
+                }
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    if step.axis == Axis::DescendantOrSelf
+                        && test_matches(vas, schema, *n, &step.test, false)?
+                    {
+                        next.push(*n);
+                    }
+                    collect_descendants(vas, schema, *n, &step.test, &mut next)?;
+                }
+                _ => {
+                    return Err(DbError::Conflict(
+                        "index BY paths support only descending axes".into(),
+                    ))
+                }
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            return Ok(None);
+        }
+    }
+    let first = current[0];
+    Ok(Some(
+        first
+            .string_value(vas, schema)
+            .map_err(DbError::Storage)?,
+    ))
+}
+
+fn collect_descendants(
+    vas: &Vas,
+    schema: &SchemaTree,
+    node: NodeRef,
+    test: &NodeTest,
+    out: &mut Vec<NodeRef>,
+) -> DbResult<()> {
+    for c in node.children(vas).map_err(DbError::Storage)? {
+        if c.kind(vas).map_err(DbError::Storage)? == NodeKind::Attribute {
+            continue;
+        }
+        if test_matches(vas, schema, c, test, false)? {
+            out.push(c);
+        }
+        collect_descendants(vas, schema, c, test, out)?;
+    }
+    Ok(())
+}
+
+fn test_matches(
+    vas: &Vas,
+    schema: &SchemaTree,
+    node: NodeRef,
+    test: &NodeTest,
+    attr_axis: bool,
+) -> DbResult<bool> {
+    let kind = node.kind(vas).map_err(DbError::Storage)?;
+    let sid = node.schema(vas).map_err(DbError::Storage)?;
+    let name = schema.node(sid).name.as_ref();
+    Ok(match test {
+        NodeTest::AnyKind => true,
+        NodeTest::Text => kind == NodeKind::Text,
+        NodeTest::Comment => kind == NodeKind::Comment,
+        NodeTest::Pi(_) => kind == NodeKind::ProcessingInstruction,
+        NodeTest::Wildcard => {
+            if attr_axis {
+                kind == NodeKind::Attribute
+            } else {
+                kind == NodeKind::Element
+            }
+        }
+        NodeTest::Name(want) => {
+            let principal = if attr_axis {
+                NodeKind::Attribute
+            } else {
+                NodeKind::Element
+            };
+            kind == principal && name == Some(want)
+        }
+    })
+}
+
+/// Converts a raw string value into a typed index key.
+pub fn make_key(key_type: IndexKeyType, raw: &str) -> Option<IndexKey> {
+    match key_type {
+        IndexKeyType::String => Some(IndexKey::string(raw)),
+        IndexKeyType::Number => raw.trim().parse::<f64>().ok().and_then(IndexKey::number),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_schema::SchemaName;
+
+    fn sample_catalog() -> Catalog {
+        let mut schema = SchemaTree::new();
+        schema.get_or_add_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(SchemaName::local("library")),
+        );
+        let mut storage = DocStorage::with_anchors(
+            ParentMode::Indirect,
+            XPtr::new(0, 4096 + 64),
+            XPtr::NULL,
+        );
+        storage.text.heads.insert(3, XPtr::new(0, 8192));
+        let mut cat = Catalog {
+            next_doc_id: 3,
+            ..Default::default()
+        };
+        cat.docs.insert(
+            "lib".into(),
+            DocData {
+                id: 1,
+                schema,
+                storage,
+            },
+        );
+        cat.indexes.insert(
+            "byyear".into(),
+            IndexData {
+                meta: IndexMeta {
+                    name: "byyear".into(),
+                    doc: "lib".into(),
+                    on: vec![
+                        Step::plain(Axis::Child, NodeTest::Name(SchemaName::local("library"))),
+                        Step::plain(Axis::Child, NodeTest::Name(SchemaName::local("book"))),
+                    ],
+                    by: vec![Step::plain(Axis::Child, NodeTest::Name(SchemaName::local("year")))],
+                    key_type: IndexKeyType::Number,
+                },
+                tree: BTreeIndex::open(XPtr::new(1, 0), 42),
+            },
+        );
+        cat
+    }
+
+    #[test]
+    fn doc_payload_round_trip() {
+        let cat = sample_catalog();
+        let d = &cat.docs["lib"];
+        let back = doc_from_payload(&doc_payload(d)).unwrap();
+        assert_eq!(back.id, 1);
+        assert_eq!(back.storage.doc_handle, d.storage.doc_handle);
+        assert_eq!(back.storage.text.heads, d.storage.text.heads);
+        assert_eq!(back.schema.len(), d.schema.len());
+    }
+
+    #[test]
+    fn index_payload_round_trip() {
+        let cat = sample_catalog();
+        let i = &cat.indexes["byyear"];
+        let back = index_from_payload(&index_payload(i)).unwrap();
+        assert_eq!(back.meta, i.meta);
+        assert_eq!(back.tree.root, i.tree.root);
+        assert_eq!(back.tree.entries, 42);
+    }
+
+    #[test]
+    fn catalog_blob_round_trip() {
+        let cat = sample_catalog();
+        let back = catalog_from_blob(&catalog_blob(&cat)).unwrap();
+        assert_eq!(back.next_doc_id, 3);
+        assert_eq!(back.docs.len(), 1);
+        assert_eq!(back.indexes.len(), 1);
+        assert!(back.docs.contains_key("lib"));
+    }
+
+    #[test]
+    fn corrupt_blobs_rejected() {
+        assert!(catalog_from_blob(&[1, 2, 3]).is_none());
+        let mut good = catalog_blob(&sample_catalog());
+        good.truncate(good.len() - 4);
+        assert!(catalog_from_blob(&good).is_none());
+    }
+
+    #[test]
+    fn make_key_types() {
+        assert!(matches!(
+            make_key(IndexKeyType::Number, " 42 "),
+            Some(IndexKey::Number(n)) if n == 42.0
+        ));
+        assert!(make_key(IndexKeyType::Number, "nope").is_none());
+        assert!(matches!(
+            make_key(IndexKeyType::String, "x"),
+            Some(IndexKey::String(_))
+        ));
+    }
+}

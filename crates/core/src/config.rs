@@ -1,0 +1,69 @@
+//! Database configuration.
+
+use std::time::Duration;
+
+use sedna_storage::ParentMode;
+use sedna_xquery::exec::ConstructMode;
+
+/// Configuration of a database instance.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Page (block) size in bytes; power of two.
+    pub page_size: usize,
+    /// SAS layer size in bytes; power-of-two multiple of the page size.
+    pub layer_size: u64,
+    /// Buffer-pool frames.
+    pub buffer_frames: usize,
+    /// Parent-pointer representation (the direct mode exists for
+    /// experiment E4; production databases use the indirection table).
+    pub parent_mode: ParentMode,
+    /// Element-constructor strategy for query execution.
+    pub construct_mode: ConstructMode,
+    /// Lock-wait timeout (deadlocks are detected eagerly; this is the
+    /// safety net).
+    pub lock_timeout: Duration,
+    /// Rotate (truncate) the log at every checkpoint, so recovery work is
+    /// bounded by the updates since the last checkpoint. Incremental hot
+    /// backups are guarded by a log epoch: after any rotation newer than
+    /// the base backup, they fail with a "take a new full backup" error.
+    pub truncate_log_on_checkpoint: bool,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            page_size: 16 * 1024,
+            layer_size: 16 * 1024 * 1024,
+            buffer_frames: 1024,
+            parent_mode: ParentMode::Indirect,
+            construct_mode: ConstructMode::Embedded,
+            lock_timeout: Duration::from_secs(10),
+            truncate_log_on_checkpoint: true,
+        }
+    }
+}
+
+impl DbConfig {
+    /// A small configuration for tests: tiny pages, small pool.
+    pub fn small() -> DbConfig {
+        DbConfig {
+            page_size: 4096,
+            layer_size: 4 * 1024 * 1024,
+            buffer_frames: 512,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DbConfig::default();
+        assert!(c.page_size.is_power_of_two());
+        assert_eq!(c.layer_size % c.page_size as u64, 0);
+        assert_eq!(c.parent_mode, ParentMode::Indirect);
+    }
+}

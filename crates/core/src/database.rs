@@ -1,0 +1,458 @@
+//! The database manager: buffer manager + transaction manager (Figure 1),
+//! WAL durability, checkpoints, two-step recovery, and hot backup.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use sedna_sas::{FilePageStore, PageResolver, PageStore, Sas, SasConfig, XPtr};
+use sedna_txn::TxnManager;
+use sedna_wal::record::AllocSnapshot;
+use sedna_wal::{plan_recovery, CheckpointData, PageOp, RedoOp, WalRecord, WalWriter};
+
+use crate::catalog::{self, Catalog};
+use crate::config::DbConfig;
+use crate::error::{DbError, DbResult};
+use crate::session::Session;
+
+const DATA_FILE: &str = "data.sedna";
+const WAL_FILE: &str = "wal.sedna";
+/// Log-rotation epoch marker: incremented whenever the log is truncated,
+/// copied into full backups, and checked by incremental backups.
+const EPOCH_FILE: &str = "wal.epoch";
+
+fn read_epoch(dir: &Path) -> u64 {
+    std::fs::read_to_string(dir.join(EPOCH_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn write_epoch(dir: &Path, epoch: u64) -> std::io::Result<()> {
+    std::fs::write(dir.join(EPOCH_FILE), epoch.to_string())
+}
+
+/// Gate coordinating update transactions with checkpoints: updaters hold
+/// it shared; a checkpoint runs exclusively (so the flushed state is
+/// transaction-consistent — the paper's "fixate transaction-consistent
+/// state").
+pub(crate) struct TxnGate {
+    active: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl TxnGate {
+    fn new() -> TxnGate {
+        TxnGate {
+            active: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn enter_shared(&self) {
+        let mut n = self.active.lock();
+        // usize::MAX marks an exclusive holder.
+        while *n == usize::MAX {
+            self.cv.wait(&mut n);
+        }
+        *n += 1;
+    }
+
+    pub(crate) fn exit_shared(&self) {
+        let mut n = self.active.lock();
+        *n -= 1;
+        if *n == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn run_exclusive<R>(&self, f: impl FnOnce() -> R) -> R {
+        let mut n = self.active.lock();
+        while *n != 0 {
+            self.cv.wait(&mut n);
+        }
+        *n = usize::MAX;
+        drop(n);
+        let r = f();
+        let mut n = self.active.lock();
+        *n = 0;
+        self.cv.notify_all();
+        r
+    }
+}
+
+pub(crate) struct DbInner {
+    pub(crate) cfg: DbConfig,
+    pub(crate) dir: PathBuf,
+    pub(crate) sas: Arc<Sas>,
+    pub(crate) store: Arc<FilePageStore>,
+    pub(crate) txns: TxnManager,
+    pub(crate) wal: Mutex<WalWriter>,
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) gate: TxnGate,
+}
+
+/// A Sedna database instance.
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl Database {
+    fn sas_config(cfg: &DbConfig) -> SasConfig {
+        SasConfig {
+            page_size: cfg.page_size,
+            layer_size: cfg.layer_size,
+            buffer_frames: cfg.buffer_frames,
+        }
+    }
+
+    /// Creates a new database in `dir` (which is created if missing).
+    pub fn create(dir: &Path, cfg: DbConfig) -> DbResult<Database> {
+        std::fs::create_dir_all(dir)?;
+        let store = Arc::new(FilePageStore::create(&dir.join(DATA_FILE), cfg.page_size)?);
+        let txns = TxnManager::new(Arc::clone(&store) as Arc<dyn PageStore>);
+        let resolver: Arc<dyn PageResolver> = Arc::clone(&txns.versions) as Arc<dyn PageResolver>;
+        let sas = Sas::new(
+            Self::sas_config(&cfg),
+            Arc::clone(&store) as Arc<dyn PageStore>,
+            resolver,
+        )?;
+        txns.versions.set_pool(Arc::clone(sas.pool()));
+        let wal = WalWriter::create(&dir.join(WAL_FILE))?;
+        let db = Database {
+            inner: Arc::new(DbInner {
+                cfg,
+                dir: dir.to_path_buf(),
+                sas,
+                store,
+                txns,
+                wal: Mutex::new(wal),
+                catalog: RwLock::new(Catalog::default()),
+                gate: TxnGate::new(),
+            }),
+        };
+        // Baseline checkpoint so recovery always has a starting snapshot.
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    /// Opens an existing database, running the two-step recovery of §6.4:
+    /// restore the persistent snapshot from the last checkpoint, then redo
+    /// committed transactions from the log.
+    pub fn open(dir: &Path, cfg: DbConfig) -> DbResult<Database> {
+        Self::open_with_limit(dir, cfg, None)
+    }
+
+    /// Opens with point-in-time recovery: only transactions with
+    /// `commit_ts <= upto_ts` are redone (§6.5 incremental backups).
+    pub fn open_with_limit(dir: &Path, cfg: DbConfig, upto_ts: Option<u64>) -> DbResult<Database> {
+        let wal_path = dir.join(WAL_FILE);
+        let plan = plan_recovery(&wal_path, upto_ts)?;
+        let store = Arc::new(FilePageStore::open(&dir.join(DATA_FILE), cfg.page_size)?);
+        let txns = TxnManager::new(Arc::clone(&store) as Arc<dyn PageStore>);
+        let resolver: Arc<dyn PageResolver> = Arc::clone(&txns.versions) as Arc<dyn PageResolver>;
+        let sas = Sas::new(
+            Self::sas_config(&cfg),
+            Arc::clone(&store) as Arc<dyn PageStore>,
+            resolver,
+        )?;
+        txns.versions.set_pool(Arc::clone(sas.pool()));
+
+        // -------- Step 1: restore the persistent snapshot. --------
+        let mut catalog = Catalog::default();
+        let mut page_map: std::collections::HashMap<u64, sedna_sas::PhysId> =
+            std::collections::HashMap::new();
+        if let Some(cp) = &plan.checkpoint {
+            for &(page, phys) in &cp.page_table {
+                store.mark_allocated(phys);
+                txns.versions.install_committed(page, phys);
+                page_map.insert(page.raw(), phys);
+            }
+            catalog = catalog::catalog_from_blob(&cp.catalog).ok_or_else(|| {
+                DbError::Conflict("corrupt catalog in checkpoint record".into())
+            })?;
+        }
+
+        // -------- Step 2: redo committed transactions. --------
+        for (_txn, _ts, ops) in &plan.redo {
+            for op in ops {
+                match op {
+                    RedoOp::Page(page, PageOp::Image(image)) => {
+                        let phys = match page_map.get(&page.raw()) {
+                            Some(&p) => p,
+                            None => {
+                                let p = store.alloc()?;
+                                txns.versions.install_committed(*page, p);
+                                page_map.insert(page.raw(), p);
+                                p
+                            }
+                        };
+                        store.write(phys, image)?;
+                    }
+                    RedoOp::Page(page, PageOp::Free) => {
+                        if page_map.remove(&page.raw()).is_some() {
+                            txns.versions.on_page_free(*page, None)?;
+                        }
+                    }
+                    RedoOp::CatalogPut(key, payload) => {
+                        apply_catalog_put(&mut catalog, key, payload)?;
+                    }
+                    RedoOp::CatalogDrop(key) => {
+                        apply_catalog_drop(&mut catalog, key);
+                    }
+                }
+            }
+        }
+        txns.versions.set_current_ts(plan.max_ts);
+
+        // Rebuild the free-slot list: live slots are exactly the mapped
+        // ones.
+        let live: BTreeSet<u64> = page_map.values().map(|p| p.0).collect();
+        store.rebuild_free_list(&live);
+
+        // Rebuild the SAS address allocator: next address past every live
+        // page (checkpoint free-list recycled addresses are dropped —
+        // they are regained at the post-recovery checkpoint).
+        let alloc_state = rebuild_alloc(&plan, &page_map, cfg.page_size, cfg.layer_size);
+        sas.allocator().restore(alloc_state);
+
+        let wal = WalWriter::open(&wal_path)?;
+        let db = Database {
+            inner: Arc::new(DbInner {
+                cfg,
+                dir: dir.to_path_buf(),
+                sas,
+                store,
+                txns,
+                wal: Mutex::new(wal),
+                catalog: RwLock::new(catalog),
+                gate: TxnGate::new(),
+            }),
+        };
+        // Standard practice: checkpoint right after recovery, so the next
+        // crash replays from here.
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    /// Opens a session (connection) on this database.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.inner))
+    }
+
+    /// Takes a checkpoint: flushes the buffer pool, fixates the
+    /// transaction-consistent state as the **persistent snapshot**, and
+    /// logs it (§6.4).
+    pub fn checkpoint(&self) -> DbResult<()> {
+        self.checkpoint_inner(self.inner.cfg.truncate_log_on_checkpoint)
+    }
+
+    fn checkpoint_inner(&self, truncate_log: bool) -> DbResult<()> {
+        let inner = &self.inner;
+        inner.gate.run_exclusive(|| -> DbResult<()> {
+            inner.sas.flush_all()?;
+            inner.store.sync()?;
+            let snap = inner.txns.versions.create_snapshot();
+            inner.txns.versions.mark_persistent(snap.ts);
+            // The create_snapshot ref is dropped; persistence keeps it.
+            inner.txns.versions.release_snapshot(snap.ts);
+            let alloc = inner.sas.allocator().state();
+            let cp = CheckpointData {
+                ts: snap.ts,
+                page_table: inner.txns.versions.committed_table(),
+                alloc: AllocSnapshot {
+                    next_layer: alloc.next_layer,
+                    next_addr: alloc.next_addr,
+                    free: alloc.free,
+                },
+                catalog: catalog::catalog_blob(&inner.catalog.read()),
+            };
+            let mut wal = inner.wal.lock();
+            let cp_lsn = wal.append(&WalRecord::Checkpoint(cp))?;
+            wal.flush()?;
+            if truncate_log && cp_lsn > 0 {
+                // Log rotation: the checkpoint record carries the complete
+                // base state, so records before it can never be replayed.
+                wal.truncate_prefix(cp_lsn)?;
+                write_epoch(&inner.dir, read_epoch(&inner.dir) + 1)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Simulates a crash: all buffered (unflushed) state is dropped
+    /// without write-back. The on-disk data file and log remain; reopen
+    /// with [`Database::open`] to run recovery. Test/experiment support.
+    pub fn crash(self) {
+        self.inner.sas.pool().drop_all();
+    }
+
+    /// Takes a full hot backup into `dest_dir` (§6.5): a checkpoint
+    /// fixates the base state and rotates the log, then the data file and
+    /// the (now short) log are copied. Incremental backups taken later
+    /// against this directory stay valid until the next full backup
+    /// rotates the log again.
+    pub fn backup(&self, dest_dir: &Path) -> DbResult<()> {
+        self.checkpoint_inner(true)?;
+        sedna_wal::backup::full_backup(
+            &self.inner.dir.join(DATA_FILE),
+            &self.inner.dir.join(WAL_FILE),
+            dest_dir,
+        )?;
+        write_epoch(dest_dir, read_epoch(&self.inner.dir))?;
+        Ok(())
+    }
+
+    /// Takes an incremental hot backup (log only) against a prior full
+    /// backup in `base_dir`.
+    pub fn backup_incremental(&self, base_dir: &Path) -> DbResult<PathBuf> {
+        // The base is only extendable while the log has not been rotated
+        // since it was taken.
+        if read_epoch(base_dir) != read_epoch(&self.inner.dir) {
+            return Err(DbError::Conflict(
+                "the log was rotated by a checkpoint after this full backup;                  take a new full backup before further incrementals"
+                    .into(),
+            ));
+        }
+        self.inner.wal.lock().flush()?;
+        Ok(sedna_wal::backup::incremental_backup(
+            &self.inner.dir.join(WAL_FILE),
+            base_dir,
+        )?)
+    }
+
+    /// Restores a backup into `target_dir` and opens the database there.
+    /// `increments` selects how many incremental parts to apply (`None` =
+    /// all); `upto_ts` optionally limits recovery to a point in time.
+    pub fn restore(
+        backup_dir: &Path,
+        target_dir: &Path,
+        cfg: DbConfig,
+        increments: Option<usize>,
+        upto_ts: Option<u64>,
+    ) -> DbResult<Database> {
+        sedna_wal::backup::restore_backup(backup_dir, target_dir, increments)?;
+        Self::open_with_limit(target_dir, cfg, upto_ts)
+    }
+
+    /// Buffer-pool statistics.
+    pub fn buffer_stats(&self) -> sedna_sas::BufferStats {
+        self.inner.sas.pool().stats()
+    }
+
+    /// Version-manager statistics.
+    pub fn version_stats(&self) -> sedna_txn::VersionStats {
+        self.inner.txns.versions.stats()
+    }
+
+    /// Names of the documents in the catalog.
+    pub fn document_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.catalog.read().docs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of the indexes in the catalog.
+    pub fn index_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.catalog.read().indexes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+fn apply_catalog_put(catalog: &mut Catalog, key: &str, payload: &[u8]) -> DbResult<()> {
+    if let Some(name) = key.strip_prefix("doc:") {
+        let data = catalog::doc_from_payload(payload)
+            .ok_or_else(|| DbError::Conflict(format!("corrupt catalog record for {key}")))?;
+        catalog.next_doc_id = catalog.next_doc_id.max(data.id + 1);
+        catalog.docs.insert(name.to_string(), data);
+        Ok(())
+    } else if let Some(name) = key.strip_prefix("index:") {
+        let data = catalog::index_from_payload(payload)
+            .ok_or_else(|| DbError::Conflict(format!("corrupt catalog record for {key}")))?;
+        catalog.indexes.insert(name.to_string(), data);
+        Ok(())
+    } else {
+        Err(DbError::Conflict(format!("unknown catalog key '{key}'")))
+    }
+}
+
+fn apply_catalog_drop(catalog: &mut Catalog, key: &str) {
+    if let Some(name) = key.strip_prefix("doc:") {
+        catalog.docs.remove(name);
+    } else if let Some(name) = key.strip_prefix("index:") {
+        catalog.indexes.remove(name);
+    }
+}
+
+/// Computes a safe post-recovery allocator state.
+///
+/// The checkpoint's allocator state predates any post-checkpoint redo
+/// allocations, so the result must be at least as far as both the
+/// checkpointed `next` pointer and one page past every page seen in the
+/// checkpoint table or the redo log. Recycled addresses from the
+/// checkpoint's free list are kept only if the redo log did not re-issue
+/// them.
+fn rebuild_alloc(
+    plan: &sedna_wal::RecoveryPlan,
+    page_map: &std::collections::HashMap<u64, sedna_sas::PhysId>,
+    page_size: usize,
+    layer_size: u64,
+) -> sedna_sas::AllocState {
+    // Every page address known to exist (checkpoint + redo, including
+    // pages later freed — their addresses were issued at some point).
+    let mut seen: std::collections::HashSet<u64> =
+        page_map.keys().copied().collect();
+    for (_, _, ops) in &plan.redo {
+        for op in ops {
+            if let RedoOp::Page(page, _) = op {
+                seen.insert(page.raw());
+            }
+        }
+    }
+    let max_page = seen.iter().copied().map(XPtr::from_raw).max();
+
+    // "One page past the maximum", as (layer, addr).
+    let past_max = max_page.map(|p| {
+        let next = p.addr() as u64 + page_size as u64;
+        if next >= layer_size {
+            (p.layer() + 1, 0u32)
+        } else {
+            (p.layer(), next as u32)
+        }
+    });
+
+    // The checkpointed allocator's next pointer; the sentinel
+    // `next_addr == u32::MAX` means "nothing issued yet" and must not be
+    // compared as a huge address.
+    let cp = plan.checkpoint.as_ref().map(|c| &c.alloc);
+    let cp_next = cp.and_then(|a| {
+        (a.next_addr != u32::MAX).then_some((a.next_layer, a.next_addr))
+    });
+
+    let (next_layer, next_addr) = match (past_max, cp_next) {
+        (None, None) => (0, u32::MAX), // truly fresh database
+        (Some(n), None) => n,
+        (None, Some(c)) => c,
+        (Some(n), Some(c)) => n.max(c),
+    };
+
+    // Free-list entries stay recyclable unless redo re-issued them.
+    let free: Vec<XPtr> = cp
+        .map(|a| {
+            a.free
+                .iter()
+                .copied()
+                .filter(|p| !seen.contains(&p.raw()))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    sedna_sas::AllocState {
+        next_layer,
+        next_addr,
+        free,
+    }
+}

@@ -1,0 +1,93 @@
+//! The database-level error type.
+
+/// Errors surfaced by the database façade.
+#[derive(Debug)]
+pub enum DbError {
+    /// Address-space / buffer-manager failure.
+    Sas(sedna_sas::SasError),
+    /// Storage-layer failure.
+    Storage(sedna_storage::StorageError),
+    /// Query pipeline failure (parse / static / dynamic).
+    Query(sedna_xquery::QueryError),
+    /// Log / recovery / backup failure.
+    Wal(sedna_wal::WalError),
+    /// Index failure.
+    Index(sedna_index::IndexError),
+    /// Lock acquisition failure (deadlock victim or timeout).
+    Lock(sedna_txn::LockError),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Named object not found (document, index, database).
+    NotFound(String),
+    /// Named object already exists, or the operation conflicts with the
+    /// session state (e.g. update inside a read-only transaction).
+    Conflict(String),
+}
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Sas(e) => write!(f, "{e}"),
+            DbError::Storage(e) => write!(f, "{e}"),
+            DbError::Query(e) => write!(f, "{e}"),
+            DbError::Wal(e) => write!(f, "{e}"),
+            DbError::Index(e) => write!(f, "{e}"),
+            DbError::Lock(e) => write!(f, "{e}"),
+            DbError::Io(e) => write!(f, "I/O error: {e}"),
+            DbError::NotFound(what) => write!(f, "not found: {what}"),
+            DbError::Conflict(what) => write!(f, "conflict: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<sedna_sas::SasError> for DbError {
+    fn from(e: sedna_sas::SasError) -> Self {
+        DbError::Sas(e)
+    }
+}
+impl From<sedna_storage::StorageError> for DbError {
+    fn from(e: sedna_storage::StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+impl From<sedna_xquery::QueryError> for DbError {
+    fn from(e: sedna_xquery::QueryError) -> Self {
+        DbError::Query(e)
+    }
+}
+impl From<sedna_wal::WalError> for DbError {
+    fn from(e: sedna_wal::WalError) -> Self {
+        DbError::Wal(e)
+    }
+}
+impl From<sedna_index::IndexError> for DbError {
+    fn from(e: sedna_index::IndexError) -> Self {
+        DbError::Index(e)
+    }
+}
+impl From<sedna_txn::LockError> for DbError {
+    fn from(e: sedna_txn::LockError) -> Self {
+        DbError::Lock(e)
+    }
+}
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DbError::NotFound("doc 'x'".into()).to_string().contains("doc 'x'"));
+        assert!(DbError::Conflict("y".into()).to_string().contains("y"));
+    }
+}

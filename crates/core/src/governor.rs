@@ -1,0 +1,82 @@
+//! The governor: "the control center of the system: it keeps track of all
+//! databases and transactions running in the system and manages them. All
+//! other components in Sedna keep registered at the governor throughout
+//! all their running cycle." (§3, Figure 1)
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::config::DbConfig;
+use crate::database::Database;
+use crate::error::{DbError, DbResult};
+use crate::session::Session;
+
+/// The system control center: a registry of databases.
+#[derive(Default)]
+pub struct Governor {
+    databases: RwLock<HashMap<String, Database>>,
+}
+
+impl Governor {
+    /// Creates an empty governor.
+    pub fn new() -> Arc<Governor> {
+        Arc::new(Governor::default())
+    }
+
+    /// Creates a database and registers it.
+    pub fn create_database(&self, name: &str, dir: &Path, cfg: DbConfig) -> DbResult<Database> {
+        let mut dbs = self.databases.write();
+        if dbs.contains_key(name) {
+            return Err(DbError::Conflict(format!("database '{name}' already exists")));
+        }
+        let db = Database::create(dir, cfg)?;
+        dbs.insert(name.to_string(), db.clone());
+        Ok(db)
+    }
+
+    /// Opens an existing on-disk database (running recovery) and registers
+    /// it.
+    pub fn open_database(&self, name: &str, dir: &Path, cfg: DbConfig) -> DbResult<Database> {
+        let mut dbs = self.databases.write();
+        if dbs.contains_key(name) {
+            return Err(DbError::Conflict(format!("database '{name}' already open")));
+        }
+        let db = Database::open(dir, cfg)?;
+        dbs.insert(name.to_string(), db.clone());
+        Ok(db)
+    }
+
+    /// A registered database by name.
+    pub fn database(&self, name: &str) -> DbResult<Database> {
+        self.databases
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NotFound(format!("database '{name}'")))
+    }
+
+    /// Opens a session on a registered database — the governor
+    /// "establishes the direct connection between it and the client".
+    pub fn connect(&self, name: &str) -> DbResult<Session> {
+        Ok(self.database(name)?.session())
+    }
+
+    /// Unregisters a database (it keeps running for existing handles).
+    pub fn shutdown_database(&self, name: &str) -> DbResult<()> {
+        self.databases
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::NotFound(format!("database '{name}'")))
+    }
+
+    /// Names of the registered databases.
+    pub fn database_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.databases.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}

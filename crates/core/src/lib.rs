@@ -1,0 +1,47 @@
+//! # Sedna — a native XML database management system
+//!
+//! A from-scratch Rust reproduction of *"Sedna: Native XML Database
+//! Management System (Internals Overview)"* (SIGMOD 2010). This crate is
+//! the system façade of Figure 1:
+//!
+//! * the [`Governor`] — "the control center of the system: it keeps track
+//!   of all databases and transactions running in the system";
+//! * [`Database`] — the per-database manager pairing the buffer manager
+//!   (`sedna-sas`) with the transaction manager (`sedna-txn`), plus WAL
+//!   durability, checkpoints, two-step recovery, and hot backup
+//!   (`sedna-wal`);
+//! * [`Session`] — the connection component: it executes statements
+//!   through the parser → static analyser → optimizing rewriter →
+//!   executor pipeline (`sedna-xquery`) within transactions.
+//!
+//! ```no_run
+//! use sedna::{Database, DbConfig};
+//!
+//! let db = Database::create(std::path::Path::new("/tmp/mydb"), DbConfig::default()).unwrap();
+//! let mut session = db.session();
+//! session.execute("CREATE DOCUMENT 'library'").unwrap();
+//! session.load_xml("library", "<library><book><title>Foundations</title></book></library>").unwrap();
+//! let titles = session.query("doc('library')//title/text()").unwrap();
+//! assert_eq!(titles, "Foundations");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod config;
+mod database;
+mod error;
+mod governor;
+mod session;
+
+pub use catalog::{Catalog, DocData, IndexData, IndexMeta};
+pub use config::DbConfig;
+pub use database::Database;
+pub use error::{DbError, DbResult};
+pub use governor::Governor;
+pub use session::{ExecOutcome, Session};
+
+// Re-export the pieces users need to work with results and modes.
+pub use sedna_storage::ParentMode;
+pub use sedna_xquery::exec::ConstructMode;

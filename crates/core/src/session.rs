@@ -1,0 +1,1253 @@
+//! Sessions (the connection component of Figure 1) and transactions.
+//!
+//! "For each Sedna client, the governor creates an instance of the
+//! connection component [...] For each database transaction initiated by
+//! a client, the connection component creates an instance of the
+//! transaction component. The transaction component encapsulates
+//! components involved in query execution: parser, optimizer, and
+//! executor."
+//!
+//! A session executes statements either in auto-commit mode (each
+//! `execute` is its own transaction) or inside an explicit transaction
+//! ([`Session::begin_update`] / [`Session::begin_read_only`] …
+//! [`Session::commit`] / [`Session::rollback`]).
+//!
+//! Commit protocol (WAL, §6.4): the transaction's working pages are
+//! logged as full after-images, page frees and catalog deltas follow,
+//! then the commit record; the log is forced before locks are released.
+//! Rollback needs no undo log — working page versions are simply
+//! discarded (§6.1) and the in-memory catalog entries are restored from
+//! the transaction's undo copies.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use sedna_sas::{Vas, View, XPtr};
+use sedna_schema::NodeKind;
+use sedna_storage::{build, indirection, NodeRef};
+use sedna_txn::{LockMode, TxnHandle};
+use sedna_wal::WalRecord;
+use sedna_xquery::ast::{DdlStmt, Expr, PathStart, Statement, StatementKind};
+use sedna_xquery::exec::{Database as QueryView, DocEntry, ExecStats, Executor, IndexEntry};
+use sedna_xquery::{compile, update};
+
+use crate::catalog::{self, Catalog, DocData, IndexData, IndexMeta};
+use crate::database::DbInner;
+use crate::error::{DbError, DbResult};
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// A query's serialized result sequence.
+    Results(String),
+    /// An update's affected-node count.
+    Updated(usize),
+    /// A DDL statement completed.
+    Done,
+}
+
+impl ExecOutcome {
+    /// The serialized results (empty string for non-queries).
+    pub fn into_string(self) -> String {
+        match self {
+            ExecOutcome::Results(s) => s,
+            ExecOutcome::Updated(n) => n.to_string(),
+            ExecOutcome::Done => String::new(),
+        }
+    }
+}
+
+enum TxnState {
+    ReadOnly {
+        handle: TxnHandle,
+        /// Catalog snapshot taken at begin — the transaction-consistent
+        /// metadata matching the pinned page snapshot.
+        snapshot: Catalog,
+    },
+    Update {
+        handle: TxnHandle,
+        /// Original catalog entries of touched objects (None = created by
+        /// this transaction), for in-memory rollback.
+        undo_docs: HashMap<String, Option<DocData>>,
+        undo_indexes: HashMap<String, Option<IndexData>>,
+        /// Keys needing CatalogPut at commit.
+        touched: HashSet<String>,
+        /// Keys needing CatalogDrop at commit.
+        dropped: HashSet<String>,
+    },
+}
+
+/// A client session.
+pub struct Session {
+    db: Arc<DbInner>,
+    vas: Vas,
+    txn: Option<TxnState>,
+    /// Execution statistics of the last query.
+    pub last_stats: ExecStats,
+}
+
+impl Session {
+    pub(crate) fn new(db: Arc<DbInner>) -> Session {
+        let vas = db.sas.session();
+        Session {
+            db,
+            vas,
+            txn: None,
+            last_stats: ExecStats::default(),
+        }
+    }
+
+    // ==============================================================
+    // Transaction control
+    // ==============================================================
+
+    /// Begins an explicit update transaction.
+    pub fn begin_update(&mut self) -> DbResult<()> {
+        if self.txn.is_some() {
+            return Err(DbError::Conflict("a transaction is already active".into()));
+        }
+        self.db.gate.enter_shared();
+        let handle = self.db.txns.begin_update();
+        self.vas.begin(handle.view(), handle.token());
+        {
+            let mut wal = self.db.wal.lock();
+            wal.append(&WalRecord::Begin { txn: handle.id.0 })?;
+        }
+        self.txn = Some(TxnState::Update {
+            handle,
+            undo_docs: HashMap::new(),
+            undo_indexes: HashMap::new(),
+            touched: HashSet::new(),
+            dropped: HashSet::new(),
+        });
+        Ok(())
+    }
+
+    /// Begins an explicit read-only transaction (§6.3): it pins the
+    /// current snapshot and takes **no** document locks — "reading a
+    /// snapshot allows non-blocking processing for read-only
+    /// transactions".
+    pub fn begin_read_only(&mut self) -> DbResult<()> {
+        if self.txn.is_some() {
+            return Err(DbError::Conflict("a transaction is already active".into()));
+        }
+        let handle = self.db.txns.begin_read_only();
+        self.vas.begin(handle.view(), None);
+        let snapshot = self.db.catalog.read().clone();
+        self.txn = Some(TxnState::ReadOnly { handle, snapshot });
+        Ok(())
+    }
+
+    /// Commits the active transaction.
+    pub fn commit(&mut self) -> DbResult<()> {
+        match self.txn.take() {
+            None => Err(DbError::Conflict("no active transaction".into())),
+            Some(TxnState::ReadOnly { handle, .. }) => {
+                self.db.txns.commit(&handle);
+                self.vas.begin(View::LATEST, None);
+                Ok(())
+            }
+            Some(TxnState::Update {
+                handle,
+                touched,
+                dropped,
+                ..
+            }) => {
+                let result = self.commit_update(&handle, &touched, &dropped);
+                self.db.gate.exit_shared();
+                self.vas.begin(View::LATEST, None);
+                result
+            }
+        }
+    }
+
+    fn commit_update(
+        &mut self,
+        handle: &TxnHandle,
+        touched: &HashSet<String>,
+        dropped: &HashSet<String>,
+    ) -> DbResult<()> {
+        let versions = &self.db.txns.versions;
+        let txn_id = handle.id;
+        {
+            let mut wal = self.db.wal.lock();
+            // 1. Page after-images.
+            for page in versions.working_pages(txn_id) {
+                let image = {
+                    let guard = self.vas.read(page)?;
+                    guard.to_vec()
+                };
+                wal.append(&WalRecord::PageImage {
+                    txn: txn_id.0,
+                    page,
+                    image,
+                })?;
+            }
+            // 2. Page frees.
+            for page in versions.pending_frees(txn_id) {
+                wal.append(&WalRecord::PageFree {
+                    txn: txn_id.0,
+                    page,
+                })?;
+            }
+            // 3. Catalog deltas.
+            let catalog = self.db.catalog.read();
+            for key in touched {
+                if dropped.contains(key) {
+                    continue;
+                }
+                let payload = if let Some(name) = key.strip_prefix("doc:") {
+                    catalog::doc_payload(catalog.doc(name)?)
+                } else if let Some(name) = key.strip_prefix("index:") {
+                    let idx = catalog
+                        .indexes
+                        .get(name)
+                        .ok_or_else(|| DbError::NotFound(format!("index '{name}'")))?;
+                    catalog::index_payload(idx)
+                } else {
+                    continue;
+                };
+                wal.append(&WalRecord::CatalogPut {
+                    txn: txn_id.0,
+                    key: key.clone(),
+                    payload,
+                })?;
+            }
+            for key in dropped {
+                wal.append(&WalRecord::CatalogDrop {
+                    txn: txn_id.0,
+                    key: key.clone(),
+                })?;
+            }
+            // 4. Make the versions current, then force the commit record.
+            let ts = versions.commit(txn_id);
+            wal.append(&WalRecord::Commit { txn: txn_id.0, ts })?;
+            wal.flush()?;
+        }
+        // 5. Strict 2PL: release everything only now.
+        self.db.txns.locks.release_all(txn_id);
+        Ok(())
+    }
+
+    /// Rolls back the active transaction. "If it is rolled back, all its
+    /// versions are simply discarded."
+    pub fn rollback(&mut self) -> DbResult<()> {
+        match self.txn.take() {
+            None => Err(DbError::Conflict("no active transaction".into())),
+            Some(TxnState::ReadOnly { handle, .. }) => {
+                self.db.txns.abort(&handle);
+                self.vas.begin(View::LATEST, None);
+                Ok(())
+            }
+            Some(TxnState::Update {
+                handle,
+                undo_docs,
+                undo_indexes,
+                ..
+            }) => {
+                // Restore catalog entries.
+                {
+                    let mut catalog = self.db.catalog.write();
+                    for (name, prev) in undo_docs {
+                        match prev {
+                            Some(d) => {
+                                catalog.docs.insert(name, d);
+                            }
+                            None => {
+                                catalog.docs.remove(&name);
+                            }
+                        }
+                    }
+                    for (name, prev) in undo_indexes {
+                        match prev {
+                            Some(d) => {
+                                catalog.indexes.insert(name, d);
+                            }
+                            None => {
+                                catalog.indexes.remove(&name);
+                            }
+                        }
+                    }
+                }
+                {
+                    let mut wal = self.db.wal.lock();
+                    let _ = wal.append(&WalRecord::Abort { txn: handle.id.0 });
+                }
+                let fresh = self.db.txns.abort(&handle);
+                for page in fresh {
+                    self.db.sas.allocator().free_page(page);
+                }
+                self.db.gate.exit_shared();
+                self.vas.begin(View::LATEST, None);
+                Ok(())
+            }
+        }
+    }
+
+    fn in_update_txn(&self) -> bool {
+        matches!(self.txn, Some(TxnState::Update { .. }))
+    }
+
+    // ==============================================================
+    // Statement execution
+    // ==============================================================
+
+    /// Executes one statement (query, update, or DDL). Outside an explicit
+    /// transaction, the statement runs in its own auto-committed
+    /// transaction (read-only for queries, updating otherwise).
+    pub fn execute(&mut self, text: &str) -> DbResult<ExecOutcome> {
+        let stmt = compile(text)?;
+        let needs_update = !matches!(stmt.kind, StatementKind::Query(_));
+        let implicit = self.txn.is_none();
+        if implicit {
+            if needs_update {
+                self.begin_update()?;
+            } else {
+                self.begin_read_only()?;
+            }
+        } else if needs_update && !self.in_update_txn() {
+            return Err(DbError::Conflict(
+                "updates are not allowed in a read-only transaction".into(),
+            ));
+        }
+        let result = self.execute_in_txn(&stmt);
+        if implicit {
+            match &result {
+                Ok(_) => self.commit()?,
+                Err(_) => {
+                    let _ = self.rollback();
+                }
+            }
+        }
+        result
+    }
+
+    /// Convenience: executes a query and returns the serialized results.
+    pub fn query(&mut self, text: &str) -> DbResult<String> {
+        Ok(self.execute(text)?.into_string())
+    }
+
+    fn execute_in_txn(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
+        match &stmt.kind {
+            StatementKind::Query(_) => {
+                let out = self.run_query(stmt)?;
+                Ok(ExecOutcome::Results(out))
+            }
+            StatementKind::Update(_) => {
+                let n = self.run_update(stmt)?;
+                Ok(ExecOutcome::Updated(n))
+            }
+            StatementKind::Ddl(ddl) => {
+                self.run_ddl(ddl.clone())?;
+                Ok(ExecOutcome::Done)
+            }
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Queries
+    // --------------------------------------------------------------
+
+    fn run_query(&mut self, stmt: &Statement) -> DbResult<String> {
+        // Assemble the view the executor reads: the transaction's catalog
+        // snapshot (read-only) or S-locked clones (updater).
+        let view_docs: Vec<(String, DocData)>;
+        let view_indexes: Vec<(String, IndexData)>;
+        match &self.txn {
+            Some(TxnState::ReadOnly { snapshot, .. }) => {
+                view_docs = snapshot
+                    .docs
+                    .iter()
+                    .map(|(n, d)| (n.clone(), d.clone()))
+                    .collect();
+                view_indexes = snapshot
+                    .indexes
+                    .iter()
+                    .map(|(n, d)| (n.clone(), d.clone()))
+                    .collect();
+            }
+            Some(TxnState::Update { handle, .. }) => {
+                let mut names = collect_doc_names(stmt);
+                let handle = handle.clone();
+                // Resolve ids under a short catalog guard, then acquire
+                // locks with NO catalog guard held (a committing writer
+                // needs catalog.write() while holding its X lock — holding
+                // the read guard across a lock wait would deadlock), then
+                // clone the locked documents.
+                let index_names = collect_index_names(stmt);
+                let ids: Vec<u64> = {
+                    let catalog = self.db.catalog.read();
+                    for iname in &index_names {
+                        if let Some(idx) = catalog.indexes.get(iname) {
+                            if !names.contains(&idx.meta.doc) {
+                                names.push(idx.meta.doc.clone());
+                            }
+                        }
+                    }
+                    names
+                        .iter()
+                        .map(|name| catalog.doc(name).map(|d| d.id))
+                        .collect::<DbResult<_>>()?
+                };
+                for &id in &ids {
+                    self.db.txns.locks.lock_document(handle.id, id, LockMode::S)?;
+                }
+                let catalog = self.db.catalog.read();
+                let mut docs = Vec::new();
+                for name in &names {
+                    docs.push((name.clone(), catalog.doc(name)?.clone()));
+                }
+                view_indexes = catalog
+                    .indexes
+                    .iter()
+                    .filter(|(_, i)| names.contains(&i.meta.doc))
+                    .map(|(n, d)| (n.clone(), d.clone()))
+                    .collect();
+                view_docs = docs;
+            }
+            None => return Err(DbError::Conflict("no active transaction".into())),
+        }
+        let view = QueryView {
+            vas: &self.vas,
+            docs: view_docs
+                .iter()
+                .map(|(name, d)| DocEntry {
+                    name: name.clone(),
+                    schema: &d.schema,
+                    doc: &d.storage,
+                })
+                .collect(),
+            indexes: view_indexes
+                .iter()
+                .map(|(name, i)| IndexEntry {
+                    name: name.clone(),
+                    doc: view_docs
+                        .iter()
+                        .position(|(n, _)| *n == i.meta.doc)
+                        .unwrap_or(usize::MAX),
+                    index: &i.tree,
+                })
+                .collect(),
+        };
+        let mut ex = Executor::new(&view, stmt, self.db.cfg.construct_mode);
+        let result = ex.run()?;
+        let out = ex.serialize_sequence(&result)?;
+        self.last_stats = ex.stats;
+        Ok(out)
+    }
+
+    // --------------------------------------------------------------
+    // Updates
+    // --------------------------------------------------------------
+
+    fn run_update(&mut self, stmt: &Statement) -> DbResult<usize> {
+        let names = collect_doc_names(stmt);
+        // Phase 1 (plan): against S-locked view; the target doc is then
+        // X-locked for phase 2.
+        let (doc_idx_names, plan_doc_name, plan) = {
+            let handle = self.current_update_handle()?;
+            // Ids under a short guard; lock waits without the guard.
+            let ids: Vec<u64> = {
+                let catalog = self.db.catalog.read();
+                names
+                    .iter()
+                    .map(|name| catalog.doc(name).map(|d| d.id))
+                    .collect::<DbResult<_>>()?
+            };
+            // Update statements take X locks upfront: acquiring S during
+            // planning and upgrading to X later deadlocks two writers on
+            // the same document (both hold S, both wait for X).
+            for &id in &ids {
+                self.db.txns.locks.lock_document(handle.id, id, LockMode::X)?;
+            }
+            let catalog = self.db.catalog.read();
+            let mut docs = Vec::new();
+            for name in &names {
+                docs.push((name.clone(), catalog.doc(name)?.clone()));
+            }
+            let view = QueryView {
+                vas: &self.vas,
+                docs: docs
+                    .iter()
+                    .map(|(name, d)| DocEntry {
+                        name: name.clone(),
+                        schema: &d.schema,
+                        doc: &d.storage,
+                    })
+                    .collect(),
+                indexes: Vec::new(),
+            };
+            let (doc_idx, plan) = update::plan_update(stmt, &view)?;
+            let plan_doc = docs[doc_idx].0.clone();
+            (docs.into_iter().map(|(n, _)| n).collect::<Vec<_>>(), plan_doc, plan)
+        };
+        let _ = doc_idx_names;
+
+        // X lock + undo copy for the target document.
+        let handle = self.current_update_handle()?;
+        let target_id = {
+            let catalog = self.db.catalog.read();
+            catalog.doc(&plan_doc_name)?.id
+        };
+        self.db
+            .txns
+            .locks
+            .lock_document(handle.id, target_id, LockMode::X)?;
+        self.save_doc_undo(&plan_doc_name)?;
+
+        // Index maintenance, phase A: entries leaving the index.
+        let index_names: Vec<String> = {
+            let catalog = self.db.catalog.read();
+            catalog.indexes_of(&plan_doc_name)
+        };
+        let mut removals: Vec<(String, Vec<(sedna_index::IndexKey, XPtr)>)> = Vec::new();
+        if !index_names.is_empty() {
+            let catalog = self.db.catalog.read();
+            let d = catalog.doc(&plan_doc_name)?;
+            for iname in &index_names {
+                let idx = &catalog.indexes[iname];
+                let mut entries = Vec::new();
+                match &plan {
+                    update::UpdatePlan::Delete { targets }
+                    | update::UpdatePlan::ReplaceValue { targets, .. } => {
+                        for &h in targets {
+                            let node =
+                                NodeRef(indirection::deref_handle(&self.vas, h).map_err(DbError::Storage)?);
+                            self.collect_affected_entries(
+                                &d.schema,
+                                &idx.meta,
+                                node,
+                                matches!(&plan, update::UpdatePlan::ReplaceValue { .. }),
+                                &mut entries,
+                            )?;
+                        }
+                    }
+                    update::UpdatePlan::Insert { .. } => {}
+                }
+                removals.push((iname.clone(), entries));
+            }
+        }
+
+        // Phase 2: apply.
+        let outcome = {
+            let mut catalog = self.db.catalog.write();
+            let d = catalog.doc_mut(&plan_doc_name)?;
+            update::execute_plan(&plan, &self.vas, &mut d.schema, &mut d.storage)?
+        };
+
+        // Index maintenance, phase B: apply removals, add new entries.
+        if !index_names.is_empty() {
+            // Collect additions against the post-update state.
+            let mut additions: Vec<(String, Vec<(sedna_index::IndexKey, XPtr)>)> = Vec::new();
+            {
+                let catalog = self.db.catalog.read();
+                let d = catalog.doc(&plan_doc_name)?;
+                for iname in &index_names {
+                    let idx = &catalog.indexes[iname];
+                    let mut entries = Vec::new();
+                    match &plan {
+                        update::UpdatePlan::Insert { .. } => {
+                            for &h in &outcome.inserted_roots {
+                                let node = NodeRef(
+                                    indirection::deref_handle(&self.vas, h).map_err(DbError::Storage)?,
+                                );
+                                self.collect_affected_entries(
+                                    &d.schema, &idx.meta, node, true, &mut entries,
+                                )?;
+                            }
+                        }
+                        update::UpdatePlan::ReplaceValue { targets, .. } => {
+                            for &h in targets {
+                                let node = NodeRef(
+                                    indirection::deref_handle(&self.vas, h).map_err(DbError::Storage)?,
+                                );
+                                self.collect_affected_entries(
+                                    &d.schema, &idx.meta, node, true, &mut entries,
+                                )?;
+                            }
+                        }
+                        update::UpdatePlan::Delete { .. } => {}
+                    }
+                    additions.push((iname.clone(), entries));
+                }
+            }
+            let mut catalog = self.db.catalog.write();
+            for (iname, entries) in removals {
+                let idx = catalog
+                    .indexes
+                    .get_mut(&iname)
+                    .ok_or_else(|| DbError::NotFound(format!("index '{iname}'")))?;
+                for (key, h) in entries {
+                    idx.tree.remove(&self.vas, &key, h)?;
+                }
+            }
+            for (iname, entries) in additions {
+                let idx = catalog
+                    .indexes
+                    .get_mut(&iname)
+                    .ok_or_else(|| DbError::NotFound(format!("index '{iname}'")))?;
+                for (key, h) in entries {
+                    idx.tree.insert(&self.vas, &key, h)?;
+                }
+            }
+            drop(catalog);
+            for iname in &index_names {
+                self.mark_touched(&format!("index:{iname}"), TouchKind::Index)?;
+            }
+        }
+
+        self.mark_touched(&format!("doc:{plan_doc_name}"), TouchKind::Doc)?;
+        Ok(outcome.affected)
+    }
+
+    /// Collects `(key, handle)` entries for index `meta` among `root` and
+    /// its descendants (and, when `include_ancestors`, the indexed
+    /// ancestors whose BY path may pass through the changed node).
+    fn collect_affected_entries(
+        &self,
+        schema: &sedna_schema::SchemaTree,
+        meta: &IndexMeta,
+        root: NodeRef,
+        include_ancestors: bool,
+        out: &mut Vec<(sedna_index::IndexKey, XPtr)>,
+    ) -> DbResult<()> {
+        let on_sids: HashSet<_> = catalog::on_schema_nodes(schema, meta).into_iter().collect();
+        // The subtree.
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let sid = n.schema(&self.vas).map_err(DbError::Storage)?;
+            if on_sids.contains(&sid) {
+                if let Some(raw) =
+                    catalog::eval_by_path(&self.vas, schema, n, &meta.by)?
+                {
+                    if let Some(key) = catalog::make_key(meta.key_type, &raw) {
+                        out.push((key, n.handle(&self.vas).map_err(DbError::Storage)?));
+                    }
+                }
+            }
+            if matches!(
+                n.kind(&self.vas).map_err(DbError::Storage)?,
+                NodeKind::Element | NodeKind::Document
+            ) {
+                stack.extend(n.children(&self.vas).map_err(DbError::Storage)?);
+            }
+        }
+        // Ancestors (value changes can affect an ancestor's key).
+        if include_ancestors {
+            let mode = {
+                let catalog = self.db.catalog.read();
+                catalog.doc(&meta.doc)?.storage.mode
+            };
+            let mut cur = root.parent(&self.vas, mode).map_err(DbError::Storage)?;
+            while let Some(n) = cur {
+                let sid = n.schema(&self.vas).map_err(DbError::Storage)?;
+                if on_sids.contains(&sid) {
+                    if let Some(raw) = catalog::eval_by_path(&self.vas, schema, n, &meta.by)? {
+                        if let Some(key) = catalog::make_key(meta.key_type, &raw) {
+                            out.push((key, n.handle(&self.vas).map_err(DbError::Storage)?));
+                        }
+                    }
+                }
+                cur = n.parent(&self.vas, mode).map_err(DbError::Storage)?;
+            }
+        }
+        Ok(())
+    }
+
+    // --------------------------------------------------------------
+    // DDL
+    // --------------------------------------------------------------
+
+    fn run_ddl(&mut self, ddl: DdlStmt) -> DbResult<()> {
+        let handle = self.current_update_handle()?;
+        match ddl {
+            DdlStmt::CreateDocument(name) => {
+                {
+                    let catalog = self.db.catalog.read();
+                    if catalog.docs.contains_key(&name) {
+                        return Err(DbError::Conflict(format!(
+                            "document '{name}' already exists"
+                        )));
+                    }
+                }
+                // New object: X database intention is implied by doc lock.
+                let mut catalog = self.db.catalog.write();
+                let id = catalog.next_doc_id;
+                catalog.next_doc_id += 1;
+                drop(catalog);
+                self.db
+                    .txns
+                    .locks
+                    .lock_document(handle.id, id, LockMode::X)?;
+                let mut schema = sedna_schema::SchemaTree::new();
+                let storage = sedna_storage::DocStorage::create(
+                    &self.vas,
+                    &mut schema,
+                    self.db.cfg.parent_mode,
+                )?;
+                let mut catalog = self.db.catalog.write();
+                catalog.docs.insert(
+                    name.clone(),
+                    DocData {
+                        id,
+                        schema,
+                        storage,
+                    },
+                );
+                drop(catalog);
+                self.record_undo_doc(&name, None);
+                self.mark_touched(&format!("doc:{name}"), TouchKind::Doc)?;
+                Ok(())
+            }
+            DdlStmt::DropDocument(name) => {
+                let id = {
+                    let catalog = self.db.catalog.read();
+                    catalog.doc(&name)?.id
+                };
+                self.db
+                    .txns
+                    .locks
+                    .lock_document(handle.id, id, LockMode::X)?;
+                self.save_doc_undo(&name)?;
+                // Free every page of the document.
+                let data = {
+                    let mut catalog = self.db.catalog.write();
+                    catalog
+                        .docs
+                        .remove(&name)
+                        .ok_or_else(|| DbError::NotFound(format!("document '{name}'")))?
+                };
+                free_document_pages(&self.vas, &data)?;
+                // Dependent indexes go too.
+                let dependent: Vec<String> = {
+                    let catalog = self.db.catalog.read();
+                    catalog.indexes_of(&name)
+                };
+                for iname in dependent {
+                    self.drop_index_internal(&iname)?;
+                }
+                self.mark_dropped(&format!("doc:{name}"))?;
+                Ok(())
+            }
+            DdlStmt::CreateIndex {
+                name,
+                doc,
+                on,
+                by,
+                key_type,
+            } => {
+                {
+                    let catalog = self.db.catalog.read();
+                    if catalog.indexes.contains_key(&name) {
+                        return Err(DbError::Conflict(format!("index '{name}' already exists")));
+                    }
+                }
+                let doc_id = {
+                    let catalog = self.db.catalog.read();
+                    catalog.doc(&doc)?.id
+                };
+                self.db
+                    .txns
+                    .locks
+                    .lock_document(handle.id, doc_id, LockMode::S)?;
+                let meta = IndexMeta {
+                    name: name.clone(),
+                    doc: doc.clone(),
+                    on,
+                    by,
+                    key_type,
+                };
+                // Full build over the ON schema nodes' block lists.
+                let mut tree = sedna_index::BTreeIndex::create(&self.vas)?;
+                {
+                    let catalog = self.db.catalog.read();
+                    let d = catalog.doc(&doc)?;
+                    let on_sids = catalog::on_schema_nodes(&d.schema, &meta);
+                    for sid in on_sids {
+                        for node in scan_schema_list(&self.vas, &d.schema, sid)? {
+                            if let Some(raw) =
+                                catalog::eval_by_path(&self.vas, &d.schema, node, &meta.by)?
+                            {
+                                if let Some(key) = catalog::make_key(meta.key_type, &raw) {
+                                    let h = node.handle(&self.vas).map_err(DbError::Storage)?;
+                                    tree.insert(&self.vas, &key, h)?;
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut catalog = self.db.catalog.write();
+                catalog
+                    .indexes
+                    .insert(name.clone(), IndexData { meta, tree });
+                drop(catalog);
+                self.record_undo_index(&name, None);
+                self.mark_touched(&format!("index:{name}"), TouchKind::Index)?;
+                Ok(())
+            }
+            DdlStmt::DropIndex(name) => self.drop_index_internal(&name),
+        }
+    }
+
+    fn drop_index_internal(&mut self, name: &str) -> DbResult<()> {
+        let data = {
+            let catalog = self.db.catalog.read();
+            catalog
+                .indexes
+                .get(name)
+                .cloned()
+                .ok_or_else(|| DbError::NotFound(format!("index '{name}'")))?
+        };
+        self.record_undo_index(name, Some(data.clone()));
+        data.tree.destroy(&self.vas)?;
+        let mut catalog = self.db.catalog.write();
+        catalog.indexes.remove(name);
+        drop(catalog);
+        self.mark_dropped(&format!("index:{name}"))?;
+        Ok(())
+    }
+
+    // --------------------------------------------------------------
+    // Convenience
+    // --------------------------------------------------------------
+
+    /// Bulk-loads XML text into an existing (empty) document.
+    pub fn load_xml(&mut self, doc_name: &str, xml: &str) -> DbResult<u64> {
+        let implicit = self.txn.is_none();
+        if implicit {
+            self.begin_update()?;
+        }
+        let result = (|| -> DbResult<u64> {
+            let handle = self.current_update_handle()?;
+            let id = {
+                let catalog = self.db.catalog.read();
+                catalog.doc(doc_name)?.id
+            };
+            self.db
+                .txns
+                .locks
+                .lock_document(handle.id, id, LockMode::X)?;
+            self.save_doc_undo(doc_name)?;
+            let events = sedna_xml::XmlReader::new(xml)
+                .collect_events()
+                .map_err(|e| DbError::Conflict(format!("XML parse error: {e}")))?;
+            let n = {
+                let mut catalog = self.db.catalog.write();
+                let d = catalog.doc_mut(doc_name)?;
+                if d.storage
+                    .doc_node(&self.vas)
+                    .map_err(DbError::Storage)?
+                    .first_child(&self.vas)
+                    .map_err(DbError::Storage)?
+                    .is_some()
+                {
+                    return Err(DbError::Conflict(format!(
+                        "document '{doc_name}' is not empty"
+                    )));
+                }
+                build::build_from_events(&self.vas, &mut d.schema, &mut d.storage, &events)?
+            };
+            self.mark_touched(&format!("doc:{doc_name}"), TouchKind::Doc)?;
+            Ok(n)
+        })();
+        if implicit {
+            match &result {
+                Ok(_) => self.commit()?,
+                Err(_) => {
+                    let _ = self.rollback();
+                }
+            }
+        }
+        result
+    }
+
+    // --------------------------------------------------------------
+    // Internal bookkeeping
+    // --------------------------------------------------------------
+
+    fn current_update_handle(&self) -> DbResult<TxnHandle> {
+        match &self.txn {
+            Some(TxnState::Update { handle, .. }) => Ok(handle.clone()),
+            _ => Err(DbError::Conflict("not in an update transaction".into())),
+        }
+    }
+
+    fn save_doc_undo(&mut self, name: &str) -> DbResult<()> {
+        let prev = {
+            let catalog = self.db.catalog.read();
+            catalog.docs.get(name).cloned()
+        };
+        self.record_undo_doc(name, prev);
+        Ok(())
+    }
+
+    fn record_undo_doc(&mut self, name: &str, prev: Option<DocData>) {
+        if let Some(TxnState::Update { undo_docs, .. }) = &mut self.txn {
+            undo_docs.entry(name.to_string()).or_insert(prev);
+        }
+    }
+
+    fn record_undo_index(&mut self, name: &str, prev: Option<IndexData>) {
+        if let Some(TxnState::Update { undo_indexes, .. }) = &mut self.txn {
+            undo_indexes.entry(name.to_string()).or_insert(prev);
+        }
+    }
+
+    fn mark_touched(&mut self, key: &str, _kind: TouchKind) -> DbResult<()> {
+        if let Some(TxnState::Update { touched, .. }) = &mut self.txn {
+            touched.insert(key.to_string());
+            Ok(())
+        } else {
+            Err(DbError::Conflict("not in an update transaction".into()))
+        }
+    }
+
+    fn mark_dropped(&mut self, key: &str) -> DbResult<()> {
+        if let Some(TxnState::Update {
+            touched, dropped, ..
+        }) = &mut self.txn
+        {
+            touched.remove(key);
+            dropped.insert(key.to_string());
+            Ok(())
+        } else {
+            Err(DbError::Conflict("not in an update transaction".into()))
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.txn.is_some() {
+            let _ = self.rollback();
+        }
+    }
+}
+
+enum TouchKind {
+    Doc,
+    Index,
+}
+
+/// Index names statically referenced via `index-scan`/`index-scan-between`
+/// literals (their covering documents must enter the S2PL view too).
+fn collect_index_names(stmt: &Statement) -> Vec<String> {
+    let mut names = HashSet::new();
+    fn walk(e: &Expr, names: &mut HashSet<String>) {
+        if let Expr::FnCall { name, args, .. } = e {
+            if (name == "index-scan" || name == "index-scan-between") && !args.is_empty() {
+                if let Expr::Literal(sedna_xquery::value::Atom::String(n)) = &args[0] {
+                    names.insert(n.clone());
+                }
+            }
+        }
+        visit_expr_children(e, &mut |c| walk(c, names));
+    }
+    visit_statement(stmt, &mut |e| walk(e, &mut names));
+    let mut out: Vec<String> = names.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Calls `f` on every top-level expression of the statement.
+fn visit_statement(stmt: &Statement, f: &mut impl FnMut(&Expr)) {
+    for v in &stmt.vars {
+        f(&v.init);
+    }
+    for func in &stmt.functions {
+        f(&func.body);
+    }
+    match &stmt.kind {
+        StatementKind::Query(e) => f(e),
+        StatementKind::Update(u) => match u {
+            sedna_xquery::ast::UpdateStmt::Insert { what, target, .. } => {
+                f(what);
+                f(target);
+            }
+            sedna_xquery::ast::UpdateStmt::Delete { target } => f(target),
+            sedna_xquery::ast::UpdateStmt::ReplaceValue { target, with } => {
+                f(target);
+                f(with);
+            }
+        },
+        StatementKind::Ddl(_) => {}
+    }
+}
+
+/// Calls `f` on each direct child expression of `e`.
+fn visit_expr_children(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    match e {
+        Expr::Sequence(items) => items.iter().for_each(&mut *f),
+        Expr::Flwor {
+            clauses,
+            where_,
+            order,
+            ret,
+        } => {
+            for c in clauses {
+                match c {
+                    sedna_xquery::ast::FlworClause::For { expr, .. }
+                    | sedna_xquery::ast::FlworClause::Let { expr, .. } => f(expr),
+                }
+            }
+            if let Some(w) = where_ {
+                f(w);
+            }
+            for o in order {
+                f(&o.key);
+            }
+            f(ret);
+        }
+        Expr::Quantified {
+            within, satisfies, ..
+        } => {
+            f(within);
+            f(satisfies);
+        }
+        Expr::If { cond, then, els } => {
+            f(cond);
+            f(then);
+            f(els);
+        }
+        Expr::Or(a, b)
+        | Expr::And(a, b)
+        | Expr::GeneralCmp(_, a, b)
+        | Expr::ValueCmp(_, a, b)
+        | Expr::Arith(_, a, b)
+        | Expr::Range(a, b)
+        | Expr::Union(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Except(a, b) => {
+            f(a);
+            f(b);
+        }
+        Expr::Neg(a) | Expr::Ddo(a) | Expr::TextCtor(a) => f(a),
+        Expr::Cached { expr, .. } => f(expr),
+        Expr::Path { start, steps } => {
+            if let PathStart::Expr(inner) = start {
+                f(inner);
+            }
+            for st in steps {
+                st.predicates.iter().for_each(&mut *f);
+            }
+        }
+        Expr::Filter { input, predicates } => {
+            f(input);
+            predicates.iter().for_each(&mut *f);
+        }
+        Expr::FnCall { args, .. } => args.iter().for_each(&mut *f),
+        Expr::ElementCtor {
+            attrs, children, ..
+        } => {
+            for (_, parts) in attrs {
+                parts.iter().for_each(&mut *f);
+            }
+            children.iter().for_each(&mut *f);
+        }
+        _ => {}
+    }
+}
+
+/// Document names statically referenced by a statement (`doc('name')`
+/// path starts and literal `doc()` calls).
+fn collect_doc_names(stmt: &Statement) -> Vec<String> {
+    let mut names = HashSet::new();
+    fn walk(e: &Expr, names: &mut HashSet<String>) {
+        match e {
+            Expr::Path { start, steps } => {
+                if let PathStart::Doc(d) = start {
+                    names.insert(d.clone());
+                }
+                if let PathStart::Expr(inner) = start {
+                    walk(inner, names);
+                }
+                for s in steps {
+                    for p in &s.predicates {
+                        walk(p, names);
+                    }
+                }
+            }
+            Expr::StructuralPath { doc, .. } => {
+                names.insert(doc.clone());
+            }
+            Expr::FnCall { name, args, .. } => {
+                if name == "doc" || name == "document" {
+                    if let Some(Expr::Literal(sedna_xquery::value::Atom::String(d))) = args.first()
+                    {
+                        names.insert(d.clone());
+                    }
+                }
+                for a in args {
+                    walk(a, names);
+                }
+            }
+            Expr::Sequence(items) => items.iter().for_each(|i| walk(i, names)),
+            Expr::Flwor {
+                clauses,
+                where_,
+                order,
+                ret,
+            } => {
+                for c in clauses {
+                    match c {
+                        sedna_xquery::ast::FlworClause::For { expr, .. }
+                        | sedna_xquery::ast::FlworClause::Let { expr, .. } => walk(expr, names),
+                    }
+                }
+                if let Some(w) = where_ {
+                    walk(w, names);
+                }
+                for o in order {
+                    walk(&o.key, names);
+                }
+                walk(ret, names);
+            }
+            Expr::Quantified {
+                within, satisfies, ..
+            } => {
+                walk(within, names);
+                walk(satisfies, names);
+            }
+            Expr::If { cond, then, els } => {
+                walk(cond, names);
+                walk(then, names);
+                walk(els, names);
+            }
+            Expr::Or(a, b)
+            | Expr::And(a, b)
+            | Expr::GeneralCmp(_, a, b)
+            | Expr::ValueCmp(_, a, b)
+            | Expr::Arith(_, a, b)
+            | Expr::Range(a, b)
+            | Expr::Union(a, b)
+            | Expr::Intersect(a, b)
+            | Expr::Except(a, b) => {
+                walk(a, names);
+                walk(b, names);
+            }
+            Expr::Neg(a) | Expr::Ddo(a) | Expr::TextCtor(a) => walk(a, names),
+            Expr::Cached { expr, .. } => walk(expr, names),
+            Expr::Filter { input, predicates } => {
+                walk(input, names);
+                predicates.iter().for_each(|p| walk(p, names));
+            }
+            Expr::ElementCtor {
+                attrs, children, ..
+            } => {
+                for (_, parts) in attrs {
+                    parts.iter().for_each(|p| walk(p, names));
+                }
+                children.iter().for_each(|c| walk(c, names));
+            }
+            _ => {}
+        }
+    }
+    for v in &stmt.vars {
+        walk(&v.init, &mut names);
+    }
+    for f in &stmt.functions {
+        walk(&f.body, &mut names);
+    }
+    match &stmt.kind {
+        StatementKind::Query(e) => walk(e, &mut names),
+        StatementKind::Update(u) => match u {
+            sedna_xquery::ast::UpdateStmt::Insert { what, target, .. } => {
+                walk(what, &mut names);
+                walk(target, &mut names);
+            }
+            sedna_xquery::ast::UpdateStmt::Delete { target } => walk(target, &mut names),
+            sedna_xquery::ast::UpdateStmt::ReplaceValue { target, with } => {
+                walk(target, &mut names);
+                walk(with, &mut names);
+            }
+        },
+        StatementKind::Ddl(d) => {
+            if let DdlStmt::CreateIndex { doc, .. } = d {
+                names.insert(doc.clone());
+            }
+        }
+    }
+    let mut out: Vec<String> = names.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Scans one schema node's block list into node refs.
+fn scan_schema_list(
+    vas: &Vas,
+    schema: &sedna_schema::SchemaTree,
+    sid: sedna_schema::SchemaNodeId,
+) -> DbResult<Vec<NodeRef>> {
+    use sedna_storage::{block, descriptor, layout};
+    let mut out = Vec::new();
+    let mut blk = schema.node(sid).first_block;
+    while !blk.is_null() {
+        let (mut slot, dsize, next, count) = {
+            let page = vas.read(blk)?;
+            (
+                block::first_desc(&page),
+                block::block_desc_size(&page),
+                block::next_block(&page),
+                block::desc_count(&page),
+            )
+        };
+        let mut walked = 0u16;
+        while slot != layout::NO_SLOT {
+            if walked > count {
+                return Err(DbError::Storage(sedna_storage::StorageError::Corrupt(
+                    format!("corrupt in-block chain in {blk}"),
+                )));
+            }
+            walked += 1;
+            let off = block::desc_offset(slot, dsize);
+            out.push(NodeRef(blk.offset(off as u32)));
+            let page = vas.read(blk)?;
+            slot = descriptor::next_in_block(&page, off);
+        }
+        blk = next;
+    }
+    Ok(out)
+}
+
+/// Frees every page belonging to a document: all schema-node block lists,
+/// the overflow indirection chain, and the text chain.
+fn free_document_pages(vas: &Vas, data: &DocData) -> DbResult<()> {
+    use sedna_storage::block;
+    let mut pages = Vec::new();
+    for sid in data.schema.ids() {
+        let mut blk = data.schema.node(sid).first_block;
+        while !blk.is_null() {
+            let next = {
+                let page = vas.read(blk)?;
+                block::next_block(&page)
+            };
+            pages.push(blk);
+            blk = next;
+        }
+    }
+    let mut blk = data.storage.overflow_indir;
+    while !blk.is_null() {
+        let next = {
+            let page = vas.read(blk)?;
+            block::next_block(&page)
+        };
+        pages.push(blk);
+        blk = next;
+    }
+    // Text chains (one per schema group).
+    for &head in data.storage.text.heads.values() {
+        let mut blk = head;
+        while !blk.is_null() {
+            let next = {
+                let page = vas.read(blk)?;
+                sedna_sas::XPtr::read_at(&page, sedna_storage::layout::TH_NEXT)
+            };
+            pages.push(blk);
+            blk = next;
+        }
+    }
+    for p in pages {
+        vas.free_page(p)?;
+    }
+    Ok(())
+}

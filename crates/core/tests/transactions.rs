@@ -1,0 +1,159 @@
+//! Transaction-semantics edge cases: DDL under rollback, index
+//! maintenance atomicity, construct-mode configuration, and statistics
+//! exposure.
+
+use sedna::{ConstructMode, Database, DbConfig};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedna-txn2-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn create_document_rolls_back() {
+    let dir = tmpdir("ddl-rollback");
+    let db = Database::create(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+    s.begin_update().unwrap();
+    s.execute("CREATE DOCUMENT 'temp'").unwrap();
+    s.load_xml("temp", "<r>data</r>").unwrap();
+    assert_eq!(s.query("string(doc('temp')/r)").unwrap(), "data");
+    s.rollback().unwrap();
+    // The document is gone from the catalog.
+    assert!(db.document_names().is_empty());
+    assert!(s.query("doc('temp')/r").is_err());
+    // And can be re-created cleanly.
+    s.execute("CREATE DOCUMENT 'temp'").unwrap();
+    s.load_xml("temp", "<r>second</r>").unwrap();
+    assert_eq!(s.query("string(doc('temp')/r)").unwrap(), "second");
+    drop(s);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn drop_document_rolls_back() {
+    let dir = tmpdir("drop-rollback");
+    let db = Database::create(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+    s.execute("CREATE DOCUMENT 'keep'").unwrap();
+    s.load_xml("keep", "<r><x>7</x></r>").unwrap();
+    s.begin_update().unwrap();
+    s.execute("DROP DOCUMENT 'keep'").unwrap();
+    assert!(s.query("doc('keep')/r").is_err());
+    s.rollback().unwrap();
+    // Back, with content intact (pages freed under the aborted txn were
+    // never reclaimed for other use).
+    assert_eq!(db.document_names(), ["keep"]);
+    assert_eq!(s.query("string(doc('keep')//x)").unwrap(), "7");
+    drop(s);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn create_index_rolls_back() {
+    let dir = tmpdir("index-rollback");
+    let db = Database::create(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+    s.execute("CREATE DOCUMENT 'd'").unwrap();
+    s.load_xml("d", "<r><e><k>alpha</k></e><e><k>beta</k></e></r>").unwrap();
+    s.begin_update().unwrap();
+    s.execute("CREATE INDEX 'byk' ON doc('d')/r/e BY k AS xs:string").unwrap();
+    assert_eq!(s.query("count(index-scan('byk', 'alpha'))").unwrap(), "1");
+    s.rollback().unwrap();
+    assert!(db.index_names().is_empty());
+    assert!(s.query("index-scan('byk', 'alpha')").is_err());
+    drop(s);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn index_updates_roll_back_with_the_data() {
+    let dir = tmpdir("index-atomic");
+    let db = Database::create(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+    s.execute("CREATE DOCUMENT 'd'").unwrap();
+    s.load_xml("d", "<r><e><k>alpha</k></e></r>").unwrap();
+    s.execute("CREATE INDEX 'byk' ON doc('d')/r/e BY k AS xs:string").unwrap();
+    // Insert + rollback: neither the node nor its index entry survive.
+    s.begin_update().unwrap();
+    s.execute("UPDATE insert <e><k>gamma</k></e> into doc('d')/r").unwrap();
+    assert_eq!(s.query("count(index-scan('byk', 'gamma'))").unwrap(), "1");
+    s.rollback().unwrap();
+    assert_eq!(s.query("count(index-scan('byk', 'gamma'))").unwrap(), "0");
+    assert_eq!(s.query("count(doc('d')//e)").unwrap(), "1");
+    // Delete + rollback: the entry is back.
+    s.begin_update().unwrap();
+    s.execute("UPDATE delete doc('d')//e[k = 'alpha']").unwrap();
+    assert_eq!(s.query("count(index-scan('byk', 'alpha'))").unwrap(), "0");
+    s.rollback().unwrap();
+    assert_eq!(s.query("count(index-scan('byk', 'alpha'))").unwrap(), "1");
+    drop(s);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn construct_mode_is_configurable() {
+    for mode in [
+        ConstructMode::DeepCopy,
+        ConstructMode::Embedded,
+        ConstructMode::Virtual,
+    ] {
+        let dir = tmpdir(&format!("mode-{mode:?}"));
+        let cfg = DbConfig {
+            construct_mode: mode,
+            ..DbConfig::small()
+        };
+        let db = Database::create(&dir, cfg).unwrap();
+        let mut s = db.session();
+        s.execute("CREATE DOCUMENT 'd'").unwrap();
+        s.load_xml("d", "<r><a>1</a><b>2</b></r>").unwrap();
+        // All modes produce identical serialized output.
+        assert_eq!(
+            s.query("<wrap>{doc('d')/r/a}</wrap>").unwrap(),
+            "<wrap><a>1</a></wrap>"
+        );
+        drop(s);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+#[test]
+fn session_exposes_exec_stats() {
+    let dir = tmpdir("stats");
+    let db = Database::create(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+    s.execute("CREATE DOCUMENT 'd'").unwrap();
+    s.load_xml("d", &sedna_workload::library(50, 3)).unwrap();
+    s.query("count(doc('d')//author)").unwrap();
+    assert!(s.last_stats.nodes_scanned > 0);
+    drop(s);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn user_function_queries_through_session() {
+    // Exercises inlining + execution through the full stack.
+    let dir = tmpdir("udf");
+    let db = Database::create(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+    s.execute("CREATE DOCUMENT 'd'").unwrap();
+    s.load_xml("d", "<r><v>3</v><v>4</v></r>").unwrap();
+    let out = s
+        .query(
+            "declare function local:square($x) { $x * $x }; \
+             sum(for $v in doc('d')//v return local:square(number($v)))",
+        )
+        .unwrap();
+    assert_eq!(out, "25");
+    // Recursive functions still run (not inlined).
+    let out = s
+        .query(
+            "declare function local:sum-to($n) { if ($n le 0) then 0 else $n + local:sum-to($n - 1) }; \
+             local:sum-to(10)",
+        )
+        .unwrap();
+    assert_eq!(out, "55");
+    drop(s);
+    std::fs::remove_dir_all(dir).unwrap();
+}

@@ -1,0 +1,132 @@
+//! Order-preserving key encoding.
+
+/// A typed index key.
+#[derive(Clone, PartialEq, Debug)]
+pub enum IndexKey {
+    /// A string key (compared by UTF-8 bytes).
+    String(String),
+    /// A numeric key (totally ordered; NaN is rejected at construction).
+    Number(f64),
+}
+
+impl IndexKey {
+    /// Builds a numeric key; returns `None` for NaN (which has no place in
+    /// a total order).
+    pub fn number(v: f64) -> Option<IndexKey> {
+        (!v.is_nan()).then_some(IndexKey::Number(v))
+    }
+
+    /// Builds a string key.
+    pub fn string(s: impl Into<String>) -> IndexKey {
+        IndexKey::String(s.into())
+    }
+
+    /// Encodes the key so that `encode(a) < encode(b)` (byte-wise) iff
+    /// `a < b`: numbers sort before strings; within numbers, IEEE-754 bits
+    /// with sign fix-up preserve numeric order.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            IndexKey::Number(v) => {
+                let bits = v.to_bits();
+                // Standard order-preserving transform: flip all bits of
+                // negatives, flip only the sign bit of non-negatives.
+                let ordered = if bits & (1 << 63) != 0 {
+                    !bits
+                } else {
+                    bits ^ (1 << 63)
+                };
+                let mut out = Vec::with_capacity(9);
+                out.push(0);
+                out.extend_from_slice(&ordered.to_be_bytes());
+                out
+            }
+            IndexKey::String(s) => {
+                let mut out = Vec::with_capacity(1 + s.len());
+                out.push(1);
+                out.extend_from_slice(s.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes [`IndexKey::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Option<IndexKey> {
+        match bytes.first()? {
+            0 => {
+                let arr: [u8; 8] = bytes.get(1..9)?.try_into().ok()?;
+                let ordered = u64::from_be_bytes(arr);
+                let bits = if ordered & (1 << 63) != 0 {
+                    ordered ^ (1 << 63)
+                } else {
+                    !ordered
+                };
+                Some(IndexKey::Number(f64::from_bits(bits)))
+            }
+            1 => Some(IndexKey::String(
+                String::from_utf8(bytes[1..].to_vec()).ok()?,
+            )),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_encoding_preserves_order() {
+        let values = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -1.0,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in values.windows(2) {
+            let (a, b) = (IndexKey::Number(w[0]), IndexKey::Number(w[1]));
+            assert!(
+                a.encode() <= b.encode(),
+                "{} should encode <= {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn strings_sort_after_numbers() {
+        assert!(IndexKey::Number(f64::INFINITY).encode() < IndexKey::string("").encode());
+    }
+
+    #[test]
+    fn string_encoding_is_bytewise() {
+        assert!(IndexKey::string("abc").encode() < IndexKey::string("abd").encode());
+        assert!(IndexKey::string("ab").encode() < IndexKey::string("abc").encode());
+    }
+
+    #[test]
+    fn round_trips() {
+        for k in [
+            IndexKey::Number(-42.5),
+            IndexKey::Number(0.0),
+            IndexKey::Number(3.25),
+            IndexKey::string("hello"),
+            IndexKey::string(""),
+        ] {
+            assert_eq!(IndexKey::decode(&k.encode()), Some(k));
+        }
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(IndexKey::number(f64::NAN).is_none());
+        assert!(IndexKey::number(1.5).is_some());
+    }
+}

@@ -1,0 +1,22 @@
+//! # sedna-index
+//!
+//! A paged B+-tree value index. Section 4.1.2 motivates node handles with
+//! "node handle is used to refer to an XML node from index structures" —
+//! this crate is that index structure: it maps typed values (strings or
+//! numbers) to **node handles**, which stay valid however the underlying
+//! descriptors move. Backs the `CREATE INDEX` DDL statement and
+//! index-backed predicate scans in the query executor.
+//!
+//! Pages live in the same Sedna Address Space as everything else; keys are
+//! stored order-preservingly encoded so comparisons are plain byte
+//! comparisons. Non-unique keys are supported (entries are ordered by
+//! `(key, handle)`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btree;
+mod key;
+
+pub use btree::{BTreeIndex, IndexError, IndexResult};
+pub use key::IndexKey;

@@ -1,0 +1,276 @@
+//! The label alphabet and dense-order string arithmetic.
+//!
+//! The numbering scheme rests on the observation (Section 4.1.1) that the
+//! lexicographic order over strings is *dense*: between any two distinct
+//! strings a third one fits. This module provides that arithmetic over a
+//! byte alphabet:
+//!
+//! * **digits** are bytes in `[MIN_DIGIT, MAX_DIGIT]` = `[0x01, 0xFE]`;
+//! * byte `0x00` is the **terminator** appended to every allocated key so
+//!   that no key is a prefix of another (see [`crate::label`]);
+//! * byte `0xFF` never appears inside keys and therefore works as a
+//!   per-node delimiter that upper-bounds all prefix extensions.
+//!
+//! [`between`] implements midpoint generation with the classic
+//! fractional-indexing invariant that generated digit strings never end in
+//! `MIN_DIGIT`, which guarantees a predecessor can always be generated
+//! later.
+
+/// Smallest digit usable inside a key.
+pub const MIN_DIGIT: u8 = 0x01;
+/// Largest digit usable inside a key.
+pub const MAX_DIGIT: u8 = 0xFE;
+/// Terminator byte appended to allocated keys; sorts below every digit.
+pub const TERMINATOR: u8 = 0x00;
+/// Delimiter byte; sorts above every digit.
+pub const DELIMITER: u8 = 0xFF;
+
+/// Virtual digit representing "one below the alphabet" (the empty string's
+/// next character).
+const VIRT_LO: u16 = 0x00;
+/// Virtual digit representing "one above the alphabet" (+infinity).
+const VIRT_HI: u16 = 0xFF;
+
+/// Returns a digit string strictly between `a` and `b`.
+///
+/// `a = &[]` stands for minus infinity; `b = None` for plus infinity.
+/// Inputs must be digit strings (bytes within `[MIN_DIGIT, MAX_DIGIT]`)
+/// that do not end in `MIN_DIGIT`, and `a < b` must hold; outputs satisfy
+/// the same invariant, so the operation can be iterated forever — this is
+/// the paper's "no relabeling" property.
+///
+/// # Panics
+/// Panics if `a >= b` (a caller bug).
+pub fn between(a: &[u8], b: Option<&[u8]>) -> Vec<u8> {
+    if let Some(bb) = b {
+        assert!(a < bb, "between({a:?}, {bb:?}): bounds out of order");
+    }
+    let mut out = Vec::with_capacity(b.map_or(a.len() + 1, |b| b.len().max(a.len()) + 1));
+    between_into(a, b, &mut out);
+    // Never end with MIN_DIGIT: pad with a mid digit so a predecessor can
+    // still be generated between `a` and the result later.
+    if out.last() == Some(&MIN_DIGIT) {
+        out.push(0x80);
+    }
+    debug_assert!(out.as_slice() > a);
+    if let Some(bb) = b {
+        debug_assert!(out.as_slice() < bb);
+    }
+    out
+}
+
+fn between_into(mut a: &[u8], b: Option<&[u8]>, out: &mut Vec<u8>) {
+    let mut b = b;
+    // Copy the common prefix of a and b.
+    if let Some(bb) = b {
+        let mut n = 0;
+        while n < a.len() && n < bb.len() && a[n] == bb[n] {
+            n += 1;
+        }
+        out.extend_from_slice(&bb[..n]);
+        a = &a[n..];
+        b = Some(&bb[n..]);
+        debug_assert!(
+            !b.unwrap().is_empty(),
+            "b cannot be a prefix of a when a < b"
+        );
+    }
+    loop {
+        let da = a.first().copied().map_or(VIRT_LO, u16::from);
+        let db = b
+            .and_then(|b| b.first())
+            .copied()
+            .map_or(VIRT_HI, u16::from);
+        debug_assert!(da < db);
+        if db - da > 1 {
+            // Room for a midpoint digit.
+            out.push(((da + db) / 2) as u8);
+            return;
+        }
+        if da >= MIN_DIGIT as u16 {
+            // Adjacent digits: keep a's digit and recurse into a's tail
+            // against +infinity.
+            out.push(da as u8);
+            a = &a[1..];
+            b = None;
+        } else {
+            // a is exhausted and b starts with MIN_DIGIT: descend into b.
+            // b cannot be exactly [MIN_DIGIT] because keys never end in
+            // MIN_DIGIT, so the tail is non-empty.
+            out.push(MIN_DIGIT);
+            let bb = b.expect("da == VIRT_LO < db < VIRT_HI implies b exists");
+            debug_assert!(bb.len() > 1, "key ending in MIN_DIGIT");
+            a = &[];
+            b = Some(&bb[1..]);
+        }
+    }
+}
+
+/// Compares `x` against the concatenation `prefix ++ [last]` without
+/// materializing it. Used by the ancestor check `id1 < id2 < id1 + d1`.
+pub fn cmp_concat(x: &[u8], prefix: &[u8], last: u8) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let n = prefix.len().min(x.len());
+    match x[..n].cmp(&prefix[..n]) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    if x.len() <= prefix.len() {
+        // x is a (possibly equal) prefix of `prefix`; prefix++last is longer.
+        return Ordering::Less;
+    }
+    // x extends prefix; compare the next byte against `last`.
+    match x[prefix.len()].cmp(&last) {
+        Ordering::Equal => {
+            if x.len() == prefix.len() + 1 {
+                Ordering::Equal
+            } else {
+                Ordering::Greater
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn midpoint_of_whole_space() {
+        let m = between(&[], None);
+        assert_eq!(m, vec![0x7F]);
+    }
+
+    #[test]
+    fn between_adjacent_digits_extends() {
+        let m = between(&[0x7F], Some(&[0x80]));
+        assert!(m.as_slice() > [0x7F].as_slice());
+        assert!(m.as_slice() < [0x80].as_slice());
+    }
+
+    #[test]
+    fn between_empty_and_min_digit_key() {
+        // b = [MIN_DIGIT, 0x80] is a legal key; something must fit below it.
+        let b = vec![MIN_DIGIT, 0x80];
+        let m = between(&[], Some(&b));
+        assert!(m.as_slice() < b.as_slice());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn between_respects_common_prefix() {
+        let a = vec![0x50, 0x10];
+        let b = vec![0x50, 0x20];
+        let m = between(&a, Some(&b));
+        assert!(m.as_slice() > a.as_slice() && m.as_slice() < b.as_slice());
+        assert_eq!(m[0], 0x50);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds out of order")]
+    fn between_rejects_reversed_bounds() {
+        between(&[0x80], Some(&[0x10]));
+    }
+
+    #[test]
+    fn repeated_inserts_before_never_fail() {
+        // Keep inserting before the smallest key: the MIN_DIGIT tail
+        // invariant is what makes this possible indefinitely.
+        let mut lo = between(&[], None);
+        for _ in 0..200 {
+            let next = between(&[], Some(&lo));
+            assert!(next < lo);
+            lo = next;
+        }
+    }
+
+    #[test]
+    fn repeated_inserts_after_never_fail() {
+        let mut hi = between(&[], None);
+        for _ in 0..200 {
+            let next = between(&hi, None);
+            assert!(next > hi);
+            hi = next;
+        }
+    }
+
+    #[test]
+    fn repeated_bisection_never_fails() {
+        let mut lo = between(&[], None);
+        let mut hi = between(&lo, None);
+        for i in 0..200 {
+            let mid = between(&lo, Some(&hi));
+            assert!(mid > lo && mid < hi, "iteration {i}");
+            if i % 2 == 0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_concat_cases() {
+        use std::cmp::Ordering::*;
+        // x shorter than prefix+last
+        assert_eq!(cmp_concat(&[0x10], &[0x10], 0x20), Less);
+        // x equal to prefix+last
+        assert_eq!(cmp_concat(&[0x10, 0x20], &[0x10], 0x20), Equal);
+        // x extends past prefix+last with same head
+        assert_eq!(cmp_concat(&[0x10, 0x20, 0x01], &[0x10], 0x20), Greater);
+        // divergence inside the prefix
+        assert_eq!(cmp_concat(&[0x09, 0xFF], &[0x10], 0x20), Less);
+        assert_eq!(cmp_concat(&[0x11], &[0x10], 0x20), Greater);
+        // divergence at the delimiter position
+        assert_eq!(cmp_concat(&[0x10, 0x19], &[0x10], 0x20), Less);
+        assert_eq!(cmp_concat(&[0x10, 0x21], &[0x10], 0x20), Greater);
+        // x equal to the prefix itself
+        assert_eq!(cmp_concat(&[0x10], &[0x10], 0x01), Less);
+    }
+
+    fn digit_key() -> impl Strategy<Value = Vec<u8>> {
+        // Random digit strings not ending in MIN_DIGIT.
+        proptest::collection::vec(MIN_DIGIT..=MAX_DIGIT, 1..6).prop_map(|mut v| {
+            if *v.last().unwrap() == MIN_DIGIT {
+                *v.last_mut().unwrap() = MIN_DIGIT + 1;
+            }
+            v
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_between_is_strictly_inside(a in digit_key(), b in digit_key()) {
+            prop_assume!(a != b);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let m = between(&lo, Some(&hi));
+            prop_assert!(m > lo);
+            prop_assert!(m < hi);
+            prop_assert!(*m.last().unwrap() != MIN_DIGIT);
+        }
+
+        #[test]
+        fn prop_between_above(a in digit_key()) {
+            let m = between(&a, None);
+            prop_assert!(m > a);
+        }
+
+        #[test]
+        fn prop_between_below(b in digit_key()) {
+            let m = between(&[], Some(&b));
+            prop_assert!(m < b);
+            prop_assert!(!m.is_empty());
+        }
+
+        #[test]
+        fn prop_cmp_concat_matches_materialized(
+            x in digit_key(), p in digit_key(), last in MIN_DIGIT..=DELIMITER
+        ) {
+            let mut full = p.clone();
+            full.push(last);
+            prop_assert_eq!(cmp_concat(&x, &p, last), x.cmp(&full));
+        }
+    }
+}

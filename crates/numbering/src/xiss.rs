@@ -1,0 +1,271 @@
+//! The XISS-style interval numbering baseline (experiment E3).
+//!
+//! Section 4.1.1: "The main drawback of the previously existing numbering
+//! schemes for XML (e.g., the one proposed in XISS) is that inserting
+//! nodes into an XML document periodically requires reconstruction of
+//! labels for the entire XML document."
+//!
+//! This module reproduces that class of schemes: every node is labeled
+//! with an integer interval `[left, right]` (Li & Moon's *extended
+//! preorder*: order + size, with spare gaps). Ancestorship is interval
+//! containment; document order is the `left` endpoint. Insertions consume
+//! gap budget; when a new node no longer fits, the **entire document is
+//! relabeled** with fresh gaps — the cost Sedna's string labels avoid.
+
+use crate::DocOrder;
+
+/// An interval label `[left, right]` at a given tree level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct XissLabel {
+    /// Preorder position (with gaps).
+    pub left: u64,
+    /// End of the subtree's reserved range.
+    pub right: u64,
+}
+
+impl XissLabel {
+    /// Interval containment: `self` is an ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &XissLabel) -> bool {
+        self.left < other.left && other.right <= self.right && other != self
+    }
+
+    /// Document order by `left` endpoint.
+    pub fn doc_cmp(&self, other: &XissLabel) -> DocOrder {
+        match self.left.cmp(&other.left) {
+            std::cmp::Ordering::Less => DocOrder::Before,
+            std::cmp::Ordering::Equal => DocOrder::Same,
+            std::cmp::Ordering::Greater => DocOrder::After,
+        }
+    }
+}
+
+/// A document numbered with interval labels, tracking the relabeling
+/// events the Sedna scheme is designed to eliminate.
+///
+/// Node identity is positional: nodes are addressed by the index returned
+/// from the insert operations (stable across relabelings).
+pub struct XissNumbering {
+    /// Initial gap reserved between consecutive labels at bulk-load and at
+    /// each relabeling.
+    gap: u64,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    labels: Vec<XissLabel>,
+    relabels: u64,
+    relabeled_nodes: u64,
+}
+
+impl XissNumbering {
+    /// Creates a document containing only a root, with `gap` spare space
+    /// between consecutive labels.
+    pub fn new(gap: u64) -> Self {
+        assert!(gap >= 2, "gap must leave room for children");
+        let mut doc = XissNumbering {
+            gap,
+            parent: vec![None],
+            children: vec![vec![]],
+            labels: vec![XissLabel { left: 0, right: 0 }],
+            relabels: 0,
+            relabeled_nodes: 0,
+        };
+        doc.relabel_all();
+        doc.relabels = 0;
+        doc.relabeled_nodes = 0;
+        doc
+    }
+
+    /// Number of whole-document relabelings performed so far.
+    pub fn relabels(&self) -> u64 {
+        self.relabels
+    }
+
+    /// Total node labels rewritten by relabelings (the work the Sedna
+    /// scheme avoids).
+    pub fn relabeled_nodes(&self) -> u64 {
+        self.relabeled_nodes
+    }
+
+    /// Number of nodes in the document.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the document holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.labels.len() <= 1
+    }
+
+    /// The current label of node `id` (valid until the next relabeling
+    /// changes its numeric value — identity is the id, not the label).
+    pub fn label(&self, id: usize) -> XissLabel {
+        self.labels[id]
+    }
+
+    /// Root node id.
+    pub const ROOT: usize = 0;
+
+    /// Inserts a new child of `parent` at child position `pos`,
+    /// relabeling the whole document if the gap budget is exhausted.
+    pub fn insert(&mut self, parent: usize, pos: usize) -> usize {
+        let id = self.labels.len();
+        self.parent.push(Some(parent));
+        self.children.push(vec![]);
+        let pos = pos.min(self.children[parent].len());
+        self.children[parent].insert(pos, id);
+        self.labels.push(XissLabel { left: 0, right: 0 });
+        if !self.try_place(id) {
+            self.relabel_all();
+        }
+        id
+    }
+
+    /// Attempts to give `id` an interval between its neighbours without
+    /// touching any other label. Returns false when the gaps are exhausted.
+    fn try_place(&mut self, id: usize) -> bool {
+        let parent = self.parent[id].expect("root is never placed");
+        let siblings = &self.children[parent];
+        let my_pos = siblings.iter().position(|&c| c == id).unwrap();
+        // The available numeric range is bounded by the preceding
+        // neighbour's right end (or the parent's left) and the following
+        // sibling's left (or the parent's right).
+        let lo = if my_pos == 0 {
+            self.labels[parent].left
+        } else {
+            self.labels[siblings[my_pos - 1]].right
+        };
+        let hi = if my_pos + 1 < siblings.len() {
+            self.labels[siblings[my_pos + 1]].left
+        } else {
+            self.labels[parent].right
+        };
+        // Need two fresh integers strictly inside (lo, hi): left and right,
+        // with left < right to keep room for future descendants.
+        if hi <= lo || hi - lo < 3 {
+            return false;
+        }
+        let left = lo + (hi - lo) / 3;
+        let right = lo + 2 * (hi - lo) / 3;
+        debug_assert!(lo < left && left < right && right < hi);
+        self.labels[id] = XissLabel { left, right };
+        true
+    }
+
+    /// Rebuilds every label with fresh gaps — the whole-document
+    /// reconstruction the paper's scheme eliminates.
+    fn relabel_all(&mut self) {
+        self.relabels += 1;
+        self.relabeled_nodes += self.labels.len() as u64;
+        let gap = self.gap;
+        let mut counter = 0u64;
+        // Iterative DFS assigning left on entry and right on exit.
+        enum Step {
+            Enter(usize),
+            Exit(usize),
+        }
+        let mut stack = vec![Step::Enter(Self::ROOT)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(n) => {
+                    self.labels[n].left = counter;
+                    counter += gap;
+                    stack.push(Step::Exit(n));
+                    for &c in self.children[n].iter().rev() {
+                        stack.push(Step::Enter(c));
+                    }
+                }
+                Step::Exit(n) => {
+                    self.labels[n].right = counter;
+                    counter += gap;
+                }
+            }
+        }
+    }
+
+    /// Reference ancestor check through parent links (test support).
+    pub fn is_ancestor(&self, a: usize, d: usize) -> bool {
+        let mut cur = self.parent[d];
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.parent[p];
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn containment_matches_tree() {
+        let mut doc = XissNumbering::new(64);
+        let a = doc.insert(XissNumbering::ROOT, 0);
+        let b = doc.insert(a, 0);
+        let c = doc.insert(XissNumbering::ROOT, 1);
+        assert!(doc.label(XissNumbering::ROOT).is_ancestor_of(&doc.label(a)));
+        assert!(doc.label(a).is_ancestor_of(&doc.label(b)));
+        assert!(!doc.label(a).is_ancestor_of(&doc.label(c)));
+        assert_eq!(doc.label(a).doc_cmp(&doc.label(b)), DocOrder::Before);
+        assert_eq!(doc.label(b).doc_cmp(&doc.label(c)), DocOrder::Before);
+    }
+
+    #[test]
+    fn front_inserts_eventually_relabel() {
+        let mut doc = XissNumbering::new(64);
+        // Repeatedly insert at the very front: each insert thirds the same
+        // shrinking gap, so relabelings must occur.
+        for _ in 0..200 {
+            doc.insert(XissNumbering::ROOT, 0);
+        }
+        assert!(
+            doc.relabels() > 0,
+            "front-insert workload must exhaust gaps"
+        );
+        assert!(doc.relabeled_nodes() > doc.len() as u64 / 2);
+        // Labels remain consistent after all the churn.
+        for d in 1..doc.len() {
+            assert!(doc
+                .label(XissNumbering::ROOT)
+                .is_ancestor_of(&doc.label(d)));
+        }
+    }
+
+    #[test]
+    fn larger_gaps_relabel_less_often() {
+        let mut small = XissNumbering::new(4);
+        let mut large = XissNumbering::new(1 << 20);
+        for _ in 0..300 {
+            small.insert(XissNumbering::ROOT, 0);
+            large.insert(XissNumbering::ROOT, 0);
+        }
+        assert!(small.relabels() > large.relabels());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_containment_always_matches_tree(
+            ops in proptest::collection::vec((0usize..500, 0usize..6), 1..100),
+            gap in 4u64..256,
+        ) {
+            let mut doc = XissNumbering::new(gap);
+            for (p, pos) in ops {
+                let p = p % doc.len();
+                doc.insert(p, pos);
+            }
+            for a in 0..doc.len() {
+                for d in 0..doc.len() {
+                    if a == d { continue; }
+                    prop_assert_eq!(
+                        doc.label(a).is_ancestor_of(&doc.label(d)),
+                        doc.is_ancestor(a, d),
+                        "nodes {} / {}", a, d
+                    );
+                }
+            }
+        }
+    }
+}

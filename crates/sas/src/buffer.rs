@@ -1,0 +1,678 @@
+//! The Sedna buffer manager: main-memory page frames with clock
+//! (second-chance) replacement, dirty-page write-back under the WAL
+//! protocol, and version-retargeting support for copy-on-write page
+//! versioning (Section 6.1 of the paper).
+//!
+//! The pool indexes frames by **physical** slot ([`PhysId`]), not by SAS
+//! address, so that several versions of one SAS page can be resident
+//! simultaneously (an updater's working version next to the snapshot
+//! version a read-only transaction is scanning).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
+
+use crate::error::{SasError, SasResult};
+use crate::store::{PageStore, PhysId};
+use crate::xptr::XPtr;
+use crate::PAGE_LSN_OFFSET;
+
+/// Hook consulted before a dirty frame is flushed, implementing the WAL
+/// rule "force the log up to the page LSN before forcing the page".
+pub trait WriteBarrier: Send + Sync {
+    /// Called with the page's SAS address and the LSN stored in its header.
+    fn before_flush(&self, page: XPtr, lsn: u64) -> SasResult<()>;
+}
+
+/// Counters describing buffer-pool behaviour; used by experiments E2 and
+/// the buffer-ablation benchmarks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Lookups satisfied by a resident frame.
+    pub hits: u64,
+    /// Lookups that had to load the page from the store.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back to the store.
+    pub writebacks: u64,
+    /// Copy-on-write retargets (new page version created in place).
+    pub retargets: u64,
+}
+
+/// Contents of one buffer frame.
+pub struct FrameInner {
+    /// SAS page currently held (null if the frame is empty).
+    pub page: XPtr,
+    /// Physical slot backing the content ([`PhysId::INVALID`] if empty).
+    pub phys: PhysId,
+    /// Whether the content differs from the store.
+    pub dirty: bool,
+    data: Box<[u8]>,
+}
+
+struct Frame {
+    lock: Arc<RwLock<FrameInner>>,
+    referenced: AtomicBool,
+}
+
+struct PoolState {
+    /// phys -> frame index, for resident pages.
+    map: HashMap<PhysId, usize>,
+    /// Clock hand for second-chance replacement.
+    hand: usize,
+}
+
+/// A shared read guard over a resident page.
+pub struct PageRead {
+    guard: ArcRwLockReadGuard<RawRwLock, FrameInner>,
+}
+
+impl PageRead {
+    /// The page image (full page, including the 16-byte SAS header).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.guard.data
+    }
+
+    /// The page LSN from the SAS header.
+    pub fn lsn(&self) -> u64 {
+        u64::from_le_bytes(
+            self.guard.data[PAGE_LSN_OFFSET..PAGE_LSN_OFFSET + 8]
+                .try_into()
+                .expect("page shorter than SAS header"),
+        )
+    }
+
+    /// The SAS address of the held page.
+    pub fn page(&self) -> XPtr {
+        self.guard.page
+    }
+}
+
+impl std::ops::Deref for PageRead {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.guard.data
+    }
+}
+
+/// An exclusive write guard over a resident page. Creating the guard marks
+/// the frame dirty.
+pub struct PageWrite {
+    guard: ArcRwLockWriteGuard<RawRwLock, FrameInner>,
+}
+
+impl PageWrite {
+    /// The page image.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.guard.data
+    }
+
+    /// The page image, mutably.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.guard.data
+    }
+
+    /// The SAS address of the held page.
+    pub fn page(&self) -> XPtr {
+        self.guard.page
+    }
+
+    /// Sets the page LSN in the SAS header (WAL protocol).
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.guard.data[PAGE_LSN_OFFSET..PAGE_LSN_OFFSET + 8].copy_from_slice(&lsn.to_le_bytes());
+    }
+
+    /// The page LSN from the SAS header.
+    pub fn lsn(&self) -> u64 {
+        u64::from_le_bytes(
+            self.guard.data[PAGE_LSN_OFFSET..PAGE_LSN_OFFSET + 8]
+                .try_into()
+                .expect("page shorter than SAS header"),
+        )
+    }
+}
+
+impl std::ops::Deref for PageWrite {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.guard.data
+    }
+}
+
+impl std::ops::DerefMut for PageWrite {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.guard.data
+    }
+}
+
+/// The buffer pool.
+pub struct BufferPool {
+    page_size: usize,
+    frames: Vec<Frame>,
+    state: Mutex<PoolState>,
+    barrier: Mutex<Option<Arc<dyn WriteBarrier>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+    retargets: AtomicU64,
+}
+
+/// A resident frame handle: the frame's lock plus the identity expected by
+/// the caller. [`Vas`](crate::Vas) caches these in its slot table.
+#[derive(Clone)]
+pub struct FrameRef {
+    // Note: no Debug derive — Debug is implemented manually below to avoid
+    // locking the frame.
+    pub(crate) lock: Arc<RwLock<FrameInner>>,
+    pub(crate) frame_idx: usize,
+}
+
+impl std::fmt::Debug for FrameRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameRef")
+            .field("frame_idx", &self.frame_idx)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool of `frames` frames of `page_size` bytes each.
+    pub fn new(frames: usize, page_size: usize) -> Self {
+        let frames = (0..frames)
+            .map(|_| Frame {
+                lock: Arc::new(RwLock::new(FrameInner {
+                    page: XPtr::NULL,
+                    phys: PhysId::INVALID,
+                    dirty: false,
+                    data: vec![0u8; page_size].into_boxed_slice(),
+                })),
+                referenced: AtomicBool::new(false),
+            })
+            .collect();
+        BufferPool {
+            page_size,
+            frames,
+            state: Mutex::new(PoolState {
+                map: HashMap::new(),
+                hand: 0,
+            }),
+            barrier: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+            retargets: AtomicU64::new(0),
+        }
+    }
+
+    /// The page size frames were created with.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Installs the WAL write barrier.
+    pub fn set_write_barrier(&self, barrier: Arc<dyn WriteBarrier>) {
+        *self.barrier.lock() = Some(barrier);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            retargets: self.retargets.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the counters (benchmark plumbing).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+        self.retargets.store(0, Ordering::Relaxed);
+    }
+
+    fn flush_inner(&self, inner: &mut FrameInner, store: &dyn PageStore) -> SasResult<()> {
+        if inner.dirty {
+            let lsn = u64::from_le_bytes(
+                inner.data[PAGE_LSN_OFFSET..PAGE_LSN_OFFSET + 8]
+                    .try_into()
+                    .expect("page shorter than SAS header"),
+            );
+            if let Some(barrier) = self.barrier.lock().clone() {
+                barrier.before_flush(inner.page, lsn)?;
+            }
+            store.write(inner.phys, &inner.data)?;
+            inner.dirty = false;
+            self.writebacks.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Picks an evictable frame (second chance). The caller must hold the
+    /// state lock; the victim is returned write-locked with its old content
+    /// flushed and its map entry removed.
+    fn claim_victim(
+        &self,
+        state: &mut PoolState,
+        store: &dyn PageStore,
+    ) -> SasResult<(usize, ArcRwLockWriteGuard<RawRwLock, FrameInner>)> {
+        let n = self.frames.len();
+        // Two full sweeps: the first clears reference bits, the second takes
+        // any unreferenced, unlocked frame.
+        for _ in 0..2 * n + 1 {
+            let idx = state.hand;
+            state.hand = (state.hand + 1) % n;
+            let frame = &self.frames[idx];
+            if frame.referenced.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            if let Some(mut guard) = frame.lock.try_write_arc() {
+                if guard.phys != PhysId::INVALID {
+                    self.flush_inner(&mut guard, store)?;
+                    state.map.remove(&guard.phys);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok((idx, guard));
+            }
+        }
+        Err(SasError::PoolExhausted)
+    }
+
+    /// Makes the page at physical slot `phys` resident, loading it from the
+    /// store if needed, and returns a handle to its frame.
+    pub fn acquire(
+        &self,
+        page: XPtr,
+        phys: PhysId,
+        store: &dyn PageStore,
+    ) -> SasResult<FrameRef> {
+        let mut state = self.state.lock();
+        if let Some(&idx) = state.map.get(&phys) {
+            self.frames[idx].referenced.store(true, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(FrameRef {
+                lock: Arc::clone(&self.frames[idx].lock),
+                frame_idx: idx,
+            });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (idx, mut guard) = self.claim_victim(&mut state, store)?;
+        store.read(phys, &mut guard.data)?;
+        guard.page = page;
+        guard.phys = phys;
+        guard.dirty = false;
+        state.map.insert(phys, idx);
+        self.frames[idx].referenced.store(true, Ordering::Relaxed);
+        drop(guard);
+        Ok(FrameRef {
+            lock: Arc::clone(&self.frames[idx].lock),
+            frame_idx: idx,
+        })
+    }
+
+    /// Makes a brand-new zeroed page resident without touching the store.
+    /// The SAS header is initialized (self-pointer `page`, LSN 0) and the
+    /// frame is marked dirty.
+    pub fn acquire_fresh(
+        &self,
+        page: XPtr,
+        phys: PhysId,
+        store: &dyn PageStore,
+    ) -> SasResult<FrameRef> {
+        let mut state = self.state.lock();
+        debug_assert!(!state.map.contains_key(&phys), "fresh page already mapped");
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (idx, mut guard) = self.claim_victim(&mut state, store)?;
+        guard.data.fill(0);
+        guard.data[0..8].copy_from_slice(&page.to_bytes());
+        guard.page = page;
+        guard.phys = phys;
+        guard.dirty = true;
+        state.map.insert(phys, idx);
+        self.frames[idx].referenced.store(true, Ordering::Relaxed);
+        drop(guard);
+        Ok(FrameRef {
+            lock: Arc::clone(&self.frames[idx].lock),
+            frame_idx: idx,
+        })
+    }
+
+    /// Copy-on-write retarget: the resident content of `old_phys` becomes
+    /// the working version at `new_phys`. The old version's bytes are
+    /// flushed to `old_phys` first if dirty, so snapshot readers keep a
+    /// consistent on-disk image. If the old version is not resident it is
+    /// loaded first. Returns the (write-locked-and-released) frame handle.
+    pub fn retarget(
+        &self,
+        page: XPtr,
+        old_phys: PhysId,
+        new_phys: PhysId,
+        store: &dyn PageStore,
+    ) -> SasResult<FrameRef> {
+        let mut state = self.state.lock();
+        self.retargets.fetch_add(1, Ordering::Relaxed);
+        if let Some(&idx) = state.map.get(&old_phys) {
+            let mut guard = self.frames[idx].lock.write_arc();
+            self.flush_inner(&mut guard, store)?;
+            state.map.remove(&old_phys);
+            guard.page = page;
+            guard.phys = new_phys;
+            guard.dirty = true;
+            state.map.insert(new_phys, idx);
+            self.frames[idx].referenced.store(true, Ordering::Relaxed);
+            drop(guard);
+            return Ok(FrameRef {
+                lock: Arc::clone(&self.frames[idx].lock),
+                frame_idx: idx,
+            });
+        }
+        // Old version not resident: load its bytes, register under new_phys.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (idx, mut guard) = self.claim_victim(&mut state, store)?;
+        store.read(old_phys, &mut guard.data)?;
+        guard.page = page;
+        guard.phys = new_phys;
+        guard.dirty = true;
+        state.map.insert(new_phys, idx);
+        self.frames[idx].referenced.store(true, Ordering::Relaxed);
+        drop(guard);
+        Ok(FrameRef {
+            lock: Arc::clone(&self.frames[idx].lock),
+            frame_idx: idx,
+        })
+    }
+
+    /// Drops the frame holding `phys`, if resident, without writing it back
+    /// (used when a page version is discarded: rollback or version purge).
+    pub fn invalidate(&self, phys: PhysId) {
+        let mut state = self.state.lock();
+        if let Some(idx) = state.map.remove(&phys) {
+            let mut guard = self.frames[idx].lock.write_arc();
+            guard.page = XPtr::NULL;
+            guard.phys = PhysId::INVALID;
+            guard.dirty = false;
+        }
+    }
+
+    /// Flushes every dirty frame to the store (checkpoint support).
+    pub fn flush_all(&self, store: &dyn PageStore) -> SasResult<()> {
+        // Lock the state to freeze the map, then flush frame by frame.
+        let state = self.state.lock();
+        for &idx in state.map.values() {
+            let mut guard = self.frames[idx].lock.write_arc();
+            self.flush_inner(&mut guard, store)?;
+        }
+        Ok(())
+    }
+
+    /// Drops every resident frame without write-back (crash simulation).
+    pub fn drop_all(&self) {
+        let mut state = self.state.lock();
+        for (_, idx) in state.map.drain() {
+            let mut guard = self.frames[idx].lock.write_arc();
+            guard.page = XPtr::NULL;
+            guard.phys = PhysId::INVALID;
+            guard.dirty = false;
+        }
+    }
+
+    /// Read-locks the frame in `fref` if it still holds `phys`; returns
+    /// `None` when the frame was reused for another page (the caller then
+    /// re-acquires through the pool).
+    pub fn try_read(&self, fref: &FrameRef, phys: PhysId) -> Option<PageRead> {
+        let guard = fref.lock.read_arc();
+        if guard.phys == phys {
+            self.frames[fref.frame_idx]
+                .referenced
+                .store(true, Ordering::Relaxed);
+            Some(PageRead { guard })
+        } else {
+            None
+        }
+    }
+
+    /// Write-locks the frame in `fref` if it still holds `phys`, marking it
+    /// dirty; returns `None` when the frame was reused.
+    pub fn try_write(&self, fref: &FrameRef, phys: PhysId) -> Option<PageWrite> {
+        let mut guard = fref.lock.write_arc();
+        if guard.phys == phys {
+            guard.dirty = true;
+            self.frames[fref.frame_idx]
+                .referenced
+                .store(true, Ordering::Relaxed);
+            Some(PageWrite { guard })
+        } else {
+            None
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.state.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemPageStore;
+    use crate::PAGE_HEADER_LEN;
+
+    const PS: usize = 512;
+
+    fn setup(frames: usize) -> (BufferPool, Arc<MemPageStore>) {
+        (BufferPool::new(frames, PS), Arc::new(MemPageStore::new(PS)))
+    }
+
+    #[test]
+    fn fresh_page_has_header_and_is_dirty() {
+        let (pool, store) = setup(4);
+        let page = XPtr::new(0, 4096);
+        let phys = store.alloc().unwrap();
+        let fref = pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        let r = pool.try_read(&fref, phys).unwrap();
+        assert_eq!(XPtr::read_at(r.bytes(), 0), page);
+        assert_eq!(r.lsn(), 0);
+        assert_eq!(r.page(), page);
+    }
+
+    #[test]
+    fn write_then_evict_then_reload() {
+        let (pool, store) = setup(2);
+        let mut ids = Vec::new();
+        // Create 2 pages, write a marker into each.
+        for i in 0..2u32 {
+            let page = XPtr::new(0, (i + 1) * PS as u32);
+            let phys = store.alloc().unwrap();
+            ids.push((page, phys));
+            let fref = pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+            let mut w = pool.try_write(&fref, phys).unwrap();
+            w.bytes_mut()[PAGE_HEADER_LEN] = i as u8 + 1;
+        }
+        // Touch 2 more pages to force evictions of the first two.
+        for i in 2..4u32 {
+            let page = XPtr::new(0, (i + 1) * PS as u32);
+            let phys = store.alloc().unwrap();
+            pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        }
+        assert!(pool.stats().evictions >= 2);
+        assert!(pool.stats().writebacks >= 2);
+        // Reload the first page; the marker must have survived eviction.
+        let (page, phys) = ids[0];
+        let fref = pool.acquire(page, phys, store.as_ref()).unwrap();
+        let r = pool.try_read(&fref, phys).unwrap();
+        assert_eq!(r.bytes()[PAGE_HEADER_LEN], 1);
+        assert_eq!(XPtr::read_at(r.bytes(), 0), page);
+    }
+
+    #[test]
+    fn stale_frame_ref_detected() {
+        let (pool, store) = setup(1);
+        let p1 = XPtr::new(0, PS as u32);
+        let ph1 = store.alloc().unwrap();
+        let fref1 = pool.acquire_fresh(p1, ph1, store.as_ref()).unwrap();
+        // Evict p1 by bringing in p2 (pool has a single frame).
+        let p2 = XPtr::new(0, 2 * PS as u32);
+        let ph2 = store.alloc().unwrap();
+        pool.acquire_fresh(p2, ph2, store.as_ref()).unwrap();
+        // The cached ref for p1 must now miss.
+        assert!(pool.try_read(&fref1, ph1).is_none());
+        assert!(pool.try_write(&fref1, ph1).is_none());
+        // Re-acquiring works.
+        let fref1b = pool.acquire(p1, ph1, store.as_ref()).unwrap();
+        assert!(pool.try_read(&fref1b, ph1).is_some());
+    }
+
+    #[test]
+    fn retarget_flushes_old_version() {
+        let (pool, store) = setup(4);
+        let page = XPtr::new(1, 0);
+        let old = store.alloc().unwrap();
+        let fref = pool.acquire_fresh(page, old, store.as_ref()).unwrap();
+        {
+            let mut w = pool.try_write(&fref, old).unwrap();
+            w.bytes_mut()[PAGE_HEADER_LEN] = 42;
+        }
+        let new = store.alloc().unwrap();
+        let fref2 = pool.retarget(page, old, new, store.as_ref()).unwrap();
+        // Old physical slot holds the flushed old-version bytes.
+        let mut buf = vec![0u8; PS];
+        store.read(old, &mut buf).unwrap();
+        assert_eq!(buf[PAGE_HEADER_LEN], 42);
+        // The frame now answers for the new version and carries the content.
+        let mut w = pool.try_write(&fref2, new).unwrap();
+        assert_eq!(w.bytes()[PAGE_HEADER_LEN], 42);
+        w.bytes_mut()[PAGE_HEADER_LEN] = 43;
+        drop(w);
+        // Old version on disk is unaffected by new-version writes.
+        store.read(old, &mut buf).unwrap();
+        assert_eq!(buf[PAGE_HEADER_LEN], 42);
+    }
+
+    #[test]
+    fn retarget_of_nonresident_old_version_loads_it() {
+        let (pool, store) = setup(1);
+        let page = XPtr::new(1, 0);
+        let old = store.alloc().unwrap();
+        {
+            let fref = pool.acquire_fresh(page, old, store.as_ref()).unwrap();
+            let mut w = pool.try_write(&fref, old).unwrap();
+            w.bytes_mut()[PAGE_HEADER_LEN] = 11;
+        }
+        // Evict it.
+        let other = XPtr::new(1, PS as u32);
+        let other_phys = store.alloc().unwrap();
+        pool.acquire_fresh(other, other_phys, store.as_ref())
+            .unwrap();
+        // Retarget while old version lives only on disk.
+        let new = store.alloc().unwrap();
+        let fref = pool.retarget(page, old, new, store.as_ref()).unwrap();
+        let r = pool.try_read(&fref, new).unwrap();
+        assert_eq!(r.bytes()[PAGE_HEADER_LEN], 11);
+    }
+
+    #[test]
+    fn invalidate_discards_without_writeback() {
+        let (pool, store) = setup(2);
+        let page = XPtr::new(0, PS as u32);
+        let phys = store.alloc().unwrap();
+        let fref = pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        {
+            let mut w = pool.try_write(&fref, phys).unwrap();
+            w.bytes_mut()[PAGE_HEADER_LEN] = 99;
+        }
+        pool.invalidate(phys);
+        assert!(pool.try_read(&fref, phys).is_none());
+        // The store never saw the bytes.
+        let mut buf = vec![0u8; PS];
+        store.read(phys, &mut buf).unwrap();
+        assert_eq!(buf[PAGE_HEADER_LEN], 0);
+    }
+
+    #[test]
+    fn flush_all_writes_dirty_frames() {
+        let (pool, store) = setup(4);
+        let page = XPtr::new(0, PS as u32);
+        let phys = store.alloc().unwrap();
+        let fref = pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        {
+            let mut w = pool.try_write(&fref, phys).unwrap();
+            w.bytes_mut()[PAGE_HEADER_LEN] = 5;
+        }
+        pool.flush_all(store.as_ref()).unwrap();
+        let mut buf = vec![0u8; PS];
+        store.read(phys, &mut buf).unwrap();
+        assert_eq!(buf[PAGE_HEADER_LEN], 5);
+        // Second flush writes nothing (no longer dirty).
+        let before = pool.stats().writebacks;
+        pool.flush_all(store.as_ref()).unwrap();
+        assert_eq!(pool.stats().writebacks, before);
+    }
+
+    #[test]
+    fn pool_exhausted_when_all_frames_locked() {
+        let (pool, store) = setup(1);
+        let page = XPtr::new(0, PS as u32);
+        let phys = store.alloc().unwrap();
+        let fref = pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        let _guard = pool.try_read(&fref, phys).unwrap();
+        let p2 = XPtr::new(0, 2 * PS as u32);
+        let ph2 = store.alloc().unwrap();
+        let err = pool.acquire(p2, ph2, store.as_ref()).unwrap_err();
+        assert!(matches!(err, SasError::PoolExhausted));
+    }
+
+    #[test]
+    fn write_barrier_sees_page_lsn() {
+        struct Capture(Mutex<Vec<(XPtr, u64)>>);
+        impl WriteBarrier for Capture {
+            fn before_flush(&self, page: XPtr, lsn: u64) -> SasResult<()> {
+                self.0.lock().push((page, lsn));
+                Ok(())
+            }
+        }
+        let (pool, store) = setup(2);
+        let capture = Arc::new(Capture(Mutex::new(Vec::new())));
+        pool.set_write_barrier(Arc::clone(&capture) as Arc<dyn WriteBarrier>);
+        let page = XPtr::new(0, PS as u32);
+        let phys = store.alloc().unwrap();
+        let fref = pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        {
+            let mut w = pool.try_write(&fref, phys).unwrap();
+            w.set_lsn(777);
+        }
+        pool.flush_all(store.as_ref()).unwrap();
+        assert_eq!(capture.0.lock().as_slice(), &[(page, 777)]);
+    }
+
+    #[test]
+    fn drop_all_simulates_crash() {
+        let (pool, store) = setup(2);
+        let page = XPtr::new(0, PS as u32);
+        let phys = store.alloc().unwrap();
+        let fref = pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        {
+            let mut w = pool.try_write(&fref, phys).unwrap();
+            w.bytes_mut()[PAGE_HEADER_LEN] = 1;
+        }
+        pool.drop_all();
+        assert_eq!(pool.resident(), 0);
+        let mut buf = vec![0u8; PS];
+        store.read(phys, &mut buf).unwrap();
+        assert_eq!(buf[PAGE_HEADER_LEN], 0, "dirty bytes were not persisted");
+    }
+}

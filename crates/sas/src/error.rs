@@ -1,0 +1,83 @@
+//! Error type for the SAS layer.
+
+use crate::xptr::XPtr;
+
+/// Errors raised by the SAS layer.
+#[derive(Debug)]
+pub enum SasError {
+    /// Invalid configuration.
+    Config(String),
+    /// An I/O error from the page store.
+    Io(std::io::Error),
+    /// The page has no physical location visible to the requested view.
+    NoSuchPage(XPtr),
+    /// The buffer pool could not find an evictable frame.
+    PoolExhausted,
+    /// A write was attempted without a write transaction token.
+    NoWriteTxn,
+    /// The physical store ran out of space.
+    StoreFull,
+    /// A page image failed a consistency check (wrong self-pointer).
+    Corrupt(String),
+}
+
+/// Result alias for SAS operations.
+pub type SasResult<T> = Result<T, SasError>;
+
+impl std::fmt::Display for SasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SasError::Config(msg) => write!(f, "invalid SAS configuration: {msg}"),
+            SasError::Io(e) => write!(f, "page store I/O error: {e}"),
+            SasError::NoSuchPage(p) => write!(f, "no version of page {p} is visible"),
+            SasError::PoolExhausted => write!(f, "buffer pool exhausted: no evictable frame"),
+            SasError::NoWriteTxn => write!(f, "page write attempted without a write transaction"),
+            SasError::StoreFull => write!(f, "physical page store is full"),
+            SasError::Corrupt(msg) => write!(f, "corrupt page image: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SasError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SasError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SasError {
+    fn from(e: std::io::Error) -> Self {
+        SasError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let variants: Vec<SasError> = vec![
+            SasError::Config("x".into()),
+            SasError::Io(std::io::Error::other("y")),
+            SasError::NoSuchPage(XPtr::new(1, 2)),
+            SasError::PoolExhausted,
+            SasError::NoWriteTxn,
+            SasError::StoreFull,
+            SasError::Corrupt("z".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: SasError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, SasError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,186 @@
+//! The 64-bit Sedna Address Space pointer.
+
+/// A pointer into the Sedna Address Space.
+///
+/// Following Section 4.2 of the paper, "the 64-bit address of an object in
+/// SAS consists of the layer number (the first 32 bits) and the address
+/// within the layer (the remaining 32 bits)". The same representation is
+/// used in main memory and on disk — that identity is what eliminates
+/// pointer swizzling.
+///
+/// The all-zero value is reserved as the null pointer ([`XPtr::NULL`]); the
+/// first page of layer 0 is therefore never allocated.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct XPtr(u64);
+
+impl XPtr {
+    /// The null pointer.
+    pub const NULL: XPtr = XPtr(0);
+
+    /// Builds a pointer from a layer number and an address within the layer.
+    #[inline]
+    pub const fn new(layer: u32, addr: u32) -> XPtr {
+        XPtr(((layer as u64) << 32) | addr as u64)
+    }
+
+    /// Reconstructs a pointer from its raw 64-bit representation.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> XPtr {
+        XPtr(raw)
+    }
+
+    /// The raw 64-bit representation (identical in memory and on disk).
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The layer number (upper 32 bits).
+    #[inline]
+    pub const fn layer(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The address within the layer (lower 32 bits).
+    #[inline]
+    pub const fn addr(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Whether this is the null pointer.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The pointer to the start of the page containing this address.
+    ///
+    /// `page_size` must be a power of two.
+    #[inline]
+    pub const fn page(self, page_size: usize) -> XPtr {
+        XPtr(self.0 & !((page_size as u64) - 1))
+    }
+
+    /// The byte offset of this address within its page.
+    #[inline]
+    pub const fn offset_in_page(self, page_size: usize) -> usize {
+        (self.0 as usize) & (page_size - 1)
+    }
+
+    /// A pointer `delta` bytes further within the same layer.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the addition overflows the 32-bit
+    /// within-layer address.
+    #[inline]
+    pub fn offset(self, delta: u32) -> XPtr {
+        debug_assert!(self.addr().checked_add(delta).is_some(), "XPtr overflow");
+        XPtr::new(self.layer(), self.addr().wrapping_add(delta))
+    }
+
+    /// Serializes the pointer into 8 little-endian bytes.
+    #[inline]
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// Deserializes a pointer from 8 little-endian bytes.
+    #[inline]
+    pub fn from_bytes(bytes: [u8; 8]) -> XPtr {
+        XPtr(u64::from_le_bytes(bytes))
+    }
+
+    /// Reads a pointer from `buf` at byte offset `at`.
+    #[inline]
+    pub fn read_at(buf: &[u8], at: usize) -> XPtr {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&buf[at..at + 8]);
+        XPtr::from_bytes(b)
+    }
+
+    /// Writes this pointer into `buf` at byte offset `at`.
+    #[inline]
+    pub fn write_at(self, buf: &mut [u8], at: usize) {
+        buf[at..at + 8].copy_from_slice(&self.to_bytes());
+    }
+}
+
+impl Default for XPtr {
+    fn default() -> Self {
+        XPtr::NULL
+    }
+}
+
+impl std::fmt::Debug for XPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            write!(f, "XPtr(NULL)")
+        } else {
+            write!(f, "XPtr({}:{:#x})", self.layer(), self.addr())
+        }
+    }
+}
+
+impl std::fmt::Display for XPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_and_addr_round_trip() {
+        let p = XPtr::new(7, 0xDEAD_BEEF);
+        assert_eq!(p.layer(), 7);
+        assert_eq!(p.addr(), 0xDEAD_BEEF);
+        assert_eq!(XPtr::from_raw(p.raw()), p);
+    }
+
+    #[test]
+    fn null_is_zero() {
+        assert!(XPtr::NULL.is_null());
+        assert!(!XPtr::new(0, 1).is_null());
+        assert_eq!(XPtr::default(), XPtr::NULL);
+    }
+
+    #[test]
+    fn page_and_offset() {
+        let ps = 4096;
+        let p = XPtr::new(3, 4096 * 5 + 100);
+        assert_eq!(p.page(ps), XPtr::new(3, 4096 * 5));
+        assert_eq!(p.offset_in_page(ps), 100);
+        assert_eq!(p.page(ps).offset_in_page(ps), 0);
+    }
+
+    #[test]
+    fn offset_moves_within_layer() {
+        let p = XPtr::new(2, 100);
+        assert_eq!(p.offset(28), XPtr::new(2, 128));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let p = XPtr::new(42, 0x1234_5678);
+        assert_eq!(XPtr::from_bytes(p.to_bytes()), p);
+        let mut buf = [0u8; 24];
+        p.write_at(&mut buf, 16);
+        assert_eq!(XPtr::read_at(&buf, 16), p);
+    }
+
+    #[test]
+    fn ordering_is_document_like() {
+        // Within a layer, ordering follows the address; across layers,
+        // the layer dominates.
+        assert!(XPtr::new(0, 10) < XPtr::new(0, 20));
+        assert!(XPtr::new(0, u32::MAX) < XPtr::new(1, 0));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", XPtr::NULL), "XPtr(NULL)");
+        assert_eq!(format!("{:?}", XPtr::new(1, 0x10)), "XPtr(1:0x10)");
+    }
+}

@@ -1,0 +1,26 @@
+//! # sedna-schema
+//!
+//! The **descriptive schema** of Section 4.1: "a relaxed variation of
+//! DataGuides: every path in an XML document has exactly one path in the
+//! descriptive schema", hence a tree. In contrast to a prescriptive schema
+//! (DTD/XML Schema), the descriptive schema is generated from the data
+//! dynamically and maintained incrementally, and is therefore applicable
+//! to any document.
+//!
+//! Each [`SchemaNode`] is labeled with a node kind and (for elements,
+//! attributes and PIs) a name, and heads the bidirectional list of data
+//! blocks storing the XML nodes that correspond to it — "the descriptive
+//! schema plays a role of a naturally built index for evaluating XPath
+//! expressions". The structural-path evaluator in [`path`] exploits
+//! exactly that: location paths made of descending axes and name tests
+//! are answered entirely in main memory over this tree (optimization
+//! §5.1.4, experiment E8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod path;
+mod tree;
+
+pub use path::{PathStep, SchemaAxis, SchemaTest};
+pub use tree::{NodeKind, SchemaName, SchemaNode, SchemaNodeId, SchemaTree};

@@ -1,0 +1,280 @@
+//! Structural-path evaluation over the descriptive schema (§5.1.4).
+//!
+//! "We call a location path a *structural* one if it starts from a
+//! document node and contains only descending axes and no predicates.
+//! [...] These are automatically mapped to Sedna access operations over
+//! descriptive schema and can thus be executed very quickly, since they
+//! are executed in main memory."
+//!
+//! A structural path evaluated here yields the set of schema nodes whose
+//! data-block lists hold exactly the path's result nodes — the query
+//! executor then scans those lists directly, never touching non-matching
+//! data.
+
+use crate::tree::{NodeKind, SchemaName, SchemaNodeId, SchemaTree};
+
+/// Axes usable in a structural path.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SchemaAxis {
+    /// Direct children.
+    Child,
+    /// All descendants.
+    Descendant,
+    /// Self or any descendant (`descendant-or-self::`).
+    DescendantOrSelf,
+    /// Attributes.
+    Attribute,
+}
+
+/// Node test of a structural-path step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SchemaTest {
+    /// `name` — elements (or attributes, on the attribute axis) with this
+    /// expanded name.
+    Name(SchemaName),
+    /// `*` — any element (or any attribute on the attribute axis).
+    AnyName,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()`
+    Pi,
+    /// `node()` — any node kind.
+    AnyKind,
+}
+
+impl SchemaTest {
+    fn matches(&self, tree: &SchemaTree, id: SchemaNodeId, axis: SchemaAxis) -> bool {
+        let node = tree.node(id);
+        let name_kind = if axis == SchemaAxis::Attribute {
+            NodeKind::Attribute
+        } else {
+            NodeKind::Element
+        };
+        match self {
+            SchemaTest::Name(n) => node.kind == name_kind && node.name.as_ref() == Some(n),
+            SchemaTest::AnyName => node.kind == name_kind,
+            SchemaTest::Text => node.kind == NodeKind::Text,
+            SchemaTest::Comment => node.kind == NodeKind::Comment,
+            SchemaTest::Pi => node.kind == NodeKind::ProcessingInstruction,
+            SchemaTest::AnyKind => {
+                if axis == SchemaAxis::Attribute {
+                    node.kind == NodeKind::Attribute
+                } else {
+                    node.kind != NodeKind::Attribute
+                }
+            }
+        }
+    }
+}
+
+/// One step of a structural path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PathStep {
+    /// The step's axis.
+    pub axis: SchemaAxis,
+    /// The step's node test.
+    pub test: SchemaTest,
+}
+
+impl PathStep {
+    /// `child::name`
+    pub fn child(name: impl Into<String>) -> PathStep {
+        PathStep {
+            axis: SchemaAxis::Child,
+            test: SchemaTest::Name(SchemaName::local(name)),
+        }
+    }
+
+    /// `descendant::name`
+    pub fn descendant(name: impl Into<String>) -> PathStep {
+        PathStep {
+            axis: SchemaAxis::Descendant,
+            test: SchemaTest::Name(SchemaName::local(name)),
+        }
+    }
+}
+
+/// Evaluates a structural path from the document node, returning the
+/// matching schema nodes **in document order of their first appearance**
+/// (schema creation order is first-appearance order, and the result is
+/// sorted by id). Runs entirely in main memory — no data blocks touched.
+pub fn eval_structural_path(tree: &SchemaTree, steps: &[PathStep]) -> Vec<SchemaNodeId> {
+    let mut current: Vec<SchemaNodeId> = vec![SchemaTree::ROOT];
+    for step in steps {
+        let mut next: Vec<SchemaNodeId> = Vec::new();
+        for &ctx in &current {
+            match step.axis {
+                SchemaAxis::Child | SchemaAxis::Attribute => {
+                    for &c in &tree.node(ctx).children {
+                        if step.test.matches(tree, c, step.axis) {
+                            next.push(c);
+                        }
+                    }
+                }
+                SchemaAxis::Descendant => {
+                    for d in tree.descendants(ctx) {
+                        if step.test.matches(tree, d, step.axis) {
+                            next.push(d);
+                        }
+                    }
+                }
+                SchemaAxis::DescendantOrSelf => {
+                    if step.test.matches(tree, ctx, step.axis) {
+                        next.push(ctx);
+                    }
+                    for d in tree.descendants(ctx) {
+                        if step.test.matches(tree, d, step.axis) {
+                            next.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SchemaTree {
+        // /library/{book{title,author,issue{publisher,year}}, paper{title,author}}
+        let mut t = SchemaTree::new();
+        let lib = t
+            .get_or_add_child(SchemaTree::ROOT, NodeKind::Element, Some(SchemaName::local("library")))
+            .0;
+        let book = t
+            .get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("book")))
+            .0;
+        t.get_or_add_child(book, NodeKind::Element, Some(SchemaName::local("title")));
+        t.get_or_add_child(book, NodeKind::Element, Some(SchemaName::local("author")));
+        let issue = t
+            .get_or_add_child(book, NodeKind::Element, Some(SchemaName::local("issue")))
+            .0;
+        t.get_or_add_child(issue, NodeKind::Element, Some(SchemaName::local("publisher")));
+        t.get_or_add_child(issue, NodeKind::Element, Some(SchemaName::local("year")));
+        let paper = t
+            .get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("paper")))
+            .0;
+        t.get_or_add_child(paper, NodeKind::Element, Some(SchemaName::local("title")));
+        t.get_or_add_child(paper, NodeKind::Element, Some(SchemaName::local("author")));
+        t.get_or_add_child(book, NodeKind::Attribute, Some(SchemaName::local("id")));
+        t
+    }
+
+    fn locals(t: &SchemaTree, ids: &[SchemaNodeId]) -> Vec<String> {
+        ids.iter()
+            .map(|&id| t.node(id).name.as_ref().unwrap().local.clone())
+            .collect()
+    }
+
+    #[test]
+    fn child_steps() {
+        let t = sample();
+        let r = eval_structural_path(
+            &t,
+            &[PathStep::child("library"), PathStep::child("book"), PathStep::child("title")],
+        );
+        assert_eq!(locals(&t, &r), ["title"]);
+    }
+
+    #[test]
+    fn descendant_finds_both_titles() {
+        let t = sample();
+        let r = eval_structural_path(&t, &[PathStep::descendant("title")]);
+        assert_eq!(r.len(), 2, "book/title and paper/title");
+    }
+
+    #[test]
+    fn descendant_mid_path() {
+        let t = sample();
+        let r = eval_structural_path(
+            &t,
+            &[PathStep::child("library"), PathStep::descendant("year")],
+        );
+        assert_eq!(locals(&t, &r), ["year"]);
+    }
+
+    #[test]
+    fn descendant_or_self_includes_context() {
+        let t = sample();
+        let r = eval_structural_path(
+            &t,
+            &[
+                PathStep::descendant("book"),
+                PathStep {
+                    axis: SchemaAxis::DescendantOrSelf,
+                    test: SchemaTest::AnyName,
+                },
+            ],
+        );
+        let names = locals(&t, &r);
+        assert!(names.contains(&"book".to_string()));
+        assert!(names.contains(&"issue".to_string()));
+        assert!(names.contains(&"year".to_string()));
+    }
+
+    #[test]
+    fn attribute_axis() {
+        let t = sample();
+        let r = eval_structural_path(
+            &t,
+            &[
+                PathStep::descendant("book"),
+                PathStep {
+                    axis: SchemaAxis::Attribute,
+                    test: SchemaTest::Name(SchemaName::local("id")),
+                },
+            ],
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(t.node(r[0]).kind, NodeKind::Attribute);
+    }
+
+    #[test]
+    fn wildcard_excludes_attributes() {
+        let t = sample();
+        let r = eval_structural_path(
+            &t,
+            &[
+                PathStep::descendant("book"),
+                PathStep {
+                    axis: SchemaAxis::Child,
+                    test: SchemaTest::AnyName,
+                },
+            ],
+        );
+        assert_eq!(locals(&t, &r), ["title", "author", "issue"]);
+    }
+
+    #[test]
+    fn no_match_is_empty_not_error() {
+        let t = sample();
+        let r = eval_structural_path(&t, &[PathStep::child("nonexistent")]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn duplicate_contexts_deduplicated() {
+        let t = sample();
+        // descendant::* then descendant::title — both book and library
+        // reach the titles; result must still list each title once.
+        let r = eval_structural_path(
+            &t,
+            &[
+                PathStep {
+                    axis: SchemaAxis::Descendant,
+                    test: SchemaTest::AnyName,
+                },
+                PathStep::descendant("title"),
+            ],
+        );
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,577 @@
+//! The descriptive-schema tree and its incremental maintenance.
+
+use sedna_sas::XPtr;
+
+/// XDM node kinds stored in the database (Figure 2 labels schema nodes
+/// with these).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// The document node (one per document; root of the schema).
+    Document,
+    /// An element node.
+    Element,
+    /// An attribute node.
+    Attribute,
+    /// A text node.
+    Text,
+    /// A comment node.
+    Comment,
+    /// A processing-instruction node.
+    ProcessingInstruction,
+}
+
+impl NodeKind {
+    /// Whether nodes of this kind carry a name.
+    pub fn is_named(self) -> bool {
+        matches!(
+            self,
+            NodeKind::Element | NodeKind::Attribute | NodeKind::ProcessingInstruction
+        )
+    }
+
+    /// Whether nodes of this kind carry a text value.
+    pub fn has_value(self) -> bool {
+        matches!(
+            self,
+            NodeKind::Attribute | NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction
+        )
+    }
+
+    /// Compact on-disk encoding.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            NodeKind::Document => 0,
+            NodeKind::Element => 1,
+            NodeKind::Attribute => 2,
+            NodeKind::Text => 3,
+            NodeKind::Comment => 4,
+            NodeKind::ProcessingInstruction => 5,
+        }
+    }
+
+    /// Decodes [`NodeKind::to_u8`].
+    pub fn from_u8(b: u8) -> Option<NodeKind> {
+        Some(match b {
+            0 => NodeKind::Document,
+            1 => NodeKind::Element,
+            2 => NodeKind::Attribute,
+            3 => NodeKind::Text,
+            4 => NodeKind::Comment,
+            5 => NodeKind::ProcessingInstruction,
+            _ => return None,
+        })
+    }
+}
+
+/// An expanded name: namespace URI plus local part (prefixes are a
+/// serialization artifact and are not part of node identity).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SchemaName {
+    /// Namespace URI (`None` = no namespace).
+    pub uri: Option<String>,
+    /// Local part.
+    pub local: String,
+}
+
+impl SchemaName {
+    /// A name with no namespace.
+    pub fn local(name: impl Into<String>) -> SchemaName {
+        SchemaName {
+            uri: None,
+            local: name.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemaName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(uri) = &self.uri {
+            write!(f, "{{{uri}}}")?;
+        }
+        write!(f, "{}", self.local)
+    }
+}
+
+/// Index of a schema node within its [`SchemaTree`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SchemaNodeId(pub u32);
+
+/// One node of the descriptive schema.
+#[derive(Clone, Debug)]
+pub struct SchemaNode {
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Name, for named kinds.
+    pub name: Option<SchemaName>,
+    /// Parent schema node (`None` for the document root).
+    pub parent: Option<SchemaNodeId>,
+    /// Child schema nodes **in order of first appearance** — this order
+    /// defines the child-pointer slots of node descriptors and must only
+    /// ever grow by appending.
+    pub children: Vec<SchemaNodeId>,
+    /// Head of the bidirectional data-block list.
+    pub first_block: XPtr,
+    /// Tail of the data-block list.
+    pub last_block: XPtr,
+    /// Number of data nodes currently described by this schema node.
+    pub node_count: u64,
+    /// Number of data blocks in the list.
+    pub block_count: u32,
+}
+
+/// The descriptive schema of one document: a tree of [`SchemaNode`]s.
+#[derive(Clone, Debug)]
+pub struct SchemaTree {
+    nodes: Vec<SchemaNode>,
+}
+
+impl SchemaTree {
+    /// The document root's id.
+    pub const ROOT: SchemaNodeId = SchemaNodeId(0);
+
+    /// Creates a schema containing only the document node.
+    pub fn new() -> SchemaTree {
+        SchemaTree {
+            nodes: vec![SchemaNode {
+                kind: NodeKind::Document,
+                name: None,
+                parent: None,
+                children: Vec::new(),
+                first_block: XPtr::NULL,
+                last_block: XPtr::NULL,
+                node_count: 0,
+                block_count: 0,
+            }],
+        }
+    }
+
+    /// Number of schema nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the schema holds only the document node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Immutable access to a schema node.
+    pub fn node(&self, id: SchemaNodeId) -> &SchemaNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a schema node.
+    pub fn node_mut(&mut self, id: SchemaNodeId) -> &mut SchemaNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Finds the child of `parent` matching `(kind, name)`.
+    pub fn find_child(
+        &self,
+        parent: SchemaNodeId,
+        kind: NodeKind,
+        name: Option<&SchemaName>,
+    ) -> Option<SchemaNodeId> {
+        self.node(parent)
+            .children
+            .iter()
+            .copied()
+            .find(|&c| {
+                let n = self.node(c);
+                n.kind == kind && n.name.as_deref_name() == name
+            })
+    }
+
+    /// Incremental maintenance: returns the child of `parent` for
+    /// `(kind, name)`, creating it if this path is new. The second result
+    /// is `true` when a schema node was created — the event that triggers
+    /// the delayed per-block descriptor widening in the storage layer.
+    pub fn get_or_add_child(
+        &mut self,
+        parent: SchemaNodeId,
+        kind: NodeKind,
+        name: Option<SchemaName>,
+    ) -> (SchemaNodeId, bool) {
+        debug_assert_eq!(kind.is_named(), name.is_some(), "kind/name mismatch");
+        if let Some(existing) = self.find_child(parent, kind, name.as_ref()) {
+            return (existing, false);
+        }
+        let id = SchemaNodeId(self.nodes.len() as u32);
+        self.nodes.push(SchemaNode {
+            kind,
+            name,
+            parent: Some(parent),
+            children: Vec::new(),
+            first_block: XPtr::NULL,
+            last_block: XPtr::NULL,
+            node_count: 0,
+            block_count: 0,
+        });
+        self.node_mut(parent).children.push(id);
+        (id, true)
+    }
+
+    /// The position of `child` among `parent`'s children — the
+    /// child-pointer slot index in node descriptors of `parent`.
+    pub fn child_slot(&self, parent: SchemaNodeId, child: SchemaNodeId) -> Option<usize> {
+        self.node(parent).children.iter().position(|&c| c == child)
+    }
+
+    /// Number of child schema nodes of `parent` (the full descriptor
+    /// width for freshly allocated blocks of `parent`).
+    pub fn child_count(&self, parent: SchemaNodeId) -> usize {
+        self.node(parent).children.len()
+    }
+
+    /// The path from the root to `id`, inclusive.
+    pub fn path_of(&self, id: SchemaNodeId) -> Vec<SchemaNodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Depth of `id` (root = 0).
+    pub fn depth(&self, id: SchemaNodeId) -> usize {
+        self.path_of(id).len() - 1
+    }
+
+    /// Iterates over every schema node id in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = SchemaNodeId> {
+        (0..self.nodes.len() as u32).map(SchemaNodeId)
+    }
+
+    /// All descendants of `id` (excluding `id`), preorder.
+    pub fn descendants(&self, id: SchemaNodeId) -> Vec<SchemaNodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<SchemaNodeId> = self.node(id).children.iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.node(n).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Serializes the schema into a byte vector (catalog persistence).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        for node in &self.nodes {
+            out.push(node.kind.to_u8());
+            match &node.name {
+                Some(name) => {
+                    out.push(1);
+                    write_opt_str(&mut out, name.uri.as_deref());
+                    write_str(&mut out, &name.local);
+                }
+                None => out.push(0),
+            }
+            out.extend_from_slice(
+                &node
+                    .parent
+                    .map_or(u32::MAX, |p| p.0)
+                    .to_le_bytes(),
+            );
+            out.extend_from_slice(&(node.children.len() as u32).to_le_bytes());
+            for c in &node.children {
+                out.extend_from_slice(&c.0.to_le_bytes());
+            }
+            out.extend_from_slice(&node.first_block.to_bytes());
+            out.extend_from_slice(&node.last_block.to_bytes());
+            out.extend_from_slice(&node.node_count.to_le_bytes());
+            out.extend_from_slice(&node.block_count.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes [`SchemaTree::to_bytes`] output.
+    pub fn from_bytes(buf: &[u8]) -> Option<SchemaTree> {
+        let mut r = Reader { buf, pos: 0 };
+        let n = r.u32()? as usize;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kind = NodeKind::from_u8(r.u8()?)?;
+            let name = if r.u8()? == 1 {
+                let uri = r.opt_str()?;
+                let local = r.str()?;
+                Some(SchemaName { uri, local })
+            } else {
+                None
+            };
+            let parent_raw = r.u32()?;
+            let parent = (parent_raw != u32::MAX).then_some(SchemaNodeId(parent_raw));
+            let n_children = r.u32()? as usize;
+            let mut children = Vec::with_capacity(n_children);
+            for _ in 0..n_children {
+                children.push(SchemaNodeId(r.u32()?));
+            }
+            let first_block = XPtr::from_raw(r.u64()?);
+            let last_block = XPtr::from_raw(r.u64()?);
+            let node_count = r.u64()?;
+            let block_count = r.u32()?;
+            nodes.push(SchemaNode {
+                kind,
+                name,
+                parent,
+                children,
+                first_block,
+                last_block,
+                node_count,
+                block_count,
+            });
+        }
+        if nodes.is_empty() {
+            return None;
+        }
+        Some(SchemaTree { nodes })
+    }
+}
+
+impl Default for SchemaTree {
+    fn default() -> Self {
+        SchemaTree::new()
+    }
+}
+
+/// Helper so `find_child` can compare `Option<&SchemaName>`.
+trait AsDerefName {
+    fn as_deref_name(&self) -> Option<&SchemaName>;
+}
+
+impl AsDerefName for Option<SchemaName> {
+    fn as_deref_name(&self) -> Option<&SchemaName> {
+        self.as_ref()
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            out.push(1);
+            write_str(out, s);
+        }
+        None => out.push(0),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+    fn opt_str(&mut self) -> Option<Option<String>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.str()?)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Figure-2 schema: library with books (title, author,
+    /// issue/publisher, issue/year) and papers (title, author).
+    fn fig2_schema() -> SchemaTree {
+        let mut t = SchemaTree::new();
+        let lib = t
+            .get_or_add_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(SchemaName::local("library")),
+            )
+            .0;
+        let book = t
+            .get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("book")))
+            .0;
+        t.get_or_add_child(book, NodeKind::Element, Some(SchemaName::local("title")));
+        let author = t
+            .get_or_add_child(book, NodeKind::Element, Some(SchemaName::local("author")))
+            .0;
+        t.get_or_add_child(author, NodeKind::Text, None);
+        let issue = t
+            .get_or_add_child(book, NodeKind::Element, Some(SchemaName::local("issue")))
+            .0;
+        t.get_or_add_child(issue, NodeKind::Element, Some(SchemaName::local("publisher")));
+        t.get_or_add_child(issue, NodeKind::Element, Some(SchemaName::local("year")));
+        let paper = t
+            .get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("paper")))
+            .0;
+        t.get_or_add_child(paper, NodeKind::Element, Some(SchemaName::local("title")));
+        t.get_or_add_child(paper, NodeKind::Element, Some(SchemaName::local("author")));
+        t
+    }
+
+    #[test]
+    fn every_path_appears_once() {
+        let mut t = fig2_schema();
+        let before = t.len();
+        // Re-adding existing paths creates nothing.
+        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        let (book, added) =
+            t.get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("book")));
+        assert!(!added);
+        assert_eq!(t.len(), before);
+        // The library element has exactly 2 element children in the schema
+        // (book, paper) no matter how many books the data holds — the
+        // paper's Figure 2 point.
+        assert_eq!(t.child_count(lib), 2);
+        assert_eq!(t.child_slot(lib, book), Some(0));
+    }
+
+    #[test]
+    fn new_paths_append_and_report_added() {
+        let mut t = fig2_schema();
+        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        let (dvd, added) =
+            t.get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("dvd")));
+        assert!(added);
+        // Appended after existing children: slots of existing children are
+        // stable (descriptor layout invariant).
+        assert_eq!(t.child_slot(lib, dvd), Some(2));
+    }
+
+    #[test]
+    fn kinds_distinguish_same_name() {
+        let mut t = SchemaTree::new();
+        let e = t
+            .get_or_add_child(SchemaTree::ROOT, NodeKind::Element, Some(SchemaName::local("x")))
+            .0;
+        let (a1, added1) =
+            t.get_or_add_child(e, NodeKind::Attribute, Some(SchemaName::local("id")));
+        let (e1, added2) = t.get_or_add_child(e, NodeKind::Element, Some(SchemaName::local("id")));
+        assert!(added1 && added2);
+        assert_ne!(a1, e1);
+    }
+
+    #[test]
+    fn namespaced_names_are_distinct() {
+        let mut t = SchemaTree::new();
+        let (a, _) = t.get_or_add_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(SchemaName {
+                uri: Some("urn:a".into()),
+                local: "x".into(),
+            }),
+        );
+        let (b, added) = t.get_or_add_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(SchemaName {
+                uri: Some("urn:b".into()),
+                local: "x".into(),
+            }),
+        );
+        assert!(added);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn path_and_depth() {
+        let t = fig2_schema();
+        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        let book = t.find_child(lib, NodeKind::Element, Some(&SchemaName::local("book"))).unwrap();
+        let title = t.find_child(book, NodeKind::Element, Some(&SchemaName::local("title"))).unwrap();
+        assert_eq!(t.path_of(title), vec![SchemaTree::ROOT, lib, book, title]);
+        assert_eq!(t.depth(title), 3);
+        assert_eq!(t.depth(SchemaTree::ROOT), 0);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let t = fig2_schema();
+        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        let descs = t.descendants(lib);
+        // book subtree first (book, title, author, text, issue, publisher,
+        // year), then paper subtree.
+        let names: Vec<String> = descs
+            .iter()
+            .map(|&d| {
+                t.node(d)
+                    .name
+                    .as_ref()
+                    .map(|n| n.local.clone())
+                    .unwrap_or_else(|| format!("{:?}", t.node(d).kind))
+            })
+            .collect();
+        assert_eq!(
+            names,
+            ["book", "title", "author", "Text", "issue", "publisher", "year", "paper", "title", "author"]
+        );
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut t = fig2_schema();
+        // Give some nodes block pointers and counts.
+        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        t.node_mut(lib).first_block = XPtr::new(1, 0x4000);
+        t.node_mut(lib).last_block = XPtr::new(1, 0x8000);
+        t.node_mut(lib).node_count = 7;
+        t.node_mut(lib).block_count = 2;
+        let bytes = t.to_bytes();
+        let back = SchemaTree::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), t.len());
+        let lib2 = back.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        assert_eq!(back.node(lib2).first_block, XPtr::new(1, 0x4000));
+        assert_eq!(back.node(lib2).node_count, 7);
+        assert_eq!(back.child_count(lib2), 2);
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        assert!(SchemaTree::from_bytes(&[]).is_none());
+        assert!(SchemaTree::from_bytes(&[1, 2, 3]).is_none());
+        let mut good = fig2_schema().to_bytes();
+        good.truncate(good.len() / 2);
+        assert!(SchemaTree::from_bytes(&good).is_none());
+    }
+
+    #[test]
+    fn node_kind_codec() {
+        for k in [
+            NodeKind::Document,
+            NodeKind::Element,
+            NodeKind::Attribute,
+            NodeKind::Text,
+            NodeKind::Comment,
+            NodeKind::ProcessingInstruction,
+        ] {
+            assert_eq!(NodeKind::from_u8(k.to_u8()), Some(k));
+        }
+        assert_eq!(NodeKind::from_u8(99), None);
+    }
+}

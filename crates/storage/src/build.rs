@@ -1,0 +1,216 @@
+//! Bulk loading: building a stored document from an XML event stream.
+//!
+//! The builder exploits the fact that during a document-order load every
+//! open element is the *last* node of its schema node's list, so each new
+//! node simply appends to its list's tail — no position search, no splits
+//! (full blocks grow the list with a fresh tail block).
+
+use sedna_numbering::{Label, LabelAlloc};
+use sedna_sas::{Vas, XPtr};
+use sedna_schema::{NodeKind, SchemaName, SchemaNodeId, SchemaTree};
+use sedna_xml::{QName, XmlEvent};
+
+use crate::doc::DocStorage;
+use crate::error::{StorageError, StorageResult};
+use crate::indirection::deref_handle;
+use crate::node::NodeRef;
+use crate::ParentMode;
+
+/// State of one open element during the build.
+struct Open {
+    handle: XPtr,
+    sid: SchemaNodeId,
+    label: Label,
+    last_child_handle: XPtr,
+    last_child_label: Option<Label>,
+    /// Child schema nodes that already have their head pointer set.
+    seen_child_sids: Vec<SchemaNodeId>,
+}
+
+/// Streams XML events into a [`DocStorage`].
+pub struct DocBuilder<'a> {
+    vas: &'a Vas,
+    schema: &'a mut SchemaTree,
+    doc: &'a mut DocStorage,
+    stack: Vec<Open>,
+    nodes_built: u64,
+}
+
+impl<'a> DocBuilder<'a> {
+    /// Starts building into `doc` (which must be freshly created — only a
+    /// document node, no content).
+    pub fn new(
+        vas: &'a Vas,
+        schema: &'a mut SchemaTree,
+        doc: &'a mut DocStorage,
+    ) -> StorageResult<DocBuilder<'a>> {
+        let doc_node = doc.doc_node(vas)?;
+        let label = doc_node.label(vas)?;
+        let handle = doc.doc_handle;
+        Ok(DocBuilder {
+            vas,
+            schema,
+            doc,
+            stack: vec![Open {
+                handle,
+                sid: SchemaTree::ROOT,
+                label,
+                last_child_handle: XPtr::NULL,
+                last_child_label: None,
+                seen_child_sids: Vec::new(),
+            }],
+            nodes_built: 0,
+        })
+    }
+
+    /// Number of nodes created so far.
+    pub fn nodes_built(&self) -> u64 {
+        self.nodes_built
+    }
+
+    /// Feeds one parser event.
+    pub fn event(&mut self, ev: &XmlEvent) -> StorageResult<()> {
+        match ev {
+            XmlEvent::StartElement {
+                name, attributes, ..
+            } => {
+                self.start_element(name)?;
+                for attr in attributes {
+                    self.leaf(
+                        NodeKind::Attribute,
+                        Some(qname_to_schema(&attr.name)),
+                        attr.value.as_bytes(),
+                    )?;
+                }
+                Ok(())
+            }
+            XmlEvent::EndElement { .. } => self.end_element(),
+            XmlEvent::Text { content, .. } => self.leaf(NodeKind::Text, None, content.as_bytes()),
+            XmlEvent::Comment(c) => self.leaf(NodeKind::Comment, None, c.as_bytes()),
+            XmlEvent::ProcessingInstruction { target, data } => self.leaf(
+                NodeKind::ProcessingInstruction,
+                Some(SchemaName::local(target.clone())),
+                data.as_bytes(),
+            ),
+        }
+    }
+
+    /// Opens an element.
+    pub fn start_element(&mut self, name: &QName) -> StorageResult<()> {
+        let handle = self.append_node(NodeKind::Element, Some(qname_to_schema(name)), None)?;
+        let top = self.stack.last().expect("document node always open");
+        let label = top.last_child_label.clone().expect("just appended");
+        let sid = NodeRef(deref_handle(self.vas, handle)?).schema(self.vas)?;
+        self.stack.push(Open {
+            handle,
+            sid,
+            label,
+            last_child_handle: XPtr::NULL,
+            last_child_label: None,
+            seen_child_sids: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Closes the innermost open element.
+    pub fn end_element(&mut self) -> StorageResult<()> {
+        if self.stack.len() <= 1 {
+            return Err(StorageError::Corrupt("unbalanced end_element".into()));
+        }
+        self.stack.pop();
+        Ok(())
+    }
+
+    /// Appends a leaf node (attribute, text, comment, PI).
+    pub fn leaf(
+        &mut self,
+        kind: NodeKind,
+        name: Option<SchemaName>,
+        value: &[u8],
+    ) -> StorageResult<()> {
+        self.append_node(kind, name, Some(value))?;
+        Ok(())
+    }
+
+    /// Core append: creates a node as the new last child of the innermost
+    /// open element, at the tail of its schema node's list.
+    fn append_node(
+        &mut self,
+        kind: NodeKind,
+        name: Option<SchemaName>,
+        value: Option<&[u8]>,
+    ) -> StorageResult<XPtr> {
+        let top = self.stack.last().expect("document node always open");
+        let (sid, _added) = self.schema.get_or_add_child(top.sid, kind, name);
+        let label = LabelAlloc::child(&top.label, top.last_child_label.as_ref(), None);
+        let is_first_of_sid = !top.seen_child_sids.contains(&sid);
+
+        let handle = self.doc.append_at_tail(
+            self.vas,
+            self.schema,
+            top.handle,
+            top.last_child_handle,
+            sid,
+            kind,
+            &label,
+            value,
+            is_first_of_sid,
+        )?;
+
+        let top = self.stack.last_mut().expect("document node always open");
+        top.last_child_handle = handle;
+        top.last_child_label = Some(label);
+        if is_first_of_sid {
+            top.seen_child_sids.push(sid);
+        }
+        self.nodes_built += 1;
+        Ok(handle)
+    }
+
+    /// Finishes the build, checking balance.
+    pub fn finish(self) -> StorageResult<u64> {
+        if self.stack.len() != 1 {
+            return Err(StorageError::Corrupt(format!(
+                "{} elements left open",
+                self.stack.len() - 1
+            )));
+        }
+        Ok(self.nodes_built)
+    }
+}
+
+/// Loads a full parsed event stream into `doc`.
+pub fn build_from_events(
+    vas: &Vas,
+    schema: &mut SchemaTree,
+    doc: &mut DocStorage,
+    events: &[XmlEvent],
+) -> StorageResult<u64> {
+    let mut b = DocBuilder::new(vas, schema, doc)?;
+    for ev in events {
+        b.event(ev)?;
+    }
+    b.finish()
+}
+
+/// Parses and loads an XML string into a fresh document.
+pub fn load_xml(
+    vas: &Vas,
+    schema: &mut SchemaTree,
+    mode: ParentMode,
+    xml: &str,
+) -> StorageResult<DocStorage> {
+    let events = sedna_xml::XmlReader::new(xml)
+        .collect_events()
+        .map_err(|e| StorageError::Corrupt(format!("XML parse error: {e}")))?;
+    let mut doc = DocStorage::create(vas, schema, mode)?;
+    build_from_events(vas, schema, &mut doc, &events)?;
+    Ok(doc)
+}
+
+fn qname_to_schema(q: &QName) -> SchemaName {
+    SchemaName {
+        uri: q.uri.clone(),
+        local: q.local.clone(),
+    }
+}

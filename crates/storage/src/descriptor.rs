@@ -1,0 +1,289 @@
+//! Field access for node descriptors (Figure 3) inside raw page bytes.
+//!
+//! All functions take the page buffer and the descriptor's byte offset;
+//! nothing here performs I/O, so the same accessors serve reads, writes,
+//! splits, and recovery redo.
+
+use sedna_numbering::Label;
+use sedna_sas::XPtr;
+use sedna_schema::NodeKind;
+
+use crate::layout::*;
+use crate::util::*;
+
+/// Reads the node kind.
+pub fn kind(page: &[u8], off: usize) -> Option<NodeKind> {
+    NodeKind::from_u8(page[off + ND_KIND])
+}
+
+/// Writes the node kind.
+pub fn set_kind(page: &mut [u8], off: usize, k: NodeKind) {
+    page[off + ND_KIND] = k.to_u8();
+}
+
+/// Reads the in-block successor slot.
+pub fn next_in_block(page: &[u8], off: usize) -> u16 {
+    get_u16(page, off + ND_NEXT_IN_BLOCK)
+}
+
+/// Writes the in-block successor slot.
+pub fn set_next_in_block(page: &mut [u8], off: usize, slot: u16) {
+    put_u16(page, off + ND_NEXT_IN_BLOCK, slot)
+}
+
+/// Reads the in-block predecessor slot.
+pub fn prev_in_block(page: &[u8], off: usize) -> u16 {
+    get_u16(page, off + ND_PREV_IN_BLOCK)
+}
+
+/// Writes the in-block predecessor slot.
+pub fn set_prev_in_block(page: &mut [u8], off: usize, slot: u16) {
+    put_u16(page, off + ND_PREV_IN_BLOCK, slot)
+}
+
+/// Reads the node handle (the indirection entry's address).
+pub fn handle(page: &[u8], off: usize) -> XPtr {
+    get_xptr(page, off + ND_HANDLE)
+}
+
+/// Writes the node handle.
+pub fn set_handle(page: &mut [u8], off: usize, h: XPtr) {
+    put_xptr(page, off + ND_HANDLE, h)
+}
+
+/// Reads the parent pointer (indirect: the parent's indirection entry; in
+/// the direct-parent baseline: the parent descriptor).
+pub fn parent(page: &[u8], off: usize) -> XPtr {
+    get_xptr(page, off + ND_PARENT)
+}
+
+/// Writes the parent pointer.
+pub fn set_parent(page: &mut [u8], off: usize, p: XPtr) {
+    put_xptr(page, off + ND_PARENT, p)
+}
+
+/// Reads the left-sibling direct pointer.
+pub fn left_sibling(page: &[u8], off: usize) -> XPtr {
+    get_xptr(page, off + ND_LEFT_SIB)
+}
+
+/// Writes the left-sibling direct pointer.
+pub fn set_left_sibling(page: &mut [u8], off: usize, p: XPtr) {
+    put_xptr(page, off + ND_LEFT_SIB, p)
+}
+
+/// Reads the right-sibling direct pointer.
+pub fn right_sibling(page: &[u8], off: usize) -> XPtr {
+    get_xptr(page, off + ND_RIGHT_SIB)
+}
+
+/// Writes the right-sibling direct pointer.
+pub fn set_right_sibling(page: &mut [u8], off: usize, p: XPtr) {
+    put_xptr(page, off + ND_RIGHT_SIB, p)
+}
+
+/// Reads the text-storage reference of the node's value.
+pub fn value(page: &[u8], off: usize) -> XPtr {
+    get_xptr(page, off + ND_VALUE)
+}
+
+/// Writes the value reference.
+pub fn set_value(page: &mut [u8], off: usize, v: XPtr) {
+    put_xptr(page, off + ND_VALUE, v)
+}
+
+/// Reads child pointer `slot` given the block's child-slot count.
+/// Slots beyond the block's width read as null (the delayed-widening
+/// contract: a narrow block simply has no pointer for new schema
+/// children yet).
+pub fn child(page: &[u8], off: usize, slot: usize, block_child_slots: u16) -> XPtr {
+    if slot >= block_child_slots as usize {
+        return XPtr::NULL;
+    }
+    get_xptr(page, off + ND_CHILDREN + 8 * slot)
+}
+
+/// Writes child pointer `slot`.
+///
+/// # Panics
+/// Panics if `slot` exceeds the block's width — callers must relocate the
+/// descriptor to a wider block first (`DocStorage::ensure_child_slot`).
+pub fn set_child(page: &mut [u8], off: usize, slot: usize, block_child_slots: u16, p: XPtr) {
+    assert!(
+        slot < block_child_slots as usize,
+        "child slot {slot} outside block width {block_child_slots}"
+    );
+    put_xptr(page, off + ND_CHILDREN + 8 * slot, p)
+}
+
+/// Whether the label prefix is spilled to text storage.
+pub fn label_spilled(page: &[u8], off: usize) -> bool {
+    page[off + ND_FLAGS] & NDF_LABEL_SPILLED != 0
+}
+
+/// Result of reading a descriptor's label field.
+pub enum RawLabel {
+    /// Label fully stored inline.
+    Inline(Label),
+    /// Prefix spilled: text reference to the full prefix bytes, plus the
+    /// delimiter.
+    Spilled {
+        /// Text-storage reference of the prefix bytes.
+        text_ref: XPtr,
+        /// The delimiter character.
+        delim: u8,
+    },
+}
+
+/// Reads the label field.
+pub fn label(page: &[u8], off: usize) -> RawLabel {
+    let len = get_u16(page, off + ND_LABEL_LEN) as usize;
+    let delim = page[off + ND_LABEL_DELIM];
+    if label_spilled(page, off) {
+        RawLabel::Spilled {
+            text_ref: get_xptr(page, off + ND_LABEL_INLINE),
+            delim,
+        }
+    } else {
+        debug_assert!(len <= LABEL_INLINE_LEN);
+        let prefix = page[off + ND_LABEL_INLINE..off + ND_LABEL_INLINE + len].to_vec();
+        RawLabel::Inline(Label::from_parts(prefix, delim))
+    }
+}
+
+/// Writes an inline label. The prefix must fit [`LABEL_INLINE_LEN`].
+pub fn set_label_inline(page: &mut [u8], off: usize, l: &Label) {
+    let prefix = l.prefix();
+    assert!(prefix.len() <= LABEL_INLINE_LEN, "label does not fit inline");
+    put_u16(page, off + ND_LABEL_LEN, prefix.len() as u16);
+    page[off + ND_LABEL_DELIM] = l.delim();
+    page[off + ND_LABEL_INLINE..off + ND_LABEL_INLINE + prefix.len()].copy_from_slice(prefix);
+    page[off + ND_FLAGS] &= !NDF_LABEL_SPILLED;
+}
+
+/// Writes a spilled label: the prefix lives in text storage at `text_ref`.
+pub fn set_label_spilled(page: &mut [u8], off: usize, text_ref: XPtr, prefix_len: usize, delim: u8) {
+    put_u16(page, off + ND_LABEL_LEN, prefix_len.min(u16::MAX as usize) as u16);
+    page[off + ND_LABEL_DELIM] = delim;
+    put_xptr(page, off + ND_LABEL_INLINE, text_ref);
+    page[off + ND_FLAGS] |= NDF_LABEL_SPILLED;
+}
+
+/// Copies descriptor fields from one location to another, adapting the
+/// child-pointer width (extra target slots are zero; extra source slots
+/// must be null — callers only narrow via deletion).
+pub fn copy_desc(
+    src_page: &[u8],
+    src_off: usize,
+    src_child_slots: u16,
+    dst_page: &mut [u8],
+    dst_off: usize,
+    dst_child_slots: u16,
+    dst_desc_size: usize,
+) {
+    debug_assert!(dst_child_slots >= src_child_slots);
+    dst_page[dst_off..dst_off + dst_desc_size].fill(0);
+    // Fixed part verbatim (includes label, pointers, flags); in-block
+    // links are location-specific and re-set by the caller.
+    dst_page[dst_off..dst_off + ND_FIXED_LEN]
+        .copy_from_slice(&src_page[src_off..src_off + ND_FIXED_LEN]);
+    for slot in 0..src_child_slots as usize {
+        let v = get_u64(src_page, src_off + ND_CHILDREN + 8 * slot);
+        put_u64(dst_page, dst_off + ND_CHILDREN + 8 * slot, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_numbering::LabelAlloc;
+
+    #[test]
+    fn field_round_trips() {
+        let mut page = vec![0u8; 512];
+        let off = 64;
+        set_kind(&mut page, off, NodeKind::Element);
+        set_next_in_block(&mut page, off, 5);
+        set_prev_in_block(&mut page, off, 9);
+        set_handle(&mut page, off, XPtr::new(1, 1000));
+        set_parent(&mut page, off, XPtr::new(1, 2000));
+        set_left_sibling(&mut page, off, XPtr::new(2, 64));
+        set_right_sibling(&mut page, off, XPtr::new(2, 128));
+        set_value(&mut page, off, XPtr::new(3, 36));
+        assert_eq!(kind(&page, off), Some(NodeKind::Element));
+        assert_eq!(next_in_block(&page, off), 5);
+        assert_eq!(prev_in_block(&page, off), 9);
+        assert_eq!(handle(&page, off), XPtr::new(1, 1000));
+        assert_eq!(parent(&page, off), XPtr::new(1, 2000));
+        assert_eq!(left_sibling(&page, off), XPtr::new(2, 64));
+        assert_eq!(right_sibling(&page, off), XPtr::new(2, 128));
+        assert_eq!(value(&page, off), XPtr::new(3, 36));
+    }
+
+    #[test]
+    fn inline_label_round_trip() {
+        let mut page = vec![0u8; 512];
+        let off = 64;
+        let l = LabelAlloc::append_child(&LabelAlloc::root(), None);
+        set_label_inline(&mut page, off, &l);
+        match label(&page, off) {
+            RawLabel::Inline(back) => assert_eq!(back, l),
+            RawLabel::Spilled { .. } => panic!("should be inline"),
+        }
+        assert!(!label_spilled(&page, off));
+    }
+
+    #[test]
+    fn spilled_label_round_trip() {
+        let mut page = vec![0u8; 512];
+        let off = 64;
+        set_label_spilled(&mut page, off, XPtr::new(9, 36), 100, 0xFF);
+        assert!(label_spilled(&page, off));
+        match label(&page, off) {
+            RawLabel::Spilled { text_ref, delim } => {
+                assert_eq!(text_ref, XPtr::new(9, 36));
+                assert_eq!(delim, 0xFF);
+            }
+            RawLabel::Inline(_) => panic!("should be spilled"),
+        }
+    }
+
+    #[test]
+    fn children_respect_block_width() {
+        let mut page = vec![0u8; 512];
+        let off = 64;
+        set_child(&mut page, off, 0, 2, XPtr::new(1, 64));
+        set_child(&mut page, off, 1, 2, XPtr::new(1, 128));
+        assert_eq!(child(&page, off, 0, 2), XPtr::new(1, 64));
+        assert_eq!(child(&page, off, 1, 2), XPtr::new(1, 128));
+        // Reading past the width is null, not junk.
+        assert_eq!(child(&page, off, 5, 2), XPtr::NULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside block width")]
+    fn writing_past_width_panics() {
+        let mut page = vec![0u8; 512];
+        set_child(&mut page, 64, 2, 2, XPtr::new(1, 64));
+    }
+
+    #[test]
+    fn copy_desc_widens() {
+        let mut src = vec![0u8; 512];
+        let mut dst = vec![0u8; 512];
+        let l = LabelAlloc::root();
+        set_kind(&mut src, 64, NodeKind::Element);
+        set_label_inline(&mut src, 64, &l);
+        set_handle(&mut src, 64, XPtr::new(4, 8));
+        set_child(&mut src, 64, 0, 1, XPtr::new(5, 64));
+        copy_desc(&src, 64, 1, &mut dst, 128, 3, desc_size(3));
+        assert_eq!(kind(&dst, 128), Some(NodeKind::Element));
+        assert_eq!(handle(&dst, 128), XPtr::new(4, 8));
+        assert_eq!(child(&dst, 128, 0, 3), XPtr::new(5, 64));
+        assert_eq!(child(&dst, 128, 1, 3), XPtr::NULL);
+        match label(&dst, 128) {
+            RawLabel::Inline(back) => assert_eq!(back, l),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,1213 @@
+//! Per-document storage: block lists per schema node, node insertion and
+//! deletion, block splits, and the delayed per-block descriptor widening
+//! (Section 4.1).
+
+use sedna_numbering::{DocOrder, Label, LabelAlloc};
+use sedna_sas::{Vas, XPtr};
+use sedna_schema::{NodeKind, SchemaName, SchemaNodeId, SchemaTree};
+
+use crate::descriptor as d;
+use crate::error::{StorageError, StorageResult};
+use crate::indirection::{deref_handle, retarget_handle};
+use crate::layout::*;
+use crate::node::NodeRef;
+use crate::text::TextStore;
+use crate::util::*;
+use crate::block;
+
+/// How parent pointers are represented.
+///
+/// [`ParentMode::Indirect`] is the paper's design: parents are referenced
+/// through the indirection table, so moving a node updates one table
+/// entry. [`ParentMode::Direct`] is the experiment-E4 baseline: children
+/// hold the parent's descriptor address directly, so moving a parent
+/// rewrites every child.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ParentMode {
+    /// Parent pointers go through the indirection table (Sedna design).
+    Indirect,
+    /// Parent pointers are direct descriptor addresses (baseline).
+    Direct,
+}
+
+/// Pointer-maintenance counters, the measured quantity of experiment E4.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Individual pointer fields rewritten by structural maintenance.
+    pub pointer_updates: u64,
+    /// Block splits performed.
+    pub splits: u64,
+    /// Node blocks allocated.
+    pub blocks_allocated: u64,
+    /// Descriptors physically moved between blocks.
+    pub descriptors_moved: u64,
+}
+
+/// Minimum child-pointer width given to fresh blocks of element/document
+/// schema nodes, so that the first few distinct child schemas do not each
+/// force a widening relocation during bulk load.
+const MIN_ELEMENT_WIDTH: u16 = 4;
+
+/// Insert position within a schema node's block list: after `prev_slot`
+/// in `block`'s chain (`NO_SLOT` = at the chain head).
+#[derive(Copy, Clone, Debug)]
+struct ListPos {
+    block: XPtr,
+    prev_slot: u16,
+}
+
+/// The storage of one XML document.
+#[derive(Clone)]
+pub struct DocStorage {
+    /// Parent-pointer representation.
+    pub mode: ParentMode,
+    /// Handle of the document node.
+    pub doc_handle: XPtr,
+    /// The document's text storage.
+    pub text: TextStore,
+    /// Head of the overflow indirection-block chain (blocks created when a
+    /// node's own block had no room for its indirection entry).
+    pub overflow_indir: XPtr,
+    /// Pointer-maintenance counters.
+    pub stats: UpdateStats,
+}
+
+impl DocStorage {
+    /// Creates the storage for a fresh document: its document node and the
+    /// root schema node's first block.
+    pub fn create(vas: &Vas, schema: &mut SchemaTree, mode: ParentMode) -> StorageResult<DocStorage> {
+        let mut doc = DocStorage {
+            mode,
+            doc_handle: XPtr::NULL,
+            text: TextStore::new(),
+            overflow_indir: XPtr::NULL,
+            stats: UpdateStats::default(),
+        };
+        let sid = SchemaTree::ROOT;
+        let blk = doc.alloc_block(vas, schema, sid, MIN_ELEMENT_WIDTH)?;
+        doc.link_block_tail(vas, schema, sid, blk)?;
+        let label = LabelAlloc::root();
+        let (desc, handle) = doc.place_descriptor(
+            vas,
+            schema,
+            sid,
+            ListPos { block: blk, prev_slot: NO_SLOT },
+            &label,
+            NodeKind::Document,
+        )?;
+        let _ = desc;
+        doc.doc_handle = handle;
+        schema.node_mut(sid).node_count += 1;
+        Ok(doc)
+    }
+
+    /// Reconstructs a document's storage handle from persisted anchors
+    /// (catalog/recovery path). The text-store head is set separately via
+    /// the public `text` field.
+    pub fn with_anchors(mode: ParentMode, doc_handle: XPtr, overflow_indir: XPtr) -> DocStorage {
+        DocStorage {
+            mode,
+            doc_handle,
+            text: TextStore::new(),
+            overflow_indir,
+            stats: UpdateStats::default(),
+        }
+    }
+
+    /// The document node.
+    pub fn doc_node(&self, vas: &Vas) -> StorageResult<NodeRef> {
+        Ok(NodeRef(deref_handle(vas, self.doc_handle)?))
+    }
+
+    /// The root element, if the document has one.
+    pub fn root_element(&self, vas: &Vas) -> StorageResult<Option<NodeRef>> {
+        for child in self.doc_node(vas)?.children(vas)? {
+            if child.kind(vas)? == NodeKind::Element {
+                return Ok(Some(child));
+            }
+        }
+        Ok(None)
+    }
+
+    // -----------------------------------------------------------------
+    // Block-list management
+    // -----------------------------------------------------------------
+
+    /// Allocates a fresh node block for `sid` with at least `min_width`
+    /// child slots (element/document kinds get [`MIN_ELEMENT_WIDTH`]).
+    fn alloc_block(
+        &mut self,
+        vas: &Vas,
+        schema: &SchemaTree,
+        sid: SchemaNodeId,
+        min_width: u16,
+    ) -> StorageResult<XPtr> {
+        let width = (schema.child_count(sid) as u16).max(min_width);
+        let (blk, mut page) = vas.alloc_page()?;
+        block::init_node_block(&mut page, sid, width);
+        // A block must hold at least two descriptors for splits to work.
+        let capacity = (vas.page_size() - BLOCK_HEADER_LEN) / desc_size(width);
+        if capacity < 2 {
+            return Err(StorageError::TooLarge(format!(
+                "page size {} cannot hold two descriptors of width {width}",
+                vas.page_size()
+            )));
+        }
+        self.stats.blocks_allocated += 1;
+        Ok(blk)
+    }
+
+    /// Appends `blk` at the tail of `sid`'s block list.
+    fn link_block_tail(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        sid: SchemaNodeId,
+        blk: XPtr,
+    ) -> StorageResult<()> {
+        let tail = schema.node(sid).last_block;
+        self.link_block_after(vas, schema, sid, blk, tail)
+    }
+
+    /// Links `blk` into `sid`'s list right after `after` (`NULL` = at the
+    /// list head).
+    fn link_block_after(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        sid: SchemaNodeId,
+        blk: XPtr,
+        after: XPtr,
+    ) -> StorageResult<()> {
+        let next = if after.is_null() {
+            schema.node(sid).first_block
+        } else {
+            let page = vas.read(after)?;
+            block::next_block(&page)
+        };
+        {
+            let mut page = vas.write(blk)?;
+            put_xptr(&mut page, BH_PREV_BLOCK, after);
+            put_xptr(&mut page, BH_NEXT_BLOCK, next);
+        }
+        if after.is_null() {
+            schema.node_mut(sid).first_block = blk;
+        } else {
+            let mut page = vas.write(after)?;
+            put_xptr(&mut page, BH_NEXT_BLOCK, blk);
+        }
+        if next.is_null() {
+            schema.node_mut(sid).last_block = blk;
+        } else {
+            let mut page = vas.write(next)?;
+            put_xptr(&mut page, BH_PREV_BLOCK, blk);
+        }
+        schema.node_mut(sid).block_count += 1;
+        Ok(())
+    }
+
+    /// Unlinks and frees `blk` if it holds no descriptors and no live
+    /// indirection entries.
+    fn maybe_free_block(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        blk: XPtr,
+    ) -> StorageResult<()> {
+        let (sid, prev, next, descs, indirs) = {
+            let page = vas.read(blk)?;
+            (
+                block::schema_of(&page),
+                block::prev_block(&page),
+                block::next_block(&page),
+                block::desc_count(&page),
+                block::indir_count(&page),
+            )
+        };
+        if descs > 0 || indirs > 0 {
+            return Ok(());
+        }
+        if sid.0 == u32::MAX {
+            // Overflow indirection block: unlink from the overflow chain.
+            if self.overflow_indir == blk {
+                self.overflow_indir = next;
+            }
+        } else {
+            let snode = schema.node_mut(sid);
+            if snode.first_block == blk {
+                snode.first_block = next;
+            }
+            if snode.last_block == blk {
+                snode.last_block = prev;
+            }
+            snode.block_count -= 1;
+        }
+        if !prev.is_null() {
+            let mut page = vas.write(prev)?;
+            put_xptr(&mut page, BH_NEXT_BLOCK, next);
+        }
+        if !next.is_null() {
+            let mut page = vas.write(next)?;
+            put_xptr(&mut page, BH_PREV_BLOCK, prev);
+        }
+        vas.free_page(blk)?;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Descriptor placement
+    // -----------------------------------------------------------------
+
+    /// Writes the label into a descriptor, spilling long prefixes to text
+    /// storage. Must run while *not* holding the node page (text
+    /// allocation touches other pages); hence the two-phase API.
+    fn prepare_label(
+        &mut self,
+        vas: &Vas,
+        sid: SchemaNodeId,
+        label: &Label,
+    ) -> StorageResult<PreparedLabel> {
+        if label.prefix().len() <= LABEL_INLINE_LEN {
+            Ok(PreparedLabel::Inline(label.clone()))
+        } else {
+            let text_ref = self.text.alloc(vas, sid.0, label.prefix())?;
+            Ok(PreparedLabel::Spilled {
+                text_ref,
+                len: label.prefix().len(),
+                delim: label.delim(),
+            })
+        }
+    }
+
+    /// Allocates a descriptor at `pos` (splitting the block first when
+    /// full), writes its kind + label, chains it into the in-block order,
+    /// and gives it an indirection entry. Returns `(descriptor, handle)`.
+    fn place_descriptor(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        sid: SchemaNodeId,
+        pos: ListPos,
+        label: &Label,
+        kind: NodeKind,
+    ) -> StorageResult<(XPtr, XPtr)> {
+        let prepared = self.prepare_label(vas, sid, label)?;
+        let pos = self.make_room(vas, schema, sid, pos)?;
+        let ps = vas.page_size();
+        let (desc_ptr, slot) = {
+            let mut page = vas.write(pos.block)?;
+            let slot = block::alloc_desc_slot(&mut page, ps)
+                .expect("make_room guarantees a free slot");
+            let dsize = block::block_desc_size(&page);
+            let off = block::desc_offset(slot, dsize);
+            d::set_kind(&mut page, off, kind);
+            match &prepared {
+                PreparedLabel::Inline(l) => d::set_label_inline(&mut page, off, l),
+                PreparedLabel::Spilled { text_ref, len, delim } => {
+                    d::set_label_spilled(&mut page, off, *text_ref, *len, *delim)
+                }
+            }
+            // Chain insertion after pos.prev_slot.
+            let (prev, next) = if pos.prev_slot == NO_SLOT {
+                (NO_SLOT, block::first_desc(&page))
+            } else {
+                let prev_off = block::desc_offset(pos.prev_slot, dsize);
+                (pos.prev_slot, d::next_in_block(&page, prev_off))
+            };
+            d::set_prev_in_block(&mut page, off, prev);
+            d::set_next_in_block(&mut page, off, next);
+            if prev == NO_SLOT {
+                put_u16(&mut page, BH_FIRST_DESC, slot);
+            } else {
+                let prev_off = block::desc_offset(prev, dsize);
+                d::set_next_in_block(&mut page, prev_off, slot);
+            }
+            if next == NO_SLOT {
+                put_u16(&mut page, BH_LAST_DESC, slot);
+            } else {
+                let next_off = block::desc_offset(next, dsize);
+                d::set_prev_in_block(&mut page, next_off, slot);
+            }
+            (pos.block.offset(off as u32), slot)
+        };
+        let _ = slot;
+        let handle = self.alloc_handle(vas, desc_ptr)?;
+        {
+            let mut page = vas.write(desc_ptr)?;
+            let off = desc_ptr.offset_in_page(ps);
+            d::set_handle(&mut page, off, handle);
+        }
+        Ok((desc_ptr, handle))
+    }
+
+    /// Guarantees that `pos.block` can take one more descriptor, splitting
+    /// it when full; returns the (possibly relocated) position.
+    fn make_room(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        sid: SchemaNodeId,
+        pos: ListPos,
+    ) -> StorageResult<ListPos> {
+        let ps = vas.page_size();
+        {
+            let page = vas.read(pos.block)?;
+            if block::has_desc_room(&page, ps) {
+                return Ok(pos);
+            }
+        }
+        // Split in half by chain order.
+        let chain = self.chain_slots(vas, pos.block)?;
+        let keep = chain.len() / 2;
+        let width = {
+            let page = vas.read(pos.block)?;
+            block::child_slots(&page)
+        };
+        let moved = self.split_block(vas, schema, sid, pos.block, keep, width)?;
+        // Recompute the position: if prev_slot moved, the insert goes into
+        // the new block after the moved slot.
+        if pos.prev_slot == NO_SLOT {
+            return Ok(pos); // head of the old block, which now has room
+        }
+        if let Some(&(_, new_ptr)) = moved.iter().find(|&&(old_slot, _)| old_slot == pos.prev_slot)
+        {
+            let new_block = new_ptr.page(ps);
+            let page = vas.read(new_ptr)?;
+            let dsize = block::block_desc_size(&page);
+            let new_slot =
+                ((new_ptr.offset_in_page(ps) - BLOCK_HEADER_LEN) / dsize as usize) as u16;
+            drop(page);
+            return Ok(ListPos {
+                block: new_block,
+                prev_slot: new_slot,
+            });
+        }
+        Ok(pos)
+    }
+
+    /// The block's descriptor slots in chain (document) order.
+    fn chain_slots(&self, vas: &Vas, blk: XPtr) -> StorageResult<Vec<u16>> {
+        let page = vas.read(blk)?;
+        let dsize = block::block_desc_size(&page);
+        let count = block::desc_count(&page);
+        let mut out = Vec::with_capacity(count as usize);
+        let mut slot = block::first_desc(&page);
+        while slot != NO_SLOT {
+            if out.len() > count as usize {
+                return Err(StorageError::Corrupt(format!(
+                    "corrupt in-block chain in {blk} (cycle suspected)"
+                )));
+            }
+            out.push(slot);
+            slot = d::next_in_block(&page, block::desc_offset(slot, dsize));
+        }
+        Ok(out)
+    }
+
+    /// Splits `blk`: the first `keep` chain descriptors stay; the rest move
+    /// to a fresh block (with `new_width` child slots) linked right after.
+    /// Returns the `(old_slot, new_ptr)` mapping of moved descriptors.
+    ///
+    /// This is the operation the indirection table exists for: each moved
+    /// node costs a constant number of pointer updates (its handle, its two
+    /// sibling neighbours, possibly its parent's child slot) — never a
+    /// per-child rewrite. In [`ParentMode::Direct`] the children *are*
+    /// rewritten, and the difference is what experiment E4 measures.
+    fn split_block(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        sid: SchemaNodeId,
+        blk: XPtr,
+        keep: usize,
+        new_width: u16,
+    ) -> StorageResult<Vec<(u16, XPtr)>> {
+        let ps = vas.page_size();
+        let chain = self.chain_slots(vas, blk)?;
+        let moved_slots = &chain[keep..];
+        if moved_slots.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.stats.splits += 1;
+        let new_blk = self.alloc_block(vas, schema, sid, new_width)?;
+        self.link_block_after(vas, schema, sid, new_blk, blk)?;
+
+        let mut map: Vec<(u16, XPtr)> = Vec::with_capacity(moved_slots.len());
+        // Pass 1: copy descriptors into the new block in chain order.
+        {
+            let old_width;
+            let old_dsize;
+            {
+                let page = vas.read(blk)?;
+                old_width = block::child_slots(&page);
+                old_dsize = block::block_desc_size(&page);
+            }
+            let mut prev_new_slot = NO_SLOT;
+            for &old_slot in moved_slots {
+                let old_off = block::desc_offset(old_slot, old_dsize);
+                // Copy the source descriptor bytes out, then write into the
+                // new block (two pages: read guard then write guard).
+                let src: Vec<u8> = {
+                    let page = vas.read(blk)?;
+                    page[old_off..old_off + old_dsize as usize].to_vec()
+                };
+                let new_ptr = {
+                    let mut page = vas.write(new_blk)?;
+                    let new_dsize = block::block_desc_size(&page);
+                    let new_slot = block::alloc_desc_slot(&mut page, ps)
+                        .expect("fresh block takes at least half a full block");
+                    let new_off = block::desc_offset(new_slot, new_dsize);
+                    d::copy_desc(&src, 0, old_width, &mut page, new_off, new_width, new_dsize as usize);
+                    // Chain in the new block.
+                    d::set_prev_in_block(&mut page, new_off, prev_new_slot);
+                    d::set_next_in_block(&mut page, new_off, NO_SLOT);
+                    if prev_new_slot == NO_SLOT {
+                        put_u16(&mut page, BH_FIRST_DESC, new_slot);
+                    } else {
+                        let p_off = block::desc_offset(prev_new_slot, new_dsize);
+                        d::set_next_in_block(&mut page, p_off, new_slot);
+                    }
+                    put_u16(&mut page, BH_LAST_DESC, new_slot);
+                    prev_new_slot = new_slot;
+                    new_blk.offset(new_off as u32)
+                };
+                map.push((old_slot, new_ptr));
+                self.stats.descriptors_moved += 1;
+            }
+        }
+        // Truncate the old chain and free the moved slots.
+        {
+            let mut page = vas.write(blk)?;
+            let dsize = block::block_desc_size(&page);
+            if keep == 0 {
+                put_u16(&mut page, BH_FIRST_DESC, NO_SLOT);
+                put_u16(&mut page, BH_LAST_DESC, NO_SLOT);
+            } else {
+                let last_kept = chain[keep - 1];
+                let off = block::desc_offset(last_kept, dsize);
+                d::set_next_in_block(&mut page, off, NO_SLOT);
+                put_u16(&mut page, BH_LAST_DESC, last_kept);
+            }
+            for &old_slot in moved_slots {
+                block::free_desc_slot(&mut page, old_slot);
+            }
+        }
+        // Pass 2: fix pointers into the moved descriptors.
+        for &(old_slot, new_ptr) in &map {
+            let old_ptr = {
+                let page = vas.read(blk)?;
+                let dsize = block::block_desc_size(&page);
+                blk.offset(block::desc_offset(old_slot, dsize) as u32)
+            };
+            self.fix_after_move(vas, schema, old_ptr, new_ptr, &map, blk)?;
+        }
+        Ok(map)
+    }
+
+    /// After moving a descriptor from `old_ptr` to `new_ptr`: retarget its
+    /// handle, repair sibling links and the parent's child slot, and (in
+    /// direct-parent mode) rewrite every child's parent pointer.
+    fn fix_after_move(
+        &mut self,
+        vas: &Vas,
+        schema: &SchemaTree,
+        old_ptr: XPtr,
+        new_ptr: XPtr,
+        map: &[(u16, XPtr)],
+        old_blk: XPtr,
+    ) -> StorageResult<()> {
+        let ps = vas.page_size();
+        // Read the moved descriptor's state from its new location.
+        let (handle, left, right, parent_field, node) = {
+            let page = vas.read(new_ptr)?;
+            let off = new_ptr.offset_in_page(ps);
+            (
+                d::handle(&page, off),
+                d::left_sibling(&page, off),
+                d::right_sibling(&page, off),
+                d::parent(&page, off),
+                NodeRef(new_ptr),
+            )
+        };
+        // 1. The handle: one pointer update, independent of fan-out.
+        retarget_handle(vas, handle, new_ptr)?;
+        self.stats.pointer_updates += 1;
+
+        // Helper: translate a possibly-moved old address.
+        let old_dsize = {
+            let page = vas.read(old_blk)?;
+            block::block_desc_size(&page)
+        };
+        let translate = |p: XPtr| -> XPtr {
+            if !p.is_null() && p.page(ps) == old_blk {
+                let slot = ((p.offset_in_page(ps) - BLOCK_HEADER_LEN) / old_dsize as usize) as u16;
+                if let Some(&(_, n)) = map.iter().find(|&&(s, _)| s == slot) {
+                    return n;
+                }
+            }
+            p
+        };
+
+        // 2. Sibling links (at most two updates).
+        let left_t = translate(left);
+        if left_t != left {
+            let mut page = vas.write(new_ptr)?;
+            let off = new_ptr.offset_in_page(ps);
+            d::set_left_sibling(&mut page, off, left_t);
+            self.stats.pointer_updates += 1;
+        } else if !left.is_null() {
+            let mut page = vas.write(left)?;
+            let off = left.offset_in_page(ps);
+            d::set_right_sibling(&mut page, off, new_ptr);
+            self.stats.pointer_updates += 1;
+        }
+        let right_t = translate(right);
+        if right_t != right {
+            let mut page = vas.write(new_ptr)?;
+            let off = new_ptr.offset_in_page(ps);
+            d::set_right_sibling(&mut page, off, right_t);
+            self.stats.pointer_updates += 1;
+        } else if !right.is_null() {
+            let mut page = vas.write(right)?;
+            let off = right.offset_in_page(ps);
+            d::set_left_sibling(&mut page, off, new_ptr);
+            self.stats.pointer_updates += 1;
+        }
+
+        // 3. The parent's child slot, if it pointed at the moved node.
+        if !parent_field.is_null() {
+            let parent_ptr = match self.mode {
+                ParentMode::Indirect => deref_handle(vas, parent_field)?,
+                ParentMode::Direct => translate(parent_field),
+            };
+            if self.mode == ParentMode::Direct && parent_ptr != parent_field {
+                let mut page = vas.write(new_ptr)?;
+                let off = new_ptr.offset_in_page(ps);
+                d::set_parent(&mut page, off, parent_ptr);
+                self.stats.pointer_updates += 1;
+            }
+            let sid = node.schema(vas)?;
+            let parent_sid = NodeRef(parent_ptr).schema(vas)?;
+            if let Some(slot) = schema.child_slot(parent_sid, sid) {
+                let mut page = vas.write(parent_ptr)?;
+                let off = parent_ptr.offset_in_page(ps);
+                let width = block::child_slots(&page);
+                if slot < width as usize && d::child(&page, off, slot, width) == old_ptr {
+                    d::set_child(&mut page, off, slot, width, new_ptr);
+                    self.stats.pointer_updates += 1;
+                }
+            }
+        }
+
+        // 4. Direct-parent baseline: every child must be rewritten — the
+        // O(fan-out) cost the indirection table avoids.
+        if self.mode == ParentMode::Direct {
+            for child in node.children(vas)? {
+                let mut page = vas.write(child.ptr())?;
+                let off = child.ptr().offset_in_page(ps);
+                d::set_parent(&mut page, off, new_ptr);
+                self.stats.pointer_updates += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates an indirection entry for `target`, preferring the target's
+    /// own block and overflowing into the dedicated chain otherwise.
+    fn alloc_handle(&mut self, vas: &Vas, target: XPtr) -> StorageResult<XPtr> {
+        let ps = vas.page_size();
+        let blk = target.page(ps);
+        {
+            let mut page = vas.write(blk)?;
+            if let Some(off) = block::alloc_indir_entry(&mut page, ps, target) {
+                return Ok(blk.offset(off as u32));
+            }
+        }
+        // Overflow chain.
+        if !self.overflow_indir.is_null() {
+            let mut page = vas.write(self.overflow_indir)?;
+            if let Some(off) = block::alloc_indir_entry(&mut page, ps, target) {
+                return Ok(self.overflow_indir.offset(off as u32));
+            }
+        }
+        let (new_blk, mut page) = vas.alloc_page()?;
+        block::init_node_block(&mut page, SchemaNodeId(u32::MAX), 0);
+        put_xptr(&mut page, BH_NEXT_BLOCK, self.overflow_indir);
+        let off = block::alloc_indir_entry(&mut page, ps, target)
+            .expect("fresh block has indirection room");
+        drop(page);
+        if !self.overflow_indir.is_null() {
+            let mut prev = vas.write(self.overflow_indir)?;
+            put_xptr(&mut prev, BH_PREV_BLOCK, new_blk);
+        }
+        self.overflow_indir = new_blk;
+        self.stats.blocks_allocated += 1;
+        Ok(new_blk.offset(off as u32))
+    }
+
+    /// Relocates `node` (identified by handle) into a block wide enough for
+    /// child slot `slot`, if its current block is too narrow — the delayed
+    /// per-block widening. Returns the node's (possibly new) descriptor.
+    pub fn ensure_child_slot(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        handle: XPtr,
+        slot: usize,
+    ) -> StorageResult<XPtr> {
+        let ps = vas.page_size();
+        let desc_ptr = deref_handle(vas, handle)?;
+        let blk = desc_ptr.page(ps);
+        let (width, dsize, sid) = {
+            let page = vas.read(blk)?;
+            (
+                block::child_slots(&page),
+                block::block_desc_size(&page),
+                block::schema_of(&page),
+            )
+        };
+        if slot < width as usize {
+            return Ok(desc_ptr);
+        }
+        // Split at this node: it and its chain successors move to a block
+        // with the full current schema width.
+        let my_slot = ((desc_ptr.offset_in_page(ps) - BLOCK_HEADER_LEN) / dsize as usize) as u16;
+        let chain = self.chain_slots(vas, blk)?;
+        let keep = chain
+            .iter()
+            .position(|&s| s == my_slot)
+            .ok_or_else(|| StorageError::Corrupt("descriptor not in its block chain".into()))?;
+        let new_width = (schema.child_count(sid) as u16).max(slot as u16 + 1);
+        self.split_block(vas, schema, sid, blk, keep, new_width)?;
+        self.maybe_free_block(vas, schema, blk)?;
+        deref_handle(vas, handle)
+    }
+
+    // -----------------------------------------------------------------
+    // Public update operations
+    // -----------------------------------------------------------------
+
+    /// Inserts a new node under `parent` between siblings `left` and
+    /// `right` (handles; `None` = no sibling on that side). `value` is the
+    /// string value for valued kinds. Returns the new node's handle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_node(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        parent: XPtr,
+        left: Option<XPtr>,
+        right: Option<XPtr>,
+        kind: NodeKind,
+        name: Option<SchemaName>,
+        value: Option<&[u8]>,
+    ) -> StorageResult<XPtr> {
+        let parent_desc = NodeRef(deref_handle(vas, parent)?);
+        let parent_sid = parent_desc.schema(vas)?;
+        let parent_label = parent_desc.label(vas)?;
+        let (sid, _added) = schema.get_or_add_child(parent_sid, kind, name);
+
+        let left_node = left
+            .map(|h| deref_handle(vas, h).map(NodeRef))
+            .transpose()?;
+        let right_node = right
+            .map(|h| deref_handle(vas, h).map(NodeRef))
+            .transpose()?;
+        let left_label = left_node.map(|n| n.label(vas)).transpose()?;
+        let right_label = right_node.map(|n| n.label(vas)).transpose()?;
+        let label = LabelAlloc::child(&parent_label, left_label.as_ref(), right_label.as_ref());
+
+        // Locate the document-order position in sid's node list.
+        let prev_same = self.nearest_same_schema(vas, left_node, sid, Direction::Left)?;
+        let pos = if let Some(p) = prev_same {
+            self.pos_after(vas, p)?
+        } else if let Some(n) =
+            self.nearest_same_schema(vas, right_node, sid, Direction::Right)?
+        {
+            self.pos_before(vas, n)?
+        } else {
+            self.pos_by_label(vas, schema, sid, &label)?
+        };
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                // Empty list (or append past the tail): ensure a tail block.
+                let tail = schema.node(sid).last_block;
+                let blk = if tail.is_null() {
+                    let minw = if kind == NodeKind::Element { MIN_ELEMENT_WIDTH } else { 0 };
+                    let b = self.alloc_block(vas, schema, sid, minw)?;
+                    self.link_block_tail(vas, schema, sid, b)?;
+                    b
+                } else {
+                    tail
+                };
+                let last = {
+                    let page = vas.read(blk)?;
+                    block::last_desc(&page)
+                };
+                ListPos { block: blk, prev_slot: last }
+            }
+        };
+
+        let (desc_ptr, handle) = self.place_descriptor(vas, schema, sid, pos, &label, kind)?;
+        let ps = vas.page_size();
+
+        // Widen the parent FIRST when this child introduces a new schema
+        // slot: the relocation enumerates the parent's children, and the
+        // new node must not be half-linked into the sibling chain yet
+        // (in direct-parent mode the enumeration rewrites their parent
+        // pointers).
+        let first_slot = if prev_same.is_none() {
+            let slot = schema
+                .child_slot(parent_sid, sid)
+                .expect("child schema registered above");
+            self.ensure_child_slot(vas, schema, parent, slot)?;
+            Some(slot)
+        } else {
+            None
+        };
+
+        // Parent pointer (indirect: the parent's handle; direct: its desc,
+        // dereferenced after any widening move above).
+        let parent_field = match self.mode {
+            ParentMode::Indirect => parent,
+            ParentMode::Direct => deref_handle(vas, parent)?,
+        };
+        {
+            let mut page = vas.write(desc_ptr)?;
+            let off = desc_ptr.offset_in_page(ps);
+            d::set_parent(&mut page, off, parent_field);
+        }
+
+        // Value (clustered with the node's schema group).
+        if let Some(v) = value {
+            let text_ref = self.text.alloc(vas, sid.0, v)?;
+            let mut page = vas.write(desc_ptr)?;
+            let off = desc_ptr.offset_in_page(ps);
+            d::set_value(&mut page, off, text_ref);
+        }
+
+        // Sibling links (re-deref: placement may have split blocks).
+        let left_ptr = left.map(|h| deref_handle(vas, h)).transpose()?;
+        let right_ptr = right.map(|h| deref_handle(vas, h)).transpose()?;
+        {
+            let mut page = vas.write(desc_ptr)?;
+            let off = desc_ptr.offset_in_page(ps);
+            d::set_left_sibling(&mut page, off, left_ptr.unwrap_or(XPtr::NULL));
+            d::set_right_sibling(&mut page, off, right_ptr.unwrap_or(XPtr::NULL));
+        }
+        if let Some(lp) = left_ptr {
+            let mut page = vas.write(lp)?;
+            d::set_right_sibling(&mut page, lp.offset_in_page(ps), desc_ptr);
+        }
+        if let Some(rp) = right_ptr {
+            let mut page = vas.write(rp)?;
+            d::set_left_sibling(&mut page, rp.offset_in_page(ps), desc_ptr);
+        }
+
+        // Parent's child slot: set when this is the new first child of its
+        // schema under this parent.
+        if let Some(slot) = first_slot {
+            let parent_ptr = deref_handle(vas, parent)?;
+            let mut page = vas.write(parent_ptr)?;
+            let off = parent_ptr.offset_in_page(ps);
+            let width = block::child_slots(&page);
+            d::set_child(&mut page, off, slot, width, desc_ptr);
+            self.stats.pointer_updates += 1;
+        }
+
+        schema.node_mut(sid).node_count += 1;
+        Ok(handle)
+    }
+
+    /// Walks the sibling chain from `start` away from the insertion point,
+    /// looking for the nearest sibling with schema `sid`.
+    fn nearest_same_schema(
+        &self,
+        vas: &Vas,
+        start: Option<NodeRef>,
+        sid: SchemaNodeId,
+        dir: Direction,
+    ) -> StorageResult<Option<NodeRef>> {
+        let mut cur = start;
+        while let Some(n) = cur {
+            if n.schema(vas)? == sid {
+                return Ok(Some(n));
+            }
+            cur = match dir {
+                Direction::Left => n.left_sibling(vas)?,
+                Direction::Right => n.right_sibling(vas)?,
+            };
+        }
+        Ok(None)
+    }
+
+    fn pos_after(&self, vas: &Vas, node: NodeRef) -> StorageResult<Option<ListPos>> {
+        let ps = vas.page_size();
+        let blk = node.ptr().page(ps);
+        let page = vas.read(blk)?;
+        let dsize = block::block_desc_size(&page);
+        let slot = ((node.ptr().offset_in_page(ps) - BLOCK_HEADER_LEN) / dsize as usize) as u16;
+        Ok(Some(ListPos {
+            block: blk,
+            prev_slot: slot,
+        }))
+    }
+
+    fn pos_before(&self, vas: &Vas, node: NodeRef) -> StorageResult<Option<ListPos>> {
+        let ps = vas.page_size();
+        let blk = node.ptr().page(ps);
+        let page = vas.read(blk)?;
+        let dsize = block::block_desc_size(&page);
+        let slot = ((node.ptr().offset_in_page(ps) - BLOCK_HEADER_LEN) / dsize as usize) as u16;
+        let prev = d::prev_in_block(&page, block::desc_offset(slot, dsize));
+        // Insert at the head of this block when `node` heads its chain —
+        // the partial order across blocks stays valid either way.
+        Ok(Some(ListPos {
+            block: blk,
+            prev_slot: prev,
+        }))
+    }
+
+    /// Finds the document-order position for `label` by scanning the block
+    /// list (blocks are ordered; within a block, the chain is walked).
+    fn pos_by_label(
+        &self,
+        vas: &Vas,
+        schema: &SchemaTree,
+        sid: SchemaNodeId,
+        label: &Label,
+    ) -> StorageResult<Option<ListPos>> {
+        let mut blk = schema.node(sid).first_block;
+        while !blk.is_null() {
+            let (last, dsize, next_blk) = {
+                let page = vas.read(blk)?;
+                (
+                    block::last_desc(&page),
+                    block::block_desc_size(&page),
+                    block::next_block(&page),
+                )
+            };
+            if last != NO_SLOT {
+                let last_node = NodeRef(blk.offset(block::desc_offset(last, dsize) as u32));
+                if label.doc_cmp(&last_node.label(vas)?) == DocOrder::Before {
+                    // Position is inside this block: walk the chain.
+                    let mut prev = NO_SLOT;
+                    let mut cur = {
+                        let page = vas.read(blk)?;
+                        block::first_desc(&page)
+                    };
+                    while cur != NO_SLOT {
+                        let node = NodeRef(blk.offset(block::desc_offset(cur, dsize) as u32));
+                        if label.doc_cmp(&node.label(vas)?) == DocOrder::Before {
+                            break;
+                        }
+                        prev = cur;
+                        let page = vas.read(blk)?;
+                        cur = d::next_in_block(&page, block::desc_offset(cur, dsize));
+                    }
+                    return Ok(Some(ListPos {
+                        block: blk,
+                        prev_slot: prev,
+                    }));
+                }
+            }
+            if next_blk.is_null() {
+                // Append at the tail.
+                return Ok(Some(ListPos {
+                    block: blk,
+                    prev_slot: last,
+                }));
+            }
+            blk = next_blk;
+        }
+        Ok(None)
+    }
+
+    /// Deletes the subtree rooted at `handle`.
+    pub fn delete_subtree(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        handle: XPtr,
+    ) -> StorageResult<()> {
+        if handle == self.doc_handle {
+            return Err(StorageError::Corrupt(
+                "the document node cannot be deleted".into(),
+            ));
+        }
+        let node = NodeRef(deref_handle(vas, handle)?);
+        let child_handles: Vec<XPtr> = node
+            .children(vas)?
+            .into_iter()
+            .map(|c| c.handle(vas))
+            .collect::<StorageResult<_>>()?;
+        for ch in child_handles {
+            self.delete_subtree(vas, schema, ch)?;
+        }
+        self.delete_leaf(vas, schema, handle)
+    }
+
+    /// Deletes a node with no remaining children.
+    fn delete_leaf(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        handle: XPtr,
+    ) -> StorageResult<()> {
+        let ps = vas.page_size();
+        let desc_ptr = deref_handle(vas, handle)?;
+        let node = NodeRef(desc_ptr);
+        let sid = node.schema(vas)?;
+        let blk = desc_ptr.page(ps);
+
+        // Successor of the same schema under the same parent, for the
+        // parent's child-slot fix-up — computed before unlinking.
+        let parent_field = node.parent_handle(vas)?;
+        let next_same_parent = {
+            let mut nxt = node.next_in_list(vas)?;
+            if let Some(n) = nxt {
+                if n.parent_handle(vas)? != parent_field {
+                    nxt = None;
+                }
+            }
+            nxt
+        };
+
+        // Free the value and a spilled label.
+        let (value_ref, spilled_ref, left, right) = {
+            let page = vas.read(desc_ptr)?;
+            let off = desc_ptr.offset_in_page(ps);
+            let spill = if d::label_spilled(&page, off) {
+                match d::label(&page, off) {
+                    d::RawLabel::Spilled { text_ref, .. } => text_ref,
+                    _ => XPtr::NULL,
+                }
+            } else {
+                XPtr::NULL
+            };
+            (
+                d::value(&page, off),
+                spill,
+                d::left_sibling(&page, off),
+                d::right_sibling(&page, off),
+            )
+        };
+        if !value_ref.is_null() {
+            TextStore::free(vas, value_ref)?;
+        }
+        if !spilled_ref.is_null() {
+            TextStore::free(vas, spilled_ref)?;
+        }
+
+        // Sibling unlink.
+        if !left.is_null() {
+            let mut page = vas.write(left)?;
+            d::set_right_sibling(&mut page, left.offset_in_page(ps), right);
+            self.stats.pointer_updates += 1;
+        }
+        if !right.is_null() {
+            let mut page = vas.write(right)?;
+            d::set_left_sibling(&mut page, right.offset_in_page(ps), left);
+            self.stats.pointer_updates += 1;
+        }
+
+        // Parent child-slot fix.
+        if !parent_field.is_null() {
+            let parent_ptr = match self.mode {
+                ParentMode::Indirect => deref_handle(vas, parent_field)?,
+                ParentMode::Direct => parent_field,
+            };
+            let parent_sid = NodeRef(parent_ptr).schema(vas)?;
+            if let Some(slot) = schema.child_slot(parent_sid, sid) {
+                let mut page = vas.write(parent_ptr)?;
+                let off = parent_ptr.offset_in_page(ps);
+                let width = block::child_slots(&page);
+                if slot < width as usize && d::child(&page, off, slot, width) == desc_ptr {
+                    let new_head = next_same_parent.map_or(XPtr::NULL, |n| n.ptr());
+                    d::set_child(&mut page, off, slot, width, new_head);
+                    self.stats.pointer_updates += 1;
+                }
+            }
+        }
+
+        // In-block chain unlink + slot free.
+        {
+            let mut page = vas.write(blk)?;
+            let dsize = block::block_desc_size(&page);
+            let slot = ((desc_ptr.offset_in_page(ps) - BLOCK_HEADER_LEN) / dsize as usize) as u16;
+            let off = block::desc_offset(slot, dsize);
+            let prev = d::prev_in_block(&page, off);
+            let next = d::next_in_block(&page, off);
+            if prev == NO_SLOT {
+                put_u16(&mut page, BH_FIRST_DESC, next);
+            } else {
+                d::set_next_in_block(&mut page, block::desc_offset(prev, dsize), next);
+            }
+            if next == NO_SLOT {
+                put_u16(&mut page, BH_LAST_DESC, prev);
+            } else {
+                d::set_prev_in_block(&mut page, block::desc_offset(next, dsize), prev);
+            }
+            block::free_desc_slot(&mut page, slot);
+        }
+
+        // Free the indirection entry.
+        {
+            let handle_blk = handle.page(ps);
+            let mut page = vas.write(handle_blk)?;
+            block::free_indir_entry(&mut page, ps, handle.offset_in_page(ps));
+        }
+
+        schema.node_mut(sid).node_count -= 1;
+        self.maybe_free_block(vas, schema, blk)?;
+        if handle.page(ps) != blk {
+            self.maybe_free_block(vas, schema, handle.page(ps))?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-load fast path: appends a node at the tail of `sid`'s node
+    /// list as the new last child of `parent` (whose current last child is
+    /// `prev_sibling`, `XPtr::NULL` when none). Used by
+    /// [`crate::DocBuilder`], which guarantees the tail *is* the correct
+    /// document-order position.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn append_at_tail(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        parent: XPtr,
+        prev_sibling: XPtr,
+        sid: SchemaNodeId,
+        kind: NodeKind,
+        label: &Label,
+        value: Option<&[u8]>,
+        is_first_of_sid: bool,
+    ) -> StorageResult<XPtr> {
+        let ps = vas.page_size();
+        // Tail block with room (append-only loads never split).
+        let tail = schema.node(sid).last_block;
+        let blk = if tail.is_null() {
+            let minw = if kind == NodeKind::Element { MIN_ELEMENT_WIDTH } else { 0 };
+            let b = self.alloc_block(vas, schema, sid, minw)?;
+            self.link_block_tail(vas, schema, sid, b)?;
+            b
+        } else {
+            let has_room = {
+                let page = vas.read(tail)?;
+                block::has_desc_room(&page, ps)
+            };
+            if has_room {
+                tail
+            } else {
+                let minw = if kind == NodeKind::Element { MIN_ELEMENT_WIDTH } else { 0 };
+                let b = self.alloc_block(vas, schema, sid, minw)?;
+                self.link_block_tail(vas, schema, sid, b)?;
+                b
+            }
+        };
+        let last = {
+            let page = vas.read(blk)?;
+            block::last_desc(&page)
+        };
+        let (desc_ptr, handle) = self.place_descriptor(
+            vas,
+            schema,
+            sid,
+            ListPos { block: blk, prev_slot: last },
+            label,
+            kind,
+        )?;
+
+        // Widen the parent before linking the new node anywhere (see
+        // insert_node for why the order matters in direct-parent mode).
+        let first_slot = if is_first_of_sid {
+            let parent_sid = NodeRef(deref_handle(vas, parent)?).schema(vas)?;
+            let slot = schema
+                .child_slot(parent_sid, sid)
+                .expect("child schema registered by the builder");
+            self.ensure_child_slot(vas, schema, parent, slot)?;
+            Some(slot)
+        } else {
+            None
+        };
+
+        // Parent pointer (dereferenced after any widening move).
+        let parent_field = match self.mode {
+            ParentMode::Indirect => parent,
+            ParentMode::Direct => deref_handle(vas, parent)?,
+        };
+        {
+            let mut page = vas.write(desc_ptr)?;
+            let off = desc_ptr.offset_in_page(ps);
+            d::set_parent(&mut page, off, parent_field);
+        }
+
+        // Value (clustered with the node's schema group).
+        if let Some(v) = value {
+            let text_ref = self.text.alloc(vas, sid.0, v)?;
+            let mut page = vas.write(desc_ptr)?;
+            let off = desc_ptr.offset_in_page(ps);
+            d::set_value(&mut page, off, text_ref);
+        }
+
+        // Sibling link to the previous last child.
+        if !prev_sibling.is_null() {
+            let prev_ptr = deref_handle(vas, prev_sibling)?;
+            {
+                let mut page = vas.write(desc_ptr)?;
+                let off = desc_ptr.offset_in_page(ps);
+                d::set_left_sibling(&mut page, off, prev_ptr);
+            }
+            let mut page = vas.write(prev_ptr)?;
+            d::set_right_sibling(&mut page, prev_ptr.offset_in_page(ps), desc_ptr);
+        }
+
+        // Parent's child-slot head for a first-of-its-schema child.
+        if let Some(slot) = first_slot {
+            let parent_ptr = deref_handle(vas, parent)?;
+            let mut page = vas.write(parent_ptr)?;
+            let off = parent_ptr.offset_in_page(ps);
+            let width = block::child_slots(&page);
+            d::set_child(&mut page, off, slot, width, desc_ptr);
+            self.stats.pointer_updates += 1;
+        }
+
+        schema.node_mut(sid).node_count += 1;
+        Ok(handle)
+    }
+
+    /// Replaces the string value of the node behind `handle`.
+    pub fn set_value(&mut self, vas: &Vas, handle: XPtr, value: &[u8]) -> StorageResult<()> {
+        let ps = vas.page_size();
+        let desc_ptr = deref_handle(vas, handle)?;
+        let sid = NodeRef(desc_ptr).schema(vas)?;
+        let old = {
+            let page = vas.read(desc_ptr)?;
+            d::value(&page, desc_ptr.offset_in_page(ps))
+        };
+        if !old.is_null() {
+            TextStore::free(vas, old)?;
+        }
+        let new_ref = self.text.alloc(vas, sid.0, value)?;
+        let mut page = vas.write(desc_ptr)?;
+        d::set_value(&mut page, desc_ptr.offset_in_page(ps), new_ref);
+        Ok(())
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Direction {
+    Left,
+    Right,
+}
+
+enum PreparedLabel {
+    Inline(Label),
+    Spilled {
+        text_ref: XPtr,
+        len: usize,
+        delim: u8,
+    },
+}

@@ -1,0 +1,63 @@
+//! Storage-layer error type.
+
+use sedna_sas::{SasError, XPtr};
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Propagated SAS/buffer error.
+    Sas(SasError),
+    /// A value too large for its container.
+    TooLarge(String),
+    /// A structural invariant was violated (corruption or caller bug).
+    Corrupt(String),
+    /// A dangling or wrong-kind pointer was dereferenced.
+    BadPointer(XPtr, &'static str),
+}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Sas(e) => write!(f, "address-space error: {e}"),
+            StorageError::TooLarge(msg) => write!(f, "value too large: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "storage corruption: {msg}"),
+            StorageError::BadPointer(p, what) => write!(f, "bad pointer {p}: expected {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Sas(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SasError> for StorageError {
+    fn from(e: SasError) -> Self {
+        StorageError::Sas(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = StorageError::from(SasError::PoolExhausted);
+        assert!(e.to_string().contains("address-space"));
+        assert!(e.source().is_some());
+        assert!(StorageError::TooLarge("x".into()).source().is_none());
+        assert!(!StorageError::BadPointer(XPtr::new(1, 2), "text block")
+            .to_string()
+            .is_empty());
+        assert!(!StorageError::Corrupt("y".into()).to_string().is_empty());
+    }
+}

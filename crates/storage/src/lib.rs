@@ -1,0 +1,59 @@
+//! # sedna-storage
+//!
+//! The schema-driven clustering storage of Section 4.1 — the paper's first
+//! headline contribution — implemented at byte level on top of the Sedna
+//! Address Space (crate `sedna-sas`).
+//!
+//! ## Data organization (Figure 2)
+//!
+//! XML nodes are clustered by their position in the **descriptive schema**
+//! (crate `sedna-schema`): each schema node heads a bidirectional list of
+//! data blocks holding exactly the nodes corresponding to it. Node
+//! descriptors are *partly ordered*: every descriptor in the i-th block of
+//! a list precedes every descriptor in the j-th block (i < j) in document
+//! order; within a block, order is carried by `next-in-block` /
+//! `prev-in-block` links so that inserts never shift other descriptors.
+//!
+//! ## Node descriptors (Figure 3)
+//!
+//! A descriptor holds: the numbering-scheme label; the **node handle**
+//! (an entry of the indirection table that survives physical moves); the
+//! `left-/right-sibling` direct pointers; the in-block links; the
+//! **indirect parent pointer** (through the indirection table, so moving a
+//! node costs O(1) pointer fix-ups regardless of fan-out — experiment E4);
+//! and child pointers **only to the first child per child schema node**.
+//! Descriptors are fixed-size within a block; the per-block child-pointer
+//! count lives in the block header and is widened lazily per block when
+//! the schema grows ("delayed per-block fashion").
+//!
+//! ## Text storage
+//!
+//! String values are separated from structure and stored in slotted pages
+//! ([`text`]), chained for unrestricted length.
+//!
+//! ## Baselines
+//!
+//! * [`subtree`] — the subtree-clustering storage strategy (Natix-style)
+//!   the paper contrasts against in Section 2 (experiment E1);
+//! * [`ParentMode::Direct`] — direct parent pointers instead of the
+//!   indirection table (experiment E4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod build;
+pub mod descriptor;
+pub mod doc;
+mod error;
+pub mod indirection;
+pub mod layout;
+pub mod node;
+pub mod subtree;
+pub mod text;
+mod util;
+
+pub use build::DocBuilder;
+pub use doc::{DocStorage, ParentMode, UpdateStats};
+pub use error::{StorageError, StorageResult};
+pub use node::NodeRef;

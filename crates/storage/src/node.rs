@@ -1,0 +1,296 @@
+//! High-level, read-only navigation over stored nodes.
+//!
+//! A [`NodeRef`] is a **direct pointer** to a node descriptor — the
+//! representation query execution uses for intermediate results
+//! (Section 5.2: "the selected nodes as well as intermediate result of any
+//! query expression are represented by direct pointers"). Anything that
+//! must survive node movement (update targets, index entries) uses the
+//! node handle instead.
+
+use sedna_numbering::Label;
+use sedna_sas::{Vas, XPtr};
+use sedna_schema::{NodeKind, SchemaNodeId, SchemaTree};
+
+use crate::descriptor as desc;
+use crate::error::{StorageError, StorageResult};
+use crate::indirection::deref_handle;
+use crate::layout::*;
+use crate::text::TextStore;
+use crate::{block, ParentMode};
+
+/// A direct pointer to a node descriptor.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NodeRef(pub XPtr);
+
+impl NodeRef {
+    /// The raw descriptor pointer.
+    #[inline]
+    pub fn ptr(self) -> XPtr {
+        self.0
+    }
+
+    /// Whether this reference is null.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0.is_null()
+    }
+
+    fn offset(self, vas: &Vas) -> usize {
+        self.0.offset_in_page(vas.page_size())
+    }
+
+    /// The node's kind.
+    pub fn kind(self, vas: &Vas) -> StorageResult<NodeKind> {
+        let page = vas.read(self.0)?;
+        desc::kind(&page, self.offset(vas))
+            .ok_or(StorageError::BadPointer(self.0, "live node descriptor"))
+    }
+
+    /// The schema node this node belongs to (from the block header).
+    pub fn schema(self, vas: &Vas) -> StorageResult<SchemaNodeId> {
+        let page = vas.read(self.0)?;
+        if page[BH_KIND] != KIND_NODE_BLOCK {
+            return Err(StorageError::BadPointer(self.0, "node block"));
+        }
+        Ok(block::schema_of(&page))
+    }
+
+    /// The node's numbering-scheme label (resolving spilled prefixes).
+    pub fn label(self, vas: &Vas) -> StorageResult<Label> {
+        let raw = {
+            let page = vas.read(self.0)?;
+            desc::label(&page, self.offset(vas))
+        };
+        match raw {
+            desc::RawLabel::Inline(l) => Ok(l),
+            desc::RawLabel::Spilled { text_ref, delim } => {
+                let prefix = TextStore::read(vas, text_ref)?;
+                Ok(Label::from_parts(prefix, delim))
+            }
+        }
+    }
+
+    /// The node handle (indirection entry address).
+    pub fn handle(self, vas: &Vas) -> StorageResult<XPtr> {
+        let page = vas.read(self.0)?;
+        Ok(desc::handle(&page, self.offset(vas)))
+    }
+
+    /// The parent node, or `None` for the document node.
+    pub fn parent(self, vas: &Vas, mode: ParentMode) -> StorageResult<Option<NodeRef>> {
+        let p = {
+            let page = vas.read(self.0)?;
+            desc::parent(&page, self.offset(vas))
+        };
+        if p.is_null() {
+            return Ok(None);
+        }
+        Ok(Some(match mode {
+            ParentMode::Indirect => NodeRef(deref_handle(vas, p)?),
+            ParentMode::Direct => NodeRef(p),
+        }))
+    }
+
+    /// The parent's handle (indirect mode only) — what child descriptors
+    /// actually store; two nodes are siblings iff these are equal.
+    pub fn parent_handle(self, vas: &Vas) -> StorageResult<XPtr> {
+        let page = vas.read(self.0)?;
+        Ok(desc::parent(&page, self.offset(vas)))
+    }
+
+    /// Left sibling (any node kind), if any.
+    pub fn left_sibling(self, vas: &Vas) -> StorageResult<Option<NodeRef>> {
+        let page = vas.read(self.0)?;
+        let p = desc::left_sibling(&page, self.offset(vas));
+        Ok((!p.is_null()).then_some(NodeRef(p)))
+    }
+
+    /// Right sibling (any node kind), if any.
+    pub fn right_sibling(self, vas: &Vas) -> StorageResult<Option<NodeRef>> {
+        let page = vas.read(self.0)?;
+        let p = desc::right_sibling(&page, self.offset(vas));
+        Ok((!p.is_null()).then_some(NodeRef(p)))
+    }
+
+    /// The head of child-pointer slot `slot` (the first child with that
+    /// child schema node), if set.
+    pub fn child_head(self, vas: &Vas, slot: usize) -> StorageResult<Option<NodeRef>> {
+        let page = vas.read(self.0)?;
+        let width = block::child_slots(&page);
+        let p = desc::child(&page, self.offset(vas), slot, width);
+        Ok((!p.is_null()).then_some(NodeRef(p)))
+    }
+
+    /// The node's string value (attributes, text, comments, PI data);
+    /// empty for valueless kinds.
+    pub fn value_bytes(self, vas: &Vas) -> StorageResult<Vec<u8>> {
+        let v = {
+            let page = vas.read(self.0)?;
+            desc::value(&page, self.offset(vas))
+        };
+        if v.is_null() {
+            return Ok(Vec::new());
+        }
+        TextStore::read(vas, v)
+    }
+
+    /// The node's string value as UTF-8.
+    pub fn value_string(self, vas: &Vas) -> StorageResult<String> {
+        String::from_utf8(self.value_bytes(vas)?)
+            .map_err(|_| StorageError::Corrupt(format!("non-UTF-8 value at {}", self.0)))
+    }
+
+    /// The raw text reference of the value field.
+    pub fn value_ref(self, vas: &Vas) -> StorageResult<XPtr> {
+        let page = vas.read(self.0)?;
+        Ok(desc::value(&page, self.offset(vas)))
+    }
+
+    /// The first child in document order: the slot-head child with no left
+    /// sibling. Includes attribute children (filter by kind for XPath
+    /// axes).
+    pub fn first_child(self, vas: &Vas) -> StorageResult<Option<NodeRef>> {
+        let heads = {
+            let page = vas.read(self.0)?;
+            let width = block::child_slots(&page) as usize;
+            let off = self.offset(vas);
+            (0..width)
+                .map(|s| desc::child(&page, off, s, width as u16))
+                .filter(|p| !p.is_null())
+                .collect::<Vec<_>>()
+        };
+        for head in heads {
+            let node = NodeRef(head);
+            if node.left_sibling(vas)?.is_none() {
+                return Ok(Some(node));
+            }
+        }
+        Ok(None)
+    }
+
+    /// All children in document order (attributes included, first).
+    pub fn children(self, vas: &Vas) -> StorageResult<Vec<NodeRef>> {
+        let mut out = Vec::new();
+        let mut cur = self.first_child(vas)?;
+        while let Some(n) = cur {
+            out.push(n);
+            cur = n.right_sibling(vas)?;
+        }
+        Ok(out)
+    }
+
+    /// The next node of the same schema node in the document-ordered node
+    /// list (next-in-block, or the first descriptor of the next block).
+    pub fn next_in_list(self, vas: &Vas) -> StorageResult<Option<NodeRef>> {
+        let ps = vas.page_size();
+        let (next_slot, next_blk, dsize) = {
+            let page = vas.read(self.0)?;
+            (
+                desc::next_in_block(&page, self.offset(vas)),
+                block::next_block(&page),
+                block::block_desc_size(&page),
+            )
+        };
+        if next_slot != NO_SLOT {
+            let blk = self.0.page(ps);
+            return Ok(Some(NodeRef(
+                blk.offset(block::desc_offset(next_slot, dsize) as u32),
+            )));
+        }
+        let mut blk = next_blk;
+        while !blk.is_null() {
+            let page = vas.read(blk)?;
+            let first = block::first_desc(&page);
+            if first != NO_SLOT {
+                let dsize = block::block_desc_size(&page);
+                return Ok(Some(NodeRef(
+                    blk.offset(block::desc_offset(first, dsize) as u32),
+                )));
+            }
+            blk = block::next_block(&page);
+        }
+        Ok(None)
+    }
+
+    /// The previous node of the same schema node in the list.
+    pub fn prev_in_list(self, vas: &Vas) -> StorageResult<Option<NodeRef>> {
+        let ps = vas.page_size();
+        let (prev_slot, prev_blk, dsize) = {
+            let page = vas.read(self.0)?;
+            (
+                desc::prev_in_block(&page, self.offset(vas)),
+                block::prev_block(&page),
+                block::block_desc_size(&page),
+            )
+        };
+        if prev_slot != NO_SLOT {
+            let blk = self.0.page(ps);
+            return Ok(Some(NodeRef(
+                blk.offset(block::desc_offset(prev_slot, dsize) as u32),
+            )));
+        }
+        let mut blk = prev_blk;
+        while !blk.is_null() {
+            let page = vas.read(blk)?;
+            let last = block::last_desc(&page);
+            if last != NO_SLOT {
+                let dsize = block::block_desc_size(&page);
+                return Ok(Some(NodeRef(
+                    blk.offset(block::desc_offset(last, dsize) as u32),
+                )));
+            }
+            blk = block::prev_block(&page);
+        }
+        Ok(None)
+    }
+
+    /// Children having a specific child schema node, in document order:
+    /// start at the slot head and follow the node list while the parent
+    /// matches — the paper's "pointer to the first book element, then
+    /// next-in-block pointers".
+    pub fn children_by_schema(self, vas: &Vas, slot: usize) -> StorageResult<Vec<NodeRef>> {
+        let mut out = Vec::new();
+        let Some(head) = self.child_head(vas, slot)? else {
+            return Ok(Vec::new());
+        };
+        // All children of one parent carry byte-identical parent fields
+        // (the parent's handle in indirect mode, its descriptor address in
+        // direct mode), so the head's field is the walk boundary in both
+        // modes.
+        let boundary = head.parent_handle(vas)?;
+        let mut cur = Some(head);
+        while let Some(n) = cur {
+            if n.parent_handle(vas)? != boundary {
+                break;
+            }
+            out.push(n);
+            cur = n.next_in_list(vas)?;
+        }
+        Ok(out)
+    }
+
+    /// The XPath string value: for elements/documents, the concatenation
+    /// of descendant text nodes; otherwise the node's own value.
+    pub fn string_value(self, vas: &Vas, schema: &SchemaTree) -> StorageResult<String> {
+        match self.kind(vas)? {
+            NodeKind::Element | NodeKind::Document => {
+                let mut out = String::new();
+                self.collect_text(vas, &mut out)?;
+                let _ = schema;
+                Ok(out)
+            }
+            _ => self.value_string(vas),
+        }
+    }
+
+    fn collect_text(self, vas: &Vas, out: &mut String) -> StorageResult<()> {
+        for child in self.children(vas)? {
+            match child.kind(vas)? {
+                NodeKind::Text => out.push_str(&child.value_string(vas)?),
+                NodeKind::Element => child.collect_text(vas, out)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,61 @@
+//! Little-endian field access helpers for raw page bytes.
+
+use sedna_sas::XPtr;
+
+#[inline]
+pub fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+#[inline]
+pub fn put_u16(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("in bounds"))
+}
+
+#[inline]
+pub fn put_u32(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub fn get_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("in bounds"))
+}
+
+#[inline]
+pub fn put_u64(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub fn get_xptr(buf: &[u8], at: usize) -> XPtr {
+    XPtr::from_raw(get_u64(buf, at))
+}
+
+#[inline]
+pub fn put_xptr(buf: &mut [u8], at: usize, v: XPtr) {
+    put_u64(buf, at, v.raw());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut buf = [0u8; 32];
+        put_u16(&mut buf, 0, 0xBEEF);
+        put_u32(&mut buf, 4, 0xDEAD_BEEF);
+        put_u64(&mut buf, 8, 0x0123_4567_89AB_CDEF);
+        put_xptr(&mut buf, 16, XPtr::new(3, 77));
+        assert_eq!(get_u16(&buf, 0), 0xBEEF);
+        assert_eq!(get_u32(&buf, 4), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, 8), 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_xptr(&buf, 16), XPtr::new(3, 77));
+    }
+}

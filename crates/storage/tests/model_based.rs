@@ -1,0 +1,357 @@
+//! Model-based testing of the document store: random sequences of
+//! structural updates run against both the schema-clustered storage and a
+//! trivial in-memory reference tree; after every operation the two must
+//! serialize identically, and the storage invariants (label order, handle
+//! stability, child-slot consistency) must hold.
+
+use proptest::prelude::*;
+use sedna_sas::{Sas, SasConfig, TxnToken, Vas, View, XPtr};
+use sedna_schema::{NodeKind, SchemaName, SchemaTree};
+use sedna_storage::{DocStorage, NodeRef, ParentMode};
+
+// ---------------------------------------------------------------------
+// Reference model
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct RefNode {
+    kind: NodeKind,
+    name: Option<String>,
+    value: String,
+    children: Vec<usize>,
+    alive: bool,
+}
+
+struct Model {
+    nodes: Vec<RefNode>,
+}
+
+impl Model {
+    fn new() -> Model {
+        Model {
+            nodes: vec![RefNode {
+                kind: NodeKind::Document,
+                name: None,
+                value: String::new(),
+                children: Vec::new(),
+                alive: true,
+            }],
+        }
+    }
+
+    fn live_elements(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| {
+                self.nodes[i].alive
+                    && matches!(self.nodes[i].kind, NodeKind::Element | NodeKind::Document)
+            })
+            .collect()
+    }
+
+    fn live_non_root(&self) -> Vec<usize> {
+        (1..self.nodes.len()).filter(|&i| self.nodes[i].alive).collect()
+    }
+
+    fn live_texts(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].alive && self.nodes[i].kind == NodeKind::Text)
+            .collect()
+    }
+
+    fn insert(&mut self, parent: usize, pos: usize, kind: NodeKind, name: Option<String>, value: String) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(RefNode {
+            kind,
+            name,
+            value,
+            children: Vec::new(),
+            alive: true,
+        });
+        let pos = pos.min(self.nodes[parent].children.len());
+        self.nodes[parent].children.insert(pos, id);
+        id
+    }
+
+    fn delete(&mut self, node: usize) {
+        // Remove from its parent and mark the subtree dead.
+        for n in self.nodes.iter_mut() {
+            n.children.retain(|&c| c != node);
+        }
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            self.nodes[n].alive = false;
+            stack.extend(self.nodes[n].children.clone());
+        }
+    }
+
+    fn serialize(&self, node: usize, out: &mut String) {
+        let n = &self.nodes[node];
+        match n.kind {
+            NodeKind::Document => {
+                for &c in &n.children {
+                    self.serialize(c, out);
+                }
+            }
+            NodeKind::Element => {
+                let name = n.name.as_deref().unwrap();
+                out.push('<');
+                out.push_str(name);
+                if n.children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    for &c in &n.children {
+                        self.serialize(c, out);
+                    }
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push('>');
+                }
+            }
+            NodeKind::Text => out.push_str(&n.value),
+            _ => unreachable!("model uses only document/element/text"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storage-side serializer and invariant checks
+// ---------------------------------------------------------------------
+
+fn serialize_stored(vas: &Vas, schema: &SchemaTree, node: NodeRef, out: &mut String) {
+    match node.kind(vas).unwrap() {
+        NodeKind::Document => {
+            for c in node.children(vas).unwrap() {
+                serialize_stored(vas, schema, c, out);
+            }
+        }
+        NodeKind::Element => {
+            let sid = node.schema(vas).unwrap();
+            let name = schema.node(sid).name.as_ref().unwrap().local.clone();
+            out.push('<');
+            out.push_str(&name);
+            let kids = node.children(vas).unwrap();
+            if kids.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in kids {
+                    serialize_stored(vas, schema, c, out);
+                }
+                out.push_str("</");
+                out.push_str(&name);
+                out.push('>');
+            }
+        }
+        NodeKind::Text => out.push_str(&node.value_string(vas).unwrap()),
+        other => panic!("unexpected kind {other:?}"),
+    }
+}
+
+/// Labels along any traversal must strictly ascend in document order, and
+/// every node's handle must dereference back to it.
+fn check_invariants(vas: &Vas, node: NodeRef, prev: &mut Option<sedna_numbering::Label>) {
+    let label = node.label(vas).unwrap();
+    if let Some(p) = prev {
+        assert_eq!(
+            p.doc_cmp(&label),
+            sedna_numbering::DocOrder::Before,
+            "document order violated"
+        );
+    }
+    *prev = Some(label);
+    let handle = node.handle(vas).unwrap();
+    let back = sedna_storage::indirection::deref_handle(vas, handle).unwrap();
+    assert_eq!(back, node.ptr(), "handle must dereference to the node");
+    for c in node.children(vas).unwrap() {
+        check_invariants(vas, c, prev);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Insert an element under the i-th live element at child position p.
+    InsertElement { parent_sel: usize, pos: usize, name_sel: usize },
+    /// Insert a text node under the i-th live element.
+    InsertText { parent_sel: usize, pos: usize, value: String },
+    /// Delete the i-th live non-root node (whole subtree).
+    Delete { node_sel: usize },
+    /// Replace the value of the i-th live text node.
+    SetValue { node_sel: usize, value: String },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<usize>(), any::<usize>(), 0usize..5).prop_map(|(parent_sel, pos, name_sel)| Op::InsertElement {
+            parent_sel,
+            pos: pos % 6,
+            name_sel,
+        }),
+        3 => (any::<usize>(), any::<usize>(), "[a-z]{0,12}").prop_map(|(parent_sel, pos, value)| Op::InsertText {
+            parent_sel,
+            pos: pos % 6,
+            value,
+        }),
+        1 => any::<usize>().prop_map(|node_sel| Op::Delete { node_sel }),
+        1 => (any::<usize>(), "[a-z]{0,20}").prop_map(|(node_sel, value)| Op::SetValue { node_sel, value }),
+    ]
+}
+
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn run_model(ops: Vec<Op>, mode: ParentMode, page_size: usize) {
+    let sas = Sas::in_memory(SasConfig {
+        page_size,
+        layer_size: page_size as u64 * 8192,
+        buffer_frames: 8192,
+    })
+    .unwrap();
+    let vas = sas.session();
+    vas.begin(View::LATEST, Some(TxnToken(1)));
+    let mut schema = SchemaTree::new();
+    let mut doc = DocStorage::create(&vas, &mut schema, mode).unwrap();
+    let mut model = Model::new();
+    // model node id -> storage handle
+    let mut handles: Vec<Option<XPtr>> = vec![Some(doc.doc_handle)];
+
+    for op in ops {
+        match op {
+            Op::InsertElement { parent_sel, pos, name_sel } => {
+                let parents = model.live_elements();
+                let parent = parents[parent_sel % parents.len()];
+                let siblings = model.nodes[parent].children.clone();
+                let pos = pos.min(siblings.len());
+                let name = NAMES[name_sel % NAMES.len()];
+                let left = pos.checked_sub(1).map(|i| handles[siblings[i]].unwrap());
+                let right = siblings.get(pos).map(|&i| handles[i].unwrap());
+                let h = doc
+                    .insert_node(
+                        &vas,
+                        &mut schema,
+                        handles[parent].unwrap(),
+                        left,
+                        right,
+                        NodeKind::Element,
+                        Some(SchemaName::local(name)),
+                        None,
+                    )
+                    .unwrap();
+                let id = model.insert(parent, pos, NodeKind::Element, Some(name.into()), String::new());
+                assert_eq!(id, handles.len());
+                handles.push(Some(h));
+            }
+            Op::InsertText { parent_sel, pos, value } => {
+                let parents = model.live_elements();
+                let parent = parents[parent_sel % parents.len()];
+                // The document node only takes elements in this model.
+                if model.nodes[parent].kind == NodeKind::Document {
+                    continue;
+                }
+                let siblings = model.nodes[parent].children.clone();
+                let pos = pos.min(siblings.len());
+                let left = pos.checked_sub(1).map(|i| handles[siblings[i]].unwrap());
+                let right = siblings.get(pos).map(|&i| handles[i].unwrap());
+                let h = doc
+                    .insert_node(
+                        &vas,
+                        &mut schema,
+                        handles[parent].unwrap(),
+                        left,
+                        right,
+                        NodeKind::Text,
+                        None,
+                        Some(value.as_bytes()),
+                    )
+                    .unwrap();
+                let id = model.insert(parent, pos, NodeKind::Text, None, value);
+                assert_eq!(id, handles.len());
+                handles.push(Some(h));
+            }
+            Op::Delete { node_sel } => {
+                let candidates = model.live_non_root();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let node = candidates[node_sel % candidates.len()];
+                doc.delete_subtree(&vas, &mut schema, handles[node].unwrap())
+                    .unwrap();
+                model.delete(node);
+            }
+            Op::SetValue { node_sel, value } => {
+                let texts = model.live_texts();
+                if texts.is_empty() {
+                    continue;
+                }
+                let node = texts[node_sel % texts.len()];
+                doc.set_value(&vas, handles[node].unwrap(), value.as_bytes())
+                    .unwrap();
+                model.nodes[node].value = value;
+            }
+        }
+        // Compare serializations after every operation.
+        let mut want = String::new();
+        model.serialize(0, &mut want);
+        let mut got = String::new();
+        serialize_stored(&vas, &schema, doc.doc_node(&vas).unwrap(), &mut got);
+        assert_eq!(got, want, "storage diverged from the model");
+    }
+    // Final invariant sweep.
+    let mut prev = None;
+    check_invariants(&vas, doc.doc_node(&vas).unwrap(), &mut prev);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_random_updates_match_model_indirect(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        run_model(ops, ParentMode::Indirect, 1024);
+    }
+
+    #[test]
+    fn prop_random_updates_match_model_direct(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        run_model(ops, ParentMode::Direct, 1024);
+    }
+
+    #[test]
+    fn prop_random_updates_tiny_pages(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        // 512-byte pages: every few inserts split a block.
+        run_model(ops, ParentMode::Indirect, 512);
+    }
+}
+
+/// A long deterministic soak: thousands of mixed operations.
+#[test]
+fn soak_mixed_operations() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut ops = Vec::new();
+    for _ in 0..1500 {
+        let r: u32 = rng.gen_range(0..8);
+        ops.push(match r {
+            0..=2 => Op::InsertElement {
+                parent_sel: rng.gen(),
+                pos: rng.gen_range(0..6),
+                name_sel: rng.gen_range(0..5),
+            },
+            3..=5 => Op::InsertText {
+                parent_sel: rng.gen(),
+                pos: rng.gen_range(0..6),
+                value: (0..rng.gen_range(0..18))
+                    .map(|_| rng.gen_range(b'a'..=b'z') as char)
+                    .collect(),
+            },
+            6 => Op::Delete { node_sel: rng.gen() },
+            _ => Op::SetValue {
+                node_sel: rng.gen(),
+                value: "replacement".into(),
+            },
+        });
+    }
+    run_model(ops, ParentMode::Indirect, 1024);
+}

@@ -1,0 +1,386 @@
+//! Strict two-phase locking with hierarchical granularity and wait-for
+//! deadlock detection (Section 6.2).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use sedna_sas::XPtr;
+
+use crate::TxnId;
+
+/// Lockable resources, hierarchical: database ⊃ document ⊃ subtree.
+///
+/// Document granularity is the paper's shipped scheme; subtree granularity
+/// is its announced "finer-granularity locking" extension, usable through
+/// the intention modes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Resource {
+    /// The whole database.
+    Database,
+    /// One document (by catalog id).
+    Document(u64),
+    /// One subtree of a document, identified by the root's node handle.
+    Subtree(u64, XPtr),
+}
+
+/// Lock modes (standard hierarchical set).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LockMode {
+    /// Intention shared.
+    IS,
+    /// Intention exclusive.
+    IX,
+    /// Shared.
+    S,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// Standard compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (IS, IS) | (IS, IX) | (IS, S) | (IX, IS) | (IX, IX) | (S, IS) | (S, S)
+        )
+    }
+
+    /// Whether `self` subsumes `other` (holding `self` satisfies a request
+    /// for `other`).
+    pub fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        self == other
+            || matches!(
+                (self, other),
+                (X, _) | (S, IS) | (IX, IS)
+            )
+    }
+
+    /// The weakest mode at least as strong as both.
+    pub fn combine(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        match (self, other) {
+            (X, _) | (_, X) => X,
+            (S, IX) | (IX, S) => X, // SIX collapsed to X (no SIX mode)
+            (S, _) | (_, S) => S,
+            (IX, _) | (_, IX) => IX,
+            _ => IS,
+        }
+    }
+}
+
+/// Errors from lock acquisition.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LockError {
+    /// Granting the request would close a wait-for cycle; the requester
+    /// must abort (classic deadlock-victim policy).
+    Deadlock,
+    /// The configured wait timeout expired (safety net).
+    Timeout,
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Deadlock => write!(f, "deadlock detected; transaction chosen as victim"),
+            LockError::Timeout => write!(f, "lock wait timed out"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Default)]
+struct LockState {
+    /// Granted locks per resource: txn -> mode.
+    granted: HashMap<Resource, HashMap<TxnId, LockMode>>,
+    /// Which transactions each blocked transaction waits for.
+    wait_for: HashMap<TxnId, HashSet<TxnId>>,
+    /// Locks held per transaction (for strict release at end).
+    held: HashMap<TxnId, HashSet<Resource>>,
+}
+
+impl LockState {
+    fn conflicts(&self, res: Resource, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        self.granted
+            .get(&res)
+            .map(|g| {
+                g.iter()
+                    .filter(|&(&t, &m)| t != txn && !m.compatible(mode))
+                    .map(|(&t, _)| t)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Depth-first search for a path `from ~> target` in the wait-for
+    /// graph.
+    fn reaches(&self, from: TxnId, target: TxnId) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == target {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = self.wait_for.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+/// The lock manager.
+pub struct LockManager {
+    state: Mutex<LockState>,
+    wakeup: Condvar,
+    timeout: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(Duration::from_secs(10))
+    }
+}
+
+impl LockManager {
+    /// Creates a lock manager with the given wait-timeout safety net.
+    pub fn new(timeout: Duration) -> LockManager {
+        LockManager {
+            state: Mutex::new(LockState::default()),
+            wakeup: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Acquires `mode` on `res` for `txn`, blocking until grantable.
+    /// Returns [`LockError::Deadlock`] when waiting would deadlock.
+    pub fn lock(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<(), LockError> {
+        let mut state = self.state.lock();
+        loop {
+            // Upgrade-aware: a held mode covering the request is a no-op.
+            if let Some(held) = state.granted.get(&res).and_then(|g| g.get(&txn)) {
+                if held.covers(mode) {
+                    return Ok(());
+                }
+            }
+            let conflicts = state.conflicts(res, txn, mode);
+            if conflicts.is_empty() {
+                let entry = state.granted.entry(res).or_default();
+                let new_mode = entry
+                    .get(&txn)
+                    .map(|held| held.combine(mode))
+                    .unwrap_or(mode);
+                entry.insert(txn, new_mode);
+                state.held.entry(txn).or_default().insert(res);
+                state.wait_for.remove(&txn);
+                return Ok(());
+            }
+            // Would waiting close a cycle?
+            for &holder in &conflicts {
+                if state.reaches(holder, txn) {
+                    state.wait_for.remove(&txn);
+                    return Err(LockError::Deadlock);
+                }
+            }
+            state
+                .wait_for
+                .entry(txn)
+                .or_default()
+                .extend(conflicts.iter().copied());
+            let timed_out = self
+                .wakeup
+                .wait_for(&mut state, self.timeout)
+                .timed_out();
+            state.wait_for.remove(&txn);
+            if timed_out {
+                return Err(LockError::Timeout);
+            }
+        }
+    }
+
+    /// Convenience for the paper's shipped granularity: an exclusive or
+    /// shared lock on a document, with the matching intention lock on the
+    /// database.
+    pub fn lock_document(&self, txn: TxnId, doc: u64, mode: LockMode) -> Result<(), LockError> {
+        let intent = match mode {
+            LockMode::S | LockMode::IS => LockMode::IS,
+            LockMode::X | LockMode::IX => LockMode::IX,
+        };
+        self.lock(txn, Resource::Database, intent)?;
+        self.lock(txn, Resource::Document(doc), mode)
+    }
+
+    /// Finer-granularity extension: lock one subtree, with intention locks
+    /// on the document and database.
+    pub fn lock_subtree(
+        &self,
+        txn: TxnId,
+        doc: u64,
+        subtree: XPtr,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        let intent = match mode {
+            LockMode::S | LockMode::IS => LockMode::IS,
+            LockMode::X | LockMode::IX => LockMode::IX,
+        };
+        self.lock(txn, Resource::Database, intent)?;
+        self.lock(txn, Resource::Document(doc), intent)?;
+        self.lock(txn, Resource::Subtree(doc, subtree), mode)
+    }
+
+    /// Strict release: drops every lock of `txn` (called at commit/abort).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut state = self.state.lock();
+        if let Some(resources) = state.held.remove(&txn) {
+            for res in resources {
+                if let Some(g) = state.granted.get_mut(&res) {
+                    g.remove(&txn);
+                    if g.is_empty() {
+                        state.granted.remove(&res);
+                    }
+                }
+            }
+        }
+        state.wait_for.remove(&txn);
+        drop(state);
+        self.wakeup.notify_all();
+    }
+
+    /// Number of resources currently locked (diagnostics).
+    pub fn locked_resources(&self) -> usize {
+        self.state.lock().granted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(IS.compatible(IX));
+        assert!(S.compatible(S));
+        assert!(!S.compatible(X));
+        assert!(!X.compatible(IS));
+        assert!(!IX.compatible(S));
+        assert!(IX.compatible(IX));
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::default();
+        lm.lock_document(TxnId(1), 7, LockMode::S).unwrap();
+        lm.lock_document(TxnId(2), 7, LockMode::S).unwrap();
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        assert_eq!(lm.locked_resources(), 0);
+    }
+
+    #[test]
+    fn exclusive_blocks_until_release() {
+        let lm = Arc::new(LockManager::default());
+        lm.lock_document(TxnId(1), 7, LockMode::X).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.lock_document(TxnId(2), 7, LockMode::X).unwrap();
+            lm2.release_all(TxnId(2));
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!waiter.is_finished(), "txn 2 must be blocked");
+        lm.release_all(TxnId(1));
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn upgrade_s_to_x() {
+        let lm = LockManager::default();
+        lm.lock_document(TxnId(1), 7, LockMode::S).unwrap();
+        // Upgrade succeeds while no one else holds S.
+        lm.lock_document(TxnId(1), 7, LockMode::X).unwrap();
+        // Another reader now conflicts.
+        let lm = Arc::new(lm);
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || lm2.lock_document(TxnId(2), 7, LockMode::S));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!h.is_finished());
+        lm.release_all(TxnId(1));
+        h.join().unwrap().unwrap();
+        lm.release_all(TxnId(2));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(30)));
+        lm.lock_document(TxnId(1), 1, LockMode::X).unwrap();
+        lm.lock_document(TxnId(2), 2, LockMode::X).unwrap();
+        let lm2 = Arc::clone(&lm);
+        // Txn 1 waits for doc 2.
+        let h = std::thread::spawn(move || {
+            
+            lm2.lock_document(TxnId(1), 2, LockMode::X)
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        // Txn 2 requesting doc 1 closes the cycle and must be the victim.
+        let r = lm.lock_document(TxnId(2), 1, LockMode::X);
+        assert_eq!(r, Err(LockError::Deadlock));
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        lm.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn intention_locks_allow_disjoint_subtree_writers() {
+        // The finer-granularity extension: two writers in different
+        // subtrees of one document proceed concurrently.
+        let lm = LockManager::default();
+        let s1 = XPtr::new(1, 100);
+        let s2 = XPtr::new(1, 200);
+        lm.lock_subtree(TxnId(1), 7, s1, LockMode::X).unwrap();
+        lm.lock_subtree(TxnId(2), 7, s2, LockMode::X).unwrap();
+        // But a whole-document S lock now conflicts with the IX holders.
+        let lm = Arc::new(lm);
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || lm2.lock_document(TxnId(3), 7, LockMode::S));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!h.is_finished());
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        lm.release_all(TxnId(3));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let lm = LockManager::new(Duration::from_millis(100));
+        lm.lock_document(TxnId(1), 7, LockMode::X).unwrap();
+        let r = lm.lock_document(TxnId(2), 7, LockMode::S);
+        assert_eq!(r, Err(LockError::Timeout));
+        lm.release_all(TxnId(1));
+    }
+
+    #[test]
+    fn release_wakes_all_waiters() {
+        let lm = Arc::new(LockManager::default());
+        lm.lock_document(TxnId(1), 7, LockMode::X).unwrap();
+        let mut handles = Vec::new();
+        for i in 2..6 {
+            let lm2 = Arc::clone(&lm);
+            handles.push(std::thread::spawn(move || {
+                lm2.lock_document(TxnId(i), 7, LockMode::S).unwrap();
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        lm.release_all(TxnId(1));
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The transaction manager façade: ties the lock manager and version
+//! manager together and hands out transaction views for the SAS layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sedna_sas::{PageStore, TxnToken, View};
+
+use crate::lock::LockManager;
+use crate::version::{snapshot_view, txn_view, VersionManager};
+use crate::TxnId;
+
+/// What kind of transaction a handle denotes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnKind {
+    /// An updating transaction: S2PL locking + a working-version view.
+    Update,
+    /// A read-only transaction (§6.3): pinned to a snapshot, takes no
+    /// document locks, "obtains a consistent but possibly slightly
+    /// obsolete state of the database".
+    ReadOnly {
+        /// The pinned snapshot's timestamp.
+        snapshot_ts: u64,
+    },
+}
+
+/// A live transaction.
+#[derive(Clone, Debug)]
+pub struct TxnHandle {
+    /// Transaction id.
+    pub id: TxnId,
+    /// Update or read-only.
+    pub kind: TxnKind,
+}
+
+impl TxnHandle {
+    /// The SAS view this transaction dereferences through.
+    pub fn view(&self) -> View {
+        match self.kind {
+            TxnKind::Update => txn_view(self.id),
+            TxnKind::ReadOnly { snapshot_ts } => snapshot_view(snapshot_ts),
+        }
+    }
+
+    /// The SAS write token (updaters only).
+    pub fn token(&self) -> Option<TxnToken> {
+        match self.kind {
+            TxnKind::Update => Some(self.id.token()),
+            TxnKind::ReadOnly { .. } => None,
+        }
+    }
+
+    /// Whether this is a read-only transaction.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self.kind, TxnKind::ReadOnly { .. })
+    }
+}
+
+/// The transaction manager.
+pub struct TxnManager {
+    /// The S2PL lock manager.
+    pub locks: LockManager,
+    /// The page-version manager (also the SAS page resolver).
+    pub versions: Arc<VersionManager>,
+    next_id: AtomicU64,
+}
+
+impl TxnManager {
+    /// Creates a transaction manager whose versions allocate from `store`.
+    pub fn new(store: Arc<dyn PageStore>) -> TxnManager {
+        TxnManager {
+            locks: LockManager::default(),
+            versions: VersionManager::new(store),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Begins an updating transaction.
+    pub fn begin_update(&self) -> TxnHandle {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.versions.begin_update(id);
+        TxnHandle {
+            id,
+            kind: TxnKind::Update,
+        }
+    }
+
+    /// Begins a read-only transaction pinned to the current snapshot.
+    pub fn begin_read_only(&self) -> TxnHandle {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let snap = self.versions.create_snapshot();
+        TxnHandle {
+            id,
+            kind: TxnKind::ReadOnly {
+                snapshot_ts: snap.ts,
+            },
+        }
+    }
+
+    /// Commits; returns the commit timestamp (0 for read-only).
+    pub fn commit(&self, txn: &TxnHandle) -> u64 {
+        match txn.kind {
+            TxnKind::Update => {
+                let ts = self.versions.commit(txn.id);
+                self.locks.release_all(txn.id);
+                ts
+            }
+            TxnKind::ReadOnly { snapshot_ts } => {
+                self.versions.release_snapshot(snapshot_ts);
+                0
+            }
+        }
+    }
+
+    /// Aborts: working versions are discarded, locks released. Returns
+    /// the SAS pages the transaction had freshly allocated so the caller
+    /// can recycle their addresses.
+    pub fn abort(&self, txn: &TxnHandle) -> Vec<sedna_sas::XPtr> {
+        match txn.kind {
+            TxnKind::Update => {
+                let fresh = self.versions.rollback(txn.id);
+                self.locks.release_all(txn.id);
+                fresh
+            }
+            TxnKind::ReadOnly { snapshot_ts } => {
+                self.versions.release_snapshot(snapshot_ts);
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::LockMode;
+    use sedna_sas::MemPageStore;
+
+    fn mgr() -> TxnManager {
+        TxnManager::new(Arc::new(MemPageStore::new(256)))
+    }
+
+    #[test]
+    fn ids_are_unique_and_views_differ() {
+        let m = mgr();
+        let a = m.begin_update();
+        let b = m.begin_update();
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.view(), b.view());
+        assert!(a.token().is_some());
+        m.commit(&a);
+        m.commit(&b);
+    }
+
+    #[test]
+    fn read_only_has_no_token_and_pins_snapshot() {
+        let m = mgr();
+        let r = m.begin_read_only();
+        assert!(r.is_read_only());
+        assert!(r.token().is_none());
+        assert_eq!(m.versions.snapshots().len(), 1);
+        m.commit(&r);
+        assert_eq!(m.versions.snapshots().len(), 0);
+    }
+
+    #[test]
+    fn abort_releases_locks() {
+        let m = mgr();
+        let t = m.begin_update();
+        m.locks.lock_document(t.id, 1, LockMode::X).unwrap();
+        assert!(m.locks.locked_resources() > 0);
+        m.abort(&t);
+        assert_eq!(m.locks.locked_resources(), 0);
+    }
+}

@@ -1,0 +1,770 @@
+//! Snapshot-based page multiversioning (Section 6.1).
+//!
+//! "When using multiversioning, each data element may have several
+//! versions. Sedna uses snapshot-based scheme with data elements being
+//! pages. [...] When transaction updates some page, a new version of this
+//! page is created. [...] When transaction commits, all its versions
+//! become last committed ones. If it is rolled back, all its versions are
+//! simply discarded. When reading, transaction fetches last committed
+//! versions (or reads its own versions if it has created them)."
+//!
+//! The [`VersionManager`] plugs into the SAS layer as the
+//! [`PageResolver`]: every buffer fault asks it which physical page image
+//! the faulting view may see. Old versions are purged exactly as the paper
+//! says — "this condition is checked when a new version of a page is
+//! created".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sedna_sas::{
+    BufferPool, PageResolver, PageStore, PhysId, SasError, SasResult, TxnToken, View, WritePlan,
+    XPtr,
+};
+
+use crate::TxnId;
+
+/// Bit marking a [`View`] as an updating transaction's own view.
+const TXN_VIEW_FLAG: u64 = 1 << 63;
+
+/// View of an updating transaction (sees its own working versions).
+pub fn txn_view(txn: TxnId) -> View {
+    View(TXN_VIEW_FLAG | txn.0)
+}
+
+/// View of a read-only transaction pinned to snapshot `ts`.
+/// Encoded as `ts + 1` so that the empty-database snapshot (`ts = 0`)
+/// stays distinct from [`View::LATEST`].
+pub fn snapshot_view(ts: u64) -> View {
+    debug_assert!(ts & TXN_VIEW_FLAG == 0);
+    View(ts + 1)
+}
+
+/// The paper's snapshot: "logically snapshot is just a pair: (timestamp,
+/// list of active transactions)".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Commit timestamp the snapshot is consistent with.
+    pub ts: u64,
+    /// Transactions that were active (uncommitted) at creation.
+    pub active: Vec<TxnId>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Version {
+    phys: PhysId,
+    /// Commit timestamp; `None` = working (uncommitted).
+    committed: Option<u64>,
+    creator: TxnId,
+}
+
+/// Whether (and how) a page has been freed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum DropState {
+    /// Page is live.
+    #[default]
+    Live,
+    /// Freed by an uncommitted transaction (undone on rollback).
+    PendingBy(TxnId),
+    /// Free committed; old versions may still serve snapshot readers.
+    Dropped,
+}
+
+#[derive(Default)]
+struct Chain {
+    /// Newest first.
+    versions: Vec<Version>,
+    /// Drop state; snapshot readers may still see old versions of a
+    /// dropped page.
+    dropped: DropState,
+}
+
+struct SnapshotState {
+    snap: Snapshot,
+    refs: usize,
+    persistent: bool,
+}
+
+/// Counters for the versioning experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VersionStats {
+    /// Working versions created.
+    pub versions_created: u64,
+    /// Obsolete versions purged (physical slots reclaimed).
+    pub versions_purged: u64,
+}
+
+struct VmState {
+    chains: HashMap<u64, Chain>,
+    /// Last assigned commit timestamp.
+    current_ts: u64,
+    snapshots: Vec<SnapshotState>,
+    active: Vec<TxnId>,
+    stats: VersionStats,
+}
+
+/// The version manager: a [`PageResolver`] that maintains per-page version
+/// chains, snapshots, commit/rollback, and purging.
+pub struct VersionManager {
+    store: Arc<dyn PageStore>,
+    pool: Mutex<Option<Arc<BufferPool>>>,
+    state: Mutex<VmState>,
+}
+
+impl VersionManager {
+    /// Creates a manager allocating versions from `store`.
+    pub fn new(store: Arc<dyn PageStore>) -> Arc<VersionManager> {
+        Arc::new(VersionManager {
+            store,
+            pool: Mutex::new(None),
+            state: Mutex::new(VmState {
+                chains: HashMap::new(),
+                current_ts: 0,
+                snapshots: Vec::new(),
+                active: Vec::new(),
+                stats: VersionStats::default(),
+            }),
+        })
+    }
+
+    /// Wires in the buffer pool so purged/discarded versions can also be
+    /// dropped from memory.
+    pub fn set_pool(&self, pool: Arc<BufferPool>) {
+        *self.pool.lock() = Some(pool);
+    }
+
+    fn invalidate(&self, phys: PhysId) {
+        if let Some(pool) = self.pool.lock().as_ref() {
+            pool.invalidate(phys);
+        }
+    }
+
+    /// Registers an update transaction as active.
+    pub fn begin_update(&self, txn: TxnId) {
+        self.state.lock().active.push(txn);
+    }
+
+    /// Commits `txn`: its working versions become the last committed ones
+    /// and its pending page frees are finalized. Returns the commit
+    /// timestamp.
+    pub fn commit(&self, txn: TxnId) -> u64 {
+        let mut freed = Vec::new();
+        let ts;
+        {
+            let mut st = self.state.lock();
+            st.current_ts += 1;
+            ts = st.current_ts;
+            let have_snapshots = !st.snapshots.is_empty();
+            let mut fully_gone = Vec::new();
+            for (&page, chain) in st.chains.iter_mut() {
+                if let Some(v) = chain.versions.first_mut() {
+                    if v.committed.is_none() && v.creator == txn {
+                        v.committed = Some(ts);
+                    }
+                }
+                if chain.dropped == DropState::PendingBy(txn) {
+                    chain.dropped = DropState::Dropped;
+                    if !have_snapshots {
+                        freed.extend(chain.versions.iter().map(|v| v.phys));
+                        fully_gone.push(page);
+                    }
+                }
+            }
+            for page in fully_gone {
+                st.chains.remove(&page);
+            }
+            st.active.retain(|&t| t != txn);
+        }
+        for phys in freed {
+            self.invalidate(phys);
+            let _ = self.store.free(phys);
+        }
+        ts
+    }
+
+    /// Pages whose newest version is a working version of `txn` — the set
+    /// the database core logs as after-images at commit time.
+    pub fn working_pages(&self, txn: TxnId) -> Vec<XPtr> {
+        let st = self.state.lock();
+        let mut out: Vec<XPtr> = st
+            .chains
+            .iter()
+            .filter(|(_, c)| {
+                c.versions
+                    .first()
+                    .is_some_and(|v| v.committed.is_none() && v.creator == txn)
+            })
+            .map(|(&page, _)| XPtr::from_raw(page))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Pages with a pending free by `txn` (logged as PageFree records).
+    pub fn pending_frees(&self, txn: TxnId) -> Vec<XPtr> {
+        let st = self.state.lock();
+        let mut out: Vec<XPtr> = st
+            .chains
+            .iter()
+            .filter(|(_, c)| c.dropped == DropState::PendingBy(txn))
+            .map(|(&page, _)| XPtr::from_raw(page))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Rolls `txn` back: its working versions are simply discarded and
+    /// its pending frees undone. Returns the SAS pages the transaction
+    /// had freshly allocated (their addresses can be recycled).
+    pub fn rollback(&self, txn: TxnId) -> Vec<XPtr> {
+        let mut discarded = Vec::new();
+        let mut fresh_pages = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let mut emptied = Vec::new();
+            for (&page, chain) in st.chains.iter_mut() {
+                if let Some(v) = chain.versions.first() {
+                    if v.committed.is_none() && v.creator == txn {
+                        discarded.push(v.phys);
+                        chain.versions.remove(0);
+                        if chain.versions.is_empty() {
+                            emptied.push(page);
+                            fresh_pages.push(XPtr::from_raw(page));
+                        }
+                    }
+                }
+                // A free performed by the aborting txn is undone.
+                if chain.dropped == DropState::PendingBy(txn) {
+                    chain.dropped = DropState::Live;
+                }
+            }
+            for page in emptied {
+                st.chains.remove(&page);
+            }
+            st.active.retain(|&t| t != txn);
+        }
+        for phys in discarded {
+            self.invalidate(phys);
+            let _ = self.store.free(phys);
+        }
+        fresh_pages
+    }
+
+    /// Creates a snapshot of the current committed state. "To create a new
+    /// snapshot, we simply store the current timestamp and the list of
+    /// currently active transactions."
+    pub fn create_snapshot(&self) -> Snapshot {
+        let mut st = self.state.lock();
+        let snap = Snapshot {
+            ts: st.current_ts,
+            active: st.active.clone(),
+        };
+        if let Some(existing) = st.snapshots.iter_mut().find(|s| s.snap.ts == snap.ts) {
+            existing.refs += 1;
+            return existing.snap.clone();
+        }
+        st.snapshots.push(SnapshotState {
+            snap: snap.clone(),
+            refs: 1,
+            persistent: false,
+        });
+        snap
+    }
+
+    /// Releases a snapshot acquired with [`VersionManager::create_snapshot`].
+    pub fn release_snapshot(&self, ts: u64) {
+        let mut st = self.state.lock();
+        if let Some(idx) = st.snapshots.iter().position(|s| s.snap.ts == ts) {
+            st.snapshots[idx].refs -= 1;
+            if st.snapshots[idx].refs == 0 && !st.snapshots[idx].persistent {
+                st.snapshots.remove(idx);
+            }
+        }
+    }
+
+    /// Marks the snapshot at `ts` persistent (checkpoint support, §6.4):
+    /// it survives with zero refs until explicitly demoted.
+    pub fn mark_persistent(&self, ts: u64) {
+        let mut st = self.state.lock();
+        for s in st.snapshots.iter_mut() {
+            if s.snap.ts == ts {
+                s.persistent = true;
+            } else if s.persistent {
+                s.persistent = false;
+            }
+        }
+        // Drop demoted, unreferenced snapshots.
+        st.snapshots.retain(|s| s.refs > 0 || s.persistent);
+    }
+
+    /// Active snapshots (diagnostics/tests).
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        self.state.lock().snapshots.iter().map(|s| s.snap.clone()).collect()
+    }
+
+    /// Version counters.
+    pub fn stats(&self) -> VersionStats {
+        self.state.lock().stats
+    }
+
+    /// The `(page, phys)` table of last-committed versions — what a
+    /// checkpoint persists.
+    pub fn committed_table(&self) -> Vec<(XPtr, PhysId)> {
+        let st = self.state.lock();
+        st.chains
+            .iter()
+            .filter(|(_, c)| c.dropped != DropState::Dropped)
+            .filter_map(|(&page, c)| {
+                c.versions
+                    .iter()
+                    .find(|v| v.committed.is_some())
+                    .map(|v| (XPtr::from_raw(page), v.phys))
+            })
+            .collect()
+    }
+
+    /// Installs a committed version during recovery ("converting versions
+    /// belonging to the persistent snapshot into last committed ones").
+    pub fn install_committed(&self, page: XPtr, phys: PhysId) {
+        let mut st = self.state.lock();
+        let ts = st.current_ts;
+        st.chains.insert(
+            page.raw(),
+            Chain {
+                versions: vec![Version {
+                    phys,
+                    committed: Some(ts),
+                    creator: TxnId(0),
+                }],
+                dropped: DropState::Live,
+            },
+        );
+    }
+
+    /// The last assigned commit timestamp.
+    pub fn current_ts(&self) -> u64 {
+        self.state.lock().current_ts
+    }
+
+    /// Raises the commit clock (recovery: past the highest replayed ts).
+    pub fn set_current_ts(&self, ts: u64) {
+        let mut st = self.state.lock();
+        st.current_ts = st.current_ts.max(ts);
+    }
+
+    /// Is the version committed at `vts` the one some live snapshot reads
+    /// — i.e. the newest version with `committed <= s.ts`?
+    fn needed_by_snapshot(snapshots: &[SnapshotState], all_commits: &[u64], vts: u64) -> bool {
+        snapshots.iter().any(|s| {
+            let sts = s.snap.ts;
+            vts <= sts && !all_commits.iter().any(|&c| c > vts && c <= sts)
+        })
+    }
+
+    /// Purges chain versions made obsolete; returns freed physical slots.
+    /// A version is retained when it is working, is the last committed
+    /// one, or is what some live snapshot reads.
+    fn purge_chain(st: &mut VmState, page: u64) -> Vec<PhysId> {
+        let mut freed = Vec::new();
+        let VmState {
+            chains,
+            snapshots,
+            stats,
+            ..
+        } = st;
+        if let Some(chain) = chains.get_mut(&page) {
+            let commits: Vec<u64> = chain.versions.iter().filter_map(|v| v.committed).collect();
+            let newest = commits.iter().copied().max();
+            chain.versions.retain(|v| {
+                let retain = match v.committed {
+                    None => true,
+                    Some(ts) => {
+                        Some(ts) == newest || Self::needed_by_snapshot(snapshots, &commits, ts)
+                    }
+                };
+                if !retain {
+                    freed.push(v.phys);
+                    stats.versions_purged += 1;
+                }
+                retain
+            });
+        }
+        freed
+    }
+}
+
+impl PageResolver for VersionManager {
+    fn attach_pool(&self, pool: Arc<BufferPool>) {
+        self.set_pool(pool);
+    }
+
+    fn resolve_read(&self, page: XPtr, view: View) -> SasResult<PhysId> {
+        let st = self.state.lock();
+        let chain = st
+            .chains
+            .get(&page.raw())
+            .ok_or(SasError::NoSuchPage(page))?;
+        if view.0 & TXN_VIEW_FLAG != 0 {
+            let txn = TxnId(view.0 & !TXN_VIEW_FLAG);
+            // Own working version first, then last committed.
+            if let Some(v) = chain.versions.first() {
+                if v.committed.is_none() && v.creator == txn {
+                    return Ok(v.phys);
+                }
+            }
+            if chain.dropped == DropState::Dropped || chain.dropped == DropState::PendingBy(txn) {
+                return Err(SasError::NoSuchPage(page));
+            }
+            return chain
+                .versions
+                .iter()
+                .find(|v| v.committed.is_some())
+                .map(|v| v.phys)
+                .ok_or(SasError::NoSuchPage(page));
+        }
+        if view == View::LATEST {
+            if chain.dropped == DropState::Dropped {
+                return Err(SasError::NoSuchPage(page));
+            }
+            return chain
+                .versions
+                .iter()
+                .find(|v| v.committed.is_some())
+                .map(|v| v.phys)
+                .ok_or(SasError::NoSuchPage(page));
+        }
+        // Snapshot view: newest version with committed <= ts.
+        let ts = view.0 - 1;
+        chain
+            .versions
+            .iter()
+            .filter(|v| v.committed.is_some_and(|c| c <= ts))
+            .max_by_key(|v| v.committed)
+            .map(|v| v.phys)
+            .ok_or(SasError::NoSuchPage(page))
+    }
+
+    fn resolve_write(&self, page: XPtr, txn: TxnToken) -> SasResult<WritePlan> {
+        let txn = TxnId(txn.0);
+        let mut st = self.state.lock();
+        let chain = st
+            .chains
+            .get_mut(&page.raw())
+            .ok_or(SasError::NoSuchPage(page))?;
+        if let Some(v) = chain.versions.first() {
+            if v.committed.is_none() {
+                if v.creator == txn {
+                    return Ok(WritePlan {
+                        phys: v.phys,
+                        copy_from: None,
+                    });
+                }
+                return Err(SasError::Corrupt(format!(
+                    "page {page} already has a working version by {:?} (locking violation)",
+                    v.creator
+                )));
+            }
+        }
+        let old_phys = chain
+            .versions
+            .first()
+            .map(|v| v.phys)
+            .ok_or(SasError::NoSuchPage(page))?;
+        let new_phys = self.store.alloc()?;
+        chain.versions.insert(
+            0,
+            Version {
+                phys: new_phys,
+                committed: None,
+                creator: txn,
+            },
+        );
+        st.stats.versions_created += 1;
+        // "Old versions are purged when they are not needed anymore [...]
+        // this condition is checked when a new version of a page is
+        // created."
+        let freed = Self::purge_chain(&mut st, page.raw());
+        drop(st);
+        for phys in freed {
+            self.invalidate(phys);
+            self.store.free(phys)?;
+        }
+        Ok(WritePlan {
+            phys: new_phys,
+            copy_from: Some(old_phys),
+        })
+    }
+
+    fn on_page_alloc(&self, page: XPtr, txn: Option<TxnToken>) -> SasResult<PhysId> {
+        let phys = self.store.alloc()?;
+        let mut st = self.state.lock();
+        let version = match txn {
+            Some(t) => Version {
+                phys,
+                committed: None,
+                creator: TxnId(t.0),
+            },
+            None => Version {
+                phys,
+                committed: Some(st.current_ts),
+                creator: TxnId(0),
+            },
+        };
+        let prev = st.chains.insert(
+            page.raw(),
+            Chain {
+                versions: vec![version],
+                dropped: DropState::Live,
+            },
+        );
+        if let Some(prev) = prev {
+            // The address was recycled. Old committed versions that some
+            // snapshot may still read are preserved in the new chain
+            // (ordering by commit timestamp keeps visibility correct);
+            // the rest are freed.
+            let have_snapshots = !st.snapshots.is_empty();
+            if have_snapshots {
+                let chain = st.chains.get_mut(&page.raw()).expect("just inserted");
+                chain.versions.extend(prev.versions);
+            } else {
+                for v in prev.versions {
+                    let _ = self.store.free(v.phys);
+                }
+            }
+        }
+        Ok(phys)
+    }
+
+    fn on_page_free(&self, page: XPtr, txn: Option<TxnToken>) -> SasResult<()> {
+        let mut freed = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let have_snapshots = !st.snapshots.is_empty();
+            let Some(chain) = st.chains.get_mut(&page.raw()) else {
+                return Ok(());
+            };
+            // Discard the working version of the freeing transaction.
+            if let (Some(t), Some(v)) = (txn, chain.versions.first()) {
+                if v.committed.is_none() && v.creator == TxnId(t.0) {
+                    freed.push(v.phys);
+                    chain.versions.remove(0);
+                }
+            }
+            match txn {
+                Some(t) if !chain.versions.is_empty() => {
+                    // Committed versions remain until the transaction
+                    // commits (the free is undone on rollback).
+                    chain.dropped = DropState::PendingBy(TxnId(t.0));
+                }
+                _ => {
+                    // Non-transactional free, or the page never had a
+                    // committed version: reclaim what snapshots don't pin.
+                    if have_snapshots && chain.versions.iter().any(|v| v.committed.is_some()) {
+                        chain.dropped = DropState::Dropped;
+                    } else if let Some(chain) = st.chains.remove(&page.raw()) {
+                        freed.extend(chain.versions.iter().map(|v| v.phys));
+                    }
+                }
+            }
+        }
+        for phys in freed {
+            self.invalidate(phys);
+            self.store.free(phys)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedna_sas::MemPageStore;
+
+    fn setup() -> (Arc<VersionManager>, Arc<dyn PageStore>) {
+        let store: Arc<dyn PageStore> = Arc::new(MemPageStore::new(256));
+        (VersionManager::new(Arc::clone(&store)), store)
+    }
+
+    fn page(n: u32) -> XPtr {
+        XPtr::new(0, n * 256)
+    }
+
+    #[test]
+    fn alloc_commit_read_latest() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let phys = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        // The creator sees it; LATEST does not until commit.
+        assert_eq!(vm.resolve_read(page(1), txn_view(t1)).unwrap(), phys);
+        assert!(vm.resolve_read(page(1), View::LATEST).is_err());
+        vm.commit(t1);
+        assert_eq!(vm.resolve_read(page(1), View::LATEST).unwrap(), phys);
+    }
+
+    #[test]
+    fn write_creates_version_and_snapshot_keeps_old() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        vm.commit(t1);
+
+        let snap = vm.create_snapshot();
+        let t2 = TxnId(2);
+        vm.begin_update(t2);
+        let plan = vm.resolve_write(page(1), t2.token()).unwrap();
+        assert_ne!(plan.phys, p0);
+        assert_eq!(plan.copy_from, Some(p0));
+        // Readers: snapshot sees old, updater sees new, LATEST sees old.
+        assert_eq!(vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(), p0);
+        assert_eq!(vm.resolve_read(page(1), txn_view(t2)).unwrap(), plan.phys);
+        assert_eq!(vm.resolve_read(page(1), View::LATEST).unwrap(), p0);
+        vm.commit(t2);
+        assert_eq!(vm.resolve_read(page(1), View::LATEST).unwrap(), plan.phys);
+        // The pinned snapshot still sees the old version.
+        assert_eq!(vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(), p0);
+        vm.release_snapshot(snap.ts);
+    }
+
+    #[test]
+    fn repeat_writes_same_txn_reuse_version() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        vm.commit(t1);
+        let t2 = TxnId(2);
+        vm.begin_update(t2);
+        let a = vm.resolve_write(page(1), t2.token()).unwrap();
+        let b = vm.resolve_write(page(1), t2.token()).unwrap();
+        assert_eq!(a.phys, b.phys);
+        assert!(b.copy_from.is_none());
+    }
+
+    #[test]
+    fn concurrent_working_versions_rejected() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        vm.commit(t1);
+        let (t2, t3) = (TxnId(2), TxnId(3));
+        vm.begin_update(t2);
+        vm.begin_update(t3);
+        vm.resolve_write(page(1), t2.token()).unwrap();
+        assert!(vm.resolve_write(page(1), t3.token()).is_err());
+    }
+
+    #[test]
+    fn rollback_discards_working_versions() {
+        let (vm, store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        vm.commit(t1);
+        let allocated_before = store.allocated();
+        let t2 = TxnId(2);
+        vm.begin_update(t2);
+        let plan = vm.resolve_write(page(1), t2.token()).unwrap();
+        vm.rollback(t2);
+        assert_eq!(store.allocated(), allocated_before, "version slot freed");
+        // LATEST still resolves to the committed version.
+        assert_ne!(vm.resolve_read(page(1), View::LATEST).unwrap(), plan.phys);
+    }
+
+    #[test]
+    fn purge_reclaims_unneeded_versions() {
+        let (vm, store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        vm.commit(t1);
+        // No snapshots: every new version purges the previous one.
+        for i in 2..10 {
+            let t = TxnId(i);
+            vm.begin_update(t);
+            vm.resolve_write(page(1), t.token()).unwrap();
+            vm.commit(t);
+        }
+        assert!(vm.stats().versions_purged >= 7, "stats: {:?}", vm.stats());
+        // Exactly the live versions remain allocated.
+        assert!(store.allocated() <= 2);
+    }
+
+    #[test]
+    fn snapshot_pins_versions_against_purge() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        vm.commit(t1);
+        let snap = vm.create_snapshot();
+        for i in 2..6 {
+            let t = TxnId(i);
+            vm.begin_update(t);
+            vm.resolve_write(page(1), t.token()).unwrap();
+            vm.commit(t);
+        }
+        // The snapshot's version survived all that churn.
+        assert_eq!(vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(), p0);
+        vm.release_snapshot(snap.ts);
+    }
+
+    #[test]
+    fn snapshot_advancement() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        let snap_before = vm.create_snapshot();
+        assert!(snap_before.active.contains(&t1), "t1 active at snapshot");
+        vm.commit(t1);
+        let snap_after = vm.create_snapshot();
+        assert!(snap_after.ts > snap_before.ts);
+        // Old snapshot still can't see t1's page; new one can.
+        assert!(vm
+            .resolve_read(page(1), snapshot_view(snap_before.ts))
+            .is_err());
+        assert!(vm
+            .resolve_read(page(1), snapshot_view(snap_after.ts))
+            .is_ok());
+    }
+
+    #[test]
+    fn committed_table_round_trip() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p1 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        let p2 = vm.on_page_alloc(page(2), Some(t1.token())).unwrap();
+        vm.commit(t1);
+        let mut table = vm.committed_table();
+        table.sort();
+        assert_eq!(table, vec![(page(1), p1), (page(2), p2)]);
+
+        let (vm2, _s2) = setup();
+        for (pg, ph) in table {
+            vm2.install_committed(pg, ph);
+        }
+        assert_eq!(vm2.resolve_read(page(1), View::LATEST).unwrap(), p1);
+    }
+
+    #[test]
+    fn freed_page_hidden_from_latest_kept_for_snapshot() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        vm.commit(t1);
+        let snap = vm.create_snapshot();
+        let t2 = TxnId(2);
+        vm.begin_update(t2);
+        vm.on_page_free(page(1), Some(t2.token())).unwrap();
+        vm.commit(t2);
+        assert!(vm.resolve_read(page(1), View::LATEST).is_err());
+        assert_eq!(vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(), p0);
+        vm.release_snapshot(snap.ts);
+    }
+}

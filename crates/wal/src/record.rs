@@ -1,0 +1,363 @@
+//! Log-record types and their binary codec.
+
+use sedna_sas::{PhysId, XPtr};
+
+/// Errors from log encoding/decoding and I/O.
+#[derive(Debug)]
+pub enum WalError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// A record failed its checksum or is structurally invalid. Expected
+    /// at the crash-torn tail of a log; fatal anywhere else.
+    Corrupt {
+        /// Byte offset of the bad record.
+        at: u64,
+        /// Description.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "log I/O error: {e}"),
+            WalError::Corrupt { at, msg } => write!(f, "corrupt log record at {at}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Result alias for WAL operations.
+pub type WalResult<T> = Result<T, WalError>;
+
+/// Serialized allocator state carried by checkpoints (mirrors
+/// `sedna_sas::alloc::AllocState` without depending on its layout).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Next fresh layer.
+    pub next_layer: u32,
+    /// Next fresh address within the layer.
+    pub next_addr: u32,
+    /// Recycled page addresses.
+    pub free: Vec<XPtr>,
+}
+
+/// Payload of a checkpoint record: the persistent snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CheckpointData {
+    /// Commit timestamp the snapshot is consistent with.
+    pub ts: u64,
+    /// Page table of the persistent snapshot: SAS page → physical slot.
+    pub page_table: Vec<(XPtr, PhysId)>,
+    /// SAS address-allocator state.
+    pub alloc: AllocSnapshot,
+    /// Opaque serialized catalog (schemas, document anchors, indexes).
+    pub catalog: Vec<u8>,
+}
+
+/// One write-ahead-log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Transaction start.
+    Begin {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Full after-image of a page written by `txn` (logged at commit,
+    /// before the commit record).
+    PageImage {
+        /// Transaction id.
+        txn: u64,
+        /// The SAS page.
+        page: XPtr,
+        /// The page bytes.
+        image: Vec<u8>,
+    },
+    /// A page freed by `txn`.
+    PageFree {
+        /// Transaction id.
+        txn: u64,
+        /// The freed SAS page.
+        page: XPtr,
+    },
+    /// A catalog entry (document schema + storage anchors, or index
+    /// metadata) as of this transaction's commit. Logged with the page
+    /// images so recovery can restore the in-memory catalog consistent
+    /// with the redone pages.
+    CatalogPut {
+        /// Transaction id.
+        txn: u64,
+        /// Namespaced key (`doc:<name>` / `index:<name>`).
+        key: String,
+        /// Opaque payload owned by the database core.
+        payload: Vec<u8>,
+    },
+    /// Removal of a catalog entry (DROP DOCUMENT / DROP INDEX).
+    CatalogDrop {
+        /// Transaction id.
+        txn: u64,
+        /// Namespaced key.
+        key: String,
+    },
+    /// Transaction commit; `ts` is the commit timestamp.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+        /// Commit timestamp.
+        ts: u64,
+    },
+    /// Transaction abort (its versions were discarded; nothing to redo).
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A checkpoint: the persistent snapshot.
+    Checkpoint(CheckpointData),
+}
+
+const T_BEGIN: u8 = 1;
+const T_PAGE_IMAGE: u8 = 2;
+const T_PAGE_FREE: u8 = 3;
+const T_COMMIT: u8 = 4;
+const T_ABORT: u8 = 5;
+const T_CHECKPOINT: u8 = 6;
+const T_CATALOG_PUT: u8 = 7;
+const T_CATALOG_DROP: u8 = 8;
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise implementation — log records
+/// are not hot enough to justify a table).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Some(self.take(n)?.to_vec())
+    }
+}
+
+impl WalRecord {
+    /// Encodes the record body (without the length/CRC frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Begin { txn } => {
+                out.push(T_BEGIN);
+                put_u64(&mut out, *txn);
+            }
+            WalRecord::PageImage { txn, page, image } => {
+                out.push(T_PAGE_IMAGE);
+                put_u64(&mut out, *txn);
+                put_u64(&mut out, page.raw());
+                put_bytes(&mut out, image);
+            }
+            WalRecord::PageFree { txn, page } => {
+                out.push(T_PAGE_FREE);
+                put_u64(&mut out, *txn);
+                put_u64(&mut out, page.raw());
+            }
+            WalRecord::CatalogPut { txn, key, payload } => {
+                out.push(T_CATALOG_PUT);
+                put_u64(&mut out, *txn);
+                put_bytes(&mut out, key.as_bytes());
+                put_bytes(&mut out, payload);
+            }
+            WalRecord::CatalogDrop { txn, key } => {
+                out.push(T_CATALOG_DROP);
+                put_u64(&mut out, *txn);
+                put_bytes(&mut out, key.as_bytes());
+            }
+            WalRecord::Commit { txn, ts } => {
+                out.push(T_COMMIT);
+                put_u64(&mut out, *txn);
+                put_u64(&mut out, *ts);
+            }
+            WalRecord::Abort { txn } => {
+                out.push(T_ABORT);
+                put_u64(&mut out, *txn);
+            }
+            WalRecord::Checkpoint(cp) => {
+                out.push(T_CHECKPOINT);
+                put_u64(&mut out, cp.ts);
+                put_u32(&mut out, cp.page_table.len() as u32);
+                for (page, phys) in &cp.page_table {
+                    put_u64(&mut out, page.raw());
+                    put_u64(&mut out, phys.0);
+                }
+                put_u32(&mut out, cp.alloc.next_layer);
+                put_u32(&mut out, cp.alloc.next_addr);
+                put_u32(&mut out, cp.alloc.free.len() as u32);
+                for p in &cp.alloc.free {
+                    put_u64(&mut out, p.raw());
+                }
+                put_bytes(&mut out, &cp.catalog);
+            }
+        }
+        out
+    }
+
+    /// Decodes a record body.
+    pub fn decode(buf: &[u8]) -> Option<WalRecord> {
+        let mut c = Cursor { buf, pos: 0 };
+        let rec = match c.u8()? {
+            T_BEGIN => WalRecord::Begin { txn: c.u64()? },
+            T_PAGE_IMAGE => WalRecord::PageImage {
+                txn: c.u64()?,
+                page: XPtr::from_raw(c.u64()?),
+                image: c.bytes()?,
+            },
+            T_PAGE_FREE => WalRecord::PageFree {
+                txn: c.u64()?,
+                page: XPtr::from_raw(c.u64()?),
+            },
+            T_CATALOG_PUT => WalRecord::CatalogPut {
+                txn: c.u64()?,
+                key: String::from_utf8(c.bytes()?).ok()?,
+                payload: c.bytes()?,
+            },
+            T_CATALOG_DROP => WalRecord::CatalogDrop {
+                txn: c.u64()?,
+                key: String::from_utf8(c.bytes()?).ok()?,
+            },
+            T_COMMIT => WalRecord::Commit {
+                txn: c.u64()?,
+                ts: c.u64()?,
+            },
+            T_ABORT => WalRecord::Abort { txn: c.u64()? },
+            T_CHECKPOINT => {
+                let ts = c.u64()?;
+                let n = c.u32()? as usize;
+                let mut page_table = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let page = XPtr::from_raw(c.u64()?);
+                    let phys = PhysId(c.u64()?);
+                    page_table.push((page, phys));
+                }
+                let next_layer = c.u32()?;
+                let next_addr = c.u32()?;
+                let nf = c.u32()? as usize;
+                let mut free = Vec::with_capacity(nf);
+                for _ in 0..nf {
+                    free.push(XPtr::from_raw(c.u64()?));
+                }
+                let catalog = c.bytes()?;
+                WalRecord::Checkpoint(CheckpointData {
+                    ts,
+                    page_table,
+                    alloc: AllocSnapshot {
+                        next_layer,
+                        next_addr,
+                        free,
+                    },
+                    catalog,
+                })
+            }
+            _ => return None,
+        };
+        (c.pos == buf.len()).then_some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn all_record_types_round_trip() {
+        let records = vec![
+            WalRecord::Begin { txn: 7 },
+            WalRecord::PageImage {
+                txn: 7,
+                page: XPtr::new(2, 4096),
+                image: vec![1, 2, 3, 4, 5],
+            },
+            WalRecord::PageFree {
+                txn: 7,
+                page: XPtr::new(2, 8192),
+            },
+            WalRecord::Commit { txn: 7, ts: 99 },
+            WalRecord::Abort { txn: 8 },
+            WalRecord::Checkpoint(CheckpointData {
+                ts: 42,
+                page_table: vec![
+                    (XPtr::new(0, 4096), PhysId(0)),
+                    (XPtr::new(1, 0), PhysId(5)),
+                ],
+                alloc: AllocSnapshot {
+                    next_layer: 1,
+                    next_addr: 8192,
+                    free: vec![XPtr::new(0, 12288)],
+                },
+                catalog: b"catalog-bytes".to_vec(),
+            }),
+        ];
+        for rec in records {
+            let enc = rec.encode();
+            assert_eq!(WalRecord::decode(&enc), Some(rec));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc = WalRecord::Begin { txn: 1 }.encode();
+        enc.push(0);
+        assert_eq!(WalRecord::decode(&enc), None);
+        assert_eq!(WalRecord::decode(&[]), None);
+        assert_eq!(WalRecord::decode(&[99]), None);
+    }
+}

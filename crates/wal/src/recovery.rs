@@ -1,0 +1,261 @@
+//! Two-step recovery planning (Section 6.4).
+//!
+//! "If a database is crashed at some moment in time, two-step recovery
+//! process is initiated to restore all transactions that had been
+//! committed by the moment of the crash. During the first step,
+//! transaction-consistent state of the database is restored by converting
+//! versions belonging to the persistent snapshot into last committed
+//! ones. Then, at the second step, log is processed to redo the necessary
+//! operations of committed transactions."
+//!
+//! [`plan_recovery`] scans a log and produces exactly that: the last
+//! checkpoint (step 1's persistent snapshot) and the ordered redo list of
+//! committed transactions after it (step 2). Applying the plan is the
+//! database core's job — it owns the store, resolver and catalog.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use sedna_sas::XPtr;
+
+use crate::record::{CheckpointData, WalRecord, WalResult};
+use crate::writer::WalReader;
+
+/// A page operation to redo.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PageOp {
+    /// Write this full image.
+    Image(Vec<u8>),
+    /// Free the page.
+    Free,
+}
+
+/// One redo operation of a committed transaction, in log order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RedoOp {
+    /// A page operation.
+    Page(XPtr, PageOp),
+    /// Install a catalog entry.
+    CatalogPut(String, Vec<u8>),
+    /// Remove a catalog entry.
+    CatalogDrop(String),
+}
+
+/// The outcome of scanning the log.
+#[derive(Debug, Default)]
+pub struct RecoveryPlan {
+    /// Step 1: the persistent snapshot to restore (from the last
+    /// checkpoint), if the log contains one.
+    pub checkpoint: Option<CheckpointData>,
+    /// Step 2: per committed transaction, in commit order:
+    /// `(txn, commit_ts, operations in log order)`.
+    pub redo: Vec<(u64, u64, Vec<RedoOp>)>,
+    /// Transactions that began but never committed (their records are
+    /// ignored; versioning already isolated them).
+    pub losers: Vec<u64>,
+    /// The highest commit timestamp seen anywhere in the log.
+    pub max_ts: u64,
+}
+
+/// Scans `log` and produces the two-step recovery plan. When `upto_ts` is
+/// set, only transactions with `commit_ts <= upto_ts` are redone —
+/// point-in-time recovery for incremental backups (§6.5).
+pub fn plan_recovery(log: &Path, upto_ts: Option<u64>) -> WalResult<RecoveryPlan> {
+    let records = WalReader::read_all(log)?;
+    let mut plan = RecoveryPlan::default();
+
+    // Find the last checkpoint; redo starts after it.
+    let cp_idx = records
+        .iter()
+        .rposition(|(_, r)| matches!(r, WalRecord::Checkpoint(_)));
+    if let Some(idx) = cp_idx {
+        if let WalRecord::Checkpoint(cp) = &records[idx].1 {
+            plan.max_ts = cp.ts;
+            plan.checkpoint = Some(cp.clone());
+        }
+    }
+    let tail = &records[cp_idx.map_or(0, |i| i + 1)..];
+
+    // Group redo ops by transaction, keep log order within each.
+    let mut pending: HashMap<u64, Vec<RedoOp>> = HashMap::new();
+    let mut began: Vec<u64> = Vec::new();
+    for (_, rec) in tail {
+        match rec {
+            WalRecord::Begin { txn } => {
+                began.push(*txn);
+                pending.entry(*txn).or_default();
+            }
+            WalRecord::PageImage { txn, page, image } => {
+                pending
+                    .entry(*txn)
+                    .or_default()
+                    .push(RedoOp::Page(*page, PageOp::Image(image.clone())));
+            }
+            WalRecord::PageFree { txn, page } => {
+                pending
+                    .entry(*txn)
+                    .or_default()
+                    .push(RedoOp::Page(*page, PageOp::Free));
+            }
+            WalRecord::CatalogPut { txn, key, payload } => {
+                pending
+                    .entry(*txn)
+                    .or_default()
+                    .push(RedoOp::CatalogPut(key.clone(), payload.clone()));
+            }
+            WalRecord::CatalogDrop { txn, key } => {
+                pending
+                    .entry(*txn)
+                    .or_default()
+                    .push(RedoOp::CatalogDrop(key.clone()));
+            }
+            WalRecord::Commit { txn, ts } => {
+                plan.max_ts = plan.max_ts.max(*ts);
+                let ops = pending.remove(txn).unwrap_or_default();
+                if upto_ts.is_none_or(|limit| *ts <= limit) {
+                    plan.redo.push((*txn, *ts, ops));
+                }
+                began.retain(|t| t != txn);
+            }
+            WalRecord::Abort { txn } => {
+                pending.remove(txn);
+                began.retain(|t| t != txn);
+            }
+            WalRecord::Checkpoint(_) => unreachable!("tail starts after the last checkpoint"),
+        }
+    }
+    plan.losers = began;
+    // Redo is already in commit order (log order of commit records).
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AllocSnapshot;
+    use crate::writer::WalWriter;
+    use sedna_sas::PhysId;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sedna-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn page(n: u32) -> XPtr {
+        XPtr::new(0, n * 4096)
+    }
+
+    #[test]
+    fn committed_work_is_redone_losers_ignored() {
+        let path = tmpfile("plan1.log");
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            w.append(&WalRecord::Begin { txn: 1 }).unwrap();
+            w.append(&WalRecord::Begin { txn: 2 }).unwrap();
+            w.append(&WalRecord::PageImage { txn: 1, page: page(1), image: vec![1] }).unwrap();
+            w.append(&WalRecord::PageImage { txn: 2, page: page(2), image: vec![2] }).unwrap();
+            w.append(&WalRecord::Commit { txn: 1, ts: 10 }).unwrap();
+            // txn 2 never commits (crash).
+            w.flush().unwrap();
+        }
+        let plan = plan_recovery(&path, None).unwrap();
+        assert!(plan.checkpoint.is_none());
+        assert_eq!(plan.redo.len(), 1);
+        assert_eq!(plan.redo[0].0, 1);
+        assert_eq!(
+            plan.redo[0].2,
+            vec![RedoOp::Page(page(1), PageOp::Image(vec![1]))]
+        );
+        assert_eq!(plan.losers, vec![2]);
+        assert_eq!(plan.max_ts, 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn redo_starts_after_last_checkpoint() {
+        let path = tmpfile("plan2.log");
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            w.append(&WalRecord::Begin { txn: 1 }).unwrap();
+            w.append(&WalRecord::PageImage { txn: 1, page: page(1), image: vec![1] }).unwrap();
+            w.append(&WalRecord::Commit { txn: 1, ts: 1 }).unwrap();
+            w.append(&WalRecord::Checkpoint(CheckpointData {
+                ts: 1,
+                page_table: vec![(page(1), PhysId(0))],
+                alloc: AllocSnapshot::default(),
+                catalog: vec![7, 7],
+            }))
+            .unwrap();
+            w.append(&WalRecord::Begin { txn: 2 }).unwrap();
+            w.append(&WalRecord::PageImage { txn: 2, page: page(2), image: vec![2] }).unwrap();
+            w.append(&WalRecord::Commit { txn: 2, ts: 2 }).unwrap();
+            w.flush().unwrap();
+        }
+        let plan = plan_recovery(&path, None).unwrap();
+        let cp = plan.checkpoint.unwrap();
+        assert_eq!(cp.page_table, vec![(page(1), PhysId(0))]);
+        assert_eq!(cp.catalog, vec![7, 7]);
+        // Txn 1 predates the checkpoint: not redone.
+        assert_eq!(plan.redo.len(), 1);
+        assert_eq!(plan.redo[0].0, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn aborted_transactions_not_redone() {
+        let path = tmpfile("plan3.log");
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            w.append(&WalRecord::Begin { txn: 1 }).unwrap();
+            w.append(&WalRecord::PageImage { txn: 1, page: page(1), image: vec![1] }).unwrap();
+            w.append(&WalRecord::Abort { txn: 1 }).unwrap();
+            w.flush().unwrap();
+        }
+        let plan = plan_recovery(&path, None).unwrap();
+        assert!(plan.redo.is_empty());
+        assert!(plan.losers.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn point_in_time_limit_respected() {
+        let path = tmpfile("plan4.log");
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            for (txn, ts) in [(1u64, 10u64), (2, 20), (3, 30)] {
+                w.append(&WalRecord::Begin { txn }).unwrap();
+                w.append(&WalRecord::PageImage { txn, page: page(txn as u32), image: vec![txn as u8] }).unwrap();
+                w.append(&WalRecord::Commit { txn, ts }).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let plan = plan_recovery(&path, Some(20)).unwrap();
+        assert_eq!(plan.redo.len(), 2);
+        assert_eq!(plan.redo.iter().map(|r| r.0).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(plan.max_ts, 30, "max_ts still reflects the full log");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn page_free_redo_preserved_in_order() {
+        let path = tmpfile("plan5.log");
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            w.append(&WalRecord::Begin { txn: 1 }).unwrap();
+            w.append(&WalRecord::PageImage { txn: 1, page: page(1), image: vec![1] }).unwrap();
+            w.append(&WalRecord::PageFree { txn: 1, page: page(1) }).unwrap();
+            w.append(&WalRecord::Commit { txn: 1, ts: 1 }).unwrap();
+            w.flush().unwrap();
+        }
+        let plan = plan_recovery(&path, None).unwrap();
+        assert_eq!(
+            plan.redo[0].2,
+            vec![
+                RedoOp::Page(page(1), PageOp::Image(vec![1])),
+                RedoOp::Page(page(1), PageOp::Free),
+            ]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,239 @@
+//! # sedna-workload
+//!
+//! Deterministic synthetic XML workload generators for the benchmark
+//! harness, the examples, and stress tests. Three document families:
+//!
+//! * [`library`] — the paper's Figure 2 running example scaled up:
+//!   `library/book{title, author+, issue?{publisher, year}}` plus papers.
+//! * [`auction`] — an XMark-flavored auction site: regions, items,
+//!   people, open auctions with bids; mixed element types and values, the
+//!   shape the storage-strategy experiment (E1) needs.
+//! * [`deep`] — deeply nested sections with paragraphs, stressing `//`
+//!   evaluation and long numbering-scheme labels (E3/E6).
+//!
+//! All generators take a seed; the same seed yields byte-identical
+//! documents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const FIRST_NAMES: &[&str] = &[
+    "Ada", "Edgar", "Grace", "Jim", "Michael", "Barbara", "Donald", "Leslie", "Tony", "Pat",
+    "Hector", "Rachel", "Moshe", "Serge", "Victor", "Yuri",
+];
+const LAST_NAMES: &[&str] = &[
+    "Codd", "Gray", "Hopper", "Stonebraker", "Liskov", "Knuth", "Lamport", "Dijkstra",
+    "Abiteboul", "Hull", "Vianu", "Date", "Ullman", "Widom", "Garcia-Molina", "Bernstein",
+];
+const TITLE_WORDS: &[&str] = &[
+    "Foundations", "Principles", "Transaction", "Processing", "Relational", "Model", "Data",
+    "Banks", "Concurrency", "Control", "Recovery", "Systems", "Native", "Storage", "Query",
+    "Optimization", "Semistructured", "Management",
+];
+const CATEGORIES: &[&str] = &[
+    "databases", "systems", "theory", "networks", "languages", "graphics", "security", "ml",
+];
+
+fn pick<'a>(rng: &mut SmallRng, words: &[&'a str]) -> &'a str {
+    words[rng.gen_range(0..words.len())]
+}
+
+fn title(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(2..5);
+    (0..n)
+        .map(|_| pick(rng, TITLE_WORDS))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn person(rng: &mut SmallRng) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// Generates a Figure-2-style library with `books` books (and one paper
+/// per ten books). Node count ≈ 8 × books.
+pub fn library(books: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(books * 200);
+    out.push_str("<library>");
+    for i in 0..books {
+        out.push_str("<book>");
+        out.push_str(&format!("<title>{} vol. {}</title>", title(&mut rng), i));
+        for _ in 0..rng.gen_range(1..4) {
+            out.push_str(&format!("<author>{}</author>", person(&mut rng)));
+        }
+        if rng.gen_bool(0.6) {
+            out.push_str(&format!(
+                "<issue><publisher>{} Press</publisher><year>{}</year></issue>",
+                pick(&mut rng, LAST_NAMES),
+                rng.gen_range(1970..2010)
+            ));
+        }
+        out.push_str(&format!("<price>{}</price>", rng.gen_range(10..120)));
+        // A realistic prose field: most of a real catalog's bytes are
+        // document text, not markup.
+        out.push_str("<abstract>");
+        for w in 0..40 {
+            if w > 0 {
+                out.push(' ');
+            }
+            out.push_str(pick(&mut rng, TITLE_WORDS));
+        }
+        out.push_str("</abstract>");
+        out.push_str("</book>");
+        if i % 10 == 9 {
+            out.push_str(&format!(
+                "<paper><title>{}</title><author>{}</author></paper>",
+                title(&mut rng),
+                person(&mut rng)
+            ));
+        }
+    }
+    out.push_str("</library>");
+    out
+}
+
+/// Generates an XMark-flavored auction site with `items` items spread
+/// over regions, `items / 2` people, and `items / 4` open auctions.
+/// Node count ≈ 20 × items.
+pub fn auction(items: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let regions = ["africa", "asia", "europe", "namerica", "samerica"];
+    let mut out = String::with_capacity(items * 400);
+    out.push_str("<site><regions>");
+    for (r, region) in regions.iter().enumerate() {
+        out.push_str(&format!("<{region}>"));
+        for i in 0..items / regions.len() {
+            let id = r * (items / regions.len()) + i;
+            out.push_str(&format!(
+                "<item id=\"item{id}\"><name>{}</name><category>{}</category><quantity>{}</quantity><description><text>{} {} listed in {region} with reserve</text></description><payment>Cash</payment></item>",
+                title(&mut rng),
+                pick(&mut rng, CATEGORIES),
+                rng.gen_range(1..10),
+                title(&mut rng),
+                pick(&mut rng, CATEGORIES),
+            ));
+        }
+        out.push_str(&format!("</{region}>"));
+    }
+    out.push_str("</regions><people>");
+    for p in 0..items / 2 {
+        out.push_str(&format!(
+            "<person id=\"person{p}\"><name>{}</name><emailaddress>p{p}@example.org</emailaddress><country>{}</country></person>",
+            person(&mut rng),
+            pick(&mut rng, &["US", "DE", "RU", "JP", "BR", "IN"]),
+        ));
+    }
+    out.push_str("</people><open_auctions>");
+    for a in 0..items / 4 {
+        out.push_str(&format!("<open_auction id=\"auction{a}\"><itemref item=\"item{}\"/><initial>{}</initial>", rng.gen_range(0..items.max(1)), rng.gen_range(5..50)));
+        for _ in 0..rng.gen_range(0..5) {
+            out.push_str(&format!(
+                "<bidder><personref person=\"person{}\"/><increase>{}</increase></bidder>",
+                rng.gen_range(0..(items / 2).max(1)),
+                rng.gen_range(1..20)
+            ));
+        }
+        out.push_str(&format!(
+            "<current>{}</current></open_auction>",
+            rng.gen_range(10..500)
+        ));
+    }
+    out.push_str("</open_auctions></site>");
+    out
+}
+
+/// Generates a deeply nested document: `depth` levels of `<sec>` each
+/// containing `fanout` paragraphs and one nested section.
+pub fn deep(depth: usize, fanout: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = String::new();
+    out.push_str("<doc>");
+    for level in 0..depth {
+        out.push_str(&format!("<sec level=\"{level}\">"));
+        for p in 0..fanout {
+            out.push_str(&format!(
+                "<para>{} at level {level} para {p}</para>",
+                title(&mut rng)
+            ));
+        }
+    }
+    out.push_str("<para>deepest</para>");
+    for _ in 0..depth {
+        out.push_str("</sec>");
+    }
+    out.push_str("</doc>");
+    out
+}
+
+/// A flat document with `n` identical records of `fields` fields each —
+/// the shape used by split/indirection experiments.
+pub fn flat_records(n: usize, fields: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(n * fields * 24);
+    out.push_str("<table>");
+    for i in 0..n {
+        out.push_str("<rec>");
+        for f in 0..fields {
+            out.push_str(&format!("<f{f}>{}</f{f}>", rng.gen_range(0..100_000)));
+        }
+        let _ = i;
+        out.push_str("</rec>");
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// A stream of XUpdate statements inserting new authors at random books —
+/// the update mix for E1/E4-style experiments.
+pub fn author_insert_statements(n: usize, books: usize, seed: u64) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let book = rng.gen_range(1..=books.max(1));
+            format!(
+                "UPDATE insert <author>New Author {i}</author> into doc('lib')/library/book[{book}]"
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(library(20, 7), library(20, 7));
+        assert_ne!(library(20, 7), library(20, 8));
+        assert_eq!(auction(40, 1), auction(40, 1));
+        assert_eq!(deep(10, 3, 2), deep(10, 3, 2));
+        assert_eq!(flat_records(5, 4, 3), flat_records(5, 4, 3));
+    }
+
+    #[test]
+    fn documents_are_well_formed() {
+        // The generators must produce XML our own parser accepts.
+        for xml in [
+            library(50, 42),
+            auction(40, 42),
+            deep(30, 4, 42),
+            flat_records(100, 6, 42),
+        ] {
+            sedna_xml::parse(&xml).expect("generated XML must be well-formed");
+        }
+    }
+
+    #[test]
+    fn update_statements_reference_valid_books() {
+        let stmts = author_insert_statements(10, 5, 9);
+        assert_eq!(stmts.len(), 10);
+        for s in stmts {
+            assert!(s.starts_with("UPDATE insert <author>"));
+            assert!(s.contains("doc('lib')/library/book["));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! A small owned DOM, used by tests, workload generators, and the query
+//! engine's constructed-node values. The database itself never stores DOM
+//! trees — documents live in schema-clustered blocks (crate
+//! `sedna-storage`).
+
+use crate::event::{Attribute, QName, XmlEvent};
+use crate::reader::{XmlReader, XmlResult};
+
+/// A parsed document: the children of the document node.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Document {
+    /// Top-level nodes: exactly one element, plus any comments/PIs.
+    pub children: Vec<Node>,
+}
+
+impl Document {
+    /// The root element.
+    pub fn root(&self) -> &Node {
+        self.children
+            .iter()
+            .find(|n| matches!(n, Node::Element { .. }))
+            .expect("well-formed documents have a root element")
+    }
+}
+
+/// A DOM node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// An element with attributes and children.
+    Element {
+        /// Element name.
+        name: QName,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+        /// Child nodes in document order.
+        children: Vec<Node>,
+    },
+    /// A text node (adjacent runs merged).
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+impl Node {
+    /// Builds an element node.
+    pub fn element(name: impl Into<String>, children: Vec<Node>) -> Node {
+        Node::Element {
+            name: QName::local(name),
+            attributes: Vec::new(),
+            children,
+        }
+    }
+
+    /// Builds an element node with attributes.
+    pub fn element_with_attrs(
+        name: impl Into<String>,
+        attrs: Vec<(&str, &str)>,
+        children: Vec<Node>,
+    ) -> Node {
+        Node::Element {
+            name: QName::local(name),
+            attributes: attrs
+                .into_iter()
+                .map(|(k, v)| Attribute {
+                    name: QName::local(k),
+                    value: v.to_string(),
+                })
+                .collect(),
+            children,
+        }
+    }
+
+    /// Builds a text node.
+    pub fn text(content: impl Into<String>) -> Node {
+        Node::Text(content.into())
+    }
+
+    /// The element name, if this is an element.
+    pub fn name(&self) -> Option<&QName> {
+        match self {
+            Node::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Child nodes (empty for non-elements).
+    pub fn children(&self) -> &[Node] {
+        match self {
+            Node::Element { children, .. } => children,
+            _ => &[],
+        }
+    }
+
+    /// The XPath string-value: concatenated descendant text.
+    pub fn string_value(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        match self {
+            Node::Text(t) => out.push_str(t),
+            Node::Element { children, .. } => {
+                for c in children {
+                    c.collect_text(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Total node count of the subtree (elements, text, comments, PIs and
+    /// attributes).
+    pub fn subtree_size(&self) -> usize {
+        match self {
+            Node::Element {
+                attributes,
+                children,
+                ..
+            } => 1 + attributes.len() + children.iter().map(Node::subtree_size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+/// Parses a document string into a DOM.
+pub fn parse_document(input: &str) -> XmlResult<Document> {
+    let mut reader = XmlReader::new(input);
+    let mut doc = Document::default();
+    // Stack of (element under construction).
+    let mut stack: Vec<Node> = Vec::new();
+
+    fn push_child(doc: &mut Document, stack: &mut [Node], node: Node) {
+        match stack.last_mut() {
+            Some(Node::Element { children, .. }) => {
+                // Merge adjacent text runs (CDATA joins plain text).
+                if let (Some(Node::Text(prev)), Node::Text(new)) = (children.last_mut(), &node) {
+                    prev.push_str(new);
+                    return;
+                }
+                children.push(node);
+            }
+            _ => doc.children.push(node),
+        }
+    }
+
+    while let Some(ev) = reader.next_event()? {
+        match ev {
+            XmlEvent::StartElement {
+                name, attributes, ..
+            } => {
+                stack.push(Node::Element {
+                    name,
+                    attributes,
+                    children: Vec::new(),
+                });
+            }
+            XmlEvent::EndElement { .. } => {
+                let done = stack.pop().expect("reader guarantees balance");
+                push_child(&mut doc, &mut stack, done);
+            }
+            XmlEvent::Text { content, .. } => {
+                if !stack.is_empty() {
+                    push_child(&mut doc, &mut stack, Node::Text(content));
+                }
+            }
+            XmlEvent::Comment(c) => push_child(&mut doc, &mut stack, Node::Comment(c)),
+            XmlEvent::ProcessingInstruction { target, data } => push_child(
+                &mut doc,
+                &mut stack,
+                Node::ProcessingInstruction { target, data },
+            ),
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_tree_shape() {
+        let doc = parse_document("<lib><book><t>A</t></book><book/></lib>").unwrap();
+        let root = doc.root();
+        assert_eq!(root.name().unwrap().local, "lib");
+        assert_eq!(root.children().len(), 2);
+        assert_eq!(root.children()[0].children()[0].string_value(), "A");
+    }
+
+    #[test]
+    fn merges_adjacent_text_and_cdata() {
+        let doc = parse_document("<a>one <![CDATA[& two]]> three</a>").unwrap();
+        assert_eq!(doc.root().children().len(), 1);
+        assert_eq!(doc.root().string_value(), "one & two three");
+    }
+
+    #[test]
+    fn string_value_crosses_elements() {
+        let doc = parse_document("<a>x<b>y<c>z</c></b>w</a>").unwrap();
+        assert_eq!(doc.root().string_value(), "xyzw");
+    }
+
+    #[test]
+    fn subtree_size_counts_everything() {
+        let doc = parse_document(r#"<a x="1"><b/>t</a>"#).unwrap();
+        // a + attribute + b + text
+        assert_eq!(doc.root().subtree_size(), 4);
+    }
+
+    #[test]
+    fn top_level_comments_kept() {
+        let doc = parse_document("<!--pre--><a/><!--post-->").unwrap();
+        assert_eq!(doc.children.len(), 3);
+        assert!(matches!(&doc.children[0], Node::Comment(c) if c == "pre"));
+    }
+}

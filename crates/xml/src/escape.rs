@@ -1,0 +1,107 @@
+//! Entity escaping and expansion.
+
+/// Escapes character data for element content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value for double-quoted serialization.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Expands the predefined and numeric character references in `s`.
+/// Returns `None` on a malformed or unknown reference.
+pub fn unescape(s: &str) -> Option<String> {
+    if !s.contains('&') {
+        return Some(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos + 1..];
+        let end = rest.find(';')?;
+        let entity = &rest[..end];
+        rest = &rest[end + 1..];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ => {
+                let code = entity.strip_prefix('#')?;
+                let n = if let Some(hex) = code.strip_prefix('x').or(code.strip_prefix('X')) {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else {
+                    code.parse::<u32>().ok()?
+                };
+                out.push(char::from_u32(n)?);
+            }
+        }
+    }
+    out.push_str(rest);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_round_trips() {
+        let raw = "a < b && c > d";
+        let esc = escape_text(raw);
+        assert_eq!(esc, "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(unescape(&esc).unwrap(), raw);
+    }
+
+    #[test]
+    fn attr_escaping_round_trips() {
+        let raw = "say \"hi\"\tplease\n& thanks";
+        let esc = escape_attr(raw);
+        assert!(!esc.contains('"') || esc.contains("&quot;"));
+        assert_eq!(unescape(&esc).unwrap(), raw);
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;").unwrap(), "ABC");
+        assert_eq!(unescape("snow&#x2603;man").unwrap(), "snow\u{2603}man");
+    }
+
+    #[test]
+    fn malformed_references_rejected() {
+        assert!(unescape("&unknown;").is_none());
+        assert!(unescape("&#xZZ;").is_none());
+        assert!(unescape("&#1114112;").is_none()); // beyond char::MAX
+        assert!(unescape("& no semicolon").is_none());
+    }
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(unescape("hello").unwrap(), "hello");
+        assert_eq!(escape_text("hello"), "hello");
+    }
+}

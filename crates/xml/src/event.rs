@@ -1,0 +1,120 @@
+//! Parser event types and qualified names.
+
+/// A qualified name: optional namespace prefix, local part, and the URI
+/// the prefix resolved to at the point of use.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct QName {
+    /// The namespace prefix as written (`None` for unprefixed names).
+    pub prefix: Option<String>,
+    /// The local part of the name.
+    pub local: String,
+    /// The namespace URI in scope for the prefix (`None` when unbound —
+    /// only possible for unprefixed names with no default namespace).
+    pub uri: Option<String>,
+}
+
+impl QName {
+    /// An unprefixed, un-namespaced name.
+    pub fn local(name: impl Into<String>) -> QName {
+        QName {
+            prefix: None,
+            local: name.into(),
+            uri: None,
+        }
+    }
+
+    /// The name as written in the source (`prefix:local` or `local`).
+    pub fn as_written(&self) -> String {
+        match &self.prefix {
+            Some(p) => format!("{p}:{}", self.local),
+            None => self.local.clone(),
+        }
+    }
+
+    /// True when local part and namespace URI both match (the XML-standard
+    /// notion of name equality, ignoring the prefix spelling).
+    pub fn matches(&self, other: &QName) -> bool {
+        self.local == other.local && self.uri == other.uri
+    }
+}
+
+impl std::fmt::Display for QName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(p) = &self.prefix {
+            write!(f, "{p}:")?;
+        }
+        write!(f, "{}", self.local)
+    }
+}
+
+/// An attribute of a start-element event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Attribute {
+    /// The attribute name.
+    pub name: QName,
+    /// The attribute value with entities expanded.
+    pub value: String,
+}
+
+/// One event of the pull parser.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum XmlEvent {
+    /// `<name attr="v" ...>` — also emitted for self-closing elements,
+    /// immediately followed by the matching [`XmlEvent::EndElement`].
+    StartElement {
+        /// Element name.
+        name: QName,
+        /// Attributes in document order, namespace declarations excluded.
+        attributes: Vec<Attribute>,
+        /// Namespace declarations made on this element:
+        /// `(prefix-or-None-for-default, uri)`.
+        namespaces: Vec<(Option<String>, String)>,
+    },
+    /// `</name>` (or the synthetic end of a self-closing element).
+    EndElement {
+        /// Element name.
+        name: QName,
+    },
+    /// Character data with entities expanded; CDATA content arrives here
+    /// too, flagged by `cdata`.
+    Text {
+        /// The character data.
+        content: String,
+        /// Whether this run came from a CDATA section.
+        cdata: bool,
+    },
+    /// `<!-- ... -->`
+    Comment(String),
+    /// `<?target data?>`
+    ProcessingInstruction {
+        /// The PI target.
+        target: String,
+        /// The PI data (may be empty).
+        data: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qname_display_and_matching() {
+        let a = QName {
+            prefix: Some("bk".into()),
+            local: "title".into(),
+            uri: Some("urn:books".into()),
+        };
+        let b = QName {
+            prefix: Some("other".into()),
+            local: "title".into(),
+            uri: Some("urn:books".into()),
+        };
+        let c = QName::local("title");
+        assert_eq!(a.to_string(), "bk:title");
+        assert_eq!(a.as_written(), "bk:title");
+        assert_eq!(c.to_string(), "title");
+        assert!(a.matches(&b), "same expanded name");
+        assert!(!a.matches(&c), "different namespace");
+    }
+}

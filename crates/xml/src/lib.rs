@@ -1,0 +1,48 @@
+//! # sedna-xml
+//!
+//! A from-scratch XML 1.0 (+ Namespaces) processor: pull parser, small
+//! owned DOM, and serializer. This is the ingestion substrate of the Sedna
+//! reproduction — documents enter the database as a stream of
+//! [`XmlEvent`]s which the storage builder (crate `sedna-storage`) turns
+//! into schema-clustered blocks.
+//!
+//! Scope: the subset of XML 1.0 a database loader needs —
+//! elements, attributes, character data, CDATA sections, comments,
+//! processing instructions, numeric/predefined entity references,
+//! namespace declaration and resolution, and well-formedness checking
+//! (tag balance, attribute uniqueness, single root). DTDs are skipped,
+//! not processed; external entities are rejected (they are a security
+//! liability and the paper's system does not rely on them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+mod escape;
+mod event;
+mod reader;
+pub mod serialize;
+
+pub use dom::{Document, Node};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use event::{Attribute, QName, XmlEvent};
+pub use reader::{XmlError, XmlReader, XmlResult};
+
+/// Parses a complete document into a DOM tree.
+pub fn parse(input: &str) -> XmlResult<Document> {
+    dom::parse_document(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_round_trip() {
+        let src = r#"<library><book id="1"><title>Foundations &amp; Aims</title></book><!--c--></library>"#;
+        let doc = parse(src).unwrap();
+        let out = serialize::to_string(&doc);
+        let doc2 = parse(&out).unwrap();
+        assert_eq!(serialize::to_string(&doc2), out);
+    }
+}

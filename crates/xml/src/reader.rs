@@ -1,0 +1,710 @@
+//! The pull parser.
+
+use crate::escape::unescape;
+use crate::event::{Attribute, QName, XmlEvent};
+
+/// Errors produced by the XML parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed input, with a byte offset and description.
+    Syntax {
+        /// Byte offset into the source where the problem was detected.
+        pos: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Well-formed but unsupported construct (e.g. general entities
+    /// declared in a DTD).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::Syntax { pos, msg } => write!(f, "XML syntax error at byte {pos}: {msg}"),
+            XmlError::Unsupported(msg) => write!(f, "unsupported XML construct: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Result alias for the parser.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// A pull parser over an in-memory document.
+///
+/// ```
+/// use sedna_xml::{XmlReader, XmlEvent};
+/// let mut r = XmlReader::new("<a x='1'>hi</a>");
+/// let mut names = Vec::new();
+/// while let Some(ev) = r.next_event().unwrap() {
+///     if let XmlEvent::StartElement { name, .. } = ev {
+///         names.push(name.local.clone());
+///     }
+/// }
+/// assert_eq!(names, ["a"]);
+/// ```
+pub struct XmlReader<'a> {
+    src: &'a str,
+    pos: usize,
+    /// Open elements, stored as written (prefix kept for matching) plus the
+    /// number of namespace bindings each introduced.
+    stack: Vec<(QName, usize)>,
+    /// In-scope namespace bindings, innermost last.
+    bindings: Vec<(Option<String>, Option<String>)>,
+    seen_root: bool,
+    pending_end: Option<QName>,
+    pending_start: Option<XmlEvent>,
+}
+
+impl<'a> XmlReader<'a> {
+    /// Creates a parser over `src`.
+    pub fn new(src: &'a str) -> Self {
+        XmlReader {
+            src,
+            pos: 0,
+            stack: Vec::new(),
+            bindings: Vec::new(),
+            seen_root: false,
+            pending_end: None,
+            pending_start: None,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> XmlResult<T> {
+        Err(XmlError::Syntax {
+            pos: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+    }
+
+    /// Parses a possibly-prefixed name, returning `(prefix, local)`.
+    fn parse_name(&mut self) -> XmlResult<(Option<String>, String)> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if Self::is_name_start(c) => {
+                self.bump();
+            }
+            _ => return self.err("expected a name"),
+        }
+        while let Some(c) = self.peek() {
+            if Self::is_name_char(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let first = &self.src[start..self.pos];
+        if self.peek() == Some(':') {
+            self.bump();
+            let lstart = self.pos;
+            match self.peek() {
+                Some(c) if Self::is_name_start(c) => {
+                    self.bump();
+                }
+                _ => return self.err("expected a local name after ':'"),
+            }
+            while let Some(c) = self.peek() {
+                if Self::is_name_char(c) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            Ok((
+                Some(first.to_string()),
+                self.src[lstart..self.pos].to_string(),
+            ))
+        } else {
+            Ok((None, first.to_string()))
+        }
+    }
+
+    fn resolve(&self, prefix: &Option<String>, is_attr: bool) -> XmlResult<Option<String>> {
+        match prefix.as_deref() {
+            Some("xml") => return Ok(Some(XML_NS.to_string())),
+            Some("xmlns") => return self.err("'xmlns' is not a usable prefix"),
+            _ => {}
+        }
+        // Unprefixed attributes are in no namespace, regardless of the
+        // default namespace.
+        if is_attr && prefix.is_none() {
+            return Ok(None);
+        }
+        for (p, uri) in self.bindings.iter().rev() {
+            if p == prefix {
+                return Ok(uri.clone());
+            }
+        }
+        if prefix.is_some() {
+            return Err(XmlError::Syntax {
+                pos: self.pos,
+                msg: format!("unbound namespace prefix '{}'", prefix.as_deref().unwrap()),
+            });
+        }
+        Ok(None)
+    }
+
+    fn parse_attr_value(&mut self) -> XmlResult<String> {
+        let quote = match self.bump() {
+            Some(c @ ('"' | '\'')) => c,
+            _ => return self.err("expected a quoted attribute value"),
+        };
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated attribute value"),
+                Some(c) if c == quote => break,
+                Some('<') => return self.err("'<' is not allowed in attribute values"),
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let raw = &self.src[start..self.pos];
+        self.bump(); // closing quote
+        unescape(raw).ok_or(XmlError::Syntax {
+            pos: start,
+            msg: format!("bad entity reference in attribute value '{raw}'"),
+        })
+    }
+
+    fn parse_start_tag(&mut self) -> XmlResult<XmlEvent> {
+        let (prefix, local) = self.parse_name()?;
+        let mut raw_attrs: Vec<(Option<String>, String, String)> = Vec::new();
+        let mut declared: Vec<(Option<String>, Option<String>)> = Vec::new();
+        loop {
+            let before = self.pos;
+            self.skip_ws();
+            if self.eat("/>") {
+                self.finish_start(prefix, local, raw_attrs, declared, true)?;
+                return self.build_start_event();
+            }
+            if self.eat(">") {
+                self.finish_start(prefix, local, raw_attrs, declared, false)?;
+                return self.build_start_event();
+            }
+            if self.pos == before {
+                return self.err("expected whitespace before attribute");
+            }
+            if self.peek().is_none() {
+                return self.err("unterminated start tag");
+            }
+            // Another attribute.
+            let (ap, al) = self.parse_name()?;
+            self.skip_ws();
+            if !self.eat("=") {
+                return self.err("expected '=' after attribute name");
+            }
+            self.skip_ws();
+            let value = self.parse_attr_value()?;
+            // Namespace declarations.
+            if ap.is_none() && al == "xmlns" {
+                declared.push((None, if value.is_empty() { None } else { Some(value) }));
+            } else if ap.as_deref() == Some("xmlns") {
+                if value.is_empty() {
+                    return self.err("cannot undeclare a prefixed namespace in XML 1.0");
+                }
+                declared.push((Some(al), Some(value)));
+            } else {
+                raw_attrs.push((ap, al, value));
+            }
+        }
+    }
+
+    // Stash for the two-phase start-tag build (declarations must be in
+    // scope before names are resolved).
+    fn finish_start(
+        &mut self,
+        prefix: Option<String>,
+        local: String,
+        raw_attrs: Vec<(Option<String>, String, String)>,
+        declared: Vec<(Option<String>, Option<String>)>,
+        self_closing: bool,
+    ) -> XmlResult<()> {
+        let n_bindings = declared.len();
+        for (p, uri) in &declared {
+            self.bindings.push((p.clone(), uri.clone()));
+        }
+        let uri = self.resolve(&prefix, false)?;
+        let name = QName {
+            prefix,
+            local,
+            uri,
+        };
+        let mut attributes = Vec::with_capacity(raw_attrs.len());
+        for (ap, al, value) in raw_attrs {
+            let uri = self.resolve(&ap, true)?;
+            let qn = QName {
+                prefix: ap,
+                local: al,
+                uri,
+            };
+            if attributes
+                .iter()
+                .any(|a: &Attribute| a.name.matches(&qn) && a.name.prefix == qn.prefix)
+                || attributes.iter().any(|a: &Attribute| a.name.matches(&qn))
+            {
+                return Err(XmlError::Syntax {
+                    pos: self.pos,
+                    msg: format!("duplicate attribute '{qn}'"),
+                });
+            }
+            attributes.push(Attribute { name: qn, value });
+        }
+        if self.stack.is_empty() {
+            if self.seen_root {
+                return self.err("multiple root elements");
+            }
+            self.seen_root = true;
+        }
+        self.stack.push((name.clone(), n_bindings));
+        if self_closing {
+            self.pending_end = Some(name.clone());
+        }
+        self.pending_start = Some(XmlEvent::StartElement {
+            name,
+            attributes,
+            namespaces: declared
+                .into_iter()
+                .filter_map(|(p, uri)| uri.map(|u| (p, u)))
+                .collect(),
+        });
+        Ok(())
+    }
+
+    fn build_start_event(&mut self) -> XmlResult<XmlEvent> {
+        Ok(self.pending_start.take().expect("finish_start ran"))
+    }
+
+    fn parse_end_tag(&mut self) -> XmlResult<XmlEvent> {
+        let (prefix, local) = self.parse_name()?;
+        self.skip_ws();
+        if !self.eat(">") {
+            return self.err("expected '>' in end tag");
+        }
+        match self.stack.last() {
+            Some((open, _)) if open.prefix == prefix && open.local == local => {
+                let (name, n_bindings) = self.stack.pop().unwrap();
+                self.bindings.truncate(self.bindings.len() - n_bindings);
+                Ok(XmlEvent::EndElement { name })
+            }
+            Some((open, _)) => Err(XmlError::Syntax {
+                pos: self.pos,
+                msg: format!(
+                    "end tag '</{}{}>' does not match open element '<{}>'",
+                    prefix.map(|p| format!("{p}:")).unwrap_or_default(),
+                    local,
+                    open
+                ),
+            }),
+            None => self.err("end tag with no open element"),
+        }
+    }
+
+    fn parse_comment(&mut self) -> XmlResult<XmlEvent> {
+        let start = self.pos;
+        match self.rest().find("--") {
+            Some(n) => {
+                let content = &self.src[start..start + n];
+                self.pos += n;
+                if !self.eat("-->") {
+                    return self.err("'--' is not allowed inside comments");
+                }
+                Ok(XmlEvent::Comment(content.to_string()))
+            }
+            None => self.err("unterminated comment"),
+        }
+    }
+
+    fn parse_cdata(&mut self) -> XmlResult<XmlEvent> {
+        let start = self.pos;
+        match self.rest().find("]]>") {
+            Some(n) => {
+                let content = &self.src[start..start + n];
+                self.pos += n + 3;
+                Ok(XmlEvent::Text {
+                    content: content.to_string(),
+                    cdata: true,
+                })
+            }
+            None => self.err("unterminated CDATA section"),
+        }
+    }
+
+    fn parse_pi(&mut self) -> XmlResult<XmlEvent> {
+        let (prefix, target) = self.parse_name()?;
+        if prefix.is_some() {
+            return self.err("processing-instruction target cannot have a prefix");
+        }
+        if target.eq_ignore_ascii_case("xml") {
+            return self.err("'<?xml' is only allowed at the start of the document");
+        }
+        self.skip_ws();
+        let start = self.pos;
+        match self.rest().find("?>") {
+            Some(n) => {
+                let data = self.src[start..start + n].trim_end().to_string();
+                self.pos += n + 2;
+                Ok(XmlEvent::ProcessingInstruction { target, data })
+            }
+            None => self.err("unterminated processing instruction"),
+        }
+    }
+
+    fn skip_doctype(&mut self) -> XmlResult<()> {
+        // We are just past "<!DOCTYPE"; skip to the matching '>'
+        // (the internal subset may contain '>' inside [...]).
+        let mut depth = 0usize;
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated DOCTYPE"),
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> XmlResult<XmlEvent> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '<' {
+                break;
+            }
+            self.bump();
+        }
+        let raw = &self.src[start..self.pos];
+        if self.stack.is_empty() {
+            // next_event already skipped prolog/epilog whitespace, so any
+            // text reaching here is stray character data.
+            return Err(XmlError::Syntax {
+                pos: start,
+                msg: "character data outside the root element".into(),
+            });
+        }
+        let content = unescape(raw).ok_or(XmlError::Syntax {
+            pos: start,
+            msg: format!("bad entity reference in text '{}'", raw.trim()),
+        })?;
+        Ok(XmlEvent::Text {
+            content,
+            cdata: false,
+        })
+    }
+
+    /// Returns the next event, or `None` at the well-formed end of the
+    /// document.
+    pub fn next_event(&mut self) -> XmlResult<Option<XmlEvent>> {
+        if let Some(name) = self.pending_end.take() {
+            let (popped, n_bindings) = self.stack.pop().expect("self-closing element on stack");
+            debug_assert!(popped.matches(&name) || popped.local == name.local);
+            self.bindings.truncate(self.bindings.len() - n_bindings);
+            return Ok(Some(XmlEvent::EndElement { name }));
+        }
+        // Prolog: the XML declaration, only at offset 0.
+        if self.pos == 0 && self.rest().starts_with("<?xml") {
+            match self.rest().find("?>") {
+                Some(n) => self.pos += n + 2,
+                None => return self.err("unterminated XML declaration"),
+            }
+        }
+        loop {
+            if self.rest().is_empty() {
+                if let Some((open, _)) = self.stack.last() {
+                    return self.err(format!("unclosed element '<{open}>'"));
+                }
+                if !self.seen_root {
+                    return self.err("document has no root element");
+                }
+                return Ok(None);
+            }
+            if self.stack.is_empty() {
+                // Between prolog/epilog constructs: skip whitespace.
+                let before = self.pos;
+                self.skip_ws();
+                if self.rest().is_empty() {
+                    if !self.seen_root {
+                        return self.err("document has no root element");
+                    }
+                    return Ok(None);
+                }
+                let _ = before;
+            }
+            if self.eat("<") {
+                if self.eat("/") {
+                    return self.parse_end_tag().map(Some);
+                }
+                if self.eat("!--") {
+                    return self.parse_comment().map(Some);
+                }
+                if self.eat("![CDATA[") {
+                    if self.stack.is_empty() {
+                        return self.err("CDATA outside the root element");
+                    }
+                    return self.parse_cdata().map(Some);
+                }
+                if self.eat("!DOCTYPE") {
+                    if self.seen_root {
+                        return self.err("DOCTYPE after the root element");
+                    }
+                    self.skip_doctype()?;
+                    continue;
+                }
+                if self.eat("?") {
+                    return self.parse_pi().map(Some);
+                }
+                return self.parse_start_tag().map(Some);
+            }
+            return self.parse_text().map(Some);
+        }
+    }
+
+    /// Drains the parser, returning every remaining event.
+    pub fn collect_events(mut self) -> XmlResult<Vec<XmlEvent>> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            out.push(ev);
+        }
+        Ok(out)
+    }
+}
+
+// Field added after the fact to keep `finish_start` single-pass.
+impl<'a> XmlReader<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<XmlEvent> {
+        XmlReader::new(src).collect_events().unwrap()
+    }
+
+    fn parse_err(src: &str) -> XmlError {
+        XmlReader::new(src).collect_events().unwrap_err()
+    }
+
+    #[test]
+    fn simple_element() {
+        let evs = events("<a/>");
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name.local == "a"));
+        assert!(matches!(&evs[1], XmlEvent::EndElement { name } if name.local == "a"));
+    }
+
+    #[test]
+    fn attributes_and_text() {
+        let evs = events(r#"<book id="42" lang='en'>Databases &amp; XML</book>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].name.local, "id");
+                assert_eq!(attributes[0].value, "42");
+                assert_eq!(attributes[1].value, "en");
+            }
+            other => panic!("expected start element, got {other:?}"),
+        }
+        assert!(
+            matches!(&evs[1], XmlEvent::Text { content, cdata: false } if content == "Databases & XML")
+        );
+    }
+
+    #[test]
+    fn nested_structure_preserved() {
+        let evs = events("<a><b><c/></b><b/></a>");
+        let opens: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                XmlEvent::StartElement { name, .. } => Some(name.local.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(opens, ["a", "b", "c", "b"]);
+    }
+
+    #[test]
+    fn comments_pis_cdata() {
+        let evs = events("<a><!-- note --><?proc do it ?><![CDATA[<raw&>]]></a>");
+        assert!(matches!(&evs[1], XmlEvent::Comment(c) if c == " note "));
+        assert!(matches!(
+            &evs[2],
+            XmlEvent::ProcessingInstruction { target, data }
+                if target == "proc" && data == "do it"
+        ));
+        assert!(matches!(&evs[3], XmlEvent::Text { content, cdata: true } if content == "<raw&>"));
+    }
+
+    #[test]
+    fn prolog_doctype_and_epilog() {
+        let evs = events("<?xml version=\"1.0\"?>\n<!DOCTYPE lib [<!ELEMENT a ANY>]>\n<a/>\n<!--done-->\n");
+        assert!(matches!(&evs[0], XmlEvent::StartElement { .. }));
+        assert!(matches!(evs.last().unwrap(), XmlEvent::Comment(_)));
+    }
+
+    #[test]
+    fn namespaces_resolve() {
+        let evs = events(
+            r#"<bk:lib xmlns:bk="urn:books" xmlns="urn:default"><item bk:kind="x"/></bk:lib>"#,
+        );
+        match &evs[0] {
+            XmlEvent::StartElement { name, namespaces, .. } => {
+                assert_eq!(name.uri.as_deref(), Some("urn:books"));
+                assert_eq!(namespaces.len(), 2);
+            }
+            _ => unreachable!(),
+        }
+        match &evs[1] {
+            XmlEvent::StartElement { name, attributes, .. } => {
+                // Unprefixed element takes the default namespace.
+                assert_eq!(name.uri.as_deref(), Some("urn:default"));
+                // Prefixed attribute resolves; unprefixed attrs would not.
+                assert_eq!(attributes[0].name.uri.as_deref(), Some("urn:books"));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn default_namespace_does_not_apply_to_attributes() {
+        let evs = events(r#"<a xmlns="urn:d" x="1"/>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].name.uri, None);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn namespace_scoping_unwinds() {
+        let evs = events(r#"<a><b xmlns:p="urn:x"><p:c/></b><d/></a>"#);
+        // After </b>, prefix p is gone; <d/> parses fine but <p:d/> would not.
+        assert!(matches!(&evs[4], XmlEvent::EndElement { .. }));
+        let err = parse_err(r#"<a><b xmlns:p="urn:x"/><p:c/></a>"#);
+        assert!(matches!(err, XmlError::Syntax { msg, .. } if msg.contains("unbound")));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(matches!(parse_err("<a><b></a></b>"), XmlError::Syntax { .. }));
+        assert!(matches!(parse_err("<a>"), XmlError::Syntax { .. }));
+        assert!(matches!(parse_err("</a>"), XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(matches!(parse_err("<a/><b/>"), XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn empty_and_junk_rejected() {
+        assert!(matches!(parse_err(""), XmlError::Syntax { .. }));
+        assert!(matches!(parse_err("   "), XmlError::Syntax { .. }));
+        assert!(matches!(parse_err("just text"), XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        assert!(matches!(
+            parse_err(r#"<a x="1" x="2"/>"#),
+            XmlError::Syntax { msg, .. } if msg.contains("duplicate")
+        ));
+    }
+
+    #[test]
+    fn bad_entities_rejected() {
+        assert!(matches!(parse_err("<a>&nope;</a>"), XmlError::Syntax { .. }));
+        assert!(matches!(
+            parse_err(r#"<a x="&nope;"/>"#),
+            XmlError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn lt_in_attribute_rejected() {
+        assert!(matches!(
+            parse_err(r#"<a x="a<b"/>"#),
+            XmlError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn unicode_names_and_content() {
+        let evs = events("<名前 属性=\"値\">ハロー</名前>");
+        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name.local == "名前"));
+        assert!(matches!(&evs[1], XmlEvent::Text { content, .. } if content == "ハロー"));
+    }
+
+    #[test]
+    fn xml_prefix_is_predeclared() {
+        let evs = events(r#"<a xml:lang="en"/>"#);
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(
+                    attributes[0].name.uri.as_deref(),
+                    Some("http://www.w3.org/XML/1998/namespace")
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn whitespace_only_text_inside_root_is_preserved() {
+        let evs = events("<a> <b/> </a>");
+        let texts: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                XmlEvent::Text { content, .. } => Some(content.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, [" ", " "]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Serialization of DOM trees and event streams back to XML text.
+
+use crate::dom::{Document, Node};
+use crate::escape::{escape_attr, escape_text};
+use crate::event::XmlEvent;
+
+/// Serializes a document.
+pub fn to_string(doc: &Document) -> String {
+    let mut out = String::new();
+    for child in &doc.children {
+        write_node(child, &mut out);
+    }
+    out
+}
+
+/// Serializes a single node (and its subtree).
+pub fn node_to_string(node: &Node) -> String {
+    let mut out = String::new();
+    write_node(node, &mut out);
+    out
+}
+
+/// Appends the serialization of `node` to `out`.
+pub fn write_node(node: &Node, out: &mut String) {
+    match node {
+        Node::Element {
+            name,
+            attributes,
+            children,
+        } => {
+            out.push('<');
+            out.push_str(&name.as_written());
+            for attr in attributes {
+                out.push(' ');
+                out.push_str(&attr.name.as_written());
+                out.push_str("=\"");
+                out.push_str(&escape_attr(&attr.value));
+                out.push('"');
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    write_node(c, out);
+                }
+                out.push_str("</");
+                out.push_str(&name.as_written());
+                out.push('>');
+            }
+        }
+        Node::Text(t) => out.push_str(&escape_text(t)),
+        Node::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        Node::ProcessingInstruction { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+/// Serializes an event stream (must be balanced).
+pub fn events_to_string(events: &[XmlEvent]) -> String {
+    let mut out = String::new();
+    let mut iter = events.iter().peekable();
+    while let Some(ev) = iter.next() {
+        match ev {
+            XmlEvent::StartElement {
+                name, attributes, ..
+            } => {
+                out.push('<');
+                out.push_str(&name.as_written());
+                for attr in attributes {
+                    out.push(' ');
+                    out.push_str(&attr.name.as_written());
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(&attr.value));
+                    out.push('"');
+                }
+                // Collapse immediately-empty elements.
+                if matches!(iter.peek(), Some(XmlEvent::EndElement { name: n }) if n == name) {
+                    iter.next();
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                }
+            }
+            XmlEvent::EndElement { name } => {
+                out.push_str("</");
+                out.push_str(&name.as_written());
+                out.push('>');
+            }
+            XmlEvent::Text { content, .. } => out.push_str(&escape_text(content)),
+            XmlEvent::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+            XmlEvent::ProcessingInstruction { target, data } => {
+                out.push_str("<?");
+                out.push_str(target);
+                if !data.is_empty() {
+                    out.push(' ');
+                    out.push_str(data);
+                }
+                out.push_str("?>");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn dom_round_trip_is_stable() {
+        let src = r#"<lib a="x &amp; y"><b>text &lt;here&gt;</b><c/><!--n--><?pi data?></lib>"#;
+        let doc = parse(src).unwrap();
+        let once = to_string(&doc);
+        let twice = to_string(&parse(&once).unwrap());
+        assert_eq!(once, twice);
+        assert_eq!(parse(&once).unwrap(), doc);
+    }
+
+    #[test]
+    fn empty_elements_collapse() {
+        let doc = parse("<a><b></b></a>").unwrap();
+        assert_eq!(to_string(&doc), "<a><b/></a>");
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let src = "<a><b>t</b><c/></a>";
+        let events = crate::XmlReader::new(src).collect_events().unwrap();
+        assert_eq!(events_to_string(&events), src);
+    }
+
+    #[test]
+    fn special_chars_escaped_in_output() {
+        let doc = parse("<a>&amp;&lt;</a>").unwrap();
+        let out = to_string(&doc);
+        assert_eq!(out, "<a>&amp;&lt;</a>");
+    }
+}

@@ -1,0 +1,73 @@
+//! Query-processing errors.
+
+use sedna_storage::StorageError;
+
+/// Errors across the query pipeline.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Lexical/grammatical error.
+    Parse {
+        /// Byte offset.
+        pos: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Static error (§3): unresolved names, arity mismatches, etc.
+    Static(String),
+    /// Dynamic (runtime) error: type errors, bad casts, missing documents.
+    Dynamic(String),
+    /// Underlying storage failure.
+    Storage(StorageError),
+}
+
+/// Result alias for the query pipeline.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            QueryError::Static(msg) => write!(f, "static error: {msg}"),
+            QueryError::Dynamic(msg) => write!(f, "dynamic error: {msg}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+impl From<sedna_sas::SasError> for QueryError {
+    fn from(e: sedna_sas::SasError) -> Self {
+        QueryError::Storage(StorageError::Sas(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        for e in [
+            QueryError::Parse { pos: 3, msg: "x".into() },
+            QueryError::Static("y".into()),
+            QueryError::Dynamic("z".into()),
+            QueryError::Storage(StorageError::TooLarge("w".into())),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,1472 @@
+//! The query parser (§3): turns XQuery queries, XUpdate statements, and
+//! DDL statements into the uniform operation tree of [`crate::ast`].
+//!
+//! Grammar: a practical XQuery 1.0 subset — prolog (variable and function
+//! declarations), FLWOR with positional variables / where / order by,
+//! quantified expressions, if/then/else, full logical / comparison /
+//! arithmetic / range / set operators, path expressions with the ten
+//! supported axes and predicates, filter expressions, direct element
+//! constructors with enclosed expressions, `text {}` constructors, and
+//! function calls. Paths are wrapped in explicit [`Expr::Ddo`] operations
+//! exactly where the XQuery semantics requires distinct-document-order —
+//! the rewriter's job (§5.1.1) is to take the redundant ones back out.
+
+use sedna_schema::SchemaName;
+
+use crate::ast::*;
+use crate::error::{QueryError, QueryResult};
+use crate::token::{is_name_start, Scanner};
+use crate::value::Atom;
+
+/// Parses a complete statement (query, update, or DDL).
+pub fn parse_statement(input: &str) -> QueryResult<Statement> {
+    let mut p = Parser {
+        s: Scanner::new(input),
+        depth: 0,
+    };
+    let stmt = p.statement()?;
+    p.s.skip_ws();
+    if !p.s.at_end() {
+        return p.err("unexpected trailing input");
+    }
+    Ok(stmt)
+}
+
+/// Parses a standalone expression (test support).
+pub fn parse_expr(input: &str) -> QueryResult<Expr> {
+    let mut p = Parser {
+        s: Scanner::new(input),
+        depth: 0,
+    };
+    let e = p.expr()?;
+    if !p.s.at_end() {
+        return p.err("unexpected trailing input");
+    }
+    Ok(e)
+}
+
+/// Maximum expression-nesting depth accepted by the parser (a guard
+/// against stack exhaustion on adversarial inputs).
+const MAX_PARSE_DEPTH: usize = 48;
+
+struct Parser<'a> {
+    s: Scanner<'a>,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> QueryResult<T> {
+        Err(QueryError::Parse {
+            pos: self.s.pos(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, sym: &str) -> QueryResult<()> {
+        if self.s.eat(sym) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{sym}'"))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> QueryResult<()> {
+        if self.s.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword '{kw}'"))
+        }
+    }
+
+    fn string_lit(&mut self) -> QueryResult<String> {
+        match self.s.string_literal() {
+            Some(Ok(s)) => Ok(s),
+            Some(Err(at)) => Err(QueryError::Parse {
+                pos: at,
+                msg: "bad string literal".into(),
+            }),
+            None => self.err("expected a string literal"),
+        }
+    }
+
+    fn qname(&mut self) -> QueryResult<SchemaName> {
+        match self.s.qname() {
+            Some((prefix, local)) => Ok(SchemaName {
+                // Prefix resolution against in-scope namespaces is not
+                // modeled in this subset; prefixes are carried as part of
+                // a synthetic URI to keep distinct names distinct.
+                uri: prefix.map(|p| format!("prefix:{p}")),
+                local: local.to_string(),
+            }),
+            None => self.err("expected a name"),
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Statements
+    // -------------------------------------------------------------
+
+    fn statement(&mut self) -> QueryResult<Statement> {
+        self.s.skip_ws();
+        if self.s.looking_at_kw("UPDATE") {
+            let upd = self.update_stmt()?;
+            return Ok(Statement {
+                vars: Vec::new(),
+                functions: Vec::new(),
+                kind: StatementKind::Update(upd),
+                slot_count: 0,
+                cache_count: 0,
+            });
+        }
+        if self.s.looking_at_kw("CREATE") || self.s.looking_at_kw("DROP") {
+            let ddl = self.ddl_stmt()?;
+            return Ok(Statement {
+                vars: Vec::new(),
+                functions: Vec::new(),
+                kind: StatementKind::Ddl(ddl),
+                slot_count: 0,
+                cache_count: 0,
+            });
+        }
+        let (vars, functions) = self.prolog()?;
+        let body = self.expr()?;
+        Ok(Statement {
+            vars,
+            functions,
+            kind: StatementKind::Query(body),
+            slot_count: 0,
+            cache_count: 0,
+        })
+    }
+
+    fn prolog(&mut self) -> QueryResult<(Vec<VarDecl>, Vec<UserFn>)> {
+        let mut vars = Vec::new();
+        let mut functions = Vec::new();
+        loop {
+            let save = self.s.pos();
+            if !self.s.eat_kw("declare") {
+                break;
+            }
+            if self.s.eat_kw("variable") {
+                self.expect("$")?;
+                let name = self
+                    .s
+                    .ncname()
+                    .ok_or(QueryError::Parse {
+                        pos: self.s.pos(),
+                        msg: "expected a variable name".into(),
+                    })?
+                    .to_string();
+                self.expect(":=")?;
+                let init = self.expr_single()?;
+                self.expect(";")?;
+                vars.push(VarDecl {
+                    name,
+                    slot: usize::MAX,
+                    init,
+                });
+            } else if self.s.eat_kw("function") {
+                // `local:` prefix optional.
+                let (prefix, local) = self.s.qname().ok_or(QueryError::Parse {
+                    pos: self.s.pos(),
+                    msg: "expected a function name".into(),
+                })?;
+                if prefix.is_some_and(|p| p != "local") {
+                    return self.err("user functions must be in the 'local' namespace");
+                }
+                let name = local.to_string();
+                self.expect("(")?;
+                let mut params = Vec::new();
+                if !self.s.looking_at(")") {
+                    loop {
+                        self.expect("$")?;
+                        let p = self
+                            .s
+                            .ncname()
+                            .ok_or(QueryError::Parse {
+                                pos: self.s.pos(),
+                                msg: "expected a parameter name".into(),
+                            })?
+                            .to_string();
+                        params.push(p);
+                        if !self.s.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect(")")?;
+                self.expect("{")?;
+                let body = self.expr()?;
+                self.expect("}")?;
+                self.expect(";")?;
+                let n = params.len();
+                functions.push(UserFn {
+                    name,
+                    params,
+                    param_slots: vec![usize::MAX; n],
+                    body,
+                });
+            } else {
+                self.s.seek(save);
+                break;
+            }
+        }
+        Ok((vars, functions))
+    }
+
+    fn update_stmt(&mut self) -> QueryResult<UpdateStmt> {
+        self.expect_kw("UPDATE")?;
+        if self.s.eat_kw("insert") {
+            let what = self.expr_single()?;
+            let pos = if self.s.eat_kw("into") {
+                InsertPos::Into
+            } else if self.s.eat_kw("following") {
+                InsertPos::Following
+            } else if self.s.eat_kw("preceding") {
+                InsertPos::Preceding
+            } else {
+                return self.err("expected 'into', 'following' or 'preceding'");
+            };
+            let target = self.expr_single()?;
+            return Ok(UpdateStmt::Insert { what, pos, target });
+        }
+        if self.s.eat_kw("delete") {
+            let target = self.expr_single()?;
+            return Ok(UpdateStmt::Delete { target });
+        }
+        if self.s.eat_kw("replace") {
+            self.expect_kw("value")?;
+            self.expect_kw("of")?;
+            let target = self.expr_single()?;
+            self.expect_kw("with")?;
+            let with = self.expr_single()?;
+            return Ok(UpdateStmt::ReplaceValue { target, with });
+        }
+        self.err("expected 'insert', 'delete' or 'replace' after UPDATE")
+    }
+
+    fn ddl_stmt(&mut self) -> QueryResult<DdlStmt> {
+        if self.s.eat_kw("CREATE") {
+            if self.s.eat_kw("DOCUMENT") || self.s.eat_kw("document") {
+                return Ok(DdlStmt::CreateDocument(self.string_lit()?));
+            }
+            if self.s.eat_kw("INDEX") || self.s.eat_kw("index") {
+                let name = self.string_lit()?;
+                self.expect_kw("ON")?;
+                self.expect_kw("doc")?;
+                self.expect("(")?;
+                let doc = self.string_lit()?;
+                self.expect(")")?;
+                let on = self.structural_steps()?;
+                self.expect_kw("BY")?;
+                let by = self.structural_steps_relative()?;
+                self.expect_kw("AS")?;
+                let key_type = if self.s.eat_kw("xs") {
+                    self.expect(":")?;
+                    if self.s.eat_kw("string") {
+                        IndexKeyType::String
+                    } else if self.s.eat_kw("double") || self.s.eat_kw("decimal") {
+                        IndexKeyType::Number
+                    } else {
+                        return self.err("expected xs:string or xs:double");
+                    }
+                } else {
+                    return self.err("expected a type (xs:string | xs:double)");
+                };
+                return Ok(DdlStmt::CreateIndex {
+                    name,
+                    doc,
+                    on,
+                    by,
+                    key_type,
+                });
+            }
+            return self.err("expected DOCUMENT or INDEX after CREATE");
+        }
+        self.expect_kw("DROP")?;
+        if self.s.eat_kw("DOCUMENT") || self.s.eat_kw("document") {
+            return Ok(DdlStmt::DropDocument(self.string_lit()?));
+        }
+        if self.s.eat_kw("INDEX") || self.s.eat_kw("index") {
+            return Ok(DdlStmt::DropIndex(self.string_lit()?));
+        }
+        self.err("expected DOCUMENT or INDEX after DROP")
+    }
+
+    /// `/a/b` or `//a` — structural steps for DDL paths.
+    fn structural_steps(&mut self) -> QueryResult<Vec<Step>> {
+        let mut steps = Vec::new();
+        loop {
+            if self.s.eat("//") {
+                steps.push(Step::plain(Axis::DescendantOrSelf, NodeTest::AnyKind));
+            } else if !self.s.eat("/") {
+                break;
+            }
+            steps.push(self.axis_step_plain()?);
+        }
+        if steps.is_empty() {
+            return self.err("expected a path");
+        }
+        Ok(steps)
+    }
+
+    /// `a/b` (relative) for the BY clause.
+    fn structural_steps_relative(&mut self) -> QueryResult<Vec<Step>> {
+        let mut steps = vec![self.axis_step_plain()?];
+        loop {
+            if self.s.eat("//") {
+                steps.push(Step::plain(Axis::DescendantOrSelf, NodeTest::AnyKind));
+                steps.push(self.axis_step_plain()?);
+            } else if self.s.eat("/") {
+                steps.push(self.axis_step_plain()?);
+            } else {
+                break;
+            }
+        }
+        Ok(steps)
+    }
+
+    fn axis_step_plain(&mut self) -> QueryResult<Step> {
+        if self.s.eat("@") {
+            let test = self.node_test()?;
+            return Ok(Step::plain(Axis::Attribute, test));
+        }
+        let test = self.node_test()?;
+        Ok(Step::plain(Axis::Child, test))
+    }
+
+    // -------------------------------------------------------------
+    // Expressions
+    // -------------------------------------------------------------
+
+    fn expr(&mut self) -> QueryResult<Expr> {
+        let first = self.expr_single()?;
+        if !self.s.looking_at(",") {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.s.eat(",") {
+            items.push(self.expr_single()?);
+        }
+        Ok(Expr::Sequence(items))
+    }
+
+    fn expr_single(&mut self) -> QueryResult<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return self.err("expression nesting too deep");
+        }
+        let result = self.expr_single_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_single_inner(&mut self) -> QueryResult<Expr> {
+        if self.s.looking_at_kw("for") || self.s.looking_at_kw("let") {
+            return self.flwor();
+        }
+        if self.s.looking_at_kw("some") || self.s.looking_at_kw("every") {
+            return self.quantified();
+        }
+        if self.s.looking_at_kw("if") {
+            // Lookahead: `if` must be followed by `(` to be a conditional.
+            let save = self.s.pos();
+            self.s.eat_kw("if");
+            let is_if = self.s.looking_at("(");
+            self.s.seek(save);
+            if is_if {
+                return self.if_expr();
+            }
+        }
+        self.or_expr()
+    }
+
+    fn flwor(&mut self) -> QueryResult<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.s.eat_kw("for") {
+                loop {
+                    self.expect("$")?;
+                    let var = self.var_name()?;
+                    let at = if self.s.eat_kw("at") {
+                        self.expect("$")?;
+                        Some((self.var_name()?, usize::MAX))
+                    } else {
+                        None
+                    };
+                    self.expect_kw("in")?;
+                    let expr = self.expr_single()?;
+                    clauses.push(FlworClause::For {
+                        var,
+                        slot: usize::MAX,
+                        at,
+                        expr,
+                    });
+                    if !self.s.eat(",") {
+                        break;
+                    }
+                }
+            } else if self.s.eat_kw("let") {
+                loop {
+                    self.expect("$")?;
+                    let var = self.var_name()?;
+                    self.expect(":=")?;
+                    let expr = self.expr_single()?;
+                    clauses.push(FlworClause::Let {
+                        var,
+                        slot: usize::MAX,
+                        expr,
+                        lazy: false,
+                    });
+                    if !self.s.eat(",") {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if clauses.is_empty() {
+            return self.err("expected for/let clauses");
+        }
+        let where_ = if self.s.eat_kw("where") {
+            Some(self.expr_single()?.boxed())
+        } else {
+            None
+        };
+        let mut order = Vec::new();
+        if self.s.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let key = self.expr_single()?;
+                let descending = if self.s.eat_kw("descending") {
+                    true
+                } else {
+                    self.s.eat_kw("ascending");
+                    false
+                };
+                order.push(OrderSpec { key, descending });
+                if !self.s.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("return")?;
+        let ret = self.expr_single()?.boxed();
+        Ok(Expr::Flwor {
+            clauses,
+            where_,
+            order,
+            ret,
+        })
+    }
+
+    fn quantified(&mut self) -> QueryResult<Expr> {
+        let some = self.s.eat_kw("some");
+        if !some {
+            self.expect_kw("every")?;
+        }
+        self.expect("$")?;
+        let var = self.var_name()?;
+        self.expect_kw("in")?;
+        let within = self.expr_single()?.boxed();
+        self.expect_kw("satisfies")?;
+        let satisfies = self.expr_single()?.boxed();
+        Ok(Expr::Quantified {
+            some,
+            var,
+            slot: usize::MAX,
+            within,
+            satisfies,
+        })
+    }
+
+    fn if_expr(&mut self) -> QueryResult<Expr> {
+        self.expect_kw("if")?;
+        self.expect("(")?;
+        let cond = self.expr()?.boxed();
+        self.expect(")")?;
+        self.expect_kw("then")?;
+        let then = self.expr_single()?.boxed();
+        self.expect_kw("else")?;
+        let els = self.expr_single()?.boxed();
+        Ok(Expr::If { cond, then, els })
+    }
+
+    fn var_name(&mut self) -> QueryResult<String> {
+        self.s
+            .ncname()
+            .map(|s| s.to_string())
+            .ok_or(QueryError::Parse {
+                pos: self.s.pos(),
+                msg: "expected a variable name".into(),
+            })
+    }
+
+    fn or_expr(&mut self) -> QueryResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.s.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(lhs.boxed(), rhs.boxed());
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> QueryResult<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.s.eat_kw("and") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::And(lhs.boxed(), rhs.boxed());
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> QueryResult<Expr> {
+        let lhs = self.range_expr()?;
+        // Value comparisons.
+        for (kw, op) in [
+            ("eq", CmpOp::Eq),
+            ("ne", CmpOp::Ne),
+            ("lt", CmpOp::Lt),
+            ("le", CmpOp::Le),
+            ("gt", CmpOp::Gt),
+            ("ge", CmpOp::Ge),
+        ] {
+            if self.s.eat_kw(kw) {
+                let rhs = self.range_expr()?;
+                return Ok(Expr::ValueCmp(op, lhs.boxed(), rhs.boxed()));
+            }
+        }
+        // General comparisons (multi-char symbols first).
+        for (sym, op) in [
+            ("!=", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.s.looking_at(sym) {
+                // `<` followed by a name-start char is a constructor, not
+                // a comparison — but constructors cannot appear here
+                // (operator position), so consume it as comparison.
+                self.s.eat(sym);
+                let rhs = self.range_expr()?;
+                return Ok(Expr::GeneralCmp(op, lhs.boxed(), rhs.boxed()));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn range_expr(&mut self) -> QueryResult<Expr> {
+        let lhs = self.additive_expr()?;
+        if self.s.eat_kw("to") {
+            let rhs = self.additive_expr()?;
+            return Ok(Expr::Range(lhs.boxed(), rhs.boxed()));
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> QueryResult<Expr> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            if self.s.eat("+") {
+                let rhs = self.multiplicative_expr()?;
+                lhs = Expr::Arith(ArithOp::Add, lhs.boxed(), rhs.boxed());
+            } else if self.s.eat("-") {
+                let rhs = self.multiplicative_expr()?;
+                lhs = Expr::Arith(ArithOp::Sub, lhs.boxed(), rhs.boxed());
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn multiplicative_expr(&mut self) -> QueryResult<Expr> {
+        let mut lhs = self.union_expr()?;
+        loop {
+            let op = if self.s.eat_kw("div") {
+                ArithOp::Div
+            } else if self.s.eat_kw("idiv") {
+                ArithOp::IDiv
+            } else if self.s.eat_kw("mod") {
+                ArithOp::Mod
+            } else if self.s.eat("*") {
+                ArithOp::Mul
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.union_expr()?;
+            lhs = Expr::Arith(op, lhs.boxed(), rhs.boxed());
+        }
+    }
+
+    fn union_expr(&mut self) -> QueryResult<Expr> {
+        let mut lhs = self.intersect_expr()?;
+        loop {
+            if self.s.eat_kw("union") || self.s.eat("|") {
+                let rhs = self.intersect_expr()?;
+                lhs = Expr::Ddo(Expr::Union(lhs.boxed(), rhs.boxed()).boxed());
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn intersect_expr(&mut self) -> QueryResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.s.eat_kw("intersect") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Ddo(Expr::Intersect(lhs.boxed(), rhs.boxed()).boxed());
+            } else if self.s.eat_kw("except") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Ddo(Expr::Except(lhs.boxed(), rhs.boxed()).boxed());
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> QueryResult<Expr> {
+        if self.s.eat("-") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Neg(e.boxed()));
+        }
+        let _ = self.s.eat("+");
+        self.path_expr()
+    }
+
+    // -------------------------------------------------------------
+    // Paths
+    // -------------------------------------------------------------
+
+    fn path_expr(&mut self) -> QueryResult<Expr> {
+        // Leading '/' or '//'.
+        if self.s.looking_at("//") {
+            self.s.eat("//");
+            let mut steps = vec![Step::plain(Axis::DescendantOrSelf, NodeTest::AnyKind)];
+            self.relative_path_into(&mut steps)?;
+            return Ok(Expr::Ddo(
+                Expr::Path {
+                    start: PathStart::Root,
+                    steps,
+                }
+                .boxed(),
+            ));
+        }
+        if self.s.looking_at("/") {
+            let save = self.s.pos();
+            self.s.eat("/");
+            // Bare '/' (document root) vs '/step...'.
+            self.s.skip_ws();
+            let has_step = self
+                .s
+                .peek()
+                .is_some_and(|c| is_name_start(c) || matches!(c, '@' | '*' | '.'));
+            if !has_step {
+                self.s.seek(save);
+                self.s.eat("/");
+                return Ok(Expr::Path {
+                    start: PathStart::Root,
+                    steps: Vec::new(),
+                });
+            }
+            let mut steps = Vec::new();
+            self.relative_path_into(&mut steps)?;
+            return Ok(Expr::Ddo(
+                Expr::Path {
+                    start: PathStart::Root,
+                    steps,
+                }
+                .boxed(),
+            ));
+        }
+        // Relative path starting from a step or a postfix expression.
+        let first = self.step_or_postfix()?;
+        match first {
+            StepOrExpr::Step(step) => {
+                let mut steps = vec![step];
+                self.continue_path(&mut steps)?;
+                Ok(Expr::Ddo(
+                    Expr::Path {
+                        start: PathStart::Context,
+                        steps,
+                    }
+                    .boxed(),
+                ))
+            }
+            StepOrExpr::Expr(e) => {
+                // Possibly `expr/more/steps`.
+                if self.s.looking_at("/") || self.s.looking_at("//") {
+                    let mut steps = Vec::new();
+                    self.continue_path(&mut steps)?;
+                    // doc('x')/... becomes a Doc-rooted path.
+                    let start = match &e {
+                        Expr::FnCall { name, args, .. }
+                            if (name == "doc" || name == "document") && args.len() == 1 =>
+                        {
+                            if let Expr::Literal(Atom::String(d)) = &args[0] {
+                                PathStart::Doc(d.clone())
+                            } else {
+                                PathStart::Expr(e.boxed())
+                            }
+                        }
+                        _ => PathStart::Expr(e.boxed()),
+                    };
+                    Ok(Expr::Ddo(Expr::Path { start, steps }.boxed()))
+                } else {
+                    Ok(e)
+                }
+            }
+        }
+    }
+
+    fn continue_path(&mut self, steps: &mut Vec<Step>) -> QueryResult<()> {
+        loop {
+            if self.s.eat("//") {
+                steps.push(Step::plain(Axis::DescendantOrSelf, NodeTest::AnyKind));
+                steps.push(self.axis_step()?);
+            } else if self.s.eat("/") {
+                steps.push(self.axis_step()?);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn relative_path_into(&mut self, steps: &mut Vec<Step>) -> QueryResult<()> {
+        steps.push(self.axis_step()?);
+        self.continue_path(steps)
+    }
+
+    fn axis_step(&mut self) -> QueryResult<Step> {
+        self.s.skip_ws();
+        // Abbreviations.
+        if self.s.eat("..") {
+            let mut step = Step::plain(Axis::Parent, NodeTest::AnyKind);
+            self.predicates_into(&mut step.predicates)?;
+            return Ok(step);
+        }
+        if self.s.eat("@") {
+            let test = self.node_test()?;
+            let mut step = Step::plain(Axis::Attribute, test);
+            self.predicates_into(&mut step.predicates)?;
+            return Ok(step);
+        }
+        // Named axis?
+        let save = self.s.pos();
+        if let Some(name) = self.s.ncname() {
+            if self.s.rest().starts_with("::") {
+                self.s.eat("::");
+                let axis = match name {
+                    "child" => Axis::Child,
+                    "descendant" => Axis::Descendant,
+                    "descendant-or-self" => Axis::DescendantOrSelf,
+                    "self" => Axis::SelfAxis,
+                    "parent" => Axis::Parent,
+                    "ancestor" => Axis::Ancestor,
+                    "ancestor-or-self" => Axis::AncestorOrSelf,
+                    "following-sibling" => Axis::FollowingSibling,
+                    "preceding-sibling" => Axis::PrecedingSibling,
+                    "attribute" => Axis::Attribute,
+                    other => return self.err(format!("unsupported axis '{other}'")),
+                };
+                let test = self.node_test()?;
+                let mut step = Step::plain(axis, test);
+                self.predicates_into(&mut step.predicates)?;
+                return Ok(step);
+            }
+        }
+        self.s.seek(save);
+        let test = self.node_test()?;
+        let mut step = Step::plain(Axis::Child, test);
+        self.predicates_into(&mut step.predicates)?;
+        Ok(step)
+    }
+
+    fn node_test(&mut self) -> QueryResult<NodeTest> {
+        self.s.skip_ws();
+        if self.s.eat("*") {
+            return Ok(NodeTest::Wildcard);
+        }
+        let save = self.s.pos();
+        if let Some((prefix, local)) = self.s.qname() {
+            if prefix.is_some() && self.s.looking_at("(") {
+                // A prefixed name followed by '(' can only be a function
+                // call (prefixed kind tests do not exist).
+                self.s.seek(save);
+                return self.err("function call in step position");
+            }
+            if prefix.is_none() && self.s.looking_at("(") {
+                match local {
+                    "text" => {
+                        self.expect("(")?;
+                        self.expect(")")?;
+                        return Ok(NodeTest::Text);
+                    }
+                    "comment" => {
+                        self.expect("(")?;
+                        self.expect(")")?;
+                        return Ok(NodeTest::Comment);
+                    }
+                    "node" => {
+                        self.expect("(")?;
+                        self.expect(")")?;
+                        return Ok(NodeTest::AnyKind);
+                    }
+                    "processing-instruction" => {
+                        self.expect("(")?;
+                        let target = if !self.s.looking_at(")") {
+                            Some(self.string_lit()?)
+                        } else {
+                            None
+                        };
+                        self.expect(")")?;
+                        return Ok(NodeTest::Pi(target));
+                    }
+                    _ => {
+                        // A function call, not a node test: rewind so the
+                        // caller's postfix path handles it.
+                        self.s.seek(save);
+                        return self.err("function call in step position");
+                    }
+                }
+            }
+            return Ok(NodeTest::Name(SchemaName {
+                uri: prefix.map(|p| format!("prefix:{p}")),
+                local: local.to_string(),
+            }));
+        }
+        self.err("expected a node test")
+    }
+
+    fn predicates_into(&mut self, preds: &mut Vec<Expr>) -> QueryResult<()> {
+        while self.s.eat("[") {
+            preds.push(self.expr()?);
+            self.expect("]")?;
+        }
+        Ok(())
+    }
+
+    /// A step (name test or axis) or a postfix/primary expression —
+    /// disambiguated by lookahead.
+    fn step_or_postfix(&mut self) -> QueryResult<StepOrExpr> {
+        self.s.skip_ws();
+        match self.s.peek() {
+            Some('.') if !self.s.rest().starts_with("..") => {
+                // Context item (possibly with predicates → filter).
+                self.s.eat(".");
+                let mut preds = Vec::new();
+                self.predicates_into(&mut preds)?;
+                let e = Expr::ContextItem;
+                if preds.is_empty() {
+                    return Ok(StepOrExpr::Expr(e));
+                }
+                return Ok(StepOrExpr::Expr(Expr::Filter {
+                    input: e.boxed(),
+                    predicates: preds,
+                }));
+            }
+            Some('.') => {
+                return Ok(StepOrExpr::Step(self.axis_step()?));
+            }
+            Some('@' | '*') => {
+                return Ok(StepOrExpr::Step(self.axis_step()?));
+            }
+            Some(c) if is_name_start(c) => {
+                // `text { ... }` is a computed constructor, not a step.
+                let save = self.s.pos();
+                if self.s.eat_kw("text") && self.s.looking_at("{") {
+                    self.s.seek(save);
+                    return Ok(StepOrExpr::Expr(self.postfix_expr()?));
+                }
+                self.s.seek(save);
+                // Could be: axis::, name-test step, function call, or a
+                // keyword expression (handled upstream). Try step first;
+                // on "function call in step position" fall back.
+                match self.axis_step() {
+                    Ok(step) => return Ok(StepOrExpr::Step(step)),
+                    Err(QueryError::Parse { msg, .. })
+                        if msg.contains("function call in step position") =>
+                    {
+                        self.s.seek(save);
+                    }
+                    Err(e) => return Err(e),
+                }
+                let e = self.postfix_expr()?;
+                return Ok(StepOrExpr::Expr(e));
+            }
+            _ => {}
+        }
+        Ok(StepOrExpr::Expr(self.postfix_expr()?))
+    }
+
+    fn postfix_expr(&mut self) -> QueryResult<Expr> {
+        let primary = self.primary_expr()?;
+        let mut preds = Vec::new();
+        self.predicates_into(&mut preds)?;
+        if preds.is_empty() {
+            Ok(primary)
+        } else {
+            Ok(Expr::Filter {
+                input: primary.boxed(),
+                predicates: preds,
+            })
+        }
+    }
+
+    fn primary_expr(&mut self) -> QueryResult<Expr> {
+        self.s.skip_ws();
+        match self.s.peek() {
+            Some('\'' | '"') => {
+                let s = self.string_lit()?;
+                return Ok(Expr::Literal(Atom::String(s)));
+            }
+            Some('$') => {
+                self.s.eat("$");
+                let name = self.var_name()?;
+                return Ok(Expr::VarRef {
+                    name,
+                    slot: usize::MAX,
+                });
+            }
+            Some('(') => {
+                self.s.eat("(");
+                if self.s.eat(")") {
+                    return Ok(Expr::Empty);
+                }
+                let e = self.expr()?;
+                self.expect(")")?;
+                return Ok(e);
+            }
+            Some('<') => {
+                return self.direct_constructor();
+            }
+            _ => {}
+        }
+        if let Some(n) = self.s.number_literal() {
+            return Ok(Expr::Literal(Atom::Number(n)));
+        }
+        // text { expr } constructor.
+        if self.s.looking_at_kw("text") {
+            let save = self.s.pos();
+            self.s.eat_kw("text");
+            if self.s.eat("{") {
+                let e = self.expr()?;
+                self.expect("}")?;
+                return Ok(Expr::TextCtor(e.boxed()));
+            }
+            self.s.seek(save);
+        }
+        // Function call.
+        let save = self.s.pos();
+        if let Some((prefix, local)) = self.s.qname() {
+            if self.s.looking_at("(") {
+                let name = match prefix {
+                    Some("fn") | None => local.to_string(),
+                    Some("local") => format!("local:{local}"),
+                    Some(p) => format!("{p}:{local}"),
+                };
+                self.expect("(")?;
+                let mut args = Vec::new();
+                if !self.s.looking_at(")") {
+                    loop {
+                        args.push(self.expr_single()?);
+                        if !self.s.eat(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect(")")?;
+                return Ok(Expr::FnCall {
+                    name,
+                    args,
+                    resolved: FnResolution::Unresolved,
+                });
+            }
+            self.s.seek(save);
+        }
+        self.err("expected an expression")
+    }
+
+    // -------------------------------------------------------------
+    // Direct constructors
+    // -------------------------------------------------------------
+
+    fn direct_constructor(&mut self) -> QueryResult<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return self.err("constructor nesting too deep");
+        }
+        let result = self.direct_constructor_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn direct_constructor_inner(&mut self) -> QueryResult<Expr> {
+        self.expect("<")?;
+        let name = self.qname()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.s.skip_ws();
+            if self.s.eat("/>") {
+                return Ok(Expr::ElementCtor {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                });
+            }
+            if self.s.eat(">") {
+                break;
+            }
+            let attr_name = self.qname()?;
+            self.expect("=")?;
+            let parts = self.attr_value_parts()?;
+            attrs.push((attr_name, parts));
+        }
+        // Content until the matching end tag.
+        let children = self.ctor_content(&name)?;
+        Ok(Expr::ElementCtor {
+            name,
+            attrs,
+            children,
+        })
+    }
+
+    fn attr_value_parts(&mut self) -> QueryResult<Vec<Expr>> {
+        self.s.skip_ws();
+        let quote = match self.s.bump() {
+            Some(q @ ('\'' | '"')) => q,
+            _ => return self.err("expected a quoted attribute value"),
+        };
+        let mut parts = Vec::new();
+        let mut lit = String::new();
+        loop {
+            match self.s.peek() {
+                None => return self.err("unterminated attribute value"),
+                Some(c) if c == quote => {
+                    self.s.bump();
+                    break;
+                }
+                Some('{') => {
+                    self.s.bump();
+                    if self.s.peek() == Some('{') {
+                        self.s.bump();
+                        lit.push('{');
+                        continue;
+                    }
+                    if !lit.is_empty() {
+                        parts.push(Expr::Literal(Atom::String(std::mem::take(&mut lit))));
+                    }
+                    let e = self.expr()?;
+                    self.expect("}")?;
+                    parts.push(e);
+                }
+                Some('}') => {
+                    self.s.bump();
+                    if self.s.peek() == Some('}') {
+                        self.s.bump();
+                    }
+                    lit.push('}');
+                }
+                Some('&') => {
+                    let start = self.s.pos();
+                    let mut ent = String::new();
+                    loop {
+                        match self.s.bump() {
+                            Some(';') => {
+                                ent.push(';');
+                                break;
+                            }
+                            Some(c) => ent.push(c),
+                            None => {
+                                return Err(QueryError::Parse {
+                                    pos: start,
+                                    msg: "bad entity reference".into(),
+                                })
+                            }
+                        }
+                    }
+                    match sedna_xml::unescape(&ent) {
+                        Some(s) => lit.push_str(&s),
+                        None => {
+                            return Err(QueryError::Parse {
+                                pos: start,
+                                msg: "bad entity reference".into(),
+                            })
+                        }
+                    }
+                }
+                Some(c) => {
+                    lit.push(c);
+                    self.s.bump();
+                }
+            }
+        }
+        if !lit.is_empty() || parts.is_empty() {
+            parts.push(Expr::Literal(Atom::String(lit)));
+        }
+        Ok(parts)
+    }
+
+    fn ctor_content(&mut self, open: &SchemaName) -> QueryResult<Vec<Expr>> {
+        let mut children = Vec::new();
+        let mut text = String::new();
+        macro_rules! flush_text {
+            () => {
+                if !text.is_empty() {
+                    // Boundary whitespace between constructors is dropped,
+                    // per the default XQuery boundary-space policy.
+                    if !text.chars().all(char::is_whitespace) {
+                        children.push(Expr::TextCtor(
+                            Expr::Literal(Atom::String(std::mem::take(&mut text))).boxed(),
+                        ));
+                    } else {
+                        text.clear();
+                    }
+                }
+            };
+        }
+        loop {
+            match self.s.peek() {
+                None => return self.err("unterminated element constructor"),
+                Some('<') => {
+                    if self.s.rest().starts_with("</") {
+                        flush_text!();
+                        self.s.eat("</");
+                        let close = self.qname()?;
+                        self.s.skip_ws();
+                        self.expect(">")?;
+                        if close != *open {
+                            return self.err(format!(
+                                "mismatched constructor tags: <{}> vs </{}>",
+                                open.local, close.local
+                            ));
+                        }
+                        return Ok(children);
+                    }
+                    flush_text!();
+                    children.push(self.direct_constructor()?);
+                }
+                Some('{') => {
+                    self.s.bump();
+                    if self.s.peek() == Some('{') {
+                        self.s.bump();
+                        text.push('{');
+                        continue;
+                    }
+                    flush_text!();
+                    let e = self.expr()?;
+                    self.expect("}")?;
+                    children.push(e);
+                }
+                Some('}') => {
+                    self.s.bump();
+                    if self.s.peek() == Some('}') {
+                        self.s.bump();
+                    }
+                    text.push('}');
+                }
+                Some('&') => {
+                    let start = self.s.pos();
+                    let mut ent = String::new();
+                    loop {
+                        match self.s.bump() {
+                            Some(';') => {
+                                ent.push(';');
+                                break;
+                            }
+                            Some(c) => ent.push(c),
+                            None => {
+                                return Err(QueryError::Parse {
+                                    pos: start,
+                                    msg: "bad entity reference".into(),
+                                })
+                            }
+                        }
+                    }
+                    match sedna_xml::unescape(&ent) {
+                        Some(s) => text.push_str(&s),
+                        None => {
+                            return Err(QueryError::Parse {
+                                pos: start,
+                                msg: "bad entity reference".into(),
+                            })
+                        }
+                    }
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.s.bump();
+                }
+            }
+        }
+    }
+}
+
+enum StepOrExpr {
+    Step(Step),
+    Expr(Expr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(q: &str) -> Expr {
+        parse_expr(q).unwrap()
+    }
+
+    #[test]
+    fn literals_and_sequences() {
+        assert_eq!(parse("42"), Expr::Literal(Atom::Number(42.0)));
+        assert_eq!(parse("'hi'"), Expr::Literal(Atom::String("hi".into())));
+        assert_eq!(parse("()"), Expr::Empty);
+        match parse("(1, 2, 3)") {
+            Expr::Sequence(items) => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        match parse("1 + 2 * 3") {
+            Expr::Arith(ArithOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Arith(ArithOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_general_and_value() {
+        assert!(matches!(parse("1 = 2"), Expr::GeneralCmp(CmpOp::Eq, _, _)));
+        assert!(matches!(parse("1 eq 2"), Expr::ValueCmp(CmpOp::Eq, _, _)));
+        assert!(matches!(parse("1 <= 2"), Expr::GeneralCmp(CmpOp::Le, _, _)));
+    }
+
+    #[test]
+    fn paths_are_ddo_wrapped() {
+        match parse("doc('lib')/library/book") {
+            Expr::Ddo(inner) => match *inner {
+                Expr::Path { start, steps } => {
+                    assert_eq!(start, PathStart::Doc("lib".into()));
+                    assert_eq!(steps.len(), 2);
+                    assert_eq!(steps[0].axis, Axis::Child);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn abbreviated_descendant_expands() {
+        match parse("//para") {
+            Expr::Ddo(inner) => match *inner {
+                Expr::Path { steps, .. } => {
+                    assert_eq!(steps.len(), 2);
+                    assert_eq!(steps[0].axis, Axis::DescendantOrSelf);
+                    assert_eq!(steps[0].test, NodeTest::AnyKind);
+                    assert_eq!(steps[1].axis, Axis::Child);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn axes_and_tests() {
+        let q = "child::a/descendant::b/ancestor::*/@id/../self::node()/text()";
+        match parse(q) {
+            Expr::Ddo(inner) => match *inner {
+                Expr::Path { steps, .. } => {
+                    assert_eq!(steps[0].axis, Axis::Child);
+                    assert_eq!(steps[1].axis, Axis::Descendant);
+                    assert_eq!(steps[2].axis, Axis::Ancestor);
+                    assert_eq!(steps[3].axis, Axis::Attribute);
+                    assert_eq!(steps[4].axis, Axis::Parent);
+                    assert_eq!(steps[5].axis, Axis::SelfAxis);
+                    assert_eq!(steps[6].test, NodeTest::Text);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicates_attach_to_steps() {
+        match parse("book[price > 10][2]") {
+            Expr::Ddo(inner) => match *inner {
+                Expr::Path { steps, .. } => {
+                    assert_eq!(steps.len(), 1);
+                    assert_eq!(steps[0].predicates.len(), 2);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flwor_full_shape() {
+        let q = "for $b at $i in doc('l')/lib/book let $t := $b/title where $i > 1 order by $t descending return $t";
+        match parse(q) {
+            Expr::Flwor {
+                clauses,
+                where_,
+                order,
+                ..
+            } => {
+                assert_eq!(clauses.len(), 2);
+                assert!(matches!(&clauses[0], FlworClause::For { at: Some(_), .. }));
+                assert!(where_.is_some());
+                assert_eq!(order.len(), 1);
+                assert!(order[0].descending);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantified_and_if() {
+        assert!(matches!(
+            parse("some $x in (1,2) satisfies $x = 2"),
+            Expr::Quantified { some: true, .. }
+        ));
+        assert!(matches!(
+            parse("every $x in (1,2) satisfies $x > 0"),
+            Expr::Quantified { some: false, .. }
+        ));
+        assert!(matches!(
+            parse("if (1) then 2 else 3"),
+            Expr::If { .. }
+        ));
+    }
+
+    #[test]
+    fn constructors_with_enclosed_exprs() {
+        let q = r#"<book id="{1 + 1}" lang="en">Title: {$t}<sub/></book>"#;
+        match parse(q) {
+            Expr::ElementCtor {
+                name,
+                attrs,
+                children,
+            } => {
+                assert_eq!(name.local, "book");
+                assert_eq!(attrs.len(), 2);
+                assert_eq!(attrs[0].1.len(), 1); // single enclosed expr
+                assert_eq!(children.len(), 3); // text, var, nested ctor
+                assert!(matches!(&children[0], Expr::TextCtor(_)));
+                assert!(matches!(&children[2], Expr::ElementCtor { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn constructor_brace_escapes() {
+        match parse("<a>{{literal}}</a>") {
+            Expr::ElementCtor { children, .. } => {
+                assert_eq!(children.len(), 1);
+                match &children[0] {
+                    Expr::TextCtor(t) => {
+                        assert_eq!(**t, Expr::Literal(Atom::String("{literal}".into())))
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_intersect_except() {
+        assert!(matches!(parse("a | b"), Expr::Ddo(_)));
+        assert!(matches!(parse("a intersect b"), Expr::Ddo(_)));
+        assert!(matches!(parse("a except b"), Expr::Ddo(_)));
+    }
+
+    #[test]
+    fn filter_on_primary() {
+        match parse("(1, 2, 3)[2]") {
+            Expr::Filter { predicates, .. } => assert_eq!(predicates.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prolog_declarations() {
+        let q = "declare variable $depth := 3; declare function local:twice($x) { $x * 2 }; local:twice($depth)";
+        let stmt = parse_statement(q).unwrap();
+        assert_eq!(stmt.vars.len(), 1);
+        assert_eq!(stmt.functions.len(), 1);
+        assert_eq!(stmt.functions[0].params, ["x"]);
+        assert!(matches!(stmt.kind, StatementKind::Query(_)));
+    }
+
+    #[test]
+    fn update_statements() {
+        let s = parse_statement("UPDATE insert <author>New</author> into doc('l')/lib/book[1]").unwrap();
+        assert!(matches!(
+            s.kind,
+            StatementKind::Update(UpdateStmt::Insert {
+                pos: InsertPos::Into,
+                ..
+            })
+        ));
+        let s = parse_statement("UPDATE delete doc('l')//book[title = 'Old']").unwrap();
+        assert!(matches!(s.kind, StatementKind::Update(UpdateStmt::Delete { .. })));
+        let s =
+            parse_statement("UPDATE replace value of doc('l')//year with '2005'").unwrap();
+        assert!(matches!(
+            s.kind,
+            StatementKind::Update(UpdateStmt::ReplaceValue { .. })
+        ));
+    }
+
+    #[test]
+    fn ddl_statements() {
+        let s = parse_statement("CREATE DOCUMENT 'catalog'").unwrap();
+        assert_eq!(
+            s.kind,
+            StatementKind::Ddl(DdlStmt::CreateDocument("catalog".into()))
+        );
+        let s = parse_statement(
+            "CREATE INDEX 'byyear' ON doc('lib')/library/book BY issue/year AS xs:double",
+        )
+        .unwrap();
+        match s.kind {
+            StatementKind::Ddl(DdlStmt::CreateIndex { name, doc, on, by, key_type }) => {
+                assert_eq!(name, "byyear");
+                assert_eq!(doc, "lib");
+                assert_eq!(on.len(), 2);
+                assert_eq!(by.len(), 2);
+                assert_eq!(key_type, IndexKeyType::Number);
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse_statement("DROP INDEX 'byyear'").unwrap();
+        assert_eq!(s.kind, StatementKind::Ddl(DdlStmt::DropIndex("byyear".into())));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_expr("for $x in").is_err());
+        assert!(parse_expr("(1, 2").is_err());
+        assert!(parse_expr("<a></b>").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_statement("UPDATE frobnicate x").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(parse("1 (: comment (: nested :) :) + 2"), parse("1 + 2"));
+    }
+}

@@ -1,0 +1,375 @@
+//! The static analyser (§3/§5: "the static analyzer accepts the parsed
+//! query and is in charge of performing the complete static analysis
+//! phase [...] all namespace prefixes, function names and variable names
+//! are resolved. If a query contains any static errors, these are
+//! detected and reported at this stage").
+//!
+//! Variables are resolved to flat runtime slots; function calls are
+//! resolved to the built-in registry or to prolog-declared functions, with
+//! arity checked statically.
+
+use crate::ast::*;
+use crate::error::{QueryError, QueryResult};
+use crate::functions;
+
+/// Runs static analysis over a parsed statement, resolving all names and
+/// assigning variable slots. Returns the annotated statement.
+pub fn analyze(mut stmt: Statement) -> QueryResult<Statement> {
+    let signatures: Vec<(String, usize)> = stmt
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), f.params.len()))
+        .collect();
+    let mut az = Analyzer {
+        scopes: Vec::new(),
+        next_slot: 0,
+        user_fns: signatures,
+    };
+    // Global variables: each initializer sees the previous globals.
+    for var in &mut stmt.vars {
+        az.resolve(&mut var.init)?;
+        var.slot = az.bind(&var.name);
+    }
+    // Function bodies: globals + parameters in scope.
+    let globals_depth = az.scopes.len();
+    for f in &mut stmt.functions {
+        for i in 0..f.params.len() {
+            let slot = az.bind(&f.params[i]);
+            f.param_slots[i] = slot;
+        }
+        az.resolve(&mut f.body)?;
+        az.scopes.truncate(globals_depth);
+    }
+    match &mut stmt.kind {
+        StatementKind::Query(e) => az.resolve(e)?,
+        StatementKind::Update(u) => match u {
+            UpdateStmt::Insert { what, target, .. } => {
+                az.resolve(what)?;
+                az.resolve(target)?;
+            }
+            UpdateStmt::Delete { target } => az.resolve(target)?,
+            UpdateStmt::ReplaceValue { target, with } => {
+                az.resolve(target)?;
+                az.resolve(with)?;
+            }
+        },
+        StatementKind::Ddl(_) => {}
+    }
+    stmt.slot_count = az.next_slot;
+    Ok(stmt)
+}
+
+struct Analyzer {
+    /// In-scope variables: (name, slot), innermost last.
+    scopes: Vec<(String, usize)>,
+    next_slot: usize,
+    user_fns: Vec<(String, usize)>,
+}
+
+impl Analyzer {
+    fn bind(&mut self, name: &str) -> usize {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.scopes.push((name.to_string(), slot));
+        slot
+    }
+
+    fn lookup(&self, name: &str) -> Option<usize> {
+        self.scopes
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+    }
+
+    fn resolve(&mut self, e: &mut Expr) -> QueryResult<()> {
+        match e {
+            Expr::Literal(_) | Expr::Empty | Expr::ContextItem => Ok(()),
+            Expr::Sequence(items) => {
+                for i in items {
+                    self.resolve(i)?;
+                }
+                Ok(())
+            }
+            Expr::VarRef { name, slot } => {
+                *slot = self.lookup(name).ok_or_else(|| {
+                    QueryError::Static(format!("undeclared variable ${name}"))
+                })?;
+                Ok(())
+            }
+            Expr::Flwor {
+                clauses,
+                where_,
+                order,
+                ret,
+            } => {
+                let depth = self.scopes.len();
+                for clause in clauses.iter_mut() {
+                    match clause {
+                        FlworClause::For {
+                            var, slot, at, expr, ..
+                        } => {
+                            self.resolve(expr)?;
+                            *slot = self.bind(var);
+                            if let Some((pvar, pslot)) = at {
+                                *pslot = self.bind(pvar);
+                            }
+                        }
+                        FlworClause::Let {
+                            var, slot, expr, ..
+                        } => {
+                            self.resolve(expr)?;
+                            *slot = self.bind(var);
+                        }
+                    }
+                }
+                if let Some(w) = where_ {
+                    self.resolve(w)?;
+                }
+                for spec in order {
+                    self.resolve(&mut spec.key)?;
+                }
+                self.resolve(ret)?;
+                self.scopes.truncate(depth);
+                Ok(())
+            }
+            Expr::Quantified {
+                var,
+                slot,
+                within,
+                satisfies,
+                ..
+            } => {
+                self.resolve(within)?;
+                let depth = self.scopes.len();
+                *slot = self.bind(var);
+                self.resolve(satisfies)?;
+                self.scopes.truncate(depth);
+                Ok(())
+            }
+            Expr::If { cond, then, els } => {
+                self.resolve(cond)?;
+                self.resolve(then)?;
+                self.resolve(els)
+            }
+            Expr::Or(a, b)
+            | Expr::And(a, b)
+            | Expr::GeneralCmp(_, a, b)
+            | Expr::ValueCmp(_, a, b)
+            | Expr::Arith(_, a, b)
+            | Expr::Range(a, b)
+            | Expr::Union(a, b)
+            | Expr::Intersect(a, b)
+            | Expr::Except(a, b) => {
+                self.resolve(a)?;
+                self.resolve(b)
+            }
+            Expr::Neg(a) | Expr::Ddo(a) | Expr::TextCtor(a) => self.resolve(a),
+            Expr::Cached { expr, .. } => self.resolve(expr),
+            Expr::Path { start, steps } => {
+                if let PathStart::Expr(e) = start {
+                    self.resolve(e)?;
+                }
+                for step in steps {
+                    for p in &mut step.predicates {
+                        self.resolve(p)?;
+                    }
+                }
+                Ok(())
+            }
+            Expr::StructuralPath { .. } => Ok(()),
+            Expr::Filter { input, predicates } => {
+                self.resolve(input)?;
+                for p in predicates {
+                    self.resolve(p)?;
+                }
+                Ok(())
+            }
+            Expr::FnCall {
+                name,
+                args,
+                resolved,
+            } => {
+                for a in args.iter_mut() {
+                    self.resolve(a)?;
+                }
+                // User functions shadow builtins only in the local: space.
+                if let Some(stripped) = name.strip_prefix("local:") {
+                    let idx = self
+                        .user_fns
+                        .iter()
+                        .position(|(n, arity)| n == stripped && *arity == args.len())
+                        .ok_or_else(|| {
+                            QueryError::Static(format!(
+                                "unknown function local:{stripped}#{}",
+                                args.len()
+                            ))
+                        })?;
+                    *resolved = FnResolution::User(idx);
+                    return Ok(());
+                }
+                let idx = functions::lookup(name, args.len()).ok_or_else(|| {
+                    QueryError::Static(format!("unknown function {name}#{}", args.len()))
+                })?;
+                *resolved = FnResolution::Builtin(idx);
+                Ok(())
+            }
+            Expr::ElementCtor {
+                attrs, children, ..
+            } => {
+                for (_, parts) in attrs {
+                    for p in parts {
+                        self.resolve(p)?;
+                    }
+                }
+                for c in children {
+                    self.resolve(c)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn analyzed(q: &str) -> Statement {
+        analyze(parse_statement(q).unwrap()).unwrap()
+    }
+
+    fn analyze_err(q: &str) -> QueryError {
+        analyze(parse_statement(q).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn flwor_variables_get_slots() {
+        let stmt = analyzed("for $x in (1,2) let $y := $x + 1 return $y");
+        assert!(stmt.slot_count >= 2);
+        match stmt.kind {
+            StatementKind::Query(Expr::Flwor { clauses, ret, .. }) => {
+                let (xs, ys) = match (&clauses[0], &clauses[1]) {
+                    (
+                        FlworClause::For { slot: a, .. },
+                        FlworClause::Let { slot: b, expr, .. },
+                    ) => {
+                        // $x inside the let initializer resolved to x's slot.
+                        match expr {
+                            Expr::Arith(_, lhs, _) => match lhs.as_ref() {
+                                Expr::VarRef { slot, .. } => assert_eq!(slot, a),
+                                other => panic!("{other:?}"),
+                            },
+                            other => panic!("{other:?}"),
+                        }
+                        (*a, *b)
+                    }
+                    other => panic!("{other:?}"),
+                };
+                assert_ne!(xs, ys);
+                match *ret {
+                    Expr::VarRef { slot, .. } => assert_eq!(slot, ys),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shadowing_resolves_innermost() {
+        let stmt = analyzed("for $x in (1,2) return for $x in (3,4) return $x");
+        match stmt.kind {
+            StatementKind::Query(Expr::Flwor { clauses, ret, .. }) => {
+                let FlworClause::For { slot: outer, .. } = &clauses[0] else {
+                    panic!()
+                };
+                match *ret {
+                    Expr::Flwor { clauses, ret, .. } => {
+                        let FlworClause::For { slot: inner, .. } = &clauses[0] else {
+                            panic!()
+                        };
+                        assert_ne!(outer, inner);
+                        match *ret {
+                            Expr::VarRef { slot, .. } => assert_eq!(slot, *inner),
+                            other => panic!("{other:?}"),
+                        }
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_variable_is_static_error() {
+        assert!(matches!(analyze_err("$nope"), QueryError::Static(_)));
+    }
+
+    #[test]
+    fn unknown_function_is_static_error() {
+        assert!(matches!(
+            analyze_err("frobnicate(1)"),
+            QueryError::Static(_)
+        ));
+        // Arity mismatch too.
+        assert!(matches!(analyze_err("count(1, 2)"), QueryError::Static(_)));
+    }
+
+    #[test]
+    fn builtins_resolve() {
+        let stmt = analyzed("count((1, 2, 3))");
+        match stmt.kind {
+            StatementKind::Query(Expr::FnCall { resolved, .. }) => {
+                assert!(matches!(resolved, FnResolution::Builtin(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_functions_resolve_with_recursion() {
+        let stmt = analyzed(
+            "declare function local:fact($n) { if ($n le 1) then 1 else $n * local:fact($n - 1) }; local:fact(5)",
+        );
+        match &stmt.kind {
+            StatementKind::Query(Expr::FnCall { resolved, .. }) => {
+                assert_eq!(*resolved, FnResolution::User(0));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The recursive call inside the body also resolved.
+        fn find_call(e: &Expr) -> bool {
+            match e {
+                Expr::FnCall { resolved, .. } => *resolved == FnResolution::User(0),
+                Expr::If { cond, then, els } => {
+                    find_call(cond) || find_call(then) || find_call(els)
+                }
+                Expr::Arith(_, a, b) | Expr::ValueCmp(_, a, b) => find_call(a) || find_call(b),
+                _ => false,
+            }
+        }
+        assert!(find_call(&stmt.functions[0].body));
+    }
+
+    #[test]
+    fn global_variables_visible_in_body_and_functions() {
+        let stmt = analyzed(
+            "declare variable $base := 10; declare function local:f($x) { $x + $base }; local:f(1) + $base",
+        );
+        assert_eq!(stmt.vars[0].slot, 0);
+        assert!(stmt.slot_count >= 2);
+    }
+
+    #[test]
+    fn update_targets_analyzed() {
+        assert!(matches!(
+            analyze(
+                parse_statement("UPDATE delete $undeclared").unwrap()
+            ),
+            Err(QueryError::Static(_))
+        ));
+    }
+}

@@ -1,0 +1,331 @@
+//! Character-level scanning utilities shared by the parser.
+//!
+//! The parser is *scannerless*: XQuery mixes expression syntax with
+//! direct XML constructors, and has no reserved words, so the cleanest
+//! small implementation reads characters with contextual helpers rather
+//! than maintaining a mode-switching token stream.
+
+/// A character cursor over the query source.
+#[derive(Clone)]
+pub struct Scanner<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    /// Creates a scanner at the start of `src`.
+    pub fn new(src: &'a str) -> Scanner<'a> {
+        Scanner { src, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Rewinds/advances to an absolute offset (used for backtracking).
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// Remaining input.
+    pub fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    /// Whether all input is consumed (after whitespace/comments).
+    pub fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.rest().is_empty()
+    }
+
+    /// Next character without consuming.
+    pub fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    /// Consumes and returns the next character.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Skips whitespace and (nested) `(: ... :)` comments.
+    pub fn skip_ws(&mut self) {
+        loop {
+            while self.peek().is_some_and(|c| c.is_whitespace()) {
+                self.bump();
+            }
+            if self.rest().starts_with("(:") {
+                self.pos += 2;
+                let mut depth = 1;
+                while depth > 0 {
+                    if self.rest().starts_with("(:") {
+                        self.pos += 2;
+                        depth += 1;
+                    } else if self.rest().starts_with(":)") {
+                        self.pos += 2;
+                        depth -= 1;
+                    } else if self.bump().is_none() {
+                        return; // unterminated; the parser will error
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Consumes `s` if the input (after whitespace) starts with it.
+    /// For symbols only — does not check word boundaries.
+    pub fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Peeks whether the next (post-whitespace) input starts with `s`.
+    pub fn looking_at(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        self.rest().starts_with(s)
+    }
+
+    /// Consumes the keyword `kw` if present as a whole word.
+    pub fn eat_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if let Some(after_kw) = rest.strip_prefix(kw) {
+            if after_kw.chars().next().is_none_or(|c| !is_name_char(c)) {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Peeks whether keyword `kw` is next (without consuming).
+    pub fn looking_at_kw(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        let hit = self.eat_kw(kw);
+        self.pos = save;
+        hit
+    }
+
+    /// Parses an NCName if next.
+    pub fn ncname(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            _ => return None,
+        }
+        let mut end = rest.len();
+        for (i, c) in chars {
+            if !is_name_char(c) {
+                end = i;
+                break;
+            }
+        }
+        self.pos += end;
+        Some(&rest[..end])
+    }
+
+    /// Parses a QName `(prefix, local)` if next (no whitespace around `:`).
+    pub fn qname(&mut self) -> Option<(Option<&'a str>, &'a str)> {
+        let first = self.ncname()?;
+        if self.rest().starts_with(':') && !self.rest().starts_with("::") {
+            let save = self.pos;
+            self.pos += 1;
+            // No whitespace allowed inside a QName.
+            let rest = self.rest();
+            if rest.chars().next().is_some_and(is_name_start) {
+                let local = self.ncname().expect("checked start");
+                return Some((Some(first), local));
+            }
+            self.pos = save;
+        }
+        Some((None, first))
+    }
+
+    /// Parses a string literal (`'...'` or `"..."`, doubled-quote escape,
+    /// predefined entity references).
+    pub fn string_literal(&mut self) -> Option<Result<String, usize>> {
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ ('\'' | '"')) => q,
+            _ => return None,
+        };
+        let start = self.pos;
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Some(Err(start)),
+                Some(c) if c == quote => {
+                    self.bump();
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        out.push(quote);
+                    } else {
+                        break;
+                    }
+                }
+                Some('&') => {
+                    // Entity reference.
+                    let amp_start = self.pos;
+                    self.bump();
+                    let mut ent = String::from("&");
+                    loop {
+                        match self.bump() {
+                            Some(';') => {
+                                ent.push(';');
+                                break;
+                            }
+                            Some(c) => ent.push(c),
+                            None => return Some(Err(amp_start)),
+                        }
+                    }
+                    match sedna_xml::unescape(&ent) {
+                        Some(s) => out.push_str(&s),
+                        None => return Some(Err(amp_start)),
+                    }
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.bump();
+                }
+            }
+        }
+        Some(Ok(out))
+    }
+
+    /// Parses a numeric literal if next.
+    pub fn number_literal(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut end = 0;
+        let bytes = rest.as_bytes();
+        while end < bytes.len() && bytes[end].is_ascii_digit() {
+            end += 1;
+        }
+        let int_digits = end;
+        if end < bytes.len() && bytes[end] == b'.' {
+            // Not a number if no digits at all around the dot, or if this
+            // is the '..' parent abbreviation.
+            let frac_start = end + 1;
+            let mut frac_end = frac_start;
+            while frac_end < bytes.len() && bytes[frac_end].is_ascii_digit() {
+                frac_end += 1;
+            }
+            if frac_end > frac_start {
+                end = frac_end;
+            } else if int_digits == 0 {
+                return None;
+            }
+        }
+        if end == 0 {
+            return None;
+        }
+        // Exponent.
+        if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
+            let mut e = end + 1;
+            if e < bytes.len() && (bytes[e] == b'+' || bytes[e] == b'-') {
+                e += 1;
+            }
+            let digs = e;
+            while e < bytes.len() && bytes[e].is_ascii_digit() {
+                e += 1;
+            }
+            if e > digs {
+                end = e;
+            }
+        }
+        let text = &rest[..end];
+        let v: f64 = text.parse().ok()?;
+        self.pos += end;
+        Some(v)
+    }
+}
+
+/// First character of an NCName.
+pub fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Subsequent characters of an NCName.
+pub fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_respect_word_boundaries() {
+        let mut s = Scanner::new("forward for ");
+        assert!(!s.eat_kw("for"));
+        assert_eq!(s.ncname(), Some("forward"));
+        assert!(s.eat_kw("for"));
+    }
+
+    #[test]
+    fn comments_nest() {
+        let mut s = Scanner::new("  (: outer (: inner :) still :)  x");
+        s.skip_ws();
+        assert_eq!(s.peek(), Some('x'));
+    }
+
+    #[test]
+    fn qnames_and_axes_disambiguate() {
+        let mut s = Scanner::new("child::para");
+        // `child::` must NOT parse as a QName — the double colon belongs
+        // to the axis separator.
+        assert_eq!(s.qname(), Some((None, "child")));
+        assert!(s.eat("::"));
+        assert_eq!(s.qname(), Some((None, "para")));
+        let mut s = Scanner::new("bk:title");
+        assert_eq!(s.qname(), Some((Some("bk"), "title")));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let mut s = Scanner::new(r#" "he said ""hi"" &amp; left" "#);
+        assert_eq!(
+            s.string_literal().unwrap().unwrap(),
+            "he said \"hi\" & left"
+        );
+        let mut s = Scanner::new("'it''s'");
+        assert_eq!(s.string_literal().unwrap().unwrap(), "it's");
+    }
+
+    #[test]
+    fn numbers() {
+        let mut s = Scanner::new("3.25 ");
+        assert_eq!(s.number_literal(), Some(3.25));
+        let mut s = Scanner::new("42");
+        assert_eq!(s.number_literal(), Some(42.0));
+        let mut s = Scanner::new("1e3");
+        assert_eq!(s.number_literal(), Some(1000.0));
+        let mut s = Scanner::new(".5");
+        assert_eq!(s.number_literal(), Some(0.5));
+        // '..' is not a number.
+        let mut s = Scanner::new("..");
+        assert_eq!(s.number_literal(), None);
+    }
+
+    #[test]
+    fn eat_and_looking_at() {
+        let mut s = Scanner::new("  := rest");
+        assert!(s.looking_at(":="));
+        assert!(s.eat(":="));
+        assert!(!s.eat(":="));
+        assert!(s.looking_at_kw("rest"));
+    }
+}

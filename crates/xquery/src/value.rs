@@ -1,0 +1,297 @@
+//! The executor's data model: items, sequences, and the arena of
+//! constructed (temporary) nodes.
+//!
+//! Stored nodes are represented by **direct pointers** (`NodeRef`), per
+//! §5.2: "the selected nodes as well as intermediate result of any query
+//! expression are represented by direct pointers". Constructed nodes live
+//! in a per-query [`TempArena`]; a constructed child may be a **virtual**
+//! reference to a stored subtree (§5.2.1's virtual element constructor —
+//! "it also does not perform deep copy of the content of constructed
+//! node, but rather stores a pointer to it").
+
+use sedna_numbering::Label;
+use sedna_schema::{NodeKind, SchemaName};
+use sedna_storage::NodeRef;
+
+/// An atomic value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Atom {
+    /// A string.
+    String(String),
+    /// A double-precision number (the numeric type of this subset).
+    Number(f64),
+    /// A boolean.
+    Boolean(bool),
+}
+
+impl Atom {
+    /// The string value.
+    pub fn to_string_value(&self) -> String {
+        match self {
+            Atom::String(s) => s.clone(),
+            Atom::Number(n) => format_number(*n),
+            Atom::Boolean(b) => b.to_string(),
+        }
+    }
+
+    /// Numeric value (`fn:number` semantics: NaN on failure).
+    pub fn to_number(&self) -> f64 {
+        match self {
+            Atom::Number(n) => *n,
+            Atom::String(s) => s.trim().parse().unwrap_or(f64::NAN),
+            Atom::Boolean(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Formats a number the XPath way: integers without a decimal point.
+pub fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 && !n.is_infinite() {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Identifier of a constructed node in the query's [`TempArena`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TempId(pub u32);
+
+/// A node value: stored (direct pointer + owning document index) or
+/// constructed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum NodeId {
+    /// A node in document `doc` of the query's database view.
+    Stored {
+        /// Index into the executor's document list.
+        doc: usize,
+        /// Direct descriptor pointer.
+        node: NodeRef,
+    },
+    /// A constructed node.
+    Temp(TempId),
+}
+
+/// One item of a sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// A node.
+    Node(NodeId),
+    /// An atomic value.
+    Atom(Atom),
+}
+
+impl Item {
+    /// Convenience constructors.
+    pub fn string(s: impl Into<String>) -> Item {
+        Item::Atom(Atom::String(s.into()))
+    }
+    /// A number item.
+    pub fn number(n: f64) -> Item {
+        Item::Atom(Atom::Number(n))
+    }
+    /// A boolean item.
+    pub fn boolean(b: bool) -> Item {
+        Item::Atom(Atom::Boolean(b))
+    }
+    /// Whether this item is a node.
+    pub fn is_node(&self) -> bool {
+        matches!(self, Item::Node(_))
+    }
+}
+
+/// A (materialized) sequence of items.
+pub type Sequence = Vec<Item>;
+
+/// Total order key for distinct-document-order: stored nodes order by
+/// (document, label); constructed nodes follow all stored nodes in arena
+/// order (stable, implementation-defined across trees as XQuery allows).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrderKey {
+    /// Stored node: document index, then numbering-scheme label prefix.
+    Stored(usize, Vec<u8>),
+    /// Constructed node: arena order.
+    Temp(u32),
+}
+
+impl PartialOrd for OrderKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use OrderKey::*;
+        match (self, other) {
+            (Stored(d1, l1), Stored(d2, l2)) => d1.cmp(d2).then_with(|| l1.cmp(l2)),
+            (Stored(..), Temp(_)) => std::cmp::Ordering::Less,
+            (Temp(_), Stored(..)) => std::cmp::Ordering::Greater,
+            (Temp(a), Temp(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl OrderKey {
+    /// Key for a stored node from its label.
+    pub fn stored(doc: usize, label: &Label) -> OrderKey {
+        OrderKey::Stored(doc, label.prefix().to_vec())
+    }
+}
+
+/// A child slot of a constructed node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TempChild {
+    /// A constructed child.
+    Temp(TempId),
+    /// A **virtual** pointer to a stored subtree (no copy performed).
+    StoredRef {
+        /// Owning document index.
+        doc: usize,
+        /// The stored subtree's root.
+        node: NodeRef,
+    },
+}
+
+/// A constructed node.
+#[derive(Clone, Debug)]
+pub struct TempNode {
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Name for named kinds.
+    pub name: Option<SchemaName>,
+    /// String value (text/attribute/comment/PI content).
+    pub value: String,
+    /// Children in order (attributes first, as in storage).
+    pub children: Vec<TempChild>,
+    /// Parent link, set when this node was built *embedded* into another
+    /// constructor (§5.2.1's embedded element constructors).
+    pub parent: Option<TempId>,
+}
+
+/// Arena of constructed nodes, owned by one query execution.
+#[derive(Default, Debug)]
+pub struct TempArena {
+    nodes: Vec<TempNode>,
+    /// Copy accounting for experiment E9.
+    pub nodes_copied: u64,
+}
+
+impl TempArena {
+    /// Creates an empty arena.
+    pub fn new() -> TempArena {
+        TempArena::default()
+    }
+
+    /// Number of constructed nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been constructed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn push(&mut self, node: TempNode) -> TempId {
+        let id = TempId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Immutable access.
+    pub fn get(&self, id: TempId) -> &TempNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, id: TempId) -> &mut TempNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Creates an element node.
+    pub fn element(&mut self, name: SchemaName) -> TempId {
+        self.push(TempNode {
+            kind: NodeKind::Element,
+            name: Some(name),
+            value: String::new(),
+            children: Vec::new(),
+            parent: None,
+        })
+    }
+
+    /// Creates a text node.
+    pub fn text(&mut self, value: impl Into<String>) -> TempId {
+        self.push(TempNode {
+            kind: NodeKind::Text,
+            name: None,
+            value: value.into(),
+            children: Vec::new(),
+            parent: None,
+        })
+    }
+
+    /// Creates an attribute node.
+    pub fn attribute(&mut self, name: SchemaName, value: impl Into<String>) -> TempId {
+        self.push(TempNode {
+            kind: NodeKind::Attribute,
+            name: Some(name),
+            value: value.into(),
+            children: Vec::new(),
+            parent: None,
+        })
+    }
+
+    /// Appends `child` under `parent`, maintaining the parent link.
+    pub fn add_child(&mut self, parent: TempId, child: TempChild) {
+        if let TempChild::Temp(c) = child {
+            self.get_mut(c).parent = Some(parent);
+        }
+        self.get_mut(parent).children.push(child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_conversions() {
+        assert_eq!(Atom::Number(3.0).to_string_value(), "3");
+        assert_eq!(Atom::Number(3.5).to_string_value(), "3.5");
+        assert_eq!(Atom::String("  42 ".into()).to_number(), 42.0);
+        assert!(Atom::String("nope".into()).to_number().is_nan());
+        assert_eq!(Atom::Boolean(true).to_number(), 1.0);
+        assert_eq!(Atom::Boolean(false).to_string_value(), "false");
+    }
+
+    #[test]
+    fn order_keys_sort_stored_before_temp() {
+        let a = OrderKey::Stored(0, vec![1, 2]);
+        let b = OrderKey::Stored(0, vec![1, 3]);
+        let c = OrderKey::Stored(1, vec![0]);
+        let t = OrderKey::Temp(0);
+        let t2 = OrderKey::Temp(5);
+        let mut v = vec![t2.clone(), c.clone(), t.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c, t, t2]);
+    }
+
+    #[test]
+    fn arena_builds_trees_with_parent_links() {
+        let mut arena = TempArena::new();
+        let root = arena.element(SchemaName::local("r"));
+        let kid = arena.text("hello");
+        arena.add_child(root, TempChild::Temp(kid));
+        assert_eq!(arena.get(kid).parent, Some(root));
+        assert_eq!(arena.get(root).children.len(), 1);
+        assert_eq!(arena.len(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Parser robustness: arbitrary input must never panic the pipeline —
+//! it either compiles or reports a structured error. Mutated valid
+//! queries exercise the error paths deeper than pure noise.
+
+use proptest::prelude::*;
+use sedna_xquery::{compile, parser, QueryError};
+
+const SEEDS: [&str; 12] = [
+    "doc('lib')/library/book[price > 10]/title",
+    "for $b at $i in doc('l')//book where $i > 1 order by $b/t return <r>{$b}</r>",
+    "declare variable $x := 3; declare function local:f($a) { $a + $x }; local:f(4)",
+    "some $x in (1,2,3) satisfies $x mod 2 = 0",
+    "if (count(//a) > 2) then 'big' else 'small'",
+    "UPDATE insert <a b=\"{1+1}\">t</a> into doc('d')//target",
+    "UPDATE delete doc('d')//old[position() = last()]",
+    "UPDATE replace value of doc('d')//x with concat('a', 'b')",
+    "CREATE INDEX 'i' ON doc('d')/a/b BY c/text() AS xs:string",
+    "(1, 2, 3)[. > 1] union //x intersect //y",
+    "text { normalize-space('  a  b ') }",
+    "//a/../following-sibling::b[2]/@id",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure noise never panics.
+    #[test]
+    fn prop_random_input_never_panics(input in "\\PC{0,80}") {
+        let _ = compile(&input);
+    }
+
+    /// Byte-mutated valid queries never panic and keep errors structured.
+    #[test]
+    fn prop_mutated_queries_never_panic(
+        seed in 0usize..SEEDS.len(),
+        cut in any::<usize>(),
+        insert_at in any::<usize>(),
+        junk in "[\\x20-\\x7e]{0,6}",
+    ) {
+        let base = SEEDS[seed];
+        // Truncate at a char boundary.
+        let mut cut_pos = cut % (base.len() + 1);
+        while !base.is_char_boundary(cut_pos) {
+            cut_pos -= 1;
+        }
+        let mut mutated = base[..cut_pos].to_string();
+        let mut ins = insert_at % (mutated.len() + 1);
+        while !mutated.is_char_boundary(ins) {
+            ins -= 1;
+        }
+        mutated.insert_str(ins, &junk);
+        match compile(&mutated) {
+            Ok(_) => {}
+            Err(QueryError::Parse { .. } | QueryError::Static(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+
+    /// Valid seeds always compile.
+    #[test]
+    fn prop_seeds_compile(seed in 0usize..SEEDS.len()) {
+        compile(SEEDS[seed]).unwrap();
+    }
+
+    /// The parser's positions are within bounds.
+    #[test]
+    fn prop_error_positions_in_bounds(input in "[a-z(){}\\[\\]<>/@$'\" .:=+*-]{0,60}") {
+        if let Err(QueryError::Parse { pos, .. }) = parser::parse_statement(&input) {
+            prop_assert!(pos <= input.len());
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_input_errors_gracefully() {
+    // Reasonable nesting parses; pathological nesting is rejected with a
+    // structured error instead of exhausting the stack.
+    let ok = format!("{}1{}", "(".repeat(30), ")".repeat(30));
+    compile(&ok).unwrap();
+    let too_deep = format!("{}1{}", "(".repeat(500), ")".repeat(500));
+    assert!(matches!(
+        compile(&too_deep),
+        Err(QueryError::Parse { msg, .. }) if msg.contains("too deep")
+    ));
+    let unbalanced = "(".repeat(5000);
+    assert!(compile(&unbalanced).is_err());
+    let ctors_ok = format!("{}x{}", "<a>".repeat(30), "</a>".repeat(30));
+    compile(&ctors_ok).unwrap();
+    let ctors_deep = format!("{}x{}", "<a>".repeat(500), "</a>".repeat(500));
+    assert!(compile(&ctors_deep).is_err());
+}

@@ -1,0 +1,67 @@
+//! An XMark-flavored auction site: mixed-structure data, analytical
+//! queries, and the schema-driven storage paying off on typed scans.
+//!
+//! ```sh
+//! cargo run --release --example auction_site
+//! ```
+
+use sedna::{Database, DbConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("sedna-auction-site");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::create(&dir, DbConfig::default())?;
+    let mut s = db.session();
+
+    let xml = sedna_workload::auction(1000, 99);
+    s.execute("CREATE DOCUMENT 'site'")?;
+    let nodes = s.load_xml("site", &xml)?;
+    println!("auction site: {nodes} nodes, {} bytes of XML", xml.len());
+
+    // Q1: typed sub-element retrieval — the schema-clustered strength.
+    let t = Instant::now();
+    let names = s.query("count(doc('site')//item/name)")?;
+    println!("item names: {names}  ({:?})", t.elapsed());
+
+    // Q2: selective predicate over one region.
+    let t = Instant::now();
+    let eu = s.query("count(doc('site')/site/regions/europe/item[quantity > 5])")?;
+    println!("bulk European items: {eu}  ({:?})", t.elapsed());
+
+    // Q3: join-like lookup — auctions referencing an item id.
+    let t = Instant::now();
+    let q = "for $a in doc('site')//open_auction \
+             where count($a/bidder) >= 3 \
+             order by number($a/current) descending \
+             return <hot auction=\"{string($a/@id)}\" bids=\"{count($a/bidder)}\" current=\"{string($a/current)}\"/>";
+    let hot = s.query(q)?;
+    println!(
+        "hot auctions: {} entries  ({:?})",
+        hot.matches("<hot").count(),
+        t.elapsed()
+    );
+
+    // Q4: aggregate over numeric content.
+    let t = Instant::now();
+    let avg = s.query("round(avg(doc('site')//open_auction/current))")?;
+    println!("average current bid: {avg}  ({:?})", t.elapsed());
+
+    // Q5: people by country (grouping via distinct-values).
+    let q = "for $c in distinct-values(doc('site')//person/country) \
+             order by $c \
+             return concat($c, ':', count(doc('site')//person[country = $c]))";
+    let t = Instant::now();
+    println!("people per country: {}  ({:?})", s.query(q)?, t.elapsed());
+
+    // An auction closes: remove it and its bids in one transaction.
+    s.begin_update()?;
+    let before = s.query("count(doc('site')//open_auction)")?;
+    s.execute("UPDATE delete doc('site')//open_auction[1]")?;
+    s.commit()?;
+    let after = s.query("count(doc('site')//open_auction)")?;
+    println!("open auctions: {before} -> {after}");
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

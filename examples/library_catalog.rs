@@ -1,0 +1,76 @@
+//! A library catalog application: a larger generated library, value
+//! indexes, reporting queries, and an update mix with index maintenance.
+//!
+//! ```sh
+//! cargo run --release --example library_catalog
+//! ```
+
+use sedna::{Database, DbConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("sedna-library-catalog");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::create(&dir, DbConfig::default())?;
+    let mut s = db.session();
+
+    // Load a 2 000-book generated library (~16k nodes).
+    let xml = sedna_workload::library(2000, 42);
+    s.execute("CREATE DOCUMENT 'lib'")?;
+    let t = Instant::now();
+    let nodes = s.load_xml("lib", &xml)?;
+    println!("loaded {nodes} nodes in {:?}", t.elapsed());
+
+    // A value index over book prices (CREATE INDEX DDL).
+    s.execute("CREATE INDEX 'byprice' ON doc('lib')/library/book BY price AS xs:double")?;
+    println!("indexes: {:?}", db.index_names());
+
+    // Reporting queries.
+    let t = Instant::now();
+    let n = s.query("count(doc('lib')//book[issue/year > 1999])")?;
+    println!("books published after 1999: {n}  ({:?})", t.elapsed());
+
+    let t = Instant::now();
+    let expensive = s.query("count(index-scan-between('byprice', 100, 200))")?;
+    println!("books priced 100..200 via index: {expensive}  ({:?})", t.elapsed());
+
+    let t = Instant::now();
+    let same_scan = s.query("count(doc('lib')/library/book[number(price) >= 100])")?;
+    println!("same via path scan:             {same_scan}  ({:?})", t.elapsed());
+
+    // Top publishers by volume, with FLWOR + order by.
+    let q = "for $p in distinct-values(doc('lib')//publisher) \
+             order by $p \
+             return <publisher name=\"{$p}\" books=\"{count(doc('lib')//book[issue/publisher = $p])}\"/>";
+    let t = Instant::now();
+    let report = s.query(q)?;
+    println!(
+        "publisher report ({} entries) in {:?}",
+        report.matches("<publisher").count(),
+        t.elapsed()
+    );
+
+    // An update mix: insert authors at random books, index stays in sync.
+    let updates = sedna_workload::author_insert_statements(50, 2000, 7);
+    let t = Instant::now();
+    for u in &updates {
+        s.execute(u)?;
+    }
+    println!("applied {} updates in {:?}", updates.len(), t.elapsed());
+    println!(
+        "new author count: {}",
+        s.query("count(doc('lib')//author[starts-with(string(.), 'New Author')])")?
+    );
+
+    // Checkpoint, then show buffer statistics.
+    drop(s);
+    db.checkpoint()?;
+    let stats = db.buffer_stats();
+    println!(
+        "buffer pool: {} hits, {} misses, {} evictions, {} writebacks",
+        stats.hits, stats.misses, stats.evictions, stats.writebacks
+    );
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: create a database, load a document, query it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sedna::{Database, DbConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("sedna-quickstart");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. Create a database (data file + write-ahead log on disk).
+    let db = Database::create(&dir, DbConfig::default())?;
+    let mut session = db.session();
+
+    // 2. DDL + bulk load: the paper's Figure 2 document.
+    session.execute("CREATE DOCUMENT 'library'")?;
+    session.load_xml(
+        "library",
+        r#"<library>
+            <book><title>Foundations of Databases</title>
+                  <author>Abiteboul</author><author>Hull</author><author>Vianu</author></book>
+            <book><title>An Introduction to Database Systems</title><author>Date</author>
+                  <issue><publisher>Addison-Wesley</publisher><year>2004</year></issue></book>
+            <paper><title>A Relational Model for Large Shared Data Banks</title>
+                   <author>Codd</author></paper>
+           </library>"#,
+    )?;
+
+    // 3. XQuery.
+    println!("All titles:");
+    println!("  {}", session.query("doc('library')//title/text()")?);
+
+    println!("Books with more than one author:");
+    let q = "for $b in doc('library')/library/book \
+             where count($b/author) > 1 \
+             return $b/title/text()";
+    println!("  {}", session.query(q)?);
+
+    println!("Constructed summary:");
+    let q = "<summary books=\"{count(doc('library')//book)}\" \
+                      authors=\"{count(doc('library')//author)}\"/>";
+    println!("  {}", session.query(q)?);
+
+    // 4. An update, visible immediately.
+    session.execute(
+        "UPDATE insert <author>Second Author</author> into doc('library')/library/paper",
+    )?;
+    println!("Paper authors after update:");
+    println!(
+        "  {}",
+        session.query("string-join(doc('library')//paper/author/text(), ', ')")?
+    );
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Workspace root of the Sedna reproduction.
+//!
+//! This meta-crate exists to host the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`) at the repository
+//! root. The actual system lives in the `crates/` workspace members; the
+//! public entry point is the [`sedna`] crate.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and per-experiment index, and `EXPERIMENTS.md` for
+//! the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use sedna;

@@ -1,0 +1,186 @@
+//! Cross-crate end-to-end tests over the generated workloads, including
+//! property-based checks that the optimizer rewrites never change query
+//! results and that storage round-trips arbitrary documents.
+
+use proptest::prelude::*;
+use sedna::{Database, DbConfig};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedna-e2e-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn workload_documents_load_and_query() {
+    let dir = tmpdir("workloads");
+    let db = Database::create(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+
+    s.execute("CREATE DOCUMENT 'lib'").unwrap();
+    s.load_xml("lib", &sedna_workload::library(300, 1)).unwrap();
+    assert_eq!(s.query("count(doc('lib')/library/book)").unwrap(), "300");
+
+    s.execute("CREATE DOCUMENT 'site'").unwrap();
+    s.load_xml("site", &sedna_workload::auction(200, 2)).unwrap();
+    assert_eq!(s.query("count(doc('site')//item)").unwrap(), "200");
+    assert_eq!(s.query("count(doc('site')//person)").unwrap(), "100");
+
+    s.execute("CREATE DOCUMENT 'deep'").unwrap();
+    s.load_xml("deep", &sedna_workload::deep(40, 3, 3)).unwrap();
+    assert_eq!(s.query("count(doc('deep')//para)").unwrap(), "121");
+    assert_eq!(
+        s.query("string(doc('deep')//sec[@level = 39]/para[1])").unwrap(),
+        // `(//sec)[40]` selects the 40th section globally — unlike
+        // `//sec[40]`, which filters per parent and selects nothing here.
+        s.query("string((doc('deep')//sec)[40]/para[1])").unwrap(),
+    );
+    drop(s);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn update_mix_then_integrity() {
+    let dir = tmpdir("update-mix");
+    let db = Database::create(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+    s.execute("CREATE DOCUMENT 'lib'").unwrap();
+    s.load_xml("lib", &sedna_workload::library(100, 4)).unwrap();
+    let before: usize = s.query("count(doc('lib')//author)").unwrap().parse().unwrap();
+    for stmt in sedna_workload::author_insert_statements(60, 100, 5) {
+        s.execute(&stmt).unwrap();
+    }
+    let after: usize = s.query("count(doc('lib')//author)").unwrap().parse().unwrap();
+    assert_eq!(after, before + 60);
+    // Structural integrity: every author has a book or paper parent.
+    assert_eq!(
+        s.query("count(doc('lib')//author[not(parent::book) and not(parent::paper)])")
+            .unwrap(),
+        "0"
+    );
+    // Labels still give consistent document order: titles come in
+    // ascending volume numbers.
+    let first = s.query("string(doc('lib')/library/book[1]/title)").unwrap();
+    assert!(first.ends_with("vol. 0"));
+    drop(s);
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// Strategy generating small random XML documents.
+fn arb_xml() -> impl Strategy<Value = String> {
+    // A tree of up to depth 3 with random tags from a small alphabet.
+    let leaf = prop_oneof![
+        "[a-z]{1,8}".prop_map(|t| format!("<leaf>{t}</leaf>")),
+        Just("<empty/>".to_string()),
+        "[a-z]{1,6}".prop_map(|v| format!("<item k=\"{v}\">{v}</item>")),
+    ];
+    let node = leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            prop_oneof![Just("a"), Just("b"), Just("c")],
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, children)| {
+                if children.is_empty() {
+                    format!("<{tag}/>")
+                } else {
+                    format!("<{tag}>{}</{tag}>", children.join(""))
+                }
+            })
+    });
+    node.prop_map(|body| format!("<root>{body}</root>"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated document loads into storage and serializes back to
+    /// the same canonical form our DOM produces.
+    #[test]
+    fn prop_storage_round_trips_documents(xml in arb_xml()) {
+        use sedna_sas::{Sas, SasConfig, TxnToken, View};
+        use sedna_storage::build::load_xml;
+        use sedna_storage::ParentMode;
+        let sas = Sas::in_memory(SasConfig {
+            page_size: 1024,
+            layer_size: 1024 * 1024,
+            buffer_frames: 1024,
+        }).unwrap();
+        let vas = sas.session();
+        vas.begin(View::LATEST, Some(TxnToken(1)));
+        let mut schema = sedna_schema::SchemaTree::new();
+        let doc = load_xml(&vas, &mut schema, ParentMode::Indirect, &xml).unwrap();
+        // Serialize through the query engine.
+        let view = sedna_xquery::exec::Database {
+            vas: &vas,
+            docs: vec![sedna_xquery::exec::DocEntry {
+                name: "d".into(),
+                schema: &schema,
+                doc: &doc,
+            }],
+            indexes: vec![],
+        };
+        let stmt = sedna_xquery::compile("doc('d')/root").unwrap();
+        let mut ex = sedna_xquery::exec::Executor::new(&view, &stmt, sedna_xquery::exec::ConstructMode::Embedded);
+        let result = ex.run().unwrap();
+        let out = ex.serialize_sequence(&result).unwrap();
+        // Compare against the DOM serializer (canonical form).
+        let dom = sedna_xml::parse(&xml).unwrap();
+        let expected = sedna_xml::serialize::to_string(&dom);
+        prop_assert_eq!(out, expected);
+    }
+
+    /// The §5.1 rewrites never change results on random documents.
+    #[test]
+    fn prop_rewrites_preserve_semantics(xml in arb_xml(), qsel in 0usize..6) {
+        use sedna_sas::{Sas, SasConfig, TxnToken, View};
+        use sedna_storage::build::load_xml;
+        use sedna_storage::ParentMode;
+        let queries = [
+            "count(doc('d')//leaf)",
+            "doc('d')//item[@k]",
+            "count(doc('d')/root/a/b)",
+            "for $x in doc('d')//a where exists($x/b) return count($x/b)",
+            "doc('d')//b/..",
+            "count(doc('d')//a[1])",
+        ];
+        let q = queries[qsel];
+        let sas = Sas::in_memory(SasConfig {
+            page_size: 1024,
+            layer_size: 1024 * 1024,
+            buffer_frames: 1024,
+        }).unwrap();
+        let vas = sas.session();
+        vas.begin(View::LATEST, Some(TxnToken(1)));
+        let mut schema = sedna_schema::SchemaTree::new();
+        let doc = load_xml(&vas, &mut schema, ParentMode::Indirect, &xml).unwrap();
+        let view = sedna_xquery::exec::Database {
+            vas: &vas,
+            docs: vec![sedna_xquery::exec::DocEntry {
+                name: "d".into(),
+                schema: &schema,
+                doc: &doc,
+            }],
+            indexes: vec![],
+        };
+        let optimized = sedna_xquery::compile(q).unwrap();
+        let raw = {
+            let s = sedna_xquery::parser::parse_statement(q).unwrap();
+            let s = sedna_xquery::static_ctx::analyze(s).unwrap();
+            sedna_xquery::rewrite::rewrite_with(s, sedna_xquery::rewrite::RewriteOptions {
+                remove_ddo: false,
+                combine_descendant: false,
+                lazy_invariants: false,
+                structural_paths: false,
+                inline_functions: false,
+            }).0
+        };
+        let run = |stmt: &sedna_xquery::Statement| {
+            let mut ex = sedna_xquery::exec::Executor::new(
+                &view, stmt, sedna_xquery::exec::ConstructMode::Embedded,
+            );
+            let r = ex.run().unwrap();
+            ex.serialize_sequence(&r).unwrap()
+        };
+        prop_assert_eq!(run(&optimized), run(&raw), "query: {}", q);
+    }
+}

@@ -1,0 +1,111 @@
+//! Scale soak: a ~100k-node document through the full database stack —
+//! bulk load, analytical queries, an update mix, checkpoint, crash,
+//! recovery — verifying counts at every stage.
+
+use sedna::{Database, DbConfig};
+
+#[test]
+fn hundred_thousand_node_lifecycle() {
+    let dir = std::env::temp_dir().join(format!("sedna-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let items = 5000usize;
+    let xml = sedna_workload::auction(items, 2024);
+    let expected_people = items / 2;
+    let expected_auctions = items / 4;
+
+    {
+        let db = Database::create(&dir, DbConfig::default()).unwrap();
+        let mut s = db.session();
+        s.execute("CREATE DOCUMENT 'site'").unwrap();
+        let nodes = s.load_xml("site", &xml).unwrap();
+        assert!(nodes > 80_000, "expected a large document, got {nodes} nodes");
+
+        // Analytical queries over the full document.
+        assert_eq!(
+            s.query("count(doc('site')//item)").unwrap(),
+            items.to_string()
+        );
+        assert_eq!(
+            s.query("count(doc('site')//person)").unwrap(),
+            expected_people.to_string()
+        );
+        assert_eq!(
+            s.query("count(doc('site')//open_auction)").unwrap(),
+            expected_auctions.to_string()
+        );
+        // A selective predicate + join-ish lookup.
+        let busy: usize = s
+            .query("count(doc('site')//open_auction[count(bidder) >= 3])")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(busy > 0 && busy < expected_auctions);
+
+        // An index over item quantity, used and verified.
+        s.execute("CREATE INDEX 'byqty' ON doc('site')//item BY quantity AS xs:double")
+            .unwrap();
+        let q9: usize = s
+            .query("count(index-scan('byqty', 9))")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let q9_scan: usize = s
+            .query("count(doc('site')//item[number(quantity) = 9])")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(q9, q9_scan);
+
+        // Update mix: close the first 50 auctions.
+        for _ in 0..50 {
+            s.execute("UPDATE delete doc('site')//open_auction[1]").unwrap();
+        }
+        assert_eq!(
+            s.query("count(doc('site')//open_auction)").unwrap(),
+            (expected_auctions - 50).to_string()
+        );
+        drop(s);
+        db.checkpoint().unwrap();
+
+        // More committed work after the checkpoint, then crash.
+        let mut s = db.session();
+        for i in 0..10 {
+            s.execute(&format!(
+                "UPDATE insert <item id=\"late{i}\"><name>Late {i}</name><quantity>1</quantity></item> into doc('site')/site/regions/africa"
+            ))
+            .unwrap();
+        }
+        drop(s);
+        db.crash();
+    }
+
+    // Recovery brings everything back.
+    let db = Database::open(&dir, DbConfig::default()).unwrap();
+    let mut s = db.session();
+    assert_eq!(
+        s.query("count(doc('site')//open_auction)").unwrap(),
+        (expected_auctions - 50).to_string()
+    );
+    assert_eq!(
+        s.query("count(doc('site')//item)").unwrap(),
+        (items + 10).to_string()
+    );
+    assert_eq!(
+        s.query("string(doc('site')//item[@id = 'late7']/name)").unwrap(),
+        "Late 7"
+    );
+    // The index recovered and reflects the post-crash state.
+    let q1: usize = s
+        .query("count(index-scan('byqty', 1))")
+        .unwrap()
+        .parse()
+        .unwrap();
+    let q1_scan: usize = s
+        .query("count(doc('site')//item[number(quantity) = 1])")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(q1, q1_scan);
+    drop(s);
+    std::fs::remove_dir_all(dir).unwrap();
+}
