@@ -14,6 +14,7 @@ use sedna_wal::{plan_recovery, CheckpointData, PageOp, RedoOp, WalRecord, WalWri
 use crate::catalog::{self, Catalog};
 use crate::config::DbConfig;
 use crate::error::{DbError, DbResult};
+use crate::metrics::DbObs;
 use crate::session::Session;
 
 const DATA_FILE: &str = "data.sedna";
@@ -91,6 +92,7 @@ pub(crate) struct DbInner {
     pub(crate) wal: Mutex<WalWriter>,
     pub(crate) catalog: RwLock<Catalog>,
     pub(crate) gate: TxnGate,
+    pub(crate) obs: DbObs,
 }
 
 /// A Sedna database instance.
@@ -121,6 +123,10 @@ impl Database {
         )?;
         txns.versions.set_pool(Arc::clone(sas.pool()));
         let wal = WalWriter::create(&dir.join(WAL_FILE))?;
+        let obs = DbObs::new();
+        sas.pool().metrics().register_into(&obs.registry);
+        txns.metrics().register_into(&obs.registry);
+        wal.metrics().register_into(&obs.registry);
         let db = Database {
             inner: Arc::new(DbInner {
                 cfg,
@@ -131,6 +137,7 @@ impl Database {
                 wal: Mutex::new(wal),
                 catalog: RwLock::new(Catalog::default()),
                 gate: TxnGate::new(),
+                obs,
             }),
         };
         // Baseline checkpoint so recovery always has a starting snapshot.
@@ -219,6 +226,14 @@ impl Database {
         sas.allocator().restore(alloc_state);
 
         let wal = WalWriter::open(&wal_path)?;
+        let obs = DbObs::new();
+        sas.pool().metrics().register_into(&obs.registry);
+        txns.metrics().register_into(&obs.registry);
+        wal.metrics().register_into(&obs.registry);
+        // Recovered indexes report into this database's shared handles.
+        for idx in catalog.indexes.values_mut() {
+            idx.tree.set_metrics(obs.index.clone());
+        }
         let db = Database {
             inner: Arc::new(DbInner {
                 cfg,
@@ -229,6 +244,7 @@ impl Database {
                 wal: Mutex::new(wal),
                 catalog: RwLock::new(catalog),
                 gate: TxnGate::new(),
+                obs,
             }),
         };
         // Standard practice: checkpoint right after recovery, so the next
@@ -340,6 +356,14 @@ impl Database {
     /// Buffer-pool statistics.
     pub fn buffer_stats(&self) -> sedna_sas::BufferStats {
         self.inner.sas.pool().stats()
+    }
+
+    /// A point-in-time snapshot of every metric of this database
+    /// (buffer pool, WAL, transactions, indexes, query pipeline). Taken
+    /// through the registry's consistent-read path; see `docs/metrics.md`
+    /// for the metric catalogue.
+    pub fn metrics_snapshot(&self) -> sedna_obs::MetricsSnapshot {
+        self.inner.obs.registry.snapshot()
     }
 
     /// Version-manager statistics.

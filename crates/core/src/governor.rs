@@ -8,6 +8,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use sedna_obs::MetricsSnapshot;
 
 use crate::config::DbConfig;
 use crate::database::Database;
@@ -71,6 +72,26 @@ impl Governor {
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| DbError::NotFound(format!("database '{name}'")))
+    }
+
+    /// Aggregated metrics across every registered database: each
+    /// database's registry snapshot is taken through its consistent-read
+    /// path, then counters are summed and histograms merged
+    /// bucket-by-bucket. Render with
+    /// [`MetricsSnapshot::render_prometheus`] or read typed values via
+    /// [`MetricsSnapshot::counter`] / [`MetricsSnapshot::histogram`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let dbs: Vec<Database> = self.databases.read().values().cloned().collect();
+        let mut merged = MetricsSnapshot::default();
+        for db in &dbs {
+            merged.merge_from(&db.metrics_snapshot());
+        }
+        merged
+    }
+
+    /// Prometheus text-format rendering of [`Governor::metrics_snapshot`].
+    pub fn render_prometheus(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
     }
 
     /// Names of the registered databases.

@@ -33,6 +33,7 @@ mod config;
 mod database;
 mod error;
 mod governor;
+mod metrics;
 mod session;
 
 pub use catalog::{Catalog, DocData, IndexData, IndexMeta};
@@ -40,8 +41,10 @@ pub use config::DbConfig;
 pub use database::Database;
 pub use error::{DbError, DbResult};
 pub use governor::Governor;
+pub use metrics::QueryProfile;
 pub use session::{ExecOutcome, Session};
 
 // Re-export the pieces users need to work with results and modes.
+pub use sedna_obs::{HistogramSnapshot, MetricsSnapshot};
 pub use sedna_storage::ParentMode;
-pub use sedna_xquery::exec::ConstructMode;
+pub use sedna_xquery::exec::{ConstructMode, ExecStats};

@@ -1,0 +1,166 @@
+//! Per-database observability: the metric registry every subsystem
+//! reports into, the query-pipeline metrics, and the per-statement
+//! [`QueryProfile`] surfaced through [`Session::last_profile`].
+//!
+//! [`Session::last_profile`]: crate::Session::last_profile
+
+use sedna_index::IndexMetrics;
+use sedna_obs::{Counter, Histogram, Registry};
+use sedna_xquery::exec::ExecStats;
+
+/// Query-pipeline metric handles (`sedna_query_*` / `sedna_exec_*`):
+/// statement counts, per-phase latency histograms for the paper's
+/// parse → analyse/rewrite → execute pipeline, and the executor's
+/// counters accumulated database-wide. Cloning shares the handles.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct QueryMetrics {
+    pub(crate) statements: Counter,
+    pub(crate) parse_ns: Histogram,
+    pub(crate) rewrite_ns: Histogram,
+    pub(crate) execute_ns: Histogram,
+    pub(crate) nodes_scanned: Counter,
+    pub(crate) ddo_sorts: Counter,
+    pub(crate) ddo_items: Counter,
+    pub(crate) ctor_copies: Counter,
+    pub(crate) index_lookups: Counter,
+    pub(crate) cache_hits: Counter,
+}
+
+impl QueryMetrics {
+    pub(crate) fn register_into(&self, reg: &Registry) {
+        reg.register_counter(
+            "sedna_query_statements_total",
+            "Statements executed successfully",
+            &self.statements,
+        );
+        reg.register_histogram(
+            "sedna_query_parse_ns",
+            "Statement parse-phase latency (ns)",
+            &self.parse_ns,
+        );
+        reg.register_histogram(
+            "sedna_query_rewrite_ns",
+            "Static-analysis + rewrite phase latency (ns)",
+            &self.rewrite_ns,
+        );
+        reg.register_histogram(
+            "sedna_query_execute_ns",
+            "Execute-phase latency (ns)",
+            &self.execute_ns,
+        );
+        reg.register_counter(
+            "sedna_exec_nodes_scanned_total",
+            "Nodes produced by axis evaluation",
+            &self.nodes_scanned,
+        );
+        reg.register_counter(
+            "sedna_exec_ddo_sorts_total",
+            "DDO materialization points executed",
+            &self.ddo_sorts,
+        );
+        reg.register_counter(
+            "sedna_exec_ddo_items_total",
+            "Items passing through DDO sorts",
+            &self.ddo_items,
+        );
+        reg.register_counter(
+            "sedna_exec_ctor_copies_total",
+            "Nodes deep-copied by constructors",
+            &self.ctor_copies,
+        );
+        reg.register_counter(
+            "sedna_exec_index_lookups_total",
+            "Executor index lookups",
+            &self.index_lookups,
+        );
+        reg.register_counter(
+            "sedna_exec_cache_hits_total",
+            "Lazy-evaluation cache hits",
+            &self.cache_hits,
+        );
+    }
+
+    /// Folds one statement's executor counters into the database-wide
+    /// totals.
+    pub(crate) fn record_exec_stats(&self, s: &ExecStats) {
+        self.nodes_scanned.add(s.nodes_scanned);
+        self.ddo_sorts.add(s.ddo_sorts);
+        self.ddo_items.add(s.ddo_items);
+        self.ctor_copies.add(s.ctor_copies);
+        self.index_lookups.add(s.index_lookups);
+        self.cache_hits.add(s.cache_hits);
+    }
+}
+
+/// A database's observability hub: the registry each subsystem's metric
+/// handles are registered into, plus the handle sets owned at this layer
+/// (query pipeline, shared index counters).
+pub(crate) struct DbObs {
+    pub(crate) registry: Registry,
+    pub(crate) query: QueryMetrics,
+    pub(crate) index: IndexMetrics,
+}
+
+impl DbObs {
+    pub(crate) fn new() -> DbObs {
+        let registry = Registry::new();
+        let query = QueryMetrics::default();
+        query.register_into(&registry);
+        let index = IndexMetrics::default();
+        index.register_into(&registry);
+        DbObs {
+            registry,
+            query,
+            index,
+        }
+    }
+}
+
+/// An EXPLAIN-ANALYZE-style profile of the last successfully executed
+/// statement: wall-clock nanoseconds per pipeline phase (the paper's
+/// parser → static analyser + rewriter → executor sequence) plus the
+/// executor's counters for that statement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Parse-phase nanoseconds.
+    pub parse_ns: u64,
+    /// Static-analysis + rewrite nanoseconds.
+    pub rewrite_ns: u64,
+    /// Execute-phase nanoseconds (for updates: plan + apply; excludes
+    /// commit).
+    pub execute_ns: u64,
+    /// The statement's executor counters (for updates, those of the
+    /// planning executor).
+    pub stats: ExecStats,
+}
+
+impl QueryProfile {
+    /// Total pipeline nanoseconds (parse + rewrite + execute).
+    pub fn total_ns(&self) -> u64 {
+        self.parse_ns + self.rewrite_ns + self.execute_ns
+    }
+
+    /// A human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "phase    parse    {:>12} ns\n\
+             phase    rewrite  {:>12} ns\n\
+             phase    execute  {:>12} ns\n\
+             counter  nodes_scanned {:>8}\n\
+             counter  ddo_sorts     {:>8}\n\
+             counter  ddo_items     {:>8}\n\
+             counter  ctor_copies   {:>8}\n\
+             counter  index_lookups {:>8}\n\
+             counter  cache_hits    {:>8}",
+            self.parse_ns,
+            self.rewrite_ns,
+            self.execute_ns,
+            self.stats.nodes_scanned,
+            self.stats.ddo_sorts,
+            self.stats.ddo_items,
+            self.stats.ctor_copies,
+            self.stats.index_lookups,
+            self.stats.cache_hits,
+        )
+    }
+}

@@ -29,11 +29,12 @@ use sedna_txn::{LockMode, TxnHandle};
 use sedna_wal::WalRecord;
 use sedna_xquery::ast::{DdlStmt, Expr, PathStart, Statement, StatementKind};
 use sedna_xquery::exec::{Database as QueryView, DocEntry, ExecStats, Executor, IndexEntry};
-use sedna_xquery::{compile, update};
+use sedna_xquery::update;
 
 use crate::catalog::{self, Catalog, DocData, IndexData, IndexMeta};
 use crate::database::DbInner;
 use crate::error::{DbError, DbResult};
+use crate::metrics::QueryProfile;
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,8 +83,16 @@ pub struct Session {
     db: Arc<DbInner>,
     vas: Vas,
     txn: Option<TxnState>,
-    /// Execution statistics of the last query.
+    /// Executor counters of the **last** statement. Reset (overwritten)
+    /// by every statement this session executes: queries report their
+    /// executor's counters, updates the planning executor's, DDL resets
+    /// to zero. Use [`Session::session_stats`] for totals accumulated
+    /// across statements.
     pub last_stats: ExecStats,
+    /// Counters accumulated across every statement of this session.
+    session_stats: ExecStats,
+    /// Profile of the last successfully executed statement.
+    last_profile: Option<QueryProfile>,
 }
 
 impl Session {
@@ -94,7 +103,29 @@ impl Session {
             vas,
             txn: None,
             last_stats: ExecStats::default(),
+            session_stats: ExecStats::default(),
+            last_profile: None,
         }
+    }
+
+    /// The per-phase timing and executor-counter profile of the last
+    /// successfully executed statement (EXPLAIN-ANALYZE style); `None`
+    /// until a statement succeeds. Overwritten by each success; left
+    /// untouched by failures.
+    pub fn last_profile(&self) -> Option<&QueryProfile> {
+        self.last_profile.as_ref()
+    }
+
+    /// Executor counters accumulated across every statement this session
+    /// has executed (never reset implicitly; see
+    /// [`Session::reset_session_stats`]).
+    pub fn session_stats(&self) -> ExecStats {
+        self.session_stats
+    }
+
+    /// Zeroes the accumulated [`Session::session_stats`] totals.
+    pub fn reset_session_stats(&mut self) {
+        self.session_stats = ExecStats::default();
     }
 
     // ==============================================================
@@ -226,6 +257,10 @@ impl Session {
         }
         // 5. Strict 2PL: release everything only now.
         self.db.txns.locks.release_all(txn_id);
+        // This path commits through the version manager directly (the
+        // WAL interleaving above), bypassing `TxnManager::commit` — so
+        // the commit is counted here.
+        self.db.txns.metrics().commits.inc();
         Ok(())
     }
 
@@ -296,7 +331,17 @@ impl Session {
     /// transaction, the statement runs in its own auto-committed
     /// transaction (read-only for queries, updating otherwise).
     pub fn execute(&mut self, text: &str) -> DbResult<ExecOutcome> {
-        let stmt = compile(text)?;
+        // The paper's pipeline, timed per phase: parser → static
+        // analyser + rewriter → executor. Handles are clones sharing the
+        // database-wide histograms, so the spans record even on error.
+        let q = self.db.obs.query.clone();
+        let parse_span = q.parse_ns.span();
+        let stmt = sedna_xquery::parser::parse_statement(text)?;
+        let parse_ns = parse_span.finish();
+        let rewrite_span = q.rewrite_ns.span();
+        let stmt = sedna_xquery::static_ctx::analyze(stmt)?;
+        let stmt = sedna_xquery::rewrite::rewrite_statement(stmt);
+        let rewrite_ns = rewrite_span.finish();
         let needs_update = !matches!(stmt.kind, StatementKind::Query(_));
         let implicit = self.txn.is_none();
         if implicit {
@@ -310,7 +355,9 @@ impl Session {
                 "updates are not allowed in a read-only transaction".into(),
             ));
         }
+        let execute_span = q.execute_ns.span();
         let result = self.execute_in_txn(&stmt);
+        let execute_ns = execute_span.finish();
         if implicit {
             match &result {
                 Ok(_) => self.commit()?,
@@ -318,6 +365,17 @@ impl Session {
                     let _ = self.rollback();
                 }
             }
+        }
+        if result.is_ok() {
+            q.statements.inc();
+            q.record_exec_stats(&self.last_stats);
+            self.session_stats.merge(&self.last_stats);
+            self.last_profile = Some(QueryProfile {
+                parse_ns,
+                rewrite_ns,
+                execute_ns,
+                stats: self.last_stats,
+            });
         }
         result
     }
@@ -339,6 +397,7 @@ impl Session {
             }
             StatementKind::Ddl(ddl) => {
                 self.run_ddl(ddl.clone())?;
+                self.last_stats = ExecStats::default();
                 Ok(ExecOutcome::Done)
             }
         }
@@ -477,7 +536,8 @@ impl Session {
                     .collect(),
                 indexes: Vec::new(),
             };
-            let (doc_idx, plan) = update::plan_update(stmt, &view)?;
+            let (doc_idx, plan, plan_stats) = update::plan_update_with_stats(stmt, &view)?;
+            self.last_stats = plan_stats;
             let plan_doc = docs[doc_idx].0.clone();
             (docs.into_iter().map(|(n, _)| n).collect::<Vec<_>>(), plan_doc, plan)
         };
@@ -759,6 +819,7 @@ impl Session {
                 };
                 // Full build over the ON schema nodes' block lists.
                 let mut tree = sedna_index::BTreeIndex::create(&self.vas)?;
+                tree.set_metrics(self.db.obs.index.clone());
                 {
                     let catalog = self.db.catalog.read();
                     let d = catalog.doc(&doc)?;

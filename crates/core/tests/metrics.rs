@@ -1,0 +1,128 @@
+//! Observability integration tests: per-database snapshots, governor
+//! aggregation across databases, Prometheus rendering, and per-statement
+//! profiles.
+
+use sedna::{DbConfig, Governor};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedna-obs-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const DOC: &str = "<inventory><item><sku>a1</sku></item><item><sku>b2</sku></item></inventory>";
+
+#[test]
+fn governor_snapshot_aggregates_two_databases() {
+    let gov = Governor::new();
+    let d1 = tmpdir("agg1");
+    let d2 = tmpdir("agg2");
+    gov.create_database("one", &d1, DbConfig::default()).unwrap();
+    gov.create_database("two", &d2, DbConfig::default()).unwrap();
+
+    let per_db = |gov: &Governor, name: &str| {
+        let mut s = gov.connect(name).unwrap();
+        s.execute("CREATE DOCUMENT 'inv'").unwrap();
+        s.load_xml("inv", DOC).unwrap();
+        s.query("doc('inv')//sku/text()").unwrap();
+    };
+    per_db(&gov, "one");
+    per_db(&gov, "two");
+
+    let one = gov.database("one").unwrap().metrics_snapshot();
+    let two = gov.database("two").unwrap().metrics_snapshot();
+    let merged = gov.metrics_snapshot();
+
+    // Counters sum exactly across databases.
+    for key in [
+        "sedna_query_statements_total",
+        "sedna_txn_commits_total",
+        "sedna_wal_appends_total",
+        "sedna_buffer_misses_total",
+        "sedna_exec_nodes_scanned_total",
+    ] {
+        assert_eq!(
+            merged.counter(key),
+            one.counter(key) + two.counter(key),
+            "{key} must aggregate"
+        );
+        assert!(one.counter(key) > 0, "{key} must be live in db one");
+    }
+    // Each database ran two statements (the load goes through load_xml,
+    // not execute).
+    assert_eq!(merged.counter("sedna_query_statements_total"), 4);
+
+    // Histograms merge bucket-by-bucket.
+    let h1 = one.histogram("sedna_wal_fsync_ns").unwrap();
+    let h2 = two.histogram("sedna_wal_fsync_ns").unwrap();
+    let hm = merged.histogram("sedna_wal_fsync_ns").unwrap();
+    assert_eq!(hm.count, h1.count + h2.count);
+    assert_eq!(hm.sum, h1.sum + h2.sum);
+    assert!(hm.count > 0, "commits must have fsynced");
+    assert!(hm.p99() >= hm.p50());
+
+    std::fs::remove_dir_all(&d1).unwrap();
+    std::fs::remove_dir_all(&d2).unwrap();
+}
+
+#[test]
+fn prometheus_rendering_is_well_formed() {
+    let gov = Governor::new();
+    let dir = tmpdir("prom");
+    gov.create_database("db", &dir, DbConfig::default()).unwrap();
+    let mut s = gov.connect("db").unwrap();
+    s.execute("CREATE DOCUMENT 'inv'").unwrap();
+    s.load_xml("inv", DOC).unwrap();
+    s.query("doc('inv')//sku").unwrap();
+
+    let text = gov.render_prometheus();
+    for needle in [
+        "# HELP sedna_buffer_hits_total",
+        "# TYPE sedna_buffer_hits_total counter",
+        "# TYPE sedna_wal_fsync_ns histogram",
+        "sedna_wal_fsync_ns_bucket{le=\"+Inf\"}",
+        "sedna_wal_fsync_ns_sum",
+        "sedna_wal_fsync_ns_count",
+        "sedna_query_statements_total 2",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn last_profile_reports_phases_and_counters() {
+    let gov = Governor::new();
+    let dir = tmpdir("profile");
+    let db = gov.create_database("db", &dir, DbConfig::default()).unwrap();
+    let mut s = db.session();
+    assert!(s.last_profile().is_none(), "no profile before any statement");
+    s.execute("CREATE DOCUMENT 'inv'").unwrap();
+    s.load_xml("inv", DOC).unwrap();
+    s.query("doc('inv')//sku/text()").unwrap();
+
+    let p = *s.last_profile().expect("profile after a query");
+    assert!(p.parse_ns > 0 && p.execute_ns > 0);
+    assert!(p.total_ns() >= p.parse_ns + p.execute_ns);
+    assert!(p.stats.nodes_scanned > 0, "the query scanned nodes");
+    assert_eq!(p.stats, s.last_stats);
+    let rendered = p.render();
+    assert!(rendered.contains("parse") && rendered.contains("nodes_scanned"));
+
+    // Counters accumulate across statements; last_stats resets.
+    let before = s.session_stats();
+    s.query("doc('inv')//item").unwrap();
+    let after = s.session_stats();
+    assert!(after.nodes_scanned > before.nodes_scanned);
+    // A failing statement leaves the last successful profile in place.
+    assert!(s.execute("doc('missing')//x").is_err());
+    assert!(s.last_profile().is_some());
+
+    // An update's profile reports the planning executor's counters.
+    s.execute("UPDATE delete doc('inv')//item[sku='b2']").unwrap();
+    let p = *s.last_profile().unwrap();
+    assert!(p.stats.nodes_scanned > 0, "update planning scans nodes");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

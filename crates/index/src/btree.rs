@@ -19,9 +19,44 @@
 //! the structure simple and is the behaviour of several production
 //! B-trees' lazy modes.
 
+use sedna_obs::{Counter, Registry};
 use sedna_sas::{SasError, Vas, XPtr};
 
 use crate::key::IndexKey;
+
+/// Live metric handles shared by every index of a database
+/// (`sedna_index_*`). Cloning shares the underlying counters, so the
+/// catalog can attach one set of handles to every [`BTreeIndex`] it
+/// holds.
+#[derive(Clone, Debug, Default)]
+pub struct IndexMetrics {
+    /// Point lookups (`lookup`).
+    pub lookups: Counter,
+    /// Range scans (`range`).
+    pub range_scans: Counter,
+    /// Entries inserted.
+    pub inserts: Counter,
+    /// Entries removed.
+    pub removes: Counter,
+    /// Page splits (including root growth).
+    pub splits: Counter,
+}
+
+impl IndexMetrics {
+    /// Registers every counter under its canonical `sedna_index_*` name
+    /// (see `docs/metrics.md`).
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_counter("sedna_index_lookups_total", "B-tree point lookups", &self.lookups);
+        reg.register_counter("sedna_index_range_scans_total", "B-tree range scans", &self.range_scans);
+        reg.register_counter("sedna_index_inserts_total", "B-tree entries inserted", &self.inserts);
+        reg.register_counter("sedna_index_removes_total", "B-tree entries removed", &self.removes);
+        reg.register_counter(
+            "sedna_index_splits_total",
+            "B-tree page splits (including root growth)",
+            &self.splits,
+        );
+    }
+}
 
 const IH_KIND: usize = 16;
 const IH_NODE_TYPE: usize = 17;
@@ -113,6 +148,8 @@ pub struct BTreeIndex {
     pub root: XPtr,
     /// Number of live entries.
     pub entries: u64,
+    /// Metric handles (shared across indexes; see [`IndexMetrics`]).
+    metrics: IndexMetrics,
 }
 
 enum InsertResult {
@@ -127,12 +164,30 @@ impl BTreeIndex {
         let (root, mut page) = vas.alloc_page()?;
         write_page(&mut page, TYPE_LEAF, XPtr::NULL, &[]);
         drop(page);
-        Ok(BTreeIndex { root, entries: 0 })
+        Ok(BTreeIndex {
+            root,
+            entries: 0,
+            metrics: IndexMetrics::default(),
+        })
     }
 
     /// Reopens an index from its root pointer and entry count (catalog).
     pub fn open(root: XPtr, entries: u64) -> BTreeIndex {
-        BTreeIndex { root, entries }
+        BTreeIndex {
+            root,
+            entries,
+            metrics: IndexMetrics::default(),
+        }
+    }
+
+    /// Attaches metric handles (typically a database-wide shared set).
+    pub fn set_metrics(&mut self, metrics: IndexMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// The index's live metric handles.
+    pub fn metrics(&self) -> &IndexMetrics {
+        &self.metrics
     }
 
     fn capacity(vas: &Vas) -> usize {
@@ -150,6 +205,7 @@ impl BTreeIndex {
             InsertResult::Done => {}
             InsertResult::Split(sep, right) => {
                 // Grow a new root.
+                self.metrics.splits.inc();
                 let (new_root, mut page) = vas.alloc_page()?;
                 let entries = vec![Entry {
                     key: sep,
@@ -161,6 +217,7 @@ impl BTreeIndex {
             }
         }
         self.entries += 1;
+        self.metrics.inserts.inc();
         Ok(())
     }
 
@@ -225,6 +282,7 @@ impl BTreeIndex {
             return Ok(InsertResult::Done);
         }
         // Split in half by entry count.
+        self.metrics.splits.inc();
         let mid = entries.len() / 2;
         let (left, right): (Vec<Entry>, Vec<Entry>) = {
             let mut l = entries;
@@ -283,6 +341,7 @@ impl BTreeIndex {
                 let mut page = vas.write(leaf)?;
                 write_page(&mut page, TYPE_LEAF, link, &entries);
                 self.entries -= 1;
+                self.metrics.removes.inc();
                 return Ok(true);
             }
             // Stop once this leaf's keys have moved past the target.
@@ -321,6 +380,7 @@ impl BTreeIndex {
 
     /// All handles stored under `key`.
     pub fn lookup(&self, vas: &Vas, key: &IndexKey) -> IndexResult<Vec<XPtr>> {
+        self.metrics.lookups.inc();
         let encoded = key.encode();
         self.range_scan(vas, Some(&encoded), true, Some(&encoded), true)
     }
@@ -401,6 +461,7 @@ impl BTreeIndex {
         hi: Option<&IndexKey>,
         hi_inclusive: bool,
     ) -> IndexResult<Vec<XPtr>> {
+        self.metrics.range_scans.inc();
         let lo_enc = lo.map(|k| k.encode());
         let hi_enc = hi.map(|k| k.encode());
         self.range_scan(

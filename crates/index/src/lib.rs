@@ -18,5 +18,5 @@
 mod btree;
 mod key;
 
-pub use btree::{BTreeIndex, IndexError, IndexResult};
+pub use btree::{BTreeIndex, IndexError, IndexMetrics, IndexResult};
 pub use key::IndexKey;

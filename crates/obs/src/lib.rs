@@ -1,0 +1,44 @@
+//! # sedna-obs
+//!
+//! The unified observability layer of the Sedna reproduction: every
+//! subsystem the paper's Governor supervises (buffer manager, WAL,
+//! transaction manager, indexes, query executor) reports into the
+//! primitives of this crate, and the Governor aggregates them into one
+//! system-wide view (`Governor::metrics_snapshot()` in the `sedna`
+//! crate).
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Always-on and cheap.** Hot-path instrumentation is a single
+//!    relaxed atomic add on a pre-created handle — no locks, no heap
+//!    allocation per event, no branching on an "enabled" flag. A
+//!    [`Histogram`] record is four relaxed atomic operations.
+//! 2. **Lock-free readout.** Snapshots read the same atomics the hot
+//!    path writes. Because independent relaxed counters cannot be read
+//!    atomically *as a group*, the registry offers a consistent-read
+//!    path ([`consistent_read`]) that re-reads until two consecutive
+//!    sweeps agree (bounded retries), eliminating the torn-snapshot
+//!    window where, e.g., buffer hits and misses disagree mid-update.
+//! 3. **Zero external dependencies.** Everything is `std`; the crate
+//!    sits below every other Sedna crate.
+//!
+//! The two public surfaces built on these primitives:
+//!
+//! * [`Registry`] — named metrics with help text; [`Registry::snapshot`]
+//!   produces a typed [`MetricsSnapshot`] that can be merged across
+//!   databases and rendered in Prometheus text exposition format via
+//!   [`MetricsSnapshot::render_prometheus`].
+//! * [`Span`] — a zero-alloc phase timer recording elapsed nanoseconds
+//!   into a [`Histogram`] on drop; used for WAL fsync latency, lock-wait
+//!   time, and the parse → rewrite → execute query phases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+mod registry;
+
+pub use metric::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Span, HISTOGRAM_BUCKETS,
+};
+pub use registry::{consistent_read, MetricsSnapshot, Registry};

@@ -1,0 +1,359 @@
+//! The metric primitives: counters, gauges, fixed-bucket histograms, and
+//! the zero-alloc [`Span`] phase timer.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing counter.
+///
+/// Cloning yields a handle to the **same** underlying value, so a
+/// subsystem can keep one handle on its hot path while the registry
+/// holds another for readout. Increments are relaxed atomics: no lock,
+/// no allocation, no ordering constraint beyond the count itself.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (benchmark/test plumbing; production readers
+    /// should use deltas between snapshots instead).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous value that can move both ways (e.g. resident pages,
+/// active transactions). Same handle-sharing semantics as [`Counter`].
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `i < HISTOGRAM_BUCKETS - 1` holds
+/// values `v` with `v <= 2^i` (and `v > 2^(i-1)`); the last bucket is
+/// the `+Inf` overflow. With 40 buckets the finite range tops out at
+/// `2^38` ns ≈ 275 s — comfortably past any latency this system emits.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> HistogramInner {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket latency/size histogram with power-of-two bucket
+/// boundaries.
+///
+/// Recording is four relaxed atomic operations on pre-allocated
+/// storage — no locks, no allocation — so it is safe to leave on all
+/// the time. Cloning shares the underlying buckets (see [`Counter`]).
+///
+/// Values are unit-agnostic; by convention every `*_ns` metric in Sedna
+/// records nanoseconds.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// The index of the bucket a value falls into: `ceil(log2(v))`, clamped
+/// to the overflow bucket.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    let idx = (64 - v.saturating_sub(1).leading_zeros()) as usize;
+    idx.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of finite bucket `i` (`2^i`); `u64::MAX`
+/// for the overflow bucket.
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Starts a [`Span`] that records the elapsed nanoseconds into this
+    /// histogram when dropped (or explicitly finished).
+    #[inline]
+    pub fn span(&self) -> Span<'_> {
+        Span {
+            hist: Some(self),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        HistogramSnapshot {
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+            buckets: inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Resets every bucket (benchmark/test plumbing).
+    pub fn reset(&self) {
+        let inner = &self.0;
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum.store(0, Ordering::Relaxed);
+        inner.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile readout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Per-bucket (non-cumulative) observation counts; index `i` holds
+    /// values in `(2^(i-1), 2^i]`, the last bucket is `+Inf`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The inclusive upper bound of finite bucket `i`; `u64::MAX` for
+    /// the overflow bucket.
+    pub fn upper_bound(i: usize) -> u64 {
+        bucket_upper_bound(i)
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the boundary
+    /// of the bucket containing the rank-`ceil(q·count)` observation,
+    /// clamped to the observed maximum. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds another snapshot's observations into this one (governor
+    /// aggregation across databases).
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
+
+/// A zero-alloc phase timer: holds a borrowed histogram handle and a
+/// start instant on the stack, recording the elapsed nanoseconds when
+/// dropped. Use [`Span::finish`] to record early and read the value.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: Option<&'a Histogram>,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Nanoseconds elapsed so far (does not record).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Records the elapsed nanoseconds now and returns them; the drop
+    /// becomes a no-op.
+    pub fn finish(mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        if let Some(h) = self.hist.take() {
+            h.record(ns);
+        }
+        ns
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(h) = self.hist.take() {
+            h.record(self.elapsed_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_ceil_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6, "clones share the value");
+        c.reset();
+        assert_eq!(c2.get(), 0);
+
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn span_records_on_drop_and_finish() {
+        let h = Histogram::new();
+        {
+            let _s = h.span();
+        }
+        assert_eq!(h.count(), 1);
+        let s = h.span();
+        let ns = s.finish();
+        assert_eq!(h.count(), 2);
+        assert!(ns < 1_000_000_000, "a finish should take well under 1s");
+    }
+}

@@ -1,0 +1,287 @@
+//! The metrics registry and its typed, mergeable, Prometheus-renderable
+//! snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::metric::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot};
+
+enum MetricHandle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    metric: MetricHandle,
+}
+
+/// Re-reads a snapshot until two consecutive sweeps agree, up to
+/// `attempts` extra sweeps, returning the last sweep otherwise. This is
+/// the registry's consistent-read path: individual relaxed counters are
+/// each exact, but a *group* of them can be caught mid-update (buffer
+/// hits incremented, misses not yet); agreement between two sweeps
+/// bounds that window to a single in-flight update burst.
+pub fn consistent_read<T: PartialEq>(mut sweep: impl FnMut() -> T) -> T {
+    const ATTEMPTS: usize = 8;
+    let mut prev = sweep();
+    for _ in 0..ATTEMPTS {
+        let cur = sweep();
+        if cur == prev {
+            return cur;
+        }
+        prev = cur;
+    }
+    prev
+}
+
+/// A registry of named metrics.
+///
+/// Registration (rare, done once at database startup) takes an internal
+/// lock; the metric handles themselves stay lock-free — the registry
+/// only holds clones for readout, it is never on the hot path.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(&self, name: String, help: String, metric: MetricHandle) {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(e) = entries.iter_mut().find(|e| e.name == name) {
+            // Re-registration replaces the handle (e.g. a reopened
+            // database re-wiring its subsystems).
+            e.help = help;
+            e.metric = metric;
+        } else {
+            entries.push(Entry { name, help, metric });
+        }
+    }
+
+    /// Registers a counter under `name`. Registering an existing name
+    /// replaces the previous handle.
+    pub fn register_counter(&self, name: &str, help: &str, c: &Counter) {
+        self.register(name.into(), help.into(), MetricHandle::Counter(c.clone()));
+    }
+
+    /// Registers a gauge under `name`.
+    pub fn register_gauge(&self, name: &str, help: &str, g: &Gauge) {
+        self.register(name.into(), help.into(), MetricHandle::Gauge(g.clone()));
+    }
+
+    /// Registers a histogram under `name`.
+    pub fn register_histogram(&self, name: &str, help: &str, h: &Histogram) {
+        self.register(name.into(), help.into(), MetricHandle::Histogram(h.clone()));
+    }
+
+    /// A typed snapshot of every registered metric.
+    ///
+    /// Counters and gauges go through the consistent-read path (see
+    /// [`consistent_read`]); histograms are copied bucket-by-bucket in
+    /// one sweep (their per-bucket counts are exact, only cross-bucket
+    /// skew is possible, and it is bounded by in-flight recordings).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let scalars = consistent_read(|| {
+            entries
+                .iter()
+                .filter_map(|e| match &e.metric {
+                    MetricHandle::Counter(c) => Some((e.name.clone(), c.get() as i128)),
+                    MetricHandle::Gauge(g) => Some((e.name.clone(), g.get() as i128)),
+                    MetricHandle::Histogram(_) => None,
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut snap = MetricsSnapshot::default();
+        for e in entries.iter() {
+            snap.help.insert(e.name.clone(), e.help.clone());
+            if let MetricHandle::Histogram(h) = &e.metric {
+                snap.histograms.insert(e.name.clone(), h.snapshot());
+            }
+        }
+        for e in entries.iter() {
+            let Some((_, v)) = scalars.iter().find(|(n, _)| *n == e.name) else {
+                continue;
+            };
+            match &e.metric {
+                MetricHandle::Counter(_) => {
+                    snap.counters.insert(e.name.clone(), *v as u64);
+                }
+                MetricHandle::Gauge(_) => {
+                    snap.gauges.insert(e.name.clone(), *v as i64);
+                }
+                MetricHandle::Histogram(_) => {}
+            }
+        }
+        snap
+    }
+}
+
+/// A typed, point-in-time view of a registry (or a merge of several —
+/// the Governor sums the snapshots of every registered database).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Help text by metric name (kept for rendering).
+    pub help: BTreeMap<String, String>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Adds another snapshot into this one: counters and histograms
+    /// sum, gauges sum (they are per-database residencies), help text
+    /// is kept from whichever snapshot had it first.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge_from(h);
+        }
+        for (name, help) in &other.help {
+            self.help
+                .entry(name.clone())
+                .or_insert_with(|| help.clone());
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` preambles, histogram
+    /// `_bucket{le="..."}` series with cumulative counts, `_sum`, and
+    /// `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let empty = String::new();
+        for (name, v) in &self.counters {
+            let help = self.help.get(name).unwrap_or(&empty);
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        }
+        for (name, v) in &self.gauges {
+            let help = self.help.get(name).unwrap_or(&empty);
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        }
+        for (name, h) in &self.histograms {
+            let help = self.help.get(name).unwrap_or(&empty);
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} histogram\n"
+            ));
+            let mut cumulative = 0u64;
+            for (i, c) in h.buckets.iter().enumerate() {
+                cumulative += c;
+                // Skip interior empty buckets to keep the exposition
+                // readable; always emit +Inf.
+                let last = i == h.buckets.len() - 1;
+                if *c == 0 && !last {
+                    continue;
+                }
+                let le = if last {
+                    "+Inf".to_string()
+                } else {
+                    bucket_upper_bound(i).to_string()
+                };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_render() {
+        let reg = Registry::new();
+        let c = Counter::new();
+        let g = Gauge::new();
+        let h = Histogram::new();
+        reg.register_counter("t_ops_total", "ops", &c);
+        reg.register_gauge("t_resident", "resident", &g);
+        reg.register_histogram("t_ns", "latency", &h);
+        c.add(3);
+        g.set(7);
+        h.record(5);
+        h.record(100);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("t_ops_total"), 3);
+        assert_eq!(snap.gauge("t_resident"), 7);
+        assert_eq!(snap.histogram("t_ns").unwrap().count, 2);
+
+        let text = snap.render_prometheus();
+        assert!(text.contains("# TYPE t_ops_total counter"));
+        assert!(text.contains("t_ops_total 3"));
+        assert!(text.contains("# TYPE t_resident gauge"));
+        assert!(text.contains("t_resident 7"));
+        assert!(text.contains("# TYPE t_ns histogram"));
+        assert!(text.contains("t_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("t_ns_sum 105"));
+        assert!(text.contains("t_ns_count 2"));
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let reg = Registry::new();
+        let a = Counter::new();
+        a.add(5);
+        reg.register_counter("x_total", "x", &a);
+        let b = Counter::new();
+        b.add(2);
+        reg.register_counter("x_total", "x", &b);
+        assert_eq!(reg.snapshot().counter("x_total"), 2);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("c".into(), 2);
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("c".into(), 3);
+        b.gauges.insert("g".into(), -1);
+        let h = Histogram::new();
+        h.record(8);
+        b.histograms.insert("h".into(), h.snapshot());
+        a.merge_from(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.gauge("g"), -1);
+        assert_eq!(a.histogram("h").unwrap().count, 1);
+    }
+}

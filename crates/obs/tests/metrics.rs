@@ -1,0 +1,120 @@
+//! Registry-level tests: exact concurrent sums, histogram quantile
+//! bounds on known distributions, and snapshot merging.
+
+use std::sync::Arc;
+use std::thread;
+
+use sedna_obs::{consistent_read, Counter, Histogram, MetricsSnapshot, Registry};
+
+#[test]
+fn concurrent_increments_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let c = Counter::new();
+    let h = Histogram::new();
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let c = c.clone();
+        let h = h.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                c.inc();
+                h.record((t as u64) * PER_THREAD + i);
+            }
+        }));
+    }
+    for j in handles {
+        j.join().unwrap();
+    }
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    assert_eq!(snap.max, THREADS as u64 * PER_THREAD - 1);
+}
+
+#[test]
+fn quantile_bounds_for_known_distribution() {
+    let h = Histogram::new();
+    // 100 observations: 1..=100. True p50 = 50, p95 = 95, p99 = 99.
+    for v in 1..=100u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 100);
+    assert_eq!(s.sum, 5050);
+    assert_eq!(s.max, 100);
+    // Power-of-two buckets: the quantile readout is the bucket upper
+    // bound, i.e. within a factor of two above the true quantile and
+    // never below it.
+    let p50 = s.p50();
+    assert!((50..=64).contains(&p50), "p50 bound {p50} outside [50, 64]");
+    let p95 = s.p95();
+    assert!((95..=128).contains(&p95), "p95 bound {p95} outside [95, 128]");
+    let p99 = s.p99();
+    assert!((99..=128).contains(&p99), "p99 bound {p99} outside [99, 128]");
+    // The bound is clamped to the observed maximum.
+    assert!(s.quantile(1.0) <= s.max.max(1));
+    assert!((s.mean() - 50.5).abs() < 1e-9);
+}
+
+#[test]
+fn quantiles_of_constant_distribution_are_tight() {
+    let h = Histogram::new();
+    for _ in 0..1000 {
+        h.record(4096);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.p50(), 4096);
+    assert_eq!(s.p99(), 4096);
+}
+
+#[test]
+fn consistent_read_converges_under_contention() {
+    let c = Counter::new();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let c = c.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                c.inc();
+            }
+        })
+    };
+    // The consistent-read path returns *some* pair of agreeing (or
+    // final) sweeps; the value must be monotone with respect to later
+    // reads.
+    let v1 = consistent_read(|| c.get());
+    let v2 = consistent_read(|| c.get());
+    assert!(v2 >= v1);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+#[test]
+fn registry_snapshot_merges_across_instances() {
+    // Two "databases", each with its own registry and metrics.
+    let mk = |hits: u64, lat: &[u64]| {
+        let reg = Registry::new();
+        let c = Counter::new();
+        c.add(hits);
+        let h = Histogram::new();
+        for &v in lat {
+            h.record(v);
+        }
+        reg.register_counter("sedna_buffer_hits_total", "hits", &c);
+        reg.register_histogram("sedna_wal_fsync_ns", "fsync", &h);
+        reg.snapshot()
+    };
+    let a = mk(10, &[100, 200]);
+    let b = mk(32, &[300]);
+    let mut merged = MetricsSnapshot::default();
+    merged.merge_from(&a);
+    merged.merge_from(&b);
+    assert_eq!(merged.counter("sedna_buffer_hits_total"), 42);
+    let h = merged.histogram("sedna_wal_fsync_ns").unwrap();
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 600);
+    assert_eq!(h.max, 300);
+}

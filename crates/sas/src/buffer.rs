@@ -9,10 +9,11 @@
 //! version a read-only transaction is scanning).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
+use sedna_obs::{consistent_read, Counter, Registry};
 
 use crate::error::{SasError, SasResult};
 use crate::store::{PageStore, PhysId};
@@ -26,8 +27,81 @@ pub trait WriteBarrier: Send + Sync {
     fn before_flush(&self, page: XPtr, lsn: u64) -> SasResult<()>;
 }
 
+/// The pool's live metric handles (`sedna_buffer_*`). Cloning shares the
+/// underlying counters; [`BufferMetrics::register_into`] hands read
+/// handles to an observability registry.
+#[derive(Clone, Debug, Default)]
+pub struct BufferMetrics {
+    /// Lookups satisfied by a resident frame.
+    pub hits: Counter,
+    /// Lookups that had to load the page from the store.
+    pub misses: Counter,
+    /// Frames evicted to make room.
+    pub evictions: Counter,
+    /// Dirty frames written back to the store.
+    pub writebacks: Counter,
+    /// Copy-on-write retargets.
+    pub retargets: Counter,
+}
+
+impl BufferMetrics {
+    /// Registers every counter under its canonical `sedna_buffer_*` name
+    /// (see `docs/metrics.md`).
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_counter(
+            "sedna_buffer_hits_total",
+            "Buffer-pool lookups satisfied by a resident frame",
+            &self.hits,
+        );
+        reg.register_counter(
+            "sedna_buffer_misses_total",
+            "Buffer-pool lookups that loaded the page from the store",
+            &self.misses,
+        );
+        reg.register_counter(
+            "sedna_buffer_evictions_total",
+            "Frames evicted by clock replacement",
+            &self.evictions,
+        );
+        reg.register_counter(
+            "sedna_buffer_writebacks_total",
+            "Dirty frames written back to the store",
+            &self.writebacks,
+        );
+        reg.register_counter(
+            "sedna_buffer_retargets_total",
+            "Copy-on-write page-version retargets",
+            &self.retargets,
+        );
+    }
+
+    /// A torn-read-free [`BufferStats`] view: the counters are swept
+    /// repeatedly until two consecutive sweeps agree (see
+    /// [`consistent_read`]), so `hits`/`misses` cannot drift apart
+    /// mid-snapshot under concurrent load.
+    pub fn stats(&self) -> BufferStats {
+        consistent_read(|| BufferStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            writebacks: self.writebacks.get(),
+            retargets: self.retargets.get(),
+        })
+    }
+
+    /// Resets every counter (benchmark plumbing).
+    pub fn reset(&self) {
+        self.hits.reset();
+        self.misses.reset();
+        self.evictions.reset();
+        self.writebacks.reset();
+        self.retargets.reset();
+    }
+}
+
 /// Counters describing buffer-pool behaviour; used by experiments E2 and
-/// the buffer-ablation benchmarks.
+/// the buffer-ablation benchmarks. This is a point-in-time **view** of
+/// [`BufferMetrics`], taken through the consistent-read path.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BufferStats {
     /// Lookups satisfied by a resident frame.
@@ -160,11 +234,7 @@ pub struct BufferPool {
     frames: Vec<Frame>,
     state: Mutex<PoolState>,
     barrier: Mutex<Option<Arc<dyn WriteBarrier>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    writebacks: AtomicU64,
-    retargets: AtomicU64,
+    metrics: BufferMetrics,
 }
 
 /// A resident frame handle: the frame's lock plus the identity expected by
@@ -207,11 +277,7 @@ impl BufferPool {
                 hand: 0,
             }),
             barrier: Mutex::new(None),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            writebacks: AtomicU64::new(0),
-            retargets: AtomicU64::new(0),
+            metrics: BufferMetrics::default(),
         }
     }
 
@@ -225,24 +291,20 @@ impl BufferPool {
         *self.barrier.lock() = Some(barrier);
     }
 
-    /// Current counters.
+    /// The live metric handles (for registry wiring).
+    pub fn metrics(&self) -> &BufferMetrics {
+        &self.metrics
+    }
+
+    /// Current counters, read through the consistent-read path (no
+    /// torn `hits`/`misses` pairs under concurrent load).
     pub fn stats(&self) -> BufferStats {
-        BufferStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            writebacks: self.writebacks.load(Ordering::Relaxed),
-            retargets: self.retargets.load(Ordering::Relaxed),
-        }
+        self.metrics.stats()
     }
 
     /// Resets the counters (benchmark plumbing).
     pub fn reset_stats(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.writebacks.store(0, Ordering::Relaxed);
-        self.retargets.store(0, Ordering::Relaxed);
+        self.metrics.reset();
     }
 
     fn flush_inner(&self, inner: &mut FrameInner, store: &dyn PageStore) -> SasResult<()> {
@@ -257,7 +319,7 @@ impl BufferPool {
             }
             store.write(inner.phys, &inner.data)?;
             inner.dirty = false;
-            self.writebacks.fetch_add(1, Ordering::Relaxed);
+            self.metrics.writebacks.inc();
         }
         Ok(())
     }
@@ -284,7 +346,7 @@ impl BufferPool {
                 if guard.phys != PhysId::INVALID {
                     self.flush_inner(&mut guard, store)?;
                     state.map.remove(&guard.phys);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.evictions.inc();
                 }
                 return Ok((idx, guard));
             }
@@ -303,13 +365,13 @@ impl BufferPool {
         let mut state = self.state.lock();
         if let Some(&idx) = state.map.get(&phys) {
             self.frames[idx].referenced.store(true, Ordering::Relaxed);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.inc();
             return Ok(FrameRef {
                 lock: Arc::clone(&self.frames[idx].lock),
                 frame_idx: idx,
             });
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.inc();
         let (idx, mut guard) = self.claim_victim(&mut state, store)?;
         store.read(phys, &mut guard.data)?;
         guard.page = page;
@@ -335,7 +397,7 @@ impl BufferPool {
     ) -> SasResult<FrameRef> {
         let mut state = self.state.lock();
         debug_assert!(!state.map.contains_key(&phys), "fresh page already mapped");
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.inc();
         let (idx, mut guard) = self.claim_victim(&mut state, store)?;
         guard.data.fill(0);
         guard.data[0..8].copy_from_slice(&page.to_bytes());
@@ -364,7 +426,7 @@ impl BufferPool {
         store: &dyn PageStore,
     ) -> SasResult<FrameRef> {
         let mut state = self.state.lock();
-        self.retargets.fetch_add(1, Ordering::Relaxed);
+        self.metrics.retargets.inc();
         if let Some(&idx) = state.map.get(&old_phys) {
             let mut guard = self.frames[idx].lock.write_arc();
             self.flush_inner(&mut guard, store)?;
@@ -381,7 +443,7 @@ impl BufferPool {
             });
         }
         // Old version not resident: load its bytes, register under new_phys.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.inc();
         let (idx, mut guard) = self.claim_victim(&mut state, store)?;
         store.read(old_phys, &mut guard.data)?;
         guard.page = page;

@@ -54,7 +54,7 @@ mod vas;
 mod xptr;
 
 pub use alloc::{AddressAllocator, AllocState};
-pub use buffer::{BufferPool, BufferStats, PageRead, PageWrite, WriteBarrier};
+pub use buffer::{BufferMetrics, BufferPool, BufferStats, PageRead, PageWrite, WriteBarrier};
 pub use error::{SasError, SasResult};
 pub use resolver::{DirectResolver, PageResolver, TxnToken, View, WritePlan};
 pub use store::{FilePageStore, MemPageStore, PageStore, PhysId};

@@ -25,9 +25,11 @@
 
 pub mod lock;
 pub mod manager;
+pub mod metrics;
 pub mod version;
 
 pub use lock::{LockError, LockManager, LockMode, Resource};
+pub use metrics::{LockMetrics, TxnMetrics};
 pub use manager::{TxnHandle, TxnKind, TxnManager};
 pub use version::{Snapshot, VersionManager, VersionStats};
 

@@ -2,11 +2,12 @@
 //! deadlock detection (Section 6.2).
 
 use std::collections::{HashMap, HashSet};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use sedna_sas::XPtr;
 
+use crate::metrics::LockMetrics;
 use crate::TxnId;
 
 /// Lockable resources, hierarchical: database ⊃ document ⊃ subtree.
@@ -140,6 +141,7 @@ pub struct LockManager {
     state: Mutex<LockState>,
     wakeup: Condvar,
     timeout: Duration,
+    metrics: LockMetrics,
 }
 
 impl Default for LockManager {
@@ -151,21 +153,44 @@ impl Default for LockManager {
 impl LockManager {
     /// Creates a lock manager with the given wait-timeout safety net.
     pub fn new(timeout: Duration) -> LockManager {
+        LockManager::with_metrics(timeout, LockMetrics::default())
+    }
+
+    /// Creates a lock manager reporting into the given metric handles
+    /// (shared with a [`crate::metrics::TxnMetrics`]).
+    pub fn with_metrics(timeout: Duration, metrics: LockMetrics) -> LockManager {
         LockManager {
             state: Mutex::new(LockState::default()),
             wakeup: Condvar::new(),
             timeout,
+            metrics,
         }
+    }
+
+    /// The manager's live metric handles.
+    pub fn metrics(&self) -> &LockMetrics {
+        &self.metrics
     }
 
     /// Acquires `mode` on `res` for `txn`, blocking until grantable.
     /// Returns [`LockError::Deadlock`] when waiting would deadlock.
     pub fn lock(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<(), LockError> {
+        // Set on the first blocked iteration; total blocked time is
+        // recorded into `sedna_txn_lock_wait_ns` on every exit path.
+        let mut wait_start: Option<Instant> = None;
+        let record_wait = |start: Option<Instant>| {
+            if let Some(t0) = start {
+                self.metrics
+                    .wait_ns
+                    .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+        };
         let mut state = self.state.lock();
         loop {
             // Upgrade-aware: a held mode covering the request is a no-op.
             if let Some(held) = state.granted.get(&res).and_then(|g| g.get(&txn)) {
                 if held.covers(mode) {
+                    record_wait(wait_start);
                     return Ok(());
                 }
             }
@@ -179,12 +204,15 @@ impl LockManager {
                 entry.insert(txn, new_mode);
                 state.held.entry(txn).or_default().insert(res);
                 state.wait_for.remove(&txn);
+                record_wait(wait_start);
                 return Ok(());
             }
             // Would waiting close a cycle?
             for &holder in &conflicts {
                 if state.reaches(holder, txn) {
                     state.wait_for.remove(&txn);
+                    self.metrics.deadlocks.inc();
+                    record_wait(wait_start);
                     return Err(LockError::Deadlock);
                 }
             }
@@ -193,12 +221,18 @@ impl LockManager {
                 .entry(txn)
                 .or_default()
                 .extend(conflicts.iter().copied());
+            if wait_start.is_none() {
+                wait_start = Some(Instant::now());
+                self.metrics.waits.inc();
+            }
             let timed_out = self
                 .wakeup
                 .wait_for(&mut state, self.timeout)
                 .timed_out();
             state.wait_for.remove(&txn);
             if timed_out {
+                self.metrics.timeouts.inc();
+                record_wait(wait_start);
                 return Err(LockError::Timeout);
             }
         }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use sedna_sas::{PageStore, TxnToken, View};
 
 use crate::lock::LockManager;
+use crate::metrics::TxnMetrics;
 use crate::version::{snapshot_view, txn_view, VersionManager};
 use crate::TxnId;
 
@@ -63,21 +64,33 @@ pub struct TxnManager {
     /// The page-version manager (also the SAS page resolver).
     pub versions: Arc<VersionManager>,
     next_id: AtomicU64,
+    metrics: TxnMetrics,
 }
 
 impl TxnManager {
     /// Creates a transaction manager whose versions allocate from `store`.
     pub fn new(store: Arc<dyn PageStore>) -> TxnManager {
+        let metrics = TxnMetrics::default();
         TxnManager {
-            locks: LockManager::default(),
+            locks: LockManager::with_metrics(
+                std::time::Duration::from_secs(10),
+                metrics.locks.clone(),
+            ),
             versions: VersionManager::new(store),
             next_id: AtomicU64::new(1),
+            metrics,
         }
+    }
+
+    /// The manager's live metric handles (shared with its lock manager).
+    pub fn metrics(&self) -> &TxnMetrics {
+        &self.metrics
     }
 
     /// Begins an updating transaction.
     pub fn begin_update(&self) -> TxnHandle {
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.metrics.update_begins.inc();
         self.versions.begin_update(id);
         TxnHandle {
             id,
@@ -88,6 +101,7 @@ impl TxnManager {
     /// Begins a read-only transaction pinned to the current snapshot.
     pub fn begin_read_only(&self) -> TxnHandle {
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.metrics.readonly_begins.inc();
         let snap = self.versions.create_snapshot();
         TxnHandle {
             id,
@@ -99,6 +113,7 @@ impl TxnManager {
 
     /// Commits; returns the commit timestamp (0 for read-only).
     pub fn commit(&self, txn: &TxnHandle) -> u64 {
+        self.metrics.commits.inc();
         match txn.kind {
             TxnKind::Update => {
                 let ts = self.versions.commit(txn.id);
@@ -116,6 +131,7 @@ impl TxnManager {
     /// the SAS pages the transaction had freshly allocated so the caller
     /// can recycle their addresses.
     pub fn abort(&self, txn: &TxnHandle) -> Vec<sedna_sas::XPtr> {
+        self.metrics.aborts.inc();
         match txn.kind {
             TxnKind::Update => {
                 let fresh = self.versions.rollback(txn.id);

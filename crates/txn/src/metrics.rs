@@ -1,0 +1,73 @@
+//! Transaction-layer metric handles (`sedna_txn_*`).
+
+use sedna_obs::{Counter, Histogram, Registry};
+
+/// Lock-manager metric handles, shared with [`TxnMetrics`]: the lock
+/// manager increments them on its wait path, the transaction manager
+/// registers them.
+#[derive(Clone, Debug, Default)]
+pub struct LockMetrics {
+    /// Lock requests that had to wait at least once.
+    pub waits: Counter,
+    /// Time spent blocked waiting for a lock, nanoseconds.
+    pub wait_ns: Histogram,
+    /// Requests aborted as deadlock victims.
+    pub deadlocks: Counter,
+    /// Requests that hit the wait-timeout safety net.
+    pub timeouts: Counter,
+}
+
+/// Live metric handles for one transaction manager (`sedna_txn_*`).
+/// Cloning shares the underlying counters and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct TxnMetrics {
+    /// Updating transactions begun.
+    pub update_begins: Counter,
+    /// Read-only (snapshot) transactions begun.
+    pub readonly_begins: Counter,
+    /// Transactions committed.
+    pub commits: Counter,
+    /// Transactions aborted.
+    pub aborts: Counter,
+    /// Lock-manager counters (waits, deadlocks, timeouts, wait time).
+    pub locks: LockMetrics,
+}
+
+impl TxnMetrics {
+    /// Registers every metric under its canonical `sedna_txn_*` name
+    /// (see `docs/metrics.md`).
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_counter(
+            "sedna_txn_update_begins_total",
+            "Updating transactions begun",
+            &self.update_begins,
+        );
+        reg.register_counter(
+            "sedna_txn_readonly_begins_total",
+            "Read-only (snapshot) transactions begun",
+            &self.readonly_begins,
+        );
+        reg.register_counter("sedna_txn_commits_total", "Transactions committed", &self.commits);
+        reg.register_counter("sedna_txn_aborts_total", "Transactions aborted", &self.aborts);
+        reg.register_counter(
+            "sedna_txn_lock_waits_total",
+            "Lock requests that blocked at least once",
+            &self.locks.waits,
+        );
+        reg.register_counter(
+            "sedna_txn_deadlocks_total",
+            "Lock requests aborted as deadlock victims",
+            &self.locks.deadlocks,
+        );
+        reg.register_counter(
+            "sedna_txn_lock_timeouts_total",
+            "Lock requests that hit the wait timeout",
+            &self.locks.timeouts,
+        );
+        reg.register_histogram(
+            "sedna_txn_lock_wait_ns",
+            "Time spent blocked on lock waits (ns)",
+            &self.locks.wait_ns,
+        );
+    }
+}

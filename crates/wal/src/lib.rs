@@ -36,4 +36,4 @@ pub mod writer;
 
 pub use record::{CheckpointData, WalError, WalRecord, WalResult};
 pub use recovery::{plan_recovery, PageOp, RecoveryPlan, RedoOp};
-pub use writer::{WalReader, WalWriter};
+pub use writer::{WalMetrics, WalReader, WalWriter};

@@ -8,7 +8,49 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use sedna_obs::{Counter, Histogram, Registry};
+
 use crate::record::{crc32, WalError, WalRecord, WalResult};
+
+/// Live metric handles for one log (`sedna_wal_*`). Cloning shares the
+/// underlying counters and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct WalMetrics {
+    /// Records appended.
+    pub appends: Counter,
+    /// Bytes appended (frame bytes, including the len/crc header).
+    pub append_bytes: Counter,
+    /// `fsync` (sync_data) calls issued.
+    pub fsyncs: Counter,
+    /// Per-append latency, nanoseconds.
+    pub append_ns: Histogram,
+    /// Per-fsync latency, nanoseconds.
+    pub fsync_ns: Histogram,
+}
+
+impl WalMetrics {
+    /// Registers every metric under its canonical `sedna_wal_*` name
+    /// (see `docs/metrics.md`).
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register_counter("sedna_wal_appends_total", "WAL records appended", &self.appends);
+        reg.register_counter(
+            "sedna_wal_append_bytes_total",
+            "WAL bytes appended (framed)",
+            &self.append_bytes,
+        );
+        reg.register_counter("sedna_wal_fsyncs_total", "WAL fsync calls", &self.fsyncs);
+        reg.register_histogram(
+            "sedna_wal_append_ns",
+            "WAL append latency (ns)",
+            &self.append_ns,
+        );
+        reg.register_histogram(
+            "sedna_wal_fsync_ns",
+            "WAL fsync latency (ns)",
+            &self.fsync_ns,
+        );
+    }
+}
 
 /// Appends records to a log file.
 pub struct WalWriter {
@@ -17,6 +59,7 @@ pub struct WalWriter {
     lsn: u64,
     /// LSN up to which the log is known durable.
     flushed: u64,
+    metrics: WalMetrics,
 }
 
 impl WalWriter {
@@ -32,6 +75,7 @@ impl WalWriter {
             file,
             lsn: 0,
             flushed: 0,
+            metrics: WalMetrics::default(),
         })
     }
 
@@ -54,12 +98,14 @@ impl WalWriter {
             file,
             lsn: end,
             flushed: end,
+            metrics: WalMetrics::default(),
         })
     }
 
     /// Appends a record, returning its LSN. Not yet durable — call
     /// [`WalWriter::flush`].
     pub fn append(&mut self, rec: &WalRecord) -> WalResult<u64> {
+        let span = self.metrics.append_ns.span();
         let body = rec.encode();
         let lsn = self.lsn;
         let mut frame = Vec::with_capacity(8 + body.len());
@@ -68,14 +114,20 @@ impl WalWriter {
         frame.extend_from_slice(&body);
         self.file.write_all(&frame)?;
         self.lsn += frame.len() as u64;
+        self.metrics.appends.inc();
+        self.metrics.append_bytes.add(frame.len() as u64);
+        span.finish();
         Ok(lsn)
     }
 
     /// Forces appended records to durable storage (the WAL rule's "force
     /// the log" step).
     pub fn flush(&mut self) -> WalResult<()> {
+        let span = self.metrics.fsync_ns.span();
         self.file.sync_data()?;
         self.flushed = self.lsn;
+        self.metrics.fsyncs.inc();
+        span.finish();
         Ok(())
     }
 
@@ -108,6 +160,18 @@ impl WalWriter {
     /// The durable prefix of the log.
     pub fn flushed_lsn(&self) -> u64 {
         self.flushed
+    }
+
+    /// The writer's live metric handles.
+    pub fn metrics(&self) -> &WalMetrics {
+        &self.metrics
+    }
+
+    /// Replaces the writer's metric handles (so a database can hand the
+    /// writer handles already registered with its observability
+    /// registry).
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = metrics;
     }
 }
 

@@ -93,6 +93,19 @@ pub struct ExecStats {
     pub cache_hits: u64,
 }
 
+impl ExecStats {
+    /// Adds another run's counters into this one (used for per-session
+    /// accumulated totals).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.nodes_scanned += other.nodes_scanned;
+        self.ddo_sorts += other.ddo_sorts;
+        self.ddo_items += other.ddo_items;
+        self.ctor_copies += other.ctor_copies;
+        self.index_lookups += other.index_lookups;
+        self.cache_hits += other.cache_hits;
+    }
+}
+
 /// The executor: one per statement execution.
 pub struct Executor<'a> {
     db: &'a Database<'a>,

@@ -45,7 +45,7 @@ pub mod value;
 pub use ast::{Expr, Statement};
 pub use error::{QueryError, QueryResult};
 pub use exec::{ConstructMode, Database, DocEntry, ExecStats, Executor};
-pub use update::{apply_update, UpdateTarget};
+pub use update::{apply_update, plan_update_with_stats, UpdateTarget};
 pub use value::{Atom, Item, Sequence};
 
 /// Parses, analyses, and rewrites a statement — the front half of the

@@ -76,29 +76,40 @@ impl UpdatePlan {
 /// materialize insert content. All targets must be in one document; its
 /// index in `db.docs` is returned with the plan.
 pub fn plan_update(stmt: &Statement, db: &Database) -> QueryResult<(usize, UpdatePlan)> {
+    let (doc, plan, _) = plan_update_with_stats(stmt, db)?;
+    Ok((doc, plan))
+}
+
+/// [`plan_update`], additionally returning the planning executor's
+/// counters (the target-selection phase IS a query; sessions fold these
+/// into their per-statement profile).
+pub fn plan_update_with_stats(
+    stmt: &Statement,
+    db: &Database,
+) -> QueryResult<(usize, UpdatePlan, crate::exec::ExecStats)> {
     let StatementKind::Update(upd) = &stmt.kind else {
         return Err(QueryError::Dynamic("not an update statement".into()));
     };
     let mut ex = Executor::new(db, stmt, ConstructMode::Embedded);
-    match upd {
+    let (doc, plan) = match upd {
         UpdateStmt::Insert { what, pos, target } => {
             let content_seq = ex.eval_entry(what)?;
             let content = materialize(&ex, &content_seq)?;
             let target_seq = ex.eval_entry(target)?;
             let (doc, targets) = targets_to_handles(&ex, db, &target_seq)?;
-            Ok((
+            (
                 doc,
                 UpdatePlan::Insert {
                     content,
                     pos: *pos,
                     targets,
                 },
-            ))
+            )
         }
         UpdateStmt::Delete { target } => {
             let target_seq = ex.eval_entry(target)?;
             let (doc, targets) = targets_to_handles(&ex, db, &target_seq)?;
-            Ok((doc, UpdatePlan::Delete { targets }))
+            (doc, UpdatePlan::Delete { targets })
         }
         UpdateStmt::ReplaceValue { target, with } => {
             let v = ex.eval_entry(with)?;
@@ -108,9 +119,10 @@ pub fn plan_update(stmt: &Statement, db: &Database) -> QueryResult<(usize, Updat
             };
             let target_seq = ex.eval_entry(target)?;
             let (doc, targets) = targets_to_handles(&ex, db, &target_seq)?;
-            Ok((doc, UpdatePlan::ReplaceValue { targets, value }))
+            (doc, UpdatePlan::ReplaceValue { targets, value })
         }
-    }
+    };
+    Ok((doc, plan, ex.stats))
 }
 
 fn targets_to_handles(

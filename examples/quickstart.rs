@@ -1,17 +1,20 @@
-//! Quickstart: create a database, load a document, query it.
+//! Quickstart: create a database through the governor, load a document,
+//! query it, and read the observability surfaces.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use sedna::{Database, DbConfig};
+use sedna::{DbConfig, Governor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("sedna-quickstart");
     let _ = std::fs::remove_dir_all(&dir);
 
-    // 1. Create a database (data file + write-ahead log on disk).
-    let db = Database::create(&dir, DbConfig::default())?;
+    // 1. Create a database (data file + write-ahead log on disk),
+    //    registered at the governor — the system's control center.
+    let governor = Governor::new();
+    let db = governor.create_database("quickstart", &dir, DbConfig::default())?;
     let mut session = db.session();
 
     // 2. DDL + bulk load: the paper's Figure 2 document.
@@ -52,6 +55,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  {}",
         session.query("string-join(doc('library')//paper/author/text(), ', ')")?
     );
+
+    // 5. Per-query profile: phase timings + executor counters of the
+    //    last statement (EXPLAIN-ANALYZE style).
+    if let Some(profile) = session.last_profile() {
+        println!("\nProfile of the last statement:");
+        for line in profile.render().lines() {
+            println!("  {line}");
+        }
+    }
+
+    // 6. System-wide metrics, aggregated by the governor across every
+    //    registered database (Prometheus text format).
+    let snap = governor.metrics_snapshot();
+    println!("\nGovernor metrics snapshot:");
+    println!(
+        "  statements={} commits={} buffer hits/misses={}/{} wal fsyncs={} (p99 {} ns)",
+        snap.counter("sedna_query_statements_total"),
+        snap.counter("sedna_txn_commits_total"),
+        snap.counter("sedna_buffer_hits_total"),
+        snap.counter("sedna_buffer_misses_total"),
+        snap.counter("sedna_wal_fsyncs_total"),
+        snap.histogram("sedna_wal_fsync_ns").map_or(0, |h| h.p99()),
+    );
+    println!("\nPrometheus exposition (excerpt):");
+    for line in governor
+        .render_prometheus()
+        .lines()
+        .filter(|l| l.starts_with("sedna_buffer") || l.starts_with("sedna_txn_commits"))
+    {
+        println!("  {line}");
+    }
 
     std::fs::remove_dir_all(&dir)?;
     Ok(())
