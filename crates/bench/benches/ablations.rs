@@ -60,5 +60,68 @@ fn lock_granularity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, page_size, buffer_frames, lock_granularity);
+fn buffer_shards(c: &mut Criterion) {
+    use sedna_sas::{BufferPool, MemPageStore, PageStore};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    // Warm-pool lookups from 4 threads while criterion times a 5th: the
+    // contention profile the sharded page table is built for.
+    let mut group = c.benchmark_group("ablation_buffer_shards");
+    group.sample_size(10);
+    const PS: usize = 4096;
+    const PAGES: usize = 512;
+    for &shards in &[1usize, 2, 4, 8] {
+        let pool = Arc::new(BufferPool::with_shards(1024, PS, shards));
+        let store = Arc::new(MemPageStore::new(PS));
+        let mut pages = Vec::new();
+        for i in 0..PAGES {
+            let page = XPtr::new(0, ((i + 1) * PS) as u32);
+            let phys = store.alloc().unwrap();
+            pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+            pages.push((page, phys));
+        }
+        let pages = Arc::new(pages);
+        let stop = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(Barrier::new(5));
+        let background: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let store = Arc::clone(&store);
+                let pages = Arc::clone(&pages);
+                let stop = Arc::clone(&stop);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    let mut x = (t as u64 + 1) * 0x9E37_79B9;
+                    gate.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let (page, phys) = pages[(x % PAGES as u64) as usize];
+                        let fref = pool.acquire(page, phys, store.as_ref()).unwrap();
+                        std::hint::black_box(pool.try_read(&fref, phys).unwrap().bytes()[0]);
+                    }
+                })
+            })
+            .collect();
+        gate.wait();
+        group.bench_with_input(BenchmarkId::new("contended_lookup", shards), &shards, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let (page, phys) = pages[i % PAGES];
+                i += 1;
+                let fref = pool.acquire(page, phys, store.as_ref()).unwrap();
+                std::hint::black_box(pool.try_read(&fref, phys).unwrap().bytes()[0]);
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        for h in background {
+            h.join().unwrap();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, page_size, buffer_frames, lock_granularity, buffer_shards);
 criterion_main!(benches);

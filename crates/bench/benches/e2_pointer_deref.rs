@@ -11,6 +11,7 @@ fn bench(c: &mut Criterion) {
         page_size,
         layer_size: page_size as u64 * 1024,
         buffer_frames: 1024,
+        buffer_shards: 0,
     })
     .unwrap();
     let vas = sas.session();

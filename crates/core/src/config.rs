@@ -14,6 +14,13 @@ pub struct DbConfig {
     pub layer_size: u64,
     /// Buffer-pool frames.
     pub buffer_frames: usize,
+    /// Buffer-pool page-table shards. `0` selects the default (next power
+    /// of two ≥ the machine's cores); other values are rounded up to a
+    /// power of two and clamped so every shard owns at least one frame.
+    pub buffer_shards: usize,
+    /// Capacity of the per-session plan cache (parse+rewrite results keyed
+    /// by statement text, LRU-evicted). `0` disables caching.
+    pub plan_cache_capacity: usize,
     /// Parent-pointer representation (the direct mode exists for
     /// experiment E4; production databases use the indirection table).
     pub parent_mode: ParentMode,
@@ -35,6 +42,8 @@ impl Default for DbConfig {
             page_size: 16 * 1024,
             layer_size: 16 * 1024 * 1024,
             buffer_frames: 1024,
+            buffer_shards: 0,
+            plan_cache_capacity: 64,
             parent_mode: ParentMode::Indirect,
             construct_mode: ConstructMode::Embedded,
             lock_timeout: Duration::from_secs(10),

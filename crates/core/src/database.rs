@@ -107,6 +107,7 @@ impl Database {
             page_size: cfg.page_size,
             layer_size: cfg.layer_size,
             buffer_frames: cfg.buffer_frames,
+            buffer_shards: cfg.buffer_shards,
         }
     }
 

@@ -34,6 +34,7 @@ mod database;
 mod error;
 mod governor;
 mod metrics;
+mod plan_cache;
 mod session;
 
 pub use catalog::{Catalog, DocData, IndexData, IndexMeta};

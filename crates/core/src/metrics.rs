@@ -24,6 +24,8 @@ pub(crate) struct QueryMetrics {
     pub(crate) ctor_copies: Counter,
     pub(crate) index_lookups: Counter,
     pub(crate) cache_hits: Counter,
+    pub(crate) plan_cache_hits: Counter,
+    pub(crate) plan_cache_misses: Counter,
 }
 
 impl QueryMetrics {
@@ -77,6 +79,16 @@ impl QueryMetrics {
             "sedna_exec_cache_hits_total",
             "Lazy-evaluation cache hits",
             &self.cache_hits,
+        );
+        reg.register_counter(
+            "sedna_plan_cache_hits_total",
+            "Statements served from a session plan cache (parse/rewrite skipped)",
+            &self.plan_cache_hits,
+        );
+        reg.register_counter(
+            "sedna_plan_cache_misses_total",
+            "Statements that went through parse + rewrite",
+            &self.plan_cache_misses,
         );
     }
 

@@ -1,0 +1,156 @@
+//! Session-level plan cache.
+//!
+//! The profiler (PR 1) shows every repeated statement paying the parse
+//! and static-analysis/rewrite phases again even though both are pure
+//! functions of (statement text, catalog). This module caches the
+//! *rewritten* [`Statement`] per statement text in a bounded LRU, so a
+//! session re-running the same query skips straight to the executor.
+//!
+//! Invalidation contract: static analysis and rewriting may consult
+//! schema state, so any statement that changes the catalog — DDL, or the
+//! commit of an updating transaction that touched/dropped documents or
+//! indexes — clears the whole cache. The cache is per-session, so no
+//! cross-session coherence is needed beyond that conservative flush
+//! (another session's DDL is observed at this session's next
+//! transactional catalog snapshot, by which time its own cache has been
+//! cleared if it performed the DDL, or the cached plans are still valid
+//! rewrites of the same text).
+
+use std::collections::HashMap;
+
+use sedna_xquery::ast::Statement;
+
+/// A bounded LRU mapping statement text to its parse+rewrite result.
+///
+/// Recency is tracked with a monotonic sequence number per entry;
+/// eviction scans for the minimum. Capacities are small (default 64),
+/// so the O(n) eviction scan is cheaper than a linked-list LRU and
+/// keeps the structure allocation-free on the hit path.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    capacity: usize,
+    seq: u64,
+    entries: HashMap<String, CacheEntry>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    stmt: Statement,
+    last_used: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (0 disables it).
+    pub(crate) fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            seq: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks up the rewritten statement for `text`, refreshing recency.
+    pub(crate) fn get(&mut self, text: &str) -> Option<Statement> {
+        self.seq += 1;
+        let seq = self.seq;
+        let e = self.entries.get_mut(text)?;
+        e.last_used = seq;
+        Some(e.stmt.clone())
+    }
+
+    /// Inserts the rewritten statement for `text`, evicting the
+    /// least-recently-used entry when full. No-op when disabled.
+    pub(crate) fn insert(&mut self, text: &str, stmt: Statement) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.seq += 1;
+        if !self.entries.contains_key(text) && self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            text.to_string(),
+            CacheEntry {
+                stmt,
+                last_used: self.seq,
+            },
+        );
+    }
+
+    /// Drops every cached plan (schema changed).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached plans (tests/diagnostics).
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt(text: &str) -> Statement {
+        sedna_xquery::parser::parse_statement(text).unwrap()
+    }
+
+    #[test]
+    fn hit_returns_inserted_plan() {
+        let mut c = PlanCache::new(4);
+        let s = stmt("doc('d')/r");
+        c.insert("doc('d')/r", s.clone());
+        assert_eq!(c.get("doc('d')/r"), Some(s));
+        assert_eq!(c.get("doc('d')/other"), None);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut c = PlanCache::new(2);
+        c.insert("a", stmt("1"));
+        c.insert("b", stmt("2"));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(c.get("a").is_some());
+        c.insert("c", stmt("3"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_evicting() {
+        let mut c = PlanCache::new(2);
+        c.insert("a", stmt("1"));
+        c.insert("b", stmt("2"));
+        c.insert("a", stmt("1 + 1"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a"), Some(stmt("1 + 1")));
+        assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = PlanCache::new(0);
+        c.insert("a", stmt("1"));
+        assert_eq!(c.len(), 0);
+        assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = PlanCache::new(4);
+        c.insert("a", stmt("1"));
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert!(c.get("a").is_none());
+    }
+}

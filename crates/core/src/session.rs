@@ -35,6 +35,7 @@ use crate::catalog::{self, Catalog, DocData, IndexData, IndexMeta};
 use crate::database::DbInner;
 use crate::error::{DbError, DbResult};
 use crate::metrics::QueryProfile;
+use crate::plan_cache::PlanCache;
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,11 +94,15 @@ pub struct Session {
     session_stats: ExecStats,
     /// Profile of the last successfully executed statement.
     last_profile: Option<QueryProfile>,
+    /// Parse+rewrite results keyed by statement text (LRU, cleared on
+    /// any catalog change this session performs).
+    plan_cache: PlanCache,
 }
 
 impl Session {
     pub(crate) fn new(db: Arc<DbInner>) -> Session {
         let vas = db.sas.session();
+        let plan_cache = PlanCache::new(db.cfg.plan_cache_capacity);
         Session {
             db,
             vas,
@@ -105,6 +110,7 @@ impl Session {
             last_stats: ExecStats::default(),
             session_stats: ExecStats::default(),
             last_profile: None,
+            plan_cache,
         }
     }
 
@@ -121,6 +127,11 @@ impl Session {
     /// [`Session::reset_session_stats`]).
     pub fn session_stats(&self) -> ExecStats {
         self.session_stats
+    }
+
+    /// Number of plans currently held by this session's plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// Zeroes the accumulated [`Session::session_stats`] totals.
@@ -184,6 +195,11 @@ impl Session {
                 dropped,
                 ..
             }) => {
+                if !touched.is_empty() || !dropped.is_empty() {
+                    // Committing catalog deltas invalidates cached
+                    // parse+rewrite results.
+                    self.plan_cache.clear();
+                }
                 let result = self.commit_update(&handle, &touched, &dropped);
                 self.db.gate.exit_shared();
                 self.vas.begin(View::LATEST, None);
@@ -314,6 +330,9 @@ impl Session {
                 }
                 self.db.gate.exit_shared();
                 self.vas.begin(View::LATEST, None);
+                // Plans cached between an in-transaction DDL and this
+                // rollback were rewritten against the undone catalog.
+                self.plan_cache.clear();
                 Ok(())
             }
         }
@@ -335,13 +354,26 @@ impl Session {
         // analyser + rewriter → executor. Handles are clones sharing the
         // database-wide histograms, so the spans record even on error.
         let q = self.db.obs.query.clone();
-        let parse_span = q.parse_ns.span();
-        let stmt = sedna_xquery::parser::parse_statement(text)?;
-        let parse_ns = parse_span.finish();
-        let rewrite_span = q.rewrite_ns.span();
-        let stmt = sedna_xquery::static_ctx::analyze(stmt)?;
-        let stmt = sedna_xquery::rewrite::rewrite_statement(stmt);
-        let rewrite_ns = rewrite_span.finish();
+        let (stmt, parse_ns, rewrite_ns) = match self.plan_cache.get(text) {
+            Some(stmt) => {
+                // Cached parse+rewrite result: both phases are skipped, so
+                // the profile reports zero for them.
+                q.plan_cache_hits.inc();
+                (stmt, 0, 0)
+            }
+            None => {
+                q.plan_cache_misses.inc();
+                let parse_span = q.parse_ns.span();
+                let stmt = sedna_xquery::parser::parse_statement(text)?;
+                let parse_ns = parse_span.finish();
+                let rewrite_span = q.rewrite_ns.span();
+                let stmt = sedna_xquery::static_ctx::analyze(stmt)?;
+                let stmt = sedna_xquery::rewrite::rewrite_statement(stmt);
+                let rewrite_ns = rewrite_span.finish();
+                self.plan_cache.insert(text, stmt.clone());
+                (stmt, parse_ns, rewrite_ns)
+            }
+        };
         let needs_update = !matches!(stmt.kind, StatementKind::Query(_));
         let implicit = self.txn.is_none();
         if implicit {
@@ -365,6 +397,10 @@ impl Session {
                     let _ = self.rollback();
                 }
             }
+        }
+        if result.is_ok() && matches!(stmt.kind, StatementKind::Ddl(_)) {
+            // Schema changed: cached rewrites may no longer be valid.
+            self.plan_cache.clear();
         }
         if result.is_ok() {
             q.statements.inc();

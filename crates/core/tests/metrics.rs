@@ -92,6 +92,65 @@ fn prometheus_rendering_is_well_formed() {
 }
 
 #[test]
+fn plan_cache_skips_parse_and_invalidates_on_ddl() {
+    let gov = Governor::new();
+    let dir = tmpdir("plancache");
+    let db = gov.create_database("db", &dir, DbConfig::default()).unwrap();
+    let mut s = db.session();
+    s.execute("CREATE DOCUMENT 'inv'").unwrap();
+    s.load_xml("inv", DOC).unwrap();
+
+    // First run: miss (parse + rewrite recorded).
+    s.query("doc('inv')//sku/text()").unwrap();
+    let first = *s.last_profile().unwrap();
+    assert!(first.parse_ns > 0);
+
+    // Second run of the same text: hit, both phases skipped, identical
+    // results.
+    let out1 = s.query("doc('inv')//sku/text()").unwrap();
+    let hit = *s.last_profile().unwrap();
+    assert_eq!(hit.parse_ns, 0, "cached plan skips the parse phase");
+    assert_eq!(hit.rewrite_ns, 0, "cached plan skips the rewrite phase");
+    assert_eq!(out1, s.query("doc('inv')//sku/text()").unwrap());
+
+    let snap = db.metrics_snapshot();
+    assert!(snap.counter("sedna_plan_cache_hits_total") >= 2);
+    assert!(snap.counter("sedna_plan_cache_misses_total") >= 2);
+    assert!(s.plan_cache_len() > 0);
+
+    // DDL clears the cache: the next run is a miss again.
+    let hits_before = db.metrics_snapshot().counter("sedna_plan_cache_hits_total");
+    s.execute("CREATE DOCUMENT 'other'").unwrap();
+    assert_eq!(s.plan_cache_len(), 0, "DDL must clear the plan cache");
+    s.query("doc('inv')//sku/text()").unwrap();
+    assert!(s.last_profile().unwrap().parse_ns > 0, "re-parsed after DDL");
+    assert_eq!(
+        db.metrics_snapshot().counter("sedna_plan_cache_hits_total"),
+        hits_before,
+        "no hit immediately after invalidation"
+    );
+
+    // A session with caching disabled never hits.
+    let cfg = DbConfig {
+        plan_cache_capacity: 0,
+        ..DbConfig::small()
+    };
+    let dir2 = tmpdir("plancache-off");
+    let db2 = gov.create_database("db2", &dir2, cfg).unwrap();
+    let mut s2 = db2.session();
+    s2.execute("CREATE DOCUMENT 'd'").unwrap();
+    s2.load_xml("d", DOC).unwrap();
+    s2.query("doc('d')//sku").unwrap();
+    s2.query("doc('d')//sku").unwrap();
+    let snap2 = db2.metrics_snapshot();
+    assert_eq!(snap2.counter("sedna_plan_cache_hits_total"), 0);
+    assert_eq!(s2.plan_cache_len(), 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir2).unwrap();
+}
+
+#[test]
 fn last_profile_reports_phases_and_counters() {
     let gov = Governor::new();
     let dir = tmpdir("profile");

@@ -7,13 +7,33 @@
 //! address, so that several versions of one SAS page can be resident
 //! simultaneously (an updater's working version next to the snapshot
 //! version a read-only transaction is scanning).
+//!
+//! ## Sharding and the lock-free hit path
+//!
+//! The page table and the clock replacement state are partitioned into
+//! `N` shards (a power of two, clamped to the frame count). A physical
+//! slot id is hashed to a shard; each shard owns a disjoint slice of the
+//! frame array, its own `phys → frame` map, its own clock hand, and its
+//! own free list, so a miss (eviction, store I/O) in one shard never
+//! blocks lookups in another.
+//!
+//! A **hit** takes only the shard's `RwLock` in *read* mode — a shared
+//! acquisition that concurrent readers never serialize on — and flips the
+//! frame's atomic reference bit. Pinning is the frame `RwLock` itself
+//! (the clock's `try_write` probe refuses frames with readers or a
+//! writer), and the reference bit is a per-frame atomic, so a hot
+//! read-only scan performs **zero exclusive acquisitions** of pool
+//! state. Only misses, evictions, retargets and invalidations write-lock
+//! a shard, and only ever one shard at a time (cross-shard retargets
+//! release the source shard before touching the destination shard, so
+//! there is no lock-order deadlock).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
-use sedna_obs::{consistent_read, Counter, Registry};
+use sedna_obs::{consistent_read, Counter, Gauge, Registry};
 
 use crate::error::{SasError, SasResult};
 use crate::store::{PageStore, PhysId};
@@ -34,6 +54,11 @@ pub trait WriteBarrier: Send + Sync {
 pub struct BufferMetrics {
     /// Lookups satisfied by a resident frame.
     pub hits: Counter,
+    /// Hits that completed without any exclusive pool-state acquisition
+    /// (shard read-locked only). A subset of `hits`: a lookup that loses
+    /// the read-probe race and re-finds the page under the shard write
+    /// lock counts as a hit but not as a lock-free hit.
+    pub lockfree_hits: Counter,
     /// Lookups that had to load the page from the store.
     pub misses: Counter,
     /// Frames evicted to make room.
@@ -42,9 +67,29 @@ pub struct BufferMetrics {
     pub writebacks: Counter,
     /// Copy-on-write retargets.
     pub retargets: Counter,
+    /// Number of page-table shards (constant after pool construction).
+    pub shard_count: Gauge,
+    /// Per-shard resident-page gauges (`sedna_buffer_shard_<i>_resident`).
+    pub shard_resident: Vec<Gauge>,
+    /// Reset generation (seqlock): odd while a [`BufferMetrics::reset`] is
+    /// in progress, bumped again when it finishes. [`BufferMetrics::stats`]
+    /// rejects sweeps that overlap a reset, so a racing reset can no
+    /// longer satisfy the two-sweep agreement check with half-reset
+    /// counters.
+    generation: Counter,
 }
 
 impl BufferMetrics {
+    /// Creates handles with one resident gauge per shard.
+    pub fn for_shards(shards: usize) -> BufferMetrics {
+        let m = BufferMetrics {
+            shard_resident: (0..shards).map(|_| Gauge::new()).collect(),
+            ..BufferMetrics::default()
+        };
+        m.shard_count.set(shards as i64);
+        m
+    }
+
     /// Registers every counter under its canonical `sedna_buffer_*` name
     /// (see `docs/metrics.md`).
     pub fn register_into(&self, reg: &Registry) {
@@ -52,6 +97,11 @@ impl BufferMetrics {
             "sedna_buffer_hits_total",
             "Buffer-pool lookups satisfied by a resident frame",
             &self.hits,
+        );
+        reg.register_counter(
+            "sedna_buffer_lockfree_hits_total",
+            "Hits resolved with the shard read-locked only (no exclusive acquisition)",
+            &self.lockfree_hits,
         );
         reg.register_counter(
             "sedna_buffer_misses_total",
@@ -73,29 +123,64 @@ impl BufferMetrics {
             "Copy-on-write page-version retargets",
             &self.retargets,
         );
+        reg.register_gauge(
+            "sedna_buffer_shard_count",
+            "Number of buffer-pool page-table shards",
+            &self.shard_count,
+        );
+        for (i, g) in self.shard_resident.iter().enumerate() {
+            reg.register_gauge(
+                &format!("sedna_buffer_shard_{i}_resident"),
+                "Resident pages in this buffer-pool shard",
+                g,
+            );
+        }
     }
 
     /// A torn-read-free [`BufferStats`] view: the counters are swept
     /// repeatedly until two consecutive sweeps agree (see
     /// [`consistent_read`]), so `hits`/`misses` cannot drift apart
-    /// mid-snapshot under concurrent load.
+    /// mid-snapshot under concurrent load. Sweeps that overlap a
+    /// [`BufferMetrics::reset`] are additionally rejected via the reset
+    /// generation, so agreement can no longer be satisfied by half-reset
+    /// counters. Like `consistent_read` itself, the retry loop is
+    /// bounded; under a pathological reset storm the last sweep is
+    /// returned as-is (benchmark-only contract, see `docs/metrics.md`).
     pub fn stats(&self) -> BufferStats {
-        consistent_read(|| BufferStats {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
-            evictions: self.evictions.get(),
-            writebacks: self.writebacks.get(),
-            retargets: self.retargets.get(),
-        })
+        let (_, _, stats) = consistent_read(|| {
+            let g_before = self.generation.get();
+            let s = BufferStats {
+                hits: self.hits.get(),
+                lockfree_hits: self.lockfree_hits.get(),
+                misses: self.misses.get(),
+                evictions: self.evictions.get(),
+                writebacks: self.writebacks.get(),
+                retargets: self.retargets.get(),
+            };
+            let g_after = self.generation.get();
+            // A sweep is clean only if no reset was in progress (even) and
+            // none completed across it (equal). Unequal or odd generations
+            // never compare equal across two sweeps once the reset
+            // finishes, forcing a retry.
+            (g_before, g_after, s)
+        });
+        stats
     }
 
-    /// Resets every counter (benchmark plumbing).
+    /// Resets every counter. **Benchmark-only plumbing**: callers must not
+    /// run concurrent resets; a reset concurrent with [`BufferMetrics::stats`]
+    /// makes the reader retry (it observes either the pre- or post-reset
+    /// values, never a mixture). The shard gauges track live pool state
+    /// and are not touched.
     pub fn reset(&self) {
+        self.generation.inc(); // odd: reset in progress
         self.hits.reset();
+        self.lockfree_hits.reset();
         self.misses.reset();
         self.evictions.reset();
         self.writebacks.reset();
         self.retargets.reset();
+        self.generation.inc(); // even: stable again
     }
 }
 
@@ -106,6 +191,8 @@ impl BufferMetrics {
 pub struct BufferStats {
     /// Lookups satisfied by a resident frame.
     pub hits: u64,
+    /// Hits resolved with the shard read-locked only (subset of `hits`).
+    pub lockfree_hits: u64,
     /// Lookups that had to load the page from the store.
     pub misses: u64,
     /// Frames evicted to make room.
@@ -114,6 +201,23 @@ pub struct BufferStats {
     pub writebacks: u64,
     /// Copy-on-write retargets (new page version created in place).
     pub retargets: u64,
+}
+
+/// Per-shard counters for the shard-invariant tests and ablations:
+/// `lookups == hits + misses` holds for every shard at any quiescent
+/// point, and `resident` pages of a shard all hash to that shard.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups routed to this shard (acquire/acquire_fresh/retarget).
+    pub lookups: u64,
+    /// Lookups satisfied by a frame resident in this shard.
+    pub hits: u64,
+    /// Lookups that loaded (or re-created) the page in this shard.
+    pub misses: u64,
+    /// Pages currently resident in this shard.
+    pub resident: usize,
+    /// Frames owned by this shard.
+    pub frames: usize,
 }
 
 /// Contents of one buffer frame.
@@ -129,14 +233,32 @@ pub struct FrameInner {
 
 struct Frame {
     lock: Arc<RwLock<FrameInner>>,
+    /// Second-chance reference bit. Atomic so the lock-free hit path can
+    /// set it without owning any pool-state lock; the clock (which holds
+    /// its shard write-locked) races against it benignly.
     referenced: AtomicBool,
 }
 
-struct PoolState {
-    /// phys -> frame index, for resident pages.
+/// Mutable half of a shard: the page table, clock hand and free list.
+struct ShardState {
+    /// phys -> global frame index, for pages resident in this shard.
     map: HashMap<PhysId, usize>,
-    /// Clock hand for second-chance replacement.
+    /// Clock hand, relative to the shard's frame slice.
     hand: usize,
+    /// Never-used or invalidated frames (global indices), consumed before
+    /// the clock starts evicting.
+    free: Vec<usize>,
+}
+
+struct Shard {
+    /// First frame index owned by this shard.
+    start: usize,
+    /// Number of frames owned by this shard.
+    len: usize,
+    state: RwLock<ShardState>,
+    lookups: Counter,
+    hits: Counter,
+    misses: Counter,
 }
 
 /// A shared read guard over a resident page.
@@ -232,7 +354,9 @@ impl std::ops::DerefMut for PageWrite {
 pub struct BufferPool {
     page_size: usize,
     frames: Vec<Frame>,
-    state: Mutex<PoolState>,
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    shard_mask: u64,
     barrier: Mutex<Option<Arc<dyn WriteBarrier>>>,
     metrics: BufferMetrics,
 }
@@ -255,10 +379,37 @@ impl std::fmt::Debug for FrameRef {
     }
 }
 
+/// Default shard count: the next power of two ≥ the machine's cores.
+pub fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+}
+
 impl BufferPool {
-    /// Creates a pool of `frames` frames of `page_size` bytes each.
+    /// Creates a pool of `frames` frames of `page_size` bytes each, with
+    /// the default shard count (next power of two ≥ cores, clamped so
+    /// every shard owns at least one frame).
     pub fn new(frames: usize, page_size: usize) -> Self {
-        let frames = (0..frames)
+        Self::with_shards(frames, page_size, 0)
+    }
+
+    /// Creates a pool with an explicit shard count. `shards == 0` selects
+    /// the default; any other value is rounded up to a power of two and
+    /// clamped so that every shard owns at least one frame (tiny test
+    /// pools degrade to a single shard).
+    pub fn with_shards(frames: usize, page_size: usize, shards: usize) -> Self {
+        let n_frames = frames;
+        let mut n_shards = if shards == 0 {
+            default_shard_count()
+        } else {
+            shards.next_power_of_two()
+        };
+        while n_shards > 1 && n_shards > n_frames {
+            n_shards /= 2;
+        }
+        let frames: Vec<Frame> = (0..n_frames)
             .map(|_| Frame {
                 lock: Arc::new(RwLock::new(FrameInner {
                     page: XPtr::NULL,
@@ -269,21 +420,55 @@ impl BufferPool {
                 referenced: AtomicBool::new(false),
             })
             .collect();
+        // Partition the frame array into contiguous per-shard slices; the
+        // remainder is spread over the leading shards.
+        let base = n_frames / n_shards;
+        let rem = n_frames % n_shards;
+        let mut start = 0usize;
+        let shards: Vec<Shard> = (0..n_shards)
+            .map(|i| {
+                let len = base + usize::from(i < rem);
+                let shard = Shard {
+                    start,
+                    len,
+                    state: RwLock::new(ShardState {
+                        map: HashMap::new(),
+                        hand: 0,
+                        free: (start..start + len).rev().collect(),
+                    }),
+                    lookups: Counter::new(),
+                    hits: Counter::new(),
+                    misses: Counter::new(),
+                };
+                start += len;
+                shard
+            })
+            .collect();
         BufferPool {
             page_size,
             frames,
-            state: Mutex::new(PoolState {
-                map: HashMap::new(),
-                hand: 0,
-            }),
+            shard_mask: (n_shards - 1) as u64,
+            shards,
             barrier: Mutex::new(None),
-            metrics: BufferMetrics::default(),
+            metrics: BufferMetrics::for_shards(n_shards),
         }
     }
 
     /// The page size frames were created with.
     pub fn page_size(&self) -> usize {
         self.page_size
+    }
+
+    /// The number of page-table shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a physical slot hashes to (Fibonacci hashing; the shard
+    /// count is a power of two).
+    #[inline]
+    pub fn shard_of(&self, phys: PhysId) -> usize {
+        ((phys.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) & self.shard_mask) as usize
     }
 
     /// Installs the WAL write barrier.
@@ -302,9 +487,31 @@ impl BufferPool {
         self.metrics.stats()
     }
 
-    /// Resets the counters (benchmark plumbing).
+    /// Resets the counters (benchmark plumbing; see [`BufferMetrics::reset`]).
     pub fn reset_stats(&self) {
         self.metrics.reset();
+    }
+
+    /// Per-shard lookup/hit/miss/resident counters. At any quiescent point
+    /// `lookups == hits + misses` holds per shard.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                lookups: s.lookups.get(),
+                hits: s.hits.get(),
+                misses: s.misses.get(),
+                resident: s.state.read().map.len(),
+                frames: s.len,
+            })
+            .collect()
+    }
+
+    fn frame_ref(&self, idx: usize) -> FrameRef {
+        FrameRef {
+            lock: Arc::clone(&self.frames[idx].lock),
+            frame_idx: idx,
+        }
     }
 
     fn flush_inner(&self, inner: &mut FrameInner, store: &dyn PageStore) -> SasResult<()> {
@@ -324,19 +531,41 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Picks an evictable frame (second chance). The caller must hold the
-    /// state lock; the victim is returned write-locked with its old content
+    /// Picks an evictable frame of shard `si` (free list first, then second
+    /// chance over the shard's own frames). The caller must hold the shard
+    /// write lock; the victim is returned write-locked with its old content
     /// flushed and its map entry removed.
     fn claim_victim(
         &self,
-        state: &mut PoolState,
+        si: usize,
+        state: &mut ShardState,
         store: &dyn PageStore,
     ) -> SasResult<(usize, ArcRwLockWriteGuard<RawRwLock, FrameInner>)> {
-        let n = self.frames.len();
-        // Two full sweeps: the first clears reference bits, the second takes
-        // any unreferenced, unlocked frame.
+        let shard = &self.shards[si];
+        // Free frames (never used, or invalidated) first — no eviction.
+        while let Some(idx) = state.free.pop() {
+            if let Some(guard) = self.frames[idx].lock.try_write_arc() {
+                if guard.phys == PhysId::INVALID {
+                    return Ok((idx, guard));
+                }
+                // Stale entry: the clock reused this frame after it was
+                // freed; drop the entry and keep popping.
+                continue;
+            }
+            // Someone still holds a stale guard on the freed frame; it
+            // stays usable, so keep it in the free list for next time and
+            // fall through to the clock.
+            state.free.push(idx);
+            break;
+        }
+        let n = shard.len;
+        if n == 0 {
+            return Err(SasError::PoolExhausted);
+        }
+        // Two full sweeps of this shard's slice: the first clears reference
+        // bits, the second takes any unreferenced, unlocked frame.
         for _ in 0..2 * n + 1 {
-            let idx = state.hand;
+            let idx = shard.start + state.hand;
             state.hand = (state.hand + 1) % n;
             let frame = &self.frames[idx];
             if frame.referenced.swap(false, Ordering::Relaxed) {
@@ -345,8 +574,15 @@ impl BufferPool {
             if let Some(mut guard) = frame.lock.try_write_arc() {
                 if guard.phys != PhysId::INVALID {
                     self.flush_inner(&mut guard, store)?;
-                    state.map.remove(&guard.phys);
+                    if state.map.remove(&guard.phys).is_some() {
+                        self.metrics.shard_resident[si].sub(1);
+                    }
                     self.metrics.evictions.inc();
+                } else {
+                    // An empty frame may still be listed as free (the
+                    // earlier pop skipped it while a stale guard was
+                    // held); claiming it here must unlist it.
+                    state.free.retain(|&i| i != idx);
                 }
                 return Ok((idx, guard));
             }
@@ -356,34 +592,47 @@ impl BufferPool {
 
     /// Makes the page at physical slot `phys` resident, loading it from the
     /// store if needed, and returns a handle to its frame.
-    pub fn acquire(
-        &self,
-        page: XPtr,
-        phys: PhysId,
-        store: &dyn PageStore,
-    ) -> SasResult<FrameRef> {
-        let mut state = self.state.lock();
+    ///
+    /// The hot path — the page is resident — takes the owning shard's lock
+    /// in **read** mode only and touches nothing but the frame's atomic
+    /// reference bit: concurrent hits, even across all sessions, perform no
+    /// exclusive pool-state acquisition.
+    pub fn acquire(&self, page: XPtr, phys: PhysId, store: &dyn PageStore) -> SasResult<FrameRef> {
+        let si = self.shard_of(phys);
+        let shard = &self.shards[si];
+        shard.lookups.inc();
+        {
+            let state = shard.state.read();
+            if let Some(&idx) = state.map.get(&phys) {
+                self.frames[idx].referenced.store(true, Ordering::Relaxed);
+                shard.hits.inc();
+                self.metrics.hits.inc();
+                self.metrics.lockfree_hits.inc();
+                return Ok(self.frame_ref(idx));
+            }
+        }
+        // Miss path: exclusive on this shard only.
+        let mut state = shard.state.write();
+        // Another thread may have loaded the page between the read probe
+        // and the write acquisition.
         if let Some(&idx) = state.map.get(&phys) {
             self.frames[idx].referenced.store(true, Ordering::Relaxed);
+            shard.hits.inc();
             self.metrics.hits.inc();
-            return Ok(FrameRef {
-                lock: Arc::clone(&self.frames[idx].lock),
-                frame_idx: idx,
-            });
+            return Ok(self.frame_ref(idx));
         }
+        shard.misses.inc();
         self.metrics.misses.inc();
-        let (idx, mut guard) = self.claim_victim(&mut state, store)?;
+        let (idx, mut guard) = self.claim_victim(si, &mut state, store)?;
         store.read(phys, &mut guard.data)?;
         guard.page = page;
         guard.phys = phys;
         guard.dirty = false;
         state.map.insert(phys, idx);
+        self.metrics.shard_resident[si].add(1);
         self.frames[idx].referenced.store(true, Ordering::Relaxed);
         drop(guard);
-        Ok(FrameRef {
-            lock: Arc::clone(&self.frames[idx].lock),
-            frame_idx: idx,
-        })
+        Ok(self.frame_ref(idx))
     }
 
     /// Makes a brand-new zeroed page resident without touching the store.
@@ -395,22 +644,24 @@ impl BufferPool {
         phys: PhysId,
         store: &dyn PageStore,
     ) -> SasResult<FrameRef> {
-        let mut state = self.state.lock();
+        let si = self.shard_of(phys);
+        let shard = &self.shards[si];
+        shard.lookups.inc();
+        let mut state = shard.state.write();
         debug_assert!(!state.map.contains_key(&phys), "fresh page already mapped");
+        shard.misses.inc();
         self.metrics.misses.inc();
-        let (idx, mut guard) = self.claim_victim(&mut state, store)?;
+        let (idx, mut guard) = self.claim_victim(si, &mut state, store)?;
         guard.data.fill(0);
         guard.data[0..8].copy_from_slice(&page.to_bytes());
         guard.page = page;
         guard.phys = phys;
         guard.dirty = true;
         state.map.insert(phys, idx);
+        self.metrics.shard_resident[si].add(1);
         self.frames[idx].referenced.store(true, Ordering::Relaxed);
         drop(guard);
-        Ok(FrameRef {
-            lock: Arc::clone(&self.frames[idx].lock),
-            frame_idx: idx,
-        })
+        Ok(self.frame_ref(idx))
     }
 
     /// Copy-on-write retarget: the resident content of `old_phys` becomes
@@ -418,6 +669,11 @@ impl BufferPool {
     /// flushed to `old_phys` first if dirty, so snapshot readers keep a
     /// consistent on-disk image. If the old version is not resident it is
     /// loaded first. Returns the (write-locked-and-released) frame handle.
+    ///
+    /// Shard-aware: `old_phys` and `new_phys` may hash to different shards,
+    /// in which case the content migrates between the shards' frame sets.
+    /// The source shard is fully released before the destination shard is
+    /// locked, so no two shard locks are ever held at once.
     pub fn retarget(
         &self,
         page: XPtr,
@@ -425,70 +681,158 @@ impl BufferPool {
         new_phys: PhysId,
         store: &dyn PageStore,
     ) -> SasResult<FrameRef> {
-        let mut state = self.state.lock();
+        let si_old = self.shard_of(old_phys);
+        let si_new = self.shard_of(new_phys);
+        let old_shard = &self.shards[si_old];
         self.metrics.retargets.inc();
-        if let Some(&idx) = state.map.get(&old_phys) {
-            let mut guard = self.frames[idx].lock.write_arc();
-            self.flush_inner(&mut guard, store)?;
-            state.map.remove(&old_phys);
+        old_shard.lookups.inc();
+        if si_old == si_new {
+            // Same shard: retarget the frame in place under one lock.
+            let mut state = old_shard.state.write();
+            if let Some(idx) = state.map.remove(&old_phys) {
+                old_shard.hits.inc();
+                self.metrics.hits.inc();
+                let mut guard = self.frames[idx].lock.write_arc();
+                self.flush_inner(&mut guard, store)?;
+                guard.page = page;
+                guard.phys = new_phys;
+                guard.dirty = true;
+                state.map.insert(new_phys, idx);
+                self.frames[idx].referenced.store(true, Ordering::Relaxed);
+                drop(guard);
+                return Ok(self.frame_ref(idx));
+            }
+            // Old version not resident: load its bytes under new_phys.
+            old_shard.misses.inc();
+            self.metrics.misses.inc();
+            let (idx, mut guard) = self.claim_victim(si_old, &mut state, store)?;
+            store.read(old_phys, &mut guard.data)?;
             guard.page = page;
             guard.phys = new_phys;
             guard.dirty = true;
             state.map.insert(new_phys, idx);
             self.frames[idx].referenced.store(true, Ordering::Relaxed);
             drop(guard);
-            return Ok(FrameRef {
-                lock: Arc::clone(&self.frames[idx].lock),
-                frame_idx: idx,
-            });
+            return Ok(self.frame_ref(idx));
         }
-        // Old version not resident: load its bytes, register under new_phys.
-        self.metrics.misses.inc();
-        let (idx, mut guard) = self.claim_victim(&mut state, store)?;
-        store.read(old_phys, &mut guard.data)?;
+        // Cross-shard: extract the bytes from the source shard (flushing
+        // the old version), then install them in the destination shard.
+        let migrated: Option<Box<[u8]>> = {
+            let mut state = old_shard.state.write();
+            match state.map.remove(&old_phys) {
+                Some(idx) => {
+                    old_shard.hits.inc();
+                    self.metrics.hits.inc();
+                    self.metrics.shard_resident[si_old].sub(1);
+                    let mut guard = self.frames[idx].lock.write_arc();
+                    self.flush_inner(&mut guard, store)?;
+                    let bytes = guard.data.clone();
+                    guard.page = XPtr::NULL;
+                    guard.phys = PhysId::INVALID;
+                    guard.dirty = false;
+                    state.free.push(idx);
+                    Some(bytes)
+                }
+                None => {
+                    old_shard.misses.inc();
+                    self.metrics.misses.inc();
+                    None
+                }
+            }
+        };
+        let new_shard = &self.shards[si_new];
+        let mut state = new_shard.state.write();
+        let (idx, mut guard) = self.claim_victim(si_new, &mut state, store)?;
+        match migrated {
+            Some(bytes) => guard.data.copy_from_slice(&bytes),
+            None => store.read(old_phys, &mut guard.data)?,
+        }
         guard.page = page;
         guard.phys = new_phys;
         guard.dirty = true;
         state.map.insert(new_phys, idx);
+        self.metrics.shard_resident[si_new].add(1);
         self.frames[idx].referenced.store(true, Ordering::Relaxed);
         drop(guard);
-        Ok(FrameRef {
-            lock: Arc::clone(&self.frames[idx].lock),
-            frame_idx: idx,
-        })
+        Ok(self.frame_ref(idx))
     }
 
     /// Drops the frame holding `phys`, if resident, without writing it back
     /// (used when a page version is discarded: rollback or version purge).
     pub fn invalidate(&self, phys: PhysId) {
-        let mut state = self.state.lock();
+        let si = self.shard_of(phys);
+        let mut state = self.shards[si].state.write();
         if let Some(idx) = state.map.remove(&phys) {
+            self.metrics.shard_resident[si].sub(1);
             let mut guard = self.frames[idx].lock.write_arc();
             guard.page = XPtr::NULL;
             guard.phys = PhysId::INVALID;
             guard.dirty = false;
+            drop(guard);
+            state.free.push(idx);
         }
     }
 
-    /// Flushes every dirty frame to the store (checkpoint support).
+    /// Drops the frames of several physical slots, grouping the work by
+    /// shard so each shard lock is taken at most once (the version
+    /// manager's commit/rollback/purge paths discard whole batches).
+    pub fn invalidate_many(&self, phys: &[PhysId]) {
+        if phys.len() <= 1 {
+            if let Some(&p) = phys.first() {
+                self.invalidate(p);
+            }
+            return;
+        }
+        let mut by_shard: Vec<Vec<PhysId>> = vec![Vec::new(); self.shards.len()];
+        for &p in phys {
+            by_shard[self.shard_of(p)].push(p);
+        }
+        for (si, group) in by_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut state = self.shards[si].state.write();
+            for p in group {
+                if let Some(idx) = state.map.remove(&p) {
+                    self.metrics.shard_resident[si].sub(1);
+                    let mut guard = self.frames[idx].lock.write_arc();
+                    guard.page = XPtr::NULL;
+                    guard.phys = PhysId::INVALID;
+                    guard.dirty = false;
+                    drop(guard);
+                    state.free.push(idx);
+                }
+            }
+        }
+    }
+
+    /// Flushes every dirty frame to the store (checkpoint support). Shards
+    /// are frozen and flushed one at a time.
     pub fn flush_all(&self, store: &dyn PageStore) -> SasResult<()> {
-        // Lock the state to freeze the map, then flush frame by frame.
-        let state = self.state.lock();
-        for &idx in state.map.values() {
-            let mut guard = self.frames[idx].lock.write_arc();
-            self.flush_inner(&mut guard, store)?;
+        for shard in &self.shards {
+            let state = shard.state.write();
+            for &idx in state.map.values() {
+                let mut guard = self.frames[idx].lock.write_arc();
+                self.flush_inner(&mut guard, store)?;
+            }
         }
         Ok(())
     }
 
     /// Drops every resident frame without write-back (crash simulation).
     pub fn drop_all(&self) {
-        let mut state = self.state.lock();
-        for (_, idx) in state.map.drain() {
-            let mut guard = self.frames[idx].lock.write_arc();
-            guard.page = XPtr::NULL;
-            guard.phys = PhysId::INVALID;
-            guard.dirty = false;
+        for (si, shard) in self.shards.iter().enumerate() {
+            let mut state = shard.state.write();
+            let dropped: Vec<usize> = state.map.drain().map(|(_, idx)| idx).collect();
+            for idx in dropped {
+                let mut guard = self.frames[idx].lock.write_arc();
+                guard.page = XPtr::NULL;
+                guard.phys = PhysId::INVALID;
+                guard.dirty = false;
+                drop(guard);
+                state.free.push(idx);
+            }
+            self.metrics.shard_resident[si].set(0);
         }
     }
 
@@ -522,9 +866,9 @@ impl BufferPool {
         }
     }
 
-    /// Number of resident pages.
+    /// Number of resident pages (summed over the shards).
     pub fn resident(&self) -> usize {
-        self.state.lock().map.len()
+        self.shards.iter().map(|s| s.state.read().map.len()).sum()
     }
 }
 
@@ -538,6 +882,13 @@ mod tests {
 
     fn setup(frames: usize) -> (BufferPool, Arc<MemPageStore>) {
         (BufferPool::new(frames, PS), Arc::new(MemPageStore::new(PS)))
+    }
+
+    fn setup_sharded(frames: usize, shards: usize) -> (BufferPool, Arc<MemPageStore>) {
+        (
+            BufferPool::with_shards(frames, PS, shards),
+            Arc::new(MemPageStore::new(PS)),
+        )
     }
 
     #[test]
@@ -554,7 +905,7 @@ mod tests {
 
     #[test]
     fn write_then_evict_then_reload() {
-        let (pool, store) = setup(2);
+        let (pool, store) = setup_sharded(2, 1);
         let mut ids = Vec::new();
         // Create 2 pages, write a marker into each.
         for i in 0..2u32 {
@@ -648,6 +999,102 @@ mod tests {
     }
 
     #[test]
+    fn retarget_across_shards_migrates_content() {
+        // 8 shards over 8 frames: find two phys ids hashing to different
+        // shards and retarget between them.
+        let (pool, store) = setup_sharded(8, 8);
+        assert_eq!(pool.shard_count(), 8);
+        let page = XPtr::new(1, 0);
+        let old = store.alloc().unwrap();
+        let mut new = store.alloc().unwrap();
+        while pool.shard_of(new) == pool.shard_of(old) {
+            new = store.alloc().unwrap();
+        }
+        let fref = pool.acquire_fresh(page, old, store.as_ref()).unwrap();
+        {
+            let mut w = pool.try_write(&fref, old).unwrap();
+            w.bytes_mut()[PAGE_HEADER_LEN] = 77;
+        }
+        let fref2 = pool.retarget(page, old, new, store.as_ref()).unwrap();
+        // Old version was flushed to its slot before migration.
+        let mut buf = vec![0u8; PS];
+        store.read(old, &mut buf).unwrap();
+        assert_eq!(buf[PAGE_HEADER_LEN], 77);
+        // The content now answers under new_phys, in the new shard.
+        let r = pool.try_read(&fref2, new).unwrap();
+        assert_eq!(r.bytes()[PAGE_HEADER_LEN], 77);
+        drop(r);
+        // The old mapping is gone.
+        assert!(pool.try_read(&fref, old).is_none());
+        let st = pool.shard_stats();
+        assert_eq!(st[pool.shard_of(new)].resident, 1);
+        assert_eq!(st[pool.shard_of(old)].resident, 0);
+    }
+
+    #[test]
+    fn lockfree_hits_counted_on_hot_path() {
+        let (pool, store) = setup(4);
+        let page = XPtr::new(0, PS as u32);
+        let phys = store.alloc().unwrap();
+        pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        for _ in 0..10 {
+            pool.acquire(page, phys, store.as_ref()).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits, 10);
+        assert_eq!(s.lockfree_hits, 10);
+    }
+
+    #[test]
+    fn shard_lookup_invariant_holds() {
+        let (pool, store) = setup_sharded(8, 4);
+        let mut pages = Vec::new();
+        for i in 0..32u32 {
+            let page = XPtr::new(0, (i + 1) * PS as u32);
+            let phys = store.alloc().unwrap();
+            pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+            pages.push((page, phys));
+        }
+        for &(page, phys) in &pages {
+            let _ = pool.acquire(page, phys, store.as_ref()).unwrap();
+        }
+        let mut lookups = 0;
+        for st in pool.shard_stats() {
+            assert_eq!(st.lookups, st.hits + st.misses, "shard stats: {st:?}");
+            lookups += st.lookups;
+        }
+        assert_eq!(lookups, 64);
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 64);
+    }
+
+    #[test]
+    fn shard_count_clamped_to_frames() {
+        let (pool, _) = setup_sharded(3, 8);
+        assert!(pool.shard_count() <= 2);
+        assert!(pool.shard_count().is_power_of_two());
+        let (pool, _) = setup_sharded(1, 8);
+        assert_eq!(pool.shard_count(), 1);
+    }
+
+    #[test]
+    fn stats_reject_half_reset_sweeps() {
+        // A reset between the generation reads forces a retry; a clean
+        // sweep straddling no reset is accepted unchanged.
+        let (pool, store) = setup(2);
+        let page = XPtr::new(0, PS as u32);
+        let phys = store.alloc().unwrap();
+        pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        pool.acquire(page, phys, store.as_ref()).unwrap();
+        let before = pool.stats();
+        assert_eq!(before.hits, 1);
+        assert_eq!(before.misses, 1);
+        pool.reset_stats();
+        let after = pool.stats();
+        assert_eq!(after, BufferStats::default());
+    }
+
+    #[test]
     fn invalidate_discards_without_writeback() {
         let (pool, store) = setup(2);
         let page = XPtr::new(0, PS as u32);
@@ -663,6 +1110,24 @@ mod tests {
         let mut buf = vec![0u8; PS];
         store.read(phys, &mut buf).unwrap();
         assert_eq!(buf[PAGE_HEADER_LEN], 0);
+    }
+
+    #[test]
+    fn invalidate_many_discards_batch() {
+        let (pool, store) = setup_sharded(8, 4);
+        let mut physes = Vec::new();
+        for i in 0..6u32 {
+            let page = XPtr::new(0, (i + 1) * PS as u32);
+            let phys = store.alloc().unwrap();
+            pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+            physes.push(phys);
+        }
+        assert_eq!(pool.resident(), 6);
+        pool.invalidate_many(&physes);
+        assert_eq!(pool.resident(), 0);
+        for st in pool.shard_stats() {
+            assert_eq!(st.resident, 0);
+        }
     }
 
     #[test]
@@ -736,5 +1201,46 @@ mod tests {
         let mut buf = vec![0u8; PS];
         store.read(phys, &mut buf).unwrap();
         assert_eq!(buf[PAGE_HEADER_LEN], 0, "dirty bytes were not persisted");
+    }
+
+    #[test]
+    fn concurrent_readers_on_warm_pool() {
+        let (pool, store) = setup_sharded(64, 4);
+        let pool = Arc::new(pool);
+        let mut pages = Vec::new();
+        for i in 0..32u32 {
+            let page = XPtr::new(0, (i + 1) * PS as u32);
+            let phys = store.alloc().unwrap();
+            let fref = pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+            let mut w = pool.try_write(&fref, phys).unwrap();
+            w.bytes_mut()[PAGE_HEADER_LEN] = i as u8;
+            drop(w);
+            pages.push((page, phys));
+        }
+        let pages = Arc::new(pages);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let store = Arc::clone(&store);
+                let pages = Arc::clone(&pages);
+                std::thread::spawn(move || {
+                    for round in 0..50 {
+                        for (i, &(page, phys)) in pages.iter().enumerate() {
+                            if (i + round + t) % 2 == 0 {
+                                let fref = pool.acquire(page, phys, store.as_ref()).unwrap();
+                                let r = pool.try_read(&fref, phys).unwrap();
+                                assert_eq!(r.bytes()[PAGE_HEADER_LEN], i as u8);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits, s.lockfree_hits, "warm pool: every hit lock-free");
+        assert_eq!(s.misses, 32, "only the initial loads missed");
     }
 }

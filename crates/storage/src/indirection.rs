@@ -56,6 +56,7 @@ mod tests {
             page_size: 1024,
             layer_size: 64 * 1024,
             buffer_frames: 16,
+            buffer_shards: 0,
         })
         .unwrap();
         let vas = sas.session();
@@ -80,6 +81,7 @@ mod tests {
             page_size: 1024,
             layer_size: 64 * 1024,
             buffer_frames: 16,
+            buffer_shards: 0,
         })
         .unwrap();
         let vas = sas.session();

@@ -134,9 +134,15 @@ impl VersionManager {
         *self.pool.lock() = Some(pool);
     }
 
-    fn invalidate(&self, phys: PhysId) {
+    /// Discards cached frames for a batch of freed version slots. Grouping
+    /// by pool shard happens inside [`BufferPool::invalidate_many`], so a
+    /// multi-page commit/rollback takes each shard lock at most once.
+    fn invalidate_batch(&self, physes: &[PhysId]) {
+        if physes.is_empty() {
+            return;
+        }
         if let Some(pool) = self.pool.lock().as_ref() {
-            pool.invalidate(phys);
+            pool.invalidate_many(physes);
         }
     }
 
@@ -176,8 +182,8 @@ impl VersionManager {
             }
             st.active.retain(|&t| t != txn);
         }
+        self.invalidate_batch(&freed);
         for phys in freed {
-            self.invalidate(phys);
             let _ = self.store.free(phys);
         }
         ts
@@ -244,8 +250,8 @@ impl VersionManager {
             }
             st.active.retain(|&t| t != txn);
         }
+        self.invalidate_batch(&discarded);
         for phys in discarded {
-            self.invalidate(phys);
             let _ = self.store.free(phys);
         }
         fresh_pages
@@ -486,8 +492,8 @@ impl PageResolver for VersionManager {
         // created."
         let freed = Self::purge_chain(&mut st, page.raw());
         drop(st);
+        self.invalidate_batch(&freed);
         for phys in freed {
-            self.invalidate(phys);
             self.store.free(phys)?;
         }
         Ok(WritePlan {
@@ -568,8 +574,8 @@ impl PageResolver for VersionManager {
                 }
             }
         }
+        self.invalidate_batch(&freed);
         for phys in freed {
-            self.invalidate(phys);
             self.store.free(phys)?;
         }
         Ok(())

@@ -104,6 +104,7 @@ proptest! {
             page_size: 1024,
             layer_size: 1024 * 1024,
             buffer_frames: 1024,
+            buffer_shards: 0,
         }).unwrap();
         let vas = sas.session();
         vas.begin(View::LATEST, Some(TxnToken(1)));
@@ -148,6 +149,7 @@ proptest! {
             page_size: 1024,
             layer_size: 1024 * 1024,
             buffer_frames: 1024,
+            buffer_shards: 0,
         }).unwrap();
         let vas = sas.session();
         vas.begin(View::LATEST, Some(TxnToken(1)));
