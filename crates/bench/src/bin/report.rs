@@ -37,13 +37,15 @@ fn ratio(a: Duration, b: Duration) -> f64 {
 }
 
 fn main() {
-    // `report buffer` runs only the buffer-shard ablation (and rewrites
-    // BENCH_buffer.json); no argument runs the full report.
+    // `report buffer` runs only the buffer-shard ablation (rewriting
+    // BENCH_buffer.json); `report net` runs only the network client
+    // sweep (rewriting BENCH_net.json); no argument runs everything.
     let only_buffer = std::env::args().any(|a| a == "buffer");
+    let only_net = std::env::args().any(|a| a == "net");
     println!("# Sedna reproduction — experiment report");
     println!("# (cargo run --release -p sedna-bench --bin report)");
     println!();
-    if !only_buffer {
+    if !only_buffer && !only_net {
         e1_storage_strategy();
         e2_pointer_deref();
         e3_numbering();
@@ -57,7 +59,12 @@ fn main() {
         e11_recovery();
         e12_hot_backup();
     }
-    bench_buffer();
+    if !only_net {
+        bench_buffer();
+    }
+    if !only_buffer {
+        bench_net();
+    }
     println!("# done");
 }
 
@@ -295,6 +302,149 @@ fn bench_buffer() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_buffer.json", &json).unwrap();
     println!("wrote BENCH_buffer.json");
+    println!();
+}
+
+// ------------------------------------------------------------------
+// Net — client-count throughput/latency sweep over the wire (PR 3)
+// ------------------------------------------------------------------
+
+/// One measured client count of the network sweep.
+struct NetBenchRow {
+    clients: usize,
+    queries_per_sec: f64,
+    mean_us: f64,
+    p95_us: f64,
+}
+
+/// `clients` threads, each with its own [`sedna_net::SednaClient`],
+/// running the same one-item query (Execute + FetchNext + ResultEnd:
+/// three round-trips) for a fixed wall-clock window.
+fn run_net_client_sweep(addr: std::net::SocketAddr, clients: usize) -> NetBenchRow {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier, Mutex};
+
+    const WINDOW: Duration = Duration::from_millis(400);
+    let gate = Arc::new(Barrier::new(clients + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let gate = Arc::clone(&gate);
+            let stop = Arc::clone(&stop);
+            let latencies = Arc::clone(&latencies);
+            std::thread::spawn(move || {
+                let mut c = sedna_net::SednaClient::connect(addr, "bench").unwrap();
+                let mut local = Vec::new();
+                gate.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    let items = c.query("count(doc('lib')//book)").unwrap();
+                    std::hint::black_box(&items);
+                    local.push(t.elapsed().as_nanos() as u64);
+                }
+                latencies.lock().unwrap().extend_from_slice(&local);
+                c.close().unwrap();
+            })
+        })
+        .collect();
+    gate.wait();
+    let t = Instant::now();
+    std::thread::sleep(WINDOW);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_unstable();
+    let n = lat.len().max(1);
+    let mean_us = lat.iter().sum::<u64>() as f64 / n as f64 / 1e3;
+    let p95_us = lat[(n * 95 / 100).min(n - 1)] as f64 / 1e3;
+    NetBenchRow {
+        clients,
+        queries_per_sec: lat.len() as f64 / elapsed,
+        mean_us,
+        p95_us,
+    }
+}
+
+fn bench_net() {
+    println!("## Net — wire-protocol client sweep (sednad in-process)");
+    println!("each query = Execute + FetchNext item stream over loopback TCP");
+
+    let dir = std::env::temp_dir().join(format!("sedna-bench-net-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let governor = sedna::Governor::new();
+    governor
+        .create_database("bench", &dir, sedna::DbConfig::small())
+        .unwrap();
+    {
+        let mut s = governor.connect("bench").unwrap();
+        s.execute("CREATE DOCUMENT 'lib'").unwrap();
+        s.load_xml("lib", &sedna_workload::library(200, 17))
+            .unwrap();
+    }
+    let handle = sedna_net::Server::start(
+        governor,
+        sedna_net::NetConfig {
+            workers: 16,
+            queue_depth: 32,
+            ..sedna_net::NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:>14} {:>12} {:>12}",
+        "clients", "queries/sec", "mean µs", "p95 µs"
+    );
+    for &clients in &[1usize, 2, 4, 8] {
+        let row = run_net_client_sweep(addr, clients);
+        println!(
+            "{:<8} {:>14.0} {:>12.1} {:>12.1}",
+            row.clients, row.queries_per_sec, row.mean_us, row.p95_us
+        );
+        rows.push(row);
+    }
+
+    let m = handle.metrics();
+    println!(
+        "server counters: {} connections opened, {} sessions opened/{} closed, {} items streamed",
+        m.connections_opened.get(),
+        m.sessions_opened.get(),
+        m.sessions_closed.get(),
+        m.items_streamed.get()
+    );
+
+    // Machine-readable trajectory record (hand-rolled JSON, no deps).
+    let mut json = String::from("{\n  \"experiment\": \"net_client_sweep\",\n");
+    json.push_str("  \"query\": \"count(doc('lib')//book)\",\n  \"window_ms\": 400,\n");
+    json.push_str("  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"queries_per_sec\": {:.0}, \"mean_us\": {:.1}, \"p95_us\": {:.1}}}{}\n",
+            r.clients,
+            r.queries_per_sec,
+            r.mean_us,
+            r.p95_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"items_streamed\": {},\n  \"bytes_in\": {},\n  \"bytes_out\": {}\n}}\n",
+        m.items_streamed.get(),
+        m.bytes_in.get(),
+        m.bytes_out.get()
+    ));
+    std::fs::write("BENCH_net.json", &json).unwrap();
+    println!("wrote BENCH_net.json");
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
     println!();
 }
 

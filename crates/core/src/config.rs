@@ -19,8 +19,18 @@ pub struct DbConfig {
     /// power of two and clamped so every shard owns at least one frame.
     pub buffer_shards: usize,
     /// Capacity of the per-session plan cache (parse+rewrite results keyed
-    /// by statement text, LRU-evicted). `0` disables caching.
+    /// by statement text and catalog generation, LRU-evicted). `0`
+    /// disables caching.
     pub plan_cache_capacity: usize,
+    /// Admission-controlled session limit enforced by
+    /// [`Database::try_session`] (the entry point the network layer
+    /// uses); `0` means unlimited. The embedded [`Database::session`]
+    /// constructor is not limited — it always succeeds — but its
+    /// sessions count against the limit seen by `try_session`.
+    ///
+    /// [`Database::try_session`]: crate::Database::try_session
+    /// [`Database::session`]: crate::Database::session
+    pub max_sessions: usize,
     /// Parent-pointer representation (the direct mode exists for
     /// experiment E4; production databases use the indirection table).
     pub parent_mode: ParentMode,
@@ -44,6 +54,7 @@ impl Default for DbConfig {
             buffer_frames: 1024,
             buffer_shards: 0,
             plan_cache_capacity: 64,
+            max_sessions: 0,
             parent_mode: ParentMode::Indirect,
             construct_mode: ConstructMode::Embedded,
             lock_timeout: Duration::from_secs(10),

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -93,6 +94,53 @@ pub(crate) struct DbInner {
     pub(crate) catalog: RwLock<Catalog>,
     pub(crate) gate: TxnGate,
     pub(crate) obs: DbObs,
+    /// Live [`Session`] count (incremented on construction, decremented
+    /// on drop); the admission-control quantity behind
+    /// [`Database::try_session`].
+    pub(crate) active_sessions: AtomicUsize,
+    /// Catalog generation: bumped on every catalog-shape change (DDL
+    /// success, update-transaction rollback restoring catalog entries).
+    /// Plan caches key entries by `(statement text, generation)`, so a
+    /// bump lazily invalidates every cached plan — in this session and
+    /// every other — without a conservative cache clear.
+    pub(crate) catalog_generation: AtomicU64,
+}
+
+impl DbInner {
+    /// Reserves one session slot. With `enforce_limit`, fails once
+    /// `cfg.max_sessions` (when non-zero) sessions are live; otherwise
+    /// only counts. The matching release happens in `Session::drop`.
+    pub(crate) fn reserve_session(&self, enforce_limit: bool) -> DbResult<()> {
+        let max = self.cfg.max_sessions;
+        if enforce_limit && max > 0 {
+            let mut cur = self.active_sessions.load(Ordering::Relaxed);
+            loop {
+                if cur >= max {
+                    return Err(DbError::Conflict(format!(
+                        "session limit reached ({max} active sessions)"
+                    )));
+                }
+                match self.active_sessions.compare_exchange_weak(
+                    cur,
+                    cur + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(now) => cur = now,
+                }
+            }
+        } else {
+            self.active_sessions.fetch_add(1, Ordering::AcqRel);
+        }
+        self.obs.sessions.add(1);
+        Ok(())
+    }
+
+    pub(crate) fn release_session(&self) {
+        self.active_sessions.fetch_sub(1, Ordering::AcqRel);
+        self.obs.sessions.sub(1);
+    }
 }
 
 /// A Sedna database instance.
@@ -139,6 +187,8 @@ impl Database {
                 catalog: RwLock::new(Catalog::default()),
                 gate: TxnGate::new(),
                 obs,
+                active_sessions: AtomicUsize::new(0),
+                catalog_generation: AtomicU64::new(0),
             }),
         };
         // Baseline checkpoint so recovery always has a starting snapshot.
@@ -246,6 +296,8 @@ impl Database {
                 catalog: RwLock::new(catalog),
                 gate: TxnGate::new(),
                 obs,
+                active_sessions: AtomicUsize::new(0),
+                catalog_generation: AtomicU64::new(0),
             }),
         };
         // Standard practice: checkpoint right after recovery, so the next
@@ -254,9 +306,46 @@ impl Database {
         Ok(db)
     }
 
-    /// Opens a session (connection) on this database.
+    /// Opens a session (connection) on this database. The embedded
+    /// entry point: never rejected, but counted against the limit
+    /// [`Database::try_session`] enforces.
     pub fn session(&self) -> Session {
+        self.inner
+            .reserve_session(false)
+            .expect("unlimited reservation cannot fail");
         Session::new(Arc::clone(&self.inner))
+    }
+
+    /// Opens a session subject to admission control: fails with
+    /// [`DbError::Conflict`] once [`DbConfig::max_sessions`] sessions
+    /// (when non-zero) are live. The network layer connects through
+    /// this entry point.
+    pub fn try_session(&self) -> DbResult<Session> {
+        self.inner.reserve_session(true)?;
+        Ok(Session::new(Arc::clone(&self.inner)))
+    }
+
+    /// Number of live sessions on this database.
+    pub fn active_sessions(&self) -> usize {
+        self.inner.active_sessions.load(Ordering::Acquire)
+    }
+
+    /// The current catalog generation. Bumped on every catalog-shape
+    /// change (DDL, update-transaction rollback); plan caches key
+    /// entries by `(statement text, generation)` so stale plans miss
+    /// instead of requiring a conservative clear.
+    pub fn catalog_generation(&self) -> u64 {
+        self.inner.catalog_generation.load(Ordering::Acquire)
+    }
+
+    /// Closes the database for shutdown: forces the log, then takes a
+    /// final checkpoint (which drains active update transactions via the
+    /// checkpoint gate and fixates a transaction-consistent snapshot).
+    /// The handle remains usable afterwards; `close` only guarantees
+    /// durability of everything committed so far.
+    pub fn close(&self) -> DbResult<()> {
+        self.inner.wal.lock().flush()?;
+        self.checkpoint()
     }
 
     /// Takes a checkpoint: flushes the buffer pool, fixates the

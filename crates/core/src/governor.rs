@@ -8,17 +8,20 @@ use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use sedna_obs::MetricsSnapshot;
+use sedna_obs::{MetricsSnapshot, Registry};
 
 use crate::config::DbConfig;
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
 use crate::session::Session;
 
-/// The system control center: a registry of databases.
+/// The system control center: a registry of databases, plus a
+/// governor-level metric registry for system components that are not
+/// owned by any single database (e.g. the network listener).
 #[derive(Default)]
 pub struct Governor {
     databases: RwLock<HashMap<String, Database>>,
+    registry: Registry,
 }
 
 impl Governor {
@@ -65,6 +68,13 @@ impl Governor {
         Ok(self.database(name)?.session())
     }
 
+    /// Opens a session subject to the database's admission control
+    /// ([`DbConfig::max_sessions`]); the network layer connects through
+    /// this entry point.
+    pub fn try_connect(&self, name: &str) -> DbResult<Session> {
+        self.database(name)?.try_session()
+    }
+
     /// Unregisters a database (it keeps running for existing handles).
     pub fn shutdown_database(&self, name: &str) -> DbResult<()> {
         self.databases
@@ -74,15 +84,45 @@ impl Governor {
             .ok_or_else(|| DbError::NotFound(format!("database '{name}'")))
     }
 
-    /// Aggregated metrics across every registered database: each
-    /// database's registry snapshot is taken through its consistent-read
-    /// path, then counters are summed and histograms merged
-    /// bucket-by-bucket. Render with
+    /// Orderly system shutdown: every registered database is closed in
+    /// name order — its WAL forced, then a final checkpoint taken (the
+    /// checkpoint gate drains in-flight update transactions first) —
+    /// and unregistered. `sednad` calls this after draining the network
+    /// listener on SIGTERM. Errors do not stop the sweep; the first one
+    /// is returned after every database has been attempted.
+    pub fn shutdown(&self) -> DbResult<()> {
+        let mut dbs: Vec<(String, Database)> = self.databases.write().drain().collect();
+        dbs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut first_err = None;
+        for (_, db) in dbs {
+            if let Err(e) = db.close() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The governor-level metric registry: system components not owned
+    /// by a single database (the network listener, future schedulers)
+    /// register their metrics here, and they surface through
+    /// [`Governor::metrics_snapshot`] / [`Governor::render_prometheus`]
+    /// alongside every database's metrics.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Aggregated metrics across every registered database plus the
+    /// governor-level registry (network listener, etc.): each registry
+    /// snapshot is taken through its consistent-read path, then counters
+    /// are summed and histograms merged bucket-by-bucket. Render with
     /// [`MetricsSnapshot::render_prometheus`] or read typed values via
     /// [`MetricsSnapshot::counter`] / [`MetricsSnapshot::histogram`].
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let dbs: Vec<Database> = self.databases.read().values().cloned().collect();
-        let mut merged = MetricsSnapshot::default();
+        let mut merged = self.registry.snapshot();
         for db in &dbs {
             merged.merge_from(&db.metrics_snapshot());
         }

@@ -43,7 +43,7 @@ pub use database::Database;
 pub use error::{DbError, DbResult};
 pub use governor::Governor;
 pub use metrics::QueryProfile;
-pub use session::{ExecOutcome, Session};
+pub use session::{ExecOutcome, Session, StreamOutcome};
 
 // Re-export the pieces users need to work with results and modes.
 pub use sedna_obs::{HistogramSnapshot, MetricsSnapshot};

@@ -5,7 +5,7 @@
 //! [`Session::last_profile`]: crate::Session::last_profile
 
 use sedna_index::IndexMetrics;
-use sedna_obs::{Counter, Histogram, Registry};
+use sedna_obs::{Counter, Gauge, Histogram, Registry};
 use sedna_xquery::exec::ExecStats;
 
 /// Query-pipeline metric handles (`sedna_query_*` / `sedna_exec_*`):
@@ -111,6 +111,8 @@ pub(crate) struct DbObs {
     pub(crate) registry: Registry,
     pub(crate) query: QueryMetrics,
     pub(crate) index: IndexMetrics,
+    /// Live sessions on this database (`sedna_db_sessions_active`).
+    pub(crate) sessions: Gauge,
 }
 
 impl DbObs {
@@ -120,10 +122,17 @@ impl DbObs {
         query.register_into(&registry);
         let index = IndexMetrics::default();
         index.register_into(&registry);
+        let sessions = Gauge::new();
+        registry.register_gauge(
+            "sedna_db_sessions_active",
+            "Live sessions (connections) on this database",
+            &sessions,
+        );
         DbObs {
             registry,
             query,
             index,
+            sessions,
         }
     }
 }

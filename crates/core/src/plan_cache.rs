@@ -6,21 +6,22 @@
 //! *rewritten* [`Statement`] per statement text in a bounded LRU, so a
 //! session re-running the same query skips straight to the executor.
 //!
-//! Invalidation contract: static analysis and rewriting may consult
-//! schema state, so any statement that changes the catalog — DDL, or the
-//! commit of an updating transaction that touched/dropped documents or
-//! indexes — clears the whole cache. The cache is per-session, so no
-//! cross-session coherence is needed beyond that conservative flush
-//! (another session's DDL is observed at this session's next
-//! transactional catalog snapshot, by which time its own cache has been
-//! cleared if it performed the DDL, or the cached plans are still valid
-//! rewrites of the same text).
+//! Invalidation contract: every entry is keyed by the **catalog
+//! generation** current when it was inserted (a counter on the database
+//! that every catalog-shape change bumps — DDL, or an update-transaction
+//! rollback restoring catalog entries). A lookup whose generation no
+//! longer matches is a miss and evicts the stale entry. This replaces
+//! the earlier conservative clear-on-any-DDL: unrelated statements stay
+//! cached across catalog changes performed by *other* sessions too,
+//! because the generation is shared database state rather than a
+//! per-session flag.
 
 use std::collections::HashMap;
 
 use sedna_xquery::ast::Statement;
 
-/// A bounded LRU mapping statement text to its parse+rewrite result.
+/// A bounded LRU mapping statement text to its parse+rewrite result,
+/// validity-stamped with the catalog generation.
 ///
 /// Recency is tracked with a monotonic sequence number per entry;
 /// eviction scans for the minimum. Capacities are small (default 64),
@@ -36,6 +37,7 @@ pub(crate) struct PlanCache {
 #[derive(Debug)]
 struct CacheEntry {
     stmt: Statement,
+    generation: u64,
     last_used: u64,
 }
 
@@ -49,18 +51,30 @@ impl PlanCache {
         }
     }
 
-    /// Looks up the rewritten statement for `text`, refreshing recency.
-    pub(crate) fn get(&mut self, text: &str) -> Option<Statement> {
+    /// Looks up the rewritten statement for `text` at catalog
+    /// `generation`, refreshing recency. An entry cached under a
+    /// different generation is stale: it is evicted and the lookup
+    /// misses.
+    pub(crate) fn get(&mut self, text: &str, generation: u64) -> Option<Statement> {
         self.seq += 1;
         let seq = self.seq;
-        let e = self.entries.get_mut(text)?;
-        e.last_used = seq;
-        Some(e.stmt.clone())
+        match self.entries.get_mut(text) {
+            Some(e) if e.generation == generation => {
+                e.last_used = seq;
+                Some(e.stmt.clone())
+            }
+            Some(_) => {
+                self.entries.remove(text);
+                None
+            }
+            None => None,
+        }
     }
 
-    /// Inserts the rewritten statement for `text`, evicting the
-    /// least-recently-used entry when full. No-op when disabled.
-    pub(crate) fn insert(&mut self, text: &str, stmt: Statement) {
+    /// Inserts the rewritten statement for `text` stamped with
+    /// `generation`, evicting the least-recently-used entry when full.
+    /// No-op when disabled.
+    pub(crate) fn insert(&mut self, text: &str, generation: u64, stmt: Statement) {
         if self.capacity == 0 {
             return;
         }
@@ -79,17 +93,13 @@ impl PlanCache {
             text.to_string(),
             CacheEntry {
                 stmt,
+                generation,
                 last_used: self.seq,
             },
         );
     }
 
-    /// Drops every cached plan (schema changed).
-    pub(crate) fn clear(&mut self) {
-        self.entries.clear();
-    }
-
-    /// Number of cached plans (tests/diagnostics).
+    /// Number of cached plans, stale entries included (tests/diagnostics).
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
     }
@@ -107,50 +117,54 @@ mod tests {
     fn hit_returns_inserted_plan() {
         let mut c = PlanCache::new(4);
         let s = stmt("doc('d')/r");
-        c.insert("doc('d')/r", s.clone());
-        assert_eq!(c.get("doc('d')/r"), Some(s));
-        assert_eq!(c.get("doc('d')/other"), None);
+        c.insert("doc('d')/r", 0, s.clone());
+        assert_eq!(c.get("doc('d')/r", 0), Some(s));
+        assert_eq!(c.get("doc('d')/other", 0), None);
+    }
+
+    #[test]
+    fn generation_mismatch_misses_and_evicts() {
+        let mut c = PlanCache::new(4);
+        c.insert("a", 3, stmt("1"));
+        assert!(c.get("a", 3).is_some());
+        // A catalog change bumped the generation: stale entry evicted.
+        assert_eq!(c.get("a", 4), None);
+        assert_eq!(c.len(), 0);
+        // Re-inserted at the new generation, it hits again.
+        c.insert("a", 4, stmt("1"));
+        assert!(c.get("a", 4).is_some());
     }
 
     #[test]
     fn lru_evicts_coldest() {
         let mut c = PlanCache::new(2);
-        c.insert("a", stmt("1"));
-        c.insert("b", stmt("2"));
+        c.insert("a", 0, stmt("1"));
+        c.insert("b", 0, stmt("2"));
         // Touch "a" so "b" is the LRU victim.
-        assert!(c.get("a").is_some());
-        c.insert("c", stmt("3"));
+        assert!(c.get("a", 0).is_some());
+        c.insert("c", 0, stmt("3"));
         assert_eq!(c.len(), 2);
-        assert!(c.get("a").is_some());
-        assert!(c.get("b").is_none());
-        assert!(c.get("c").is_some());
+        assert!(c.get("a", 0).is_some());
+        assert!(c.get("b", 0).is_none());
+        assert!(c.get("c", 0).is_some());
     }
 
     #[test]
     fn reinsert_updates_in_place_without_evicting() {
         let mut c = PlanCache::new(2);
-        c.insert("a", stmt("1"));
-        c.insert("b", stmt("2"));
-        c.insert("a", stmt("1 + 1"));
+        c.insert("a", 0, stmt("1"));
+        c.insert("b", 0, stmt("2"));
+        c.insert("a", 0, stmt("1 + 1"));
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get("a"), Some(stmt("1 + 1")));
-        assert!(c.get("b").is_some());
+        assert_eq!(c.get("a", 0), Some(stmt("1 + 1")));
+        assert!(c.get("b", 0).is_some());
     }
 
     #[test]
     fn zero_capacity_disables() {
         let mut c = PlanCache::new(0);
-        c.insert("a", stmt("1"));
+        c.insert("a", 0, stmt("1"));
         assert_eq!(c.len(), 0);
-        assert!(c.get("a").is_none());
-    }
-
-    #[test]
-    fn clear_empties() {
-        let mut c = PlanCache::new(4);
-        c.insert("a", stmt("1"));
-        c.clear();
-        assert_eq!(c.len(), 0);
-        assert!(c.get("a").is_none());
+        assert!(c.get("a", 0).is_none());
     }
 }

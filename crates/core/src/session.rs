@@ -20,6 +20,7 @@
 //! the transaction's undo copies.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use sedna_sas::{Vas, View, XPtr};
@@ -30,6 +31,7 @@ use sedna_wal::WalRecord;
 use sedna_xquery::ast::{DdlStmt, Expr, PathStart, Statement, StatementKind};
 use sedna_xquery::exec::{Database as QueryView, DocEntry, ExecStats, Executor, IndexEntry};
 use sedna_xquery::update;
+use sedna_xquery::value::Item as QueryItem;
 
 use crate::catalog::{self, Catalog, DocData, IndexData, IndexMeta};
 use crate::database::DbInner;
@@ -57,6 +59,50 @@ impl ExecOutcome {
             ExecOutcome::Done => String::new(),
         }
     }
+}
+
+/// The result of executing one statement with item-granular query
+/// results: each sequence item is serialized separately, so callers
+/// (the network layer's fetch-next path, cursors) can stream results
+/// item-at-a-time instead of receiving one concatenated string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamOutcome {
+    /// A query's result items, each independently serialized.
+    Items(Vec<String>),
+    /// An update's affected-node count.
+    Updated(usize),
+    /// A DDL statement completed.
+    Done,
+}
+
+/// One rendered result item. Atoms are space-separated when adjacent in
+/// the joined rendering; nodes concatenate directly (the serializer
+/// contract of `Executor::serialize_sequence`).
+struct RenderedItem {
+    atom: bool,
+    text: String,
+}
+
+/// Joins per-item renderings into the classic single-string result,
+/// inserting a space only between adjacent atoms.
+fn join_items(items: &[RenderedItem]) -> String {
+    let mut out = String::new();
+    let mut prev_atom = false;
+    for item in items {
+        if item.atom && prev_atom {
+            out.push(' ');
+        }
+        out.push_str(&item.text);
+        prev_atom = item.atom;
+    }
+    out
+}
+
+/// Internal statement outcome carrying item granularity.
+enum InnerOutcome {
+    Items(Vec<RenderedItem>),
+    Updated(usize),
+    Done,
 }
 
 enum TxnState {
@@ -94,8 +140,9 @@ pub struct Session {
     session_stats: ExecStats,
     /// Profile of the last successfully executed statement.
     last_profile: Option<QueryProfile>,
-    /// Parse+rewrite results keyed by statement text (LRU, cleared on
-    /// any catalog change this session performs).
+    /// Parse+rewrite results keyed by (statement text, catalog
+    /// generation); entries cached under an older generation lazily
+    /// miss-and-evict after any catalog-shape change, in any session.
     plan_cache: PlanCache,
 }
 
@@ -195,11 +242,10 @@ impl Session {
                 dropped,
                 ..
             }) => {
-                if !touched.is_empty() || !dropped.is_empty() {
-                    // Committing catalog deltas invalidates cached
-                    // parse+rewrite results.
-                    self.plan_cache.clear();
-                }
+                // No plan-cache invalidation here: catalog-shape changes
+                // already bumped the catalog generation when the DDL
+                // executed, and plans cached after it carry the new
+                // generation — they stay valid across this commit.
                 let result = self.commit_update(&handle, &touched, &dropped);
                 self.db.gate.exit_shared();
                 self.vas.begin(View::LATEST, None);
@@ -296,6 +342,7 @@ impl Session {
                 undo_indexes,
                 ..
             }) => {
+                let restored = !undo_docs.is_empty() || !undo_indexes.is_empty();
                 // Restore catalog entries.
                 {
                     let mut catalog = self.db.catalog.write();
@@ -330,9 +377,12 @@ impl Session {
                 }
                 self.db.gate.exit_shared();
                 self.vas.begin(View::LATEST, None);
-                // Plans cached between an in-transaction DDL and this
-                // rollback were rewritten against the undone catalog.
-                self.plan_cache.clear();
+                if restored {
+                    // The rollback rewound catalog entries, so plans
+                    // cached since (at the in-transaction generation)
+                    // are stale: bump so they key-miss everywhere.
+                    self.db.catalog_generation.fetch_add(1, Ordering::Release);
+                }
                 Ok(())
             }
         }
@@ -350,11 +400,34 @@ impl Session {
     /// transaction, the statement runs in its own auto-committed
     /// transaction (read-only for queries, updating otherwise).
     pub fn execute(&mut self, text: &str) -> DbResult<ExecOutcome> {
+        Ok(match self.execute_inner(text)? {
+            InnerOutcome::Items(items) => ExecOutcome::Results(join_items(&items)),
+            InnerOutcome::Updated(n) => ExecOutcome::Updated(n),
+            InnerOutcome::Done => ExecOutcome::Done,
+        })
+    }
+
+    /// Executes one statement like [`Session::execute`], but returns a
+    /// query's result sequence as **individually serialized items**
+    /// instead of one joined string. This is the item-at-a-time surface
+    /// the network layer's fetch-next streaming is built on.
+    pub fn execute_stream(&mut self, text: &str) -> DbResult<StreamOutcome> {
+        Ok(match self.execute_inner(text)? {
+            InnerOutcome::Items(items) => {
+                StreamOutcome::Items(items.into_iter().map(|i| i.text).collect())
+            }
+            InnerOutcome::Updated(n) => StreamOutcome::Updated(n),
+            InnerOutcome::Done => StreamOutcome::Done,
+        })
+    }
+
+    fn execute_inner(&mut self, text: &str) -> DbResult<InnerOutcome> {
         // The paper's pipeline, timed per phase: parser → static
         // analyser + rewriter → executor. Handles are clones sharing the
         // database-wide histograms, so the spans record even on error.
         let q = self.db.obs.query.clone();
-        let (stmt, parse_ns, rewrite_ns) = match self.plan_cache.get(text) {
+        let generation = self.db.catalog_generation.load(Ordering::Acquire);
+        let (stmt, parse_ns, rewrite_ns) = match self.plan_cache.get(text, generation) {
             Some(stmt) => {
                 // Cached parse+rewrite result: both phases are skipped, so
                 // the profile reports zero for them.
@@ -370,7 +443,7 @@ impl Session {
                 let stmt = sedna_xquery::static_ctx::analyze(stmt)?;
                 let stmt = sedna_xquery::rewrite::rewrite_statement(stmt);
                 let rewrite_ns = rewrite_span.finish();
-                self.plan_cache.insert(text, stmt.clone());
+                self.plan_cache.insert(text, generation, stmt.clone());
                 (stmt, parse_ns, rewrite_ns)
             }
         };
@@ -399,8 +472,10 @@ impl Session {
             }
         }
         if result.is_ok() && matches!(stmt.kind, StatementKind::Ddl(_)) {
-            // Schema changed: cached rewrites may no longer be valid.
-            self.plan_cache.clear();
+            // Catalog shape changed: bump the generation so every cached
+            // plan — this session's and other sessions' — key-misses
+            // lazily instead of requiring a conservative cache clear.
+            self.db.catalog_generation.fetch_add(1, Ordering::Release);
         }
         if result.is_ok() {
             q.statements.inc();
@@ -421,20 +496,20 @@ impl Session {
         Ok(self.execute(text)?.into_string())
     }
 
-    fn execute_in_txn(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
+    fn execute_in_txn(&mut self, stmt: &Statement) -> DbResult<InnerOutcome> {
         match &stmt.kind {
             StatementKind::Query(_) => {
-                let out = self.run_query(stmt)?;
-                Ok(ExecOutcome::Results(out))
+                let items = self.run_query(stmt)?;
+                Ok(InnerOutcome::Items(items))
             }
             StatementKind::Update(_) => {
                 let n = self.run_update(stmt)?;
-                Ok(ExecOutcome::Updated(n))
+                Ok(InnerOutcome::Updated(n))
             }
             StatementKind::Ddl(ddl) => {
                 self.run_ddl(ddl.clone())?;
                 self.last_stats = ExecStats::default();
-                Ok(ExecOutcome::Done)
+                Ok(InnerOutcome::Done)
             }
         }
     }
@@ -443,7 +518,7 @@ impl Session {
     // Queries
     // --------------------------------------------------------------
 
-    fn run_query(&mut self, stmt: &Statement) -> DbResult<String> {
+    fn run_query(&mut self, stmt: &Statement) -> DbResult<Vec<RenderedItem>> {
         // Assemble the view the executor reads: the transaction's catalog
         // snapshot (read-only) or S-locked clones (updater).
         let view_docs: Vec<(String, DocData)>;
@@ -526,9 +601,24 @@ impl Session {
         };
         let mut ex = Executor::new(&view, stmt, self.db.cfg.construct_mode);
         let result = ex.run()?;
-        let out = ex.serialize_sequence(&result)?;
+        // Serialize item-at-a-time (the streaming surface); `execute`
+        // joins these back into the classic single string.
+        let mut items = Vec::with_capacity(result.len());
+        for item in &result {
+            match item {
+                QueryItem::Atom(a) => items.push(RenderedItem {
+                    atom: true,
+                    text: a.to_string_value(),
+                }),
+                QueryItem::Node(n) => {
+                    let mut text = String::new();
+                    ex.serialize_node(*n, &mut text)?;
+                    items.push(RenderedItem { atom: false, text });
+                }
+            }
+        }
         self.last_stats = ex.stats;
-        Ok(out)
+        Ok(items)
     }
 
     // --------------------------------------------------------------
@@ -1018,6 +1108,9 @@ impl Drop for Session {
         if self.txn.is_some() {
             let _ = self.rollback();
         }
+        // Matches the reservation taken in `Database::{session,
+        // try_session}` — frees an admission-control slot.
+        self.db.release_session();
     }
 }
 

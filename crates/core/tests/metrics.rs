@@ -118,10 +118,20 @@ fn plan_cache_skips_parse_and_invalidates_on_ddl() {
     assert!(snap.counter("sedna_plan_cache_misses_total") >= 2);
     assert!(s.plan_cache_len() > 0);
 
-    // DDL clears the cache: the next run is a miss again.
+    // DDL bumps the catalog generation: entries stay resident but are
+    // stale, so the next run of the same text is a miss (full re-parse)
+    // and no hit is counted.
     let hits_before = db.metrics_snapshot().counter("sedna_plan_cache_hits_total");
+    let generation_before = db.catalog_generation();
     s.execute("CREATE DOCUMENT 'other'").unwrap();
-    assert_eq!(s.plan_cache_len(), 0, "DDL must clear the plan cache");
+    assert!(
+        db.catalog_generation() > generation_before,
+        "DDL must advance the catalog generation"
+    );
+    assert!(
+        s.plan_cache_len() > 0,
+        "stale entries stay resident until looked up"
+    );
     s.query("doc('inv')//sku/text()").unwrap();
     assert!(s.last_profile().unwrap().parse_ns > 0, "re-parsed after DDL");
     assert_eq!(
@@ -129,6 +139,24 @@ fn plan_cache_skips_parse_and_invalidates_on_ddl() {
         hits_before,
         "no hit immediately after invalidation"
     );
+
+    // The generation is shared database state, so DDL in one session
+    // invalidates plans cached by *another* session — and unrelated
+    // statements cached after the bump keep hitting.
+    let mut other = db.session();
+    other.execute("CREATE DOCUMENT 'extra'").unwrap();
+    s.query("doc('inv')//sku/text()").unwrap();
+    assert!(
+        s.last_profile().unwrap().parse_ns > 0,
+        "cross-session DDL must invalidate this session's plan"
+    );
+    s.query("doc('inv')//sku/text()").unwrap();
+    assert_eq!(
+        s.last_profile().unwrap().parse_ns,
+        0,
+        "re-cached at the new generation, hits again"
+    );
+    drop(other);
 
     // A session with caching disabled never hits.
     let cfg = DbConfig {

@@ -1,0 +1,167 @@
+//! `sednad` — the standalone Sedna server process.
+//!
+//! Opens (or creates) one database under the governor, starts the
+//! network listener, and serves until SIGTERM/SIGINT or a client's
+//! `Shutdown` request, then drains: the listener stops accepting,
+//! in-flight requests finish, and every database is closed with a WAL
+//! flush and a final checkpoint.
+//!
+//! ```text
+//! sednad --dir ./data --db mydb --create --addr 127.0.0.1:5050
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use sedna::{DbConfig, Governor};
+use sedna_net::{NetConfig, Server};
+
+/// Flipped by the signal handler; the main loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: libc::c_int) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+struct Args {
+    dir: PathBuf,
+    db: String,
+    addr: String,
+    create: bool,
+    workers: usize,
+    queue_depth: usize,
+    max_sessions: usize,
+}
+
+const USAGE: &str = "\
+sednad — Sedna server
+
+USAGE:
+    sednad [OPTIONS]
+
+OPTIONS:
+    --dir <PATH>          Data directory (default: ./sedna-data)
+    --db <NAME>           Database name (default: db)
+    --addr <HOST:PORT>    Listen address (default: 127.0.0.1:5050)
+    --create              Create the database instead of opening it
+                          (implied when the data directory is missing)
+    --workers <N>         Worker threads / concurrent connections (default: 8)
+    --queue-depth <N>     Accepted connections that may wait for a worker (default: 16)
+    --max-sessions <N>    Database session limit, 0 = unlimited (default: 0)
+    --help                Show this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: PathBuf::from("./sedna-data"),
+        db: "db".to_string(),
+        addr: "127.0.0.1:5050".to_string(),
+        create: false,
+        workers: 8,
+        queue_depth: 16,
+        max_sessions: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--dir" => args.dir = PathBuf::from(value("--dir")?),
+            "--db" => args.db = value("--db")?,
+            "--addr" => args.addr = value("--addr")?,
+            "--create" => args.create = true,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--max-sessions" => {
+                args.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|e| format!("--max-sessions: {e}"))?;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let governor = Governor::new();
+    let cfg = DbConfig {
+        max_sessions: args.max_sessions,
+        ..DbConfig::default()
+    };
+    let create = args.create || !args.dir.exists();
+    if create {
+        governor
+            .create_database(&args.db, &args.dir, cfg)
+            .map_err(|e| format!("creating database '{}': {e}", args.db))?;
+        eprintln!(
+            "sednad: created database '{}' in {}",
+            args.db,
+            args.dir.display()
+        );
+    } else {
+        governor
+            .open_database(&args.db, &args.dir, cfg)
+            .map_err(|e| format!("opening database '{}': {e}", args.db))?;
+        eprintln!(
+            "sednad: opened database '{}' from {}",
+            args.db,
+            args.dir.display()
+        );
+    }
+
+    let net = NetConfig {
+        addr: args.addr,
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        ..NetConfig::default()
+    };
+    let handle = Server::start(governor, net).map_err(|e| format!("starting listener: {e}"))?;
+    eprintln!("sednad: listening on {}", handle.addr());
+
+    // SAFETY: installing a signal handler that only stores to an atomic.
+    unsafe {
+        libc::signal(libc::SIGTERM, on_signal as *const () as libc::sighandler_t);
+        libc::signal(libc::SIGINT, on_signal as *const () as libc::sighandler_t);
+    }
+
+    while !SHUTDOWN.load(Ordering::SeqCst) && !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    eprintln!("sednad: draining (flushing WAL, final checkpoint)");
+    handle.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    eprintln!("sednad: stopped");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("sednad: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sednad: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

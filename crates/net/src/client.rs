@@ -1,0 +1,240 @@
+//! `SednaClient`: a blocking Rust client for the Sedna wire protocol.
+//!
+//! One client owns one TCP connection carrying one wire session. Results
+//! are pulled item-at-a-time with [`SednaClient::fetch_next`] (the
+//! protocol's `FetchNext`), or drained in one go with
+//! [`SednaClient::query`].
+//!
+//! ```no_run
+//! use sedna_net::SednaClient;
+//!
+//! let mut c = SednaClient::connect("127.0.0.1:5050", "mydb").unwrap();
+//! c.execute("doc('library')//title/text()").unwrap();
+//! while let Some(item) = c.fetch_next().unwrap() {
+//!     println!("{item}");
+//! }
+//! c.close().unwrap();
+//! ```
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, framing).
+    Io(io::Error),
+    /// The server answered with a structured error envelope.
+    Server {
+        /// Stable error class (`query`, `conflict`, `overloaded`, ...).
+        kind: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The server is draining and refused further work.
+    ServerShutdown,
+    /// The server sent a response that does not fit the request.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Server { kind, message } => write!(f, "server error ({kind}): {message}"),
+            ClientError::ServerShutdown => write!(f, "server is shutting down"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Outcome of [`SednaClient::execute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecReply {
+    /// The statement was a query; this many items are buffered on the
+    /// server, pull them with [`SednaClient::fetch_next`].
+    Query(u64),
+    /// The statement was an update touching this many nodes.
+    Updated(u64),
+    /// The statement completed without a result (DDL).
+    Done,
+}
+
+/// A connected wire session.
+#[derive(Debug)]
+pub struct SednaClient {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl SednaClient {
+    /// Connects to `addr` and starts a session on `database`.
+    pub fn connect(addr: impl ToSocketAddrs, database: &str) -> Result<SednaClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = SednaClient {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        };
+        client.send(&Request::StartSession {
+            version: PROTOCOL_VERSION,
+            database: database.to_string(),
+        })?;
+        match client.recv()? {
+            Response::SessionStarted => Ok(client),
+            other => Err(unexpected("SessionStarted", &other)),
+        }
+    }
+
+    /// Begins an update transaction.
+    pub fn begin(&mut self) -> Result<(), ClientError> {
+        self.txn_op(Request::Begin { read_only: false })
+    }
+
+    /// Begins a read-only (snapshot) transaction.
+    pub fn begin_read_only(&mut self) -> Result<(), ClientError> {
+        self.txn_op(Request::Begin { read_only: true })
+    }
+
+    /// Commits the open transaction.
+    pub fn commit(&mut self) -> Result<(), ClientError> {
+        self.txn_op(Request::Commit)
+    }
+
+    /// Rolls back the open transaction.
+    pub fn rollback(&mut self) -> Result<(), ClientError> {
+        self.txn_op(Request::Rollback)
+    }
+
+    fn txn_op(&mut self, req: Request) -> Result<(), ClientError> {
+        self.send(&req)?;
+        match self.recv()? {
+            Response::TxnOk => Ok(()),
+            other => Err(unexpected("TxnOk", &other)),
+        }
+    }
+
+    /// Executes one statement (query, update, or DDL).
+    pub fn execute(&mut self, stmt: &str) -> Result<ExecReply, ClientError> {
+        self.send(&Request::Execute {
+            stmt: stmt.to_string(),
+        })?;
+        match self.recv()? {
+            Response::QueryOk(n) => Ok(ExecReply::Query(n)),
+            Response::Updated(n) => Ok(ExecReply::Updated(n)),
+            Response::Done => Ok(ExecReply::Done),
+            other => Err(unexpected("QueryOk/Updated/Done", &other)),
+        }
+    }
+
+    /// Pulls the next result item of the last query, or `None` when the
+    /// result is exhausted.
+    pub fn fetch_next(&mut self) -> Result<Option<String>, ClientError> {
+        self.send(&Request::FetchNext)?;
+        match self.recv()? {
+            Response::Item(s) => Ok(Some(s)),
+            Response::ResultEnd => Ok(None),
+            other => Err(unexpected("Item/ResultEnd", &other)),
+        }
+    }
+
+    /// Drains the remaining result items.
+    pub fn fetch_all(&mut self) -> Result<Vec<String>, ClientError> {
+        let mut items = Vec::new();
+        while let Some(item) = self.fetch_next()? {
+            items.push(item);
+        }
+        Ok(items)
+    }
+
+    /// Executes a query statement and drains its full result.
+    pub fn query(&mut self, stmt: &str) -> Result<Vec<String>, ClientError> {
+        match self.execute(stmt)? {
+            ExecReply::Query(_) => self.fetch_all(),
+            other => Err(ClientError::Protocol(format!(
+                "statement was not a query (got {other:?})"
+            ))),
+        }
+    }
+
+    /// Bulk-loads an XML document, returning the node count stored.
+    pub fn load_xml(&mut self, doc: &str, xml: &str) -> Result<u64, ClientError> {
+        self.send(&Request::LoadXml {
+            doc: doc.to_string(),
+            xml: xml.to_string(),
+        })?;
+        match self.recv()? {
+            Response::Loaded(n) => Ok(n),
+            other => Err(unexpected("Loaded", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Fetches the server's system-wide Prometheus metrics text.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::GetMetrics)?;
+        match self.recv()? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// Closes the session gracefully; the server closes the connection.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        self.send(&Request::CloseSession)?;
+        match self.recv()? {
+            Response::SessionClosed => Ok(()),
+            other => Err(unexpected("SessionClosed", &other)),
+        }
+    }
+
+    /// Asks the server to drain and shut down, consuming this client.
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        // Read raw: here ShuttingDown is the acknowledgement, not a
+        // refusal, so bypass recv()'s conversion to Err.
+        match Response::read_from(&mut self.stream, self.max_frame)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        req.write_to(&mut self.stream)?;
+        Ok(())
+    }
+
+    /// Receives one response, converting error envelopes and drain
+    /// notices into `Err`.
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        match Response::read_from(&mut self.stream, self.max_frame)? {
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            Response::ShuttingDown => Err(ClientError::ServerShutdown),
+            resp => Ok(resp),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,34 @@
+//! # sedna-net
+//!
+//! The client-server network layer of the Sedna reproduction (Figure 1
+//! of the paper): Sedna "is implemented on the client-server
+//! architecture"; clients connect to a listener, the governor
+//! establishes the connection, and a per-client session component serves
+//! statements. This crate provides:
+//!
+//! * [`protocol`] — the length-prefixed binary wire protocol: message
+//!   codes for session control, transactions, statement execution, and
+//!   item-at-a-time result streaming (`FetchNext`), plus a structured
+//!   error envelope;
+//! * [`server`] — the listener with its bounded worker pool, admission
+//!   control, and graceful drain-to-checkpoint shutdown;
+//! * [`client`] — [`SednaClient`], a blocking Rust client;
+//! * [`metrics`] — the `sedna_net_*` metric family, registered into the
+//!   governor's registry and exported through
+//!   `Governor::render_prometheus`.
+//!
+//! The `sednad` binary (in `src/bin/`) ties these together into a
+//! standalone server process.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, ExecReply, SednaClient};
+pub use metrics::NetMetrics;
+pub use protocol::{Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+pub use server::{error_kind, NetConfig, Server, ServerHandle};

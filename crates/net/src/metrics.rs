@@ -1,0 +1,198 @@
+//! Network-layer metrics, registered into the governor-level registry so
+//! they surface through `Governor::render_prometheus` next to every
+//! database's metrics.
+
+use sedna_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Handles for every `sedna_net_*` metric. Cloning shares the underlying
+/// atomics, so the server hands clones to its acceptor and workers.
+#[derive(Clone, Default)]
+pub struct NetMetrics {
+    /// TCP connections accepted by the listener.
+    pub connections_opened: Counter,
+    /// Connections currently being served.
+    pub connections_active: Gauge,
+    /// Connections turned away by admission control (worker queue full or
+    /// the database's session limit reached).
+    pub connections_rejected: Counter,
+    /// Wire sessions opened (successful `StartSession`).
+    pub sessions_opened: Counter,
+    /// Wire sessions closed, gracefully or by connection teardown.
+    pub sessions_closed: Counter,
+    /// Wire sessions currently open.
+    pub sessions_active: Gauge,
+    /// `StartSession` requests received.
+    pub msg_start_session: Counter,
+    /// `CloseSession` requests received.
+    pub msg_close_session: Counter,
+    /// `Begin` requests received.
+    pub msg_begin: Counter,
+    /// `Commit` requests received.
+    pub msg_commit: Counter,
+    /// `Rollback` requests received.
+    pub msg_rollback: Counter,
+    /// `Execute` requests received.
+    pub msg_execute: Counter,
+    /// `FetchNext` requests received.
+    pub msg_fetch_next: Counter,
+    /// `LoadXml` requests received.
+    pub msg_load_xml: Counter,
+    /// `Ping` requests received.
+    pub msg_ping: Counter,
+    /// `GetMetrics` requests received.
+    pub msg_get_metrics: Counter,
+    /// `Shutdown` requests received.
+    pub msg_shutdown: Counter,
+    /// Wall time per request, receipt to response flushed.
+    pub request_ns: Histogram,
+    /// Frame bytes received.
+    pub bytes_in: Counter,
+    /// Frame bytes sent.
+    pub bytes_out: Counter,
+    /// Error responses sent.
+    pub errors: Counter,
+    /// Result items streamed via `FetchNext`.
+    pub items_streamed: Counter,
+}
+
+impl NetMetrics {
+    /// Fresh, unregistered handles.
+    pub fn new() -> NetMetrics {
+        NetMetrics::default()
+    }
+
+    /// Registers every handle into `registry` under its `sedna_net_*`
+    /// name.
+    pub fn register_into(&self, registry: &Registry) {
+        registry.register_counter(
+            "sedna_net_connections_opened_total",
+            "TCP connections accepted by the listener",
+            &self.connections_opened,
+        );
+        registry.register_gauge(
+            "sedna_net_connections_active",
+            "Connections currently being served",
+            &self.connections_active,
+        );
+        registry.register_counter(
+            "sedna_net_connections_rejected_total",
+            "Connections turned away by admission control (queue full or session limit)",
+            &self.connections_rejected,
+        );
+        registry.register_counter(
+            "sedna_net_sessions_opened_total",
+            "Wire sessions opened (successful StartSession)",
+            &self.sessions_opened,
+        );
+        registry.register_counter(
+            "sedna_net_sessions_closed_total",
+            "Wire sessions closed, gracefully or by connection teardown",
+            &self.sessions_closed,
+        );
+        registry.register_gauge(
+            "sedna_net_sessions_active",
+            "Wire sessions currently open",
+            &self.sessions_active,
+        );
+        registry.register_counter(
+            "sedna_net_msg_start_session_total",
+            "StartSession requests received",
+            &self.msg_start_session,
+        );
+        registry.register_counter(
+            "sedna_net_msg_close_session_total",
+            "CloseSession requests received",
+            &self.msg_close_session,
+        );
+        registry.register_counter(
+            "sedna_net_msg_begin_total",
+            "Begin requests received",
+            &self.msg_begin,
+        );
+        registry.register_counter(
+            "sedna_net_msg_commit_total",
+            "Commit requests received",
+            &self.msg_commit,
+        );
+        registry.register_counter(
+            "sedna_net_msg_rollback_total",
+            "Rollback requests received",
+            &self.msg_rollback,
+        );
+        registry.register_counter(
+            "sedna_net_msg_execute_total",
+            "Execute requests received",
+            &self.msg_execute,
+        );
+        registry.register_counter(
+            "sedna_net_msg_fetch_next_total",
+            "FetchNext requests received",
+            &self.msg_fetch_next,
+        );
+        registry.register_counter(
+            "sedna_net_msg_load_xml_total",
+            "LoadXml requests received",
+            &self.msg_load_xml,
+        );
+        registry.register_counter(
+            "sedna_net_msg_ping_total",
+            "Ping requests received",
+            &self.msg_ping,
+        );
+        registry.register_counter(
+            "sedna_net_msg_get_metrics_total",
+            "GetMetrics requests received",
+            &self.msg_get_metrics,
+        );
+        registry.register_counter(
+            "sedna_net_msg_shutdown_total",
+            "Shutdown requests received",
+            &self.msg_shutdown,
+        );
+        registry.register_histogram(
+            "sedna_net_request_ns",
+            "Wall time per request, receipt to response flushed (ns)",
+            &self.request_ns,
+        );
+        registry.register_counter(
+            "sedna_net_bytes_in_total",
+            "Frame bytes received",
+            &self.bytes_in,
+        );
+        registry.register_counter(
+            "sedna_net_bytes_out_total",
+            "Frame bytes sent",
+            &self.bytes_out,
+        );
+        registry.register_counter(
+            "sedna_net_errors_total",
+            "Error responses sent",
+            &self.errors,
+        );
+        registry.register_counter(
+            "sedna_net_items_streamed_total",
+            "Result items streamed via FetchNext",
+            &self.items_streamed,
+        );
+    }
+
+    /// The per-message-type counter for `code`, if it is a known request
+    /// code.
+    pub fn msg_counter(&self, code: u8) -> Option<&Counter> {
+        use crate::protocol::codes;
+        match code {
+            codes::START_SESSION => Some(&self.msg_start_session),
+            codes::CLOSE_SESSION => Some(&self.msg_close_session),
+            codes::BEGIN => Some(&self.msg_begin),
+            codes::COMMIT => Some(&self.msg_commit),
+            codes::ROLLBACK => Some(&self.msg_rollback),
+            codes::EXECUTE => Some(&self.msg_execute),
+            codes::FETCH_NEXT => Some(&self.msg_fetch_next),
+            codes::LOAD_XML => Some(&self.msg_load_xml),
+            codes::PING => Some(&self.msg_ping),
+            codes::GET_METRICS => Some(&self.msg_get_metrics),
+            codes::SHUTDOWN => Some(&self.msg_shutdown),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! The Sedna wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! +----------------+-----------+----------------------+
+//! | length: u32 BE | code: u8  | body: length-1 bytes |
+//! +----------------+-----------+----------------------+
+//! ```
+//!
+//! The length covers the code byte plus the body, so an empty-bodied
+//! message has length 1. Within bodies, integers are big-endian and
+//! strings are a `u32` byte length followed by UTF-8 bytes. The original
+//! Sedna protocol works the same way (se_ErrorResponse, se_Execute,
+//! se_GetNextItem, ... message codes over length-prefixed packets); the
+//! codes here are this reproduction's own numbering.
+//!
+//! Requests occupy `0x01..=0x7F`, responses `0x80..=0xFF`, with
+//! [`codes::ERROR`] (`0xEE`) as the structured error envelope carrying a
+//! machine-readable kind plus a human-readable message.
+
+use std::io::{self, Read, Write};
+
+/// Protocol revision carried in [`Request::StartSession`]; the server
+/// refuses mismatched clients with a `protocol` error.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default cap on a single frame (length field), applied by both ends.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Message codes, one byte at the head of every frame.
+pub mod codes {
+    /// Open a session: `version: u8`, `database: str`.
+    pub const START_SESSION: u8 = 0x01;
+    /// Close the session gracefully (empty body).
+    pub const CLOSE_SESSION: u8 = 0x02;
+    /// Begin a transaction: `read_only: u8` (0 = update, 1 = read-only).
+    pub const BEGIN: u8 = 0x03;
+    /// Commit the open transaction (empty body).
+    pub const COMMIT: u8 = 0x04;
+    /// Roll back the open transaction (empty body).
+    pub const ROLLBACK: u8 = 0x05;
+    /// Execute a statement: `stmt: str`.
+    pub const EXECUTE: u8 = 0x06;
+    /// Pull the next result item of the last query (empty body).
+    pub const FETCH_NEXT: u8 = 0x07;
+    /// Liveness probe (empty body).
+    pub const PING: u8 = 0x08;
+    /// Fetch the system-wide Prometheus metrics text (empty body).
+    pub const GET_METRICS: u8 = 0x09;
+    /// Ask the server to drain and shut down (empty body).
+    pub const SHUTDOWN: u8 = 0x0A;
+    /// Bulk-load a document: `doc: str`, `xml: str`.
+    pub const LOAD_XML: u8 = 0x0B;
+
+    /// Session opened.
+    pub const SESSION_STARTED: u8 = 0x81;
+    /// Session closed.
+    pub const SESSION_CLOSED: u8 = 0x82;
+    /// Transaction control acknowledged.
+    pub const TXN_OK: u8 = 0x83;
+    /// Statement was an update: `count: u64` nodes affected.
+    pub const UPDATED: u8 = 0x84;
+    /// Statement produced no result (DDL, load).
+    pub const DONE: u8 = 0x85;
+    /// Statement was a query: `items: u64` buffered for fetching.
+    pub const QUERY_OK: u8 = 0x86;
+    /// One result item: `text: str`.
+    pub const ITEM: u8 = 0x87;
+    /// No more result items.
+    pub const RESULT_END: u8 = 0x88;
+    /// Liveness reply.
+    pub const PONG: u8 = 0x89;
+    /// Prometheus metrics text: `text: str`.
+    pub const METRICS: u8 = 0x8A;
+    /// Server is draining; the connection will close.
+    pub const SHUTTING_DOWN: u8 = 0x8B;
+    /// Document loaded: `nodes: u64` stored.
+    pub const LOADED: u8 = 0x8C;
+    /// Structured error envelope: `kind: str`, `message: str`.
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open a session on `database`, announcing the client's protocol
+    /// `version`.
+    StartSession {
+        /// Client protocol revision ([`PROTOCOL_VERSION`]).
+        version: u8,
+        /// Name of the database registered at the governor.
+        database: String,
+    },
+    /// Close the session gracefully.
+    CloseSession,
+    /// Begin a transaction.
+    Begin {
+        /// `true` for a read-only (snapshot) transaction.
+        read_only: bool,
+    },
+    /// Commit the open transaction.
+    Commit,
+    /// Roll back the open transaction.
+    Rollback,
+    /// Execute one statement (query, update, or DDL).
+    Execute {
+        /// Statement text.
+        stmt: String,
+    },
+    /// Pull the next buffered result item.
+    FetchNext,
+    /// Liveness probe.
+    Ping,
+    /// Fetch the system-wide Prometheus metrics text.
+    GetMetrics,
+    /// Ask the server to drain and shut down.
+    Shutdown,
+    /// Bulk-load an XML document.
+    LoadXml {
+        /// Target document name (must already exist).
+        doc: String,
+        /// Document text.
+        xml: String,
+    },
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Session opened.
+    SessionStarted,
+    /// Session closed.
+    SessionClosed,
+    /// Transaction control acknowledged.
+    TxnOk,
+    /// Update applied to this many nodes.
+    Updated(u64),
+    /// Statement produced no result.
+    Done,
+    /// Query succeeded with this many items buffered for fetching.
+    QueryOk(u64),
+    /// One result item.
+    Item(String),
+    /// No more result items.
+    ResultEnd,
+    /// Liveness reply.
+    Pong,
+    /// Prometheus metrics text.
+    Metrics(String),
+    /// Server is draining; the connection will close.
+    ShuttingDown,
+    /// Document loaded with this many nodes stored.
+    Loaded(u64),
+    /// Structured error: machine-readable `kind` plus human `message`.
+    Error {
+        /// Stable error class (`query`, `conflict`, `not_found`, ...).
+        kind: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Request {
+    /// This request's frame code.
+    pub fn code(&self) -> u8 {
+        match self {
+            Request::StartSession { .. } => codes::START_SESSION,
+            Request::CloseSession => codes::CLOSE_SESSION,
+            Request::Begin { .. } => codes::BEGIN,
+            Request::Commit => codes::COMMIT,
+            Request::Rollback => codes::ROLLBACK,
+            Request::Execute { .. } => codes::EXECUTE,
+            Request::FetchNext => codes::FETCH_NEXT,
+            Request::Ping => codes::PING,
+            Request::GetMetrics => codes::GET_METRICS,
+            Request::Shutdown => codes::SHUTDOWN,
+            Request::LoadXml { .. } => codes::LOAD_XML,
+        }
+    }
+
+    /// Serializes the body (everything after the code byte).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Request::StartSession { version, database } => {
+                b.push(*version);
+                put_str(&mut b, database);
+            }
+            Request::Begin { read_only } => b.push(u8::from(*read_only)),
+            Request::Execute { stmt } => put_str(&mut b, stmt),
+            Request::LoadXml { doc, xml } => {
+                put_str(&mut b, doc);
+                put_str(&mut b, xml);
+            }
+            Request::CloseSession
+            | Request::Commit
+            | Request::Rollback
+            | Request::FetchNext
+            | Request::Ping
+            | Request::GetMetrics
+            | Request::Shutdown => {}
+        }
+        b
+    }
+
+    /// Parses a request from a frame's code and body.
+    pub fn decode(code: u8, body: &[u8]) -> io::Result<Request> {
+        let mut c = Cursor::new(body);
+        let req = match code {
+            codes::START_SESSION => Request::StartSession {
+                version: c.take_u8()?,
+                database: c.take_str()?,
+            },
+            codes::CLOSE_SESSION => Request::CloseSession,
+            codes::BEGIN => Request::Begin {
+                read_only: c.take_u8()? != 0,
+            },
+            codes::COMMIT => Request::Commit,
+            codes::ROLLBACK => Request::Rollback,
+            codes::EXECUTE => Request::Execute {
+                stmt: c.take_str()?,
+            },
+            codes::FETCH_NEXT => Request::FetchNext,
+            codes::PING => Request::Ping,
+            codes::GET_METRICS => Request::GetMetrics,
+            codes::SHUTDOWN => Request::Shutdown,
+            codes::LOAD_XML => Request::LoadXml {
+                doc: c.take_str()?,
+                xml: c.take_str()?,
+            },
+            other => return Err(bad(format!("unknown request code {other:#04x}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+
+    /// Writes the request as one frame.
+    ///
+    /// Returns the number of bytes put on the wire.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<usize> {
+        write_frame(w, self.code(), &self.encode_body())
+    }
+
+    /// Reads one request frame (frames larger than `max_frame` are
+    /// rejected without being read).
+    pub fn read_from(r: &mut impl Read, max_frame: usize) -> io::Result<Request> {
+        let (code, body) = read_frame(r, max_frame)?;
+        Request::decode(code, &body)
+    }
+}
+
+impl Response {
+    /// This response's frame code.
+    pub fn code(&self) -> u8 {
+        match self {
+            Response::SessionStarted => codes::SESSION_STARTED,
+            Response::SessionClosed => codes::SESSION_CLOSED,
+            Response::TxnOk => codes::TXN_OK,
+            Response::Updated(_) => codes::UPDATED,
+            Response::Done => codes::DONE,
+            Response::QueryOk(_) => codes::QUERY_OK,
+            Response::Item(_) => codes::ITEM,
+            Response::ResultEnd => codes::RESULT_END,
+            Response::Pong => codes::PONG,
+            Response::Metrics(_) => codes::METRICS,
+            Response::ShuttingDown => codes::SHUTTING_DOWN,
+            Response::Loaded(_) => codes::LOADED,
+            Response::Error { .. } => codes::ERROR,
+        }
+    }
+
+    /// Serializes the body (everything after the code byte).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Response::Updated(n) | Response::QueryOk(n) | Response::Loaded(n) => {
+                b.extend_from_slice(&n.to_be_bytes());
+            }
+            Response::Item(s) | Response::Metrics(s) => put_str(&mut b, s),
+            Response::Error { kind, message } => {
+                put_str(&mut b, kind);
+                put_str(&mut b, message);
+            }
+            Response::SessionStarted
+            | Response::SessionClosed
+            | Response::TxnOk
+            | Response::Done
+            | Response::ResultEnd
+            | Response::Pong
+            | Response::ShuttingDown => {}
+        }
+        b
+    }
+
+    /// Parses a response from a frame's code and body.
+    pub fn decode(code: u8, body: &[u8]) -> io::Result<Response> {
+        let mut c = Cursor::new(body);
+        let resp = match code {
+            codes::SESSION_STARTED => Response::SessionStarted,
+            codes::SESSION_CLOSED => Response::SessionClosed,
+            codes::TXN_OK => Response::TxnOk,
+            codes::UPDATED => Response::Updated(c.take_u64()?),
+            codes::DONE => Response::Done,
+            codes::QUERY_OK => Response::QueryOk(c.take_u64()?),
+            codes::ITEM => Response::Item(c.take_str()?),
+            codes::RESULT_END => Response::ResultEnd,
+            codes::PONG => Response::Pong,
+            codes::METRICS => Response::Metrics(c.take_str()?),
+            codes::SHUTTING_DOWN => Response::ShuttingDown,
+            codes::LOADED => Response::Loaded(c.take_u64()?),
+            codes::ERROR => Response::Error {
+                kind: c.take_str()?,
+                message: c.take_str()?,
+            },
+            other => return Err(bad(format!("unknown response code {other:#04x}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+
+    /// Writes the response as one frame.
+    ///
+    /// Returns the number of bytes put on the wire.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<usize> {
+        write_frame(w, self.code(), &self.encode_body())
+    }
+
+    /// Reads one response frame (frames larger than `max_frame` are
+    /// rejected without being read).
+    pub fn read_from(r: &mut impl Read, max_frame: usize) -> io::Result<Response> {
+        let (code, body) = read_frame(r, max_frame)?;
+        Response::decode(code, &body)
+    }
+}
+
+/// Writes one frame: `u32` BE length, code byte, body. Returns the total
+/// bytes written (`body.len() + 5`).
+pub fn write_frame(w: &mut impl Write, code: u8, body: &[u8]) -> io::Result<usize> {
+    let len = u32::try_from(body.len() + 1).map_err(|_| bad("frame too large to encode"))?;
+    let mut frame = Vec::with_capacity(body.len() + 5);
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.push(code);
+    frame.extend_from_slice(body);
+    w.write_all(&frame)?;
+    Ok(frame.len())
+}
+
+/// Reads one frame, returning `(code, body)`. Frames whose declared
+/// length exceeds `max_frame` are rejected with `InvalidData` before any
+/// body bytes are read.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> io::Result<(u8, Vec<u8>)> {
+    let mut hdr = [0u8; 5];
+    r.read_exact(&mut hdr)?;
+    let len = u32::from_be_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+    if len == 0 {
+        return Err(bad("zero-length frame"));
+    }
+    if len > max_frame {
+        return Err(bad(format!(
+            "frame of {len} bytes exceeds the {max_frame}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len - 1];
+    r.read_exact(&mut body)?;
+    Ok((hdr[4], body))
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A bounds-checked reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("truncated frame body"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn take_u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn take_str(&mut self) -> io::Result<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid UTF-8 in string field"))
+    }
+
+    /// Asserts the body was consumed exactly.
+    fn finish(self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes after frame body"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut wire = Vec::new();
+        let n = req.write_to(&mut wire).unwrap();
+        assert_eq!(n, wire.len());
+        let back = Request::read_from(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut wire = Vec::new();
+        let n = resp.write_to(&mut wire).unwrap();
+        assert_eq!(n, wire.len());
+        let back = Response::read_from(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::StartSession {
+            version: PROTOCOL_VERSION,
+            database: "db".into(),
+        });
+        roundtrip_request(Request::CloseSession);
+        roundtrip_request(Request::Begin { read_only: true });
+        roundtrip_request(Request::Begin { read_only: false });
+        roundtrip_request(Request::Commit);
+        roundtrip_request(Request::Rollback);
+        roundtrip_request(Request::Execute {
+            stmt: "doc('d')//title/text()".into(),
+        });
+        roundtrip_request(Request::FetchNext);
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::GetMetrics);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::LoadXml {
+            doc: "d".into(),
+            xml: "<r><x>héllo</x></r>".into(),
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::SessionStarted);
+        roundtrip_response(Response::SessionClosed);
+        roundtrip_response(Response::TxnOk);
+        roundtrip_response(Response::Updated(42));
+        roundtrip_response(Response::Done);
+        roundtrip_response(Response::QueryOk(u64::MAX));
+        roundtrip_response(Response::Item("<x>1</x>".into()));
+        roundtrip_response(Response::ResultEnd);
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Metrics("# HELP x\nx 1\n".into()));
+        roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Loaded(7));
+        roundtrip_response(Response::Error {
+            kind: "query".into(),
+            message: "parse error at offset 3".into(),
+        });
+    }
+
+    #[test]
+    fn oversize_frame_is_rejected_before_body_read() {
+        let req = Request::Execute {
+            stmt: "x".repeat(100),
+        };
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let err = Request::read_from(&mut wire.as_slice(), 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_body_is_invalid_data() {
+        // EXECUTE frame claiming an 8-byte string but carrying 2 bytes.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, codes::EXECUTE, &[0, 0, 0, 8, b'a', b'b']).unwrap();
+        let err = Request::read_from(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn trailing_garbage_is_invalid_data() {
+        let mut body = Request::Ping.encode_body();
+        body.push(0xFF);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, codes::PING, &body).unwrap();
+        let err = Request::read_from(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unknown_code_is_invalid_data() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0x7E, &[]).unwrap();
+        let err = Request::read_from(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,589 @@
+//! The network listener and its bounded worker pool.
+//!
+//! Figure 1 of the paper puts a *listener* in the governor process that
+//! accepts client connections and hands each one to a per-client session
+//! component. This module reproduces that shape with a thread-per-worker
+//! pool: an acceptor thread pushes accepted sockets onto a bounded queue
+//! and `workers` threads pop from it, each serving one connection at a
+//! time through the request loop in [`serve_conn`] (wire session →
+//! [`sedna::Session`]).
+//!
+//! Admission control happens twice: at the queue (a full queue rejects
+//! the connection with an `overloaded` error before any protocol
+//! exchange) and at `StartSession` (the database's
+//! [`sedna::DbConfig::max_sessions`] limit, enforced through
+//! `Governor::try_connect`).
+//!
+//! Shutdown is a drain: a shared flag flips, the acceptor wakes (poked
+//! with a loopback connect) and stops accepting, idle connections are
+//! told [`Response::ShuttingDown`] at their next poll tick, in-flight
+//! requests finish, and then [`ServerHandle::shutdown`] closes every
+//! database through `Governor::shutdown` (WAL flush + final checkpoint).
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use sedna::{DbError, DbResult, Governor, Session, StreamOutcome};
+
+use crate::metrics::NetMetrics;
+use crate::protocol::{Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+
+/// Listener configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port; see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads, i.e. concurrently served connections.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// listener starts rejecting with `overloaded`.
+    pub queue_depth: usize,
+    /// Cap on a single frame in either direction.
+    pub max_frame: usize,
+    /// Socket read-timeout tick: how often an idle worker re-checks the
+    /// drain flag and the idle clock.
+    pub poll_interval: Duration,
+    /// Close connections that stay silent between requests this long.
+    pub idle_timeout: Duration,
+    /// Deadline for reading the rest of a frame once its first byte
+    /// arrived, and for writing a response.
+    pub request_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            queue_depth: 16,
+            max_frame: DEFAULT_MAX_FRAME,
+            poll_interval: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(300),
+            request_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    governor: Arc<Governor>,
+    metrics: NetMetrics,
+    cfg: NetConfig,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// The network server: [`Server::start`] binds, spawns the acceptor and
+/// worker threads, and returns a [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `cfg.addr`, registers the `sedna_net_*` metrics into the
+    /// governor's registry, and spawns the acceptor plus worker pool.
+    pub fn start(governor: Arc<Governor>, cfg: NetConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = NetMetrics::new();
+        metrics.register_into(governor.registry());
+        let shared = Arc::new(Shared {
+            governor,
+            metrics,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.cfg.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(shared.cfg.workers.max(1));
+        for i in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            let handle = thread::Builder::new()
+                .name(format!("sedna-net-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))?;
+            workers.push(handle);
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("sedna-net-acceptor".into())
+                .spawn(move || acceptor_loop(&shared, listener, tx))?
+        };
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// A running server. Dropping the handle drains the listener (without
+/// closing databases); call [`ServerHandle::shutdown`] for the full
+/// orderly stop.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an `:0` bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The server's metric handles (shared with the worker threads).
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.shared.metrics
+    }
+
+    /// Whether a drain has been requested — by [`ServerHandle::shutdown`],
+    /// or by a client's `Shutdown` request. `sednad` polls this.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful stop: drain the listener (stop accepting, let in-flight
+    /// requests finish, join every thread), then close every registered
+    /// database via `Governor::shutdown` — WAL forced, final checkpoint
+    /// taken.
+    pub fn shutdown(mut self) -> DbResult<()> {
+        self.drain();
+        self.shared.governor.shutdown()
+    }
+
+    fn drain(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (e.g. fd pressure): back off.
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Either the drain poke or a late client; both just close.
+            break;
+        }
+        shared.metrics.connections_opened.inc();
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => reject_overloaded(shared, stream),
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` here lets the workers drain the queue and exit.
+}
+
+fn reject_overloaded(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.connections_rejected.inc();
+    shared.metrics.errors.inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let resp = Response::Error {
+        kind: "overloaded".into(),
+        message: "server worker queue is full; retry later".into(),
+    };
+    if let Ok(n) = resp.write_to(&mut stream) {
+        shared.metrics.bytes_out.add(n as u64);
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // The guard drops at the end of this statement, so a worker
+        // serving a connection never blocks its peers' queue pops.
+        let next = rx.lock().expect("net worker pool poisoned").recv();
+        match next {
+            Ok(stream) => serve_conn(shared, stream),
+            Err(_) => break,
+        }
+    }
+}
+
+/// One connection's server-side state: the wire session and the buffered
+/// items of its last query, streamed out via `FetchNext`.
+struct Conn {
+    stream: TcpStream,
+    session: Option<Session>,
+    pending: VecDeque<String>,
+}
+
+fn serve_conn(shared: &Shared, stream: TcpStream) {
+    let m = &shared.metrics;
+    m.connections_active.add(1);
+    let mut conn = Conn {
+        stream,
+        session: None,
+        pending: VecDeque::new(),
+    };
+    let _ = conn.stream.set_nodelay(true);
+    let _ = conn.stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    let _ = conn
+        .stream
+        .set_write_timeout(Some(shared.cfg.request_timeout));
+    loop {
+        match read_frame_interruptible(&mut conn.stream, &shared.cfg, &shared.shutdown) {
+            ReadOutcome::Frame(code, body) => {
+                m.bytes_in.add((body.len() + 5) as u64);
+                if let Some(c) = m.msg_counter(code) {
+                    c.inc();
+                }
+                let span = m.request_ns.span();
+                let close = match Request::decode(code, &body) {
+                    Ok(req) => handle_request(&mut conn, req, shared).unwrap_or(true),
+                    Err(e) => {
+                        let _ = send(
+                            &mut conn,
+                            m,
+                            &Response::Error {
+                                kind: "protocol".into(),
+                                message: e.to_string(),
+                            },
+                        );
+                        true
+                    }
+                };
+                drop(span);
+                if close {
+                    break;
+                }
+            }
+            ReadOutcome::ShutdownTick => {
+                let _ = send(&mut conn, m, &Response::ShuttingDown);
+                break;
+            }
+            ReadOutcome::IdleTimeout => {
+                let _ = send(
+                    &mut conn,
+                    m,
+                    &Response::Error {
+                        kind: "timeout".into(),
+                        message: "idle timeout".into(),
+                    },
+                );
+                break;
+            }
+            ReadOutcome::Oversize(len) => {
+                let _ = send(
+                    &mut conn,
+                    m,
+                    &Response::Error {
+                        kind: "protocol".into(),
+                        message: format!(
+                            "frame of {len} bytes exceeds the {}-byte limit",
+                            shared.cfg.max_frame
+                        ),
+                    },
+                );
+                break;
+            }
+            ReadOutcome::Malformed => {
+                let _ = send(
+                    &mut conn,
+                    m,
+                    &Response::Error {
+                        kind: "protocol".into(),
+                        message: "malformed or timed-out frame".into(),
+                    },
+                );
+                break;
+            }
+            ReadOutcome::Closed => break,
+        }
+    }
+    if conn.session.take().is_some() {
+        // Dropping the Session rolls back any open transaction and
+        // releases the admission slot; mirror that in the wire metrics
+        // so opened == closed + active stays an invariant even for
+        // aborted connections.
+        m.sessions_active.sub(1);
+        m.sessions_closed.inc();
+    }
+    m.connections_active.sub(1);
+}
+
+/// Serves one decoded request. `Ok(true)` means close the connection
+/// afterwards; `Err` means the response could not be written (peer gone).
+fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<bool> {
+    let m = &shared.metrics;
+    match req {
+        Request::StartSession { version, database } => {
+            if version != PROTOCOL_VERSION {
+                send(
+                    conn,
+                    m,
+                    &Response::Error {
+                        kind: "protocol".into(),
+                        message: format!(
+                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                )?;
+                return Ok(true);
+            }
+            if conn.session.is_some() {
+                send(
+                    conn,
+                    m,
+                    &Response::Error {
+                        kind: "conflict".into(),
+                        message: "session already started on this connection".into(),
+                    },
+                )?;
+                return Ok(false);
+            }
+            match shared.governor.try_connect(&database) {
+                Ok(sess) => {
+                    conn.session = Some(sess);
+                    m.sessions_opened.inc();
+                    m.sessions_active.add(1);
+                    send(conn, m, &Response::SessionStarted)?;
+                    Ok(false)
+                }
+                Err(e) => {
+                    if matches!(e, DbError::Conflict(_)) {
+                        // The database's session limit turned us away.
+                        m.connections_rejected.inc();
+                    }
+                    send_db_error(conn, m, &e)?;
+                    Ok(true)
+                }
+            }
+        }
+        Request::CloseSession => {
+            if conn.session.take().is_some() {
+                m.sessions_active.sub(1);
+                m.sessions_closed.inc();
+            }
+            conn.pending.clear();
+            send(conn, m, &Response::SessionClosed)?;
+            Ok(true)
+        }
+        Request::Ping => {
+            send(conn, m, &Response::Pong)?;
+            Ok(false)
+        }
+        Request::GetMetrics => {
+            let text = shared.governor.render_prometheus();
+            send(conn, m, &Response::Metrics(text))?;
+            Ok(false)
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so the drain starts immediately.
+            let _ = TcpStream::connect(shared.addr);
+            send(conn, m, &Response::ShuttingDown)?;
+            Ok(true)
+        }
+        other => {
+            let Some(sess) = conn.session.as_mut() else {
+                send(
+                    conn,
+                    m,
+                    &Response::Error {
+                        kind: "conflict".into(),
+                        message: "no session started on this connection".into(),
+                    },
+                )?;
+                return Ok(false);
+            };
+            let resp = match other {
+                Request::Begin { read_only } => if read_only {
+                    sess.begin_read_only()
+                } else {
+                    sess.begin_update()
+                }
+                .map(|_| Response::TxnOk),
+                Request::Commit => sess.commit().map(|_| Response::TxnOk),
+                Request::Rollback => sess.rollback().map(|_| Response::TxnOk),
+                Request::Execute { stmt } => match sess.execute_stream(&stmt) {
+                    Ok(StreamOutcome::Items(items)) => {
+                        let n = items.len() as u64;
+                        conn.pending = items.into_iter().collect();
+                        Ok(Response::QueryOk(n))
+                    }
+                    Ok(StreamOutcome::Updated(n)) => {
+                        conn.pending.clear();
+                        Ok(Response::Updated(n as u64))
+                    }
+                    Ok(StreamOutcome::Done) => {
+                        conn.pending.clear();
+                        Ok(Response::Done)
+                    }
+                    Err(e) => Err(e),
+                },
+                Request::FetchNext => match conn.pending.pop_front() {
+                    Some(item) => {
+                        m.items_streamed.inc();
+                        Ok(Response::Item(item))
+                    }
+                    None => Ok(Response::ResultEnd),
+                },
+                Request::LoadXml { doc, xml } => sess.load_xml(&doc, &xml).map(Response::Loaded),
+                _ => unreachable!("sessionless requests handled above"),
+            };
+            match resp {
+                Ok(r) => send(conn, m, &r)?,
+                Err(e) => send_db_error(conn, m, &e)?,
+            }
+            Ok(false)
+        }
+    }
+}
+
+fn send(conn: &mut Conn, m: &NetMetrics, resp: &Response) -> io::Result<()> {
+    if matches!(resp, Response::Error { .. }) {
+        m.errors.inc();
+    }
+    let n = resp.write_to(&mut conn.stream)?;
+    m.bytes_out.add(n as u64);
+    Ok(())
+}
+
+fn send_db_error(conn: &mut Conn, m: &NetMetrics, e: &DbError) -> io::Result<()> {
+    send(
+        conn,
+        m,
+        &Response::Error {
+            kind: error_kind(e).into(),
+            message: e.to_string(),
+        },
+    )
+}
+
+/// Stable machine-readable class for a [`DbError`], carried in the wire
+/// error envelope's `kind` field.
+pub fn error_kind(e: &DbError) -> &'static str {
+    match e {
+        DbError::Sas(_) => "sas",
+        DbError::Storage(_) => "storage",
+        DbError::Query(_) => "query",
+        DbError::Wal(_) => "wal",
+        DbError::Index(_) => "index",
+        DbError::Lock(_) => "lock",
+        DbError::Io(_) => "io",
+        DbError::NotFound(_) => "not_found",
+        DbError::Conflict(_) => "conflict",
+    }
+}
+
+enum ReadOutcome {
+    /// A complete frame: `(code, body)`.
+    Frame(u8, Vec<u8>),
+    /// Clean EOF or peer reset.
+    Closed,
+    /// Drain flag observed at a frame boundary.
+    ShutdownTick,
+    /// No request arrived within the idle timeout.
+    IdleTimeout,
+    /// Declared frame length exceeds the configured cap.
+    Oversize(usize),
+    /// Zero-length frame, or the frame stalled past the request timeout.
+    Malformed,
+}
+
+/// Reads one frame with a short socket read-timeout as the poll tick, so
+/// the worker notices the drain flag and the idle clock between frames.
+/// The drain flag is only honored at frame *boundaries*: once the first
+/// header byte of a frame arrived, the read switches to the request
+/// deadline so a partially read frame is never abandoned mid-stream
+/// (which would desynchronize the connection).
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    cfg: &NetConfig,
+    shutdown: &AtomicBool,
+) -> ReadOutcome {
+    let mut hdr = [0u8; 5];
+    let mut got = 0usize;
+    let idle_start = Instant::now();
+    let mut frame_start: Option<Instant> = None;
+    while got < 5 {
+        match stream.read(&mut hdr[got..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => {
+                if frame_start.is_none() {
+                    frame_start = Some(Instant::now());
+                }
+                got += n;
+            }
+            Err(e) if is_timeout(&e) => match frame_start {
+                None => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return ReadOutcome::ShutdownTick;
+                    }
+                    if idle_start.elapsed() >= cfg.idle_timeout {
+                        return ReadOutcome::IdleTimeout;
+                    }
+                }
+                Some(t) => {
+                    if t.elapsed() >= cfg.request_timeout {
+                        return ReadOutcome::Malformed;
+                    }
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    let len = u32::from_be_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+    if len == 0 {
+        return ReadOutcome::Malformed;
+    }
+    if len > cfg.max_frame {
+        return ReadOutcome::Oversize(len);
+    }
+    let mut body = vec![0u8; len - 1];
+    let mut got = 0usize;
+    let deadline = Instant::now() + cfg.request_timeout;
+    while got < body.len() {
+        match stream.read(&mut body[got..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if Instant::now() >= deadline {
+                    return ReadOutcome::Malformed;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    ReadOutcome::Frame(hdr[4], body)
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}

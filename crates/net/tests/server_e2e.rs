@@ -1,0 +1,281 @@
+//! End-to-end tests: a real listener on loopback TCP serving
+//! [`sedna_net::SednaClient`] sessions against a live database.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sedna::{DbConfig, Governor};
+use sedna_net::{ClientError, ExecReply, NetConfig, SednaClient, Server, ServerHandle};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sedna-net-e2e-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One governor, one database `"db"`, one listener on a free loopback
+/// port with a fast poll tick.
+fn start_server(name: &str, max_sessions: usize) -> (ServerHandle, PathBuf, Arc<Governor>) {
+    let dir = tmpdir(name);
+    let governor = Governor::new();
+    let cfg = DbConfig {
+        max_sessions,
+        ..DbConfig::small()
+    };
+    governor.create_database("db", &dir, cfg).unwrap();
+    let handle = Server::start(
+        Arc::clone(&governor),
+        NetConfig {
+            poll_interval: Duration::from_millis(5),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    (handle, dir, governor)
+}
+
+#[test]
+fn query_streaming_end_to_end() {
+    let (handle, dir, _governor) = start_server("stream", 0);
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.ping().unwrap();
+    assert_eq!(c.execute("CREATE DOCUMENT 'lib'").unwrap(), ExecReply::Done);
+    let nodes = c
+        .load_xml(
+            "lib",
+            "<library><book><title>A</title></book><book><title>B</title></book></library>",
+        )
+        .unwrap();
+    assert!(nodes > 0);
+
+    // Item-at-a-time streaming: two items pulled one FetchNext at a time.
+    assert_eq!(
+        c.execute("doc('lib')//title/text()").unwrap(),
+        ExecReply::Query(2)
+    );
+    assert_eq!(c.fetch_next().unwrap().as_deref(), Some("A"));
+    assert_eq!(c.fetch_next().unwrap().as_deref(), Some("B"));
+    assert_eq!(c.fetch_next().unwrap(), None);
+    // Fetching past the end stays at ResultEnd.
+    assert_eq!(c.fetch_next().unwrap(), None);
+
+    // The convenience wrapper drains the stream.
+    assert_eq!(
+        c.query("count(doc('lib')//book)").unwrap(),
+        vec!["2".to_string()]
+    );
+
+    // A new Execute discards the previous buffered result.
+    assert_eq!(
+        c.execute("doc('lib')//title/text()").unwrap(),
+        ExecReply::Query(2)
+    );
+    assert_eq!(
+        c.query("count(doc('lib')//title)").unwrap(),
+        vec!["2".to_string()]
+    );
+
+    c.close().unwrap();
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transactions_and_error_envelope() {
+    let (handle, dir, _governor) = start_server("txn", 0);
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.execute("CREATE DOCUMENT 'd'").unwrap();
+    c.load_xml("d", "<r/>").unwrap();
+
+    c.begin().unwrap();
+    match c.execute("UPDATE insert <x>1</x> into doc('d')/r").unwrap() {
+        ExecReply::Updated(n) => assert!(n >= 1),
+        other => panic!("expected an update reply, got {other:?}"),
+    }
+    c.commit().unwrap();
+    assert_eq!(
+        c.query("count(doc('d')/r/x)").unwrap(),
+        vec!["1".to_string()]
+    );
+
+    // Rollback undoes the insert.
+    c.begin().unwrap();
+    c.execute("UPDATE insert <x>2</x> into doc('d')/r").unwrap();
+    c.rollback().unwrap();
+    assert_eq!(
+        c.query("count(doc('d')/r/x)").unwrap(),
+        vec!["1".to_string()]
+    );
+
+    // Errors arrive as structured envelopes and do not poison the
+    // connection.
+    let err = c.execute("doc('no-such-doc')//x").unwrap_err();
+    match err {
+        ClientError::Server { kind, message } => {
+            assert!(!kind.is_empty(), "kind must be machine-readable");
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected a server error envelope, got {other}"),
+    }
+    c.ping().unwrap();
+    assert_eq!(
+        c.query("count(doc('d')/r/x)").unwrap(),
+        vec!["1".to_string()]
+    );
+
+    c.close().unwrap();
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn session_limit_rejects_then_admits_after_close() {
+    let (handle, dir, _governor) = start_server("limit", 1);
+    let c1 = SednaClient::connect(handle.addr(), "db").unwrap();
+    match SednaClient::connect(handle.addr(), "db").unwrap_err() {
+        ClientError::Server { kind, message } => {
+            assert_eq!(kind, "conflict");
+            assert!(message.contains("session limit"), "message: {message}");
+        }
+        other => panic!("expected a conflict envelope, got {other}"),
+    }
+    assert_eq!(handle.metrics().connections_rejected.get(), 1);
+
+    // Closing the first session frees the slot (the server drops the
+    // database session before acknowledging CloseSession).
+    c1.close().unwrap();
+    let c2 = SednaClient::connect(handle.addr(), "db").unwrap();
+    c2.close().unwrap();
+
+    // Unknown databases are a not_found envelope.
+    match SednaClient::connect(handle.addr(), "no-such-db").unwrap_err() {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "not_found"),
+        other => panic!("expected a not_found envelope, got {other}"),
+    }
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dropped_connection_aborts_transaction_and_accounting_balances() {
+    let (handle, dir, governor) = start_server("abort", 0);
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.execute("CREATE DOCUMENT 'd'").unwrap();
+    c.load_xml("d", "<r/>").unwrap();
+
+    let mut rogue = SednaClient::connect(handle.addr(), "db").unwrap();
+    rogue.begin().unwrap();
+    rogue
+        .execute("UPDATE insert <x>1</x> into doc('d')/r")
+        .unwrap();
+    drop(rogue); // vanish mid-transaction: the server must roll back
+
+    let m = handle.metrics();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while m.sessions_active.get() > 1 {
+        assert!(
+            Instant::now() < deadline,
+            "server did not reap the dropped session"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        c.query("count(doc('d')/r/x)").unwrap(),
+        vec!["0".to_string()]
+    );
+    assert_eq!(
+        m.sessions_opened.get(),
+        m.sessions_closed.get() + m.sessions_active.get() as u64
+    );
+    assert_eq!(governor.database("db").unwrap().active_sessions(), 1);
+
+    c.close().unwrap();
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_are_exported_through_the_governor() {
+    let (handle, dir, governor) = start_server("metrics", 0);
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.ping().unwrap();
+    c.execute("CREATE DOCUMENT 'm'").unwrap();
+    c.load_xml("m", "<r><v>1</v></r>").unwrap();
+    c.query("doc('m')//v/text()").unwrap();
+
+    // Over the wire ...
+    let text = c.metrics().unwrap();
+    for name in [
+        "sedna_net_connections_opened_total",
+        "sedna_net_connections_active",
+        "sedna_net_connections_rejected_total",
+        "sedna_net_sessions_opened_total",
+        "sedna_net_msg_ping_total",
+        "sedna_net_msg_execute_total",
+        "sedna_net_request_ns",
+        "sedna_net_bytes_in_total",
+        "sedna_net_bytes_out_total",
+        "sedna_net_items_streamed_total",
+    ] {
+        assert!(text.contains(name), "metrics text is missing {name}");
+    }
+    // ... and the same names next to the database's own metrics in the
+    // governor-level rendering.
+    let direct = governor.render_prometheus();
+    assert!(direct.contains("sedna_net_connections_opened_total"));
+    assert!(direct.contains("sedna_db_sessions_active"));
+
+    let m = handle.metrics();
+    assert!(m.msg_ping.get() >= 1);
+    assert!(m.msg_execute.get() >= 2);
+    assert!(m.items_streamed.get() >= 1);
+    assert!(m.bytes_in.get() > 0);
+    assert!(m.bytes_out.get() > 0);
+    // Every served frame took one latency sample.
+    assert!(m.request_ns.snapshot().count >= m.msg_execute.get());
+
+    c.close().unwrap();
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_checkpoints_and_data_survives_reopen() {
+    let (handle, dir, _governor) = start_server("persist", 0);
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.execute("CREATE DOCUMENT 'lib'").unwrap();
+    c.load_xml("lib", "<library><book/><book/></library>")
+        .unwrap();
+    c.close().unwrap();
+
+    // Drain + Governor::shutdown: WAL flushed, final checkpoint taken.
+    let addr = handle.addr();
+    handle.shutdown().unwrap();
+    assert!(
+        SednaClient::connect(addr, "db").is_err(),
+        "listener must be closed after shutdown"
+    );
+
+    let db = sedna::Database::open(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+    assert_eq!(s.query("count(doc('lib')//book)").unwrap(), "2");
+    drop(s);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wire_shutdown_request_drains_the_server() {
+    let (handle, dir, _governor) = start_server("wire-shutdown", 0);
+    let c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.shutdown_server().unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !handle.shutdown_requested() {
+        assert!(Instant::now() < deadline, "drain flag never flipped");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,151 @@
+//! Network stress: many concurrent `SednaClient`s against one server,
+//! mixing read-only queries, update transactions, and forced aborts
+//! (connections dropped mid-session). Afterwards the wire-session
+//! accounting must balance exactly (`opened == closed + active`) and
+//! every acknowledged commit must be visible — zero lost responses.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sedna::{DbConfig, Governor};
+use sedna_net::{ClientError, ExecReply, NetConfig, SednaClient, Server};
+
+const CLIENTS: usize = 12;
+const ROUNDS: usize = 12;
+
+#[test]
+fn concurrent_clients_with_forced_aborts() {
+    let dir = std::env::temp_dir().join(format!("sedna-net-stress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let governor = Governor::new();
+    governor
+        .create_database("db", &dir, DbConfig::small())
+        .unwrap();
+    {
+        let mut s = governor.connect("db").unwrap();
+        s.execute("CREATE DOCUMENT 'lib'").unwrap();
+        s.load_xml("lib", "<library><book><title>T0</title></book></library>")
+            .unwrap();
+    }
+    let server = Server::start(
+        Arc::clone(&governor),
+        NetConfig {
+            workers: CLIENTS + 2,
+            queue_depth: 2 * CLIENTS,
+            poll_interval: Duration::from_millis(5),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Writers (every third client) count their *acknowledged* commits;
+    // readers return 0. Aborted rounds drop the connection mid-flight.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut commits = 0u64;
+                for round in 0..ROUNDS {
+                    let mut c = SednaClient::connect(addr, "db").unwrap();
+                    if i % 3 == 0 {
+                        c.begin().unwrap();
+                        let exec = c.execute(&format!(
+                            "UPDATE insert <book><title>c{i}r{round}</title></book> \
+                             into doc('lib')/library"
+                        ));
+                        match exec {
+                            Ok(ExecReply::Updated(n)) => assert!(n >= 1),
+                            Ok(other) => panic!("expected an update reply, got {other:?}"),
+                            Err(ClientError::Server { .. }) => {
+                                // Lock contention: give the round up.
+                                let _ = c.rollback();
+                                let _ = c.close();
+                                continue;
+                            }
+                            Err(other) => panic!("transport failure: {other}"),
+                        }
+                        if round % 4 == 3 {
+                            // Forced abort: vanish mid-transaction; the
+                            // server must roll this insert back.
+                            drop(c);
+                            continue;
+                        }
+                        c.commit().unwrap();
+                        commits += 1;
+                        c.close().unwrap();
+                    } else {
+                        c.begin_read_only().unwrap();
+                        let items = c.query("count(doc('lib')//book)").unwrap();
+                        assert_eq!(items.len(), 1, "every query gets its full response");
+                        let n: u64 = items[0].parse().unwrap();
+                        assert!(n >= 1);
+                        if round % 5 == 4 {
+                            // Forced abort with a result still buffered
+                            // server-side.
+                            c.execute("doc('lib')//title/text()").unwrap();
+                            drop(c);
+                            continue;
+                        }
+                        c.commit().unwrap();
+                        c.close().unwrap();
+                    }
+                }
+                commits
+            })
+        })
+        .collect();
+    let mut total_commits = 0u64;
+    for w in workers {
+        total_commits += w.join().unwrap();
+    }
+    assert!(total_commits > 0, "at least some writer rounds must commit");
+
+    // Aborted connections are reaped asynchronously; wait for the wire
+    // accounting to settle, then it must balance exactly.
+    let m = server.metrics();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while m.sessions_active.get() != 0 || governor.database("db").unwrap().active_sessions() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "sessions leaked: {} wire / {} db still active",
+            m.sessions_active.get(),
+            governor.database("db").unwrap().active_sessions()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        m.sessions_opened.get(),
+        m.sessions_closed.get(),
+        "opened == closed + active, with active == 0"
+    );
+    assert_eq!(
+        m.sessions_opened.get(),
+        (CLIENTS * ROUNDS) as u64,
+        "every connect opened exactly one wire session"
+    );
+
+    // Zero lost responses: every acknowledged commit is visible, every
+    // aborted insert is not.
+    let mut check = SednaClient::connect(addr, "db").unwrap();
+    let n: u64 = check.query("count(doc('lib')//book)").unwrap()[0]
+        .parse()
+        .unwrap();
+    assert_eq!(
+        n,
+        1 + total_commits,
+        "acknowledged commits must all be visible"
+    );
+    check.close().unwrap();
+
+    // Drain + close; the data survives a cold reopen.
+    server.shutdown().unwrap();
+    let db = sedna::Database::open(&dir, DbConfig::small()).unwrap();
+    let mut s = db.session();
+    assert_eq!(
+        s.query("count(doc('lib')//book)").unwrap(),
+        (1 + total_commits).to_string()
+    );
+    drop(s);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
