@@ -94,6 +94,7 @@ fn buffer_shards(c: &mut Criterion) {
                 std::thread::spawn(move || {
                     let mut x = (t as u64 + 1) * 0x9E37_79B9;
                     gate.wait();
+                    // relaxed: a plain stop flag; no data is published through it.
                     while !stop.load(Ordering::Relaxed) {
                         x ^= x << 13;
                         x ^= x >> 7;
@@ -115,6 +116,7 @@ fn buffer_shards(c: &mut Criterion) {
                 std::hint::black_box(pool.try_read(&fref, phys).unwrap().bytes()[0]);
             })
         });
+        // relaxed: a plain stop flag; no data is published through it.
         stop.store(true, Ordering::Relaxed);
         for h in background {
             h.join().unwrap();

@@ -124,6 +124,7 @@ fn run_lookup_bench(shards: usize, threads: usize, global_lock: bool) -> (f64, f
                 let mut x = (t as u64 + 1) * 0x9E37_79B9_7F4A_7C15;
                 let mut ops = 0u64;
                 gate.wait();
+                // relaxed: a plain stop flag; no data is published through it.
                 while !stop.load(Ordering::Relaxed) {
                     x ^= x << 13;
                     x ^= x >> 7;
@@ -141,6 +142,7 @@ fn run_lookup_bench(shards: usize, threads: usize, global_lock: bool) -> (f64, f
                     }
                     ops += 1;
                 }
+                // relaxed: throughput tally only; the final value is read after the threads join.
                 total.fetch_add(ops, Ordering::Relaxed);
             })
         })
@@ -148,11 +150,13 @@ fn run_lookup_bench(shards: usize, threads: usize, global_lock: bool) -> (f64, f
     gate.wait();
     let t = Instant::now();
     std::thread::sleep(WINDOW);
+    // relaxed: a plain stop flag; no data is published through it.
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         h.join().unwrap();
     }
     let elapsed = t.elapsed().as_secs_f64();
+    // relaxed: throughput tally only; the final value is read after the threads join.
     let ops = total.load(Ordering::Relaxed) as f64;
     let ops_per_sec = ops / elapsed;
     let ns_per_lookup = elapsed * 1e9 * threads as f64 / ops.max(1.0);
@@ -185,11 +189,13 @@ fn run_db_reader_sweep(shards: usize) -> f64 {
             let reads = Arc::clone(&reads);
             std::thread::spawn(move || {
                 let mut s = db.session();
+                // relaxed: a plain stop flag; no data is published through it.
                 while !stop.load(Ordering::Relaxed) {
                     s.begin_read_only().unwrap();
                     let r = s.query("count(doc('lib')//book)");
                     let _ = s.commit();
                     if r.is_ok() {
+                        // relaxed: throughput tally only; the final value is read after the threads join.
                         reads.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -201,6 +207,7 @@ fn run_db_reader_sweep(shards: usize) -> f64 {
     let writer = std::thread::spawn(move || {
         let mut s = db.session();
         let mut i = 0;
+        // relaxed: a plain stop flag; no data is published through it.
         while !stop_w.load(Ordering::Relaxed) {
             s.begin_update().unwrap();
             s.execute(&format!(
@@ -213,11 +220,13 @@ fn run_db_reader_sweep(shards: usize) -> f64 {
     });
     let t = Instant::now();
     std::thread::sleep(WINDOW);
+    // relaxed: a plain stop flag; no data is published through it.
     stop.store(true, Ordering::Relaxed);
     for r in readers {
         r.join().unwrap();
     }
     writer.join().unwrap();
+    // relaxed: throughput tally only; the final value is read after the threads join.
     reads.load(Ordering::Relaxed) as f64 / t.elapsed().as_secs_f64()
 }
 
@@ -338,6 +347,7 @@ fn run_net_client_sweep(addr: std::net::SocketAddr, clients: usize) -> NetBenchR
                 let mut c = sedna_net::SednaClient::connect(addr, "bench").unwrap();
                 let mut local = Vec::new();
                 gate.wait();
+                // relaxed: a plain stop flag; no data is published through it.
                 while !stop.load(Ordering::Relaxed) {
                     let t = Instant::now();
                     let items = c.query("count(doc('lib')//book)").unwrap();
@@ -352,6 +362,7 @@ fn run_net_client_sweep(addr: std::net::SocketAddr, clients: usize) -> NetBenchR
     gate.wait();
     let t = Instant::now();
     std::thread::sleep(WINDOW);
+    // relaxed: a plain stop flag; no data is published through it.
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         h.join().unwrap();
@@ -864,6 +875,7 @@ fn e10_mvcc_readers() {
                 let reads = Arc::clone(&reads);
                 std::thread::spawn(move || {
                     let mut s = db.session();
+                    // relaxed: a plain stop flag; no data is published through it.
                     while !stop.load(Ordering::Relaxed) {
                         if read_only {
                             s.begin_read_only().unwrap();
@@ -875,6 +887,7 @@ fn e10_mvcc_readers() {
                         let r = s.query("count(doc('lib')//book)");
                         let _ = s.commit();
                         if r.is_ok() {
+                            // relaxed: throughput tally only; the final value is read after the threads join.
                             reads.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -887,6 +900,7 @@ fn e10_mvcc_readers() {
         let writer = std::thread::spawn(move || {
             let mut s = db.session();
             let mut i = 0;
+            // relaxed: a plain stop flag; no data is published through it.
             while !stop_w.load(Ordering::Relaxed) {
                 s.begin_update().unwrap();
                 s.execute(&format!(
@@ -900,6 +914,7 @@ fn e10_mvcc_readers() {
             i
         });
         std::thread::sleep(Duration::from_millis(600));
+        // relaxed: a plain stop flag; no data is published through it.
         stop.store(true, Ordering::Relaxed);
         for r in readers {
             r.join().unwrap();
@@ -912,6 +927,7 @@ fn e10_mvcc_readers() {
             } else {
                 "S2PL-locked readers      "
             },
+            // relaxed: throughput tally only; the final value is read after the threads join.
             reads.load(Ordering::Relaxed),
             commits
         );

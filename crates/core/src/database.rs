@@ -3,15 +3,15 @@
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
+use sedna_sync::Arc;
 use sedna_sas::{FilePageStore, PageResolver, PageStore, Sas, SasConfig, XPtr};
 use sedna_txn::TxnManager;
 use sedna_wal::record::AllocSnapshot;
 use sedna_wal::{plan_recovery, CheckpointData, PageOp, RedoOp, WalRecord, WalWriter};
 
+use crate::admission::{CatalogGeneration, SessionGate};
 use crate::catalog::{self, Catalog};
 use crate::config::DbConfig;
 use crate::error::{DbError, DbResult};
@@ -39,6 +39,11 @@ fn write_epoch(dir: &Path, epoch: u64) -> std::io::Result<()> {
 /// it shared; a checkpoint runs exclusively (so the flushed state is
 /// transaction-consistent — the paper's "fixate transaction-consistent
 /// state").
+///
+/// Stays on `parking_lot` (not the `sedna-sync` shim): it is a blocking
+/// condition-variable protocol, not a lock-free hot path, and no loom
+/// model pauses a thread while it holds the gate. The model-checkable
+/// protocols of this crate live in [`crate::admission`].
 pub(crate) struct TxnGate {
     active: Mutex<usize>,
     cv: Condvar,
@@ -94,16 +99,15 @@ pub(crate) struct DbInner {
     pub(crate) catalog: RwLock<Catalog>,
     pub(crate) gate: TxnGate,
     pub(crate) obs: DbObs,
-    /// Live [`Session`] count (incremented on construction, decremented
-    /// on drop); the admission-control quantity behind
-    /// [`Database::try_session`].
-    pub(crate) active_sessions: AtomicUsize,
+    /// Session admission control (live-session accounting behind
+    /// [`Database::try_session`]); see [`SessionGate`].
+    pub(crate) sessions: SessionGate,
     /// Catalog generation: bumped on every catalog-shape change (DDL
     /// success, update-transaction rollback restoring catalog entries).
     /// Plan caches key entries by `(statement text, generation)`, so a
     /// bump lazily invalidates every cached plan — in this session and
     /// every other — without a conservative cache clear.
-    pub(crate) catalog_generation: AtomicU64,
+    pub(crate) catalog_generation: CatalogGeneration,
 }
 
 impl DbInner {
@@ -111,34 +115,18 @@ impl DbInner {
     /// `cfg.max_sessions` (when non-zero) sessions are live; otherwise
     /// only counts. The matching release happens in `Session::drop`.
     pub(crate) fn reserve_session(&self, enforce_limit: bool) -> DbResult<()> {
-        let max = self.cfg.max_sessions;
-        if enforce_limit && max > 0 {
-            let mut cur = self.active_sessions.load(Ordering::Relaxed);
-            loop {
-                if cur >= max {
-                    return Err(DbError::Conflict(format!(
-                        "session limit reached ({max} active sessions)"
-                    )));
-                }
-                match self.active_sessions.compare_exchange_weak(
-                    cur,
-                    cur + 1,
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => break,
-                    Err(now) => cur = now,
-                }
-            }
-        } else {
-            self.active_sessions.fetch_add(1, Ordering::AcqRel);
+        let max = if enforce_limit { self.cfg.max_sessions } else { 0 };
+        if !self.sessions.try_admit(max) {
+            return Err(DbError::Conflict(format!(
+                "session limit reached ({max} active sessions)"
+            )));
         }
         self.obs.sessions.add(1);
         Ok(())
     }
 
     pub(crate) fn release_session(&self) {
-        self.active_sessions.fetch_sub(1, Ordering::AcqRel);
+        self.sessions.release();
         self.obs.sessions.sub(1);
     }
 }
@@ -187,8 +175,8 @@ impl Database {
                 catalog: RwLock::new(Catalog::default()),
                 gate: TxnGate::new(),
                 obs,
-                active_sessions: AtomicUsize::new(0),
-                catalog_generation: AtomicU64::new(0),
+                sessions: SessionGate::new(),
+                catalog_generation: CatalogGeneration::new(),
             }),
         };
         // Baseline checkpoint so recovery always has a starting snapshot.
@@ -296,8 +284,8 @@ impl Database {
                 catalog: RwLock::new(catalog),
                 gate: TxnGate::new(),
                 obs,
-                active_sessions: AtomicUsize::new(0),
-                catalog_generation: AtomicU64::new(0),
+                sessions: SessionGate::new(),
+                catalog_generation: CatalogGeneration::new(),
             }),
         };
         // Standard practice: checkpoint right after recovery, so the next
@@ -327,7 +315,7 @@ impl Database {
 
     /// Number of live sessions on this database.
     pub fn active_sessions(&self) -> usize {
-        self.inner.active_sessions.load(Ordering::Acquire)
+        self.inner.sessions.active()
     }
 
     /// The current catalog generation. Bumped on every catalog-shape
@@ -335,7 +323,7 @@ impl Database {
     /// entries by `(statement text, generation)` so stale plans miss
     /// instead of requiring a conservative clear.
     pub fn catalog_generation(&self) -> u64 {
-        self.inner.catalog_generation.load(Ordering::Acquire)
+        self.inner.catalog_generation.current()
     }
 
     /// Closes the database for shutdown: forces the log, then takes a

@@ -5,9 +5,9 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::Arc;
 
 use parking_lot::RwLock;
+use sedna_sync::Arc;
 use sedna_obs::{MetricsSnapshot, Registry};
 
 use crate::config::DbConfig;

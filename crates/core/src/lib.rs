@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 pub mod catalog;
 mod config;
 mod database;
@@ -36,6 +37,9 @@ mod governor;
 mod metrics;
 mod plan_cache;
 mod session;
+
+#[cfg(all(test, loom))]
+mod loom_models;
 
 pub use catalog::{Catalog, DocData, IndexData, IndexMeta};
 pub use config::DbConfig;

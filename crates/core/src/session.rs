@@ -20,8 +20,8 @@
 //! the transaction's undo copies.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+
+use sedna_sync::Arc;
 
 use sedna_sas::{Vas, View, XPtr};
 use sedna_schema::NodeKind;
@@ -381,7 +381,7 @@ impl Session {
                     // The rollback rewound catalog entries, so plans
                     // cached since (at the in-transaction generation)
                     // are stale: bump so they key-miss everywhere.
-                    self.db.catalog_generation.fetch_add(1, Ordering::Release);
+                    self.db.catalog_generation.bump();
                 }
                 Ok(())
             }
@@ -426,7 +426,7 @@ impl Session {
         // analyser + rewriter → executor. Handles are clones sharing the
         // database-wide histograms, so the spans record even on error.
         let q = self.db.obs.query.clone();
-        let generation = self.db.catalog_generation.load(Ordering::Acquire);
+        let generation = self.db.catalog_generation.current();
         let (stmt, parse_ns, rewrite_ns) = match self.plan_cache.get(text, generation) {
             Some(stmt) => {
                 // Cached parse+rewrite result: both phases are skipped, so
@@ -475,7 +475,7 @@ impl Session {
             // Catalog shape changed: bump the generation so every cached
             // plan — this session's and other sessions' — key-misses
             // lazily instead of requiring a conservative cache clear.
-            self.db.catalog_generation.fetch_add(1, Ordering::Release);
+            self.db.catalog_generation.bump();
         }
         if result.is_ok() {
             q.statements.inc();

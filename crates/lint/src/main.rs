@@ -1,0 +1,238 @@
+//! `sedna-lint` — the workspace lint pass.
+//!
+//! Run from the repository root (`cargo run -p sedna-lint`); the CI
+//! `lint` job and `scripts/check.sh` both gate on it. See `rules.rs`
+//! for the rule catalogue and the `lint: allow(R<n>)` escape hatch, and
+//! `docs/correctness.md` for how the rules relate to the loom models.
+//!
+//! `--self-test` additionally runs every rule against seeded violations
+//! and fails unless each one fires — a canary against the scanner or a
+//! rule regressing into silence.
+
+mod rules;
+mod scanner;
+
+use std::path::{Path, PathBuf};
+
+use rules::Finding;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_test = args.iter().any(|a| a == "--self-test");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: sedna-lint [--self-test]\n\
+             Runs the workspace lint rules (R1-R4) from the repo root."
+        );
+        return;
+    }
+
+    let root = find_root();
+    let mut findings = run(&root);
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    for f in &findings {
+        println!("{f}");
+    }
+
+    let mut failed = !findings.is_empty();
+    if self_test {
+        match self_test_seeded() {
+            Ok(n) => println!("sedna-lint: self-test ok ({n} seeded violations all caught)"),
+            Err(e) => {
+                println!("sedna-lint: SELF-TEST FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        println!("sedna-lint: {} finding(s)", findings.len());
+        std::process::exit(1);
+    }
+    println!("sedna-lint: clean");
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// directory holding `crates/`).
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut metric_uses: Vec<(String, String)> = Vec::new();
+
+    for file in rs_files(&root.join("crates")) {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(source) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let lines = scanner::scan(&source);
+        findings.extend(rules::r1_no_std_sync(&rel, &lines));
+        findings.extend(rules::r2_no_unwrap_in_net(&rel, &lines));
+        findings.extend(rules::r3_relaxed_justified(&rel, &lines));
+        // R4 collects registered names from non-test crate sources; the
+        // lint crate itself is excluded (its self-test seeds contain
+        // deliberately bogus names).
+        if rel.contains("/src/") && !rel.starts_with("crates/lint/") {
+            for s in lines.iter().flat_map(|l| l.strings.iter()) {
+                for name in rules::metric_names(s) {
+                    metric_uses.push((rel.clone(), name));
+                }
+            }
+        }
+    }
+
+    let doc = std::fs::read_to_string(root.join("docs/metrics.md")).unwrap_or_default();
+    if doc.is_empty() {
+        findings.push(Finding {
+            file: "docs/metrics.md".into(),
+            line: 0,
+            rule: "R4",
+            msg: "docs/metrics.md is missing or unreadable; the metric catalogue is the \
+                  drift-check anchor"
+                .into(),
+        });
+    } else {
+        metric_uses.sort();
+        metric_uses.dedup();
+        findings.extend(rules::r4_metric_drift(&metric_uses, &doc));
+    }
+    findings
+}
+
+/// Recursively collects `.rs` files, skipping build products.
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            out.extend(rs_files(&p));
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Seeded violations: every rule must fire on its bad snippet and stay
+/// silent on its good twin. Returns the number of violations caught.
+fn self_test_seeded() -> Result<usize, String> {
+    let mut caught = 0usize;
+    let expect = |name: &str, n: usize, f: &[Finding]| -> Result<usize, String> {
+        if f.len() == n {
+            Ok(n)
+        } else {
+            Err(format!(
+                "{name}: expected {n} finding(s), got {}: {f:?}",
+                f.len()
+            ))
+        }
+    };
+
+    let bad_sync = scanner::scan("use std::sync::atomic::AtomicU64;\n");
+    caught += expect(
+        "R1 seeded import",
+        1,
+        &rules::r1_no_std_sync("crates/sas/src/buffer.rs", &bad_sync),
+    )?;
+    expect(
+        "R1 clean twin",
+        0,
+        &rules::r1_no_std_sync(
+            "crates/sas/src/buffer.rs",
+            &scanner::scan("use sedna_sync::Arc;\n"),
+        ),
+    )?;
+
+    let bad_unwrap = scanner::scan("fn f() { q.recv().unwrap(); }\n");
+    caught += expect(
+        "R2 seeded unwrap",
+        1,
+        &rules::r2_no_unwrap_in_net("crates/net/src/server.rs", &bad_unwrap),
+    )?;
+    expect(
+        "R2 test-code twin",
+        0,
+        &rules::r2_no_unwrap_in_net(
+            "crates/net/src/server.rs",
+            &scanner::scan("#[cfg(test)]\nmod t { fn f() { q.recv().unwrap(); } }\n"),
+        ),
+    )?;
+
+    let bad_relaxed = scanner::scan("a.store(1, Ordering::Relaxed);\n");
+    caught += expect(
+        "R3 seeded Relaxed",
+        1,
+        &rules::r3_relaxed_justified("crates/x/src/lib.rs", &bad_relaxed),
+    )?;
+    expect(
+        "R3 justified twin",
+        0,
+        &rules::r3_relaxed_justified(
+            "crates/x/src/lib.rs",
+            &scanner::scan("// relaxed: tally.\na.store(1, Ordering::Relaxed);\n"),
+        ),
+    )?;
+
+    let drift = rules::r4_metric_drift(
+        &[("x.rs".into(), "sedna_bogus_metric_total".into())],
+        "| `sedna_documented_only_total` |\n",
+    );
+    caught += expect("R4 seeded drift (both directions)", 2, &drift)?;
+
+    Ok(caught)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real workspace must be clean — this is the same gate CI runs,
+    /// expressed as a test so `cargo test` alone catches drift.
+    #[test]
+    fn workspace_is_clean() {
+        let root = find_root();
+        if !root.join("docs/metrics.md").exists() {
+            // Running from an unexpected cwd (e.g. a packaged crate):
+            // nothing to check.
+            return;
+        }
+        let findings = run(&root);
+        assert!(
+            findings.is_empty(),
+            "workspace lint findings:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn seeded_violations_all_fire() {
+        assert_eq!(self_test_seeded().unwrap(), 5);
+    }
+}

@@ -1,0 +1,424 @@
+//! The lint rules. Each rule is a pure function over scanned sources so
+//! the self-tests (below and `--self-test`) can feed it seeded
+//! violations without touching the filesystem.
+//!
+//! ## Rule catalogue
+//!
+//! * **R1** — crates refactored onto the `sedna-sync` shim (`obs`,
+//!   `sas`, `core`) must not import `std::sync` directly: a `std`
+//!   `Mutex` or atomic would silently bypass the loom scheduler and the
+//!   model checks would no longer cover the code that actually runs.
+//! * **R2** — no `unwrap()`/`expect()` in the `sedna-net` request path:
+//!   a panic in a worker kills the connection *and* poisons shared
+//!   state; request handling must return protocol errors instead.
+//!   Test code (`#[cfg(test)]` blocks) is exempt.
+//! * **R3** — every `Ordering::Relaxed` carries a `// relaxed:`
+//!   justification within the preceding four lines: relaxed atomics are
+//!   the one place the type system cannot say *why* the ordering is
+//!   sound, and the loom models only explore sequentially consistent
+//!   executions, so the argument must live next to the code.
+//! * **R4** — metric names drift-checked **bidirectionally** against
+//!   `docs/metrics.md`: every `sedna_*` name a crate registers must be
+//!   documented, and every documented name must still exist in code.
+//!   `{i}`-style format placeholders and `<i>`-style doc placeholders
+//!   both normalize to a wildcard.
+//!
+//! ## Escape hatch
+//!
+//! A finding on a line whose own or preceding line carries a comment
+//! `lint: allow(R<n>)` is suppressed. Use sparingly and say why, e.g.
+//! `// lint: allow(R2): startup path, a panic here aborts boot anyway`.
+
+use crate::scanner::Line;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// True when the finding at `idx` (0-based) is waved through by a
+/// `lint: allow(<rule>)` comment on the same or the preceding line.
+fn allowed(lines: &[Line], idx: usize, rule: &str) -> bool {
+    let needle = format!("lint: allow({rule})");
+    let check = |i: usize| lines[i].comments.iter().any(|c| c.contains(&needle));
+    check(idx) || (idx > 0 && check(idx - 1))
+}
+
+/// Crates whose lock-free protocols are modelled under loom: direct
+/// `std::sync` imports there bypass the shim.
+const R1_SHIMMED: &[&str] = &["crates/obs/src", "crates/sas/src", "crates/core/src"];
+
+pub fn r1_no_std_sync(path: &str, lines: &[Line]) -> Vec<Finding> {
+    if !R1_SHIMMED.iter().any(|p| path.starts_with(p)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        if l.code.contains("std::sync") && !allowed(lines, i, "R1") {
+            out.push(Finding {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "R1",
+                msg: "direct std::sync use in a shimmed crate; import from \
+                      sedna_sync so loom models cover this code"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Lines covered by a `#[cfg(test)]` item (attribute line through the
+/// close of its brace-balanced block).
+fn cfg_test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            let mut depth: i64 = 0;
+            let mut entered = false;
+            let mut j = i;
+            while j < lines.len() {
+                mask[j] = true;
+                for ch in lines[j].code.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            entered = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if entered && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+pub fn r2_no_unwrap_in_net(path: &str, lines: &[Line]) -> Vec<Finding> {
+    if !path.starts_with("crates/net/src") {
+        return Vec::new();
+    }
+    let mask = cfg_test_mask(lines);
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        if mask[i] || allowed(lines, i, "R2") {
+            continue;
+        }
+        if l.code.contains(".unwrap()") || l.code.contains(".expect(") {
+            out.push(Finding {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "R2",
+                msg: "unwrap()/expect() on the request path; a worker panic \
+                      drops the connection and poisons shared state — return \
+                      a protocol error instead"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+pub fn r3_relaxed_justified(path: &str, lines: &[Line]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        if !l.code.contains("Relaxed") || allowed(lines, i, "R3") {
+            continue;
+        }
+        let justified = lines[i.saturating_sub(4)..=i]
+            .iter()
+            .any(|c| c.comments.iter().any(|t| t.contains("relaxed:")));
+        if !justified {
+            out.push(Finding {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "R3",
+                msg: "Ordering::Relaxed without a `// relaxed:` justification \
+                      within the preceding 4 lines"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts `sedna_*` metric-name tokens from one text blob.
+///
+/// `{i}` format placeholders, `<i>` doc placeholders and literal `*`
+/// family wildcards (prose like "the `sedna_net_*` family") stay part
+/// of the token. A match preceded by `{` or an identifier character is
+/// a format-string variable capture (`"{sedna_t:?}"`), not a metric
+/// name; tokens with unbalanced placeholder braces (a Prometheus label
+/// sample like `…_bucket{le=` cut mid-brace) are dropped too.
+pub fn metric_names(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let pat: Vec<char> = "sedna_".chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + pat.len() <= chars.len() {
+        if chars[i..i + pat.len()] == pat[..] {
+            let preceded = i > 0
+                && (chars[i - 1] == '{'
+                    || chars[i - 1] == '_'
+                    || chars[i - 1].is_ascii_alphanumeric());
+            let mut j = i;
+            while j < chars.len()
+                && (chars[j].is_ascii_alphanumeric()
+                    || matches!(chars[j], '_' | '{' | '}' | '<' | '>' | '*'))
+            {
+                j += 1;
+            }
+            let name: String = chars[i..j].iter().collect();
+            // Require a real suffix beyond the prefix, and strip a
+            // trailing `_` (a bare format prefix like "sedna_wal_").
+            let name = name.trim_end_matches('_').to_string();
+            let balanced = name.matches('{').count() == name.matches('}').count()
+                && name.matches('<').count() == name.matches('>').count();
+            if !preceded && name.len() > "sedna_".len() && balanced {
+                out.push(name);
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Normalizes `{i}` / `<i>` placeholder spans to a `*` wildcard.
+pub fn normalize(name: &str) -> String {
+    let mut out = String::new();
+    let mut it = name.chars().peekable();
+    while let Some(c) = it.next() {
+        match c {
+            '{' => {
+                for d in it.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                }
+                out.push('*');
+            }
+            '<' => {
+                for d in it.by_ref() {
+                    if d == '>' {
+                        break;
+                    }
+                }
+                out.push('*');
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// True when `name` is covered by `pattern` (`*` matches one or more
+/// name characters). Both sides may carry wildcards; two wildcarded
+/// names match when their patterns are identical.
+pub fn covers(pattern: &str, name: &str) -> bool {
+    if pattern == name {
+        return true;
+    }
+    if name.contains('*') {
+        return false; // two distinct wildcard shapes never merge
+    }
+    // Greedy segment match over the literal pieces between wildcards.
+    let segs: Vec<&str> = pattern.split('*').collect();
+    if segs.len() == 1 {
+        return false;
+    }
+    let mut rest = name;
+    for (k, seg) in segs.iter().enumerate() {
+        if k == 0 {
+            match rest.strip_prefix(seg) {
+                Some(r) => rest = r,
+                None => return false,
+            }
+        } else if k == segs.len() - 1 {
+            // The final segment must terminate the name, with at least
+            // one wildcard-consumed character before it.
+            return rest.len() > seg.len() && rest.ends_with(seg);
+        } else {
+            match rest.find(seg) {
+                Some(p) if p > 0 => rest = &rest[p + seg.len()..],
+                _ => return false,
+            }
+        }
+    }
+    // Pattern ended with '*': it must consume at least one character.
+    !rest.is_empty()
+}
+
+/// R4: bidirectional drift between registered metric names and the
+/// catalogue in `docs/metrics.md`.
+pub fn r4_metric_drift(code_names: &[(String, String)], doc_text: &str) -> Vec<Finding> {
+    let docs: Vec<String> = {
+        let mut v: Vec<String> = metric_names(doc_text)
+            .iter()
+            .map(|n| normalize(n))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let mut out = Vec::new();
+    for (file, raw) in code_names {
+        let name = normalize(raw);
+        if !docs.iter().any(|d| covers(d, &name) || covers(&name, d)) {
+            out.push(Finding {
+                file: file.clone(),
+                line: 0,
+                rule: "R4",
+                msg: format!("metric `{raw}` is registered here but missing from docs/metrics.md"),
+            });
+        }
+    }
+    let code_norm: Vec<String> = code_names.iter().map(|(_, n)| normalize(n)).collect();
+    for d in &docs {
+        if !code_norm.iter().any(|c| covers(d, c) || covers(c, d)) {
+            out.push(Finding {
+                file: "docs/metrics.md".into(),
+                line: 0,
+                rule: "R4",
+                msg: format!("metric `{d}` is documented but no longer registered by any crate"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn r1_flags_std_sync_in_shimmed_crates_only() {
+        let bad = scan("use std::sync::atomic::AtomicU64;\n");
+        assert_eq!(r1_no_std_sync("crates/sas/src/buffer.rs", &bad).len(), 1);
+        assert_eq!(r1_no_std_sync("crates/obs/src/metric.rs", &bad).len(), 1);
+        assert_eq!(r1_no_std_sync("crates/core/src/database.rs", &bad).len(), 1);
+        // Unshimmed crates and the shim itself may use std::sync.
+        assert!(r1_no_std_sync("crates/net/src/server.rs", &bad).is_empty());
+        assert!(r1_no_std_sync("crates/sync/src/atomic.rs", &bad).is_empty());
+        let good = scan("use sedna_sync::atomic::AtomicU64;\n");
+        assert!(r1_no_std_sync("crates/sas/src/buffer.rs", &good).is_empty());
+        // A mention in a comment is prose, not an import.
+        let prose = scan("// replaces std::sync under loom\nuse sedna_sync::Arc;\n");
+        assert!(r1_no_std_sync("crates/sas/src/vas.rs", &prose).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_unwrap_outside_tests() {
+        let bad = scan("fn handle() {\n    let v = rx.lock().expect(\"poisoned\");\n}\n");
+        let f = r2_no_unwrap_in_net("crates/net/src/server.rs", &bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        // The same code inside #[cfg(test)] is exempt.
+        let test = scan("#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn real() {}\n");
+        assert!(r2_no_unwrap_in_net("crates/net/src/server.rs", &test).is_empty());
+        // Other crates are out of scope.
+        assert!(r2_no_unwrap_in_net("crates/wal/src/lib.rs", &bad).is_empty());
+    }
+
+    #[test]
+    fn r3_requires_nearby_justification() {
+        let bad = scan("let x = a.load(Ordering::Relaxed);\n");
+        assert_eq!(r3_relaxed_justified("crates/x/src/lib.rs", &bad).len(), 1);
+        let good = scan("// relaxed: heuristic only.\nlet x = a.load(Ordering::Relaxed);\n");
+        assert!(r3_relaxed_justified("crates/x/src/lib.rs", &good).is_empty());
+        let far = scan("// relaxed: too far away.\n\n\n\n\nlet x = a.load(Ordering::Relaxed);\n");
+        assert_eq!(r3_relaxed_justified("crates/x/src/lib.rs", &far).len(), 1);
+        // Same-line trailing comment counts.
+        let inline = scan("a.store(1, Ordering::Relaxed); // relaxed: tally.\n");
+        assert!(r3_relaxed_justified("crates/x/src/lib.rs", &inline).is_empty());
+    }
+
+    #[test]
+    fn escape_hatch_suppresses_by_rule() {
+        let hatched = scan(
+            "// lint: allow(R3): measured, contended counter.\nlet x = a.load(Ordering::Relaxed);\n",
+        );
+        assert!(r3_relaxed_justified("crates/x/src/lib.rs", &hatched).is_empty());
+        // The hatch names a rule; a different rule still fires.
+        let wrong = scan("// lint: allow(R2)\nuse std::sync::Mutex;\n");
+        assert_eq!(r1_no_std_sync("crates/sas/src/buffer.rs", &wrong).len(), 1);
+    }
+
+    #[test]
+    fn r4_catches_both_drift_directions() {
+        let doc = "| `sedna_buffer_hits_total` | counter |\n\
+                   | `sedna_buffer_shard_<i>_resident` | gauge |\n\
+                   | `sedna_wal_ghost_total` | counter |\n";
+        let code = vec![
+            ("a.rs".to_string(), "sedna_buffer_hits_total".to_string()),
+            (
+                "a.rs".to_string(),
+                "sedna_buffer_shard_{i}_resident".to_string(),
+            ),
+            ("b.rs".to_string(), "sedna_undocumented_total".to_string()),
+        ];
+        let f = r4_metric_drift(&code, doc);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f
+            .iter()
+            .any(|x| x.msg.contains("sedna_undocumented_total")
+                && x.msg.contains("missing from docs")));
+        assert!(f
+            .iter()
+            .any(|x| x.msg.contains("sedna_wal_ghost_total")
+                && x.msg.contains("no longer registered")));
+    }
+
+    #[test]
+    fn wildcard_covering() {
+        assert!(covers(
+            "sedna_buffer_shard_*_resident",
+            "sedna_buffer_shard_3_resident"
+        ));
+        assert!(covers(
+            "sedna_buffer_shard_*_resident",
+            "sedna_buffer_shard_*_resident"
+        ));
+        assert!(!covers(
+            "sedna_buffer_shard_*_resident",
+            "sedna_buffer_shard__resident"
+        ));
+        assert!(!covers("sedna_a_*_total", "sedna_b_1_total"));
+        assert!(!covers("sedna_exact", "sedna_exact_longer"));
+    }
+
+    #[test]
+    fn metric_name_extraction() {
+        assert_eq!(
+            metric_names("reg(\"sedna_x_total\") and `sedna_shard_{i}_y`"),
+            vec!["sedna_x_total", "sedna_shard_{i}_y"]
+        );
+        // Bare prefixes (format-string stems) are dropped.
+        assert!(metric_names("\"sedna_\"").is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! A line-oriented lexical scanner for Rust sources.
+//!
+//! Splits every line into three channels — **code** (everything outside
+//! comments and string literals), **strings** (the contents of string
+//! literals) and **comments** (the text of `//`, `//!`, `///` and
+//! `/* */` comments) — tracking multi-line state (block comments, plain
+//! and raw strings) across lines. The rules in `main.rs` then match
+//! against exactly the channel they care about, so a metric name quoted
+//! in a doc comment or an `unwrap()` mentioned in prose never trips a
+//! rule, and a rule about comments (the `relaxed:` convention) never
+//! matches commented-out code.
+//!
+//! The workspace ships no parser dependency (the repo builds offline),
+//! so this is a hand-rolled scanner rather than a `syn`-based visitor:
+//! lexical fidelity (strings, raw strings, nested block comments, char
+//! literals vs. lifetimes) is what the rules need, not a full AST.
+
+/// One source line, split by channel.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code outside comments and string literals. String literals are
+    /// replaced by `""` so method chains stay visible.
+    pub code: String,
+    /// Contents of string literals beginning or continuing on this line.
+    pub strings: Vec<String>,
+    /// Text of comments beginning or continuing on this line.
+    pub comments: Vec<String>,
+}
+
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth.
+    Block(u32),
+    /// Inside `"…"` (escape-aware).
+    Str,
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr(u32),
+}
+
+/// Scans `source` into per-line channel splits.
+pub fn scan(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut st = State::Code;
+    // The last code character, for deciding whether `r"`/`b"` starts a
+    // raw/byte string or follows an identifier (`var"` cannot occur, but
+    // `crate_r"` must not be misread).
+    let mut prev_code: char = ' ';
+    let mut i = 0usize;
+
+    macro_rules! cur {
+        () => {
+            lines.last_mut().expect("never empty")
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(st, State::LineComment) {
+                st = State::Code;
+            }
+            lines.push(Line::default());
+            // Multi-line constructs continue into a fresh buffer.
+            match st {
+                State::Block(_) => cur!().comments.push(String::new()),
+                State::Str | State::RawStr(_) => cur!().strings.push(String::new()),
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied().unwrap_or('\0');
+        match st {
+            State::Code => {
+                if c == '/' && next == '/' {
+                    st = State::LineComment;
+                    cur!().comments.push(String::new());
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    st = State::Block(1);
+                    cur!().comments.push(String::new());
+                    i += 2;
+                } else if c == '"' {
+                    st = State::Str;
+                    cur!().code.push_str("\"\"");
+                    cur!().strings.push(String::new());
+                    prev_code = '"';
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_code.is_alphanumeric() && prev_code != '_'
+                {
+                    // Possible raw/byte string prefix: r", r#", b", br#"…
+                    let has_r = c == 'r' || next == 'r';
+                    let mut j = i + 1;
+                    if c == 'b' && next == 'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (has_r || hashes == 0) {
+                        st = if has_r {
+                            // r…" / br…": raw — backslashes are literal.
+                            State::RawStr(hashes)
+                        } else {
+                            // b": a plain byte string, escape-aware.
+                            State::Str
+                        };
+                        cur!().code.push_str("\"\"");
+                        cur!().strings.push(String::new());
+                        prev_code = '"';
+                        i = j + 1;
+                    } else {
+                        cur!().code.push(c);
+                        prev_code = c;
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime. A char literal closes
+                    // within a few characters; a lifetime never closes.
+                    if next == '\\' {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut k = i + 2;
+                        while k < chars.len() && chars[k] != '\'' {
+                            k += 1;
+                        }
+                        cur!().code.push_str("' '");
+                        prev_code = '\'';
+                        i = k + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        cur!().code.push_str("' '");
+                        prev_code = '\'';
+                        i += 3;
+                    } else {
+                        cur!().code.push(c);
+                        prev_code = c;
+                        i += 1;
+                    }
+                } else {
+                    cur!().code.push(c);
+                    if !c.is_whitespace() {
+                        prev_code = c;
+                    }
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if cur!().comments.is_empty() {
+                    cur!().comments.push(String::new());
+                }
+                cur!().comments.last_mut().expect("pushed").push(c);
+                i += 1;
+            }
+            State::Block(depth) => {
+                if c == '*' && next == '/' {
+                    if depth == 1 {
+                        st = State::Code;
+                    } else {
+                        st = State::Block(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    st = State::Block(depth + 1);
+                    i += 2;
+                } else {
+                    if cur!().comments.is_empty() {
+                        cur!().comments.push(String::new());
+                    }
+                    cur!().comments.last_mut().expect("pushed").push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Keep the escaped char out of the channel scan.
+                    i += 2;
+                } else if c == '"' {
+                    st = State::Code;
+                    i += 1;
+                } else {
+                    if cur!().strings.is_empty() {
+                        cur!().strings.push(String::new());
+                    }
+                    cur!().strings.last_mut().expect("pushed").push(c);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let closes = (1..=hashes as usize).all(|h| chars.get(i + h) == Some(&'#'));
+                    if closes {
+                        st = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                if cur!().strings.is_empty() {
+                    cur!().strings.push(String::new());
+                }
+                cur!().strings.last_mut().expect("pushed").push(c);
+                i += 1;
+            }
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_code_and_line_comment() {
+        let l = scan("let x = 1; // relaxed: because\n");
+        assert!(l[0].code.contains("let x = 1;"));
+        assert_eq!(l[0].comments.len(), 1);
+        assert!(l[0].comments[0].contains("relaxed: because"));
+    }
+
+    #[test]
+    fn string_contents_leave_the_code_channel() {
+        let l = scan(r#"reg.counter("sedna_x_total").unwrap();"#);
+        assert!(l[0].code.contains(".unwrap()"));
+        assert!(!l[0].code.contains("sedna_x_total"));
+        assert_eq!(l[0].strings, vec!["sedna_x_total".to_string()]);
+    }
+
+    #[test]
+    fn commented_out_code_is_not_code() {
+        let l = scan("// let y = v.unwrap();\nlet z = 1;\n");
+        assert!(!l[0].code.contains("unwrap"));
+        assert!(l[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let l = scan("a /* one /* two */ still */ b\nc /* open\nclose */ d\n");
+        assert!(l[0].code.contains('a') && l[0].code.contains('b'));
+        assert!(!l[0].code.contains("still"));
+        assert!(l[1].code.contains('c') && !l[1].code.contains("open"));
+        assert!(l[2].code.contains('d') && !l[2].code.contains("close"));
+        assert!(l[2].comments[0].contains("close"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let l = scan("let s = r#\"quote \" unwrap() inside\"#; t.unwrap();\n");
+        assert!(l[0].strings[0].contains("unwrap() inside"));
+        // Only the real call survives in code.
+        assert_eq!(l[0].code.matches("unwrap").count(), 1);
+        let l = scan("let e = \"esc \\\" quote\"; e.expect(\"x\");\n");
+        assert!(l[0].strings[0].contains("esc"));
+        assert!(l[0].code.contains(".expect("));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = scan("fn f<'a>(x: &'a str) -> &'a str { x } // 'c'\n");
+        assert!(l[0].code.contains("fn f<'a>"));
+        assert!(l[0].comments[0].contains("'c'"));
+    }
+}

@@ -221,8 +221,15 @@ fn reject_overloaded(shared: &Shared, mut stream: TcpStream) {
 fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
     loop {
         // The guard drops at the end of this statement, so a worker
-        // serving a connection never blocks its peers' queue pops.
-        let next = rx.lock().expect("net worker pool poisoned").recv();
+        // serving a connection never blocks its peers' queue pops. A
+        // poisoned lock (a peer panicked mid-pop) is recovered rather
+        // than unwrapped: the receiver is still structurally sound, and
+        // killing every worker over one bad connection would turn a
+        // single panic into a full outage.
+        let next = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
         match next {
             Ok(stream) => serve_conn(shared, stream),
             Err(_) => break,

@@ -170,10 +170,27 @@ impl LabelAlloc {
         prefix.extend_from_slice(&parent.prefix);
         prefix.extend_from_slice(&digits);
         prefix.push(TERMINATOR);
-        Label {
+        let label = Label {
             prefix: prefix.into_boxed_slice(),
             delim: DELIMITER,
-        }
+        };
+        // Axiom checks on the hot allocation path, debug builds only:
+        // an insert-between must land *strictly* between its neighbours
+        // (existing labels stay untouched and stay ordered) and inside
+        // the parent's interval.
+        debug_assert!(
+            parent.is_ancestor_of(&label),
+            "allocated {label:?} escapes its parent {parent:?}"
+        );
+        debug_assert!(
+            left.is_none_or(|l| l.doc_cmp(&label) == DocOrder::Before),
+            "allocated {label:?} does not sort after its left sibling {left:?}"
+        );
+        debug_assert!(
+            right.is_none_or(|r| label.doc_cmp(r) == DocOrder::Before),
+            "allocated {label:?} does not sort before its right sibling {right:?}"
+        );
+        label
     }
 
     /// Convenience: label for a child appended after all existing children

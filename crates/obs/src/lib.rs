@@ -12,15 +12,21 @@
 //! 1. **Always-on and cheap.** Hot-path instrumentation is a single
 //!    relaxed atomic add on a pre-created handle — no locks, no heap
 //!    allocation per event, no branching on an "enabled" flag. A
-//!    [`Histogram`] record is four relaxed atomic operations.
+//!    [`Histogram`] record is three relaxed atomic adds plus one
+//!    release add of the observation count (released last so a reader
+//!    that sees the count also sees the buckets it summarizes).
 //! 2. **Lock-free readout.** Snapshots read the same atomics the hot
 //!    path writes. Because independent relaxed counters cannot be read
 //!    atomically *as a group*, the registry offers a consistent-read
 //!    path ([`consistent_read`]) that re-reads until two consecutive
 //!    sweeps agree (bounded retries), eliminating the torn-snapshot
 //!    window where, e.g., buffer hits and misses disagree mid-update.
-//! 3. **Zero external dependencies.** Everything is `std`; the crate
-//!    sits below every other Sedna crate.
+//! 3. **Zero external dependencies.** Everything is `std`, reached
+//!    through the `sedna-sync` shim (an in-workspace, dependency-free
+//!    wrapper over `std::sync` that makes every atomic and lock
+//!    operation model-checkable under `--cfg loom`; see
+//!    `docs/correctness.md`). The crate sits below every other Sedna
+//!    crate.
 //!
 //! The two public surfaces built on these primitives:
 //!
@@ -37,6 +43,9 @@
 
 mod metric;
 mod registry;
+
+#[cfg(all(test, loom))]
+mod loom_models;
 
 pub use metric::{
     Counter, Gauge, Histogram, HistogramSnapshot, Span, HISTOGRAM_BUCKETS,

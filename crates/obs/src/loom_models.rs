@@ -1,0 +1,83 @@
+//! Loom models for the observability primitives (compiled only under
+//! `--cfg loom`, run by `RUSTFLAGS="--cfg loom" cargo test -p sedna-obs`).
+//!
+//! What they prove: across **every** reachable interleaving (bounded to
+//! two preemptions, see `sedna-sync`), the histogram's release/acquire
+//! count protocol keeps snapshots coherent — `count` never claims
+//! observations whose bucket/sum contributions are not yet visible.
+//! This is the ordering bug the pre-refactor all-relaxed `record`
+//! admitted on weak memory: `count` was incremented *before* `sum` and
+//! `max`, so a snapshot could report a mean over contributions it could
+//! not see.
+
+use sedna_sync::{model, thread};
+
+use crate::{Counter, Histogram};
+
+/// A reader races two recordings. The snapshot must satisfy, at every
+/// intermediate point: bucket totals and sum at least account for
+/// everything `count` claims (`count` is published last).
+#[test]
+fn histogram_count_never_runs_ahead_of_its_data() {
+    model::check(|| {
+        let h = Histogram::new();
+        let writer = {
+            let h = h.clone();
+            thread::spawn(move || {
+                h.record(5);
+                h.record(100);
+            })
+        };
+        let snap = h.snapshot();
+        let bucket_total: u64 = snap.buckets.iter().sum();
+        assert!(
+            bucket_total >= snap.count,
+            "snapshot claims {} observations but only {} are in buckets",
+            snap.count,
+            bucket_total
+        );
+        // 5 and 100 both contribute their full value to `sum` before
+        // `count` is released, so a snapshot seeing `count == n` sees a
+        // sum of at least the n smallest contributions.
+        let min_sum = match snap.count {
+            0 => 0,
+            1 => 5,
+            _ => 105,
+        };
+        assert!(
+            snap.sum >= min_sum,
+            "count {} implies sum >= {min_sum}, saw {}",
+            snap.count,
+            snap.sum
+        );
+        writer.join().unwrap();
+        let settled = h.snapshot();
+        assert_eq!(settled.count, 2);
+        assert_eq!(settled.sum, 105);
+        assert_eq!(settled.buckets.iter().sum::<u64>(), 2);
+        assert_eq!(settled.max, 100);
+    });
+}
+
+/// Counter increments from two writers are never lost, and a racing
+/// reader only ever sees monotonically consistent values.
+#[test]
+fn counter_increments_are_atomic() {
+    model::check(|| {
+        let c = Counter::new();
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    c.inc();
+                })
+            })
+            .collect();
+        let observed = c.get();
+        assert!(observed <= 2, "phantom increment: {observed}");
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(c.get(), 2, "lost update");
+    });
+}

@@ -1,9 +1,10 @@
 //! The metric primitives: counters, gauges, fixed-bucket histograms, and
 //! the zero-alloc [`Span`] phase timer.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
+
+use sedna_sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use sedna_sync::Arc;
 
 /// A monotonically increasing counter.
 ///
@@ -23,24 +24,31 @@ impl Counter {
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
+        // relaxed: a lone event count orders nothing; cross-counter
+        // agreement is the consistent-read sweep's job.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // relaxed: see `inc`.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // relaxed: single-value read; readers needing a coherent group
+        // go through `consistent_read`.
         self.0.load(Ordering::Relaxed)
     }
 
     /// Resets to zero (benchmark/test plumbing; production readers
     /// should use deltas between snapshots instead).
     pub fn reset(&self) {
+        // relaxed: benchmark-only; the buffer pool brackets grouped
+        // resets with its own seqlock generation.
         self.0.store(0, Ordering::Relaxed);
     }
 }
@@ -59,24 +67,28 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: i64) {
+        // relaxed: instantaneous level, no cross-metric ordering needed.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` (may be negative).
     #[inline]
     pub fn add(&self, n: i64) {
+        // relaxed: see `set`.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Subtracts `n`.
     #[inline]
     pub fn sub(&self, n: i64) {
+        // relaxed: see `set`.
         self.0.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// The current value.
     #[inline]
     pub fn get(&self) -> i64 {
+        // relaxed: see `set`.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -109,9 +121,14 @@ impl Default for HistogramInner {
 /// A fixed-bucket latency/size histogram with power-of-two bucket
 /// boundaries.
 ///
-/// Recording is four relaxed atomic operations on pre-allocated
-/// storage — no locks, no allocation — so it is safe to leave on all
-/// the time. Cloning shares the underlying buckets (see [`Counter`]).
+/// Recording is four atomic operations on pre-allocated storage — no
+/// locks, no allocation — so it is safe to leave on all the time. The
+/// observation count is incremented **last, with release ordering**,
+/// and snapshots load it **first, with acquire ordering**: a reader
+/// that observes `count == n` therefore also observes the bucket, sum,
+/// and max contributions of those `n` observations, so bucket totals
+/// can run ahead of `count` (in-flight recordings) but never behind
+/// it. Cloning shares the underlying buckets (see [`Counter`]).
 ///
 /// Values are unit-agnostic; by convention every `*_ns` metric in Sedna
 /// records nanoseconds.
@@ -146,10 +163,15 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let inner = &self.0;
+        // relaxed: the release add of `count` below publishes these.
         inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        inner.count.fetch_add(1, Ordering::Relaxed);
+        // relaxed: published by the count add, same as the bucket.
         inner.sum.fetch_add(v, Ordering::Relaxed);
+        // relaxed: monotonic max, published by the count add.
         inner.max.fetch_max(v, Ordering::Relaxed);
+        // Incremented last: pairs with the acquire load in `snapshot`,
+        // so `count` never runs ahead of the data it summarizes.
+        inner.count.fetch_add(1, Ordering::Release);
     }
 
     /// Starts a [`Span`] that records the elapsed nanoseconds into this
@@ -164,19 +186,30 @@ impl Histogram {
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
-        self.0.count.load(Ordering::Relaxed)
+        // Acquire pairs with the release add in `record` (callers often
+        // compare this against data they read afterwards).
+        self.0.count.load(Ordering::Acquire)
     }
 
     /// A point-in-time copy of the buckets.
+    ///
+    /// `count` is loaded first (acquire, pairing with the release add
+    /// in [`Histogram::record`]): the snapshot's bucket/sum/max totals
+    /// include at least the observations `count` claims, with any
+    /// excess attributable to recordings in flight during the sweep.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &self.0;
+        let count = inner.count.load(Ordering::Acquire);
         HistogramSnapshot {
-            count: inner.count.load(Ordering::Relaxed),
+            count,
+            // relaxed: ordered after `count` by its acquire load.
             sum: inner.sum.load(Ordering::Relaxed),
+            // relaxed: see `sum`.
             max: inner.max.load(Ordering::Relaxed),
             buckets: inner
                 .buckets
                 .iter()
+                // relaxed: see `sum`.
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
         }
@@ -185,11 +218,18 @@ impl Histogram {
     /// Resets every bucket (benchmark/test plumbing).
     pub fn reset(&self) {
         let inner = &self.0;
+        // `count` first: a concurrent snapshot then sees a zero count
+        // with possibly stale data, preserving the "data never behind
+        // count" invariant in the direction readers rely on.
+        // relaxed: benchmark-only, like `Counter::reset`.
+        inner.count.store(0, Ordering::Relaxed);
         for b in &inner.buckets {
+            // relaxed: see above.
             b.store(0, Ordering::Relaxed);
         }
-        inner.count.store(0, Ordering::Relaxed);
+        // relaxed: see above.
         inner.sum.store(0, Ordering::Relaxed);
+        // relaxed: see above.
         inner.max.store(0, Ordering::Relaxed);
     }
 }

@@ -2,7 +2,8 @@
 //! snapshot.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+
+use sedna_sync::Mutex;
 
 use crate::metric::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot};
 
@@ -32,6 +33,10 @@ pub fn consistent_read<T: PartialEq>(mut sweep: impl FnMut() -> T) -> T {
         if cur == prev {
             return cur;
         }
+        // A writer moved between sweeps; hint that progress depends on
+        // it finishing (a real pause on SMT, a deprioritizing yield in
+        // model executions).
+        sedna_sync::hint::spin_loop();
         prev = cur;
     }
     prev
@@ -54,7 +59,7 @@ impl Registry {
     }
 
     fn register(&self, name: String, help: String, metric: MetricHandle) {
-        let mut entries = self.entries.lock().expect("registry poisoned");
+        let mut entries = self.entries.lock();
         if let Some(e) = entries.iter_mut().find(|e| e.name == name) {
             // Re-registration replaces the handle (e.g. a reopened
             // database re-wiring its subsystems).
@@ -88,7 +93,7 @@ impl Registry {
     /// one sweep (their per-bucket counts are exact, only cross-bucket
     /// skew is possible, and it is bounded by in-flight recordings).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let entries = self.entries.lock().expect("registry poisoned");
+        let entries = self.entries.lock();
         let scalars = consistent_read(|| {
             entries
                 .iter()

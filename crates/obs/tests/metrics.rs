@@ -77,6 +77,7 @@ fn consistent_read_converges_under_contention() {
         let c = c.clone();
         let stop = Arc::clone(&stop);
         thread::spawn(move || {
+            // relaxed: a plain stop flag; no data is published through it.
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                 c.inc();
             }
@@ -88,6 +89,7 @@ fn consistent_read_converges_under_contention() {
     let v1 = consistent_read(|| c.get());
     let v2 = consistent_read(|| c.get());
     assert!(v2 >= v1);
+    // relaxed: a plain stop flag; no data is published through it.
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     writer.join().unwrap();
 }

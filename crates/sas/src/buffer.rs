@@ -27,13 +27,25 @@
 //! a shard, and only ever one shard at a time (cross-shard retargets
 //! release the source shard before touching the destination shard, so
 //! there is no lock-order deadlock).
+//!
+//! ## Model-checkable protocol state
+//!
+//! Everything that carries a cross-thread *protocol* — the shard state
+//! lock, the per-frame reference bits, the metric counters and the
+//! stats-reset seqlock — goes through the `sedna-sync` shim, so the
+//! `loom_models` suite can exhaustively interleave it under `--cfg loom`
+//! (see `docs/correctness.md`). The frame *content* locks stay on
+//! `parking_lot` — their owned `read_arc`/`write_arc` guards are the
+//! pool's pinning API and have no `std` equivalent; they carry page
+//! bytes, not protocol decisions, and the clock only ever probes them
+//! with non-blocking `try_write_arc`.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
-use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
-use sedna_obs::{consistent_read, Counter, Gauge, Registry};
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock, RwLock};
+use sedna_obs::{Counter, Gauge, Registry};
+use sedna_sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use sedna_sync::{Arc, Mutex, RwLock as StateLock};
 
 use crate::error::{SasError, SasResult};
 use crate::store::{PageStore, PhysId};
@@ -71,12 +83,16 @@ pub struct BufferMetrics {
     pub shard_count: Gauge,
     /// Per-shard resident-page gauges (`sedna_buffer_shard_<i>_resident`).
     pub shard_resident: Vec<Gauge>,
-    /// Reset generation (seqlock): odd while a [`BufferMetrics::reset`] is
-    /// in progress, bumped again when it finishes. [`BufferMetrics::stats`]
-    /// rejects sweeps that overlap a reset, so a racing reset can no
-    /// longer satisfy the two-sweep agreement check with half-reset
-    /// counters.
-    generation: Counter,
+    /// Reset seqlock (Linux `seqcount` style): odd while a
+    /// [`BufferMetrics::reset`] is in progress, even when stable. The
+    /// writer enters with an `AcqRel` increment and leaves with a
+    /// `Release` increment; [`BufferMetrics::stats`] sweeps only accept
+    /// an even generation observed unchanged (`Acquire` before the
+    /// sweep, `Acquire` fence after), so a sweep can never mix pre- and
+    /// post-reset counters — the bug the previous generation-as-plain-
+    /// counter scheme admitted when both agreement sweeps landed inside
+    /// one paused reset.
+    generation: Arc<AtomicU64>,
 }
 
 impl BufferMetrics {
@@ -137,56 +153,104 @@ impl BufferMetrics {
         }
     }
 
-    /// A torn-read-free [`BufferStats`] view: the counters are swept
-    /// repeatedly until two consecutive sweeps agree (see
-    /// [`consistent_read`]), so `hits`/`misses` cannot drift apart
-    /// mid-snapshot under concurrent load. Sweeps that overlap a
-    /// [`BufferMetrics::reset`] are additionally rejected via the reset
-    /// generation, so agreement can no longer be satisfied by half-reset
-    /// counters. Like `consistent_read` itself, the retry loop is
-    /// bounded; under a pathological reset storm the last sweep is
-    /// returned as-is (benchmark-only contract, see `docs/metrics.md`).
+    /// A torn-read-free [`BufferStats`] view, in two layers:
+    ///
+    /// 1. **Seqlock vs resets.** A sweep only counts when the reset
+    ///    generation was even before it and unchanged after it (see
+    ///    [`BufferMetrics::clean_sweep`]), so a sweep overlapping a
+    ///    [`BufferMetrics::reset`] — even a paused, half-finished one —
+    ///    is always discarded. This is checked exhaustively by the
+    ///    `stats_never_observe_a_half_reset` loom model.
+    /// 2. **Agreement vs in-flight increments.** Two consecutive clean
+    ///    sweeps must agree before a value is returned, bounding the
+    ///    window where, e.g., `hits` and `misses` drift apart
+    ///    mid-snapshot under concurrent load.
+    ///
+    /// The retry loop is bounded; under a pathological reset storm the
+    /// last sweep (clean if any was, raw otherwise) is returned as-is —
+    /// a benchmark-only contract, see `docs/metrics.md`.
     pub fn stats(&self) -> BufferStats {
-        let (_, _, stats) = consistent_read(|| {
-            let g_before = self.generation.get();
-            let s = BufferStats {
-                hits: self.hits.get(),
-                lockfree_hits: self.lockfree_hits.get(),
-                misses: self.misses.get(),
-                evictions: self.evictions.get(),
-                writebacks: self.writebacks.get(),
-                retargets: self.retargets.get(),
-            };
-            let g_after = self.generation.get();
-            // A sweep is clean only if no reset was in progress (even) and
-            // none completed across it (equal). Unequal or odd generations
-            // never compare equal across two sweeps once the reset
-            // finishes, forcing a retry.
-            (g_before, g_after, s)
-        });
-        stats
+        const ATTEMPTS: usize = 16;
+        let mut prev: Option<BufferStats> = None;
+        for _ in 0..ATTEMPTS {
+            if let Some(s) = self.clean_sweep() {
+                if prev == Some(s) {
+                    return s;
+                }
+                prev = Some(s);
+            }
+            // A resetter or writer moved under us; hint that progress
+            // depends on it finishing (a real pause on SMT, a
+            // deprioritizing yield in model executions).
+            sedna_sync::hint::spin_loop();
+        }
+        prev.unwrap_or_else(|| self.raw_sweep())
+    }
+
+    /// One seqlock-validated counter sweep, or `None` if a reset was in
+    /// progress (odd generation) or completed across the sweep (changed
+    /// generation).
+    pub(crate) fn clean_sweep(&self) -> Option<BufferStats> {
+        // Acquire: a generation value published by a reset's exit
+        // increment orders the counter zeroes before our counter loads.
+        let g1 = self.generation.load(Ordering::Acquire);
+        if g1 & 1 == 1 {
+            return None; // reset in progress
+        }
+        let s = self.raw_sweep();
+        // Load-load barrier between the counter sweep and the
+        // generation re-check (the `smp_rmb` of a Linux seqlock
+        // reader): if the re-check still sees g1, no reset's entry
+        // increment became visible during the sweep.
+        fence(Ordering::Acquire);
+        // relaxed: the fence above provides the ordering; this load only
+        // needs the value.
+        let g2 = self.generation.load(Ordering::Relaxed);
+        (g1 == g2).then_some(s)
+    }
+
+    /// One unvalidated sweep of the six counters.
+    fn raw_sweep(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.get(),
+            lockfree_hits: self.lockfree_hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            writebacks: self.writebacks.get(),
+            retargets: self.retargets.get(),
+        }
     }
 
     /// Resets every counter. **Benchmark-only plumbing**: callers must not
     /// run concurrent resets; a reset concurrent with [`BufferMetrics::stats`]
     /// makes the reader retry (it observes either the pre- or post-reset
-    /// values, never a mixture). The shard gauges track live pool state
-    /// and are not touched.
+    /// values, never a mixture — increments racing the reset may
+    /// individually survive or vanish, which is inherent to resetting
+    /// live counters). The shard gauges track live pool state and are
+    /// not touched.
     pub fn reset(&self) {
-        self.generation.inc(); // odd: reset in progress
+        // Seqlock writer entry: generation becomes odd. AcqRel so the
+        // counter zeroes below cannot be reordered before the entry
+        // increment (readers that saw the old even value must not see
+        // any of our zeroes without also being able to see the odd
+        // generation on re-check).
+        self.generation.fetch_add(1, Ordering::AcqRel);
         self.hits.reset();
         self.lockfree_hits.reset();
         self.misses.reset();
         self.evictions.reset();
         self.writebacks.reset();
         self.retargets.reset();
-        self.generation.inc(); // even: stable again
+        // Seqlock writer exit: generation even again. Release publishes
+        // the zeroed counters to any reader whose next sweep starts
+        // from this generation value.
+        self.generation.fetch_add(1, Ordering::Release);
     }
 }
 
 /// Counters describing buffer-pool behaviour; used by experiments E2 and
 /// the buffer-ablation benchmarks. This is a point-in-time **view** of
-/// [`BufferMetrics`], taken through the consistent-read path.
+/// [`BufferMetrics`], taken through the seqlock-validated sweep path.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BufferStats {
     /// Lookups satisfied by a resident frame.
@@ -255,7 +319,9 @@ struct Shard {
     start: usize,
     /// Number of frames owned by this shard.
     len: usize,
-    state: RwLock<ShardState>,
+    /// Shim lock so the hit/miss/eviction protocol is model-checkable;
+    /// see the module docs and `loom_models`.
+    state: StateLock<ShardState>,
     lookups: Counter,
     hits: Counter,
     misses: Counter,
@@ -431,7 +497,7 @@ impl BufferPool {
                 let shard = Shard {
                     start,
                     len,
-                    state: RwLock::new(ShardState {
+                    state: StateLock::new(ShardState {
                         map: HashMap::new(),
                         hand: 0,
                         free: (start..start + len).rev().collect(),
@@ -481,8 +547,9 @@ impl BufferPool {
         &self.metrics
     }
 
-    /// Current counters, read through the consistent-read path (no
-    /// torn `hits`/`misses` pairs under concurrent load).
+    /// Current counters, read through the seqlock-validated sweep path
+    /// (no torn `hits`/`misses` pairs, no half-reset values, under
+    /// concurrent load).
     pub fn stats(&self) -> BufferStats {
         self.metrics.stats()
     }
@@ -568,6 +635,10 @@ impl BufferPool {
             let idx = shard.start + state.hand;
             state.hand = (state.hand + 1) % n;
             let frame = &self.frames[idx];
+            // relaxed: the reference bit is a replacement heuristic; a
+            // racing hit whose set is missed here costs at most one
+            // premature eviction, never correctness (stale FrameRefs are
+            // caught by the phys check in try_read/try_write).
             if frame.referenced.swap(false, Ordering::Relaxed) {
                 continue;
             }
@@ -604,6 +675,8 @@ impl BufferPool {
         {
             let state = shard.state.read();
             if let Some(&idx) = state.map.get(&phys) {
+                // relaxed: second-chance hint only; the clock tolerates a
+                // late-arriving set (see claim_victim).
                 self.frames[idx].referenced.store(true, Ordering::Relaxed);
                 shard.hits.inc();
                 self.metrics.hits.inc();
@@ -616,6 +689,7 @@ impl BufferPool {
         // Another thread may have loaded the page between the read probe
         // and the write acquisition.
         if let Some(&idx) = state.map.get(&phys) {
+            // relaxed: second-chance hint only.
             self.frames[idx].referenced.store(true, Ordering::Relaxed);
             shard.hits.inc();
             self.metrics.hits.inc();
@@ -630,6 +704,7 @@ impl BufferPool {
         guard.dirty = false;
         state.map.insert(phys, idx);
         self.metrics.shard_resident[si].add(1);
+        // relaxed: second-chance hint only (see claim_victim).
         self.frames[idx].referenced.store(true, Ordering::Relaxed);
         drop(guard);
         Ok(self.frame_ref(idx))
@@ -659,6 +734,7 @@ impl BufferPool {
         guard.dirty = true;
         state.map.insert(phys, idx);
         self.metrics.shard_resident[si].add(1);
+        // relaxed: second-chance hint only (see claim_victim).
         self.frames[idx].referenced.store(true, Ordering::Relaxed);
         drop(guard);
         Ok(self.frame_ref(idx))
@@ -698,6 +774,7 @@ impl BufferPool {
                 guard.phys = new_phys;
                 guard.dirty = true;
                 state.map.insert(new_phys, idx);
+                // relaxed: second-chance hint only (see claim_victim).
                 self.frames[idx].referenced.store(true, Ordering::Relaxed);
                 drop(guard);
                 return Ok(self.frame_ref(idx));
@@ -711,6 +788,7 @@ impl BufferPool {
             guard.phys = new_phys;
             guard.dirty = true;
             state.map.insert(new_phys, idx);
+            // relaxed: second-chance hint only (see claim_victim).
             self.frames[idx].referenced.store(true, Ordering::Relaxed);
             drop(guard);
             return Ok(self.frame_ref(idx));
@@ -752,6 +830,7 @@ impl BufferPool {
         guard.dirty = true;
         state.map.insert(new_phys, idx);
         self.metrics.shard_resident[si_new].add(1);
+        // relaxed: second-chance hint only (see claim_victim).
         self.frames[idx].referenced.store(true, Ordering::Relaxed);
         drop(guard);
         Ok(self.frame_ref(idx))
@@ -842,6 +921,7 @@ impl BufferPool {
     pub fn try_read(&self, fref: &FrameRef, phys: PhysId) -> Option<PageRead> {
         let guard = fref.lock.read_arc();
         if guard.phys == phys {
+            // relaxed: second-chance hint only (see claim_victim).
             self.frames[fref.frame_idx]
                 .referenced
                 .store(true, Ordering::Relaxed);
@@ -857,6 +937,7 @@ impl BufferPool {
         let mut guard = fref.lock.write_arc();
         if guard.phys == phys {
             guard.dirty = true;
+            // relaxed: second-chance hint only (see claim_victim).
             self.frames[fref.frame_idx]
                 .referenced
                 .store(true, Ordering::Relaxed);

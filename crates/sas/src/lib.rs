@@ -53,6 +53,9 @@ pub mod swizzle;
 mod vas;
 mod xptr;
 
+#[cfg(all(test, loom))]
+mod loom_models;
+
 pub use alloc::{AddressAllocator, AllocState};
 pub use buffer::{
     default_shard_count, BufferMetrics, BufferPool, BufferStats, PageRead, PageWrite, ShardStats,
@@ -64,7 +67,7 @@ pub use store::{FilePageStore, MemPageStore, PageStore, PhysId};
 pub use vas::{Vas, VasStats};
 pub use xptr::XPtr;
 
-use std::sync::Arc;
+use sedna_sync::Arc;
 
 /// Size, in bytes, of the SAS header at the start of every page:
 /// the page's own [`XPtr`] followed by the page LSN.

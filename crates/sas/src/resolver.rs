@@ -8,8 +8,8 @@
 //! point; the buffer manager consults it only on a VAS fault, so the
 //! fast path stays a slot lookup.
 
+use sedna_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use parking_lot::Mutex;
 

@@ -14,8 +14,8 @@
 //! compares `Vas::read` (slot index + tag check) against
 //! `SwizzleSpace::read` (hash lookup) and a raw in-memory baseline.
 
+use sedna_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use parking_lot::Mutex;
 

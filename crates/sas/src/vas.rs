@@ -24,8 +24,8 @@
 //! isolation guarantee the page-version assignment cannot change underneath
 //! a running transaction).
 
+use sedna_sync::Arc;
 use std::cell::{Cell, RefCell};
-use std::sync::Arc;
 
 use crate::buffer::{FrameRef, PageRead, PageWrite};
 use crate::error::{SasError, SasResult};
@@ -148,7 +148,24 @@ impl Vas {
 
     #[inline]
     fn slot_of(&self, page: XPtr) -> usize {
-        (page.addr() >> self.page_shift) as usize
+        let idx = (page.addr() >> self.page_shift) as usize;
+        // Equality-basis round trip (Section 4.2): a page-aligned
+        // within-layer address and its slot index must be interchangeable
+        // representations — `slot * page_size` recovers the address
+        // exactly, which is what lets a database pointer double as the
+        // in-memory location without swizzling.
+        debug_assert_eq!(
+            (idx as u64) << self.page_shift,
+            u64::from(page.addr()),
+            "slot index does not round-trip to the within-layer address \
+             (non-page-aligned XPtr reached slot_of?)"
+        );
+        debug_assert!(
+            idx < self.slots.borrow().len(),
+            "within-layer address {:#x} exceeds the layer's slot table",
+            page.addr()
+        );
+        idx
     }
 
     /// Dereferences `ptr` for reading: returns a read guard over the whole

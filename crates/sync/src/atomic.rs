@@ -1,0 +1,195 @@
+//! Shim atomics: identical to `std::sync::atomic` in production builds;
+//! under `--cfg loom` every operation is additionally a scheduler yield
+//! point when executed inside a [`crate::model::check`] closure.
+//!
+//! Memory orderings are forwarded verbatim, so the production binary is
+//! bit-for-bit what hand-written `std` atomics would produce. Inside a
+//! model execution the scheduler serializes threads at operation
+//! granularity (every explored execution is sequentially consistent),
+//! so the forwarded ordering is sound there regardless of its strength.
+
+pub use std::sync::atomic::Ordering;
+
+#[inline]
+fn hook() {
+    #[cfg(loom)]
+    crate::sched::maybe_yield();
+}
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name(std::sync::atomic::$std);
+
+        impl $name {
+            /// Creates a new atomic holding `v`.
+            #[must_use]
+            pub const fn new(v: $prim) -> Self {
+                Self(std::sync::atomic::$std::new(v))
+            }
+
+            /// Loads the value.
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $prim {
+                hook();
+                self.0.load(order)
+            }
+
+            /// Stores `v`.
+            #[inline]
+            pub fn store(&self, v: $prim, order: Ordering) {
+                hook();
+                self.0.store(v, order)
+            }
+
+            /// Swaps in `v`, returning the previous value.
+            #[inline]
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                hook();
+                self.0.swap(v, order)
+            }
+
+            /// Adds `v`, returning the previous value.
+            #[inline]
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                hook();
+                self.0.fetch_add(v, order)
+            }
+
+            /// Subtracts `v`, returning the previous value.
+            #[inline]
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                hook();
+                self.0.fetch_sub(v, order)
+            }
+
+            /// Stores the maximum of `v` and the current value, returning
+            /// the previous value.
+            #[inline]
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                hook();
+                self.0.fetch_max(v, order)
+            }
+
+            /// Compare-and-swap with the semantics of `std`'s `compare_exchange`.
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                hook();
+                self.0.compare_exchange(current, new, success, failure)
+            }
+
+            /// Weak compare-and-swap. Inside a model execution this is
+            /// the strong variant: spurious failures are a hardware
+            /// artifact the deterministic scheduler must not invent
+            /// (they would make replays diverge); callers already loop.
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                hook();
+                #[cfg(loom)]
+                if crate::sched::in_model() {
+                    return self.0.compare_exchange(current, new, success, failure);
+                }
+                self.0.compare_exchange_weak(current, new, success, failure)
+            }
+
+            /// Consumes the atomic, returning the inner value.
+            #[must_use]
+            pub fn into_inner(self) -> $prim {
+                self.0.into_inner()
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Shim over [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+int_atomic!(
+    /// Shim over [`std::sync::atomic::AtomicI64`].
+    AtomicI64,
+    AtomicI64,
+    i64
+);
+int_atomic!(
+    /// Shim over [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+int_atomic!(
+    /// Shim over [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    AtomicU32,
+    u32
+);
+
+/// Shim over [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// Creates a new atomic holding `v`.
+    #[must_use]
+    pub const fn new(v: bool) -> Self {
+        Self(std::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Loads the value.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> bool {
+        hook();
+        self.0.load(order)
+    }
+
+    /// Stores `v`.
+    #[inline]
+    pub fn store(&self, v: bool, order: Ordering) {
+        hook();
+        self.0.store(v, order)
+    }
+
+    /// Swaps in `v`, returning the previous value.
+    #[inline]
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        hook();
+        self.0.swap(v, order)
+    }
+
+    /// Compare-and-swap; see [`std::sync::atomic::AtomicBool::compare_exchange`].
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        hook();
+        self.0.compare_exchange(current, new, success, failure)
+    }
+}
+
+/// An atomic memory fence; see [`std::sync::atomic::fence`]. A yield
+/// point inside model executions (where it is also a no-op memory-wise:
+/// the scheduler already serializes every operation).
+#[inline]
+pub fn fence(order: Ordering) {
+    hook();
+    std::sync::atomic::fence(order);
+}

@@ -1,0 +1,16 @@
+//! Spin-loop hint. In production builds this is `std::hint::spin_loop`;
+//! inside a model execution it additionally tells the scheduler the
+//! calling thread cannot progress until another thread runs, so
+//! bounded retry loops (the seqlock reader) neither starve nor blow up
+//! the schedule tree.
+
+/// Emits a spin-loop hint / deprioritizing yield point (see module docs).
+#[inline]
+pub fn spin_loop() {
+    #[cfg(loom)]
+    {
+        crate::sched::spin_hint();
+    }
+    #[cfg(not(loom))]
+    std::hint::spin_loop();
+}

@@ -1,0 +1,53 @@
+//! Synchronization shim for the concurrency-bearing crates of the Sedna
+//! reproduction (`sedna-obs`, `sedna-sas`, `sedna` core).
+//!
+//! In a normal build every type in this crate is a zero-cost wrapper
+//! around the `std::sync` primitive of the same name: the wrappers are
+//! `#[inline]` pass-throughs, memory orderings are forwarded verbatim,
+//! and there is no extra state. Shimmed crates import their atomics and
+//! locks from here instead of `std::sync` (enforced by `sedna-lint`
+//! rule `no-std-sync`), which buys one thing: **every shared-memory
+//! operation in those crates goes through a single choke point** that a
+//! model checker can instrument.
+//!
+//! Under `RUSTFLAGS="--cfg loom"` the same types additionally report
+//! each operation to [`model`], an in-tree loom-style exhaustive
+//! interleaving checker. A test wraps a closure in [`model::check`];
+//! the closure's threads (spawned through [`thread::spawn`]) are then
+//! run once per distinct schedule, with a scheduler pausing them before
+//! every atomic/lock operation and exploring all interleavings by
+//! depth-first search over the scheduling decisions (bounded by a CHESS
+//! preemption budget — see [`model`] for knobs and guarantees). Shim
+//! operations executed *outside* a `model::check` closure behave
+//! exactly like the production build, so the ordinary test suite still
+//! passes under `--cfg loom`.
+//!
+//! The real `loom` crate cannot be vendored into this workspace (no
+//! external dependencies), so [`model`] is a from-scratch implementation
+//! of the same idea with one documented difference: the checker
+//! serializes threads at operation granularity, which makes every
+//! explored execution **sequentially consistent**. It exhaustively
+//! finds atomicity and interleaving bugs (lost updates, torn
+//! multi-word reads, lock-protocol violations, deadlocks) but cannot
+//! exhibit weak-memory reorderings; `Acquire`/`Release` pairings are
+//! audited by hand and by the `relaxed-comment` lint instead. See
+//! `docs/correctness.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod hint;
+pub mod lock;
+pub mod model;
+pub mod thread;
+
+#[cfg(loom)]
+mod sched;
+
+pub use lock::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+// Shared-ownership handles are not scheduling-relevant (`Arc` clone/drop
+// cannot order the data races we model), but shimmed crates are banned
+// from `std::sync::*` wholesale, so the shim re-exports them.
+pub use std::sync::{Arc, Weak};

@@ -1,0 +1,168 @@
+//! Shim `Mutex`/`RwLock` with a `parking_lot`-style API (no poison
+//! `Result`s — a poisoned lock just yields its data, matching how the
+//! workspace already treats lock poisoning).
+//!
+//! The data always lives in a real `std::sync` lock. Under `--cfg loom`
+//! inside a model execution, acquisition is first granted *logically*
+//! by the scheduler (which explores contention orders and detects
+//! deadlocks); the real lock is only taken once the logical grant
+//! guarantees it is free, so the `std` call can never block the
+//! scheduler. Outside a model — including normal builds — the logical
+//! layer compiles away or is inert, and these are plain `std` locks.
+
+#[cfg(loom)]
+use crate::sched::{self, LockToken};
+
+/// Identity key for the logical lock table: the lock object's address.
+/// Stable for the lifetime of the lock; model closures must therefore
+/// keep their locks alive for the whole execution (true of any model
+/// that joins its threads, since threads hold an `Arc` to the state).
+#[cfg(loom)]
+fn key_of<T: ?Sized>(t: &T) -> usize {
+    t as *const T as *const () as usize
+}
+
+/// A mutual-exclusion lock; see the module docs.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `t`.
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consumes the lock, returning the data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(loom)]
+        let token = sched::lock_acquire(key_of(self), true);
+        MutexGuard {
+            guard: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(loom)]
+            _token: token,
+        }
+    }
+
+    /// Mutable access without locking (the borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII guard for [`Mutex`]. The real `std` guard drops (and the lock
+/// frees) before the logical release wakes contenders.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: std::sync::MutexGuard<'a, T>,
+    #[cfg(loom)]
+    _token: LockToken,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// A reader-writer lock; see the module docs.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `t`.
+    pub const fn new(t: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    /// Consumes the lock, returning the data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(loom)]
+        let token = sched::lock_acquire(key_of(self), false);
+        RwLockReadGuard {
+            guard: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(loom)]
+            _token: token,
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(loom)]
+        let token = sched::lock_acquire(key_of(self), true);
+        RwLockWriteGuard {
+            guard: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(loom)]
+            _token: token,
+        }
+    }
+
+    /// Mutable access without locking (the borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII shared guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(loom)]
+    _token: LockToken,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(loom)]
+    _token: LockToken,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}

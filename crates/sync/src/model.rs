@@ -1,0 +1,91 @@
+//! The model-check entry point.
+//!
+//! [`check`] runs a closure once per distinct thread schedule,
+//! exploring schedules depth-first until the tree is exhausted (see
+//! [`crate::sched`] for the mechanics). Model tests live behind
+//! `#[cfg(loom)]` in the shimmed crates and run via:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p sedna-obs -p sedna-sas -p sedna --release
+//! ```
+//!
+//! Writing models that converge:
+//!
+//! * Build all shared state **inside** the closure — every execution
+//!   must start fresh.
+//! * Keep them tiny: 2–3 threads, a handful of shim operations each.
+//!   The schedule count grows fast with both.
+//! * Be deterministic: no branching on time, addresses, or hash-map
+//!   iteration order. The scheduler verifies replays and fails loudly
+//!   on divergence.
+//! * Never hold a non-shim lock (`parking_lot`, raw `std`) across a
+//!   shim operation — the scheduler cannot see it, and a paused holder
+//!   deadlocks the execution (caught by a watchdog, but the test fails).
+//!
+//! Knobs (environment variables):
+//!
+//! * `SEDNA_MODEL_PREEMPTION_BOUND` — involuntary context switches
+//!   explored per schedule (default 2; raise for deeper coverage).
+//! * `SEDNA_MODEL_MAX_SCHEDULES` — hard cap on schedules per model
+//!   (default 100000); hitting it fails the test so an oversized model
+//!   cannot silently pass unexplored.
+//!
+//! Without `--cfg loom` this module still exists and [`check`] runs the
+//! closure exactly once, so a model doubles as a smoke test.
+
+#[cfg(loom)]
+fn env_knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Exhaustively explores thread schedules of `f` (under `--cfg loom`),
+/// panicking on the first failing execution with the failure and the
+/// schedule that produced it. Without `--cfg loom`, runs `f` once.
+#[cfg(loom)]
+pub fn check<F: Fn() + Send + Sync + 'static>(f: F) {
+    use crate::sched;
+    use std::sync::Arc;
+
+    let preemption_bound = env_knob("SEDNA_MODEL_PREEMPTION_BOUND", 2);
+    let max_schedules = env_knob("SEDNA_MODEL_MAX_SCHEDULES", 100_000);
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+
+    let mut path = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        if schedules > max_schedules {
+            panic!(
+                "model exceeded {max_schedules} schedules without exhausting the tree; \
+                 shrink the model (fewer threads/operations) or raise \
+                 SEDNA_MODEL_MAX_SCHEDULES"
+            );
+        }
+        let (result, taken) = sched::run_execution(f.clone(), path, preemption_bound);
+        if let Err(msg) = result {
+            panic!(
+                "model failed on schedule {schedules}: {msg}\n\
+                 schedule (candidate-index/candidate-count per step): {taken:?}"
+            );
+        }
+        path = taken;
+        // Depth-first advance: drop exhausted trailing choices, bump
+        // the deepest one that still has siblings.
+        while path.last().is_some_and(|c| c.index + 1 >= c.of) {
+            path.pop();
+        }
+        match path.last_mut() {
+            Some(c) => c.index += 1,
+            None => return, // tree exhausted, all schedules passed
+        }
+    }
+}
+
+/// Without `--cfg loom`: run the closure once on the current thread.
+#[cfg(not(loom))]
+pub fn check<F: Fn() + Send + Sync + 'static>(f: F) {
+    f();
+}

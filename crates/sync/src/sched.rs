@@ -1,0 +1,574 @@
+//! The model-checking scheduler (compiled only under `--cfg loom`).
+//!
+//! One *execution* runs the model closure's threads as real OS threads,
+//! but strictly one at a time: a thread owns the "active" token from the
+//! moment the scheduler grants it until it reaches its next *yield
+//! point* (the instant before any shim atomic/lock operation), where it
+//! hands the token back and parks. The scheduler records every choice it
+//! makes as a `(index, out_of)` pair; the driver in [`crate::model`]
+//! replays a recorded prefix and bumps the last non-exhausted choice,
+//! which is a depth-first search over the whole schedule tree.
+//!
+//! State explosion is tamed the CHESS way: schedules with more than
+//! `SEDNA_MODEL_PREEMPTION_BOUND` (default 2) *involuntary* context
+//! switches are not explored. Empirically almost all interleaving bugs
+//! need at most two preemptions to manifest, and the bound turns an
+//! exponential tree into a small polynomial one.
+//!
+//! Locks are modeled logically (per-lock reader/writer sets inside the
+//! scheduler); the backing `std` lock is only taken once the logical
+//! grant guarantees it is uncontended. Threads blocked on a logical
+//! lock or a join are never granted; if no thread can run and not all
+//! have finished, the execution fails with a deadlock report. A
+//! watchdog catches threads that block on *non-shim* primitives (which
+//! the scheduler cannot see) instead of hanging the test suite.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How long the scheduler waits for a granted thread to reach its next
+/// yield point before declaring it stuck on a primitive the model
+/// cannot see (a real `std`/`parking_lot` lock held by a paused model
+/// thread, unbounded I/O, ...).
+const WATCHDOG: Duration = Duration::from_secs(20);
+
+/// Consecutive all-yielded grants before the execution is declared a
+/// livelock (every live thread spinning in a `spin_loop` hint).
+const LIVELOCK_GRANTS: usize = 10_000;
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Exec>,
+    tid: usize,
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Panic payload used to unwind sibling threads once an execution has
+/// already failed; never reported as a failure itself.
+struct Abort;
+
+fn panic_abort() -> ! {
+    panic::panic_any(Abort)
+}
+
+/// One scheduling decision: candidate `index` out of `of` candidates.
+/// `of` is stored so replays can detect nondeterministic models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub index: usize,
+    pub of: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    /// Parked at a yield point, eligible to run.
+    Runnable,
+    /// Parked via a spin hint: deprioritized for the very next grant.
+    Yielded,
+    /// Waiting for a logical lock (`key`) or a thread exit.
+    BlockedOnLock(usize),
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+#[derive(Default)]
+struct LockState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+struct State {
+    threads: Vec<Status>,
+    /// `Some(tid)` — that thread owns the step; `None` — scheduler's turn.
+    active: Option<usize>,
+    path: Vec<Choice>,
+    depth: usize,
+    preemptions: usize,
+    preemption_bound: usize,
+    last_ran: Option<usize>,
+    locks: HashMap<usize, LockState>,
+    /// Set on first failure; live threads unwind via [`Abort`] panics.
+    aborting: bool,
+    failure: Option<String>,
+    yielded_grants: usize,
+}
+
+pub(crate) struct Exec {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+fn lock(exec: &Exec) -> MutexGuard<'_, State> {
+    exec.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a>(exec: &'a Exec, g: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    exec.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn in_model() -> bool {
+    current_ctx().is_some()
+}
+
+/// The yield point: hand the active token back to the scheduler and
+/// park until granted again. No-op outside a model execution.
+pub(crate) fn maybe_yield() {
+    if let Some(ctx) = current_ctx() {
+        yield_point(&ctx);
+    }
+}
+
+fn yield_point(ctx: &Ctx) {
+    let exec = &*ctx.exec;
+    let mut st = lock(exec);
+    if st.aborting {
+        drop(st);
+        panic_abort();
+    }
+    if st.active == Some(ctx.tid) {
+        st.active = None;
+    }
+    exec.cv.notify_all();
+    while st.active != Some(ctx.tid) {
+        st = wait(exec, st);
+        if st.aborting {
+            drop(st);
+            panic_abort();
+        }
+    }
+}
+
+/// A spin-loop hint: like a yield point, but tells the scheduler this
+/// thread cannot make progress until some other thread runs, so it is
+/// deprioritized for the next grant. Outside a model it is
+/// `std::hint::spin_loop`.
+pub(crate) fn spin_hint() {
+    let Some(ctx) = current_ctx() else {
+        std::hint::spin_loop();
+        return;
+    };
+    let exec = &*ctx.exec;
+    let mut st = lock(exec);
+    if st.aborting {
+        drop(st);
+        panic_abort();
+    }
+    st.threads[ctx.tid] = Status::Yielded;
+    if st.active == Some(ctx.tid) {
+        st.active = None;
+    }
+    exec.cv.notify_all();
+    while st.active != Some(ctx.tid) {
+        st = wait(exec, st);
+        if st.aborting {
+            drop(st);
+            panic_abort();
+        }
+    }
+}
+
+/// Released on drop by the shim lock guards.
+#[derive(Debug)]
+pub(crate) struct LockToken {
+    key: usize,
+    excl: bool,
+    live: bool,
+}
+
+impl LockToken {
+    pub(crate) const INERT: LockToken = LockToken {
+        key: 0,
+        excl: false,
+        live: false,
+    };
+}
+
+impl Drop for LockToken {
+    fn drop(&mut self) {
+        if self.live {
+            lock_release(self.key, self.excl);
+        }
+    }
+}
+
+/// Logical lock acquisition: schedule point, then either take the lock
+/// in the scheduler's books or block until a release wakes us. Returns
+/// an inert token outside a model.
+pub(crate) fn lock_acquire(key: usize, excl: bool) -> LockToken {
+    let Some(ctx) = current_ctx() else {
+        return LockToken::INERT;
+    };
+    yield_point(&ctx);
+    let exec = &*ctx.exec;
+    let mut st = lock(exec);
+    loop {
+        if st.aborting {
+            drop(st);
+            panic_abort();
+        }
+        let ls = st.locks.entry(key).or_default();
+        let free = ls.writer.is_none() && (!excl || ls.readers.is_empty());
+        if free {
+            if excl {
+                ls.writer = Some(ctx.tid);
+            } else {
+                ls.readers.push(ctx.tid);
+            }
+            return LockToken {
+                key,
+                excl,
+                live: true,
+            };
+        }
+        st.threads[ctx.tid] = Status::BlockedOnLock(key);
+        if st.active == Some(ctx.tid) {
+            st.active = None;
+        }
+        exec.cv.notify_all();
+        loop {
+            st = wait(exec, st);
+            if st.aborting {
+                drop(st);
+                panic_abort();
+            }
+            if st.threads[ctx.tid] == Status::Runnable && st.active == Some(ctx.tid) {
+                break;
+            }
+        }
+    }
+}
+
+fn lock_release(key: usize, excl: bool) {
+    let Some(ctx) = current_ctx() else {
+        // A live token can only drop on the thread that acquired it;
+        // model threads keep their context until they exit.
+        unreachable!("live lock token dropped outside its model thread");
+    };
+    let exec = &*ctx.exec;
+    let mut st = lock(exec);
+    let ls = st.locks.entry(key).or_default();
+    if excl {
+        debug_assert_eq!(ls.writer, Some(ctx.tid));
+        ls.writer = None;
+    } else if let Some(pos) = ls.readers.iter().position(|&t| t == ctx.tid) {
+        ls.readers.swap_remove(pos);
+    }
+    for t in st.threads.iter_mut() {
+        if *t == Status::BlockedOnLock(key) {
+            *t = Status::Runnable;
+        }
+    }
+    exec.cv.notify_all();
+    // Release is not a schedule point of its own: the next shim
+    // operation of this thread yields, and waiters re-contend there.
+}
+
+/// Registers a new thread slot; the spawned OS thread must call
+/// [`enter_thread`] before touching shared state.
+pub(crate) fn register_thread(exec: &Arc<Exec>) -> usize {
+    let mut st = lock(exec);
+    st.threads.push(Status::Runnable);
+    st.threads.len() - 1
+}
+
+/// Binds the calling OS thread to slot `tid` and parks until the first
+/// grant.
+pub(crate) fn enter_thread(exec: &Arc<Exec>, tid: usize) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: exec.clone(),
+            tid,
+        })
+    });
+    let e = &**exec;
+    let mut st = lock(e);
+    while st.active != Some(tid) {
+        st = wait(e, st);
+        if st.aborting {
+            drop(st);
+            panic_abort();
+        }
+    }
+}
+
+/// Marks `tid` finished, records a panic payload as the execution's
+/// failure (unless it is the [`Abort`] marker), and wakes joiners.
+pub(crate) fn exit_thread(
+    exec: &Arc<Exec>,
+    tid: usize,
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+) {
+    let e = &**exec;
+    let mut st = lock(e);
+    if let Some(p) = panic_payload {
+        if !p.is::<Abort>() && st.failure.is_none() {
+            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            st.failure = Some(format!("thread {tid} panicked: {msg}"));
+            st.aborting = true;
+        }
+    }
+    st.threads[tid] = Status::Finished;
+    for t in st.threads.iter_mut() {
+        if *t == Status::BlockedOnJoin(tid) {
+            *t = Status::Runnable;
+        }
+    }
+    if st.active == Some(tid) {
+        st.active = None;
+    }
+    e.cv.notify_all();
+}
+
+/// Current thread's execution handle, for [`crate::thread::spawn`].
+pub(crate) fn current_exec() -> Option<Arc<Exec>> {
+    current_ctx().map(|c| c.exec)
+}
+
+/// Blocks the calling model thread until `target` finishes.
+pub(crate) fn join_thread(exec: &Arc<Exec>, target: usize) {
+    let ctx = current_ctx().expect("JoinHandle for a model thread joined outside the model");
+    assert!(
+        Arc::ptr_eq(&ctx.exec, exec),
+        "JoinHandle joined from a different model execution"
+    );
+    yield_point(&ctx);
+    let e = &**exec;
+    let mut st = lock(e);
+    loop {
+        if st.aborting {
+            drop(st);
+            panic_abort();
+        }
+        if st.threads[target] == Status::Finished {
+            return;
+        }
+        st.threads[ctx.tid] = Status::BlockedOnJoin(target);
+        if st.active == Some(ctx.tid) {
+            st.active = None;
+        }
+        e.cv.notify_all();
+        loop {
+            st = wait(e, st);
+            if st.aborting {
+                drop(st);
+                panic_abort();
+            }
+            if st.threads[ctx.tid] == Status::Runnable && st.active == Some(ctx.tid) {
+                break;
+            }
+        }
+    }
+}
+
+/// Runs one execution of `f` under the schedule prefix `path`,
+/// returning the (possibly extended) path actually taken.
+pub(crate) fn run_execution(
+    f: Arc<dyn Fn() + Send + Sync>,
+    path: Vec<Choice>,
+    preemption_bound: usize,
+) -> (Result<(), String>, Vec<Choice>) {
+    let exec = Arc::new(Exec {
+        state: Mutex::new(State {
+            threads: Vec::new(),
+            active: None,
+            path,
+            depth: 0,
+            preemptions: 0,
+            preemption_bound,
+            last_ran: None,
+            locks: HashMap::new(),
+            aborting: false,
+            failure: None,
+            yielded_grants: 0,
+        }),
+        cv: Condvar::new(),
+    });
+
+    // The root "thread 0" runs the model closure itself.
+    let root_tid = register_thread(&exec);
+    {
+        let exec = exec.clone();
+        std::thread::spawn(move || {
+            enter_thread(&exec, root_tid);
+            let r = panic::catch_unwind(AssertUnwindSafe(|| f()));
+            exit_thread(&exec, root_tid, r.err());
+        });
+    }
+
+    let result = schedule_loop(&exec);
+    let path = std::mem::take(&mut lock(&exec).path);
+    (result, path)
+}
+
+fn schedule_loop(exec: &Arc<Exec>) -> Result<(), String> {
+    let e = &**exec;
+    let mut st = lock(e);
+    loop {
+        // Wait for the granted thread (if any) to hand control back.
+        while st.active.is_some() {
+            let (g, timeout) =
+                e.cv.wait_timeout(st, WATCHDOG)
+                    .unwrap_or_else(|err| err.into_inner());
+            st = g;
+            if timeout.timed_out() && st.active.is_some() {
+                let tid = st.active.unwrap();
+                st.aborting = true;
+                st.failure.get_or_insert(format!(
+                    "model watchdog: thread {tid} did not reach a yield point within \
+                     {WATCHDOG:?} — it is likely blocked on a primitive the scheduler \
+                     cannot see (a non-shim lock held by a paused model thread?)"
+                ));
+                // The stuck OS thread is leaked; the test fails loudly.
+                return Err(st.failure.clone().unwrap());
+            }
+        }
+
+        if st.aborting {
+            // Threads unwind on their own (every wait loop checks the
+            // flag); wait for stragglers so the next execution starts
+            // from a quiet process, then report.
+            e.cv.notify_all();
+            let deadline = std::time::Instant::now() + WATCHDOG;
+            while st.threads.iter().any(|t| *t != Status::Finished) {
+                let (g, timeout) =
+                    e.cv.wait_timeout(st, Duration::from_millis(50))
+                        .unwrap_or_else(|err| err.into_inner());
+                st = g;
+                let _ = timeout;
+                e.cv.notify_all();
+                if std::time::Instant::now() > deadline {
+                    break; // leak the stragglers; the failure below still reports
+                }
+            }
+            return Err(st
+                .failure
+                .clone()
+                .unwrap_or_else(|| "execution aborted".into()));
+        }
+
+        if st.threads.iter().all(|t| *t == Status::Finished) {
+            return Ok(());
+        }
+
+        // Candidate set: runnable threads, falling back to spin-yielded
+        // ones (which asked to let someone else run first).
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        let yielded: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Status::Yielded)
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut cands = if runnable.is_empty() {
+            st.yielded_grants += 1;
+            if st.yielded_grants > LIVELOCK_GRANTS {
+                st.aborting = true;
+                st.failure = Some(format!(
+                    "livelock: every live thread spun through {LIVELOCK_GRANTS} \
+                     consecutive spin-loop hints without progress"
+                ));
+                e.cv.notify_all();
+                continue;
+            }
+            yielded
+        } else {
+            st.yielded_grants = 0;
+            runnable
+        };
+
+        if cands.is_empty() {
+            let report: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("thread {i}: {t:?}"))
+                .collect();
+            st.aborting = true;
+            st.failure = Some(format!(
+                "deadlock: no runnable thread [{}]",
+                report.join(", ")
+            ));
+            e.cv.notify_all();
+            continue;
+        }
+
+        // CHESS preemption bounding: once the budget is spent, a thread
+        // that is still runnable keeps running.
+        let last_still_runnable = st
+            .last_ran
+            .is_some_and(|l| st.threads[l] == Status::Runnable);
+        if last_still_runnable && st.preemptions >= st.preemption_bound {
+            let last = st.last_ran.unwrap();
+            if cands.contains(&last) {
+                cands = vec![last];
+            }
+        }
+
+        // Pick: replay the recorded prefix, then extend depth-first.
+        let depth = st.depth;
+        let index = if depth < st.path.len() {
+            let c = st.path[depth];
+            if c.of != cands.len() {
+                st.aborting = true;
+                st.failure = Some(format!(
+                    "nondeterministic model: replaying step {depth} expected {} \
+                     candidates, found {} — the model closure must make identical \
+                     shim calls for identical schedules (no time/address/hash-order \
+                     dependent branching)",
+                    c.of,
+                    cands.len()
+                ));
+                e.cv.notify_all();
+                continue;
+            }
+            c.index
+        } else {
+            st.path.push(Choice {
+                index: 0,
+                of: cands.len(),
+            });
+            0
+        };
+        st.depth += 1;
+        let tid = cands[index];
+
+        if last_still_runnable && Some(tid) != st.last_ran {
+            st.preemptions += 1;
+        }
+        st.last_ran = Some(tid);
+        // A grant resets spin-yield deprioritization: the yielders get
+        // to observe whatever this step changed.
+        for t in st.threads.iter_mut() {
+            if *t == Status::Yielded {
+                *t = Status::Runnable;
+            }
+        }
+        st.threads[tid] = Status::Runnable;
+        st.active = Some(tid);
+        e.cv.notify_all();
+    }
+}

@@ -1,0 +1,86 @@
+//! Shim thread spawn/join. Outside a model execution (including every
+//! normal build) this is `std::thread`; inside one, spawned threads are
+//! registered with the scheduler and run one-at-a-time under its
+//! control.
+
+use std::thread::Result as ThreadResult;
+
+#[cfg(loom)]
+use std::panic::{self, AssertUnwindSafe};
+#[cfg(loom)]
+use std::sync::{Arc, Mutex};
+
+#[cfg(loom)]
+use crate::sched;
+
+/// Handle to a spawned thread; join with [`JoinHandle::join`].
+pub struct JoinHandle<T>(Inner<T>);
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    #[cfg(loom)]
+    Model {
+        exec: Arc<sched::Exec>,
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result. A panic in
+    /// a *model* thread fails the whole model execution (the checker
+    /// reports it with the offending schedule), so the model branch
+    /// only ever returns `Ok`.
+    pub fn join(self) -> ThreadResult<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            #[cfg(loom)]
+            Inner::Model { exec, tid, slot } => {
+                sched::join_thread(&exec, tid);
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect(
+                        "model thread finished without a result (panic is reported by the checker)",
+                    );
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a [`crate::model::check`] closure the thread
+/// becomes part of the model execution (scheduled one operation at a
+/// time); anywhere else this is exactly `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    #[cfg(loom)]
+    if let Some(exec) = sched::current_exec() {
+        // Spawning is itself a schedule point: siblings may run between
+        // the parent reaching this call and the child's first step.
+        sched::maybe_yield();
+        let tid = sched::register_thread(&exec);
+        let slot = Arc::new(Mutex::new(None));
+        {
+            let exec = exec.clone();
+            let slot = slot.clone();
+            std::thread::spawn(move || {
+                sched::enter_thread(&exec, tid);
+                let r = panic::catch_unwind(AssertUnwindSafe(f));
+                match r {
+                    Ok(v) => {
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                        sched::exit_thread(&exec, tid, None);
+                    }
+                    Err(p) => sched::exit_thread(&exec, tid, Some(p)),
+                }
+            });
+        }
+        return JoinHandle(Inner::Model { exec, tid, slot });
+    }
+    JoinHandle(Inner::Std(std::thread::spawn(f)))
+}

@@ -1,0 +1,209 @@
+//! Tests for the sync shim and (under `--cfg loom`) meta-tests proving
+//! the model checker actually explores schedules and catches seeded
+//! concurrency bugs — the checker checking itself.
+
+use sedna_sync::atomic::{AtomicU64, Ordering};
+use sedna_sync::{model, thread, Arc, Mutex, RwLock};
+
+/// Outside a `model::check` closure the shim must behave exactly like
+/// `std` — in every build, including `--cfg loom` (this is what keeps
+/// the ordinary test suite green under the loom cfg).
+#[test]
+fn shim_is_plain_std_outside_models() {
+    let a = Arc::new(AtomicU64::new(0));
+    let m = Arc::new(Mutex::new(0u64));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let a = a.clone();
+            let m = m.clone();
+            thread::spawn(move || {
+                for _ in 0..100 {
+                    a.fetch_add(1, Ordering::Relaxed); // relaxed: test-local counter, read after join
+                    *m.lock() += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(a.load(Ordering::Relaxed), 400); // relaxed: joined above
+    assert_eq!(*m.lock(), 400);
+    let rw = RwLock::new(7u64);
+    assert_eq!(*rw.read(), 7);
+    *rw.write() = 9;
+    assert_eq!(*rw.read(), 9);
+}
+
+/// `model::check` runs the closure (once without `--cfg loom`,
+/// exhaustively with it) — either way a passing model passes.
+#[test]
+fn atomic_increments_never_lose_updates() {
+    model::check(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let a = a.clone();
+                thread::spawn(move || {
+                    a.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+}
+
+/// Mutual exclusion: non-atomic read-modify-write under the shim mutex
+/// is safe in every schedule.
+#[test]
+fn mutex_protects_read_modify_write() {
+    model::check(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    let mut g = m.lock();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 2);
+    });
+}
+
+#[cfg(loom)]
+mod meta {
+    use super::*;
+    use std::collections::HashSet;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex as StdMutex;
+
+    fn failure_of(f: impl Fn() + Send + Sync + 'static) -> String {
+        let r = catch_unwind(AssertUnwindSafe(|| model::check(f)));
+        let p = r.expect_err("the checker should have found the seeded bug");
+        if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else {
+            String::from("<non-string payload>")
+        }
+    }
+
+    /// The checker explores more than one schedule: both outcomes of a
+    /// store/load race must be observed across executions.
+    #[test]
+    fn explores_both_sides_of_a_race() {
+        let seen = std::sync::Arc::new(StdMutex::new(HashSet::new()));
+        let seen2 = seen.clone();
+        model::check(move || {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = a.clone();
+            let t = thread::spawn(move || {
+                a2.store(1, Ordering::SeqCst);
+            });
+            let observed = a.load(Ordering::SeqCst);
+            t.join().unwrap();
+            // The recording mutex is foreign to the scheduler, but it is
+            // taken and released within a single step (no shim operation
+            // while held), which is the documented safe pattern.
+            seen2.lock().unwrap().insert(observed);
+        });
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            seen.len(),
+            2,
+            "expected to observe the load both before and after the store, saw {seen:?}"
+        );
+    }
+
+    /// Seeded lost update (load-then-store increment): the checker must
+    /// find the interleaving where one increment vanishes.
+    #[test]
+    fn finds_seeded_lost_update() {
+        let msg = failure_of(|| {
+            let a = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = a.clone();
+                    thread::spawn(move || {
+                        let v = a.load(Ordering::SeqCst);
+                        a.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        });
+        assert!(msg.contains("model failed"), "unexpected failure: {msg}");
+    }
+
+    /// Seeded ABBA deadlock: the checker must find it and say so.
+    #[test]
+    fn finds_seeded_deadlock() {
+        let msg = failure_of(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (a.clone(), b.clone());
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }
+            t.join().unwrap();
+        });
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    /// Torn multi-word read: two counters updated together without a
+    /// lock; a reader can see one bumped and not the other. This is the
+    /// shape of bug the obs/sas models guard against.
+    #[test]
+    fn finds_seeded_torn_pair_read() {
+        let msg = failure_of(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (x.clone(), y.clone());
+            let t = thread::spawn(move || {
+                x2.fetch_add(1, Ordering::SeqCst);
+                y2.fetch_add(1, Ordering::SeqCst);
+            });
+            let (xs, ys) = (x.load(Ordering::SeqCst), y.load(Ordering::SeqCst));
+            t.join().unwrap();
+            assert_eq!(xs, ys, "torn read of a pair that is updated together");
+        });
+        assert!(msg.contains("model failed"), "unexpected failure: {msg}");
+    }
+
+    /// RwLock: writers exclude readers; a reader never sees a torn pair
+    /// that is only ever updated under the write lock.
+    #[test]
+    fn rwlock_write_excludes_read() {
+        model::check(|| {
+            let l = Arc::new(RwLock::new((0u64, 0u64)));
+            let l2 = l.clone();
+            let t = thread::spawn(move || {
+                let mut g = l2.write();
+                g.0 += 1;
+                g.1 += 1;
+            });
+            {
+                let g = l.read();
+                assert_eq!(g.0, g.1, "pair updated only under the write lock");
+            }
+            t.join().unwrap();
+        });
+    }
+}

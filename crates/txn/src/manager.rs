@@ -89,6 +89,7 @@ impl TxnManager {
 
     /// Begins an updating transaction.
     pub fn begin_update(&self) -> TxnHandle {
+        // relaxed: ID allocation only needs uniqueness, not ordering with other state.
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.metrics.update_begins.inc();
         self.versions.begin_update(id);
@@ -100,6 +101,7 @@ impl TxnManager {
 
     /// Begins a read-only transaction pinned to the current snapshot.
     pub fn begin_read_only(&self) -> TxnHandle {
+        // relaxed: ID allocation only needs uniqueness, not ordering with other state.
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.metrics.readonly_begins.inc();
         let snap = self.versions.create_snapshot();

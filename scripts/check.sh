@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> sedna-lint (workspace concurrency-hygiene rules)"
+cargo run -q -p sedna-lint -- --self-test
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 
