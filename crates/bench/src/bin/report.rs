@@ -39,13 +39,16 @@ fn ratio(a: Duration, b: Duration) -> f64 {
 fn main() {
     // `report buffer` runs only the buffer-shard ablation (rewriting
     // BENCH_buffer.json); `report net` runs only the network client
-    // sweep (rewriting BENCH_net.json); no argument runs everything.
-    let only_buffer = std::env::args().any(|a| a == "buffer");
-    let only_net = std::env::args().any(|a| a == "net");
+    // sweep (rewriting BENCH_net.json); `report exec` runs only the
+    // streaming-executor comparison (rewriting BENCH_exec.json); no
+    // argument runs everything.
+    let args: Vec<String> = std::env::args().collect();
+    let only = |name: &str| args.iter().any(|a| a == name);
+    let filtered = only("buffer") || only("net") || only("exec");
     println!("# Sedna reproduction — experiment report");
     println!("# (cargo run --release -p sedna-bench --bin report)");
     println!();
-    if !only_buffer && !only_net {
+    if !filtered {
         e1_storage_strategy();
         e2_pointer_deref();
         e3_numbering();
@@ -59,11 +62,14 @@ fn main() {
         e11_recovery();
         e12_hot_backup();
     }
-    if !only_net {
+    if !filtered || only("buffer") {
         bench_buffer();
     }
-    if !only_buffer {
+    if !filtered || only("net") {
         bench_net();
+    }
+    if !filtered || only("exec") {
+        bench_exec();
     }
     println!("# done");
 }
@@ -456,6 +462,155 @@ fn bench_net() {
 
     handle.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+    println!();
+}
+
+// ------------------------------------------------------------------
+// Exec — streaming cursor vs materializing execution (streaming PR)
+// ------------------------------------------------------------------
+
+/// One measured result size of the streaming-executor comparison.
+struct ExecBenchRow {
+    items: usize,
+    ttfi_stream_us: f64,
+    ttfi_mat_us: f64,
+    stream_items_per_sec: f64,
+    mat_items_per_sec: f64,
+    peak_pinned_stream: i64,
+    pipeline_depth: usize,
+}
+
+/// Runs the same structural scan twice over an `n`-element document:
+/// once through the auto-commit streaming cursor (time-to-first-item is
+/// one pull) and once through the materialized path inside an explicit
+/// read-only transaction (the first item exists only after the full
+/// result does).
+fn run_exec_bench(n: usize) -> ExecBenchRow {
+    let tmp = TempDb::new(&format!("exec-{n}"), sedna::DbConfig::small());
+    let mut s = tmp.db.session();
+    s.execute("CREATE DOCUMENT 'big'").unwrap();
+    let mut xml = String::with_capacity(16 * n);
+    xml.push_str("<r>");
+    for i in 0..n {
+        xml.push_str(&format!("<v>{i}</v>"));
+    }
+    xml.push_str("</r>");
+    s.load_xml("big", &xml).unwrap();
+    let query = "doc('big')//v/text()";
+
+    let drain_cursor = |s: &mut sedna::Session| -> (Duration, Duration, usize, i64) {
+        tmp.db.reset_pinned_peak();
+        let t = Instant::now();
+        let mut cur = match s.execute_stream(query).unwrap() {
+            sedna::StreamOutcome::Cursor(cur) => cur,
+            other => panic!("expected a streaming cursor, got {other:?}"),
+        };
+        let first = cur.next_item().unwrap();
+        let ttfi = t.elapsed();
+        assert!(first.is_some());
+        let depth = cur.depth();
+        let mut count = 1usize;
+        while cur.next_item().unwrap().is_some() {
+            count += 1;
+        }
+        let total = t.elapsed();
+        assert_eq!(count, n);
+        (ttfi, total, depth, tmp.db.pinned_pages_peak())
+    };
+    let drain_materialized = |s: &mut sedna::Session| -> (Duration, Duration) {
+        let t = Instant::now();
+        s.begin_read_only().unwrap();
+        let items = match s.execute_stream(query).unwrap() {
+            sedna::StreamOutcome::Items(items) => items,
+            other => panic!("expected a materialized result, got {other:?}"),
+        };
+        // The first item becomes available only once the whole result
+        // has been rendered.
+        std::hint::black_box(items.first());
+        let ttfi = t.elapsed();
+        for item in &items {
+            std::hint::black_box(item);
+        }
+        let total = t.elapsed();
+        s.commit().unwrap();
+        assert_eq!(items.len(), n);
+        (ttfi, total)
+    };
+
+    // One warmup of each path so both run against a warm pool.
+    drain_cursor(&mut s);
+    drain_materialized(&mut s);
+
+    let (ttfi_s, total_s, depth, peak) = drain_cursor(&mut s);
+    let (ttfi_m, total_m) = drain_materialized(&mut s);
+    ExecBenchRow {
+        items: n,
+        ttfi_stream_us: ttfi_s.as_secs_f64() * 1e6,
+        ttfi_mat_us: ttfi_m.as_secs_f64() * 1e6,
+        stream_items_per_sec: n as f64 / total_s.as_secs_f64().max(1e-12),
+        mat_items_per_sec: n as f64 / total_m.as_secs_f64().max(1e-12),
+        peak_pinned_stream: peak,
+        pipeline_depth: depth,
+    }
+}
+
+fn bench_exec() {
+    println!("## Exec — streaming cursor vs materializing execution");
+    println!("same structural scan (doc('big')//v/text()); streaming = auto-commit");
+    println!("cursor pulls, materialized = explicit-txn full render before first item");
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>14} {:>14} {:>10} {:>14} {:>14} {:>10}",
+        "items", "ttfi-stream µs", "ttfi-mat µs", "ttfi gain", "stream it/s", "mat it/s", "peak pins"
+    );
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let r = run_exec_bench(n);
+        println!(
+            "{:<10} {:>14.1} {:>14.1} {:>9.1}x {:>14.0} {:>14.0} {:>10}",
+            r.items,
+            r.ttfi_stream_us,
+            r.ttfi_mat_us,
+            r.ttfi_mat_us / r.ttfi_stream_us.max(1e-9),
+            r.stream_items_per_sec,
+            r.mat_items_per_sec,
+            r.peak_pinned_stream
+        );
+        rows.push(r);
+    }
+    let last = rows.last().unwrap();
+    println!(
+        "time-to-first-item at {} items: {:.1}x faster streaming; peak pinned pages {} (pipeline depth {})",
+        last.items,
+        last.ttfi_mat_us / last.ttfi_stream_us.max(1e-9),
+        last.peak_pinned_stream,
+        last.pipeline_depth
+    );
+
+    // Machine-readable trajectory record (hand-rolled JSON, no deps).
+    let mut json = String::from("{\n  \"experiment\": \"exec_streaming\",\n");
+    json.push_str("  \"query\": \"doc('big')//v/text()\",\n");
+    json.push_str("  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"items\": {}, \"ttfi_stream_us\": {:.1}, \"ttfi_materialized_us\": {:.1}, \
+             \"ttfi_improvement\": {:.1}, \"stream_items_per_sec\": {:.0}, \
+             \"materialized_items_per_sec\": {:.0}, \"peak_pinned_pages_stream\": {}, \
+             \"pipeline_depth\": {}}}{}\n",
+            r.items,
+            r.ttfi_stream_us,
+            r.ttfi_mat_us,
+            r.ttfi_mat_us / r.ttfi_stream_us.max(1e-9),
+            r.stream_items_per_sec,
+            r.mat_items_per_sec,
+            r.peak_pinned_stream,
+            r.pipeline_depth,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_exec.json", &json).unwrap();
+    println!("wrote BENCH_exec.json");
     println!();
 }
 

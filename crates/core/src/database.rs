@@ -16,6 +16,7 @@ use crate::catalog::{self, Catalog};
 use crate::config::DbConfig;
 use crate::error::{DbError, DbResult};
 use crate::metrics::DbObs;
+use crate::plan_cache::PlanCache;
 use crate::session::Session;
 
 const DATA_FILE: &str = "data.sedna";
@@ -108,6 +109,12 @@ pub(crate) struct DbInner {
     /// bump lazily invalidates every cached plan — in this session and
     /// every other — without a conservative cache clear.
     pub(crate) catalog_generation: CatalogGeneration,
+    /// Database-wide shared plan cache (L2). Sessions consult their own
+    /// cache first (L1) and fall back here, so a statement compiled by
+    /// one connection is reused by every other until the catalog
+    /// generation moves. Held briefly around get/insert only — never
+    /// across parse or execution.
+    pub(crate) shared_plans: Mutex<PlanCache>,
 }
 
 impl DbInner {
@@ -164,6 +171,7 @@ impl Database {
         sas.pool().metrics().register_into(&obs.registry);
         txns.metrics().register_into(&obs.registry);
         wal.metrics().register_into(&obs.registry);
+        let shared_plans = Mutex::new(PlanCache::new(cfg.plan_cache_capacity));
         let db = Database {
             inner: Arc::new(DbInner {
                 cfg,
@@ -177,6 +185,7 @@ impl Database {
                 obs,
                 sessions: SessionGate::new(),
                 catalog_generation: CatalogGeneration::new(),
+                shared_plans,
             }),
         };
         // Baseline checkpoint so recovery always has a starting snapshot.
@@ -273,6 +282,7 @@ impl Database {
         for idx in catalog.indexes.values_mut() {
             idx.tree.set_metrics(obs.index.clone());
         }
+        let shared_plans = Mutex::new(PlanCache::new(cfg.plan_cache_capacity));
         let db = Database {
             inner: Arc::new(DbInner {
                 cfg,
@@ -286,6 +296,7 @@ impl Database {
                 obs,
                 sessions: SessionGate::new(),
                 catalog_generation: CatalogGeneration::new(),
+                shared_plans,
             }),
         };
         // Standard practice: checkpoint right after recovery, so the next
@@ -324,6 +335,30 @@ impl Database {
     /// instead of requiring a conservative clear.
     pub fn catalog_generation(&self) -> u64 {
         self.inner.catalog_generation.current()
+    }
+
+    /// Buffer pages currently pinned by live page guards (open cursors,
+    /// in-flight statements).
+    pub fn pinned_pages(&self) -> i64 {
+        self.inner.sas.pool().pinned()
+    }
+
+    /// High-water mark of concurrently pinned buffer pages since the
+    /// last [`Database::reset_pinned_peak`]. A streamed scan keeps this
+    /// bounded by the cursor's pipeline depth plus a small constant,
+    /// independent of result cardinality.
+    pub fn pinned_pages_peak(&self) -> i64 {
+        self.inner.sas.pool().pinned_peak()
+    }
+
+    /// Resets the pinned-pages high-water mark (benchmark harness hook).
+    pub fn reset_pinned_peak(&self) {
+        self.inner.sas.pool().reset_pinned_peak()
+    }
+
+    /// Entries currently in the database-wide shared plan cache.
+    pub fn shared_plan_count(&self) -> usize {
+        self.inner.shared_plans.lock().len()
     }
 
     /// Closes the database for shutdown: forces the log, then takes a

@@ -37,6 +37,7 @@ mod governor;
 mod metrics;
 mod plan_cache;
 mod session;
+mod stream;
 
 #[cfg(all(test, loom))]
 mod loom_models;
@@ -48,6 +49,7 @@ pub use error::{DbError, DbResult};
 pub use governor::Governor;
 pub use metrics::QueryProfile;
 pub use session::{ExecOutcome, Session, StreamOutcome};
+pub use stream::QueryCursor;
 
 // Re-export the pieces users need to work with results and modes.
 pub use sedna_obs::{HistogramSnapshot, MetricsSnapshot};

@@ -26,6 +26,11 @@ pub(crate) struct QueryMetrics {
     pub(crate) cache_hits: Counter,
     pub(crate) plan_cache_hits: Counter,
     pub(crate) plan_cache_misses: Counter,
+    pub(crate) plan_cache_shared_hits: Counter,
+    pub(crate) plan_cache_shared_misses: Counter,
+    pub(crate) items_pulled: Counter,
+    pub(crate) cursor_depth: Gauge,
+    pub(crate) ttfi_ns: Histogram,
 }
 
 impl QueryMetrics {
@@ -89,6 +94,31 @@ impl QueryMetrics {
             "sedna_plan_cache_misses_total",
             "Statements that went through parse + rewrite",
             &self.plan_cache_misses,
+        );
+        reg.register_counter(
+            "sedna_plan_cache_shared_hits_total",
+            "Session-cache misses served from the database-wide shared plan cache",
+            &self.plan_cache_shared_hits,
+        );
+        reg.register_counter(
+            "sedna_plan_cache_shared_misses_total",
+            "Statements that missed both the session and the shared plan cache",
+            &self.plan_cache_shared_misses,
+        );
+        reg.register_counter(
+            "sedna_exec_items_pulled_total",
+            "Result items pulled through streaming query cursors",
+            &self.items_pulled,
+        );
+        reg.register_gauge(
+            "sedna_exec_cursor_depth",
+            "Operator-pipeline depth of the most recently opened query cursor",
+            &self.cursor_depth,
+        );
+        reg.register_histogram(
+            "sedna_exec_time_to_first_item_ns",
+            "Cursor-open to first-item latency of streaming queries (ns)",
+            &self.ttfi_ns,
         );
     }
 

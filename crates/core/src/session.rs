@@ -38,6 +38,7 @@ use crate::database::DbInner;
 use crate::error::{DbError, DbResult};
 use crate::metrics::QueryProfile;
 use crate::plan_cache::PlanCache;
+use crate::stream::QueryCursor;
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,10 +66,17 @@ impl ExecOutcome {
 /// results: each sequence item is serialized separately, so callers
 /// (the network layer's fetch-next path, cursors) can stream results
 /// item-at-a-time instead of receiving one concatenated string.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub enum StreamOutcome {
-    /// A query's result items, each independently serialized.
+    /// A query's result items, each independently serialized. Queries
+    /// take this (fully materialized) form only when they run inside an
+    /// explicit transaction, whose state lives on the session and cannot
+    /// migrate into a detached cursor.
     Items(Vec<String>),
+    /// A live streaming cursor over an auto-commit query: items are
+    /// produced on demand, and the cursor's private read-only
+    /// transaction stays open until it is drained or dropped.
+    Cursor(QueryCursor),
     /// An update's affected-node count.
     Updated(usize),
     /// A DDL statement completed.
@@ -408,11 +416,33 @@ impl Session {
     }
 
     /// Executes one statement like [`Session::execute`], but returns a
-    /// query's result sequence as **individually serialized items**
-    /// instead of one joined string. This is the item-at-a-time surface
-    /// the network layer's fetch-next streaming is built on.
+    /// query's result sequence **item-at-a-time** instead of one joined
+    /// string. An auto-commit query comes back as a live
+    /// [`StreamOutcome::Cursor`]: nothing has executed yet, the first
+    /// pull produces the first item without scanning the rest, and the
+    /// cursor's private read-only transaction (and its page pins) are
+    /// released when it is drained or dropped. Queries inside an
+    /// explicit transaction, updates, and DDL keep the materialized
+    /// forms. For a streamed query, [`Session::last_profile`] reports
+    /// only the planning phases (execute runs in the cursor) and
+    /// [`Session::last_stats`] stays zeroed — the cursor folds its
+    /// counters into the database-wide metrics when it finishes.
     pub fn execute_stream(&mut self, text: &str) -> DbResult<StreamOutcome> {
-        Ok(match self.execute_inner(text)? {
+        let (stmt, parse_ns, rewrite_ns) = self.plan_statement(text)?;
+        if self.txn.is_none() && matches!(stmt.kind, StatementKind::Query(_)) {
+            let q = self.db.obs.query.clone();
+            let cursor = QueryCursor::open(Arc::clone(&self.db), stmt)?;
+            q.statements.inc();
+            self.last_stats = ExecStats::default();
+            self.last_profile = Some(QueryProfile {
+                parse_ns,
+                rewrite_ns,
+                execute_ns: 0,
+                stats: ExecStats::default(),
+            });
+            return Ok(StreamOutcome::Cursor(cursor));
+        }
+        Ok(match self.execute_planned(stmt, parse_ns, rewrite_ns)? {
             InnerOutcome::Items(items) => {
                 StreamOutcome::Items(items.into_iter().map(|i| i.text).collect())
             }
@@ -421,32 +451,57 @@ impl Session {
         })
     }
 
-    fn execute_inner(&mut self, text: &str) -> DbResult<InnerOutcome> {
-        // The paper's pipeline, timed per phase: parser → static
-        // analyser + rewriter → executor. Handles are clones sharing the
-        // database-wide histograms, so the spans record even on error.
+    /// Parse + analyse + rewrite with the two-level plan cache: this
+    /// session's own cache (L1), then the database-wide shared cache
+    /// (L2), then the real pipeline. An L2 hit is promoted into L1; a
+    /// full miss populates both, so a statement compiled by one
+    /// connection is reused by every other until the catalog generation
+    /// moves. Cached plans report zero parse/rewrite nanoseconds.
+    fn plan_statement(&mut self, text: &str) -> DbResult<(Statement, u64, u64)> {
         let q = self.db.obs.query.clone();
         let generation = self.db.catalog_generation.current();
-        let (stmt, parse_ns, rewrite_ns) = match self.plan_cache.get(text, generation) {
-            Some(stmt) => {
-                // Cached parse+rewrite result: both phases are skipped, so
-                // the profile reports zero for them.
-                q.plan_cache_hits.inc();
-                (stmt, 0, 0)
-            }
-            None => {
-                q.plan_cache_misses.inc();
-                let parse_span = q.parse_ns.span();
-                let stmt = sedna_xquery::parser::parse_statement(text)?;
-                let parse_ns = parse_span.finish();
-                let rewrite_span = q.rewrite_ns.span();
-                let stmt = sedna_xquery::static_ctx::analyze(stmt)?;
-                let stmt = sedna_xquery::rewrite::rewrite_statement(stmt);
-                let rewrite_ns = rewrite_span.finish();
-                self.plan_cache.insert(text, generation, stmt.clone());
-                (stmt, parse_ns, rewrite_ns)
-            }
-        };
+        if let Some(stmt) = self.plan_cache.get(text, generation) {
+            q.plan_cache_hits.inc();
+            return Ok((stmt, 0, 0));
+        }
+        let shared = self.db.shared_plans.lock().get(text, generation);
+        if let Some(stmt) = shared {
+            q.plan_cache_shared_hits.inc();
+            self.plan_cache.insert(text, generation, stmt.clone());
+            return Ok((stmt, 0, 0));
+        }
+        // Missed both levels: run the front half of the paper's pipeline,
+        // timed per phase. Handles are clones sharing the database-wide
+        // histograms, so the spans record even on error.
+        q.plan_cache_shared_misses.inc();
+        q.plan_cache_misses.inc();
+        let parse_span = q.parse_ns.span();
+        let stmt = sedna_xquery::parser::parse_statement(text)?;
+        let parse_ns = parse_span.finish();
+        let rewrite_span = q.rewrite_ns.span();
+        let stmt = sedna_xquery::static_ctx::analyze(stmt)?;
+        let stmt = sedna_xquery::rewrite::rewrite_statement(stmt);
+        let rewrite_ns = rewrite_span.finish();
+        self.plan_cache.insert(text, generation, stmt.clone());
+        self.db
+            .shared_plans
+            .lock()
+            .insert(text, generation, stmt.clone());
+        Ok((stmt, parse_ns, rewrite_ns))
+    }
+
+    fn execute_inner(&mut self, text: &str) -> DbResult<InnerOutcome> {
+        let (stmt, parse_ns, rewrite_ns) = self.plan_statement(text)?;
+        self.execute_planned(stmt, parse_ns, rewrite_ns)
+    }
+
+    fn execute_planned(
+        &mut self,
+        stmt: Statement,
+        parse_ns: u64,
+        rewrite_ns: u64,
+    ) -> DbResult<InnerOutcome> {
+        let q = self.db.obs.query.clone();
         let needs_update = !matches!(stmt.kind, StatementKind::Query(_));
         let implicit = self.txn.is_none();
         if implicit {
@@ -1240,7 +1295,7 @@ fn visit_expr_children(e: &Expr, f: &mut impl FnMut(&Expr)) {
 
 /// Document names statically referenced by a statement (`doc('name')`
 /// path starts and literal `doc()` calls).
-fn collect_doc_names(stmt: &Statement) -> Vec<String> {
+pub(crate) fn collect_doc_names(stmt: &Statement) -> Vec<String> {
     let mut names = HashSet::new();
     fn walk(e: &Expr, names: &mut HashSet<String>) {
         match e {

@@ -1,0 +1,272 @@
+//! Streaming query cursors: the lazy half of [`Session::execute_stream`].
+//!
+//! The paper's executor is demand-driven ("each physical operation is
+//! implemented as iterator [providing the] well known open-next-close
+//! interface", §5.2); this module carries that discipline across the
+//! session boundary. An auto-commit query no longer materializes its
+//! whole result inside `execute` — instead the session hands back a
+//! [`QueryCursor`] that owns the open read-only transaction, the catalog
+//! snapshot, a private storage session, and the compiled operator
+//! pipeline. Every pull resumes the pipeline for exactly one item, so a
+//! streaming plan pins O(pipeline depth) buffer pages instead of
+//! O(result size), and time-to-first-item is independent of result
+//! cardinality. See `docs/streaming.md` for the cursor contract.
+//!
+//! [`Session::execute_stream`]: crate::Session::execute_stream
+
+use std::time::Instant;
+
+use sedna_sync::Arc;
+
+use sedna_sas::Vas;
+use sedna_txn::TxnHandle;
+use sedna_xquery::ast::{Statement, StatementKind};
+use sedna_xquery::cursor::Plan;
+use sedna_xquery::exec::{Database as QueryView, DocEntry, ExecState, ExecStats, Executor, IndexEntry};
+use sedna_xquery::value::Item as QueryItem;
+use sedna_xquery::QueryError;
+
+use crate::catalog::{DocData, IndexData};
+use crate::database::DbInner;
+use crate::error::{DbError, DbResult};
+use crate::session::collect_doc_names;
+
+/// A live streaming cursor over one auto-commit query.
+///
+/// The cursor owns everything the query needs to keep running after
+/// [`Session::execute_stream`] returns: a read-only transaction pinning
+/// the snapshot it reads (§6.3 — no document locks), clones of the
+/// catalog entries in that snapshot, a private storage session, the
+/// compiled [`Plan`], and the executor's suspended state. Each
+/// [`QueryCursor::next_item`] call resumes the operator tree for exactly
+/// one item.
+///
+/// **Pin lifetime.** Page pins are held only *inside* a pull: the
+/// executor is rebuilt around the suspended state per call and dropped
+/// before the item is returned, so between pulls the cursor holds no
+/// page guards at all — only the version-snapshot reference of its
+/// read-only transaction. Dropping the cursor mid-stream therefore
+/// releases every pin immediately and commits the transaction.
+///
+/// **Completion.** When the sequence is exhausted (or a pull fails) the
+/// cursor commits its transaction and folds the executor's counters
+/// into the database-wide metrics; both are idempotent and also run on
+/// drop.
+///
+/// [`Session::execute_stream`]: crate::Session::execute_stream
+pub struct QueryCursor {
+    db: Arc<DbInner>,
+    vas: Vas,
+    txn: Option<TxnHandle>,
+    docs: Vec<(String, DocData)>,
+    indexes: Vec<(String, IndexData)>,
+    stmt: Statement,
+    plan: Plan,
+    state: Option<ExecState>,
+    /// Globals bound (the pipeline's one-time "open" work done)?
+    opened: bool,
+    /// First item already pulled (TTFI recorded)?
+    first_pulled: bool,
+    started_at: Instant,
+    items: u64,
+    done: bool,
+}
+
+impl QueryCursor {
+    /// Opens a cursor: begins a read-only transaction, snapshots the
+    /// catalog, and compiles the pull pipeline. Referenced documents are
+    /// validated here so "no such document" surfaces at execute time,
+    /// exactly like the materialized path — not at the first fetch.
+    pub(crate) fn open(db: Arc<DbInner>, stmt: Statement) -> DbResult<QueryCursor> {
+        let plan = match &stmt.kind {
+            StatementKind::Query(e) => Plan::compile(e),
+            _ => {
+                return Err(DbError::Conflict(
+                    "only queries can execute as a streaming cursor".into(),
+                ))
+            }
+        };
+        let handle = db.txns.begin_read_only();
+        let vas = db.sas.session();
+        vas.begin(handle.view(), None);
+        let snapshot = db.catalog.read().clone();
+        for name in collect_doc_names(&stmt) {
+            if !snapshot.docs.contains_key(&name) {
+                db.txns.commit(&handle);
+                return Err(DbError::from(QueryError::Dynamic(format!(
+                    "no such document '{name}'"
+                ))));
+            }
+        }
+        let docs: Vec<(String, DocData)> = snapshot.docs.into_iter().collect();
+        let indexes: Vec<(String, IndexData)> = snapshot.indexes.into_iter().collect();
+        db.obs.query.cursor_depth.set(plan.depth() as i64);
+        Ok(QueryCursor {
+            db,
+            vas,
+            txn: Some(handle),
+            docs,
+            indexes,
+            stmt,
+            plan,
+            state: Some(ExecState::default()),
+            opened: false,
+            first_pulled: false,
+            started_at: Instant::now(),
+            items: 0,
+            done: false,
+        })
+    }
+
+    /// Pulls the next result item, serialized. Returns `Ok(None)` once
+    /// the sequence is exhausted — at which point the read-only
+    /// transaction has been committed and every pin released. A failed
+    /// pull finishes the cursor the same way before returning the error.
+    pub fn next_item(&mut self) -> DbResult<Option<String>> {
+        if self.done {
+            return Ok(None);
+        }
+        let state = self.state.take().unwrap_or_default();
+        // Rebuild the executor's borrowed view over the owned catalog
+        // clones — the same shape Session::run_query assembles.
+        let view = QueryView {
+            vas: &self.vas,
+            docs: self
+                .docs
+                .iter()
+                .map(|(name, d)| DocEntry {
+                    name: name.clone(),
+                    schema: &d.schema,
+                    doc: &d.storage,
+                })
+                .collect(),
+            indexes: self
+                .indexes
+                .iter()
+                .map(|(name, i)| IndexEntry {
+                    name: name.clone(),
+                    doc: self
+                        .docs
+                        .iter()
+                        .position(|(n, _)| *n == i.meta.doc)
+                        .unwrap_or(usize::MAX),
+                    index: &i.tree,
+                })
+                .collect(),
+        };
+        let mut ex = Executor::with_state(&view, &self.stmt, self.db.cfg.construct_mode, state);
+        let pulled = Self::pull_one(&mut ex, &mut self.plan, &mut self.opened);
+        self.state = Some(ex.into_state());
+        match pulled {
+            Ok(Some(text)) => {
+                self.items += 1;
+                let q = &self.db.obs.query;
+                q.items_pulled.inc();
+                if !self.first_pulled {
+                    self.first_pulled = true;
+                    q.ttfi_ns.record(self.started_at.elapsed().as_nanos() as u64);
+                }
+                Ok(Some(text))
+            }
+            Ok(None) => {
+                self.finish();
+                Ok(None)
+            }
+            Err(e) => {
+                self.finish();
+                Err(e)
+            }
+        }
+    }
+
+    fn pull_one(
+        ex: &mut Executor<'_>,
+        plan: &mut Plan,
+        opened: &mut bool,
+    ) -> DbResult<Option<String>> {
+        if !*opened {
+            // One-time open work: bind the prolog's global variables.
+            ex.bind_globals()?;
+            *opened = true;
+        }
+        match plan.next(ex)? {
+            None => Ok(None),
+            Some(QueryItem::Atom(a)) => Ok(Some(a.to_string_value())),
+            Some(QueryItem::Node(n)) => {
+                let mut text = String::new();
+                ex.serialize_node(n, &mut text)?;
+                Ok(Some(text))
+            }
+        }
+    }
+
+    /// Commits the read-only transaction and folds the executor counters
+    /// into the database-wide metrics. Idempotent; runs on exhaustion,
+    /// on a failed pull, and on drop.
+    fn finish(&mut self) {
+        self.done = true;
+        if let Some(state) = self.state.take() {
+            self.db.obs.query.record_exec_stats(&state.stats);
+        }
+        if let Some(handle) = self.txn.take() {
+            self.db.txns.commit(&handle);
+        }
+    }
+
+    /// Operator-pipeline depth of the compiled plan — the bound on
+    /// concurrently pinned pages for streaming plans.
+    pub fn depth(&self) -> usize {
+        self.plan.depth()
+    }
+
+    /// Whether the plan's root operator streams. `false` means the whole
+    /// result materializes behind the cursor interface on the first pull
+    /// (blocking plans: order-by FLWOR, `last()`-dependent predicates,
+    /// constructs the compiler has no pull operator for).
+    pub fn is_streaming(&self) -> bool {
+        self.plan.is_streaming()
+    }
+
+    /// Items pulled so far.
+    pub fn items_pulled(&self) -> u64 {
+        self.items
+    }
+
+    /// The executor counters accumulated so far (a live view: a
+    /// streaming plan's `nodes_scanned` grows with each pull instead of
+    /// jumping to the full scan count up front). Zeroed once the cursor
+    /// finishes and folds them into the database-wide metrics.
+    pub fn stats(&self) -> ExecStats {
+        self.state.as_ref().map(|s| s.stats).unwrap_or_default()
+    }
+
+    /// Whether the cursor is exhausted (its transaction committed).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+impl Iterator for QueryCursor {
+    type Item = DbResult<String>;
+
+    fn next(&mut self) -> Option<DbResult<String>> {
+        self.next_item().transpose()
+    }
+}
+
+impl Drop for QueryCursor {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl std::fmt::Debug for QueryCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCursor")
+            .field("depth", &self.plan.depth())
+            .field("streaming", &self.plan.is_streaming())
+            .field("items_pulled", &self.items)
+            .field("done", &self.done)
+            .finish()
+    }
+}

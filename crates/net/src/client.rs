@@ -62,8 +62,11 @@ impl From<io::Error> for ClientError {
 /// Outcome of [`SednaClient::execute`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecReply {
-    /// The statement was a query; this many items are buffered on the
-    /// server, pull them with [`SednaClient::fetch_next`].
+    /// The statement was a query; pull items with
+    /// [`SednaClient::fetch_next`] or [`SednaClient::fetch_batch`]. The
+    /// count is the number of items available, or [`u64::MAX`] when the
+    /// result is a live streaming cursor whose cardinality is unknown
+    /// until drained.
     Query(u64),
     /// The statement was an update touching this many nodes.
     Updated(u64),
@@ -149,13 +152,27 @@ impl SednaClient {
         }
     }
 
+    /// Pulls up to `max` result items in one round trip. Returns the
+    /// batch and `true` once the result is exhausted (after which no
+    /// further fetch is needed — a final empty batch is also `done`).
+    pub fn fetch_batch(&mut self, max: u32) -> Result<(Vec<String>, bool), ClientError> {
+        self.send(&Request::FetchBatch { max })?;
+        match self.recv()? {
+            Response::ItemBatch { items, done } => Ok((items, done)),
+            other => Err(unexpected("ItemBatch", &other)),
+        }
+    }
+
     /// Drains the remaining result items.
     pub fn fetch_all(&mut self) -> Result<Vec<String>, ClientError> {
         let mut items = Vec::new();
-        while let Some(item) = self.fetch_next()? {
-            items.push(item);
+        loop {
+            let (batch, done) = self.fetch_batch(64)?;
+            items.extend(batch);
+            if done {
+                return Ok(items);
+            }
         }
-        Ok(items)
     }
 
     /// Executes a query statement and drains its full result.

@@ -35,6 +35,8 @@ pub struct NetMetrics {
     pub msg_execute: Counter,
     /// `FetchNext` requests received.
     pub msg_fetch_next: Counter,
+    /// `FetchBatch` requests received.
+    pub msg_fetch_batch: Counter,
     /// `LoadXml` requests received.
     pub msg_load_xml: Counter,
     /// `Ping` requests received.
@@ -51,7 +53,7 @@ pub struct NetMetrics {
     pub bytes_out: Counter,
     /// Error responses sent.
     pub errors: Counter,
-    /// Result items streamed via `FetchNext`.
+    /// Result items streamed via `FetchNext` / `FetchBatch`.
     pub items_streamed: Counter,
 }
 
@@ -130,6 +132,11 @@ impl NetMetrics {
             &self.msg_fetch_next,
         );
         registry.register_counter(
+            "sedna_net_msg_fetch_batch_total",
+            "FetchBatch requests received",
+            &self.msg_fetch_batch,
+        );
+        registry.register_counter(
             "sedna_net_msg_load_xml_total",
             "LoadXml requests received",
             &self.msg_load_xml,
@@ -171,7 +178,7 @@ impl NetMetrics {
         );
         registry.register_counter(
             "sedna_net_items_streamed_total",
-            "Result items streamed via FetchNext",
+            "Result items streamed via FetchNext and FetchBatch",
             &self.items_streamed,
         );
     }
@@ -188,6 +195,7 @@ impl NetMetrics {
             codes::ROLLBACK => Some(&self.msg_rollback),
             codes::EXECUTE => Some(&self.msg_execute),
             codes::FETCH_NEXT => Some(&self.msg_fetch_next),
+            codes::FETCH_BATCH => Some(&self.msg_fetch_batch),
             codes::LOAD_XML => Some(&self.msg_load_xml),
             codes::PING => Some(&self.msg_ping),
             codes::GET_METRICS => Some(&self.msg_get_metrics),

@@ -52,6 +52,8 @@ pub mod codes {
     pub const SHUTDOWN: u8 = 0x0A;
     /// Bulk-load a document: `doc: str`, `xml: str`.
     pub const LOAD_XML: u8 = 0x0B;
+    /// Pull up to `max: u32` result items in one frame.
+    pub const FETCH_BATCH: u8 = 0x0C;
 
     /// Session opened.
     pub const SESSION_STARTED: u8 = 0x81;
@@ -63,7 +65,9 @@ pub mod codes {
     pub const UPDATED: u8 = 0x84;
     /// Statement produced no result (DDL, load).
     pub const DONE: u8 = 0x85;
-    /// Statement was a query: `items: u64` buffered for fetching.
+    /// Statement was a query: `items: u64` available for fetching.
+    /// `u64::MAX` means the result is a live streaming cursor whose
+    /// cardinality is unknown until drained.
     pub const QUERY_OK: u8 = 0x86;
     /// One result item: `text: str`.
     pub const ITEM: u8 = 0x87;
@@ -77,6 +81,9 @@ pub mod codes {
     pub const SHUTTING_DOWN: u8 = 0x8B;
     /// Document loaded: `nodes: u64` stored.
     pub const LOADED: u8 = 0x8C;
+    /// A batch of result items: `count: u32`, `count` strings,
+    /// `done: u8` (1 = the result is exhausted; no RESULT_END follows).
+    pub const ITEM_BATCH: u8 = 0x8D;
     /// Structured error envelope: `kind: str`, `message: str`.
     pub const ERROR: u8 = 0xEE;
 }
@@ -110,6 +117,12 @@ pub enum Request {
     },
     /// Pull the next buffered result item.
     FetchNext,
+    /// Pull up to `max` result items in one frame.
+    FetchBatch {
+        /// Maximum number of items to return (the server may send
+        /// fewer; `0` is rejected).
+        max: u32,
+    },
     /// Liveness probe.
     Ping,
     /// Fetch the system-wide Prometheus metrics text.
@@ -144,6 +157,14 @@ pub enum Response {
     Item(String),
     /// No more result items.
     ResultEnd,
+    /// A batch of result items.
+    ItemBatch {
+        /// The items, in result order.
+        items: Vec<String>,
+        /// `true` when the result is exhausted — the client must not
+        /// fetch again (no separate [`Response::ResultEnd`] follows).
+        done: bool,
+    },
     /// Liveness reply.
     Pong,
     /// Prometheus metrics text.
@@ -172,6 +193,7 @@ impl Request {
             Request::Rollback => codes::ROLLBACK,
             Request::Execute { .. } => codes::EXECUTE,
             Request::FetchNext => codes::FETCH_NEXT,
+            Request::FetchBatch { .. } => codes::FETCH_BATCH,
             Request::Ping => codes::PING,
             Request::GetMetrics => codes::GET_METRICS,
             Request::Shutdown => codes::SHUTDOWN,
@@ -189,6 +211,7 @@ impl Request {
             }
             Request::Begin { read_only } => b.push(u8::from(*read_only)),
             Request::Execute { stmt } => put_str(&mut b, stmt),
+            Request::FetchBatch { max } => b.extend_from_slice(&max.to_be_bytes()),
             Request::LoadXml { doc, xml } => {
                 put_str(&mut b, doc);
                 put_str(&mut b, xml);
@@ -222,6 +245,9 @@ impl Request {
                 stmt: c.take_str()?,
             },
             codes::FETCH_NEXT => Request::FetchNext,
+            codes::FETCH_BATCH => Request::FetchBatch {
+                max: c.take_u32()?,
+            },
             codes::PING => Request::Ping,
             codes::GET_METRICS => Request::GetMetrics,
             codes::SHUTDOWN => Request::Shutdown,
@@ -262,6 +288,7 @@ impl Response {
             Response::QueryOk(_) => codes::QUERY_OK,
             Response::Item(_) => codes::ITEM,
             Response::ResultEnd => codes::RESULT_END,
+            Response::ItemBatch { .. } => codes::ITEM_BATCH,
             Response::Pong => codes::PONG,
             Response::Metrics(_) => codes::METRICS,
             Response::ShuttingDown => codes::SHUTTING_DOWN,
@@ -278,6 +305,13 @@ impl Response {
                 b.extend_from_slice(&n.to_be_bytes());
             }
             Response::Item(s) | Response::Metrics(s) => put_str(&mut b, s),
+            Response::ItemBatch { items, done } => {
+                b.extend_from_slice(&(items.len() as u32).to_be_bytes());
+                for item in items {
+                    put_str(&mut b, item);
+                }
+                b.push(u8::from(*done));
+            }
             Response::Error { kind, message } => {
                 put_str(&mut b, kind);
                 put_str(&mut b, message);
@@ -305,6 +339,22 @@ impl Response {
             codes::QUERY_OK => Response::QueryOk(c.take_u64()?),
             codes::ITEM => Response::Item(c.take_str()?),
             codes::RESULT_END => Response::ResultEnd,
+            codes::ITEM_BATCH => {
+                let count = c.take_u32()? as usize;
+                // Each item costs at least 4 length bytes; an absurd
+                // count in a small frame fails here, not on allocation.
+                if count > body.len() / 4 {
+                    return Err(bad("item batch count exceeds frame size"));
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(c.take_str()?);
+                }
+                Response::ItemBatch {
+                    items,
+                    done: c.take_u8()? != 0,
+                }
+            }
             codes::PONG => Response::Pong,
             codes::METRICS => Response::Metrics(c.take_str()?),
             codes::SHUTTING_DOWN => Response::ShuttingDown,
@@ -464,6 +514,7 @@ mod tests {
             stmt: "doc('d')//title/text()".into(),
         });
         roundtrip_request(Request::FetchNext);
+        roundtrip_request(Request::FetchBatch { max: 128 });
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::GetMetrics);
         roundtrip_request(Request::Shutdown);
@@ -483,6 +534,14 @@ mod tests {
         roundtrip_response(Response::QueryOk(u64::MAX));
         roundtrip_response(Response::Item("<x>1</x>".into()));
         roundtrip_response(Response::ResultEnd);
+        roundtrip_response(Response::ItemBatch {
+            items: vec!["<x>1</x>".into(), "two".into(), String::new()],
+            done: true,
+        });
+        roundtrip_response(Response::ItemBatch {
+            items: Vec::new(),
+            done: false,
+        });
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::Metrics("# HELP x\nx 1\n".into()));
         roundtrip_response(Response::ShuttingDown);
@@ -520,6 +579,15 @@ mod tests {
         let mut wire = Vec::new();
         write_frame(&mut wire, codes::PING, &body).unwrap();
         let err = Request::read_from(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn absurd_batch_count_is_rejected_without_allocation() {
+        // ITEM_BATCH frame claiming u32::MAX items in a 5-byte body.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, codes::ITEM_BATCH, &[0xFF, 0xFF, 0xFF, 0xFF, 1]).unwrap();
+        let err = Response::read_from(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 

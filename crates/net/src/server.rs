@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use sedna::{DbError, DbResult, Governor, Session, StreamOutcome};
+use sedna::{DbError, DbResult, Governor, QueryCursor, Session, StreamOutcome};
 
 use crate::metrics::NetMetrics;
 use crate::protocol::{Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
@@ -237,12 +237,78 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
     }
 }
 
-/// One connection's server-side state: the wire session and the buffered
-/// items of its last query, streamed out via `FetchNext`.
+/// One connection's server-side state: the wire session and the result
+/// of its last query, streamed out via `FetchNext` / `FetchBatch`.
 struct Conn {
     stream: TcpStream,
     session: Option<Session>,
-    pending: VecDeque<String>,
+    pending: Pending,
+}
+
+/// The last query's result state.
+///
+/// Auto-commit queries arrive as a live [`QueryCursor`]: items are
+/// pulled from the executor pipeline one fetch at a time, and the
+/// cursor's read-only transaction (with its page pins) stays open
+/// between fetches. Replacing or clearing the state drops the cursor,
+/// which releases every pin and commits its transaction — so a client
+/// that executes a new statement, closes the session, or disconnects
+/// mid-stream never leaks the snapshot.
+enum Pending {
+    /// No result, or the previous result is drained.
+    None,
+    /// Materialized items (queries inside an explicit transaction).
+    Buffered(VecDeque<String>),
+    /// A live streaming cursor (auto-commit queries).
+    Stream(Box<QueryCursor>),
+}
+
+/// Pulls up to `max` items from the connection's pending result,
+/// returning the batch and whether the result is now exhausted. On a
+/// mid-stream error the cursor has already finished itself (transaction
+/// committed, pins released); the pending state is cleared so later
+/// fetches see a clean end-of-result.
+fn fetch_items(pending: &mut Pending, max: usize, m: &NetMetrics) -> DbResult<(Vec<String>, bool)> {
+    match pending {
+        Pending::None => Ok((Vec::new(), true)),
+        Pending::Buffered(items) => {
+            let n = max.min(items.len());
+            let batch: Vec<String> = items.drain(..n).collect();
+            m.items_streamed.add(batch.len() as u64);
+            let done = items.is_empty();
+            if done {
+                *pending = Pending::None;
+            }
+            Ok((batch, done))
+        }
+        Pending::Stream(cur) => {
+            let mut batch = Vec::new();
+            let mut done = false;
+            let mut err = None;
+            while batch.len() < max {
+                match cur.next_item() {
+                    Ok(Some(item)) => batch.push(item),
+                    Ok(None) => {
+                        done = true;
+                        break;
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            m.items_streamed.add(batch.len() as u64);
+            if let Some(e) = err {
+                *pending = Pending::None;
+                return Err(e);
+            }
+            if done {
+                *pending = Pending::None;
+            }
+            Ok((batch, done))
+        }
+    }
 }
 
 fn serve_conn(shared: &Shared, stream: TcpStream) {
@@ -251,7 +317,7 @@ fn serve_conn(shared: &Shared, stream: TcpStream) {
     let mut conn = Conn {
         stream,
         session: None,
-        pending: VecDeque::new(),
+        pending: Pending::None,
     };
     let _ = conn.stream.set_nodelay(true);
     let _ = conn.stream.set_read_timeout(Some(shared.cfg.poll_interval));
@@ -392,7 +458,8 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                 m.sessions_active.sub(1);
                 m.sessions_closed.inc();
             }
-            conn.pending.clear();
+            // Drops any live cursor: pins released, transaction committed.
+            conn.pending = Pending::None;
             send(conn, m, &Response::SessionClosed)?;
             Ok(true)
         }
@@ -436,26 +503,44 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                 Request::Execute { stmt } => match sess.execute_stream(&stmt) {
                     Ok(StreamOutcome::Items(items)) => {
                         let n = items.len() as u64;
-                        conn.pending = items.into_iter().collect();
+                        conn.pending = Pending::Buffered(items.into_iter().collect());
                         Ok(Response::QueryOk(n))
                     }
+                    Ok(StreamOutcome::Cursor(cur)) => {
+                        // A live cursor: nothing has executed yet, so the
+                        // cardinality is unknown — the sentinel tells the
+                        // client to fetch until end-of-result.
+                        conn.pending = Pending::Stream(Box::new(cur));
+                        Ok(Response::QueryOk(u64::MAX))
+                    }
                     Ok(StreamOutcome::Updated(n)) => {
-                        conn.pending.clear();
+                        conn.pending = Pending::None;
                         Ok(Response::Updated(n as u64))
                     }
                     Ok(StreamOutcome::Done) => {
-                        conn.pending.clear();
+                        conn.pending = Pending::None;
                         Ok(Response::Done)
                     }
                     Err(e) => Err(e),
                 },
-                Request::FetchNext => match conn.pending.pop_front() {
-                    Some(item) => {
-                        m.items_streamed.inc();
-                        Ok(Response::Item(item))
-                    }
-                    None => Ok(Response::ResultEnd),
+                Request::FetchNext => match fetch_items(&mut conn.pending, 1, m) {
+                    Ok((mut batch, _)) => match batch.pop() {
+                        Some(item) => Ok(Response::Item(item)),
+                        None => Ok(Response::ResultEnd),
+                    },
+                    Err(e) => Err(e),
                 },
+                Request::FetchBatch { max } => {
+                    if max == 0 {
+                        Ok(Response::Error {
+                            kind: "protocol".into(),
+                            message: "fetch batch size must be at least 1".into(),
+                        })
+                    } else {
+                        fetch_items(&mut conn.pending, max as usize, m)
+                            .map(|(items, done)| Response::ItemBatch { items, done })
+                    }
+                }
                 Request::LoadXml { doc, xml } => sess.load_xml(&doc, &xml).map(Response::Loaded),
                 _ => unreachable!("sessionless requests handled above"),
             };

@@ -49,10 +49,12 @@ fn query_streaming_end_to_end() {
         .unwrap();
     assert!(nodes > 0);
 
-    // Item-at-a-time streaming: two items pulled one FetchNext at a time.
+    // Item-at-a-time streaming: an auto-commit query answers with the
+    // live-cursor sentinel (cardinality unknown until drained) and the
+    // items are pulled one FetchNext at a time.
     assert_eq!(
         c.execute("doc('lib')//title/text()").unwrap(),
-        ExecReply::Query(2)
+        ExecReply::Query(u64::MAX)
     );
     assert_eq!(c.fetch_next().unwrap().as_deref(), Some("A"));
     assert_eq!(c.fetch_next().unwrap().as_deref(), Some("B"));
@@ -66,15 +68,93 @@ fn query_streaming_end_to_end() {
         vec!["2".to_string()]
     );
 
-    // A new Execute discards the previous buffered result.
+    // Batched fetch: both items in one round trip, exhaustion flagged.
+    assert_eq!(
+        c.execute("doc('lib')//title/text()").unwrap(),
+        ExecReply::Query(u64::MAX)
+    );
+    let (batch, done) = c.fetch_batch(10).unwrap();
+    assert_eq!(batch, vec!["A".to_string(), "B".to_string()]);
+    assert!(done);
+
+    // Inside an explicit read-only transaction the result is buffered on
+    // the session (the cursor cannot carry the session's transaction),
+    // so the exact cardinality comes back.
+    c.begin_read_only().unwrap();
     assert_eq!(
         c.execute("doc('lib')//title/text()").unwrap(),
         ExecReply::Query(2)
+    );
+    assert_eq!(c.fetch_next().unwrap().as_deref(), Some("A"));
+    let (batch, done) = c.fetch_batch(10).unwrap();
+    assert_eq!(batch, vec!["B".to_string()]);
+    assert!(done);
+    c.commit().unwrap();
+
+    // A new Execute discards the previous result (dropping a live
+    // cursor mid-stream releases its transaction).
+    assert_eq!(
+        c.execute("doc('lib')//title/text()").unwrap(),
+        ExecReply::Query(u64::MAX)
     );
     assert_eq!(
         c.query("count(doc('lib')//title)").unwrap(),
         vec!["2".to_string()]
     );
+
+    c.close().unwrap();
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn large_result_streams_lazily_with_bounded_pins() {
+    let (handle, dir, governor) = start_server("large", 0);
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.execute("CREATE DOCUMENT 'big'").unwrap();
+    let mut xml = String::from("<r>");
+    for i in 0..500 {
+        xml.push_str(&format!("<v>{i}</v>"));
+    }
+    xml.push_str("</r>");
+    c.load_xml("big", &xml).unwrap();
+
+    let db = governor.database("db").unwrap();
+    db.reset_pinned_peak();
+
+    assert_eq!(
+        c.execute("doc('big')//v/text()").unwrap(),
+        ExecReply::Query(u64::MAX)
+    );
+    assert_eq!(c.fetch_next().unwrap().as_deref(), Some("0"));
+    let mut count = 1usize;
+    loop {
+        let (batch, done) = c.fetch_batch(100).unwrap();
+        count += batch.len();
+        if done {
+            break;
+        }
+    }
+    assert_eq!(count, 500);
+    assert_eq!(db.pinned_pages(), 0, "pins must not leak after a drain");
+    let peak = db.pinned_pages_peak();
+    assert!(
+        peak <= 8,
+        "a streamed scan must pin O(pipeline depth) pages, peak was {peak}"
+    );
+
+    // Mid-stream abandon: a new Execute drops the live cursor, which
+    // releases its pins and read-only transaction immediately.
+    assert_eq!(
+        c.execute("doc('big')//v/text()").unwrap(),
+        ExecReply::Query(u64::MAX)
+    );
+    assert_eq!(c.fetch_next().unwrap().as_deref(), Some("0"));
+    assert_eq!(
+        c.query("count(doc('big')//v)").unwrap(),
+        vec!["500".to_string()]
+    );
+    assert_eq!(db.pinned_pages(), 0, "abandoned cursor must release pins");
 
     c.close().unwrap();
     handle.shutdown().unwrap();

@@ -91,6 +91,23 @@ impl Gauge {
         // relaxed: see `set`.
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Adds `n` and returns the post-add value, so callers can feed a
+    /// companion high-water-mark gauge without a second read racing
+    /// other writers (`peak.fetch_max(live.add_get(1))`).
+    #[inline]
+    pub fn add_get(&self, n: i64) -> i64 {
+        // relaxed: see `set`.
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Raises the value to `v` if it is currently lower (high-water
+    /// marks; pair with [`Gauge::add_get`] on the live gauge).
+    #[inline]
+    pub fn fetch_max(&self, v: i64) {
+        // relaxed: monotonic max over an instantaneous level; see `set`.
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
 }
 
 /// Number of histogram buckets. Bucket `i < HISTOGRAM_BUCKETS - 1` holds
@@ -382,6 +399,21 @@ mod tests {
         assert_eq!(g.get(), 7);
         g.set(-2);
         assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn gauge_add_get_and_fetch_max_track_a_peak() {
+        let live = Gauge::new();
+        let peak = Gauge::new();
+        for _ in 0..3 {
+            peak.fetch_max(live.add_get(1));
+        }
+        live.sub(2);
+        peak.fetch_max(live.add_get(1));
+        assert_eq!(live.get(), 2);
+        assert_eq!(peak.get(), 3, "peak keeps the high-water mark");
+        peak.fetch_max(1);
+        assert_eq!(peak.get(), 3, "fetch_max never lowers the value");
     }
 
     #[test]

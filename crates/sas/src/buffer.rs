@@ -81,6 +81,14 @@ pub struct BufferMetrics {
     pub retargets: Counter,
     /// Number of page-table shards (constant after pool construction).
     pub shard_count: Gauge,
+    /// Pages currently pinned: frames with a live [`PageRead`] or
+    /// [`PageWrite`] guard outstanding. This is the quantity the
+    /// streaming executor bounds to O(pipeline depth); the clock can
+    /// never evict a pinned frame (`try_write_arc` refuses it).
+    pub pinned: Gauge,
+    /// High-water mark of `pinned` since pool creation or the last
+    /// [`BufferPool::reset_pinned_peak`].
+    pub pinned_peak: Gauge,
     /// Per-shard resident-page gauges (`sedna_buffer_shard_<i>_resident`).
     pub shard_resident: Vec<Gauge>,
     /// Reset seqlock (Linux `seqcount` style): odd while a
@@ -143,6 +151,16 @@ impl BufferMetrics {
             "sedna_buffer_shard_count",
             "Number of buffer-pool page-table shards",
             &self.shard_count,
+        );
+        reg.register_gauge(
+            "sedna_buffer_pinned_pages",
+            "Pages currently pinned by live read/write guards",
+            &self.pinned,
+        );
+        reg.register_gauge(
+            "sedna_buffer_pinned_pages_peak",
+            "High-water mark of pinned pages since the last peak reset",
+            &self.pinned_peak,
         );
         for (i, g) in self.shard_resident.iter().enumerate() {
             reg.register_gauge(
@@ -327,9 +345,23 @@ struct Shard {
     misses: Counter,
 }
 
+/// Pin accounting attached to every page guard: counts one pinned page
+/// while alive and releases it on drop, so `sedna_buffer_pinned_pages`
+/// tracks exactly the frames the clock cannot evict right now.
+struct PinToken {
+    live: Gauge,
+}
+
+impl Drop for PinToken {
+    fn drop(&mut self) {
+        self.live.sub(1);
+    }
+}
+
 /// A shared read guard over a resident page.
 pub struct PageRead {
     guard: ArcRwLockReadGuard<RawRwLock, FrameInner>,
+    _pin: PinToken,
 }
 
 impl PageRead {
@@ -366,6 +398,7 @@ impl std::ops::Deref for PageRead {
 /// the frame dirty.
 pub struct PageWrite {
     guard: ArcRwLockWriteGuard<RawRwLock, FrameInner>,
+    _pin: PinToken,
 }
 
 impl PageWrite {
@@ -925,7 +958,10 @@ impl BufferPool {
             self.frames[fref.frame_idx]
                 .referenced
                 .store(true, Ordering::Relaxed);
-            Some(PageRead { guard })
+            Some(PageRead {
+                guard,
+                _pin: self.pin_token(),
+            })
         } else {
             None
         }
@@ -941,10 +977,40 @@ impl BufferPool {
             self.frames[fref.frame_idx]
                 .referenced
                 .store(true, Ordering::Relaxed);
-            Some(PageWrite { guard })
+            Some(PageWrite {
+                guard,
+                _pin: self.pin_token(),
+            })
         } else {
             None
         }
+    }
+
+    /// Counts one new pin and refreshes the high-water mark; the token
+    /// releases the pin when the guard drops.
+    fn pin_token(&self) -> PinToken {
+        let n = self.metrics.pinned.add_get(1);
+        self.metrics.pinned_peak.fetch_max(n);
+        PinToken {
+            live: self.metrics.pinned.clone(),
+        }
+    }
+
+    /// Pages currently pinned by live guards.
+    pub fn pinned(&self) -> i64 {
+        self.metrics.pinned.get()
+    }
+
+    /// High-water mark of pinned pages since pool creation or the last
+    /// [`BufferPool::reset_pinned_peak`].
+    pub fn pinned_peak(&self) -> i64 {
+        self.metrics.pinned_peak.get()
+    }
+
+    /// Restarts the pinned-pages high-water mark from the current live
+    /// value (benchmark/test plumbing, like [`BufferPool::reset_stats`]).
+    pub fn reset_pinned_peak(&self) {
+        self.metrics.pinned_peak.set(self.metrics.pinned.get());
     }
 
     /// Number of resident pages (summed over the shards).
@@ -1323,5 +1389,69 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.hits, s.lockfree_hits, "warm pool: every hit lock-free");
         assert_eq!(s.misses, 32, "only the initial loads missed");
+    }
+
+    #[test]
+    fn pin_gauge_follows_guard_lifetimes() {
+        let (pool, store) = setup(4);
+        let page = XPtr::new(0, PS as u32);
+        let phys = store.alloc().unwrap();
+        let fref = pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+        assert_eq!(pool.pinned(), 0, "acquire hands out no guard");
+        {
+            let _r1 = pool.try_read(&fref, phys).unwrap();
+            let _r2 = pool.try_read(&fref, phys).unwrap();
+            assert_eq!(pool.pinned(), 2, "each live guard is one pin");
+            assert_eq!(pool.pinned_peak(), 2);
+        }
+        assert_eq!(pool.pinned(), 0, "drops release the pins");
+        assert_eq!(pool.pinned_peak(), 2, "the peak survives the drops");
+        pool.reset_pinned_peak();
+        assert_eq!(pool.pinned_peak(), 0);
+        {
+            let _w = pool.try_write(&fref, phys).unwrap();
+            assert_eq!(pool.pinned(), 1);
+        }
+        assert_eq!(pool.pinned(), 0);
+        assert_eq!(pool.pinned_peak(), 1);
+    }
+
+    #[test]
+    fn concurrent_pins_balance_and_never_exceed_peak() {
+        // Exercised under TSan in CI (name matches the `concurrent`
+        // filter): guards taken and dropped from racing threads must
+        // leave the live pin gauge at zero and a sane peak.
+        let (pool, store) = setup_sharded(16, 4);
+        let pool = Arc::new(pool);
+        let mut pages = Vec::new();
+        for i in 0..8u32 {
+            let page = XPtr::new(0, (i + 1) * PS as u32);
+            let phys = store.alloc().unwrap();
+            pool.acquire_fresh(page, phys, store.as_ref()).unwrap();
+            pages.push((page, phys));
+        }
+        let pages = Arc::new(pages);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let store = Arc::clone(&store);
+                let pages = Arc::clone(&pages);
+                std::thread::spawn(move || {
+                    for round in 0..100 {
+                        let (page, phys) = pages[(t + round) % pages.len()];
+                        let fref = pool.acquire(page, phys, store.as_ref()).unwrap();
+                        let r = pool.try_read(&fref, phys).unwrap();
+                        assert!(pool.pinned() >= 1, "own pin is visible");
+                        drop(r);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.pinned(), 0, "all pins released");
+        let peak = pool.pinned_peak();
+        assert!((1..=4).contains(&peak), "peak {peak} within thread count");
     }
 }

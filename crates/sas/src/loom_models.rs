@@ -93,3 +93,36 @@ fn shard_accounting_survives_concurrent_hits_and_eviction() {
         assert!(s.evictions >= 1, "the loader must have evicted a frame");
     });
 }
+
+/// Pin accounting across racing guard acquisitions and drops: the live
+/// gauge returns to zero once every guard is gone (a mid-stream cursor
+/// drop releases its pins), and the recorded peak never exceeds the
+/// number of guards that could have been live at once.
+#[test]
+fn pin_gauge_balances_across_concurrent_guard_drops() {
+    model::check(|| {
+        let pool = Arc::new(BufferPool::with_shards(2, 512, 1));
+        let store = Arc::new(MemPageStore::new(512));
+        let page = XPtr::new(0, 512);
+        let phys = store.alloc().unwrap();
+        let fref = Arc::new(pool.acquire_fresh(page, phys, store.as_ref()).unwrap());
+        let reader = {
+            let pool = Arc::clone(&pool);
+            let fref = Arc::clone(&fref);
+            thread::spawn(move || {
+                let r = pool.try_read(&fref, phys).unwrap();
+                assert!(pool.pinned() >= 1);
+                drop(r);
+            })
+        };
+        {
+            let r = pool.try_read(&fref, phys).unwrap();
+            assert!(pool.pinned() >= 1);
+            drop(r);
+        }
+        reader.join().unwrap();
+        assert_eq!(pool.pinned(), 0, "all pins released");
+        let peak = pool.pinned_peak();
+        assert!((1..=2).contains(&peak), "peak {peak} exceeds live guards");
+    });
+}

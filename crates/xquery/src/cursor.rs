@@ -1,0 +1,716 @@
+//! Pull-based (Volcano-style) item cursors over the executor.
+//!
+//! [`Plan::compile`] turns a rewritten [`Expr`] into a tree of pull
+//! operators; each [`Plan::next`] call produces at most one [`Item`] and
+//! touches only the pages that item needs, so a streaming query pins
+//! O(pipeline depth) buffer pages instead of O(result size) and the
+//! first item surfaces before the scan completes.
+//!
+//! Operators:
+//!
+//! * **streaming** — document roots, axis steps (one parent pulled at a
+//!   time, its child batch buffered), structural scans (one block-list
+//!   page at a time), `last()`-free filters with incremental positions,
+//!   unordered FLWOR (binding sequences are materialized — they hold
+//!   plain node identities, no page pins — and the `return` clause is
+//!   evaluated per binding), integer ranges, and sequence concatenation;
+//! * **blocking** — distinct-document-order (sort), `order by` FLWOR,
+//!   `last()`-dependent predicates, and every other expression form,
+//!   which all fall back to [`Op::Materialize`]: full evaluation behind
+//!   the same `next()` interface, so callers never observe the
+//!   difference except through pin counts.
+//!
+//! The operators embed their own runtime state, so a plan plus an
+//! [`crate::exec::ExecState`] fully captures a suspended query: the host
+//! rebuilds the borrowed [`crate::exec::Database`] view around them on
+//! every pull (see `sedna` / `QueryCursor`).
+
+use std::collections::VecDeque;
+
+use sedna_sas::XPtr;
+use sedna_schema::SchemaNodeId;
+
+use crate::ast::{Expr, FlworClause, PathStart, Step};
+use crate::error::{QueryError, QueryResult};
+use crate::exec::Executor;
+use crate::value::{Atom, Item, Sequence};
+
+/// A compiled pull-based plan for one query body.
+#[derive(Debug)]
+pub struct Plan {
+    root: Op,
+}
+
+impl Plan {
+    /// Compiles an expression into a pull operator tree. Every
+    /// expression compiles — forms without a streaming implementation
+    /// become a single materializing operator.
+    pub fn compile(e: &Expr) -> Plan {
+        Plan {
+            root: compile_op(e),
+        }
+    }
+
+    /// The pipeline depth (operators on the longest root-to-leaf path);
+    /// the page-pin bound for fully streaming plans is O(this).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Whether the root operator streams (false when the whole plan is
+    /// one materializing fallback).
+    pub fn is_streaming(&self) -> bool {
+        !matches!(self.root, Op::Materialize { .. })
+    }
+
+    /// Pulls the next item, or `None` when the plan is exhausted.
+    pub fn next(&mut self, ex: &mut Executor<'_>) -> QueryResult<Option<Item>> {
+        self.root.next(ex)
+    }
+}
+
+/// One pull operator. State lives inline so the tree is self-contained.
+#[derive(Debug)]
+enum Op {
+    /// `doc('name')` — yields the document node once.
+    DocRoot { name: String, done: bool },
+    /// One axis step: pulls a parent from `input`, evaluates the full
+    /// child batch (with the step's predicates, whose positions are
+    /// per-parent exactly as in the materializing path) and yields it
+    /// item by item.
+    Step {
+        input: Box<Op>,
+        step: Step,
+        buf: VecDeque<Item>,
+    },
+    /// §5.1.4 structural scan: schema nodes resolved at open, then the
+    /// block lists are walked one page per refill.
+    StructuralScan {
+        doc: String,
+        steps: Vec<Step>,
+        state: Option<ScanState>,
+        buf: VecDeque<Item>,
+    },
+    /// A `last()`-free predicate with incrementally counted positions
+    /// (numeric predicate = positional test, as in `apply_predicate`).
+    Filter {
+        input: Box<Op>,
+        predicate: Expr,
+        pos: usize,
+    },
+    /// Unordered FLWOR: an odometer over the for/let clauses; each
+    /// complete binding evaluates `where` and then `ret`, whose items
+    /// stream out before the next binding is produced.
+    For {
+        clauses: Vec<FlworClause>,
+        where_: Option<Expr>,
+        ret: Expr,
+        state: Option<ForState>,
+        buf: VecDeque<Item>,
+    },
+    /// `a to b` with bounds evaluated at open.
+    Range {
+        lo: Expr,
+        hi: Expr,
+        state: RangeState,
+    },
+    /// `(a, b, c)` — children drained left to right.
+    Concat { parts: Vec<Op>, idx: usize },
+    /// Distinct-document-order. A structural scan over a single
+    /// schema-node chain is already distinct and in document order (one
+    /// chain, walked in order, each descriptor once), so that case
+    /// streams straight through; anything else drains the child, sorts
+    /// and dedups once, then streams the result.
+    Ddo {
+        input: Box<Op>,
+        /// Decided on the first pull: `Some(true)` = stream through.
+        passthrough: Option<bool>,
+        buf: Option<VecDeque<Item>>,
+    },
+    /// Blocking fallback: full evaluation through `Executor::eval` on
+    /// first pull, then drained item by item.
+    Materialize {
+        expr: Expr,
+        buf: Option<VecDeque<Item>>,
+    },
+}
+
+/// Runtime state of a structural scan.
+#[derive(Debug)]
+struct ScanState {
+    doc: usize,
+    sids: Vec<SchemaNodeId>,
+    next_sid: usize,
+    blk: XPtr,
+}
+
+/// Odometer state of a streaming FLWOR: the materialized binding
+/// sequence and cursor per clause (`Let` clauses keep an empty vec).
+#[derive(Debug)]
+struct ForState {
+    seqs: Vec<Sequence>,
+    idx: Vec<usize>,
+    started: bool,
+}
+
+#[derive(Debug)]
+enum RangeState {
+    Unopened,
+    Running(i64, i64),
+    Done,
+}
+
+fn compile_op(e: &Expr) -> Op {
+    match e {
+        Expr::Path { start, steps } => {
+            let input = match start {
+                PathStart::Doc(name) => Op::DocRoot {
+                    name: name.clone(),
+                    done: false,
+                },
+                PathStart::Expr(inner) => compile_op(inner),
+                // '/' and '.' need the caller's context item, which a
+                // top-level cursor does not have a streaming source for.
+                PathStart::Root | PathStart::Context => return Op::materialize(e),
+            };
+            steps.iter().fold(input, |acc, s| Op::Step {
+                input: Box::new(acc),
+                step: s.clone(),
+                buf: VecDeque::new(),
+            })
+        }
+        Expr::StructuralPath { doc, steps } => Op::StructuralScan {
+            doc: doc.clone(),
+            steps: steps.clone(),
+            state: None,
+            buf: VecDeque::new(),
+        },
+        Expr::Filter { input, predicates } => {
+            // last() needs the filtered sequence's size up front; any
+            // predicate using it forces materialization.
+            if predicates.iter().any(contains_last) {
+                return Op::materialize(e);
+            }
+            predicates
+                .iter()
+                .fold(compile_op(input), |acc, p| Op::Filter {
+                    input: Box::new(acc),
+                    predicate: p.clone(),
+                    pos: 0,
+                })
+        }
+        Expr::Sequence(items) => Op::Concat {
+            parts: items.iter().map(compile_op).collect(),
+            idx: 0,
+        },
+        Expr::Range(a, b) => Op::Range {
+            lo: (**a).clone(),
+            hi: (**b).clone(),
+            state: RangeState::Unopened,
+        },
+        Expr::Ddo(inner) => Op::Ddo {
+            input: Box::new(compile_op(inner)),
+            passthrough: None,
+            buf: None,
+        },
+        Expr::Flwor {
+            clauses,
+            where_,
+            order,
+            ret,
+        } if order.is_empty() => Op::For {
+            clauses: clauses.clone(),
+            where_: where_.as_deref().cloned(),
+            ret: (**ret).clone(),
+            state: None,
+            buf: VecDeque::new(),
+        },
+        other => Op::materialize(other),
+    }
+}
+
+impl Op {
+    fn materialize(e: &Expr) -> Op {
+        Op::Materialize {
+            expr: e.clone(),
+            buf: None,
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + match self {
+            Op::DocRoot { .. }
+            | Op::StructuralScan { .. }
+            | Op::Range { .. }
+            | Op::For { .. }
+            | Op::Materialize { .. } => 0,
+            Op::Step { input, .. } | Op::Filter { input, .. } | Op::Ddo { input, .. } => {
+                input.depth()
+            }
+            Op::Concat { parts, .. } => parts.iter().map(Op::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// True when this operator is a structural scan that resolves to at
+    /// most one schema-node chain: such a scan emits each descriptor
+    /// exactly once, in document order, so a `Ddo` above it can stream.
+    /// Resolving fills the scan's own open state, which the scan reuses.
+    fn single_chain_scan(&mut self, ex: &mut Executor<'_>) -> QueryResult<bool> {
+        let Op::StructuralScan { doc, steps, state, .. } = self else {
+            return Ok(false);
+        };
+        if state.is_none() {
+            let idx = ex
+                .db
+                .doc_idx(doc)
+                .ok_or_else(|| QueryError::Dynamic(format!("no such document '{doc}'")))?;
+            let sids = ex.structural_sids(idx, steps);
+            *state = Some(ScanState {
+                doc: idx,
+                sids,
+                next_sid: 0,
+                blk: XPtr::NULL,
+            });
+        }
+        let Some(st) = state else { unreachable!() };
+        Ok(st.sids.len() <= 1)
+    }
+
+    fn next(&mut self, ex: &mut Executor<'_>) -> QueryResult<Option<Item>> {
+        match self {
+            Op::DocRoot { name, done } => {
+                if *done {
+                    return Ok(None);
+                }
+                *done = true;
+                let idx = ex
+                    .db
+                    .doc_idx(name)
+                    .ok_or_else(|| QueryError::Dynamic(format!("no such document '{name}'")))?;
+                let node = ex.db.docs[idx].doc.doc_node(ex.db.vas)?;
+                Ok(Some(Item::Node(crate::value::NodeId::Stored {
+                    doc: idx,
+                    node,
+                })))
+            }
+            Op::Step { input, step, buf } => loop {
+                if let Some(item) = buf.pop_front() {
+                    return Ok(Some(item));
+                }
+                let node = match input.next(ex)? {
+                    None => return Ok(None),
+                    Some(Item::Node(n)) => n,
+                    Some(Item::Atom(_)) => {
+                        return Err(QueryError::Dynamic(
+                            "path step applied to an atomic value".into(),
+                        ))
+                    }
+                };
+                let mut batch = ex.axis_nodes(node, step.axis, &step.test)?;
+                ex.stats.nodes_scanned += batch.len() as u64;
+                for p in &step.predicates {
+                    batch = ex.apply_predicate(batch, p)?;
+                }
+                buf.extend(batch);
+            },
+            Op::StructuralScan {
+                doc,
+                steps,
+                state,
+                buf,
+            } => loop {
+                if let Some(item) = buf.pop_front() {
+                    return Ok(Some(item));
+                }
+                if state.is_none() {
+                    let idx = ex
+                        .db
+                        .doc_idx(doc)
+                        .ok_or_else(|| QueryError::Dynamic(format!("no such document '{doc}'")))?;
+                    let sids = ex.structural_sids(idx, steps);
+                    *state = Some(ScanState {
+                        doc: idx,
+                        sids,
+                        next_sid: 0,
+                        blk: XPtr::NULL,
+                    });
+                }
+                let Some(st) = state else { unreachable!() };
+                if st.blk.is_null() {
+                    if st.next_sid >= st.sids.len() {
+                        return Ok(None);
+                    }
+                    st.blk = ex.first_block(st.doc, st.sids[st.next_sid]);
+                    st.next_sid += 1;
+                } else {
+                    // One page pinned, for the duration of this refill
+                    // only.
+                    let mut batch = Vec::new();
+                    st.blk = ex.scan_block(st.doc, st.blk, &mut batch)?;
+                    buf.extend(batch);
+                }
+            },
+            Op::Filter {
+                input,
+                predicate,
+                pos,
+            } => loop {
+                let item = match input.next(ex)? {
+                    None => return Ok(None),
+                    Some(i) => i,
+                };
+                *pos += 1;
+                // Size is unknowable without draining; compile_op
+                // guarantees the predicate never calls last().
+                ex.ctx.push((item.clone(), *pos, 0));
+                let v = ex.eval(predicate);
+                ex.ctx.pop();
+                let v = v?;
+                let keep = match v.as_slice() {
+                    [Item::Atom(Atom::Number(n))] => (*n == *pos as f64) && n.fract() == 0.0,
+                    _ => ex.ebv(&v)?,
+                };
+                if keep {
+                    return Ok(Some(item));
+                }
+            },
+            Op::For {
+                clauses,
+                where_,
+                ret,
+                state,
+                buf,
+            } => loop {
+                if let Some(item) = buf.pop_front() {
+                    return Ok(Some(item));
+                }
+                let st = state.get_or_insert_with(|| ForState {
+                    seqs: vec![Vec::new(); clauses.len()],
+                    idx: vec![0; clauses.len()],
+                    started: false,
+                });
+                if !st.next_binding(ex, clauses)? {
+                    return Ok(None);
+                }
+                if let Some(w) = where_ {
+                    let c = ex.eval(w)?;
+                    if !ex.ebv(&c)? {
+                        continue;
+                    }
+                }
+                buf.extend(ex.eval(ret)?);
+            },
+            Op::Range { lo, hi, state } => {
+                if let RangeState::Unopened = state {
+                    let va = ex.eval(lo)?;
+                    let vb = ex.eval(hi)?;
+                    *state = if va.is_empty() || vb.is_empty() {
+                        RangeState::Done
+                    } else {
+                        RangeState::Running(
+                            ex.atomize_number(&va)? as i64,
+                            ex.atomize_number(&vb)? as i64,
+                        )
+                    };
+                }
+                match state {
+                    RangeState::Running(cur, end) if *cur <= *end => {
+                        let n = *cur;
+                        *cur += 1;
+                        Ok(Some(Item::number(n as f64)))
+                    }
+                    _ => {
+                        *state = RangeState::Done;
+                        Ok(None)
+                    }
+                }
+            }
+            Op::Concat { parts, idx } => {
+                while *idx < parts.len() {
+                    if let Some(item) = parts[*idx].next(ex)? {
+                        return Ok(Some(item));
+                    }
+                    *idx += 1;
+                }
+                Ok(None)
+            }
+            Op::Ddo {
+                input,
+                passthrough,
+                buf,
+            } => {
+                if passthrough.is_none() {
+                    *passthrough = Some(input.single_chain_scan(ex)?);
+                }
+                if *passthrough == Some(true) {
+                    return input.next(ex);
+                }
+                if buf.is_none() {
+                    let mut seq = Vec::new();
+                    while let Some(item) = input.next(ex)? {
+                        seq.push(item);
+                    }
+                    *buf = Some(ex.ddo(seq)?.into());
+                }
+                Ok(buf.as_mut().and_then(VecDeque::pop_front))
+            }
+            Op::Materialize { expr, buf } => {
+                if buf.is_none() {
+                    *buf = Some(ex.eval(expr)?.into());
+                }
+                Ok(buf.as_mut().and_then(VecDeque::pop_front))
+            }
+        }
+    }
+}
+
+impl ForState {
+    /// Binds the clause variables to the next complete binding
+    /// combination, returning false when the odometer is exhausted.
+    /// Binding sequences are materialized per clause level (they carry
+    /// node identities, not page pins) and re-evaluated whenever an
+    /// outer clause advances, so inner clauses may reference outer
+    /// variables.
+    fn next_binding(&mut self, ex: &mut Executor<'_>, clauses: &[FlworClause]) -> QueryResult<bool> {
+        let n = clauses.len();
+        // Down(i): (re-)open clause i; Up(i): backtrack into clause i-1.
+        enum Dir {
+            Down(usize),
+            Up(usize),
+        }
+        let mut dir = if self.started {
+            Dir::Up(n)
+        } else {
+            self.started = true;
+            Dir::Down(0)
+        };
+        loop {
+            match dir {
+                Dir::Down(i) if i == n => return Ok(true),
+                Dir::Down(i) => match &clauses[i] {
+                    FlworClause::Let { slot, expr, .. } => {
+                        let v = ex.eval(expr)?;
+                        ex.slots[*slot] = Some(v);
+                        dir = Dir::Down(i + 1);
+                    }
+                    FlworClause::For { expr, .. } => {
+                        self.seqs[i] = ex.eval(expr)?;
+                        self.idx[i] = 0;
+                        if self.seqs[i].is_empty() {
+                            dir = Dir::Up(i);
+                        } else {
+                            self.bind(ex, i, clauses);
+                            dir = Dir::Down(i + 1);
+                        }
+                    }
+                },
+                Dir::Up(0) => return Ok(false),
+                Dir::Up(i) => {
+                    let k = i - 1;
+                    match &clauses[k] {
+                        FlworClause::Let { .. } => dir = Dir::Up(k),
+                        FlworClause::For { .. } => {
+                            self.idx[k] += 1;
+                            if self.idx[k] < self.seqs[k].len() {
+                                self.bind(ex, k, clauses);
+                                dir = Dir::Down(k + 1);
+                            } else {
+                                dir = Dir::Up(k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn bind(&self, ex: &mut Executor<'_>, i: usize, clauses: &[FlworClause]) {
+        if let FlworClause::For { slot, at, .. } = &clauses[i] {
+            ex.slots[*slot] = Some(vec![self.seqs[i][self.idx[i]].clone()]);
+            if let Some((_, pslot)) = at {
+                ex.slots[*pslot] = Some(vec![Item::number((self.idx[i] + 1) as f64)]);
+            }
+        }
+    }
+}
+
+/// Whether any subexpression calls `last()` (by name; resolution does
+/// not matter — a user function cannot shadow builtins here).
+fn contains_last(e: &Expr) -> bool {
+    let mut stack = vec![e];
+    while let Some(e) = stack.pop() {
+        match e {
+            Expr::FnCall { name, args, .. } => {
+                if name == "last" {
+                    return true;
+                }
+                stack.extend(args.iter());
+            }
+            Expr::Sequence(v) => stack.extend(v.iter()),
+            Expr::Flwor {
+                clauses,
+                where_,
+                order,
+                ret,
+            } => {
+                for c in clauses {
+                    match c {
+                        FlworClause::For { expr, .. } | FlworClause::Let { expr, .. } => {
+                            stack.push(expr)
+                        }
+                    }
+                }
+                if let Some(w) = where_ {
+                    stack.push(w);
+                }
+                for o in order {
+                    stack.push(&o.key);
+                }
+                stack.push(ret);
+            }
+            Expr::Quantified {
+                within, satisfies, ..
+            } => {
+                stack.push(within);
+                stack.push(satisfies);
+            }
+            Expr::If { cond, then, els } => {
+                stack.push(cond);
+                stack.push(then);
+                stack.push(els);
+            }
+            Expr::Or(a, b)
+            | Expr::And(a, b)
+            | Expr::Union(a, b)
+            | Expr::Intersect(a, b)
+            | Expr::Except(a, b)
+            | Expr::Range(a, b)
+            | Expr::GeneralCmp(_, a, b)
+            | Expr::ValueCmp(_, a, b)
+            | Expr::Arith(_, a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            Expr::Neg(a) | Expr::TextCtor(a) | Expr::Ddo(a) => stack.push(a),
+            Expr::Cached { expr, .. } => stack.push(expr),
+            Expr::Filter { input, predicates } => {
+                stack.push(input);
+                stack.extend(predicates.iter());
+            }
+            Expr::Path { start, steps } => {
+                if let PathStart::Expr(inner) = start {
+                    stack.push(inner);
+                }
+                for s in steps {
+                    stack.extend(s.predicates.iter());
+                }
+            }
+            Expr::ElementCtor { attrs, children, .. } => {
+                for (_, parts) in attrs {
+                    stack.extend(parts.iter());
+                }
+                stack.extend(children.iter());
+            }
+            Expr::StructuralPath { .. }
+            | Expr::Literal(_)
+            | Expr::Empty
+            | Expr::VarRef { .. }
+            | Expr::ContextItem => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, FnResolution, NodeTest};
+
+    fn doc_path(doc: &str, names: &[&str]) -> Expr {
+        Expr::Path {
+            start: PathStart::Doc(doc.into()),
+            steps: names
+                .iter()
+                .map(|n| {
+                    Step::plain(
+                        Axis::Child,
+                        NodeTest::Name(sedna_schema::SchemaName::local(*n)),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn path_compiles_to_streaming_step_chain() {
+        let plan = Plan::compile(&doc_path("lib", &["a", "b", "c"]));
+        assert!(plan.is_streaming());
+        // DocRoot + three steps.
+        assert_eq!(plan.depth(), 4);
+    }
+
+    #[test]
+    fn last_predicate_forces_materialization() {
+        let last = Expr::FnCall {
+            name: "last".into(),
+            args: vec![],
+            resolved: FnResolution::Unresolved,
+        };
+        let filtered = Expr::Filter {
+            input: doc_path("lib", &["a"]).boxed(),
+            predicates: vec![last],
+        };
+        let plan = Plan::compile(&filtered);
+        assert!(!plan.is_streaming());
+        assert_eq!(plan.depth(), 1);
+    }
+
+    #[test]
+    fn last_free_filter_streams() {
+        let filtered = Expr::Filter {
+            input: doc_path("lib", &["a"]).boxed(),
+            predicates: vec![Expr::Literal(Atom::Number(2.0))],
+        };
+        let plan = Plan::compile(&filtered);
+        assert!(plan.is_streaming());
+        assert_eq!(plan.depth(), 3);
+    }
+
+    #[test]
+    fn ddo_blocks_but_its_input_streams() {
+        let plan = Plan::compile(&Expr::Ddo(doc_path("lib", &["a"]).boxed()));
+        assert!(plan.is_streaming());
+        assert_eq!(plan.depth(), 3);
+    }
+
+    #[test]
+    fn order_by_flwor_materializes() {
+        let flwor = Expr::Flwor {
+            clauses: vec![FlworClause::For {
+                var: "x".into(),
+                slot: 0,
+                at: None,
+                expr: doc_path("lib", &["a"]),
+            }],
+            where_: None,
+            order: vec![crate::ast::OrderSpec {
+                key: Expr::ContextItem,
+                descending: false,
+            }],
+            ret: Expr::ContextItem.boxed(),
+        };
+        assert!(!Plan::compile(&flwor).is_streaming());
+        let unordered = Expr::Flwor {
+            clauses: vec![FlworClause::For {
+                var: "x".into(),
+                slot: 0,
+                at: None,
+                expr: doc_path("lib", &["a"]),
+            }],
+            where_: None,
+            order: vec![],
+            ret: Expr::ContextItem.boxed(),
+        };
+        assert!(Plan::compile(&unordered).is_streaming());
+    }
+}

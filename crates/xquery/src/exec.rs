@@ -106,18 +106,38 @@ impl ExecStats {
     }
 }
 
+/// The executor's owned runtime state, detached from the borrowed view.
+///
+/// A suspended cursor (see [`crate::cursor`]) carries this across pulls:
+/// the borrowed [`Database`] view is rebuilt per pull from owned catalog
+/// data, while slots, lazy caches, the constructed-node arena, the
+/// context stack and the counters survive in here. Obtain one with
+/// [`Executor::into_state`]; resume with [`Executor::with_state`].
+#[derive(Debug, Default)]
+pub struct ExecState {
+    slots: Vec<Option<Sequence>>,
+    caches: Vec<Option<Sequence>>,
+    /// Arena of constructed nodes; owned, so `NodeId::Temp` items stay
+    /// valid across suspension.
+    pub arena: TempArena,
+    ctx: Vec<(Item, usize, usize)>,
+    /// Counters accumulated so far.
+    pub stats: ExecStats,
+    call_depth: usize,
+}
+
 /// The executor: one per statement execution.
 pub struct Executor<'a> {
-    db: &'a Database<'a>,
-    stmt: &'a Statement,
-    slots: Vec<Option<Sequence>>,
+    pub(crate) db: &'a Database<'a>,
+    pub(crate) stmt: &'a Statement,
+    pub(crate) slots: Vec<Option<Sequence>>,
     caches: Vec<Option<Sequence>>,
     /// Arena of constructed nodes; public so callers can serialize
     /// results after execution.
     pub arena: TempArena,
     mode: ConstructMode,
     /// (context item, position, size) stack.
-    ctx: Vec<(Item, usize, usize)>,
+    pub(crate) ctx: Vec<(Item, usize, usize)>,
     /// Counters.
     pub stats: ExecStats,
     call_depth: usize,
@@ -128,25 +148,60 @@ const MAX_CALL_DEPTH: usize = 256;
 impl<'a> Executor<'a> {
     /// Creates an executor for `stmt` over `db`.
     pub fn new(db: &'a Database<'a>, stmt: &'a Statement, mode: ConstructMode) -> Executor<'a> {
+        Self::with_state(db, stmt, mode, ExecState::default())
+    }
+
+    /// Re-creates an executor around a previously suspended [`ExecState`]
+    /// (sized to `stmt` on first use, preserved afterwards).
+    pub fn with_state(
+        db: &'a Database<'a>,
+        stmt: &'a Statement,
+        mode: ConstructMode,
+        mut state: ExecState,
+    ) -> Executor<'a> {
+        state.slots.resize(stmt.slot_count, None);
+        state.caches.resize(stmt.cache_count, None);
         Executor {
             db,
             stmt,
-            slots: vec![None; stmt.slot_count],
-            caches: vec![None; stmt.cache_count],
-            arena: TempArena::new(),
+            slots: state.slots,
+            caches: state.caches,
+            arena: state.arena,
             mode,
-            ctx: Vec::new(),
-            stats: ExecStats::default(),
-            call_depth: 0,
+            ctx: state.ctx,
+            stats: state.stats,
+            call_depth: state.call_depth,
         }
+    }
+
+    /// Suspends this executor, releasing the borrow of the view while
+    /// keeping every piece of owned runtime state.
+    pub fn into_state(self) -> ExecState {
+        ExecState {
+            slots: self.slots,
+            caches: self.caches,
+            arena: self.arena,
+            ctx: self.ctx,
+            stats: self.stats,
+            call_depth: self.call_depth,
+        }
+    }
+
+    /// Binds prolog globals whose slots are still unbound. Idempotent;
+    /// called once per entry point (and per cursor open).
+    pub fn bind_globals(&mut self) -> QueryResult<()> {
+        for decl in &self.stmt.vars {
+            if self.slots[decl.slot].is_none() {
+                let v = self.eval(&decl.init)?;
+                self.slots[decl.slot] = Some(v);
+            }
+        }
+        Ok(())
     }
 
     /// Evaluates the statement body (must be a query).
     pub fn run(&mut self) -> QueryResult<Sequence> {
-        for decl in &self.stmt.vars {
-            let v = self.eval(&decl.init)?;
-            self.slots[decl.slot] = Some(v);
-        }
+        self.bind_globals()?;
         match &self.stmt.kind {
             StatementKind::Query(e) => self.eval(e),
             _ => Err(QueryError::Dynamic(
@@ -158,12 +213,7 @@ impl<'a> Executor<'a> {
     /// Evaluates an arbitrary expression (used by the update executor for
     /// targets and content).
     pub fn eval_entry(&mut self, e: &Expr) -> QueryResult<Sequence> {
-        for decl in &self.stmt.vars {
-            if self.slots[decl.slot].is_none() {
-                let v = self.eval(&decl.init)?;
-                self.slots[decl.slot] = Some(v);
-            }
-        }
+        self.bind_globals()?;
         self.eval(e)
     }
 
@@ -171,7 +221,7 @@ impl<'a> Executor<'a> {
     // Core evaluation
     // ==============================================================
 
-    fn eval(&mut self, e: &Expr) -> QueryResult<Sequence> {
+    pub(crate) fn eval(&mut self, e: &Expr) -> QueryResult<Sequence> {
         match e {
             Expr::Literal(a) => Ok(vec![Item::Atom(a.clone())]),
             Expr::Empty => Ok(vec![]),
@@ -557,7 +607,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Applies one predicate over a batch with position/size context.
-    fn apply_predicate(&mut self, batch: Sequence, pred: &Expr) -> QueryResult<Sequence> {
+    pub(crate) fn apply_predicate(&mut self, batch: Sequence, pred: &Expr) -> QueryResult<Sequence> {
         let size = batch.len();
         let mut out = Vec::new();
         for (i, item) in batch.into_iter().enumerate() {
@@ -598,7 +648,12 @@ impl<'a> Executor<'a> {
     }
 
     /// Evaluates one axis step from one node.
-    fn axis_nodes(&mut self, node: NodeId, axis: Axis, test: &NodeTest) -> QueryResult<Sequence> {
+    pub(crate) fn axis_nodes(
+        &mut self,
+        node: NodeId,
+        axis: Axis,
+        test: &NodeTest,
+    ) -> QueryResult<Sequence> {
         let mut out = Vec::new();
         match axis {
             Axis::SelfAxis => {
@@ -735,7 +790,18 @@ impl<'a> Executor<'a> {
             .db
             .doc_idx(doc)
             .ok_or_else(|| QueryError::Dynamic(format!("no such document '{doc}'")))?;
-        let schema = self.db.docs[idx].schema;
+        let matched = self.structural_sids(idx, steps);
+        let mut out = Vec::new();
+        for sid in matched {
+            self.scan_schema_list(idx, sid, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Resolves a structural path to the schema nodes whose block lists
+    /// hold the result (the schema-level half of §5.1.4).
+    pub(crate) fn structural_sids(&self, doc: usize, steps: &[Step]) -> Vec<SchemaNodeId> {
+        let schema = self.db.docs[doc].schema;
         let schema_steps: Vec<sedna_schema::PathStep> = steps
             .iter()
             .map(|s| sedna_schema::PathStep {
@@ -756,12 +822,52 @@ impl<'a> Executor<'a> {
                 },
             })
             .collect();
-        let matched = sedna_schema::path::eval_structural_path(schema, &schema_steps);
-        let mut out = Vec::new();
-        for sid in matched {
-            self.scan_schema_list(idx, sid, &mut out)?;
+        sedna_schema::path::eval_structural_path(schema, &schema_steps)
+    }
+
+    /// The head of a schema node's block list (null when the list is
+    /// empty).
+    pub(crate) fn first_block(&self, doc: usize, sid: SchemaNodeId) -> sedna_sas::XPtr {
+        self.db.docs[doc].schema.node(sid).first_block
+    }
+
+    /// Scans one block of a schema node's list into `out`, returning the
+    /// next block in the chain (null at the end). One pull of the
+    /// streaming structural scan pins exactly this one page.
+    pub(crate) fn scan_block(
+        &mut self,
+        doc: usize,
+        blk: sedna_sas::XPtr,
+        out: &mut Sequence,
+    ) -> QueryResult<sedna_sas::XPtr> {
+        let vas = self.db.vas;
+        let (mut slot, dsize, next, count) = {
+            let page = vas.read(blk)?;
+            (
+                block::first_desc(&page),
+                block::block_desc_size(&page),
+                block::next_block(&page),
+                block::desc_count(&page),
+            )
+        };
+        let mut walked = 0u16;
+        while slot != sedna_storage::layout::NO_SLOT {
+            if walked > count {
+                return Err(QueryError::Dynamic(format!(
+                    "corrupt in-block chain in {blk} (cycle suspected)"
+                )));
+            }
+            walked += 1;
+            let off = block::desc_offset(slot, dsize);
+            out.push(Item::Node(NodeId::Stored {
+                doc,
+                node: NodeRef(blk.offset(off as u32)),
+            }));
+            self.stats.nodes_scanned += 1;
+            let page = vas.read(blk)?;
+            slot = sedna_storage::descriptor::next_in_block(&page, off);
         }
-        Ok(out)
+        Ok(next)
     }
 
     /// Scans a schema node's block list in document order.
@@ -771,37 +877,9 @@ impl<'a> Executor<'a> {
         sid: SchemaNodeId,
         out: &mut Sequence,
     ) -> QueryResult<()> {
-        let vas = self.db.vas;
-        let schema = self.db.docs[doc].schema;
-        let mut blk = schema.node(sid).first_block;
+        let mut blk = self.first_block(doc, sid);
         while !blk.is_null() {
-            let (mut slot, dsize, next, count) = {
-                let page = vas.read(blk)?;
-                (
-                    block::first_desc(&page),
-                    block::block_desc_size(&page),
-                    block::next_block(&page),
-                    block::desc_count(&page),
-                )
-            };
-            let mut walked = 0u16;
-            while slot != sedna_storage::layout::NO_SLOT {
-                if walked > count {
-                    return Err(QueryError::Dynamic(format!(
-                        "corrupt in-block chain in {blk} (cycle suspected)"
-                    )));
-                }
-                walked += 1;
-                let off = block::desc_offset(slot, dsize);
-                out.push(Item::Node(NodeId::Stored {
-                    doc,
-                    node: NodeRef(blk.offset(off as u32)),
-                }));
-                self.stats.nodes_scanned += 1;
-                let page = vas.read(blk)?;
-                slot = sedna_storage::descriptor::next_in_block(&page, off);
-            }
-            blk = next;
+            blk = self.scan_block(doc, blk, out)?;
         }
         Ok(())
     }
@@ -949,7 +1027,7 @@ impl<'a> Executor<'a> {
     // ==============================================================
 
     /// Distinct-document-order: materialize, sort by order key, dedup.
-    fn ddo(&mut self, seq: Sequence) -> QueryResult<Sequence> {
+    pub(crate) fn ddo(&mut self, seq: Sequence) -> QueryResult<Sequence> {
         self.stats.ddo_sorts += 1;
         self.stats.ddo_items += seq.len() as u64;
         let mut keyed: Vec<(OrderKey, Item)> = Vec::with_capacity(seq.len());
@@ -982,7 +1060,7 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn atomize_number(&self, seq: &Sequence) -> QueryResult<f64> {
+    pub(crate) fn atomize_number(&self, seq: &Sequence) -> QueryResult<f64> {
         match seq.as_slice() {
             [item] => Ok(self.atomize_item(item)?.to_number()),
             _ => Err(QueryError::Dynamic(format!(

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cursor;
 mod error;
 pub mod exec;
 pub mod functions;
@@ -43,8 +44,9 @@ pub mod update;
 pub mod value;
 
 pub use ast::{Expr, Statement};
+pub use cursor::Plan;
 pub use error::{QueryError, QueryResult};
-pub use exec::{ConstructMode, Database, DocEntry, ExecStats, Executor};
+pub use exec::{ConstructMode, Database, DocEntry, ExecState, ExecStats, Executor};
 pub use update::{apply_update, plan_update_with_stats, UpdateTarget};
 pub use value::{Atom, Item, Sequence};
 
