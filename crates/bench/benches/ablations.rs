@@ -15,7 +15,12 @@ fn page_size(c: &mut Criterion) {
     let xml = sedna_workload::library(800, 21);
     let q = optimized("count(doc('lib')/library/book[issue/year > 1995])");
     for &ps in &[4096usize, 16 * 1024, 64 * 1024] {
-        let fx = fixture(&xml, ps, 1 << 26 >> ps.trailing_zeros(), ParentMode::Indirect);
+        let fx = fixture(
+            &xml,
+            ps,
+            1 << 26 >> ps.trailing_zeros(),
+            ParentMode::Indirect,
+        );
         group.bench_with_input(BenchmarkId::new("predicate_query", ps), &ps, |b, _| {
             b.iter(|| run(&fx, &q, ConstructMode::Embedded))
         });
@@ -30,9 +35,11 @@ fn buffer_frames(c: &mut Criterion) {
     let q = optimized("count(doc('lib')//author)");
     for &frames in &[32usize, 128, 2048] {
         let fx = fixture(&xml, 4096, frames, ParentMode::Indirect);
-        group.bench_with_input(BenchmarkId::new("descendant_count", frames), &frames, |b, _| {
-            b.iter(|| run(&fx, &q, ConstructMode::Embedded))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("descendant_count", frames),
+            &frames,
+            |b, _| b.iter(|| run(&fx, &q, ConstructMode::Embedded)),
+        );
     }
     group.finish();
 }
@@ -107,15 +114,19 @@ fn buffer_shards(c: &mut Criterion) {
             })
             .collect();
         gate.wait();
-        group.bench_with_input(BenchmarkId::new("contended_lookup", shards), &shards, |b, _| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let (page, phys) = pages[i % PAGES];
-                i += 1;
-                let fref = pool.acquire(page, phys, store.as_ref()).unwrap();
-                std::hint::black_box(pool.try_read(&fref, phys).unwrap().bytes()[0]);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("contended_lookup", shards),
+            &shards,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let (page, phys) = pages[i % PAGES];
+                    i += 1;
+                    let fref = pool.acquire(page, phys, store.as_ref()).unwrap();
+                    std::hint::black_box(pool.try_read(&fref, phys).unwrap().bytes()[0]);
+                })
+            },
+        );
         // relaxed: a plain stop flag; no data is published through it.
         stop.store(true, Ordering::Relaxed);
         for h in background {
@@ -125,5 +136,11 @@ fn buffer_shards(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, page_size, buffer_frames, lock_granularity, buffer_shards);
+criterion_group!(
+    benches,
+    page_size,
+    buffer_frames,
+    lock_granularity,
+    buffer_shards
+);
 criterion_main!(benches);

@@ -9,7 +9,8 @@ fn bench(c: &mut Criterion) {
     let tmp = TempDb::new("e10", sedna::DbConfig::small());
     let mut s = tmp.db.session();
     s.execute("CREATE DOCUMENT 'lib'").unwrap();
-    s.load_xml("lib", &sedna_workload::library(200, 10)).unwrap();
+    s.load_xml("lib", &sedna_workload::library(200, 10))
+        .unwrap();
     drop(s);
 
     // A writer parks mid-transaction, holding the document X lock.

@@ -25,12 +25,16 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for &txns in &[20usize, 100] {
         let tmp = build_crashed_db(txns);
-        group.bench_with_input(BenchmarkId::new("reopen_after_crash", txns), &txns, |b, _| {
-            b.iter(|| {
-                let db = sedna::Database::open(tmp.dir(), sedna::DbConfig::small()).unwrap();
-                db.crash(); // keep files for the next iteration
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reopen_after_crash", txns),
+            &txns,
+            |b, _| {
+                b.iter(|| {
+                    let db = sedna::Database::open(tmp.dir(), sedna::DbConfig::small()).unwrap();
+                    db.crash(); // keep files for the next iteration
+                })
+            },
+        );
     }
     group.finish();
 }

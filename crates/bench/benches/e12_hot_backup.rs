@@ -7,7 +7,8 @@ fn bench(c: &mut Criterion) {
     let tmp = TempDb::new("e12", sedna::DbConfig::small());
     let mut s = tmp.db.session();
     s.execute("CREATE DOCUMENT 'lib'").unwrap();
-    s.load_xml("lib", &sedna_workload::library(1000, 13)).unwrap();
+    s.load_xml("lib", &sedna_workload::library(1000, 13))
+        .unwrap();
     drop(s);
     let base = tmp.dir().join("bench-backup-base");
     tmp.db.backup(&base).unwrap();

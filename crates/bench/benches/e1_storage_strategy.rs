@@ -22,33 +22,47 @@ fn bench(c: &mut Criterion) {
         let sub = SubtreeStore::build(&fx.vas, &dom).unwrap();
 
         let typed = optimized("for $p in doc('lib')/library/book/price return string($p)");
-        group.bench_with_input(BenchmarkId::new("typed_scan/schema", books), &books, |b, _| {
-            b.iter(|| run(&fx, &typed, ConstructMode::Embedded))
-        });
-        group.bench_with_input(BenchmarkId::new("typed_scan/subtree", books), &books, |b, _| {
-            b.iter(|| sub.scan_element_values(&fx.vas, "price").unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("typed_scan/schema", books),
+            &books,
+            |b, _| b.iter(|| run(&fx, &typed, ConstructMode::Embedded)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("typed_scan/subtree", books),
+            &books,
+            |b, _| b.iter(|| sub.scan_element_values(&fx.vas, "price").unwrap()),
+        );
 
         let pred = optimized("count(doc('lib')/library/book[issue/year > 1995])");
-        group.bench_with_input(BenchmarkId::new("predicate/schema", books), &books, |b, _| {
-            b.iter(|| run(&fx, &pred, ConstructMode::Embedded))
-        });
-        group.bench_with_input(BenchmarkId::new("predicate/subtree_fullscan", books), &books, |b, _| {
-            b.iter(|| sub.scan_element_values(&fx.vas, "year").unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("predicate/schema", books),
+            &books,
+            |b, _| b.iter(|| run(&fx, &pred, ConstructMode::Embedded)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("predicate/subtree_fullscan", books),
+            &books,
+            |b, _| b.iter(|| sub.scan_element_values(&fx.vas, "year").unwrap()),
+        );
 
         let whole = optimized("doc('lib')/library/book");
         let offsets = sub.find_elements(&fx.vas, "book").unwrap();
-        group.bench_with_input(BenchmarkId::new("whole_elem/schema", books), &books, |b, _| {
-            b.iter(|| run(&fx, &whole, ConstructMode::Embedded))
-        });
-        group.bench_with_input(BenchmarkId::new("whole_elem/subtree", books), &books, |b, _| {
-            b.iter(|| {
-                for &o in &offsets {
-                    let _ = sub.read_subtree(&fx.vas, o).unwrap();
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("whole_elem/schema", books),
+            &books,
+            |b, _| b.iter(|| run(&fx, &whole, ConstructMode::Embedded)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("whole_elem/subtree", books),
+            &books,
+            |b, _| {
+                b.iter(|| {
+                    for &o in &offsets {
+                        let _ = sub.read_subtree(&fx.vas, o).unwrap();
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

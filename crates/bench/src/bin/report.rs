@@ -40,11 +40,12 @@ fn main() {
     // `report buffer` runs only the buffer-shard ablation (rewriting
     // BENCH_buffer.json); `report net` runs only the network client
     // sweep (rewriting BENCH_net.json); `report exec` runs only the
-    // streaming-executor comparison (rewriting BENCH_exec.json); no
-    // argument runs everything.
+    // streaming-executor comparison (rewriting BENCH_exec.json);
+    // `report obs` runs only the tracing-overhead sweep (rewriting
+    // BENCH_obs.json); no argument runs everything.
     let args: Vec<String> = std::env::args().collect();
     let only = |name: &str| args.iter().any(|a| a == name);
-    let filtered = only("buffer") || only("net") || only("exec");
+    let filtered = only("buffer") || only("net") || only("exec") || only("obs");
     println!("# Sedna reproduction — experiment report");
     println!("# (cargo run --release -p sedna-bench --bin report)");
     println!();
@@ -71,6 +72,9 @@ fn main() {
     if !filtered || only("exec") {
         bench_exec();
     }
+    if !filtered || only("obs") {
+        bench_obs();
+    }
     println!("# done");
 }
 
@@ -92,9 +96,9 @@ struct BufferBenchRow {
 /// mutex — the pre-sharding pool protocol, kept as the ablation
 /// baseline.
 fn run_lookup_bench(shards: usize, threads: usize, global_lock: bool) -> (f64, f64) {
+    use sedna_sas::{BufferPool, MemPageStore, PageStore};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::{Arc, Barrier, Mutex};
-    use sedna_sas::{BufferPool, MemPageStore, PageStore};
 
     const PS: usize = 4096;
     const FRAMES: usize = 1024;
@@ -183,7 +187,8 @@ fn run_db_reader_sweep(shards: usize) -> f64 {
     let tmp = TempDb::new(&format!("buffer-db-{shards}"), cfg);
     let mut s = tmp.db.session();
     s.execute("CREATE DOCUMENT 'lib'").unwrap();
-    s.load_xml("lib", &sedna_workload::library(200, 29)).unwrap();
+    s.load_xml("lib", &sedna_workload::library(200, 29))
+        .unwrap();
     drop(s);
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -264,7 +269,10 @@ fn bench_buffer() {
             });
         }
     }
-    println!("{:<12} {:>6} {:>8} {:>14} {:>12}", "mode", "shards", "threads", "ops/sec", "ns/lookup");
+    println!(
+        "{:<12} {:>6} {:>8} {:>14} {:>12}",
+        "mode", "shards", "threads", "ops/sec", "ns/lookup"
+    );
     for r in &rows {
         println!(
             "{:<12} {:>6} {:>8} {:>14.0} {:>12.1}",
@@ -281,7 +289,10 @@ fn bench_buffer() {
         .filter(|r| r.mode == "sharded" && r.threads == 8)
         .map(|r| r.ops_per_sec)
         .fold(0.0f64, f64::max);
-    println!("8-thread speedup over global lock: {:.2}x", best8 / base8.max(1.0));
+    println!(
+        "8-thread speedup over global lock: {:.2}x",
+        best8 / base8.max(1.0)
+    );
 
     let mut db_rows = Vec::new();
     for &shards in &[1usize, 2, 4, 8] {
@@ -562,7 +573,13 @@ fn bench_exec() {
     let mut rows = Vec::new();
     println!(
         "{:<10} {:>14} {:>14} {:>10} {:>14} {:>14} {:>10}",
-        "items", "ttfi-stream µs", "ttfi-mat µs", "ttfi gain", "stream it/s", "mat it/s", "peak pins"
+        "items",
+        "ttfi-stream µs",
+        "ttfi-mat µs",
+        "ttfi gain",
+        "stream it/s",
+        "mat it/s",
+        "peak pins"
     );
     for &n in &[1_000usize, 10_000, 50_000] {
         let r = run_exec_bench(n);
@@ -611,6 +628,131 @@ fn bench_exec() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_exec.json", &json).unwrap();
     println!("wrote BENCH_exec.json");
+    println!();
+}
+
+// ------------------------------------------------------------------
+// Obs — query-tracing overhead across sampling policies (observability PR)
+// ------------------------------------------------------------------
+
+/// One measured sampling policy of the tracing-overhead sweep.
+struct ObsBenchRow {
+    policy: &'static str,
+    ns_per_query: f64,
+    traces_published: u64,
+}
+
+/// Streams the same structural scan to exhaustion `reps` times under
+/// one sampling policy and returns the mean wall time per drained
+/// query. The streamed path is the tracing-sensitive one: a live
+/// collector timestamps every cursor pull.
+fn run_obs_bench(policy: sedna::SamplingPolicy, tag: &str, reps: u32) -> (f64, u64) {
+    let cfg = sedna::DbConfig {
+        trace_sample: policy,
+        ..sedna::DbConfig::small()
+    };
+    let tmp = TempDb::new(&format!("obs-{tag}"), cfg);
+    let mut s = tmp.db.session();
+    s.execute("CREATE DOCUMENT 'big'").unwrap();
+    let mut xml = String::from("<r>");
+    for i in 0..200 {
+        xml.push_str(&format!("<v>{i}</v>"));
+    }
+    xml.push_str("</r>");
+    s.load_xml("big", &xml).unwrap();
+    let query = "doc('big')//v/text()";
+
+    let drain = |s: &mut sedna::Session| {
+        let mut cur = match s.execute_stream(query).unwrap() {
+            sedna::StreamOutcome::Cursor(cur) => cur,
+            other => panic!("expected a streaming cursor, got {other:?}"),
+        };
+        while let Some(item) = cur.next_item().unwrap() {
+            std::hint::black_box(item);
+        }
+    };
+    for _ in 0..reps / 10 {
+        drain(&mut s); // warmup
+    }
+    let t = Instant::now();
+    for _ in 0..reps {
+        drain(&mut s);
+    }
+    let ns = t.elapsed().as_nanos() as f64 / reps as f64;
+    let published = tmp
+        .db
+        .metrics_snapshot()
+        .counter("sedna_traces_published_total");
+    (ns, published)
+}
+
+fn bench_obs() {
+    println!("## Obs — query-tracing overhead across sampling policies");
+    println!("same streamed scan (doc('big')//v/text(), 200 items) drained to");
+    println!("exhaustion; off is measured twice to expose the noise floor");
+
+    const REPS: u32 = 1500;
+    let configs: [(&str, sedna::SamplingPolicy); 5] = [
+        ("off", sedna::SamplingPolicy::Off),
+        ("off-again", sedna::SamplingPolicy::Off),
+        ("slow-only", sedna::SamplingPolicy::SlowOnly),
+        ("1-in-100", sedna::SamplingPolicy::OneInN(100)),
+        ("always", sedna::SamplingPolicy::Always),
+    ];
+    let mut rows = Vec::new();
+    for (name, policy) in configs {
+        let (ns, published) = run_obs_bench(policy, name, REPS);
+        rows.push(ObsBenchRow {
+            policy: name,
+            ns_per_query: ns,
+            traces_published: published,
+        });
+    }
+
+    let base = rows[0].ns_per_query;
+    let pct = |ns: f64| (ns - base) / base * 100.0;
+    println!(
+        "{:<12} {:>14} {:>12} {:>10}",
+        "policy", "ns/query", "vs off", "published"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>14.0} {:>+11.1}% {:>10}",
+            r.policy,
+            r.ns_per_query,
+            pct(r.ns_per_query),
+            r.traces_published
+        );
+    }
+    let off_overhead = pct(rows[1].ns_per_query);
+    println!(
+        "tracing-off overhead (off re-measured vs off baseline): {off_overhead:+.1}% — \
+         the instrumentation costs nothing when sampling is off"
+    );
+
+    // Machine-readable trajectory record (hand-rolled JSON, no deps).
+    let mut json = String::from("{\n  \"experiment\": \"trace_overhead\",\n");
+    json.push_str("  \"query\": \"doc('big')//v/text()\",\n");
+    json.push_str(&format!(
+        "  \"reps\": {REPS},\n  \"items_per_query\": 200,\n"
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"ns_per_query\": {:.0}, \"overhead_vs_off_pct\": {:.2}, \
+             \"traces_published\": {}}}{}\n",
+            r.policy,
+            r.ns_per_query,
+            pct(r.ns_per_query),
+            r.traces_published,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"tracing_off_overhead_pct\": {off_overhead:.2}\n}}\n"
+    ));
+    std::fs::write("BENCH_obs.json", &json).unwrap();
+    println!("wrote BENCH_obs.json");
     println!();
 }
 
@@ -843,7 +985,11 @@ fn e4_indirection() {
             let per_move = updates as f64 / moved.max(1) as f64;
             row.push_str(&format!(
                 "{} {el:?} ({moved} moves, {:.1} ptr-updates/move) | ",
-                if mode == ParentMode::Indirect { "indirect" } else { "direct  " },
+                if mode == ParentMode::Indirect {
+                    "indirect"
+                } else {
+                    "direct  "
+                },
                 per_move
             ));
         }
@@ -1018,7 +1164,8 @@ fn e10_mvcc_readers() {
         );
         let mut s = tmp.db.session();
         s.execute("CREATE DOCUMENT 'lib'").unwrap();
-        s.load_xml("lib", &sedna_workload::library(300, 10)).unwrap();
+        s.load_xml("lib", &sedna_workload::library(300, 10))
+            .unwrap();
         drop(s);
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -1103,7 +1250,8 @@ fn e11_recovery() {
         {
             let mut s = tmp.db.session();
             s.execute("CREATE DOCUMENT 'lib'").unwrap();
-            s.load_xml("lib", &sedna_workload::library(100, 12)).unwrap();
+            s.load_xml("lib", &sedna_workload::library(100, 12))
+                .unwrap();
             for i in 0..txns {
                 if checkpoint_mid && i == txns - 5 {
                     drop(s);
@@ -1154,13 +1302,16 @@ fn e12_hot_backup() {
     let tmp = TempDb::new("e12", sedna::DbConfig::small());
     let mut s = tmp.db.session();
     s.execute("CREATE DOCUMENT 'lib'").unwrap();
-    s.load_xml("lib", &sedna_workload::library(2000, 13)).unwrap();
+    s.load_xml("lib", &sedna_workload::library(2000, 13))
+        .unwrap();
     drop(s);
     tmp.db.checkpoint().unwrap();
 
     let backup_dir = tmp.dir().join("backup");
     let (_, full_t) = time(|| tmp.db.backup(&backup_dir).unwrap());
-    let data_size = std::fs::metadata(tmp.dir().join("data.sedna")).unwrap().len();
+    let data_size = std::fs::metadata(tmp.dir().join("data.sedna"))
+        .unwrap()
+        .len();
 
     // A handful of updates, then incremental.
     let mut s = tmp.db.session();
@@ -1181,9 +1332,14 @@ fn e12_hot_backup() {
     // Restore both and verify.
     let r_full = tmp.dir().join("restore-full");
     let r_incr = tmp.dir().join("restore-incr");
-    let db_full =
-        sedna::Database::restore(&backup_dir, &r_full, sedna::DbConfig::small(), Some(0), None)
-            .unwrap();
+    let db_full = sedna::Database::restore(
+        &backup_dir,
+        &r_full,
+        sedna::DbConfig::small(),
+        Some(0),
+        None,
+    )
+    .unwrap();
     let db_incr =
         sedna::Database::restore(&backup_dir, &r_incr, sedna::DbConfig::small(), None, None)
             .unwrap();
@@ -1195,7 +1351,9 @@ fn e12_hot_backup() {
         .session()
         .query("count(doc('lib')//author[starts-with(string(.), 'ZQ')])")
         .unwrap();
-    println!("restore check: full-only sees {n_full} post-backup authors; with incremental {n_incr}");
+    println!(
+        "restore check: full-only sees {n_full} post-backup authors; with incremental {n_incr}"
+    );
     assert_eq!(n_full, "0");
     assert_eq!(n_incr, "20");
     println!();

@@ -395,9 +395,7 @@ pub fn eval_by_path(
     }
     let first = current[0];
     Ok(Some(
-        first
-            .string_value(vas, schema)
-            .map_err(DbError::Storage)?,
+        first.string_value(vas, schema).map_err(DbError::Storage)?,
     ))
 }
 
@@ -473,11 +471,8 @@ mod tests {
             NodeKind::Element,
             Some(SchemaName::local("library")),
         );
-        let mut storage = DocStorage::with_anchors(
-            ParentMode::Indirect,
-            XPtr::new(0, 4096 + 64),
-            XPtr::NULL,
-        );
+        let mut storage =
+            DocStorage::with_anchors(ParentMode::Indirect, XPtr::new(0, 4096 + 64), XPtr::NULL);
         storage.text.heads.insert(3, XPtr::new(0, 8192));
         let mut cat = Catalog {
             next_doc_id: 3,
@@ -501,7 +496,10 @@ mod tests {
                         Step::plain(Axis::Child, NodeTest::Name(SchemaName::local("library"))),
                         Step::plain(Axis::Child, NodeTest::Name(SchemaName::local("book"))),
                     ],
-                    by: vec![Step::plain(Axis::Child, NodeTest::Name(SchemaName::local("year")))],
+                    by: vec![Step::plain(
+                        Axis::Child,
+                        NodeTest::Name(SchemaName::local("year")),
+                    )],
                     key_type: IndexKeyType::Number,
                 },
                 tree: BTreeIndex::open(XPtr::new(1, 0), 42),

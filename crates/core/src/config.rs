@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use sedna_obs::trace::SamplingPolicy;
 use sedna_storage::ParentMode;
 use sedna_xquery::exec::ConstructMode;
 
@@ -44,6 +45,18 @@ pub struct DbConfig {
     /// backups are guarded by a log epoch: after any rotation newer than
     /// the base backup, they fail with a "take a new full backup" error.
     pub truncate_log_on_checkpoint: bool,
+    /// Slow-query threshold in milliseconds: a statement whose pipeline
+    /// total (parse + rewrite + execute) exceeds it lands in the
+    /// database's slow-query ring ([`Database::slow_log`]) together with
+    /// its trace. `0` disables the slow log.
+    ///
+    /// [`Database::slow_log`]: crate::Database::slow_log
+    pub slow_query_ms: u64,
+    /// Query-trace sampling policy: which statements publish a span
+    /// trace into the database's trace ring ([`Database::get_trace`]).
+    ///
+    /// [`Database::get_trace`]: crate::Database::get_trace
+    pub trace_sample: SamplingPolicy,
 }
 
 impl Default for DbConfig {
@@ -59,6 +72,8 @@ impl Default for DbConfig {
             construct_mode: ConstructMode::Embedded,
             lock_timeout: Duration::from_secs(10),
             truncate_log_on_checkpoint: true,
+            slow_query_ms: 0,
+            trace_sample: SamplingPolicy::Off,
         }
     }
 }

@@ -5,19 +5,27 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use parking_lot::{Condvar, Mutex, RwLock};
-use sedna_sync::Arc;
 use sedna_sas::{FilePageStore, PageResolver, PageStore, Sas, SasConfig, XPtr};
+use sedna_sync::Arc;
 use sedna_txn::TxnManager;
 use sedna_wal::record::AllocSnapshot;
 use sedna_wal::{plan_recovery, CheckpointData, PageOp, RedoOp, WalRecord, WalWriter};
+
+use sedna_obs::{SpanEvent, TraceBuffer};
 
 use crate::admission::{CatalogGeneration, SessionGate};
 use crate::catalog::{self, Catalog};
 use crate::config::DbConfig;
 use crate::error::{DbError, DbResult};
+use crate::introspect::{ActivityReport, ActivityTracker, SlowLog, SlowQueryEntry};
 use crate::metrics::DbObs;
 use crate::plan_cache::PlanCache;
 use crate::session::Session;
+
+/// Traces the ring keeps before overwriting the oldest.
+const TRACE_RING_CAPACITY: usize = 32;
+/// Slow queries the ring keeps before overwriting the oldest.
+const SLOW_LOG_CAPACITY: usize = 32;
 
 const DATA_FILE: &str = "data.sedna";
 const WAL_FILE: &str = "wal.sedna";
@@ -115,6 +123,12 @@ pub(crate) struct DbInner {
     /// generation moves. Held briefly around get/insert only — never
     /// across parse or execution.
     pub(crate) shared_plans: Mutex<PlanCache>,
+    /// Ring of recently kept query traces (see [`DbConfig::trace_sample`]).
+    pub(crate) traces: TraceBuffer,
+    /// Ring of recent slow queries (see [`DbConfig::slow_query_ms`]).
+    pub(crate) slow_log: SlowLog,
+    /// Live-session activity registry behind [`Database::activity`].
+    pub(crate) activity: ActivityTracker,
 }
 
 impl DbInner {
@@ -122,7 +136,11 @@ impl DbInner {
     /// `cfg.max_sessions` (when non-zero) sessions are live; otherwise
     /// only counts. The matching release happens in `Session::drop`.
     pub(crate) fn reserve_session(&self, enforce_limit: bool) -> DbResult<()> {
-        let max = if enforce_limit { self.cfg.max_sessions } else { 0 };
+        let max = if enforce_limit {
+            self.cfg.max_sessions
+        } else {
+            0
+        };
         if !self.sessions.try_admit(max) {
             return Err(DbError::Conflict(format!(
                 "session limit reached ({max} active sessions)"
@@ -186,6 +204,9 @@ impl Database {
                 sessions: SessionGate::new(),
                 catalog_generation: CatalogGeneration::new(),
                 shared_plans,
+                traces: TraceBuffer::new(TRACE_RING_CAPACITY),
+                slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
+                activity: ActivityTracker::default(),
             }),
         };
         // Baseline checkpoint so recovery always has a starting snapshot.
@@ -225,9 +246,8 @@ impl Database {
                 txns.versions.install_committed(page, phys);
                 page_map.insert(page.raw(), phys);
             }
-            catalog = catalog::catalog_from_blob(&cp.catalog).ok_or_else(|| {
-                DbError::Conflict("corrupt catalog in checkpoint record".into())
-            })?;
+            catalog = catalog::catalog_from_blob(&cp.catalog)
+                .ok_or_else(|| DbError::Conflict("corrupt catalog in checkpoint record".into()))?;
         }
 
         // -------- Step 2: redo committed transactions. --------
@@ -297,6 +317,9 @@ impl Database {
                 sessions: SessionGate::new(),
                 catalog_generation: CatalogGeneration::new(),
                 shared_plans,
+                traces: TraceBuffer::new(TRACE_RING_CAPACITY),
+                slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
+                activity: ActivityTracker::default(),
             }),
         };
         // Standard practice: checkpoint right after recovery, so the next
@@ -359,6 +382,31 @@ impl Database {
     /// Entries currently in the database-wide shared plan cache.
     pub fn shared_plan_count(&self) -> usize {
         self.inner.shared_plans.lock().len()
+    }
+
+    /// A pg_stat_activity-style view of this database: one row per live
+    /// session (current statement, statement age, transaction mode,
+    /// items streamed), plus the database-wide pinned-page count. The
+    /// view is advisory — rows may lag the sessions by a beat.
+    pub fn activity(&self) -> ActivityReport {
+        ActivityReport {
+            sessions: self.inner.activity.snapshot(),
+            pinned_pages: self.inner.sas.pool().pinned(),
+        }
+    }
+
+    /// The recent slow queries (statements whose pipeline total exceeded
+    /// [`DbConfig::slow_query_ms`]), most recent first. Each entry
+    /// carries the id of its captured trace when one was kept.
+    pub fn slow_log(&self) -> Vec<SlowQueryEntry> {
+        self.inner.slow_log.entries()
+    }
+
+    /// The spans of a kept trace, if it is still in the trace ring.
+    /// Render them with [`sedna_obs::chrome_trace_json`] for
+    /// `chrome://tracing` / Perfetto.
+    pub fn get_trace(&self, trace_id: u64) -> Option<Vec<SpanEvent>> {
+        self.inner.traces.get(trace_id)
     }
 
     /// Closes the database for shutdown: forces the log, then takes a
@@ -540,8 +588,7 @@ fn rebuild_alloc(
 ) -> sedna_sas::AllocState {
     // Every page address known to exist (checkpoint + redo, including
     // pages later freed — their addresses were issued at some point).
-    let mut seen: std::collections::HashSet<u64> =
-        page_map.keys().copied().collect();
+    let mut seen: std::collections::HashSet<u64> = page_map.keys().copied().collect();
     for (_, _, ops) in &plan.redo {
         for op in ops {
             if let RedoOp::Page(page, _) = op {
@@ -565,9 +612,7 @@ fn rebuild_alloc(
     // `next_addr == u32::MAX` means "nothing issued yet" and must not be
     // compared as a huge address.
     let cp = plan.checkpoint.as_ref().map(|c| &c.alloc);
-    let cp_next = cp.and_then(|a| {
-        (a.next_addr != u32::MAX).then_some((a.next_layer, a.next_addr))
-    });
+    let cp_next = cp.and_then(|a| (a.next_addr != u32::MAX).then_some((a.next_layer, a.next_addr)));
 
     let (next_layer, next_addr) = match (past_max, cp_next) {
         (None, None) => (0, u32::MAX), // truly fresh database

@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(DbError::NotFound("doc 'x'".into()).to_string().contains("doc 'x'"));
+        assert!(DbError::NotFound("doc 'x'".into())
+            .to_string()
+            .contains("doc 'x'"));
         assert!(DbError::Conflict("y".into()).to_string().contains("y"));
     }
 }

@@ -7,8 +7,8 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use parking_lot::RwLock;
-use sedna_sync::Arc;
 use sedna_obs::{MetricsSnapshot, Registry};
+use sedna_sync::Arc;
 
 use crate::config::DbConfig;
 use crate::database::Database;
@@ -34,7 +34,9 @@ impl Governor {
     pub fn create_database(&self, name: &str, dir: &Path, cfg: DbConfig) -> DbResult<Database> {
         let mut dbs = self.databases.write();
         if dbs.contains_key(name) {
-            return Err(DbError::Conflict(format!("database '{name}' already exists")));
+            return Err(DbError::Conflict(format!(
+                "database '{name}' already exists"
+            )));
         }
         let db = Database::create(dir, cfg)?;
         dbs.insert(name.to_string(), db.clone());

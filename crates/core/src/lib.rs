@@ -34,6 +34,7 @@ mod config;
 mod database;
 mod error;
 mod governor;
+mod introspect;
 mod metrics;
 mod plan_cache;
 mod session;
@@ -47,11 +48,15 @@ pub use config::DbConfig;
 pub use database::Database;
 pub use error::{DbError, DbResult};
 pub use governor::Governor;
+pub use introspect::{ActivityReport, SessionActivity, SlowQueryEntry, TxnMode};
 pub use metrics::QueryProfile;
 pub use session::{ExecOutcome, Session, StreamOutcome};
 pub use stream::QueryCursor;
 
 // Re-export the pieces users need to work with results and modes.
-pub use sedna_obs::{HistogramSnapshot, MetricsSnapshot};
+pub use sedna_obs::{
+    chrome_trace_json, HistogramSnapshot, MetricsSnapshot, SamplingPolicy, SpanEvent,
+};
 pub use sedna_storage::ParentMode;
 pub use sedna_xquery::exec::{ConstructMode, ExecStats};
+pub use sedna_xquery::OpProfile;

@@ -7,6 +7,7 @@
 use sedna_index::IndexMetrics;
 use sedna_obs::{Counter, Gauge, Histogram, Registry};
 use sedna_xquery::exec::ExecStats;
+use sedna_xquery::OpProfile;
 
 /// Query-pipeline metric handles (`sedna_query_*` / `sedna_exec_*`):
 /// statement counts, per-phase latency histograms for the paper's
@@ -31,6 +32,8 @@ pub(crate) struct QueryMetrics {
     pub(crate) items_pulled: Counter,
     pub(crate) cursor_depth: Gauge,
     pub(crate) ttfi_ns: Histogram,
+    pub(crate) slow_queries: Counter,
+    pub(crate) traces_published: Counter,
 }
 
 impl QueryMetrics {
@@ -120,6 +123,16 @@ impl QueryMetrics {
             "Cursor-open to first-item latency of streaming queries (ns)",
             &self.ttfi_ns,
         );
+        reg.register_counter(
+            "sedna_slow_queries_total",
+            "Statements whose pipeline total exceeded the slow-query threshold",
+            &self.slow_queries,
+        );
+        reg.register_counter(
+            "sedna_traces_published_total",
+            "Query traces published into the trace ring",
+            &self.traces_published,
+        );
     }
 
     /// Folds one statement's executor counters into the database-wide
@@ -170,8 +183,9 @@ impl DbObs {
 /// An EXPLAIN-ANALYZE-style profile of the last successfully executed
 /// statement: wall-clock nanoseconds per pipeline phase (the paper's
 /// parser → static analyser + rewriter → executor sequence) plus the
-/// executor's counters for that statement.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// executor's counters for that statement and, for queries, the
+/// per-operator tree the pull executor ran.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueryProfile {
     /// Parse-phase nanoseconds.
     pub parse_ns: u64,
@@ -183,6 +197,12 @@ pub struct QueryProfile {
     /// The statement's executor counters (for updates, those of the
     /// planning executor).
     pub stats: ExecStats,
+    /// The pull-operator tree with per-operator pulls / items /
+    /// self-time (queries only; `None` for updates and DDL). Operator
+    /// wall time is populated only when timing was enabled —
+    /// `EXPLAIN ANALYZE` and traced statements; plain executions carry
+    /// the pull/item counts with zero times.
+    pub plan: Option<OpProfile>,
 }
 
 impl QueryProfile {
@@ -191,9 +211,11 @@ impl QueryProfile {
         self.parse_ns + self.rewrite_ns + self.execute_ns
     }
 
-    /// A human-readable multi-line rendering.
+    /// A human-readable multi-line rendering: the phase timings and
+    /// executor counters, followed by the indented operator tree when
+    /// the statement ran through the pull executor.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "phase    parse    {:>12} ns\n\
              phase    rewrite  {:>12} ns\n\
              phase    execute  {:>12} ns\n\
@@ -212,6 +234,18 @@ impl QueryProfile {
             self.stats.ctor_copies,
             self.stats.index_lookups,
             self.stats.cache_hits,
-        )
+        );
+        if let Some(plan) = &self.plan {
+            out.push_str("\nplan\n");
+            for line in plan.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            // Drop the trailing newline so render() stays newline-free
+            // at the end, as before.
+            out.pop();
+        }
+        out
     }
 }

@@ -20,25 +20,31 @@
 //! the transaction's undo copies.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
+use parking_lot::Mutex;
 use sedna_sync::Arc;
 
+use sedna_obs::trace::{events, SamplingPolicy, TraceCollector};
 use sedna_sas::{Vas, View, XPtr};
 use sedna_schema::NodeKind;
 use sedna_storage::{build, indirection, NodeRef};
 use sedna_txn::{LockMode, TxnHandle};
 use sedna_wal::WalRecord;
 use sedna_xquery::ast::{DdlStmt, Expr, PathStart, Statement, StatementKind};
+use sedna_xquery::cursor::Plan;
 use sedna_xquery::exec::{Database as QueryView, DocEntry, ExecStats, Executor, IndexEntry};
 use sedna_xquery::update;
 use sedna_xquery::value::Item as QueryItem;
+use sedna_xquery::OpProfile;
 
 use crate::catalog::{self, Catalog, DocData, IndexData, IndexMeta};
 use crate::database::DbInner;
 use crate::error::{DbError, DbResult};
+use crate::introspect::{SessionTrack, SlowQueryEntry, TxnMode};
 use crate::metrics::QueryProfile;
 use crate::plan_cache::PlanCache;
-use crate::stream::QueryCursor;
+use crate::stream::{CursorObs, QueryCursor};
 
 /// The result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,8 +81,10 @@ pub enum StreamOutcome {
     Items(Vec<String>),
     /// A live streaming cursor over an auto-commit query: items are
     /// produced on demand, and the cursor's private read-only
-    /// transaction stays open until it is drained or dropped.
-    Cursor(QueryCursor),
+    /// transaction stays open until it is drained or dropped. Boxed:
+    /// the cursor (pipeline state + trace buffer) dwarfs the other
+    /// variants, and the enum travels by value through every statement.
+    Cursor(Box<QueryCursor>),
     /// An update's affected-node count.
     Updated(usize),
     /// A DDL statement completed.
@@ -104,6 +112,37 @@ fn join_items(items: &[RenderedItem]) -> String {
         prev_atom = item.atom;
     }
     out
+}
+
+/// Nanoseconds elapsed since `started`, saturated to `u64`.
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Adds the already-measured parse/rewrite phase spans under the root
+/// statement span. Absent on plan-cache hits, which report zero
+/// planning time.
+fn record_phase_spans(tc: &mut Option<TraceCollector>, parse_ns: u64, rewrite_ns: u64) {
+    let Some(t) = tc else { return };
+    if parse_ns == 0 && rewrite_ns == 0 {
+        return;
+    }
+    let now = t.now_ns();
+    let parse_begin = now.saturating_sub(parse_ns + rewrite_ns);
+    t.add_complete(
+        events::QUERY_PARSE,
+        1,
+        parse_begin,
+        parse_begin + parse_ns,
+        String::new(),
+    );
+    t.add_complete(
+        events::QUERY_REWRITE,
+        1,
+        parse_begin + parse_ns,
+        now,
+        String::new(),
+    );
 }
 
 /// Internal statement outcome carrying item granularity.
@@ -146,35 +185,72 @@ pub struct Session {
     pub last_stats: ExecStats,
     /// Counters accumulated across every statement of this session.
     session_stats: ExecStats,
-    /// Profile of the last successfully executed statement.
-    last_profile: Option<QueryProfile>,
+    /// Profile of the last successfully executed statement. Shared with
+    /// streaming cursors this session opens: a cursor folds its finished
+    /// profile (executor counters + operator tree) back into this slot
+    /// when it is drained or dropped.
+    last_profile: Arc<Mutex<Option<QueryProfile>>>,
     /// Parse+rewrite results keyed by (statement text, catalog
     /// generation); entries cached under an older generation lazily
     /// miss-and-evict after any catalog-shape change, in any session.
     plan_cache: PlanCache,
+    /// This session's row in the database's activity view.
+    track: Arc<SessionTrack>,
+    /// When true, query plans run with per-operator wall-clock timing
+    /// (set by `EXPLAIN ANALYZE` and while a trace is being collected).
+    time_plans: bool,
+    /// When true, every statement is traced and its trace published,
+    /// regardless of the database's sampling policy (the wire protocol's
+    /// per-request trace flag).
+    trace_forced: bool,
+    /// Operator profile of the query most recently run by `run_query`,
+    /// picked up by `execute_planned` into the statement profile.
+    last_plan: Option<OpProfile>,
 }
 
 impl Session {
     pub(crate) fn new(db: Arc<DbInner>) -> Session {
         let vas = db.sas.session();
         let plan_cache = PlanCache::new(db.cfg.plan_cache_capacity);
+        let track = db.activity.register();
         Session {
             db,
             vas,
             txn: None,
             last_stats: ExecStats::default(),
             session_stats: ExecStats::default(),
-            last_profile: None,
+            last_profile: Arc::new(Mutex::new(None)),
             plan_cache,
+            track,
+            time_plans: false,
+            trace_forced: false,
+            last_plan: None,
         }
+    }
+
+    /// Forces trace collection (and publication) for every statement
+    /// this session executes while set, regardless of the database's
+    /// sampling policy. The network layer sets this around a request
+    /// whose per-request trace flag is on.
+    pub fn set_trace_forced(&mut self, on: bool) {
+        self.trace_forced = on;
     }
 
     /// The per-phase timing and executor-counter profile of the last
     /// successfully executed statement (EXPLAIN-ANALYZE style); `None`
     /// until a statement succeeds. Overwritten by each success; left
-    /// untouched by failures.
-    pub fn last_profile(&self) -> Option<&QueryProfile> {
-        self.last_profile.as_ref()
+    /// untouched by failures. A streamed query first reports only its
+    /// planning phases, then the cursor overwrites the profile with the
+    /// full picture (counters + operator tree) when it finishes.
+    pub fn last_profile(&self) -> Option<QueryProfile> {
+        self.last_profile.lock().clone()
+    }
+
+    /// Id of the most recent trace this session published into the
+    /// database's trace ring (0 = none yet) — the resolution target the
+    /// wire protocol uses for "get my last trace".
+    pub fn last_trace_id(&self) -> u64 {
+        self.track.last_trace()
     }
 
     /// Executor counters accumulated across every statement this session
@@ -217,6 +293,7 @@ impl Session {
             touched: HashSet::new(),
             dropped: HashSet::new(),
         });
+        self.track.set_txn_mode(TxnMode::Update);
         Ok(())
     }
 
@@ -232,6 +309,7 @@ impl Session {
         self.vas.begin(handle.view(), None);
         let snapshot = self.db.catalog.read().clone();
         self.txn = Some(TxnState::ReadOnly { handle, snapshot });
+        self.track.set_txn_mode(TxnMode::ReadOnly);
         Ok(())
     }
 
@@ -242,6 +320,7 @@ impl Session {
             Some(TxnState::ReadOnly { handle, .. }) => {
                 self.db.txns.commit(&handle);
                 self.vas.begin(View::LATEST, None);
+                self.track.set_txn_mode(TxnMode::None);
                 Ok(())
             }
             Some(TxnState::Update {
@@ -257,6 +336,7 @@ impl Session {
                 let result = self.commit_update(&handle, &touched, &dropped);
                 self.db.gate.exit_shared();
                 self.vas.begin(View::LATEST, None);
+                self.track.set_txn_mode(TxnMode::None);
                 result
             }
         }
@@ -342,6 +422,7 @@ impl Session {
             Some(TxnState::ReadOnly { handle, .. }) => {
                 self.db.txns.abort(&handle);
                 self.vas.begin(View::LATEST, None);
+                self.track.set_txn_mode(TxnMode::None);
                 Ok(())
             }
             Some(TxnState::Update {
@@ -385,6 +466,7 @@ impl Session {
                 }
                 self.db.gate.exit_shared();
                 self.vas.begin(View::LATEST, None);
+                self.track.set_txn_mode(TxnMode::None);
                 if restored {
                     // The rollback rewound catalog entries, so plans
                     // cached since (at the in-transaction generation)
@@ -428,21 +510,51 @@ impl Session {
     /// [`Session::last_stats`] stays zeroed — the cursor folds its
     /// counters into the database-wide metrics when it finishes.
     pub fn execute_stream(&mut self, text: &str) -> DbResult<StreamOutcome> {
+        self.track.set_statement(text);
+        let result = self.execute_stream_observed(text);
+        // A live cursor keeps the statement visible in the activity view
+        // until it finishes (the cursor clears it); every other outcome
+        // is done now.
+        if !matches!(result, Ok(StreamOutcome::Cursor(_))) {
+            self.track.clear_statement();
+        }
+        result
+    }
+
+    fn execute_stream_observed(&mut self, text: &str) -> DbResult<StreamOutcome> {
+        let started = Instant::now();
+        let mut tc = self.start_trace(text);
         let (stmt, parse_ns, rewrite_ns) = self.plan_statement(text)?;
+        record_phase_spans(&mut tc, parse_ns, rewrite_ns);
         if self.txn.is_none() && matches!(stmt.kind, StatementKind::Query(_)) {
             let q = self.db.obs.query.clone();
-            let cursor = QueryCursor::open(Arc::clone(&self.db), stmt)?;
+            let cursor = QueryCursor::open(
+                Arc::clone(&self.db),
+                stmt,
+                CursorObs {
+                    text: text.to_string(),
+                    parse_ns,
+                    rewrite_ns,
+                    timed: self.time_plans,
+                    trace: tc,
+                    forced: self.trace_forced,
+                    track: Arc::clone(&self.track),
+                    profile_slot: Arc::clone(&self.last_profile),
+                },
+            )?;
             q.statements.inc();
             self.last_stats = ExecStats::default();
-            self.last_profile = Some(QueryProfile {
+            *self.last_profile.lock() = Some(QueryProfile {
                 parse_ns,
                 rewrite_ns,
                 execute_ns: 0,
                 stats: ExecStats::default(),
+                plan: None,
             });
-            return Ok(StreamOutcome::Cursor(cursor));
+            return Ok(StreamOutcome::Cursor(Box::new(cursor)));
         }
-        Ok(match self.execute_planned(stmt, parse_ns, rewrite_ns)? {
+        let result = self.run_planned_observed(text, stmt, parse_ns, rewrite_ns, started, tc)?;
+        Ok(match result {
             InnerOutcome::Items(items) => {
                 StreamOutcome::Items(items.into_iter().map(|i| i.text).collect())
             }
@@ -491,8 +603,100 @@ impl Session {
     }
 
     fn execute_inner(&mut self, text: &str) -> DbResult<InnerOutcome> {
+        self.track.set_statement(text);
+        let result = self.execute_observed(text);
+        self.track.clear_statement();
+        result
+    }
+
+    /// Runs one materialized statement inside the observability
+    /// envelope: optional trace collection, the execute-phase span, and
+    /// slow-query detection.
+    fn execute_observed(&mut self, text: &str) -> DbResult<InnerOutcome> {
+        let started = Instant::now();
+        let mut tc = self.start_trace(text);
         let (stmt, parse_ns, rewrite_ns) = self.plan_statement(text)?;
-        self.execute_planned(stmt, parse_ns, rewrite_ns)
+        record_phase_spans(&mut tc, parse_ns, rewrite_ns);
+        self.run_planned_observed(text, stmt, parse_ns, rewrite_ns, started, tc)
+    }
+
+    /// Executes an already-planned statement, then closes out the trace
+    /// and slow-log bookkeeping on success. Shared by the materialized
+    /// and the non-cursor streaming paths.
+    fn run_planned_observed(
+        &mut self,
+        text: &str,
+        stmt: Statement,
+        parse_ns: u64,
+        rewrite_ns: u64,
+        started: Instant,
+        mut tc: Option<TraceCollector>,
+    ) -> DbResult<InnerOutcome> {
+        let prev_timing = self.time_plans;
+        self.time_plans = prev_timing || tc.is_some();
+        let result = self.execute_planned(stmt, parse_ns, rewrite_ns);
+        self.time_plans = prev_timing;
+        if result.is_ok() {
+            if let Some(t) = &mut tc {
+                let execute_ns = self
+                    .last_profile
+                    .lock()
+                    .as_ref()
+                    .map(|p| p.execute_ns)
+                    .unwrap_or(0);
+                let now = t.now_ns();
+                t.add_complete(
+                    events::QUERY_EXECUTE,
+                    1,
+                    now.saturating_sub(execute_ns),
+                    now,
+                    String::new(),
+                );
+            }
+            self.observe_finish(text, elapsed_ns(started), tc);
+        }
+        result
+    }
+
+    /// Opens a trace for this statement when the database's sampling
+    /// policy elects it, with the root statement span already begun.
+    fn start_trace(&self, text: &str) -> Option<TraceCollector> {
+        let policy = self.db.cfg.trace_sample;
+        let elected = policy != SamplingPolicy::Off && policy.collect(self.db.traces.next_seq());
+        if !elected && !self.trace_forced {
+            return None;
+        }
+        let mut tc = TraceCollector::new(self.db.traces.next_trace_id());
+        let root = tc.begin(events::QUERY_STATEMENT, 0);
+        tc.set_detail(root, text.to_string());
+        Some(tc)
+    }
+
+    /// Closes the root span, publishes the trace when the policy keeps
+    /// it, and records the statement in the slow-query ring when it
+    /// crossed the configured threshold.
+    fn observe_finish(&mut self, text: &str, total_ns: u64, tc: Option<TraceCollector>) {
+        let q = &self.db.obs.query;
+        let threshold_ns = self.db.cfg.slow_query_ms.saturating_mul(1_000_000);
+        let slow = threshold_ns > 0 && total_ns >= threshold_ns;
+        let mut trace_id = 0;
+        if let Some(mut t) = tc {
+            if self.trace_forced || self.db.cfg.trace_sample.keep(slow) {
+                t.end(1);
+                trace_id = t.trace_id();
+                self.db.traces.publish(trace_id, t.into_events());
+                q.traces_published.inc();
+                self.track.set_last_trace(trace_id);
+            }
+        }
+        if slow {
+            q.slow_queries.inc();
+            self.db.slow_log.push(SlowQueryEntry {
+                statement: text.to_string(),
+                total_ns,
+                trace_id,
+            });
+        }
     }
 
     fn execute_planned(
@@ -536,11 +740,12 @@ impl Session {
             q.statements.inc();
             q.record_exec_stats(&self.last_stats);
             self.session_stats.merge(&self.last_stats);
-            self.last_profile = Some(QueryProfile {
+            *self.last_profile.lock() = Some(QueryProfile {
                 parse_ns,
                 rewrite_ns,
                 execute_ns,
                 stats: self.last_stats,
+                plan: self.last_plan.take(),
             });
         }
         result
@@ -551,7 +756,32 @@ impl Session {
         Ok(self.execute(text)?.into_string())
     }
 
+    /// Executes the statement with per-operator wall-clock timing
+    /// enabled and returns the rendered report: phase timings, executor
+    /// counters, and (for queries) the operator tree with per-operator
+    /// pulls, items, and self-time. The statement really runs — updates
+    /// apply, exactly like PostgreSQL's `EXPLAIN ANALYZE`.
+    pub fn explain_analyze(&mut self, text: &str) -> DbResult<String> {
+        let prev = self.time_plans;
+        self.time_plans = true;
+        let result = self.execute_stream(text);
+        self.time_plans = prev;
+        if let StreamOutcome::Cursor(mut cursor) = result? {
+            // Auto-commit queries profile the real streaming pipeline:
+            // drain the cursor, which folds the full profile (counters +
+            // operator tree) back into this session's slot.
+            while cursor.next_item()?.is_some() {}
+        }
+        Ok(self
+            .last_profile
+            .lock()
+            .as_ref()
+            .map(QueryProfile::render)
+            .unwrap_or_default())
+    }
+
     fn execute_in_txn(&mut self, stmt: &Statement) -> DbResult<InnerOutcome> {
+        self.last_plan = None;
         match &stmt.kind {
             StatementKind::Query(_) => {
                 let items = self.run_query(stmt)?;
@@ -615,7 +845,10 @@ impl Session {
                         .collect::<DbResult<_>>()?
                 };
                 for &id in &ids {
-                    self.db.txns.locks.lock_document(handle.id, id, LockMode::S)?;
+                    self.db
+                        .txns
+                        .locks
+                        .lock_document(handle.id, id, LockMode::S)?;
                 }
                 let catalog = self.db.catalog.read();
                 let mut docs = Vec::new();
@@ -655,7 +888,26 @@ impl Session {
                 .collect(),
         };
         let mut ex = Executor::new(&view, stmt, self.db.cfg.construct_mode);
-        let result = ex.run()?;
+        ex.bind_globals()?;
+        let StatementKind::Query(body) = &stmt.kind else {
+            return Err(DbError::Conflict(
+                "run_query requires a query statement".into(),
+            ));
+        };
+        // Drive the pull pipeline to completion instead of Executor::run:
+        // results are identical (unsupported forms compile to a
+        // materializing fallback over the same evaluator), and every
+        // statement produces the per-operator pull/item counts surfaced
+        // by EXPLAIN ANALYZE. Per-operator wall time is opt-in.
+        let mut plan = Plan::compile(body);
+        if self.time_plans {
+            plan.enable_timing();
+        }
+        let mut result = Vec::new();
+        while let Some(item) = plan.next(&mut ex)? {
+            result.push(item);
+        }
+        self.last_plan = Some(plan.profile());
         // Serialize item-at-a-time (the streaming surface); `execute`
         // joins these back into the classic single string.
         let mut items = Vec::with_capacity(result.len());
@@ -698,7 +950,10 @@ impl Session {
             // planning and upgrading to X later deadlocks two writers on
             // the same document (both hold S, both wait for X).
             for &id in &ids {
-                self.db.txns.locks.lock_document(handle.id, id, LockMode::X)?;
+                self.db
+                    .txns
+                    .locks
+                    .lock_document(handle.id, id, LockMode::X)?;
             }
             let catalog = self.db.catalog.read();
             let mut docs = Vec::new();
@@ -720,7 +975,11 @@ impl Session {
             let (doc_idx, plan, plan_stats) = update::plan_update_with_stats(stmt, &view)?;
             self.last_stats = plan_stats;
             let plan_doc = docs[doc_idx].0.clone();
-            (docs.into_iter().map(|(n, _)| n).collect::<Vec<_>>(), plan_doc, plan)
+            (
+                docs.into_iter().map(|(n, _)| n).collect::<Vec<_>>(),
+                plan_doc,
+                plan,
+            )
         };
         let _ = doc_idx_names;
 
@@ -752,8 +1011,10 @@ impl Session {
                     update::UpdatePlan::Delete { targets }
                     | update::UpdatePlan::ReplaceValue { targets, .. } => {
                         for &h in targets {
-                            let node =
-                                NodeRef(indirection::deref_handle(&self.vas, h).map_err(DbError::Storage)?);
+                            let node = NodeRef(
+                                indirection::deref_handle(&self.vas, h)
+                                    .map_err(DbError::Storage)?,
+                            );
                             self.collect_affected_entries(
                                 &d.schema,
                                 &idx.meta,
@@ -790,20 +1051,30 @@ impl Session {
                         update::UpdatePlan::Insert { .. } => {
                             for &h in &outcome.inserted_roots {
                                 let node = NodeRef(
-                                    indirection::deref_handle(&self.vas, h).map_err(DbError::Storage)?,
+                                    indirection::deref_handle(&self.vas, h)
+                                        .map_err(DbError::Storage)?,
                                 );
                                 self.collect_affected_entries(
-                                    &d.schema, &idx.meta, node, true, &mut entries,
+                                    &d.schema,
+                                    &idx.meta,
+                                    node,
+                                    true,
+                                    &mut entries,
                                 )?;
                             }
                         }
                         update::UpdatePlan::ReplaceValue { targets, .. } => {
                             for &h in targets {
                                 let node = NodeRef(
-                                    indirection::deref_handle(&self.vas, h).map_err(DbError::Storage)?,
+                                    indirection::deref_handle(&self.vas, h)
+                                        .map_err(DbError::Storage)?,
                                 );
                                 self.collect_affected_entries(
-                                    &d.schema, &idx.meta, node, true, &mut entries,
+                                    &d.schema,
+                                    &idx.meta,
+                                    node,
+                                    true,
+                                    &mut entries,
                                 )?;
                             }
                         }
@@ -858,9 +1129,7 @@ impl Session {
         while let Some(n) = stack.pop() {
             let sid = n.schema(&self.vas).map_err(DbError::Storage)?;
             if on_sids.contains(&sid) {
-                if let Some(raw) =
-                    catalog::eval_by_path(&self.vas, schema, n, &meta.by)?
-                {
+                if let Some(raw) = catalog::eval_by_path(&self.vas, schema, n, &meta.by)? {
                     if let Some(key) = catalog::make_key(meta.key_type, &raw) {
                         out.push((key, n.handle(&self.vas).map_err(DbError::Storage)?));
                     }

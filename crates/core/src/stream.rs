@@ -16,20 +16,52 @@
 
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use sedna_sync::Arc;
 
+use sedna_obs::trace::{events, TraceCollector};
 use sedna_sas::Vas;
 use sedna_txn::TxnHandle;
 use sedna_xquery::ast::{Statement, StatementKind};
 use sedna_xquery::cursor::Plan;
-use sedna_xquery::exec::{Database as QueryView, DocEntry, ExecState, ExecStats, Executor, IndexEntry};
+use sedna_xquery::exec::{
+    Database as QueryView, DocEntry, ExecState, ExecStats, Executor, IndexEntry,
+};
 use sedna_xquery::value::Item as QueryItem;
 use sedna_xquery::QueryError;
 
 use crate::catalog::{DocData, IndexData};
 use crate::database::DbInner;
 use crate::error::{DbError, DbResult};
+use crate::introspect::{SessionTrack, SlowQueryEntry};
+use crate::metrics::QueryProfile;
 use crate::session::collect_doc_names;
+
+/// Observability context a cursor carries away from its session: the
+/// statement identity (for the slow log and the root span), the
+/// planning timings for the folded-back profile, the trace in progress
+/// (if the statement was sampled), the session's activity record, and
+/// the session's profile slot.
+pub(crate) struct CursorObs {
+    /// The statement text.
+    pub(crate) text: String,
+    /// Parse-phase nanoseconds (zero on plan-cache hits).
+    pub(crate) parse_ns: u64,
+    /// Rewrite-phase nanoseconds (zero on plan-cache hits).
+    pub(crate) rewrite_ns: u64,
+    /// Force per-operator wall-clock timing even without a trace
+    /// (`EXPLAIN ANALYZE`).
+    pub(crate) timed: bool,
+    /// The trace being collected for this statement, if sampled.
+    pub(crate) trace: Option<TraceCollector>,
+    /// The trace was forced (per-request flag): always publish it,
+    /// regardless of the sampling policy's keep decision.
+    pub(crate) forced: bool,
+    /// The owning session's activity record.
+    pub(crate) track: Arc<SessionTrack>,
+    /// The owning session's `last_profile` slot.
+    pub(crate) profile_slot: Arc<Mutex<Option<QueryProfile>>>,
+}
 
 /// A live streaming cursor over one auto-commit query.
 ///
@@ -70,6 +102,12 @@ pub struct QueryCursor {
     started_at: Instant,
     items: u64,
     done: bool,
+    obs: CursorObs,
+    /// Trace-clock bounds of the coalesced `cursor.pull` span: pulls
+    /// are too fine-grained to record individually, so the trace gets
+    /// one span covering first-pull-begin through last-pull-end.
+    first_pull_begin_ns: Option<u64>,
+    last_pull_end_ns: u64,
 }
 
 impl QueryCursor {
@@ -77,8 +115,13 @@ impl QueryCursor {
     /// catalog, and compiles the pull pipeline. Referenced documents are
     /// validated here so "no such document" surfaces at execute time,
     /// exactly like the materialized path — not at the first fetch.
-    pub(crate) fn open(db: Arc<DbInner>, stmt: Statement) -> DbResult<QueryCursor> {
-        let plan = match &stmt.kind {
+    pub(crate) fn open(
+        db: Arc<DbInner>,
+        stmt: Statement,
+        mut obs: CursorObs,
+    ) -> DbResult<QueryCursor> {
+        let open_span = obs.trace.as_mut().map(|t| t.begin(events::CURSOR_OPEN, 1));
+        let mut plan = match &stmt.kind {
             StatementKind::Query(e) => Plan::compile(e),
             _ => {
                 return Err(DbError::Conflict(
@@ -86,6 +129,9 @@ impl QueryCursor {
                 ))
             }
         };
+        if obs.timed || obs.trace.is_some() {
+            plan.enable_timing();
+        }
         let handle = db.txns.begin_read_only();
         let vas = db.sas.session();
         vas.begin(handle.view(), None);
@@ -101,6 +147,9 @@ impl QueryCursor {
         let docs: Vec<(String, DocData)> = snapshot.docs.into_iter().collect();
         let indexes: Vec<(String, IndexData)> = snapshot.indexes.into_iter().collect();
         db.obs.query.cursor_depth.set(plan.depth() as i64);
+        if let (Some(t), Some(span)) = (obs.trace.as_mut(), open_span) {
+            t.end(span);
+        }
         Ok(QueryCursor {
             db,
             vas,
@@ -115,6 +164,9 @@ impl QueryCursor {
             started_at: Instant::now(),
             items: 0,
             done: false,
+            obs,
+            first_pull_begin_ns: None,
+            last_pull_end_ns: 0,
         })
     }
 
@@ -154,17 +206,26 @@ impl QueryCursor {
                 })
                 .collect(),
         };
+        let pull_begin = self.obs.trace.as_ref().map(|t| t.now_ns());
         let mut ex = Executor::with_state(&view, &self.stmt, self.db.cfg.construct_mode, state);
         let pulled = Self::pull_one(&mut ex, &mut self.plan, &mut self.opened);
         self.state = Some(ex.into_state());
+        if let Some(t) = &self.obs.trace {
+            if self.first_pull_begin_ns.is_none() {
+                self.first_pull_begin_ns = pull_begin;
+            }
+            self.last_pull_end_ns = t.now_ns();
+        }
         match pulled {
             Ok(Some(text)) => {
                 self.items += 1;
+                self.obs.track.add_items_streamed(1);
                 let q = &self.db.obs.query;
                 q.items_pulled.inc();
                 if !self.first_pulled {
                     self.first_pulled = true;
-                    q.ttfi_ns.record(self.started_at.elapsed().as_nanos() as u64);
+                    q.ttfi_ns
+                        .record(self.started_at.elapsed().as_nanos() as u64);
                 }
                 Ok(Some(text))
             }
@@ -200,16 +261,65 @@ impl QueryCursor {
         }
     }
 
-    /// Commits the read-only transaction and folds the executor counters
-    /// into the database-wide metrics. Idempotent; runs on exhaustion,
-    /// on a failed pull, and on drop.
+    /// Commits the read-only transaction, folds the executor counters
+    /// into the database-wide metrics, writes the full statement profile
+    /// back into the session's slot, and closes out the trace and
+    /// slow-log bookkeeping. Idempotent; runs on exhaustion, on a failed
+    /// pull, and on drop.
     fn finish(&mut self) {
-        self.done = true;
-        if let Some(state) = self.state.take() {
-            self.db.obs.query.record_exec_stats(&state.stats);
+        if self.done {
+            return;
         }
+        self.done = true;
+        let stats = self.state.take().map(|s| s.stats).unwrap_or_default();
+        self.db.obs.query.record_exec_stats(&stats);
+        let finish_begin = self.obs.trace.as_ref().map(|t| t.now_ns());
         if let Some(handle) = self.txn.take() {
             self.db.txns.commit(&handle);
+        }
+        let execute_ns = u64::try_from(self.started_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // Fold the full picture back into the owning session's profile
+        // slot: planning phases measured there, execution measured here.
+        *self.obs.profile_slot.lock() = Some(QueryProfile {
+            parse_ns: self.obs.parse_ns,
+            rewrite_ns: self.obs.rewrite_ns,
+            execute_ns,
+            stats,
+            plan: Some(self.plan.profile()),
+        });
+        self.obs.track.clear_statement();
+        let threshold_ns = self.db.cfg.slow_query_ms.saturating_mul(1_000_000);
+        let slow = threshold_ns > 0 && execute_ns >= threshold_ns;
+        let mut trace_id = 0;
+        if let Some(mut t) = self.obs.trace.take() {
+            if let Some(begin) = self.first_pull_begin_ns {
+                t.add_complete(
+                    events::CURSOR_PULL,
+                    1,
+                    begin,
+                    self.last_pull_end_ns,
+                    format!("{} items", self.items),
+                );
+            }
+            if let Some(begin) = finish_begin {
+                let now = t.now_ns();
+                t.add_complete(events::CURSOR_FINISH, 1, begin, now, String::new());
+            }
+            if self.obs.forced || self.db.cfg.trace_sample.keep(slow) {
+                t.end(1);
+                trace_id = t.trace_id();
+                self.db.traces.publish(trace_id, t.into_events());
+                self.db.obs.query.traces_published.inc();
+                self.obs.track.set_last_trace(trace_id);
+            }
+        }
+        if slow {
+            self.db.obs.query.slow_queries.inc();
+            self.db.slow_log.push(SlowQueryEntry {
+                statement: self.obs.text.clone(),
+                total_ns: execute_ns,
+                trace_id,
+            });
         }
     }
 

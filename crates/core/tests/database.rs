@@ -9,11 +9,7 @@ use sedna::{Database, DbConfig, ExecOutcome};
 const LIBRARY: &str = r#"<library><book><title>Foundations of Databases</title><author>Abiteboul</author><author>Hull</author><author>Vianu</author></book><book><title>An Introduction to Database Systems</title><author>Date</author><issue><publisher>Addison-Wesley</publisher><year>2004</year></issue></book><paper><title>A Relational Model for Large Shared Data Banks</title><author>Codd</author></paper></library>"#;
 
 fn tmpdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "sedna-core-{}-{}",
-        std::process::id(),
-        name
-    ));
+    let dir = std::env::temp_dir().join(format!("sedna-core-{}-{}", std::process::id(), name));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -49,9 +45,7 @@ fn updates_auto_commit_and_persist_in_memory() {
         .unwrap();
     assert_eq!(out, ExecOutcome::Updated(1));
     assert_eq!(s.query("count(doc('lib')//paper/author)").unwrap(), "2");
-    let out = s
-        .execute("UPDATE delete doc('lib')//book[2]")
-        .unwrap();
+    let out = s.execute("UPDATE delete doc('lib')//book[2]").unwrap();
     assert_eq!(out, ExecOutcome::Updated(1));
     assert_eq!(s.query("count(doc('lib')//book)").unwrap(), "1");
     std::fs::remove_dir_all(dir).unwrap();
@@ -289,14 +283,16 @@ fn value_index_lifecycle_and_maintenance() {
         "0"
     );
     assert_eq!(
-        s.query("count(index-scan('bytitle', 'Renamed Classic'))").unwrap(),
+        s.query("count(index-scan('bytitle', 'Renamed Classic'))")
+            .unwrap(),
         "1"
     );
     // Numeric range index.
     s.execute("CREATE INDEX 'byyear' ON doc('lib')//issue BY year AS xs:double")
         .unwrap();
     assert_eq!(
-        s.query("count(index-scan-between('byyear', 2000, 2010))").unwrap(),
+        s.query("count(index-scan-between('byyear', 2000, 2010))")
+            .unwrap(),
         "1"
     );
     // Drop.
@@ -333,7 +329,8 @@ fn index_survives_recovery() {
 fn governor_registry() {
     let dir = tmpdir("governor");
     let gov = sedna::Governor::new();
-    gov.create_database("main", &dir, DbConfig::small()).unwrap();
+    gov.create_database("main", &dir, DbConfig::small())
+        .unwrap();
     assert_eq!(gov.database_names(), ["main"]);
     let mut s = gov.connect("main").unwrap();
     s.execute("CREATE DOCUMENT 'd'").unwrap();
@@ -451,7 +448,8 @@ fn queries_across_multiple_documents() {
     s.execute("CREATE DOCUMENT 'd2'").unwrap();
     s.load_xml("d2", "<r><v>32</v></r>").unwrap();
     assert_eq!(
-        s.query("number(doc('d1')//v) + number(doc('d2')//v)").unwrap(),
+        s.query("number(doc('d1')//v) + number(doc('d2')//v)")
+            .unwrap(),
         "42"
     );
     std::fs::remove_dir_all(dir).unwrap();

@@ -17,8 +17,10 @@ fn governor_snapshot_aggregates_two_databases() {
     let gov = Governor::new();
     let d1 = tmpdir("agg1");
     let d2 = tmpdir("agg2");
-    gov.create_database("one", &d1, DbConfig::default()).unwrap();
-    gov.create_database("two", &d2, DbConfig::default()).unwrap();
+    gov.create_database("one", &d1, DbConfig::default())
+        .unwrap();
+    gov.create_database("two", &d2, DbConfig::default())
+        .unwrap();
 
     let per_db = |gov: &Governor, name: &str| {
         let mut s = gov.connect(name).unwrap();
@@ -69,7 +71,8 @@ fn governor_snapshot_aggregates_two_databases() {
 fn prometheus_rendering_is_well_formed() {
     let gov = Governor::new();
     let dir = tmpdir("prom");
-    gov.create_database("db", &dir, DbConfig::default()).unwrap();
+    gov.create_database("db", &dir, DbConfig::default())
+        .unwrap();
     let mut s = gov.connect("db").unwrap();
     s.execute("CREATE DOCUMENT 'inv'").unwrap();
     s.load_xml("inv", DOC).unwrap();
@@ -95,20 +98,22 @@ fn prometheus_rendering_is_well_formed() {
 fn plan_cache_skips_parse_and_invalidates_on_ddl() {
     let gov = Governor::new();
     let dir = tmpdir("plancache");
-    let db = gov.create_database("db", &dir, DbConfig::default()).unwrap();
+    let db = gov
+        .create_database("db", &dir, DbConfig::default())
+        .unwrap();
     let mut s = db.session();
     s.execute("CREATE DOCUMENT 'inv'").unwrap();
     s.load_xml("inv", DOC).unwrap();
 
     // First run: miss (parse + rewrite recorded).
     s.query("doc('inv')//sku/text()").unwrap();
-    let first = *s.last_profile().unwrap();
+    let first = s.last_profile().unwrap();
     assert!(first.parse_ns > 0);
 
     // Second run of the same text: hit, both phases skipped, identical
     // results.
     let out1 = s.query("doc('inv')//sku/text()").unwrap();
-    let hit = *s.last_profile().unwrap();
+    let hit = s.last_profile().unwrap();
     assert_eq!(hit.parse_ns, 0, "cached plan skips the parse phase");
     assert_eq!(hit.rewrite_ns, 0, "cached plan skips the rewrite phase");
     assert_eq!(out1, s.query("doc('inv')//sku/text()").unwrap());
@@ -133,7 +138,10 @@ fn plan_cache_skips_parse_and_invalidates_on_ddl() {
         "stale entries stay resident until looked up"
     );
     s.query("doc('inv')//sku/text()").unwrap();
-    assert!(s.last_profile().unwrap().parse_ns > 0, "re-parsed after DDL");
+    assert!(
+        s.last_profile().unwrap().parse_ns > 0,
+        "re-parsed after DDL"
+    );
     assert_eq!(
         db.metrics_snapshot().counter("sedna_plan_cache_hits_total"),
         hits_before,
@@ -182,14 +190,19 @@ fn plan_cache_skips_parse_and_invalidates_on_ddl() {
 fn last_profile_reports_phases_and_counters() {
     let gov = Governor::new();
     let dir = tmpdir("profile");
-    let db = gov.create_database("db", &dir, DbConfig::default()).unwrap();
+    let db = gov
+        .create_database("db", &dir, DbConfig::default())
+        .unwrap();
     let mut s = db.session();
-    assert!(s.last_profile().is_none(), "no profile before any statement");
+    assert!(
+        s.last_profile().is_none(),
+        "no profile before any statement"
+    );
     s.execute("CREATE DOCUMENT 'inv'").unwrap();
     s.load_xml("inv", DOC).unwrap();
     s.query("doc('inv')//sku/text()").unwrap();
 
-    let p = *s.last_profile().expect("profile after a query");
+    let p = s.last_profile().expect("profile after a query");
     assert!(p.parse_ns > 0 && p.execute_ns > 0);
     assert!(p.total_ns() >= p.parse_ns + p.execute_ns);
     assert!(p.stats.nodes_scanned > 0, "the query scanned nodes");
@@ -207,8 +220,9 @@ fn last_profile_reports_phases_and_counters() {
     assert!(s.last_profile().is_some());
 
     // An update's profile reports the planning executor's counters.
-    s.execute("UPDATE delete doc('inv')//item[sku='b2']").unwrap();
-    let p = *s.last_profile().unwrap();
+    s.execute("UPDATE delete doc('inv')//item[sku='b2']")
+        .unwrap();
+    let p = s.last_profile().unwrap();
     assert!(p.stats.nodes_scanned > 0, "update planning scans nodes");
 
     std::fs::remove_dir_all(&dir).unwrap();

@@ -73,10 +73,10 @@ fn concurrent_ddl_invalidates_cached_plans_without_wrong_results() {
     // DDL has quiesced at a final generation the query session has not
     // planned at yet: the next run must re-parse, the one after must hit.
     s.query("doc('inv')//sku/text()").unwrap();
-    let replan = *s.last_profile().unwrap();
+    let replan = s.last_profile().unwrap();
     assert!(replan.parse_ns > 0, "stale plan must key-miss after DDL");
     s.query("doc('inv')//sku/text()").unwrap();
-    let hit = *s.last_profile().unwrap();
+    let hit = s.last_profile().unwrap();
     assert_eq!(
         hit.parse_ns, 0,
         "replanned entry must hit at the new generation"

@@ -17,11 +17,7 @@ use std::path::PathBuf;
 use sedna::{Database, DbConfig, StreamOutcome};
 
 fn tmpdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "sedna-streaming-{}-{}",
-        std::process::id(),
-        name
-    ));
+    let dir = std::env::temp_dir().join(format!("sedna-streaming-{}-{}", std::process::id(), name));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -55,7 +51,10 @@ fn first_item_arrives_before_the_scan_completes() {
     let StreamOutcome::Cursor(mut cur) = outcome else {
         panic!("auto-commit query must stream, got {outcome:?}");
     };
-    assert!(cur.is_streaming(), "structural scan must compile to a streaming plan");
+    assert!(
+        cur.is_streaming(),
+        "structural scan must compile to a streaming plan"
+    );
     assert_eq!(cur.next_item().unwrap().as_deref(), Some("0"));
     let after_first = cur.stats().nodes_scanned;
     assert!(after_first > 0);
@@ -204,7 +203,10 @@ fn shared_plan_cache_serves_statements_across_sessions() {
 
     let mut s1 = db.session();
     s1.query(query).unwrap();
-    assert!(s1.last_profile().unwrap().parse_ns > 0, "first compile parses");
+    assert!(
+        s1.last_profile().unwrap().parse_ns > 0,
+        "first compile parses"
+    );
     assert!(db.shared_plan_count() >= 1);
 
     // A brand-new session has a cold L1 but hits the shared L2 cache.

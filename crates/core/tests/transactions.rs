@@ -56,9 +56,11 @@ fn create_index_rolls_back() {
     let db = Database::create(&dir, DbConfig::small()).unwrap();
     let mut s = db.session();
     s.execute("CREATE DOCUMENT 'd'").unwrap();
-    s.load_xml("d", "<r><e><k>alpha</k></e><e><k>beta</k></e></r>").unwrap();
+    s.load_xml("d", "<r><e><k>alpha</k></e><e><k>beta</k></e></r>")
+        .unwrap();
     s.begin_update().unwrap();
-    s.execute("CREATE INDEX 'byk' ON doc('d')/r/e BY k AS xs:string").unwrap();
+    s.execute("CREATE INDEX 'byk' ON doc('d')/r/e BY k AS xs:string")
+        .unwrap();
     assert_eq!(s.query("count(index-scan('byk', 'alpha'))").unwrap(), "1");
     s.rollback().unwrap();
     assert!(db.index_names().is_empty());
@@ -74,10 +76,12 @@ fn index_updates_roll_back_with_the_data() {
     let mut s = db.session();
     s.execute("CREATE DOCUMENT 'd'").unwrap();
     s.load_xml("d", "<r><e><k>alpha</k></e></r>").unwrap();
-    s.execute("CREATE INDEX 'byk' ON doc('d')/r/e BY k AS xs:string").unwrap();
+    s.execute("CREATE INDEX 'byk' ON doc('d')/r/e BY k AS xs:string")
+        .unwrap();
     // Insert + rollback: neither the node nor its index entry survive.
     s.begin_update().unwrap();
-    s.execute("UPDATE insert <e><k>gamma</k></e> into doc('d')/r").unwrap();
+    s.execute("UPDATE insert <e><k>gamma</k></e> into doc('d')/r")
+        .unwrap();
     assert_eq!(s.query("count(index-scan('byk', 'gamma'))").unwrap(), "1");
     s.rollback().unwrap();
     assert_eq!(s.query("count(index-scan('byk', 'gamma'))").unwrap(), "0");

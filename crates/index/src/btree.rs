@@ -46,10 +46,26 @@ impl IndexMetrics {
     /// Registers every counter under its canonical `sedna_index_*` name
     /// (see `docs/metrics.md`).
     pub fn register_into(&self, reg: &Registry) {
-        reg.register_counter("sedna_index_lookups_total", "B-tree point lookups", &self.lookups);
-        reg.register_counter("sedna_index_range_scans_total", "B-tree range scans", &self.range_scans);
-        reg.register_counter("sedna_index_inserts_total", "B-tree entries inserted", &self.inserts);
-        reg.register_counter("sedna_index_removes_total", "B-tree entries removed", &self.removes);
+        reg.register_counter(
+            "sedna_index_lookups_total",
+            "B-tree point lookups",
+            &self.lookups,
+        );
+        reg.register_counter(
+            "sedna_index_range_scans_total",
+            "B-tree range scans",
+            &self.range_scans,
+        );
+        reg.register_counter(
+            "sedna_index_inserts_total",
+            "B-tree entries inserted",
+            &self.inserts,
+        );
+        reg.register_counter(
+            "sedna_index_removes_total",
+            "B-tree entries removed",
+            &self.removes,
+        );
         reg.register_counter(
             "sedna_index_splits_total",
             "B-tree page splits (including root growth)",
@@ -233,8 +249,7 @@ impl BTreeIndex {
             parse_page(&page)
         };
         if node_type == TYPE_LEAF {
-            let pos = entries
-                .partition_point(|e| (e.key.as_slice(), e.ptr) < (key, ptr_val));
+            let pos = entries.partition_point(|e| (e.key.as_slice(), e.ptr) < (key, ptr_val));
             entries.insert(
                 pos,
                 Entry {
@@ -299,13 +314,7 @@ impl BTreeIndex {
             let mut right = right;
             let promoted = right.remove(0);
             let (rp, _pg) = vas.alloc_page()?;
-            (
-                rp,
-                promoted.key,
-                XPtr::from_raw(promoted.ptr),
-                link,
-                right,
-            )
+            (rp, promoted.key, XPtr::from_raw(promoted.ptr), link, right)
         };
         {
             let mut page = vas.write(right_ptr)?;
@@ -313,7 +322,11 @@ impl BTreeIndex {
         }
         {
             let mut page = vas.write(page_ptr)?;
-            let ll = if node_type == TYPE_LEAF { left_link } else { link };
+            let ll = if node_type == TYPE_LEAF {
+                left_link
+            } else {
+                link
+            };
             write_page(&mut page, node_type, ll, &left);
         }
         let _ = left_link;
@@ -419,7 +432,9 @@ impl BTreeIndex {
                 parse_page(&page)
             };
             if node_type != TYPE_LEAF {
-                return Err(IndexError::Corrupt("leaf chain reached an internal page".into()));
+                return Err(IndexError::Corrupt(
+                    "leaf chain reached an internal page".into(),
+                ));
             }
             for e in &entries {
                 if let Some(lo) = lo {
@@ -556,9 +571,18 @@ mod tests {
         idx.insert(&vas, &IndexKey::string("b"), h(2)).unwrap();
         idx.insert(&vas, &IndexKey::string("a"), h(1)).unwrap();
         idx.insert(&vas, &IndexKey::string("c"), h(3)).unwrap();
-        assert_eq!(idx.lookup(&vas, &IndexKey::string("a")).unwrap(), vec![h(1)]);
-        assert_eq!(idx.lookup(&vas, &IndexKey::string("b")).unwrap(), vec![h(2)]);
-        assert!(idx.lookup(&vas, &IndexKey::string("zz")).unwrap().is_empty());
+        assert_eq!(
+            idx.lookup(&vas, &IndexKey::string("a")).unwrap(),
+            vec![h(1)]
+        );
+        assert_eq!(
+            idx.lookup(&vas, &IndexKey::string("b")).unwrap(),
+            vec![h(2)]
+        );
+        assert!(idx
+            .lookup(&vas, &IndexKey::string("zz"))
+            .unwrap()
+            .is_empty());
         assert_eq!(idx.entries, 3);
     }
 
@@ -618,7 +642,10 @@ mod tests {
         idx.insert(&vas, &IndexKey::string("x"), h(100)).unwrap();
         idx.insert(&vas, &IndexKey::string("x"), h(101)).unwrap();
         assert!(idx.remove(&vas, &IndexKey::string("x"), h(100)).unwrap());
-        assert_eq!(idx.lookup(&vas, &IndexKey::string("x")).unwrap(), vec![h(101)]);
+        assert_eq!(
+            idx.lookup(&vas, &IndexKey::string("x")).unwrap(),
+            vec![h(101)]
+        );
     }
 
     #[test]
@@ -654,8 +681,14 @@ mod tests {
         let mut idx = BTreeIndex::create(&vas).unwrap();
         idx.insert(&vas, &IndexKey::Number(5.0), h(1)).unwrap();
         idx.insert(&vas, &IndexKey::string("5"), h(2)).unwrap();
-        assert_eq!(idx.lookup(&vas, &IndexKey::Number(5.0)).unwrap(), vec![h(1)]);
-        assert_eq!(idx.lookup(&vas, &IndexKey::string("5")).unwrap(), vec![h(2)]);
+        assert_eq!(
+            idx.lookup(&vas, &IndexKey::Number(5.0)).unwrap(),
+            vec![h(1)]
+        );
+        assert_eq!(
+            idx.lookup(&vas, &IndexKey::string("5")).unwrap(),
+            vec![h(2)]
+        );
     }
 
     #[test]
@@ -679,7 +712,10 @@ mod tests {
         }
         for i in [0, 123, 299] {
             let key = format!("prefix-{:04}-{}", i, "pad".repeat(3));
-            assert_eq!(idx.lookup(&vas, &IndexKey::string(key)).unwrap(), vec![h(i)]);
+            assert_eq!(
+                idx.lookup(&vas, &IndexKey::string(key)).unwrap(),
+                vec![h(i)]
+            );
         }
     }
 }

@@ -22,7 +22,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: sedna-lint [--self-test]\n\
-             Runs the workspace lint rules (R1-R4) from the repo root."
+             Runs the workspace lint rules (R1-R5) from the repo root."
         );
         return;
     }
@@ -70,6 +70,7 @@ fn find_root() -> PathBuf {
 fn run(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut metric_uses: Vec<(String, String)> = Vec::new();
+    let mut event_uses: Vec<(String, String)> = Vec::new();
 
     for file in rs_files(&root.join("crates")) {
         let rel = file
@@ -94,6 +95,16 @@ fn run(root: &Path) -> Vec<Finding> {
                 }
             }
         }
+        // R5 collects trace event names from the obs crate, where the
+        // span-name constants live: a whole string literal shaped like
+        // a dotted event name is one.
+        if rel.starts_with("crates/obs/src/") {
+            for s in lines.iter().flat_map(|l| l.strings.iter()) {
+                if rules::is_event_name(s) {
+                    event_uses.push((rel.clone(), s.clone()));
+                }
+            }
+        }
     }
 
     let doc = std::fs::read_to_string(root.join("docs/metrics.md")).unwrap_or_default();
@@ -110,6 +121,22 @@ fn run(root: &Path) -> Vec<Finding> {
         metric_uses.sort();
         metric_uses.dedup();
         findings.extend(rules::r4_metric_drift(&metric_uses, &doc));
+    }
+
+    let tracing_doc = std::fs::read_to_string(root.join("docs/tracing.md")).unwrap_or_default();
+    if tracing_doc.is_empty() {
+        findings.push(Finding {
+            file: "docs/tracing.md".into(),
+            line: 0,
+            rule: "R5",
+            msg: "docs/tracing.md is missing or unreadable; the trace-event catalogue is the \
+                  drift-check anchor"
+                .into(),
+        });
+    } else {
+        event_uses.sort();
+        event_uses.dedup();
+        findings.extend(rules::r5_trace_event_drift(&event_uses, &tracing_doc));
     }
     findings
 }
@@ -202,6 +229,20 @@ fn self_test_seeded() -> Result<usize, String> {
     );
     caught += expect("R4 seeded drift (both directions)", 2, &drift)?;
 
+    let event_drift = rules::r5_trace_event_drift(
+        &[("trace.rs".into(), "span.bogus_event".into())],
+        "| `span.bogus_event` documented |\n| nothing else |\n",
+    );
+    expect("R5 clean twin", 0, &event_drift)?;
+    caught += expect(
+        "R5 seeded drift",
+        1,
+        &rules::r5_trace_event_drift(
+            &[("trace.rs".into(), "span.undocumented".into())],
+            "| - |\n",
+        ),
+    )?;
+
     Ok(caught)
 }
 
@@ -233,6 +274,6 @@ mod tests {
 
     #[test]
     fn seeded_violations_all_fire() {
-        assert_eq!(self_test_seeded().unwrap(), 5);
+        assert_eq!(self_test_seeded().unwrap(), 6);
     }
 }

@@ -22,6 +22,12 @@
 //!   documented, and every documented name must still exist in code.
 //!   `{i}`-style format placeholders and `<i>`-style doc placeholders
 //!   both normalize to a wildcard.
+//! * **R5** — trace event names drift-checked **bidirectionally**
+//!   against `docs/tracing.md`: every dotted event name the obs crate
+//!   defines (`query.statement`, `cursor.pull`, …) must appear in the
+//!   catalogue, and every documented event must still exist in code —
+//!   a trace consumer keys on these strings exactly as a Prometheus
+//!   scraper keys on metric names.
 //!
 //! ## Escape hatch
 //!
@@ -311,6 +317,64 @@ pub fn r4_metric_drift(code_names: &[(String, String)], doc_text: &str) -> Vec<F
     out
 }
 
+/// True when `s` has the shape of a trace event name: two or more
+/// dot-separated segments of lowercase identifiers.
+pub fn is_event_name(s: &str) -> bool {
+    let segs: Vec<&str> = s.split('.').collect();
+    segs.len() >= 2
+        && segs.iter().all(|seg| {
+            seg.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// Extracts the event-name catalogue from `docs/tracing.md`: backticked
+/// spans that look like event names.
+pub fn doc_event_names(text: &str) -> Vec<String> {
+    let mut out: Vec<String> = text
+        .split('`')
+        .skip(1)
+        .step_by(2)
+        .filter(|s| is_event_name(s))
+        .map(str::to_string)
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// R5: bidirectional drift between the trace event names defined in
+/// `crates/obs` and the catalogue in `docs/tracing.md`.
+pub fn r5_trace_event_drift(code_names: &[(String, String)], doc_text: &str) -> Vec<Finding> {
+    let docs = doc_event_names(doc_text);
+    let mut out = Vec::new();
+    for (file, name) in code_names {
+        if !docs.iter().any(|d| d == name) {
+            out.push(Finding {
+                file: file.clone(),
+                line: 0,
+                rule: "R5",
+                msg: format!(
+                    "trace event `{name}` is emitted here but missing from docs/tracing.md"
+                ),
+            });
+        }
+    }
+    for d in &docs {
+        if !code_names.iter().any(|(_, c)| c == d) {
+            out.push(Finding {
+                file: "docs/tracing.md".into(),
+                line: 0,
+                rule: "R5",
+                msg: format!("trace event `{d}` is documented but no longer defined in crates/obs"),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +456,38 @@ mod tests {
             .iter()
             .any(|x| x.msg.contains("sedna_wal_ghost_total")
                 && x.msg.contains("no longer registered")));
+    }
+
+    #[test]
+    fn r5_catches_both_drift_directions() {
+        let doc = "| `query.statement` | root span |\n| `span.ghost` | gone |\n";
+        let code = vec![
+            ("trace.rs".to_string(), "query.statement".to_string()),
+            ("trace.rs".to_string(), "span.undocumented".to_string()),
+        ];
+        let f = r5_trace_event_drift(&code, doc);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f
+            .iter()
+            .any(|x| x.msg.contains("span.undocumented") && x.msg.contains("missing from docs")));
+        assert!(f
+            .iter()
+            .any(|x| x.msg.contains("span.ghost") && x.msg.contains("no longer defined")));
+    }
+
+    #[test]
+    fn event_name_shapes() {
+        assert!(is_event_name("query.statement"));
+        assert!(is_event_name("cursor.pull"));
+        assert!(is_event_name("a.b.c_2"));
+        assert!(!is_event_name("traceEvents"), "camelCase is not an event");
+        assert!(!is_event_name("query."));
+        assert!(!is_event_name(".pull"));
+        assert!(!is_event_name("3.14"), "numbers are not events");
+        assert!(!is_event_name("query statement.x"));
+        // Doc extraction only trusts backticked spans.
+        let names = doc_event_names("see `query.parse` and `cursor.open`; v1.2 is prose");
+        assert_eq!(names, vec!["cursor.open", "query.parse"]);
     }
 
     #[test]

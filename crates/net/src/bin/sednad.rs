@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use sedna::{DbConfig, Governor};
+use sedna::{DbConfig, Governor, SamplingPolicy};
 use sedna_net::{NetConfig, Server};
 
 /// Flipped by the signal handler; the main loop polls it.
@@ -33,6 +33,8 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     max_sessions: usize,
+    slow_query_ms: u64,
+    trace_sample: SamplingPolicy,
 }
 
 const USAGE: &str = "\
@@ -50,6 +52,10 @@ OPTIONS:
     --workers <N>         Worker threads / concurrent connections (default: 8)
     --queue-depth <N>     Accepted connections that may wait for a worker (default: 16)
     --max-sessions <N>    Database session limit, 0 = unlimited (default: 0)
+    --slow-query-ms <N>   Slow-query threshold in ms; offenders land in the
+                          slow-query log with their trace. 0 = off (default: 0)
+    --trace-sample <P>    Query-trace sampling policy: off, slow, always,
+                          or 1-in-<N> (default: off)
     --help                Show this help
 ";
 
@@ -62,6 +68,8 @@ fn parse_args() -> Result<Args, String> {
         workers: 8,
         queue_depth: 16,
         max_sessions: 0,
+        slow_query_ms: 0,
+        trace_sample: SamplingPolicy::Off,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -86,6 +94,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-sessions: {e}"))?;
             }
+            "--slow-query-ms" => {
+                args.slow_query_ms = value("--slow-query-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-query-ms: {e}"))?;
+            }
+            "--trace-sample" => {
+                let v = value("--trace-sample")?;
+                args.trace_sample = SamplingPolicy::parse(&v)
+                    .ok_or_else(|| format!("--trace-sample: unknown policy '{v}'"))?;
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -100,6 +118,8 @@ fn run(args: Args) -> Result<(), String> {
     let governor = Governor::new();
     let cfg = DbConfig {
         max_sessions: args.max_sessions,
+        slow_query_ms: args.slow_query_ms,
+        trace_sample: args.trace_sample,
         ..DbConfig::default()
     };
     let create = args.create || !args.dir.exists();

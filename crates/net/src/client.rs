@@ -20,7 +20,9 @@ use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use crate::protocol::{
+    ActivityRow, Request, Response, SlowLogRow, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -130,14 +132,76 @@ impl SednaClient {
 
     /// Executes one statement (query, update, or DDL).
     pub fn execute(&mut self, stmt: &str) -> Result<ExecReply, ClientError> {
+        self.execute_opts(stmt, false)
+    }
+
+    /// Executes one statement with the per-request trace flag set: the
+    /// server captures and publishes a trace of this statement
+    /// regardless of its sampling policy. Retrieve it afterwards with
+    /// [`SednaClient::get_trace`]`(0)` — for a streamed query, after
+    /// draining the result (the trace is published when the cursor
+    /// finishes).
+    pub fn execute_traced(&mut self, stmt: &str) -> Result<ExecReply, ClientError> {
+        self.execute_opts(stmt, true)
+    }
+
+    fn execute_opts(&mut self, stmt: &str, trace: bool) -> Result<ExecReply, ClientError> {
         self.send(&Request::Execute {
             stmt: stmt.to_string(),
+            trace,
         })?;
         match self.recv()? {
             Response::QueryOk(n) => Ok(ExecReply::Query(n)),
             Response::Updated(n) => Ok(ExecReply::Updated(n)),
             Response::Done => Ok(ExecReply::Done),
             other => Err(unexpected("QueryOk/Updated/Done", &other)),
+        }
+    }
+
+    /// Executes the statement with per-operator timing and returns the
+    /// rendered `EXPLAIN ANALYZE` report. The statement really runs —
+    /// updates apply.
+    pub fn explain_analyze(&mut self, stmt: &str) -> Result<String, ClientError> {
+        self.send(&Request::ExplainAnalyze {
+            stmt: stmt.to_string(),
+        })?;
+        match self.recv()? {
+            Response::Explain(report) => Ok(report),
+            other => Err(unexpected("Explain", &other)),
+        }
+    }
+
+    /// Fetches the live session-activity view of the session's
+    /// database: one row per session plus the database-wide pinned-page
+    /// count.
+    pub fn activity(&mut self) -> Result<(Vec<ActivityRow>, i64), ClientError> {
+        self.send(&Request::Activity)?;
+        match self.recv()? {
+            Response::ActivityReply {
+                sessions,
+                pinned_pages,
+            } => Ok((sessions, pinned_pages)),
+            other => Err(unexpected("ActivityReply", &other)),
+        }
+    }
+
+    /// Fetches the database's slow-query log, most recent first.
+    pub fn slow_log(&mut self) -> Result<Vec<SlowLogRow>, ClientError> {
+        self.send(&Request::SlowLog)?;
+        match self.recv()? {
+            Response::SlowLogReply(entries) => Ok(entries),
+            other => Err(unexpected("SlowLogReply", &other)),
+        }
+    }
+
+    /// Fetches a query trace as Chrome trace-event JSON, returning the
+    /// resolved `(trace_id, json)`. Pass `0` for this session's most
+    /// recent trace.
+    pub fn get_trace(&mut self, trace_id: u64) -> Result<(u64, String), ClientError> {
+        self.send(&Request::GetTrace { trace_id })?;
+        match self.recv()? {
+            Response::Trace { trace_id, json } => Ok((trace_id, json)),
+            other => Err(unexpected("Trace", &other)),
         }
     }
 

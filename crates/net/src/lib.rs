@@ -30,5 +30,7 @@ pub mod server;
 
 pub use client::{ClientError, ExecReply, SednaClient};
 pub use metrics::NetMetrics;
-pub use protocol::{Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+pub use protocol::{
+    ActivityRow, Request, Response, SlowLogRow, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
 pub use server::{error_kind, NetConfig, Server, ServerHandle};

@@ -45,6 +45,14 @@ pub struct NetMetrics {
     pub msg_get_metrics: Counter,
     /// `Shutdown` requests received.
     pub msg_shutdown: Counter,
+    /// `Activity` requests received.
+    pub msg_activity: Counter,
+    /// `SlowLog` requests received.
+    pub msg_slow_log: Counter,
+    /// `GetTrace` requests received.
+    pub msg_get_trace: Counter,
+    /// `ExplainAnalyze` requests received.
+    pub msg_explain_analyze: Counter,
     /// Wall time per request, receipt to response flushed.
     pub request_ns: Histogram,
     /// Frame bytes received.
@@ -156,6 +164,26 @@ impl NetMetrics {
             "Shutdown requests received",
             &self.msg_shutdown,
         );
+        registry.register_counter(
+            "sedna_net_msg_activity_total",
+            "Activity requests received",
+            &self.msg_activity,
+        );
+        registry.register_counter(
+            "sedna_net_msg_slow_log_total",
+            "SlowLog requests received",
+            &self.msg_slow_log,
+        );
+        registry.register_counter(
+            "sedna_net_msg_get_trace_total",
+            "GetTrace requests received",
+            &self.msg_get_trace,
+        );
+        registry.register_counter(
+            "sedna_net_msg_explain_analyze_total",
+            "ExplainAnalyze requests received",
+            &self.msg_explain_analyze,
+        );
         registry.register_histogram(
             "sedna_net_request_ns",
             "Wall time per request, receipt to response flushed (ns)",
@@ -200,6 +228,10 @@ impl NetMetrics {
             codes::PING => Some(&self.msg_ping),
             codes::GET_METRICS => Some(&self.msg_get_metrics),
             codes::SHUTDOWN => Some(&self.msg_shutdown),
+            codes::ACTIVITY => Some(&self.msg_activity),
+            codes::SLOW_LOG => Some(&self.msg_slow_log),
+            codes::GET_TRACE => Some(&self.msg_get_trace),
+            codes::EXPLAIN_ANALYZE => Some(&self.msg_explain_analyze),
             _ => None,
         }
     }

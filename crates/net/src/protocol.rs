@@ -40,7 +40,9 @@ pub mod codes {
     pub const COMMIT: u8 = 0x04;
     /// Roll back the open transaction (empty body).
     pub const ROLLBACK: u8 = 0x05;
-    /// Execute a statement: `stmt: str`.
+    /// Execute a statement: `stmt: str`, then an optional trailing
+    /// `trace: u8` flag (absent = 0; 1 forces a trace of this statement
+    /// to be captured and published, retrievable via [`GET_TRACE`]).
     pub const EXECUTE: u8 = 0x06;
     /// Pull the next result item of the last query (empty body).
     pub const FETCH_NEXT: u8 = 0x07;
@@ -54,6 +56,16 @@ pub mod codes {
     pub const LOAD_XML: u8 = 0x0B;
     /// Pull up to `max: u32` result items in one frame.
     pub const FETCH_BATCH: u8 = 0x0C;
+    /// Fetch the database's live session-activity view (empty body).
+    pub const ACTIVITY: u8 = 0x0D;
+    /// Fetch the database's slow-query log (empty body).
+    pub const SLOW_LOG: u8 = 0x0E;
+    /// Fetch a query trace from the trace ring: `trace_id: u64`
+    /// (`0` = this session's most recent trace).
+    pub const GET_TRACE: u8 = 0x0F;
+    /// Execute a statement with per-operator timing and return the
+    /// rendered report: `stmt: str`.
+    pub const EXPLAIN_ANALYZE: u8 = 0x10;
 
     /// Session opened.
     pub const SESSION_STARTED: u8 = 0x81;
@@ -84,6 +96,18 @@ pub mod codes {
     /// A batch of result items: `count: u32`, `count` strings,
     /// `done: u8` (1 = the result is exhausted; no RESULT_END follows).
     pub const ITEM_BATCH: u8 = 0x8D;
+    /// The live activity view: `pinned_pages: i64`, `count: u32`, then
+    /// per session `id: u64`, `has_stmt: u8` (+ `stmt: str` when 1),
+    /// `age_ms: u64`, `txn: str`, `items_streamed: u64`.
+    pub const ACTIVITY_REPLY: u8 = 0x8E;
+    /// The slow-query log, most recent first: `count: u32`, then per
+    /// entry `stmt: str`, `total_ns: u64`, `trace_id: u64`.
+    pub const SLOW_LOG_REPLY: u8 = 0x8F;
+    /// A query trace: `trace_id: u64`, `json: str` (Chrome trace-event
+    /// format).
+    pub const TRACE: u8 = 0x90;
+    /// An `EXPLAIN ANALYZE` report: `report: str`.
+    pub const EXPLAIN: u8 = 0x91;
     /// Structured error envelope: `kind: str`, `message: str`.
     pub const ERROR: u8 = 0xEE;
 }
@@ -114,6 +138,11 @@ pub enum Request {
     Execute {
         /// Statement text.
         stmt: String,
+        /// Force a trace of this statement to be captured and
+        /// published, regardless of the server's sampling policy.
+        /// Encoded as an optional trailing byte, so `false` is
+        /// wire-compatible with version-1 peers that omit it.
+        trace: bool,
     },
     /// Pull the next buffered result item.
     FetchNext,
@@ -136,6 +165,48 @@ pub enum Request {
         /// Document text.
         xml: String,
     },
+    /// Fetch the session database's live activity view.
+    Activity,
+    /// Fetch the session database's slow-query log.
+    SlowLog,
+    /// Fetch a query trace from the database's trace ring.
+    GetTrace {
+        /// The trace to fetch; `0` means this session's most recent.
+        trace_id: u64,
+    },
+    /// Execute a statement with per-operator timing and return the
+    /// rendered `EXPLAIN ANALYZE` report. The statement really runs.
+    ExplainAnalyze {
+        /// Statement text.
+        stmt: String,
+    },
+}
+
+/// One session's row in an [`Response::ActivityReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityRow {
+    /// Stable per-database session id.
+    pub session_id: u64,
+    /// The statement currently executing (or streaming), if any.
+    pub statement: Option<String>,
+    /// How long the current statement has been running, in
+    /// milliseconds (zero when idle).
+    pub statement_age_ms: u64,
+    /// Transaction mode (`none`, `read-only`, `update`).
+    pub txn: String,
+    /// Items streamed through the session's cursors so far.
+    pub items_streamed: u64,
+}
+
+/// One entry of a [`Response::SlowLogReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowLogRow {
+    /// The statement text.
+    pub statement: String,
+    /// Wall-clock pipeline total in nanoseconds.
+    pub total_ns: u64,
+    /// Id of the trace captured for this statement (`0` = none kept).
+    pub trace_id: u64,
 }
 
 /// A server-to-client message.
@@ -173,6 +244,24 @@ pub enum Response {
     ShuttingDown,
     /// Document loaded with this many nodes stored.
     Loaded(u64),
+    /// The live activity view of the session's database.
+    ActivityReply {
+        /// One row per live session, ordered by session id.
+        sessions: Vec<ActivityRow>,
+        /// Buffer pages currently pinned across the database.
+        pinned_pages: i64,
+    },
+    /// The slow-query log, most recent first.
+    SlowLogReply(Vec<SlowLogRow>),
+    /// A query trace in Chrome trace-event JSON.
+    Trace {
+        /// The resolved trace id (useful after a `GetTrace(0)`).
+        trace_id: u64,
+        /// The trace, Chrome trace-event JSON.
+        json: String,
+    },
+    /// A rendered `EXPLAIN ANALYZE` report.
+    Explain(String),
     /// Structured error: machine-readable `kind` plus human `message`.
     Error {
         /// Stable error class (`query`, `conflict`, `not_found`, ...).
@@ -198,6 +287,10 @@ impl Request {
             Request::GetMetrics => codes::GET_METRICS,
             Request::Shutdown => codes::SHUTDOWN,
             Request::LoadXml { .. } => codes::LOAD_XML,
+            Request::Activity => codes::ACTIVITY,
+            Request::SlowLog => codes::SLOW_LOG,
+            Request::GetTrace { .. } => codes::GET_TRACE,
+            Request::ExplainAnalyze { .. } => codes::EXPLAIN_ANALYZE,
         }
     }
 
@@ -210,19 +303,30 @@ impl Request {
                 put_str(&mut b, database);
             }
             Request::Begin { read_only } => b.push(u8::from(*read_only)),
-            Request::Execute { stmt } => put_str(&mut b, stmt),
+            Request::Execute { stmt, trace } => {
+                put_str(&mut b, stmt);
+                // The flag is a trailing optional byte: omitted when off,
+                // so untraced frames match the version-1 encoding.
+                if *trace {
+                    b.push(1);
+                }
+            }
             Request::FetchBatch { max } => b.extend_from_slice(&max.to_be_bytes()),
             Request::LoadXml { doc, xml } => {
                 put_str(&mut b, doc);
                 put_str(&mut b, xml);
             }
+            Request::GetTrace { trace_id } => b.extend_from_slice(&trace_id.to_be_bytes()),
+            Request::ExplainAnalyze { stmt } => put_str(&mut b, stmt),
             Request::CloseSession
             | Request::Commit
             | Request::Rollback
             | Request::FetchNext
             | Request::Ping
             | Request::GetMetrics
-            | Request::Shutdown => {}
+            | Request::Shutdown
+            | Request::Activity
+            | Request::SlowLog => {}
         }
         b
     }
@@ -241,19 +345,31 @@ impl Request {
             },
             codes::COMMIT => Request::Commit,
             codes::ROLLBACK => Request::Rollback,
-            codes::EXECUTE => Request::Execute {
-                stmt: c.take_str()?,
-            },
+            codes::EXECUTE => {
+                let stmt = c.take_str()?;
+                let trace = if c.remaining() > 0 {
+                    c.take_u8()? != 0
+                } else {
+                    false
+                };
+                Request::Execute { stmt, trace }
+            }
             codes::FETCH_NEXT => Request::FetchNext,
-            codes::FETCH_BATCH => Request::FetchBatch {
-                max: c.take_u32()?,
-            },
+            codes::FETCH_BATCH => Request::FetchBatch { max: c.take_u32()? },
             codes::PING => Request::Ping,
             codes::GET_METRICS => Request::GetMetrics,
             codes::SHUTDOWN => Request::Shutdown,
             codes::LOAD_XML => Request::LoadXml {
                 doc: c.take_str()?,
                 xml: c.take_str()?,
+            },
+            codes::ACTIVITY => Request::Activity,
+            codes::SLOW_LOG => Request::SlowLog,
+            codes::GET_TRACE => Request::GetTrace {
+                trace_id: c.take_u64()?,
+            },
+            codes::EXPLAIN_ANALYZE => Request::ExplainAnalyze {
+                stmt: c.take_str()?,
             },
             other => return Err(bad(format!("unknown request code {other:#04x}"))),
         };
@@ -293,6 +409,10 @@ impl Response {
             Response::Metrics(_) => codes::METRICS,
             Response::ShuttingDown => codes::SHUTTING_DOWN,
             Response::Loaded(_) => codes::LOADED,
+            Response::ActivityReply { .. } => codes::ACTIVITY_REPLY,
+            Response::SlowLogReply(_) => codes::SLOW_LOG_REPLY,
+            Response::Trace { .. } => codes::TRACE,
+            Response::Explain(_) => codes::EXPLAIN,
             Response::Error { .. } => codes::ERROR,
         }
     }
@@ -304,7 +424,39 @@ impl Response {
             Response::Updated(n) | Response::QueryOk(n) | Response::Loaded(n) => {
                 b.extend_from_slice(&n.to_be_bytes());
             }
-            Response::Item(s) | Response::Metrics(s) => put_str(&mut b, s),
+            Response::Item(s) | Response::Metrics(s) | Response::Explain(s) => put_str(&mut b, s),
+            Response::ActivityReply {
+                sessions,
+                pinned_pages,
+            } => {
+                b.extend_from_slice(&pinned_pages.to_be_bytes());
+                b.extend_from_slice(&(sessions.len() as u32).to_be_bytes());
+                for row in sessions {
+                    b.extend_from_slice(&row.session_id.to_be_bytes());
+                    match &row.statement {
+                        Some(stmt) => {
+                            b.push(1);
+                            put_str(&mut b, stmt);
+                        }
+                        None => b.push(0),
+                    }
+                    b.extend_from_slice(&row.statement_age_ms.to_be_bytes());
+                    put_str(&mut b, &row.txn);
+                    b.extend_from_slice(&row.items_streamed.to_be_bytes());
+                }
+            }
+            Response::SlowLogReply(entries) => {
+                b.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+                for e in entries {
+                    put_str(&mut b, &e.statement);
+                    b.extend_from_slice(&e.total_ns.to_be_bytes());
+                    b.extend_from_slice(&e.trace_id.to_be_bytes());
+                }
+            }
+            Response::Trace { trace_id, json } => {
+                b.extend_from_slice(&trace_id.to_be_bytes());
+                put_str(&mut b, json);
+            }
             Response::ItemBatch { items, done } => {
                 b.extend_from_slice(&(items.len() as u32).to_be_bytes());
                 for item in items {
@@ -359,6 +511,56 @@ impl Response {
             codes::METRICS => Response::Metrics(c.take_str()?),
             codes::SHUTTING_DOWN => Response::ShuttingDown,
             codes::LOADED => Response::Loaded(c.take_u64()?),
+            codes::ACTIVITY_REPLY => {
+                let pinned_pages = i64::from_be_bytes(c.take_u64()?.to_be_bytes());
+                let count = c.take_u32()? as usize;
+                // Each row costs at least id + flag + age + txn-len +
+                // items = 29 bytes; bogus counts fail before allocation.
+                if count > body.len() / 29 {
+                    return Err(bad("activity row count exceeds frame size"));
+                }
+                let mut sessions = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let session_id = c.take_u64()?;
+                    let statement = if c.take_u8()? != 0 {
+                        Some(c.take_str()?)
+                    } else {
+                        None
+                    };
+                    sessions.push(ActivityRow {
+                        session_id,
+                        statement,
+                        statement_age_ms: c.take_u64()?,
+                        txn: c.take_str()?,
+                        items_streamed: c.take_u64()?,
+                    });
+                }
+                Response::ActivityReply {
+                    sessions,
+                    pinned_pages,
+                }
+            }
+            codes::SLOW_LOG_REPLY => {
+                let count = c.take_u32()? as usize;
+                // Each entry costs at least 4 + 8 + 8 = 20 bytes.
+                if count > body.len() / 20 {
+                    return Err(bad("slow-log entry count exceeds frame size"));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(SlowLogRow {
+                        statement: c.take_str()?,
+                        total_ns: c.take_u64()?,
+                        trace_id: c.take_u64()?,
+                    });
+                }
+                Response::SlowLogReply(entries)
+            }
+            codes::TRACE => Response::Trace {
+                trace_id: c.take_u64()?,
+                json: c.take_str()?,
+            },
+            codes::EXPLAIN => Response::Explain(c.take_str()?),
             codes::ERROR => Response::Error {
                 kind: c.take_str()?,
                 message: c.take_str()?,
@@ -469,6 +671,11 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid UTF-8 in string field"))
     }
 
+    /// Bytes left unconsumed in the body.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     /// Asserts the body was consumed exactly.
     fn finish(self) -> io::Result<()> {
         if self.pos == self.buf.len() {
@@ -512,6 +719,11 @@ mod tests {
         roundtrip_request(Request::Rollback);
         roundtrip_request(Request::Execute {
             stmt: "doc('d')//title/text()".into(),
+            trace: false,
+        });
+        roundtrip_request(Request::Execute {
+            stmt: "doc('d')//title".into(),
+            trace: true,
         });
         roundtrip_request(Request::FetchNext);
         roundtrip_request(Request::FetchBatch { max: 128 });
@@ -522,6 +734,51 @@ mod tests {
             doc: "d".into(),
             xml: "<r><x>héllo</x></r>".into(),
         });
+        roundtrip_request(Request::Activity);
+        roundtrip_request(Request::SlowLog);
+        roundtrip_request(Request::GetTrace { trace_id: 0 });
+        roundtrip_request(Request::GetTrace { trace_id: 42 });
+        roundtrip_request(Request::ExplainAnalyze {
+            stmt: "doc('d')//title".into(),
+        });
+    }
+
+    #[test]
+    fn untraced_execute_matches_the_version_1_encoding() {
+        // The trace flag must be absent when off, so old peers that
+        // encode only the statement string stay wire-compatible.
+        let body = Request::Execute {
+            stmt: "1 to 3".into(),
+            trace: false,
+        }
+        .encode_body();
+        let mut expected = Vec::new();
+        put_str(&mut expected, "1 to 3");
+        assert_eq!(body, expected);
+        // And a bare-string frame decodes with the flag off.
+        let req = Request::decode(codes::EXECUTE, &expected).unwrap();
+        assert_eq!(
+            req,
+            Request::Execute {
+                stmt: "1 to 3".into(),
+                trace: false
+            }
+        );
+    }
+
+    #[test]
+    fn explicit_zero_trace_flag_decodes_off() {
+        let mut body = Vec::new();
+        put_str(&mut body, "1 to 3");
+        body.push(0);
+        let req = Request::decode(codes::EXECUTE, &body).unwrap();
+        assert_eq!(
+            req,
+            Request::Execute {
+                stmt: "1 to 3".into(),
+                trace: false
+            }
+        );
     }
 
     #[test]
@@ -546,6 +803,40 @@ mod tests {
         roundtrip_response(Response::Metrics("# HELP x\nx 1\n".into()));
         roundtrip_response(Response::ShuttingDown);
         roundtrip_response(Response::Loaded(7));
+        roundtrip_response(Response::ActivityReply {
+            sessions: vec![
+                ActivityRow {
+                    session_id: 1,
+                    statement: Some("doc('d')//x".into()),
+                    statement_age_ms: 1500,
+                    txn: "read-only".into(),
+                    items_streamed: 12,
+                },
+                ActivityRow {
+                    session_id: 2,
+                    statement: None,
+                    statement_age_ms: 0,
+                    txn: "none".into(),
+                    items_streamed: 0,
+                },
+            ],
+            pinned_pages: -3,
+        });
+        roundtrip_response(Response::ActivityReply {
+            sessions: Vec::new(),
+            pinned_pages: 0,
+        });
+        roundtrip_response(Response::SlowLogReply(vec![SlowLogRow {
+            statement: "doc('d')//slow".into(),
+            total_ns: 12_345_678,
+            trace_id: 9,
+        }]));
+        roundtrip_response(Response::SlowLogReply(Vec::new()));
+        roundtrip_response(Response::Trace {
+            trace_id: 17,
+            json: "{\"traceEvents\":[]}".into(),
+        });
+        roundtrip_response(Response::Explain("phase execute 12 ns".into()));
         roundtrip_response(Response::Error {
             kind: "query".into(),
             message: "parse error at offset 3".into(),
@@ -553,9 +844,30 @@ mod tests {
     }
 
     #[test]
+    fn absurd_activity_count_is_rejected_without_allocation() {
+        // ACTIVITY_REPLY claiming u32::MAX rows in a 12-byte body.
+        let mut body = Vec::new();
+        body.extend_from_slice(&0i64.to_be_bytes());
+        body.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, codes::ACTIVITY_REPLY, &body).unwrap();
+        let err = Response::read_from(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn absurd_slow_log_count_is_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, codes::SLOW_LOG_REPLY, &u32::MAX.to_be_bytes()).unwrap();
+        let err = Response::read_from(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn oversize_frame_is_rejected_before_body_read() {
         let req = Request::Execute {
             stmt: "x".repeat(100),
+            trace: false,
         };
         let mut wire = Vec::new();
         req.write_to(&mut wire).unwrap();

@@ -29,10 +29,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use sedna::{DbError, DbResult, Governor, QueryCursor, Session, StreamOutcome};
+use sedna::{chrome_trace_json, DbError, DbResult, Governor, QueryCursor, Session, StreamOutcome};
 
 use crate::metrics::NetMetrics;
-use crate::protocol::{Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use crate::protocol::{
+    ActivityRow, Request, Response, SlowLogRow, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
 
 /// Listener configuration.
 #[derive(Debug, Clone)]
@@ -242,6 +244,9 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
 struct Conn {
     stream: TcpStream,
     session: Option<Session>,
+    /// Name of the database the session is on (for introspection
+    /// requests that need the [`sedna::Database`] handle).
+    db_name: Option<String>,
     pending: Pending,
 }
 
@@ -317,6 +322,7 @@ fn serve_conn(shared: &Shared, stream: TcpStream) {
     let mut conn = Conn {
         stream,
         session: None,
+        db_name: None,
         pending: Pending::None,
     };
     let _ = conn.stream.set_nodelay(true);
@@ -438,6 +444,7 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
             match shared.governor.try_connect(&database) {
                 Ok(sess) => {
                     conn.session = Some(sess);
+                    conn.db_name = Some(database);
                     m.sessions_opened.inc();
                     m.sessions_active.add(1);
                     send(conn, m, &Response::SessionStarted)?;
@@ -500,29 +507,35 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                 .map(|_| Response::TxnOk),
                 Request::Commit => sess.commit().map(|_| Response::TxnOk),
                 Request::Rollback => sess.rollback().map(|_| Response::TxnOk),
-                Request::Execute { stmt } => match sess.execute_stream(&stmt) {
-                    Ok(StreamOutcome::Items(items)) => {
-                        let n = items.len() as u64;
-                        conn.pending = Pending::Buffered(items.into_iter().collect());
-                        Ok(Response::QueryOk(n))
+                Request::Execute { stmt, trace } => {
+                    // The force flag lives only for this one statement.
+                    sess.set_trace_forced(trace);
+                    let executed = sess.execute_stream(&stmt);
+                    sess.set_trace_forced(false);
+                    match executed {
+                        Ok(StreamOutcome::Items(items)) => {
+                            let n = items.len() as u64;
+                            conn.pending = Pending::Buffered(items.into_iter().collect());
+                            Ok(Response::QueryOk(n))
+                        }
+                        Ok(StreamOutcome::Cursor(cur)) => {
+                            // A live cursor: nothing has executed yet, so the
+                            // cardinality is unknown — the sentinel tells the
+                            // client to fetch until end-of-result.
+                            conn.pending = Pending::Stream(cur);
+                            Ok(Response::QueryOk(u64::MAX))
+                        }
+                        Ok(StreamOutcome::Updated(n)) => {
+                            conn.pending = Pending::None;
+                            Ok(Response::Updated(n as u64))
+                        }
+                        Ok(StreamOutcome::Done) => {
+                            conn.pending = Pending::None;
+                            Ok(Response::Done)
+                        }
+                        Err(e) => Err(e),
                     }
-                    Ok(StreamOutcome::Cursor(cur)) => {
-                        // A live cursor: nothing has executed yet, so the
-                        // cardinality is unknown — the sentinel tells the
-                        // client to fetch until end-of-result.
-                        conn.pending = Pending::Stream(Box::new(cur));
-                        Ok(Response::QueryOk(u64::MAX))
-                    }
-                    Ok(StreamOutcome::Updated(n)) => {
-                        conn.pending = Pending::None;
-                        Ok(Response::Updated(n as u64))
-                    }
-                    Ok(StreamOutcome::Done) => {
-                        conn.pending = Pending::None;
-                        Ok(Response::Done)
-                    }
-                    Err(e) => Err(e),
-                },
+                }
                 Request::FetchNext => match fetch_items(&mut conn.pending, 1, m) {
                     Ok((mut batch, _)) => match batch.pop() {
                         Some(item) => Ok(Response::Item(item)),
@@ -542,6 +555,61 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                     }
                 }
                 Request::LoadXml { doc, xml } => sess.load_xml(&doc, &xml).map(Response::Loaded),
+                Request::Activity => database_of(conn.db_name.as_deref(), shared).map(|db| {
+                    let report = db.activity();
+                    Response::ActivityReply {
+                        sessions: report
+                            .sessions
+                            .into_iter()
+                            .map(|s| ActivityRow {
+                                session_id: s.session_id,
+                                statement: s.statement,
+                                statement_age_ms: s.statement_age.as_millis() as u64,
+                                txn: s.txn.as_str().to_string(),
+                                items_streamed: s.items_streamed,
+                            })
+                            .collect(),
+                        pinned_pages: report.pinned_pages,
+                    }
+                }),
+                Request::SlowLog => database_of(conn.db_name.as_deref(), shared).map(|db| {
+                    Response::SlowLogReply(
+                        db.slow_log()
+                            .into_iter()
+                            .map(|e| SlowLogRow {
+                                statement: e.statement,
+                                total_ns: e.total_ns,
+                                trace_id: e.trace_id,
+                            })
+                            .collect(),
+                    )
+                }),
+                Request::GetTrace { trace_id } => {
+                    let id = if trace_id == 0 {
+                        sess.last_trace_id()
+                    } else {
+                        trace_id
+                    };
+                    database_of(conn.db_name.as_deref(), shared).and_then(|db| {
+                        db.get_trace(id)
+                            .map(|events| Response::Trace {
+                                trace_id: id,
+                                json: chrome_trace_json(&events),
+                            })
+                            .ok_or_else(|| {
+                                DbError::NotFound(if trace_id == 0 {
+                                    "no trace published by this session yet".into()
+                                } else {
+                                    format!("trace {id} (evicted from the ring, or never kept)")
+                                })
+                            })
+                    })
+                }
+                Request::ExplainAnalyze { stmt } => {
+                    // Replaces any pending result, exactly like Execute.
+                    conn.pending = Pending::None;
+                    sess.explain_analyze(&stmt).map(Response::Explain)
+                }
                 _ => unreachable!("sessionless requests handled above"),
             };
             match resp {
@@ -551,6 +619,14 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
             Ok(false)
         }
     }
+}
+
+/// Resolves the connection's database handle for introspection requests.
+/// The name is always set once a session started; the governor lookup
+/// can still fail if the database was shut down underneath us.
+fn database_of(name: Option<&str>, shared: &Shared) -> DbResult<sedna::Database> {
+    let name = name.ok_or_else(|| DbError::Conflict("no session started".into()))?;
+    shared.governor.database(name)
 }
 
 fn send(conn: &mut Conn, m: &NetMetrics, resp: &Response) -> io::Result<()> {

@@ -346,6 +346,117 @@ fn shutdown_checkpoints_and_data_survives_reopen() {
 }
 
 #[test]
+fn introspection_over_the_wire() {
+    // Own setup: this server's database has a 1 ms slow-query threshold
+    // (sampling stays off — traces are forced per-request instead).
+    let dir = tmpdir("introspect");
+    let governor = Governor::new();
+    let cfg = DbConfig {
+        slow_query_ms: 1,
+        ..DbConfig::small()
+    };
+    governor.create_database("db", &dir, cfg).unwrap();
+    let handle = Server::start(
+        Arc::clone(&governor),
+        NetConfig {
+            poll_interval: Duration::from_millis(5),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.execute("CREATE DOCUMENT 'big'").unwrap();
+    let mut xml = String::from("<r>");
+    for i in 0..200 {
+        xml.push_str(&format!("<v>{i}</v>"));
+    }
+    xml.push_str("</r>");
+    c.load_xml("big", &xml).unwrap();
+
+    // Live activity: this session is visible, idle, outside a txn.
+    let (sessions, pinned) = c.activity().unwrap();
+    assert_eq!(sessions.len(), 1);
+    assert_eq!(sessions[0].txn, "none");
+    assert!(sessions[0].statement.is_none());
+    assert!(pinned >= 0);
+    // Inside an explicit transaction the mode shows up in the view.
+    c.begin_read_only().unwrap();
+    let (sessions, _) = c.activity().unwrap();
+    assert_eq!(sessions[0].txn, "read-only");
+    c.commit().unwrap();
+
+    // Per-request forced trace on a streamed query: published when the
+    // cursor finishes, retrievable as Chrome trace-event JSON via
+    // GetTrace(0) = "my most recent trace".
+    assert_eq!(
+        c.execute_traced("doc('big')//v/text()").unwrap(),
+        ExecReply::Query(u64::MAX)
+    );
+    let items = c.fetch_all().unwrap();
+    assert_eq!(items.len(), 200);
+    let (trace_id, json) = c.get_trace(0).unwrap();
+    assert!(trace_id > 0);
+    assert!(json.contains("traceEvents"), "json: {json}");
+    for event in ["query.statement", "cursor.open", "cursor.finish"] {
+        assert!(json.contains(event), "trace is missing {event}: {json}");
+    }
+    // The same trace is addressable by its id.
+    let (again, json2) = c.get_trace(trace_id).unwrap();
+    assert_eq!(again, trace_id);
+    assert_eq!(json, json2);
+
+    // Streaming bumped the session's items_streamed tally.
+    let (sessions, _) = c.activity().unwrap();
+    assert!(sessions[0].items_streamed >= 200);
+
+    // EXPLAIN ANALYZE returns the per-operator tree of the streamed
+    // pipeline with real pull counts.
+    let report = c.explain_analyze("doc('big')//v/text()").unwrap();
+    assert!(report.contains("plan"), "report: {report}");
+    assert!(report.contains("pulls="), "report: {report}");
+    assert!(
+        report.contains("Ddo") || report.contains("StructuralScan") || report.contains("Step"),
+        "report has no operator lines: {report}"
+    );
+
+    // A deliberately heavy query crosses the 1 ms threshold and lands in
+    // the slow-query log. Sampling is off, so the trace that the log
+    // entry points at is forced per-request here too.
+    let heavy = "count(for $a in doc('big')//v return count(doc('big')//v))";
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        c.execute_traced(heavy).unwrap();
+        let _ = c.fetch_all();
+        let log = c.slow_log().unwrap();
+        if let Some(entry) = log.first() {
+            assert_eq!(entry.statement, heavy);
+            assert!(entry.total_ns >= 1_000_000);
+            assert!(entry.trace_id > 0, "slow entry must carry its trace id");
+            let (id, trace) = c.get_trace(entry.trace_id).unwrap();
+            assert_eq!(id, entry.trace_id);
+            assert!(trace.contains("query.statement"));
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "heavy query never crossed the slow threshold"
+        );
+    }
+
+    // The new request types are metered.
+    let m = handle.metrics();
+    assert!(m.msg_activity.get() >= 3);
+    assert!(m.msg_get_trace.get() >= 3);
+    assert!(m.msg_slow_log.get() >= 1);
+    assert!(m.msg_explain_analyze.get() >= 1);
+
+    c.close().unwrap();
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn wire_shutdown_request_drains_the_server() {
     let (handle, dir, _governor) = start_server("wire-shutdown", 0);
     let c = SednaClient::connect(handle.addr(), "db").unwrap();

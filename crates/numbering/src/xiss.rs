@@ -227,9 +227,7 @@ mod tests {
         assert!(doc.relabeled_nodes() > doc.len() as u64 / 2);
         // Labels remain consistent after all the churn.
         for d in 1..doc.len() {
-            assert!(doc
-                .label(XissNumbering::ROOT)
-                .is_ancestor_of(&doc.label(d)));
+            assert!(doc.label(XissNumbering::ROOT).is_ancestor_of(&doc.label(d)));
         }
     }
 

@@ -43,11 +43,11 @@
 
 mod metric;
 mod registry;
+pub mod trace;
 
 #[cfg(all(test, loom))]
 mod loom_models;
 
-pub use metric::{
-    Counter, Gauge, Histogram, HistogramSnapshot, Span, HISTOGRAM_BUCKETS,
-};
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, Span, HISTOGRAM_BUCKETS};
 pub use registry::{consistent_read, MetricsSnapshot, Registry};
+pub use trace::{chrome_trace_json, SamplingPolicy, SpanEvent, TraceBuffer, TraceCollector};

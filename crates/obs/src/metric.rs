@@ -417,6 +417,40 @@ mod tests {
     }
 
     #[test]
+    fn merge_carries_the_observed_max_and_clamps_quantiles() {
+        // Two databases' latency histograms: one with small values, one
+        // whose worst observation sits below its bucket's upper bound.
+        let a = Histogram::new();
+        a.record(100); // bucket (64, 128]
+        let b = Histogram::new();
+        b.record(1000); // bucket (512, 1024], observed max 1000
+        let mut m = a.snapshot();
+        m.merge_from(&b.snapshot());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.sum, 1100);
+        assert_eq!(m.max, 1000, "merge must keep the larger observed max");
+        // The rank-2 observation lands in the 1024 bucket, but the
+        // quantile clamps to the carried observed max, not the bound.
+        assert_eq!(m.p99(), 1000);
+        assert_eq!(m.quantile(1.0), 1000);
+        // The smaller side's quantile is untouched by the clamp.
+        assert_eq!(m.p50(), 128);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_the_other_side_wholesale() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(300);
+        let mut m = HistogramSnapshot::default(); // zero buckets
+        m.merge_from(&h.snapshot());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.max, 300);
+        assert_eq!(m.buckets.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(m.p99(), 300, "resized buckets must carry the max too");
+    }
+
+    #[test]
     fn span_records_on_drop_and_finish() {
         let h = Histogram::new();
         {

@@ -203,9 +203,7 @@ impl MetricsSnapshot {
         }
         for (name, h) in &self.histograms {
             let help = self.help.get(name).unwrap_or(&empty);
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} histogram\n"
-            ));
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
             let mut cumulative = 0u64;
             for (i, c) in h.buckets.iter().enumerate() {
                 cumulative += c;
@@ -272,6 +270,68 @@ mod tests {
         b.add(2);
         reg.register_counter("x_total", "x", &b);
         assert_eq!(reg.snapshot().counter("x_total"), 2);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_exposition() {
+        let reg = Registry::new();
+        let snap = reg.snapshot();
+        assert_eq!(snap.render_prometheus(), "");
+        // Lookups on an empty snapshot answer with identity values.
+        assert_eq!(snap.counter("missing_total"), 0);
+        assert_eq!(snap.gauge("missing"), 0);
+        assert!(snap.histogram("missing_ns").is_none());
+    }
+
+    #[test]
+    fn zero_count_histogram_renders_and_quantiles_are_zero() {
+        let reg = Registry::new();
+        let h = Histogram::new();
+        reg.register_histogram("idle_ns", "never recorded", &h);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("idle_ns").unwrap();
+        assert_eq!((hs.count, hs.sum, hs.max), (0, 0, 0));
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(hs.quantile(q), 0, "empty histogram quantile {q}");
+        }
+        assert_eq!(hs.mean(), 0.0);
+        // The exposition still carries the series with a +Inf bucket so
+        // scrapers see the metric exists.
+        let text = snap.render_prometheus();
+        assert!(text.contains("# TYPE idle_ns histogram"));
+        assert!(text.contains("idle_ns_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("idle_ns_sum 0"));
+        assert!(text.contains("idle_ns_count 0"));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let build = |c: u64, g: i64, vals: &[u64]| {
+            let mut s = MetricsSnapshot::default();
+            s.counters.insert("c".into(), c);
+            s.gauges.insert("g".into(), g);
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            s.histograms.insert("h".into(), h.snapshot());
+            s.help.insert("c".into(), "ops".into());
+            s
+        };
+        let a = build(2, 5, &[10, 2000]);
+        let b = build(7, -3, &[500]);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab.counters, ba.counters);
+        assert_eq!(ab.gauges, ba.gauges);
+        assert_eq!(ab.histograms, ba.histograms);
+        assert_eq!(
+            ab.render_prometheus(),
+            ba.render_prometheus(),
+            "merge order must not change the exposition"
+        );
     }
 
     #[test]

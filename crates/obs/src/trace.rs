@@ -1,0 +1,495 @@
+//! Structured query tracing: span events, sampling, a bounded ring of
+//! recent traces, and Chrome trace-event JSON export.
+//!
+//! A *trace* is the tree of timed spans one statement produced: the
+//! statement itself, its parse/rewrite/execute phases, and (for
+//! streamed queries) per-cursor open/pull/finish spans. Collection is
+//! allocation-light and entirely off the hot path unless a sampling
+//! policy turns it on: code records into a per-statement
+//! [`TraceCollector`] (a plain `Vec` owned by one thread — no
+//! synchronization while the statement runs), and the finished trace is
+//! published into the shared [`TraceBuffer`] ring only when the policy
+//! says so.
+//!
+//! The ring is bounded and write-mostly lock-free: reserving a slot is
+//! one atomic `fetch_add` on the write cursor, and each slot carries
+//! its own mutex so concurrent publishers touching different slots
+//! never contend. Readers ([`TraceBuffer::get`], [`TraceBuffer::all`])
+//! take each slot lock briefly; they can race a wrapping writer and
+//! simply see the newer trace.
+//!
+//! Export is the Chrome trace-event format (`chrome://tracing`,
+//! Perfetto): [`chrome_trace_json`] renders complete (`"ph": "X"`)
+//! events with microsecond timestamps, so a trace saved to a `.json`
+//! file opens directly in either UI. The event-name catalogue lives in
+//! [`events`] and is drift-checked against `docs/tracing.md` by
+//! `sedna-lint` (rule R5).
+
+use sedna_sync::atomic::{AtomicU64, Ordering};
+use sedna_sync::Mutex;
+use std::time::Instant;
+
+/// Canonical span-event names. Every name recorded into a
+/// [`TraceCollector`] by Sedna crates comes from this table; the
+/// `sedna-lint` R5 rule diffs these constants against the catalogue in
+/// `docs/tracing.md` in both directions.
+pub mod events {
+    /// Whole-statement umbrella span (root of every trace).
+    pub const QUERY_STATEMENT: &str = "query.statement";
+    /// Parse phase (absent on plan-cache hits).
+    pub const QUERY_PARSE: &str = "query.parse";
+    /// Static analysis + rewrite phase (absent on plan-cache hits).
+    pub const QUERY_REWRITE: &str = "query.rewrite";
+    /// Execute phase of a materialized statement.
+    pub const QUERY_EXECUTE: &str = "query.execute";
+    /// Streaming-cursor construction: plan compile, txn begin, catalog
+    /// validation.
+    pub const CURSOR_OPEN: &str = "cursor.open";
+    /// One batch of cursor pulls (coalesced; see `docs/tracing.md`).
+    pub const CURSOR_PULL: &str = "cursor.pull";
+    /// Cursor teardown: stats fold-back and read-txn commit.
+    pub const CURSOR_FINISH: &str = "cursor.finish";
+}
+
+/// One timed span inside a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Id of the trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id, unique within the trace (1-based).
+    pub span_id: u64,
+    /// Parent span id; `0` marks a root span.
+    pub parent: u64,
+    /// Event name from the [`events`] catalogue.
+    pub name: &'static str,
+    /// Begin time, nanoseconds since the trace started.
+    pub begin_ns: u64,
+    /// End time, nanoseconds since the trace started (`0` while open).
+    pub end_ns: u64,
+    /// Free-form payload (statement text, operator detail, counts).
+    pub detail: String,
+}
+
+impl SpanEvent {
+    /// The span's duration in nanoseconds (0 if still open).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.begin_ns)
+    }
+}
+
+/// When to keep a statement's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplingPolicy {
+    /// Never collect (the default; zero overhead on every path).
+    #[default]
+    Off,
+    /// Collect every statement but keep only those that exceed the
+    /// slow-query threshold (the collection cost is paid, the ring
+    /// holds offenders only).
+    SlowOnly,
+    /// Keep every Nth statement (`OneInN(1)` behaves like `Always`).
+    OneInN(u32),
+    /// Keep every statement.
+    Always,
+}
+
+impl SamplingPolicy {
+    /// Whether statement number `seq` (a monotonically increasing
+    /// per-database counter) should be *collected* at all.
+    pub fn collect(&self, seq: u64) -> bool {
+        match self {
+            SamplingPolicy::Off => false,
+            SamplingPolicy::SlowOnly | SamplingPolicy::Always => true,
+            SamplingPolicy::OneInN(n) => {
+                let n = u64::from(*n).max(1);
+                seq.is_multiple_of(n)
+            }
+        }
+    }
+
+    /// Whether a collected trace should be *kept* in the ring, given
+    /// whether the statement crossed the slow-query threshold.
+    pub fn keep(&self, slow: bool) -> bool {
+        match self {
+            SamplingPolicy::Off => false,
+            SamplingPolicy::SlowOnly => slow,
+            SamplingPolicy::OneInN(_) | SamplingPolicy::Always => true,
+        }
+    }
+
+    /// Parses the `sednad --trace-sample` syntax: `off`, `slow`,
+    /// `always`, or `1-in-N` (e.g. `1-in-100`).
+    pub fn parse(s: &str) -> Option<SamplingPolicy> {
+        match s {
+            "off" => Some(SamplingPolicy::Off),
+            "slow" => Some(SamplingPolicy::SlowOnly),
+            "always" => Some(SamplingPolicy::Always),
+            _ => {
+                let n: u32 = s.strip_prefix("1-in-")?.parse().ok()?;
+                (n > 0).then_some(SamplingPolicy::OneInN(n))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SamplingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplingPolicy::Off => write!(f, "off"),
+            SamplingPolicy::SlowOnly => write!(f, "slow"),
+            SamplingPolicy::OneInN(n) => write!(f, "1-in-{n}"),
+            SamplingPolicy::Always => write!(f, "always"),
+        }
+    }
+}
+
+/// Per-statement span collection: a plain `Vec` owned by the executing
+/// thread, so recording costs one push and no synchronization. Span ids
+/// are 1-based indexes into the event list.
+#[derive(Debug)]
+pub struct TraceCollector {
+    trace_id: u64,
+    started: Instant,
+    events: Vec<SpanEvent>,
+}
+
+impl TraceCollector {
+    /// Starts an empty trace with the given id; `now_ns` reads run from
+    /// this instant.
+    pub fn new(trace_id: u64) -> TraceCollector {
+        TraceCollector {
+            trace_id,
+            started: Instant::now(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The trace id this collector stamps on every span.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Nanoseconds since the trace started.
+    pub fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Opens a span under `parent` (`0` = root) and returns its id;
+    /// close it with [`TraceCollector::end`].
+    pub fn begin(&mut self, name: &'static str, parent: u64) -> u64 {
+        let span_id = self.events.len() as u64 + 1;
+        let begin_ns = self.now_ns();
+        self.events.push(SpanEvent {
+            trace_id: self.trace_id,
+            span_id,
+            parent,
+            name,
+            begin_ns,
+            end_ns: 0,
+            detail: String::new(),
+        });
+        span_id
+    }
+
+    /// Closes the span, stamping the end time.
+    pub fn end(&mut self, span_id: u64) {
+        let now = self.now_ns();
+        if let Some(ev) = self.events.get_mut(span_id.wrapping_sub(1) as usize) {
+            ev.end_ns = now;
+        }
+    }
+
+    /// Attaches (replaces) a span's free-form detail payload.
+    pub fn set_detail(&mut self, span_id: u64, detail: String) {
+        if let Some(ev) = self.events.get_mut(span_id.wrapping_sub(1) as usize) {
+            ev.detail = detail;
+        }
+    }
+
+    /// Records a complete span in one call (for already-measured
+    /// durations, e.g. phase timings captured by a metrics span).
+    pub fn add_complete(
+        &mut self,
+        name: &'static str,
+        parent: u64,
+        begin_ns: u64,
+        end_ns: u64,
+        detail: String,
+    ) -> u64 {
+        let span_id = self.events.len() as u64 + 1;
+        self.events.push(SpanEvent {
+            trace_id: self.trace_id,
+            span_id,
+            parent,
+            name,
+            begin_ns,
+            end_ns,
+            detail,
+        });
+        span_id
+    }
+
+    /// The spans recorded so far, in recording order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Consumes the collector, yielding its spans.
+    pub fn into_events(self) -> Vec<SpanEvent> {
+        self.events
+    }
+}
+
+/// One finished trace held by the ring.
+#[derive(Debug, Clone)]
+struct StoredTrace {
+    trace_id: u64,
+    events: Vec<SpanEvent>,
+}
+
+/// A bounded ring of recently kept traces.
+///
+/// Publishing reserves a slot with a single `fetch_add` on the write
+/// cursor — writers never wait on each other for the reservation — then
+/// swaps the trace in under that slot's own mutex, so two publishers
+/// contend only when the ring has wrapped onto the same slot. Lookup by
+/// trace id scans the (small, fixed) slot array.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    slots: Vec<Mutex<Option<StoredTrace>>>,
+    /// Next slot to write; monotonically increasing, wrapped modulo the
+    /// slot count at use.
+    cursor: AtomicU64,
+    /// Trace-id generator (ids are never zero).
+    next_id: AtomicU64,
+    /// Per-database statement sequence for 1-in-N sampling.
+    seq: AtomicU64,
+}
+
+impl TraceBuffer {
+    /// Creates a ring holding up to `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> TraceBuffer {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Draws a fresh, non-zero trace id.
+    pub fn next_trace_id(&self) -> u64 {
+        // relaxed: a unique-id tick; nothing is published through it.
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Advances the statement sequence and returns its previous value
+    /// (feed to [`SamplingPolicy::collect`]).
+    pub fn next_seq(&self) -> u64 {
+        // relaxed: a sampling tick; approximate interleaving is fine.
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Publishes a finished trace into the ring, overwriting the oldest
+    /// entry once full.
+    pub fn publish(&self, trace_id: u64, events: Vec<SpanEvent>) {
+        // relaxed: the slot mutex below orders the payload; the cursor
+        // only has to hand out distinct slots.
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        *self.slots[at].lock() = Some(StoredTrace { trace_id, events });
+    }
+
+    /// The spans of the trace with this id, if it is still in the ring.
+    pub fn get(&self, trace_id: u64) -> Option<Vec<SpanEvent>> {
+        self.slots.iter().find_map(|slot| {
+            let guard = slot.lock();
+            guard
+                .as_ref()
+                .filter(|t| t.trace_id == trace_id)
+                .map(|t| t.events.clone())
+        })
+    }
+
+    /// Every trace currently held, oldest first.
+    pub fn all(&self) -> Vec<(u64, Vec<SpanEvent>)> {
+        // relaxed: point-in-time read of the cursor for ordering only.
+        let cur = self.cursor.load(Ordering::Relaxed) as usize;
+        let n = self.slots.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            // Walk from the oldest slot (the one the cursor will
+            // overwrite next) forward.
+            let at = (cur + i) % n;
+            let guard = self.slots[at].lock();
+            if let Some(t) = guard.as_ref() {
+                out.push((t.trace_id, t.events.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// Renders spans as Chrome trace-event JSON (the `{"traceEvents": […]}`
+/// envelope, complete `"ph": "X"` events, microsecond timestamps), so
+/// the output opens directly in `chrome://tracing` or Perfetto.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts_us = ev.begin_ns as f64 / 1000.0;
+        let dur_us = ev.duration_ns() as f64 / 1000.0;
+        out.push_str("{\"name\":\"");
+        json_escape_into(&mut out, ev.name);
+        out.push_str("\",\"cat\":\"sedna\",\"ph\":\"X\",\"pid\":");
+        out.push_str(&ev.trace_id.to_string());
+        out.push_str(",\"tid\":1,\"ts\":");
+        push_f64(&mut out, ts_us);
+        out.push_str(",\"dur\":");
+        push_f64(&mut out, dur_us);
+        out.push_str(",\"args\":{\"span\":");
+        out.push_str(&ev.span_id.to_string());
+        out.push_str(",\"parent\":");
+        out.push_str(&ev.parent.to_string());
+        if !ev.detail.is_empty() {
+            out.push_str(",\"detail\":\"");
+            json_escape_into(&mut out, &ev.detail);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Formats an f64 with three decimals (µs with ns resolution), avoiding
+/// exponent notation Chrome's loader rejects.
+fn push_f64(out: &mut String, v: f64) {
+    out.push_str(&format!("{v:.3}"));
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_nests_spans_and_stamps_times() {
+        let mut tc = TraceCollector::new(7);
+        let root = tc.begin(events::QUERY_STATEMENT, 0);
+        let child = tc.begin(events::QUERY_PARSE, root);
+        tc.end(child);
+        tc.set_detail(root, "doc('x')//y".into());
+        tc.end(root);
+        let evs = tc.into_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].trace_id, 7);
+        assert_eq!(evs[0].parent, 0);
+        assert_eq!(evs[1].parent, root);
+        assert!(evs[1].end_ns >= evs[1].begin_ns);
+        assert!(evs[0].end_ns >= evs[1].end_ns, "root closes last");
+        assert_eq!(evs[0].detail, "doc('x')//y");
+    }
+
+    #[test]
+    fn sampling_policy_decisions() {
+        assert!(!SamplingPolicy::Off.collect(0));
+        assert!(SamplingPolicy::Always.collect(3));
+        assert!(SamplingPolicy::SlowOnly.collect(3));
+        assert!(!SamplingPolicy::SlowOnly.keep(false));
+        assert!(SamplingPolicy::SlowOnly.keep(true));
+        let one_in_3 = SamplingPolicy::OneInN(3);
+        let kept: Vec<bool> = (0..6).map(|s| one_in_3.collect(s)).collect();
+        assert_eq!(kept, vec![true, false, false, true, false, false]);
+        assert!(
+            one_in_3.keep(false),
+            "a sampled trace is kept even when fast"
+        );
+    }
+
+    #[test]
+    fn sampling_policy_parse_roundtrips() {
+        for s in ["off", "slow", "always", "1-in-100"] {
+            let p = SamplingPolicy::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        assert_eq!(SamplingPolicy::parse("1-in-0"), None);
+        assert_eq!(SamplingPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_serves_lookup() {
+        let ring = TraceBuffer::new(2);
+        let mk = |id: u64| {
+            let mut tc = TraceCollector::new(id);
+            let s = tc.begin(events::QUERY_STATEMENT, 0);
+            tc.end(s);
+            tc.into_events()
+        };
+        ring.publish(1, mk(1));
+        ring.publish(2, mk(2));
+        assert!(ring.get(1).is_some());
+        ring.publish(3, mk(3));
+        assert!(ring.get(1).is_none(), "oldest trace evicted");
+        assert!(ring.get(2).is_some() && ring.get(3).is_some());
+        let all = ring.all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(
+            all.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![2, 3],
+            "walk starts at the oldest surviving trace"
+        );
+    }
+
+    #[test]
+    fn trace_ids_are_distinct_and_nonzero() {
+        let ring = TraceBuffer::new(4);
+        let a = ring.next_trace_id();
+        let b = ring.next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(ring.next_seq(), 0);
+        assert_eq!(ring.next_seq(), 1);
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed_and_escaped() {
+        let mut tc = TraceCollector::new(9);
+        let root = tc.begin(events::QUERY_STATEMENT, 0);
+        tc.set_detail(root, "say \"hi\"\nnow".into());
+        tc.end(root);
+        let json = chrome_trace_json(tc.events());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("say \\\"hi\\\"\\nnow"));
+        assert!(
+            !json.contains('\n') || json.ends_with('\n'),
+            "one line + trailing newline"
+        );
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -50,9 +50,15 @@ fn quantile_bounds_for_known_distribution() {
     let p50 = s.p50();
     assert!((50..=64).contains(&p50), "p50 bound {p50} outside [50, 64]");
     let p95 = s.p95();
-    assert!((95..=128).contains(&p95), "p95 bound {p95} outside [95, 128]");
+    assert!(
+        (95..=128).contains(&p95),
+        "p95 bound {p95} outside [95, 128]"
+    );
     let p99 = s.p99();
-    assert!((99..=128).contains(&p99), "p99 bound {p99} outside [99, 128]");
+    assert!(
+        (99..=128).contains(&p99),
+        "p99 bound {p99} outside [99, 128]"
+    );
     // The bound is clamped to the observed maximum.
     assert!(s.quantile(1.0) <= s.max.max(1));
     assert!((s.mean() - 50.5).abs() < 1e-9);

@@ -147,7 +147,11 @@ mod tests {
         // /library/{book{title,author,issue{publisher,year}}, paper{title,author}}
         let mut t = SchemaTree::new();
         let lib = t
-            .get_or_add_child(SchemaTree::ROOT, NodeKind::Element, Some(SchemaName::local("library")))
+            .get_or_add_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(SchemaName::local("library")),
+            )
             .0;
         let book = t
             .get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("book")))
@@ -157,7 +161,11 @@ mod tests {
         let issue = t
             .get_or_add_child(book, NodeKind::Element, Some(SchemaName::local("issue")))
             .0;
-        t.get_or_add_child(issue, NodeKind::Element, Some(SchemaName::local("publisher")));
+        t.get_or_add_child(
+            issue,
+            NodeKind::Element,
+            Some(SchemaName::local("publisher")),
+        );
         t.get_or_add_child(issue, NodeKind::Element, Some(SchemaName::local("year")));
         let paper = t
             .get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("paper")))
@@ -179,7 +187,11 @@ mod tests {
         let t = sample();
         let r = eval_structural_path(
             &t,
-            &[PathStep::child("library"), PathStep::child("book"), PathStep::child("title")],
+            &[
+                PathStep::child("library"),
+                PathStep::child("book"),
+                PathStep::child("title"),
+            ],
         );
         assert_eq!(locals(&t, &r), ["title"]);
     }

@@ -33,7 +33,10 @@ impl NodeKind {
     pub fn has_value(self) -> bool {
         matches!(
             self,
-            NodeKind::Attribute | NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction
+            NodeKind::Attribute
+                | NodeKind::Text
+                | NodeKind::Comment
+                | NodeKind::ProcessingInstruction
         )
     }
 
@@ -172,14 +175,10 @@ impl SchemaTree {
         kind: NodeKind,
         name: Option<&SchemaName>,
     ) -> Option<SchemaNodeId> {
-        self.node(parent)
-            .children
-            .iter()
-            .copied()
-            .find(|&c| {
-                let n = self.node(c);
-                n.kind == kind && n.name.as_deref_name() == name
-            })
+        self.node(parent).children.iter().copied().find(|&c| {
+            let n = self.node(c);
+            n.kind == kind && n.name.as_deref_name() == name
+        })
     }
 
     /// Incremental maintenance: returns the child of `parent` for
@@ -272,12 +271,7 @@ impl SchemaTree {
                 }
                 None => out.push(0),
             }
-            out.extend_from_slice(
-                &node
-                    .parent
-                    .map_or(u32::MAX, |p| p.0)
-                    .to_le_bytes(),
-            );
+            out.extend_from_slice(&node.parent.map_or(u32::MAX, |p| p.0).to_le_bytes());
             out.extend_from_slice(&(node.children.len() as u32).to_le_bytes());
             for c in &node.children {
                 out.extend_from_slice(&c.0.to_le_bytes());
@@ -424,7 +418,11 @@ mod tests {
         let issue = t
             .get_or_add_child(book, NodeKind::Element, Some(SchemaName::local("issue")))
             .0;
-        t.get_or_add_child(issue, NodeKind::Element, Some(SchemaName::local("publisher")));
+        t.get_or_add_child(
+            issue,
+            NodeKind::Element,
+            Some(SchemaName::local("publisher")),
+        );
         t.get_or_add_child(issue, NodeKind::Element, Some(SchemaName::local("year")));
         let paper = t
             .get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("paper")))
@@ -439,7 +437,13 @@ mod tests {
         let mut t = fig2_schema();
         let before = t.len();
         // Re-adding existing paths creates nothing.
-        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        let lib = t
+            .find_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(&SchemaName::local("library")),
+            )
+            .unwrap();
         let (book, added) =
             t.get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("book")));
         assert!(!added);
@@ -454,7 +458,13 @@ mod tests {
     #[test]
     fn new_paths_append_and_report_added() {
         let mut t = fig2_schema();
-        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        let lib = t
+            .find_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(&SchemaName::local("library")),
+            )
+            .unwrap();
         let (dvd, added) =
             t.get_or_add_child(lib, NodeKind::Element, Some(SchemaName::local("dvd")));
         assert!(added);
@@ -467,7 +477,11 @@ mod tests {
     fn kinds_distinguish_same_name() {
         let mut t = SchemaTree::new();
         let e = t
-            .get_or_add_child(SchemaTree::ROOT, NodeKind::Element, Some(SchemaName::local("x")))
+            .get_or_add_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(SchemaName::local("x")),
+            )
             .0;
         let (a1, added1) =
             t.get_or_add_child(e, NodeKind::Attribute, Some(SchemaName::local("id")));
@@ -502,9 +516,19 @@ mod tests {
     #[test]
     fn path_and_depth() {
         let t = fig2_schema();
-        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
-        let book = t.find_child(lib, NodeKind::Element, Some(&SchemaName::local("book"))).unwrap();
-        let title = t.find_child(book, NodeKind::Element, Some(&SchemaName::local("title"))).unwrap();
+        let lib = t
+            .find_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(&SchemaName::local("library")),
+            )
+            .unwrap();
+        let book = t
+            .find_child(lib, NodeKind::Element, Some(&SchemaName::local("book")))
+            .unwrap();
+        let title = t
+            .find_child(book, NodeKind::Element, Some(&SchemaName::local("title")))
+            .unwrap();
         assert_eq!(t.path_of(title), vec![SchemaTree::ROOT, lib, book, title]);
         assert_eq!(t.depth(title), 3);
         assert_eq!(t.depth(SchemaTree::ROOT), 0);
@@ -513,7 +537,13 @@ mod tests {
     #[test]
     fn descendants_preorder() {
         let t = fig2_schema();
-        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        let lib = t
+            .find_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(&SchemaName::local("library")),
+            )
+            .unwrap();
         let descs = t.descendants(lib);
         // book subtree first (book, title, author, text, issue, publisher,
         // year), then paper subtree.
@@ -529,7 +559,18 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            ["book", "title", "author", "Text", "issue", "publisher", "year", "paper", "title", "author"]
+            [
+                "book",
+                "title",
+                "author",
+                "Text",
+                "issue",
+                "publisher",
+                "year",
+                "paper",
+                "title",
+                "author"
+            ]
         );
     }
 
@@ -537,7 +578,13 @@ mod tests {
     fn serialization_round_trip() {
         let mut t = fig2_schema();
         // Give some nodes block pointers and counts.
-        let lib = t.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        let lib = t
+            .find_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(&SchemaName::local("library")),
+            )
+            .unwrap();
         t.node_mut(lib).first_block = XPtr::new(1, 0x4000);
         t.node_mut(lib).last_block = XPtr::new(1, 0x8000);
         t.node_mut(lib).node_count = 7;
@@ -545,7 +592,13 @@ mod tests {
         let bytes = t.to_bytes();
         let back = SchemaTree::from_bytes(&bytes).unwrap();
         assert_eq!(back.len(), t.len());
-        let lib2 = back.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
+        let lib2 = back
+            .find_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(&SchemaName::local("library")),
+            )
+            .unwrap();
         assert_eq!(back.node(lib2).first_block, XPtr::new(1, 0x4000));
         assert_eq!(back.node(lib2).node_count, 7);
         assert_eq!(back.child_count(lib2), 2);

@@ -269,7 +269,8 @@ mod tests {
         while alloc_indir_entry(&mut page, PS, XPtr::new(1, 0)).is_some() {
             entries += 1;
         }
-        let leftover = PS - BLOCK_HEADER_LEN - (get_u16(&page, BH_DESC_SLOTS) as usize) * desc_size(0);
+        let leftover =
+            PS - BLOCK_HEADER_LEN - (get_u16(&page, BH_DESC_SLOTS) as usize) * desc_size(0);
         assert_eq!(entries, leftover / 8);
         assert!(!has_indir_room(&page, PS));
         assert!(!has_desc_room(&page, PS));

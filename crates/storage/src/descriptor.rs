@@ -154,7 +154,10 @@ pub fn label(page: &[u8], off: usize) -> RawLabel {
 /// Writes an inline label. The prefix must fit [`LABEL_INLINE_LEN`].
 pub fn set_label_inline(page: &mut [u8], off: usize, l: &Label) {
     let prefix = l.prefix();
-    assert!(prefix.len() <= LABEL_INLINE_LEN, "label does not fit inline");
+    assert!(
+        prefix.len() <= LABEL_INLINE_LEN,
+        "label does not fit inline"
+    );
     put_u16(page, off + ND_LABEL_LEN, prefix.len() as u16);
     page[off + ND_LABEL_DELIM] = l.delim();
     page[off + ND_LABEL_INLINE..off + ND_LABEL_INLINE + prefix.len()].copy_from_slice(prefix);
@@ -162,8 +165,18 @@ pub fn set_label_inline(page: &mut [u8], off: usize, l: &Label) {
 }
 
 /// Writes a spilled label: the prefix lives in text storage at `text_ref`.
-pub fn set_label_spilled(page: &mut [u8], off: usize, text_ref: XPtr, prefix_len: usize, delim: u8) {
-    put_u16(page, off + ND_LABEL_LEN, prefix_len.min(u16::MAX as usize) as u16);
+pub fn set_label_spilled(
+    page: &mut [u8],
+    off: usize,
+    text_ref: XPtr,
+    prefix_len: usize,
+    delim: u8,
+) {
+    put_u16(
+        page,
+        off + ND_LABEL_LEN,
+        prefix_len.min(u16::MAX as usize) as u16,
+    );
     page[off + ND_LABEL_DELIM] = delim;
     put_xptr(page, off + ND_LABEL_INLINE, text_ref);
     page[off + ND_FLAGS] |= NDF_LABEL_SPILLED;

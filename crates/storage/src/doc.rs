@@ -6,6 +6,7 @@ use sedna_numbering::{DocOrder, Label, LabelAlloc};
 use sedna_sas::{Vas, XPtr};
 use sedna_schema::{NodeKind, SchemaName, SchemaNodeId, SchemaTree};
 
+use crate::block;
 use crate::descriptor as d;
 use crate::error::{StorageError, StorageResult};
 use crate::indirection::{deref_handle, retarget_handle};
@@ -13,7 +14,6 @@ use crate::layout::*;
 use crate::node::NodeRef;
 use crate::text::TextStore;
 use crate::util::*;
-use crate::block;
 
 /// How parent pointers are represented.
 ///
@@ -75,7 +75,11 @@ pub struct DocStorage {
 impl DocStorage {
     /// Creates the storage for a fresh document: its document node and the
     /// root schema node's first block.
-    pub fn create(vas: &Vas, schema: &mut SchemaTree, mode: ParentMode) -> StorageResult<DocStorage> {
+    pub fn create(
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        mode: ParentMode,
+    ) -> StorageResult<DocStorage> {
         let mut doc = DocStorage {
             mode,
             doc_handle: XPtr::NULL,
@@ -91,7 +95,10 @@ impl DocStorage {
             vas,
             schema,
             sid,
-            ListPos { block: blk, prev_slot: NO_SLOT },
+            ListPos {
+                block: blk,
+                prev_slot: NO_SLOT,
+            },
             &label,
             NodeKind::Document,
         )?;
@@ -296,16 +303,18 @@ impl DocStorage {
         let ps = vas.page_size();
         let (desc_ptr, slot) = {
             let mut page = vas.write(pos.block)?;
-            let slot = block::alloc_desc_slot(&mut page, ps)
-                .expect("make_room guarantees a free slot");
+            let slot =
+                block::alloc_desc_slot(&mut page, ps).expect("make_room guarantees a free slot");
             let dsize = block::block_desc_size(&page);
             let off = block::desc_offset(slot, dsize);
             d::set_kind(&mut page, off, kind);
             match &prepared {
                 PreparedLabel::Inline(l) => d::set_label_inline(&mut page, off, l),
-                PreparedLabel::Spilled { text_ref, len, delim } => {
-                    d::set_label_spilled(&mut page, off, *text_ref, *len, *delim)
-                }
+                PreparedLabel::Spilled {
+                    text_ref,
+                    len,
+                    delim,
+                } => d::set_label_spilled(&mut page, off, *text_ref, *len, *delim),
             }
             // Chain insertion after pos.prev_slot.
             let (prev, next) = if pos.prev_slot == NO_SLOT {
@@ -369,7 +378,9 @@ impl DocStorage {
         if pos.prev_slot == NO_SLOT {
             return Ok(pos); // head of the old block, which now has room
         }
-        if let Some(&(_, new_ptr)) = moved.iter().find(|&&(old_slot, _)| old_slot == pos.prev_slot)
+        if let Some(&(_, new_ptr)) = moved
+            .iter()
+            .find(|&&(old_slot, _)| old_slot == pos.prev_slot)
         {
             let new_block = new_ptr.page(ps);
             let page = vas.read(new_ptr)?;
@@ -457,7 +468,15 @@ impl DocStorage {
                     let new_slot = block::alloc_desc_slot(&mut page, ps)
                         .expect("fresh block takes at least half a full block");
                     let new_off = block::desc_offset(new_slot, new_dsize);
-                    d::copy_desc(&src, 0, old_width, &mut page, new_off, new_width, new_dsize as usize);
+                    d::copy_desc(
+                        &src,
+                        0,
+                        old_width,
+                        &mut page,
+                        new_off,
+                        new_width,
+                        new_dsize as usize,
+                    );
                     // Chain in the new block.
                     d::set_prev_in_block(&mut page, new_off, prev_new_slot);
                     d::set_next_in_block(&mut page, new_off, NO_SLOT);
@@ -721,9 +740,7 @@ impl DocStorage {
         let prev_same = self.nearest_same_schema(vas, left_node, sid, Direction::Left)?;
         let pos = if let Some(p) = prev_same {
             self.pos_after(vas, p)?
-        } else if let Some(n) =
-            self.nearest_same_schema(vas, right_node, sid, Direction::Right)?
-        {
+        } else if let Some(n) = self.nearest_same_schema(vas, right_node, sid, Direction::Right)? {
             self.pos_before(vas, n)?
         } else {
             self.pos_by_label(vas, schema, sid, &label)?
@@ -734,7 +751,11 @@ impl DocStorage {
                 // Empty list (or append past the tail): ensure a tail block.
                 let tail = schema.node(sid).last_block;
                 let blk = if tail.is_null() {
-                    let minw = if kind == NodeKind::Element { MIN_ELEMENT_WIDTH } else { 0 };
+                    let minw = if kind == NodeKind::Element {
+                        MIN_ELEMENT_WIDTH
+                    } else {
+                        0
+                    };
                     let b = self.alloc_block(vas, schema, sid, minw)?;
                     self.link_block_tail(vas, schema, sid, b)?;
                     b
@@ -745,7 +766,10 @@ impl DocStorage {
                     let page = vas.read(blk)?;
                     block::last_desc(&page)
                 };
-                ListPos { block: blk, prev_slot: last }
+                ListPos {
+                    block: blk,
+                    prev_slot: last,
+                }
             }
         };
 
@@ -1089,7 +1113,11 @@ impl DocStorage {
         // Tail block with room (append-only loads never split).
         let tail = schema.node(sid).last_block;
         let blk = if tail.is_null() {
-            let minw = if kind == NodeKind::Element { MIN_ELEMENT_WIDTH } else { 0 };
+            let minw = if kind == NodeKind::Element {
+                MIN_ELEMENT_WIDTH
+            } else {
+                0
+            };
             let b = self.alloc_block(vas, schema, sid, minw)?;
             self.link_block_tail(vas, schema, sid, b)?;
             b
@@ -1101,7 +1129,11 @@ impl DocStorage {
             if has_room {
                 tail
             } else {
-                let minw = if kind == NodeKind::Element { MIN_ELEMENT_WIDTH } else { 0 };
+                let minw = if kind == NodeKind::Element {
+                    MIN_ELEMENT_WIDTH
+                } else {
+                    0
+                };
                 let b = self.alloc_block(vas, schema, sid, minw)?;
                 self.link_block_tail(vas, schema, sid, b)?;
                 b
@@ -1115,7 +1147,10 @@ impl DocStorage {
             vas,
             schema,
             sid,
-            ListPos { block: blk, prev_slot: last },
+            ListPos {
+                block: blk,
+                prev_slot: last,
+            },
             label,
             kind,
         )?;

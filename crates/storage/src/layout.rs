@@ -152,7 +152,14 @@ mod tests {
         assert_eq!(desc_size(2), 88);
         // Handle and pointer fields are 8-aligned relative to the
         // descriptor start for cheap reads.
-        for off in [ND_HANDLE, ND_PARENT, ND_LEFT_SIB, ND_RIGHT_SIB, ND_VALUE, ND_CHILDREN] {
+        for off in [
+            ND_HANDLE,
+            ND_PARENT,
+            ND_LEFT_SIB,
+            ND_RIGHT_SIB,
+            ND_VALUE,
+            ND_CHILDREN,
+        ] {
             assert_eq!(off % 8, 0, "offset {off} not aligned");
         }
     }

@@ -177,12 +177,7 @@ impl SubtreeStore {
     fn read_header(&self, vas: &Vas, pos: u64) -> StorageResult<(u8, u32, u32, u32)> {
         let mut hdr = [0u8; REC_HDR];
         self.read_at(vas, pos, &mut hdr)?;
-        Ok((
-            hdr[0],
-            get_u32(&hdr, 1),
-            get_u32(&hdr, 5),
-            get_u32(&hdr, 9),
-        ))
+        Ok((hdr[0], get_u32(&hdr, 1), get_u32(&hdr, 5), get_u32(&hdr, 9)))
     }
 
     /// Full-document scan collecting the string values of every element
@@ -264,11 +259,7 @@ impl SubtreeStore {
         let value = std::str::from_utf8(&bytes[at + REC_HDR..at + REC_HDR + value_len])
             .map_err(|_| StorageError::Corrupt("non-UTF-8 value".into()))?
             .to_string();
-        let name = || {
-            self.name(name_id)
-                .unwrap_or("?")
-                .to_string()
-        };
+        let name = || self.name(name_id).unwrap_or("?").to_string();
         match kind {
             KIND_ELEMENT => {
                 let mut children = Vec::new();
@@ -279,9 +270,8 @@ impl SubtreeStore {
                     if bytes[p] == KIND_ATTRIBUTE {
                         let a_name = get_u32(bytes, p + 1);
                         let a_len = get_u32(bytes, p + 5) as usize;
-                        let a_val =
-                            std::str::from_utf8(&bytes[p + REC_HDR..p + REC_HDR + a_len])
-                                .map_err(|_| StorageError::Corrupt("non-UTF-8 attr".into()))?;
+                        let a_val = std::str::from_utf8(&bytes[p + REC_HDR..p + REC_HDR + a_len])
+                            .map_err(|_| StorageError::Corrupt("non-UTF-8 attr".into()))?;
                         attributes.push(sedna_xml::Attribute {
                             name: sedna_xml::QName::local(self.name(a_name).unwrap_or("?")),
                             value: a_val.to_string(),
@@ -311,9 +301,7 @@ impl SubtreeStore {
                 },
                 at + subtree_len,
             )),
-            KIND_ATTRIBUTE => Err(StorageError::Corrupt(
-                "dangling attribute record".into(),
-            )),
+            KIND_ATTRIBUTE => Err(StorageError::Corrupt("dangling attribute record".into())),
             other => Err(StorageError::Corrupt(format!("bad record kind {other}"))),
         }
     }
@@ -355,7 +343,10 @@ mod tests {
         );
         let authors = store.scan_element_values(&vas, "author").unwrap();
         assert_eq!(authors.len(), 4);
-        assert!(store.scan_element_values(&vas, "missing").unwrap().is_empty());
+        assert!(store
+            .scan_element_values(&vas, "missing")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -187,7 +187,11 @@ impl TextStore {
         let (block, mut page) = vas.alloc_page()?;
         page[TH_KIND] = KIND_TEXT_BLOCK;
         put_u16(&mut page, TH_SLOT_COUNT, 0);
-        put_u16(&mut page, TH_DATA_START, Self::data_top(vas.page_size()) as u16);
+        put_u16(
+            &mut page,
+            TH_DATA_START,
+            Self::data_top(vas.page_size()) as u16,
+        );
         put_u16(&mut page, TH_FREE_SLOT_HEAD, NO_SLOT);
         put_u16(&mut page, TH_LIVE_COUNT, 0);
         put_u16(&mut page, TH_DEAD_BYTES, 0);
@@ -218,7 +222,9 @@ impl TextStore {
         let slot_count = get_u16(&page, TH_SLOT_COUNT) as usize;
         let free_head = get_u16(&page, TH_FREE_SLOT_HEAD);
         let need_new_slot = free_head == NO_SLOT;
-        let dir_end = TEXT_HEADER_LEN + slot_count * TEXT_SLOT_LEN + if need_new_slot { TEXT_SLOT_LEN } else { 0 };
+        let dir_end = TEXT_HEADER_LEN
+            + slot_count * TEXT_SLOT_LEN
+            + if need_new_slot { TEXT_SLOT_LEN } else { 0 };
         let mut data_start = get_u16(&page, TH_DATA_START) as usize;
         if data_start < dir_end + chunk_len {
             // Try in-page compaction if enough dead space exists.
@@ -320,7 +326,10 @@ mod tests {
         let (_sas, vas) = setup();
         let mut ts = TextStore::new();
         let r = ts.alloc(&vas, 0, b"Foundations of Databases").unwrap();
-        assert_eq!(TextStore::read(&vas, r).unwrap(), b"Foundations of Databases");
+        assert_eq!(
+            TextStore::read(&vas, r).unwrap(),
+            b"Foundations of Databases"
+        );
     }
 
     #[test]
@@ -376,8 +385,18 @@ mod tests {
         let mut ts = TextStore::new();
         // Fill a block with alternating values, free half to fragment it,
         // then allocate something that only fits after compaction.
-        let keep: Vec<XPtr> = (0..6).map(|i| ts.alloc(&vas, 0, format!("keeper-{i}-{}", "k".repeat(50)).as_bytes()).unwrap()).collect();
-        let drop_refs: Vec<XPtr> = (0..6).map(|i| ts.alloc(&vas, 0, format!("dropme-{i}-{}", "d".repeat(50)).as_bytes()).unwrap()).collect();
+        let keep: Vec<XPtr> = (0..6)
+            .map(|i| {
+                ts.alloc(&vas, 0, format!("keeper-{i}-{}", "k".repeat(50)).as_bytes())
+                    .unwrap()
+            })
+            .collect();
+        let drop_refs: Vec<XPtr> = (0..6)
+            .map(|i| {
+                ts.alloc(&vas, 0, format!("dropme-{i}-{}", "d".repeat(50)).as_bytes())
+                    .unwrap()
+            })
+            .collect();
         for r in drop_refs {
             TextStore::free(&vas, r).unwrap();
         }

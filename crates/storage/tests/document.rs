@@ -105,7 +105,11 @@ fn figure2_schema_shape() {
     // The library element's schema node has exactly two element children
     // (book, paper) — Figure 2's central point.
     let lib = schema
-        .find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library")))
+        .find_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(&SchemaName::local("library")),
+        )
         .unwrap();
     let elem_children: Vec<_> = schema
         .node(lib)
@@ -131,9 +135,23 @@ fn children_by_schema_walks_one_parents_children_only() {
     let books = root.children_by_schema(&vas, 0).unwrap();
     assert_eq!(books.len(), 2);
     // First book: slot for author within book's children.
-    let lib = schema.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
-    let book_sid = schema.find_child(lib, NodeKind::Element, Some(&SchemaName::local("book"))).unwrap();
-    let author_sid = schema.find_child(book_sid, NodeKind::Element, Some(&SchemaName::local("author"))).unwrap();
+    let lib = schema
+        .find_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(&SchemaName::local("library")),
+        )
+        .unwrap();
+    let book_sid = schema
+        .find_child(lib, NodeKind::Element, Some(&SchemaName::local("book")))
+        .unwrap();
+    let author_sid = schema
+        .find_child(
+            book_sid,
+            NodeKind::Element,
+            Some(&SchemaName::local("author")),
+        )
+        .unwrap();
     let slot = schema.child_slot(book_sid, author_sid).unwrap();
     // Book 1 has 3 authors; book 2 has exactly 1 — the walk must stop at
     // the parent boundary even though all 4 authors share one list.
@@ -162,10 +180,7 @@ fn labels_encode_document_order_and_ancestry() {
     let mut descendants = Vec::new();
     collect(&vas, root, &mut descendants);
     assert!(descendants.len() > 15);
-    let labels: Vec<_> = descendants
-        .iter()
-        .map(|n| n.label(&vas).unwrap())
-        .collect();
+    let labels: Vec<_> = descendants.iter().map(|n| n.label(&vas).unwrap()).collect();
     for w in labels.windows(2) {
         assert_eq!(w[0].doc_cmp(&w[1]), DocOrder::Before);
     }
@@ -181,14 +196,24 @@ fn multi_block_lists_preserve_partial_order() {
     let mut schema = SchemaTree::new();
     let xml = format!(
         "<root>{}</root>",
-        (0..300).map(|i| format!("<item>{i}</item>")).collect::<String>()
+        (0..300)
+            .map(|i| format!("<item>{i}</item>"))
+            .collect::<String>()
     );
     let doc = load_xml(&vas, &mut schema, ParentMode::Indirect, &xml).unwrap();
     let root_sid = schema
-        .find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("root")))
+        .find_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(&SchemaName::local("root")),
+        )
         .unwrap();
     let item_sid = schema
-        .find_child(root_sid, NodeKind::Element, Some(&SchemaName::local("item")))
+        .find_child(
+            root_sid,
+            NodeKind::Element,
+            Some(&SchemaName::local("item")),
+        )
         .unwrap();
     assert!(
         schema.node(item_sid).block_count > 3,
@@ -263,8 +288,10 @@ fn mid_document_insert_preserves_structure() {
     )
     .unwrap();
     let out = serialize(&vas, &schema, doc.doc_node(&vas).unwrap());
-    assert!(out.contains("<author>Abiteboul</author><author>Inserted</author><author>Hull</author>"),
-        "got: {out}");
+    assert!(
+        out.contains("<author>Abiteboul</author><author>Inserted</author><author>Hull</author>"),
+        "got: {out}"
+    );
     // Document order of the new node sits between its siblings.
     let la = abiteboul.label(&vas).unwrap();
     let ln = NodeRef(sedna_storage::indirection::deref_handle(&vas, new_handle).unwrap())
@@ -299,8 +326,17 @@ fn insert_new_first_child_updates_parent_slot() {
             None,
         )
         .unwrap();
-    doc.insert_node(&vas, &mut schema, h, None, None, NodeKind::Text, None, Some(b"0-321"))
-        .unwrap();
+    doc.insert_node(
+        &vas,
+        &mut schema,
+        h,
+        None,
+        None,
+        NodeKind::Text,
+        None,
+        Some(b"0-321"),
+    )
+    .unwrap();
     let out = serialize(&vas, &schema, doc.doc_node(&vas).unwrap());
     assert!(
         out.contains("<book><isbn>0-321</isbn><title>An Introduction"),
@@ -333,8 +369,17 @@ fn widening_relocation_keeps_handles_valid() {
                 None,
             )
             .unwrap();
-        doc.insert_node(&vas, &mut schema, h, None, None, NodeKind::Text, None, Some(format!("v{i}").as_bytes()))
-            .unwrap();
+        doc.insert_node(
+            &vas,
+            &mut schema,
+            h,
+            None,
+            None,
+            NodeKind::Text,
+            None,
+            Some(format!("v{i}").as_bytes()),
+        )
+        .unwrap();
         last = Some(h);
     }
     // The row element moved several times; its handle still resolves and
@@ -358,7 +403,9 @@ fn split_on_full_block_mid_insert() {
     let mut schema = SchemaTree::new();
     let xml = format!(
         "<root>{}</root>",
-        (0..40).map(|i| format!("<item>{i}</item>")).collect::<String>()
+        (0..40)
+            .map(|i| format!("<item>{i}</item>"))
+            .collect::<String>()
     );
     let mut doc = load_xml(&vas, &mut schema, ParentMode::Indirect, &xml).unwrap();
     let root = doc.root_element(&vas).unwrap().unwrap();
@@ -381,11 +428,23 @@ fn split_on_full_block_mid_insert() {
                 None,
             )
             .unwrap();
-        doc.insert_node(&vas, &mut schema, h, None, None, NodeKind::Text, None, Some(format!("new{i}").as_bytes()))
-            .unwrap();
+        doc.insert_node(
+            &vas,
+            &mut schema,
+            h,
+            None,
+            None,
+            NodeKind::Text,
+            None,
+            Some(format!("new{i}").as_bytes()),
+        )
+        .unwrap();
         left = h;
     }
-    assert!(doc.stats.splits > splits_before, "inserts must split blocks");
+    assert!(
+        doc.stats.splits > splits_before,
+        "inserts must split blocks"
+    );
     // Structure check: 70 items, values in order.
     let root = doc.root_element(&vas).unwrap().unwrap();
     let items = root.children_by_schema(&vas, 0).unwrap();
@@ -416,8 +475,16 @@ fn delete_subtree_relinks_and_frees() {
     assert!(out.contains("<book><title>An Introduction"));
     assert!(out.contains("<paper>"));
     // Schema counts dropped.
-    let lib = schema.find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library"))).unwrap();
-    let book_sid = schema.find_child(lib, NodeKind::Element, Some(&SchemaName::local("book"))).unwrap();
+    let lib = schema
+        .find_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(&SchemaName::local("library")),
+        )
+        .unwrap();
+    let book_sid = schema
+        .find_child(lib, NodeKind::Element, Some(&SchemaName::local("book")))
+        .unwrap();
     assert_eq!(schema.node(book_sid).node_count, 1);
     // Deleting the remaining book leaves paper as the only child.
     let root = doc.root_element(&vas).unwrap().unwrap();
@@ -497,7 +564,9 @@ fn direct_mode_pays_more_pointer_updates_on_moves() {
             (0..30)
                 .map(|i| format!(
                     "<rec>{}</rec>",
-                    (0..8).map(|j| format!("<f{j}>x{i}</f{j}>")).collect::<String>()
+                    (0..8)
+                        .map(|j| format!("<f{j}>x{i}</f{j}>"))
+                        .collect::<String>()
                 ))
                 .collect::<String>()
         );
@@ -542,8 +611,12 @@ fn set_value_replaces_text() {
     let b = root.children(&vas).unwrap()[0];
     let text = b.children(&vas).unwrap()[0];
     let th = text.handle(&vas).unwrap();
-    doc.set_value(&vas, th, b"replacement value that is much longer than before")
-        .unwrap();
+    doc.set_value(
+        &vas,
+        th,
+        b"replacement value that is much longer than before",
+    )
+    .unwrap();
     assert_eq!(
         root.string_value(&vas, &schema).unwrap(),
         "replacement value that is much longer than before"
@@ -557,7 +630,10 @@ fn comments_pis_and_attributes_store_and_navigate() {
     let xml = r#"<root a="1" b="two"><!--note--><?pi some data?><x/></root>"#;
     let doc = load_xml(&vas, &mut schema, ParentMode::Indirect, xml).unwrap();
     let out = serialize(&vas, &schema, doc.doc_node(&vas).unwrap());
-    assert_eq!(out, r#"<root a="1" b="two"><!--note--><?pi some data?><x/></root>"#);
+    assert_eq!(
+        out,
+        r#"<root a="1" b="two"><!--note--><?pi some data?><x/></root>"#
+    );
     let root = doc.root_element(&vas).unwrap().unwrap();
     let kids = root.children(&vas).unwrap();
     assert_eq!(kids.len(), 5); // 2 attrs + comment + pi + x
@@ -588,5 +664,7 @@ fn document_node_cannot_be_deleted() {
     let (_sas, vas) = setup(4096);
     let mut schema = SchemaTree::new();
     let mut doc = load_xml(&vas, &mut schema, ParentMode::Indirect, "<a/>").unwrap();
-    assert!(doc.delete_subtree(&vas, &mut schema, doc.doc_handle).is_err());
+    assert!(doc
+        .delete_subtree(&vas, &mut schema, doc.doc_handle)
+        .is_err());
 }

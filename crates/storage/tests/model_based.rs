@@ -49,7 +49,9 @@ impl Model {
     }
 
     fn live_non_root(&self) -> Vec<usize> {
-        (1..self.nodes.len()).filter(|&i| self.nodes[i].alive).collect()
+        (1..self.nodes.len())
+            .filter(|&i| self.nodes[i].alive)
+            .collect()
     }
 
     fn live_texts(&self) -> Vec<usize> {
@@ -58,7 +60,14 @@ impl Model {
             .collect()
     }
 
-    fn insert(&mut self, parent: usize, pos: usize, kind: NodeKind, name: Option<String>, value: String) -> usize {
+    fn insert(
+        &mut self,
+        parent: usize,
+        pos: usize,
+        kind: NodeKind,
+        name: Option<String>,
+        value: String,
+    ) -> usize {
         let id = self.nodes.len();
         self.nodes.push(RefNode {
             kind,
@@ -175,9 +184,17 @@ fn check_invariants(vas: &Vas, node: NodeRef, prev: &mut Option<sedna_numbering:
 #[derive(Clone, Debug)]
 enum Op {
     /// Insert an element under the i-th live element at child position p.
-    InsertElement { parent_sel: usize, pos: usize, name_sel: usize },
+    InsertElement {
+        parent_sel: usize,
+        pos: usize,
+        name_sel: usize,
+    },
     /// Insert a text node under the i-th live element.
-    InsertText { parent_sel: usize, pos: usize, value: String },
+    InsertText {
+        parent_sel: usize,
+        pos: usize,
+        value: String,
+    },
     /// Delete the i-th live non-root node (whole subtree).
     Delete { node_sel: usize },
     /// Replace the value of the i-th live text node.
@@ -221,7 +238,11 @@ fn run_model(ops: Vec<Op>, mode: ParentMode, page_size: usize) {
 
     for op in ops {
         match op {
-            Op::InsertElement { parent_sel, pos, name_sel } => {
+            Op::InsertElement {
+                parent_sel,
+                pos,
+                name_sel,
+            } => {
                 let parents = model.live_elements();
                 let parent = parents[parent_sel % parents.len()];
                 let siblings = model.nodes[parent].children.clone();
@@ -241,11 +262,21 @@ fn run_model(ops: Vec<Op>, mode: ParentMode, page_size: usize) {
                         None,
                     )
                     .unwrap();
-                let id = model.insert(parent, pos, NodeKind::Element, Some(name.into()), String::new());
+                let id = model.insert(
+                    parent,
+                    pos,
+                    NodeKind::Element,
+                    Some(name.into()),
+                    String::new(),
+                );
                 assert_eq!(id, handles.len());
                 handles.push(Some(h));
             }
-            Op::InsertText { parent_sel, pos, value } => {
+            Op::InsertText {
+                parent_sel,
+                pos,
+                value,
+            } => {
                 let parents = model.live_elements();
                 let parent = parents[parent_sel % parents.len()];
                 // The document node only takes elements in this model.
@@ -347,7 +378,9 @@ fn soak_mixed_operations() {
                     .map(|_| rng.gen_range(b'a'..=b'z') as char)
                     .collect(),
             },
-            6 => Op::Delete { node_sel: rng.gen() },
+            6 => Op::Delete {
+                node_sel: rng.gen(),
+            },
             _ => Op::SetValue {
                 node_sel: rng.gen(),
                 value: "replacement".into(),

@@ -29,8 +29,8 @@ pub mod metrics;
 pub mod version;
 
 pub use lock::{LockError, LockManager, LockMode, Resource};
-pub use metrics::{LockMetrics, TxnMetrics};
 pub use manager::{TxnHandle, TxnKind, TxnManager};
+pub use metrics::{LockMetrics, TxnMetrics};
 pub use version::{Snapshot, VersionManager, VersionStats};
 
 /// Transaction identifier.

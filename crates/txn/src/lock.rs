@@ -52,11 +52,7 @@ impl LockMode {
     /// for `other`).
     pub fn covers(self, other: LockMode) -> bool {
         use LockMode::*;
-        self == other
-            || matches!(
-                (self, other),
-                (X, _) | (S, IS) | (IX, IS)
-            )
+        self == other || matches!((self, other), (X, _) | (S, IS) | (IX, IS))
     }
 
     /// The weakest mode at least as strong as both.
@@ -225,10 +221,7 @@ impl LockManager {
                 wait_start = Some(Instant::now());
                 self.metrics.waits.inc();
             }
-            let timed_out = self
-                .wakeup
-                .wait_for(&mut state, self.timeout)
-                .timed_out();
+            let timed_out = self.wakeup.wait_for(&mut state, self.timeout).timed_out();
             state.wait_for.remove(&txn);
             if timed_out {
                 self.metrics.timeouts.inc();
@@ -357,10 +350,7 @@ mod tests {
         lm.lock_document(TxnId(2), 2, LockMode::X).unwrap();
         let lm2 = Arc::clone(&lm);
         // Txn 1 waits for doc 2.
-        let h = std::thread::spawn(move || {
-            
-            lm2.lock_document(TxnId(1), 2, LockMode::X)
-        });
+        let h = std::thread::spawn(move || lm2.lock_document(TxnId(1), 2, LockMode::X));
         std::thread::sleep(Duration::from_millis(50));
         // Txn 2 requesting doc 1 closes the cycle and must be the victim.
         let r = lm.lock_document(TxnId(2), 1, LockMode::X);

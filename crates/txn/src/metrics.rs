@@ -47,8 +47,16 @@ impl TxnMetrics {
             "Read-only (snapshot) transactions begun",
             &self.readonly_begins,
         );
-        reg.register_counter("sedna_txn_commits_total", "Transactions committed", &self.commits);
-        reg.register_counter("sedna_txn_aborts_total", "Transactions aborted", &self.aborts);
+        reg.register_counter(
+            "sedna_txn_commits_total",
+            "Transactions committed",
+            &self.commits,
+        );
+        reg.register_counter(
+            "sedna_txn_aborts_total",
+            "Transactions aborted",
+            &self.aborts,
+        );
         reg.register_counter(
             "sedna_txn_lock_waits_total",
             "Lock requests that blocked at least once",

@@ -306,7 +306,12 @@ impl VersionManager {
 
     /// Active snapshots (diagnostics/tests).
     pub fn snapshots(&self) -> Vec<Snapshot> {
-        self.state.lock().snapshots.iter().map(|s| s.snap.clone()).collect()
+        self.state
+            .lock()
+            .snapshots
+            .iter()
+            .map(|s| s.snap.clone())
+            .collect()
     }
 
     /// Version counters.
@@ -624,13 +629,19 @@ mod tests {
         assert_ne!(plan.phys, p0);
         assert_eq!(plan.copy_from, Some(p0));
         // Readers: snapshot sees old, updater sees new, LATEST sees old.
-        assert_eq!(vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(), p0);
+        assert_eq!(
+            vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(),
+            p0
+        );
         assert_eq!(vm.resolve_read(page(1), txn_view(t2)).unwrap(), plan.phys);
         assert_eq!(vm.resolve_read(page(1), View::LATEST).unwrap(), p0);
         vm.commit(t2);
         assert_eq!(vm.resolve_read(page(1), View::LATEST).unwrap(), plan.phys);
         // The pinned snapshot still sees the old version.
-        assert_eq!(vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(), p0);
+        assert_eq!(
+            vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(),
+            p0
+        );
         vm.release_snapshot(snap.ts);
     }
 
@@ -714,7 +725,10 @@ mod tests {
             vm.commit(t);
         }
         // The snapshot's version survived all that churn.
-        assert_eq!(vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(), p0);
+        assert_eq!(
+            vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(),
+            p0
+        );
         vm.release_snapshot(snap.ts);
     }
 
@@ -770,7 +784,10 @@ mod tests {
         vm.on_page_free(page(1), Some(t2.token())).unwrap();
         vm.commit(t2);
         assert!(vm.resolve_read(page(1), View::LATEST).is_err());
-        assert_eq!(vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(), p0);
+        assert_eq!(
+            vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(),
+            p0
+        );
         vm.release_snapshot(snap.ts);
     }
 }

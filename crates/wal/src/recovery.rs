@@ -153,8 +153,18 @@ mod tests {
             let mut w = WalWriter::create(&path).unwrap();
             w.append(&WalRecord::Begin { txn: 1 }).unwrap();
             w.append(&WalRecord::Begin { txn: 2 }).unwrap();
-            w.append(&WalRecord::PageImage { txn: 1, page: page(1), image: vec![1] }).unwrap();
-            w.append(&WalRecord::PageImage { txn: 2, page: page(2), image: vec![2] }).unwrap();
+            w.append(&WalRecord::PageImage {
+                txn: 1,
+                page: page(1),
+                image: vec![1],
+            })
+            .unwrap();
+            w.append(&WalRecord::PageImage {
+                txn: 2,
+                page: page(2),
+                image: vec![2],
+            })
+            .unwrap();
             w.append(&WalRecord::Commit { txn: 1, ts: 10 }).unwrap();
             // txn 2 never commits (crash).
             w.flush().unwrap();
@@ -178,7 +188,12 @@ mod tests {
         {
             let mut w = WalWriter::create(&path).unwrap();
             w.append(&WalRecord::Begin { txn: 1 }).unwrap();
-            w.append(&WalRecord::PageImage { txn: 1, page: page(1), image: vec![1] }).unwrap();
+            w.append(&WalRecord::PageImage {
+                txn: 1,
+                page: page(1),
+                image: vec![1],
+            })
+            .unwrap();
             w.append(&WalRecord::Commit { txn: 1, ts: 1 }).unwrap();
             w.append(&WalRecord::Checkpoint(CheckpointData {
                 ts: 1,
@@ -188,7 +203,12 @@ mod tests {
             }))
             .unwrap();
             w.append(&WalRecord::Begin { txn: 2 }).unwrap();
-            w.append(&WalRecord::PageImage { txn: 2, page: page(2), image: vec![2] }).unwrap();
+            w.append(&WalRecord::PageImage {
+                txn: 2,
+                page: page(2),
+                image: vec![2],
+            })
+            .unwrap();
             w.append(&WalRecord::Commit { txn: 2, ts: 2 }).unwrap();
             w.flush().unwrap();
         }
@@ -208,7 +228,12 @@ mod tests {
         {
             let mut w = WalWriter::create(&path).unwrap();
             w.append(&WalRecord::Begin { txn: 1 }).unwrap();
-            w.append(&WalRecord::PageImage { txn: 1, page: page(1), image: vec![1] }).unwrap();
+            w.append(&WalRecord::PageImage {
+                txn: 1,
+                page: page(1),
+                image: vec![1],
+            })
+            .unwrap();
             w.append(&WalRecord::Abort { txn: 1 }).unwrap();
             w.flush().unwrap();
         }
@@ -225,7 +250,12 @@ mod tests {
             let mut w = WalWriter::create(&path).unwrap();
             for (txn, ts) in [(1u64, 10u64), (2, 20), (3, 30)] {
                 w.append(&WalRecord::Begin { txn }).unwrap();
-                w.append(&WalRecord::PageImage { txn, page: page(txn as u32), image: vec![txn as u8] }).unwrap();
+                w.append(&WalRecord::PageImage {
+                    txn,
+                    page: page(txn as u32),
+                    image: vec![txn as u8],
+                })
+                .unwrap();
                 w.append(&WalRecord::Commit { txn, ts }).unwrap();
             }
             w.flush().unwrap();
@@ -243,8 +273,17 @@ mod tests {
         {
             let mut w = WalWriter::create(&path).unwrap();
             w.append(&WalRecord::Begin { txn: 1 }).unwrap();
-            w.append(&WalRecord::PageImage { txn: 1, page: page(1), image: vec![1] }).unwrap();
-            w.append(&WalRecord::PageFree { txn: 1, page: page(1) }).unwrap();
+            w.append(&WalRecord::PageImage {
+                txn: 1,
+                page: page(1),
+                image: vec![1],
+            })
+            .unwrap();
+            w.append(&WalRecord::PageFree {
+                txn: 1,
+                page: page(1),
+            })
+            .unwrap();
             w.append(&WalRecord::Commit { txn: 1, ts: 1 }).unwrap();
             w.flush().unwrap();
         }

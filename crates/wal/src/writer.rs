@@ -32,7 +32,11 @@ impl WalMetrics {
     /// Registers every metric under its canonical `sedna_wal_*` name
     /// (see `docs/metrics.md`).
     pub fn register_into(&self, reg: &Registry) {
-        reg.register_counter("sedna_wal_appends_total", "WAL records appended", &self.appends);
+        reg.register_counter(
+            "sedna_wal_appends_total",
+            "WAL records appended",
+            &self.appends,
+        );
         reg.register_counter(
             "sedna_wal_append_bytes_total",
             "WAL bytes appended (framed)",

@@ -25,16 +25,52 @@ const FIRST_NAMES: &[&str] = &[
     "Hector", "Rachel", "Moshe", "Serge", "Victor", "Yuri",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Codd", "Gray", "Hopper", "Stonebraker", "Liskov", "Knuth", "Lamport", "Dijkstra",
-    "Abiteboul", "Hull", "Vianu", "Date", "Ullman", "Widom", "Garcia-Molina", "Bernstein",
+    "Codd",
+    "Gray",
+    "Hopper",
+    "Stonebraker",
+    "Liskov",
+    "Knuth",
+    "Lamport",
+    "Dijkstra",
+    "Abiteboul",
+    "Hull",
+    "Vianu",
+    "Date",
+    "Ullman",
+    "Widom",
+    "Garcia-Molina",
+    "Bernstein",
 ];
 const TITLE_WORDS: &[&str] = &[
-    "Foundations", "Principles", "Transaction", "Processing", "Relational", "Model", "Data",
-    "Banks", "Concurrency", "Control", "Recovery", "Systems", "Native", "Storage", "Query",
-    "Optimization", "Semistructured", "Management",
+    "Foundations",
+    "Principles",
+    "Transaction",
+    "Processing",
+    "Relational",
+    "Model",
+    "Data",
+    "Banks",
+    "Concurrency",
+    "Control",
+    "Recovery",
+    "Systems",
+    "Native",
+    "Storage",
+    "Query",
+    "Optimization",
+    "Semistructured",
+    "Management",
 ];
 const CATEGORIES: &[&str] = &[
-    "databases", "systems", "theory", "networks", "languages", "graphics", "security", "ml",
+    "databases",
+    "systems",
+    "theory",
+    "networks",
+    "languages",
+    "graphics",
+    "security",
+    "ml",
 ];
 
 fn pick<'a>(rng: &mut SmallRng, words: &[&'a str]) -> &'a str {
@@ -129,7 +165,11 @@ pub fn auction(items: usize, seed: u64) -> String {
     }
     out.push_str("</people><open_auctions>");
     for a in 0..items / 4 {
-        out.push_str(&format!("<open_auction id=\"auction{a}\"><itemref item=\"item{}\"/><initial>{}</initial>", rng.gen_range(0..items.max(1)), rng.gen_range(5..50)));
+        out.push_str(&format!(
+            "<open_auction id=\"auction{a}\"><itemref item=\"item{}\"/><initial>{}</initial>",
+            rng.gen_range(0..items.max(1)),
+            rng.gen_range(5..50)
+        ));
         for _ in 0..rng.gen_range(0..5) {
             out.push_str(&format!(
                 "<bidder><personref person=\"person{}\"/><increase>{}</increase></bidder>",

@@ -271,11 +271,7 @@ impl<'a> XmlReader<'a> {
             self.bindings.push((p.clone(), uri.clone()));
         }
         let uri = self.resolve(&prefix, false)?;
-        let name = QName {
-            prefix,
-            local,
-            uri,
-        };
+        let name = QName { prefix, local, uri };
         let mut attributes = Vec::with_capacity(raw_attrs.len());
         for (ap, al, value) in raw_attrs {
             let uri = self.resolve(&ap, true)?;
@@ -582,7 +578,9 @@ mod tests {
 
     #[test]
     fn prolog_doctype_and_epilog() {
-        let evs = events("<?xml version=\"1.0\"?>\n<!DOCTYPE lib [<!ELEMENT a ANY>]>\n<a/>\n<!--done-->\n");
+        let evs = events(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE lib [<!ELEMENT a ANY>]>\n<a/>\n<!--done-->\n",
+        );
         assert!(matches!(&evs[0], XmlEvent::StartElement { .. }));
         assert!(matches!(evs.last().unwrap(), XmlEvent::Comment(_)));
     }
@@ -593,14 +591,18 @@ mod tests {
             r#"<bk:lib xmlns:bk="urn:books" xmlns="urn:default"><item bk:kind="x"/></bk:lib>"#,
         );
         match &evs[0] {
-            XmlEvent::StartElement { name, namespaces, .. } => {
+            XmlEvent::StartElement {
+                name, namespaces, ..
+            } => {
                 assert_eq!(name.uri.as_deref(), Some("urn:books"));
                 assert_eq!(namespaces.len(), 2);
             }
             _ => unreachable!(),
         }
         match &evs[1] {
-            XmlEvent::StartElement { name, attributes, .. } => {
+            XmlEvent::StartElement {
+                name, attributes, ..
+            } => {
                 // Unprefixed element takes the default namespace.
                 assert_eq!(name.uri.as_deref(), Some("urn:default"));
                 // Prefixed attribute resolves; unprefixed attrs would not.
@@ -632,7 +634,10 @@ mod tests {
 
     #[test]
     fn mismatched_tags_rejected() {
-        assert!(matches!(parse_err("<a><b></a></b>"), XmlError::Syntax { .. }));
+        assert!(matches!(
+            parse_err("<a><b></a></b>"),
+            XmlError::Syntax { .. }
+        ));
         assert!(matches!(parse_err("<a>"), XmlError::Syntax { .. }));
         assert!(matches!(parse_err("</a>"), XmlError::Syntax { .. }));
     }
@@ -659,7 +664,10 @@ mod tests {
 
     #[test]
     fn bad_entities_rejected() {
-        assert!(matches!(parse_err("<a>&nope;</a>"), XmlError::Syntax { .. }));
+        assert!(matches!(
+            parse_err("<a>&nope;</a>"),
+            XmlError::Syntax { .. }
+        ));
         assert!(matches!(
             parse_err(r#"<a x="&nope;"/>"#),
             XmlError::Syntax { .. }

@@ -16,21 +16,31 @@
 //!   evaluated per binding), integer ranges, and sequence concatenation;
 //! * **blocking** — distinct-document-order (sort), `order by` FLWOR,
 //!   `last()`-dependent predicates, and every other expression form,
-//!   which all fall back to [`Op::Materialize`]: full evaluation behind
-//!   the same `next()` interface, so callers never observe the
+//!   which all fall back to [`OpKind::Materialize`]: full evaluation
+//!   behind the same `next()` interface, so callers never observe the
 //!   difference except through pin counts.
 //!
 //! The operators embed their own runtime state, so a plan plus an
 //! [`crate::exec::ExecState`] fully captures a suspended query: the host
 //! rebuilds the borrowed [`crate::exec::Database`] view around them on
 //! every pull (see `sedna` / `QueryCursor`).
+//!
+//! **Instrumentation.** Every operator carries always-on pull/item
+//! counters (two plain `u64` increments per pull — no atomics, no
+//! branches beyond the increment itself). Per-operator wall time is
+//! opt-in via [`Plan::enable_timing`] (two `Instant` reads per pull per
+//! operator), so untraced executions pay nothing for it.
+//! [`Plan::profile`] folds the tree into an [`OpProfile`] — the
+//! `EXPLAIN ANALYZE` operator tree rendered by [`OpProfile::render`],
+//! with self-time computed as cumulative time minus the children's.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use sedna_sas::XPtr;
 use sedna_schema::SchemaNodeId;
 
-use crate::ast::{Expr, FlworClause, PathStart, Step};
+use crate::ast::{Axis, Expr, FlworClause, NodeTest, PathStart, Step};
 use crate::error::{QueryError, QueryResult};
 use crate::exec::Executor;
 use crate::value::{Atom, Item, Sequence};
@@ -60,7 +70,20 @@ impl Plan {
     /// Whether the root operator streams (false when the whole plan is
     /// one materializing fallback).
     pub fn is_streaming(&self) -> bool {
-        !matches!(self.root, Op::Materialize { .. })
+        !matches!(self.root.kind, OpKind::Materialize { .. })
+    }
+
+    /// Turns on per-operator wall-clock timing for the whole tree (for
+    /// `EXPLAIN ANALYZE` and traced statements). Off by default so the
+    /// plain execution path never reads the clock per pull.
+    pub fn enable_timing(&mut self) {
+        self.root.enable_timing();
+    }
+
+    /// The `EXPLAIN ANALYZE` operator tree: per-operator pulls, items
+    /// emitted, and (when timing was enabled) cumulative/self time.
+    pub fn profile(&self) -> OpProfile {
+        self.root.profile()
     }
 
     /// Pulls the next item, or `None` when the plan is exhausted.
@@ -69,9 +92,35 @@ impl Plan {
     }
 }
 
-/// One pull operator. State lives inline so the tree is self-contained.
+/// One pull operator: its kind-specific state plus runtime counters.
 #[derive(Debug)]
-enum Op {
+struct Op {
+    kind: OpKind,
+    /// `next()` calls on this operator.
+    pulls: u64,
+    /// Pulls answered with an item.
+    items: u64,
+    /// Wall time spent inside `next()`, children included; stays 0
+    /// unless timing is enabled.
+    cum_ns: u64,
+    timed: bool,
+}
+
+impl From<OpKind> for Op {
+    fn from(kind: OpKind) -> Op {
+        Op {
+            kind,
+            pulls: 0,
+            items: 0,
+            cum_ns: 0,
+            timed: false,
+        }
+    }
+}
+
+/// Operator-kind state. Lives inline so the tree is self-contained.
+#[derive(Debug)]
+enum OpKind {
     /// `doc('name')` — yields the document node once.
     DocRoot { name: String, done: bool },
     /// One axis step: pulls a parent from `input`, evaluates the full
@@ -160,94 +209,229 @@ enum RangeState {
     Done,
 }
 
+/// One node of the `EXPLAIN ANALYZE` operator tree — a plan operator's
+/// identity plus its observed runtime behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpProfile {
+    /// Operator name (`Step`, `Ddo`, `Materialize`, …).
+    pub name: &'static str,
+    /// Operator-specific detail (`child::v`, `doc('big')`, …).
+    pub detail: String,
+    /// `next()` calls the operator received.
+    pub pulls: u64,
+    /// Pulls it answered with an item.
+    pub items: u64,
+    /// Wall time inside the operator including its children (0 when
+    /// timing was not enabled).
+    pub cum_ns: u64,
+    /// `cum_ns` minus the children's `cum_ns` — the operator's own
+    /// work.
+    pub self_ns: u64,
+    /// Input operators.
+    pub children: Vec<OpProfile>,
+}
+
+impl OpProfile {
+    /// Renders the tree in the classic indented EXPLAIN shape:
+    ///
+    /// ```text
+    /// Ddo streamed  (pulls=5 items=4 self=1.2us total=40.0us)
+    ///   StructuralScan doc('big')/child::v  (pulls=5 items=4 ...)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(self.name);
+        if !self.detail.is_empty() {
+            let _ = write!(out, " {}", self.detail);
+        }
+        let _ = writeln!(
+            out,
+            "  (pulls={} items={} self={} total={})",
+            self.pulls,
+            self.items,
+            fmt_ns(self.self_ns),
+            fmt_ns(self.cum_ns)
+        );
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// Human-scaled duration: `640ns`, `12.5us`, `3.1ms`, `1.20s`.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// `axis::test` plus a predicate-count suffix, e.g. `child::v` or
+/// `descendant::*[2 predicates]`.
+fn step_label(step: &Step) -> String {
+    let axis = match step.axis {
+        Axis::Child => "child",
+        Axis::Descendant => "descendant",
+        Axis::DescendantOrSelf => "descendant-or-self",
+        Axis::SelfAxis => "self",
+        Axis::Parent => "parent",
+        Axis::Ancestor => "ancestor",
+        Axis::AncestorOrSelf => "ancestor-or-self",
+        Axis::FollowingSibling => "following-sibling",
+        Axis::PrecedingSibling => "preceding-sibling",
+        Axis::Attribute => "attribute",
+    };
+    let test = match &step.test {
+        NodeTest::Name(n) => n.to_string(),
+        NodeTest::Wildcard => "*".into(),
+        NodeTest::Text => "text()".into(),
+        NodeTest::Comment => "comment()".into(),
+        NodeTest::Pi(_) => "processing-instruction()".into(),
+        NodeTest::AnyKind => "node()".into(),
+    };
+    if step.predicates.is_empty() {
+        format!("{axis}::{test}")
+    } else {
+        format!("{axis}::{test}[{} predicates]", step.predicates.len())
+    }
+}
+
 fn compile_op(e: &Expr) -> Op {
     match e {
         Expr::Path { start, steps } => {
             let input = match start {
-                PathStart::Doc(name) => Op::DocRoot {
+                PathStart::Doc(name) => Op::from(OpKind::DocRoot {
                     name: name.clone(),
                     done: false,
-                },
+                }),
                 PathStart::Expr(inner) => compile_op(inner),
                 // '/' and '.' need the caller's context item, which a
                 // top-level cursor does not have a streaming source for.
                 PathStart::Root | PathStart::Context => return Op::materialize(e),
             };
-            steps.iter().fold(input, |acc, s| Op::Step {
-                input: Box::new(acc),
-                step: s.clone(),
-                buf: VecDeque::new(),
+            steps.iter().fold(input, |acc, s| {
+                Op::from(OpKind::Step {
+                    input: Box::new(acc),
+                    step: s.clone(),
+                    buf: VecDeque::new(),
+                })
             })
         }
-        Expr::StructuralPath { doc, steps } => Op::StructuralScan {
+        Expr::StructuralPath { doc, steps } => Op::from(OpKind::StructuralScan {
             doc: doc.clone(),
             steps: steps.clone(),
             state: None,
             buf: VecDeque::new(),
-        },
+        }),
         Expr::Filter { input, predicates } => {
             // last() needs the filtered sequence's size up front; any
             // predicate using it forces materialization.
             if predicates.iter().any(contains_last) {
                 return Op::materialize(e);
             }
-            predicates
-                .iter()
-                .fold(compile_op(input), |acc, p| Op::Filter {
+            predicates.iter().fold(compile_op(input), |acc, p| {
+                Op::from(OpKind::Filter {
                     input: Box::new(acc),
                     predicate: p.clone(),
                     pos: 0,
                 })
+            })
         }
-        Expr::Sequence(items) => Op::Concat {
+        Expr::Sequence(items) => Op::from(OpKind::Concat {
             parts: items.iter().map(compile_op).collect(),
             idx: 0,
-        },
-        Expr::Range(a, b) => Op::Range {
+        }),
+        Expr::Range(a, b) => Op::from(OpKind::Range {
             lo: (**a).clone(),
             hi: (**b).clone(),
             state: RangeState::Unopened,
-        },
-        Expr::Ddo(inner) => Op::Ddo {
+        }),
+        Expr::Ddo(inner) => Op::from(OpKind::Ddo {
             input: Box::new(compile_op(inner)),
             passthrough: None,
             buf: None,
-        },
+        }),
         Expr::Flwor {
             clauses,
             where_,
             order,
             ret,
-        } if order.is_empty() => Op::For {
+        } if order.is_empty() => Op::from(OpKind::For {
             clauses: clauses.clone(),
             where_: where_.as_deref().cloned(),
             ret: (**ret).clone(),
             state: None,
             buf: VecDeque::new(),
-        },
+        }),
         other => Op::materialize(other),
     }
 }
 
 impl Op {
     fn materialize(e: &Expr) -> Op {
-        Op::Materialize {
+        Op::from(OpKind::Materialize {
             expr: e.clone(),
             buf: None,
-        }
+        })
     }
 
     fn depth(&self) -> usize {
-        1 + match self {
-            Op::DocRoot { .. }
-            | Op::StructuralScan { .. }
-            | Op::Range { .. }
-            | Op::For { .. }
-            | Op::Materialize { .. } => 0,
-            Op::Step { input, .. } | Op::Filter { input, .. } | Op::Ddo { input, .. } => {
-                input.depth()
-            }
-            Op::Concat { parts, .. } => parts.iter().map(Op::depth).max().unwrap_or(0),
+        1 + match &self.kind {
+            OpKind::DocRoot { .. }
+            | OpKind::StructuralScan { .. }
+            | OpKind::Range { .. }
+            | OpKind::For { .. }
+            | OpKind::Materialize { .. } => 0,
+            OpKind::Step { input, .. }
+            | OpKind::Filter { input, .. }
+            | OpKind::Ddo { input, .. } => input.depth(),
+            OpKind::Concat { parts, .. } => parts.iter().map(Op::depth).max().unwrap_or(0),
+        }
+    }
+
+    fn enable_timing(&mut self) {
+        self.timed = true;
+        match &mut self.kind {
+            OpKind::Step { input, .. }
+            | OpKind::Filter { input, .. }
+            | OpKind::Ddo { input, .. } => input.enable_timing(),
+            OpKind::Concat { parts, .. } => parts.iter_mut().for_each(Op::enable_timing),
+            _ => {}
+        }
+    }
+
+    fn profile(&self) -> OpProfile {
+        let (name, detail) = self.kind.label();
+        let children: Vec<OpProfile> = match &self.kind {
+            OpKind::Step { input, .. }
+            | OpKind::Filter { input, .. }
+            | OpKind::Ddo { input, .. } => vec![input.profile()],
+            OpKind::Concat { parts, .. } => parts.iter().map(Op::profile).collect(),
+            _ => Vec::new(),
+        };
+        let child_ns: u64 = children.iter().map(|c| c.cum_ns).sum();
+        OpProfile {
+            name,
+            detail,
+            pulls: self.pulls,
+            items: self.items,
+            cum_ns: self.cum_ns,
+            self_ns: self.cum_ns.saturating_sub(child_ns),
+            children,
         }
     }
 
@@ -256,7 +440,10 @@ impl Op {
     /// exactly once, in document order, so a `Ddo` above it can stream.
     /// Resolving fills the scan's own open state, which the scan reuses.
     fn single_chain_scan(&mut self, ex: &mut Executor<'_>) -> QueryResult<bool> {
-        let Op::StructuralScan { doc, steps, state, .. } = self else {
+        let OpKind::StructuralScan {
+            doc, steps, state, ..
+        } = &mut self.kind
+        else {
             return Ok(false);
         };
         if state.is_none() {
@@ -276,9 +463,51 @@ impl Op {
         Ok(st.sids.len() <= 1)
     }
 
+    /// Counted, optionally timed pull: the kind-specific work happens in
+    /// [`OpKind::next`]; this wrapper maintains the operator's stats.
+    fn next(&mut self, ex: &mut Executor<'_>) -> QueryResult<Option<Item>> {
+        self.pulls += 1;
+        let started = self.timed.then(Instant::now);
+        let out = self.kind.next(ex);
+        if let Some(t) = started {
+            self.cum_ns += t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        }
+        if matches!(out, Ok(Some(_))) {
+            self.items += 1;
+        }
+        out
+    }
+}
+
+impl OpKind {
+    /// Operator name + detail for the profile tree.
+    fn label(&self) -> (&'static str, String) {
+        match self {
+            OpKind::DocRoot { name, .. } => ("DocRoot", format!("doc('{name}')")),
+            OpKind::Step { step, .. } => ("Step", step_label(step)),
+            OpKind::StructuralScan { doc, steps, .. } => {
+                let path: Vec<String> = steps.iter().map(step_label).collect();
+                ("StructuralScan", format!("doc('{doc}')/{}", path.join("/")))
+            }
+            OpKind::Filter { .. } => ("Filter", "predicate".into()),
+            OpKind::For { clauses, .. } => ("For", format!("{} clauses", clauses.len())),
+            OpKind::Range { .. } => ("Range", String::new()),
+            OpKind::Concat { parts, .. } => ("Concat", format!("{} parts", parts.len())),
+            OpKind::Ddo { passthrough, .. } => (
+                "Ddo",
+                match passthrough {
+                    Some(true) => "streamed".into(),
+                    Some(false) => "sorted".into(),
+                    None => String::new(),
+                },
+            ),
+            OpKind::Materialize { .. } => ("Materialize", "full evaluation".into()),
+        }
+    }
+
     fn next(&mut self, ex: &mut Executor<'_>) -> QueryResult<Option<Item>> {
         match self {
-            Op::DocRoot { name, done } => {
+            OpKind::DocRoot { name, done } => {
                 if *done {
                     return Ok(None);
                 }
@@ -293,7 +522,7 @@ impl Op {
                     node,
                 })))
             }
-            Op::Step { input, step, buf } => loop {
+            OpKind::Step { input, step, buf } => loop {
                 if let Some(item) = buf.pop_front() {
                     return Ok(Some(item));
                 }
@@ -313,7 +542,7 @@ impl Op {
                 }
                 buf.extend(batch);
             },
-            Op::StructuralScan {
+            OpKind::StructuralScan {
                 doc,
                 steps,
                 state,
@@ -350,7 +579,7 @@ impl Op {
                     buf.extend(batch);
                 }
             },
-            Op::Filter {
+            OpKind::Filter {
                 input,
                 predicate,
                 pos,
@@ -374,7 +603,7 @@ impl Op {
                     return Ok(Some(item));
                 }
             },
-            Op::For {
+            OpKind::For {
                 clauses,
                 where_,
                 ret,
@@ -400,7 +629,7 @@ impl Op {
                 }
                 buf.extend(ex.eval(ret)?);
             },
-            Op::Range { lo, hi, state } => {
+            OpKind::Range { lo, hi, state } => {
                 if let RangeState::Unopened = state {
                     let va = ex.eval(lo)?;
                     let vb = ex.eval(hi)?;
@@ -425,7 +654,7 @@ impl Op {
                     }
                 }
             }
-            Op::Concat { parts, idx } => {
+            OpKind::Concat { parts, idx } => {
                 while *idx < parts.len() {
                     if let Some(item) = parts[*idx].next(ex)? {
                         return Ok(Some(item));
@@ -434,7 +663,7 @@ impl Op {
                 }
                 Ok(None)
             }
-            Op::Ddo {
+            OpKind::Ddo {
                 input,
                 passthrough,
                 buf,
@@ -454,7 +683,7 @@ impl Op {
                 }
                 Ok(buf.as_mut().and_then(VecDeque::pop_front))
             }
-            Op::Materialize { expr, buf } => {
+            OpKind::Materialize { expr, buf } => {
                 if buf.is_none() {
                     *buf = Some(ex.eval(expr)?.into());
                 }
@@ -471,7 +700,11 @@ impl ForState {
     /// node identities, not page pins) and re-evaluated whenever an
     /// outer clause advances, so inner clauses may reference outer
     /// variables.
-    fn next_binding(&mut self, ex: &mut Executor<'_>, clauses: &[FlworClause]) -> QueryResult<bool> {
+    fn next_binding(
+        &mut self,
+        ex: &mut Executor<'_>,
+        clauses: &[FlworClause],
+    ) -> QueryResult<bool> {
         let n = clauses.len();
         // Down(i): (re-)open clause i; Up(i): backtrack into clause i-1.
         enum Dir {
@@ -605,7 +838,9 @@ fn contains_last(e: &Expr) -> bool {
                     stack.extend(s.predicates.iter());
                 }
             }
-            Expr::ElementCtor { attrs, children, .. } => {
+            Expr::ElementCtor {
+                attrs, children, ..
+            } => {
                 for (_, parts) in attrs {
                     stack.extend(parts.iter());
                 }
@@ -712,5 +947,36 @@ mod tests {
             ret: Expr::ContextItem.boxed(),
         };
         assert!(Plan::compile(&unordered).is_streaming());
+    }
+
+    #[test]
+    fn profile_mirrors_the_operator_tree() {
+        let plan = Plan::compile(&Expr::Ddo(doc_path("lib", &["a", "b"]).boxed()));
+        let p = plan.profile();
+        assert_eq!(p.name, "Ddo");
+        assert_eq!(p.children.len(), 1);
+        let step_b = &p.children[0];
+        assert_eq!(step_b.name, "Step");
+        assert_eq!(step_b.detail, "child::b");
+        let step_a = &step_b.children[0];
+        assert_eq!(step_a.detail, "child::a");
+        let root = &step_a.children[0];
+        assert_eq!(root.name, "DocRoot");
+        assert_eq!(root.detail, "doc('lib')");
+        assert!(root.children.is_empty());
+        // Fresh plan: all counters zero, rendering still well-formed.
+        assert_eq!((p.pulls, p.items, p.cum_ns, p.self_ns), (0, 0, 0, 0));
+        let text = p.render();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.starts_with("Ddo  (pulls=0 items=0"));
+        assert!(text.contains("\n      DocRoot doc('lib')  (pulls=0"));
+    }
+
+    #[test]
+    fn duration_rendering_scales_units() {
+        assert_eq!(fmt_ns(640), "640ns");
+        assert_eq!(fmt_ns(12_500), "12.5us");
+        assert_eq!(fmt_ns(3_100_000), "3.1ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.20s");
     }
 }

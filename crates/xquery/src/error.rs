@@ -62,7 +62,10 @@ mod tests {
     #[test]
     fn display_variants() {
         for e in [
-            QueryError::Parse { pos: 3, msg: "x".into() },
+            QueryError::Parse {
+                pos: 3,
+                msg: "x".into(),
+            },
             QueryError::Static("y".into()),
             QueryError::Dynamic("z".into()),
             QueryError::Storage(StorageError::TooLarge("w".into())),

@@ -607,7 +607,11 @@ impl<'a> Executor<'a> {
     }
 
     /// Applies one predicate over a batch with position/size context.
-    pub(crate) fn apply_predicate(&mut self, batch: Sequence, pred: &Expr) -> QueryResult<Sequence> {
+    pub(crate) fn apply_predicate(
+        &mut self,
+        batch: Sequence,
+        pred: &Expr,
+    ) -> QueryResult<Sequence> {
         let size = batch.len();
         let mut out = Vec::new();
         for (i, item) in batch.into_iter().enumerate() {
@@ -975,15 +979,13 @@ impl<'a> Executor<'a> {
                         _ => {}
                     }
                 }
-                TempChild::StoredRef { doc, node } => {
-                    match node.kind(self.db.vas)? {
-                        NodeKind::Text => out.push_str(&node.value_string(self.db.vas)?),
-                        NodeKind::Element => out.push_str(
-                            &node.string_value(self.db.vas, self.db.docs[*doc].schema)?,
-                        ),
-                        _ => {}
+                TempChild::StoredRef { doc, node } => match node.kind(self.db.vas)? {
+                    NodeKind::Text => out.push_str(&node.value_string(self.db.vas)?),
+                    NodeKind::Element => {
+                        out.push_str(&node.string_value(self.db.vas, self.db.docs[*doc].schema)?)
                     }
-                }
+                    _ => {}
+                },
             }
         }
         Ok(())
@@ -999,9 +1001,7 @@ impl<'a> Executor<'a> {
                 kind == NodeKind::ProcessingInstruction
                     && match target {
                         None => true,
-                        Some(t) => self
-                            .node_name(node)?
-                            .is_some_and(|n| n.local == *t),
+                        Some(t) => self.node_name(node)?.is_some_and(|n| n.local == *t),
                     }
             }
             NodeTest::Wildcard => {
@@ -1627,7 +1627,13 @@ impl<'a> Executor<'a> {
             }
             NodeKind::Element => {
                 let sid = node.schema(vas)?;
-                let name = schema.node(sid).name.as_ref().expect("elements are named").local.clone();
+                let name = schema
+                    .node(sid)
+                    .name
+                    .as_ref()
+                    .expect("elements are named")
+                    .local
+                    .clone();
                 out.push('<');
                 out.push_str(&name);
                 let children = node.children(vas)?;
@@ -1637,7 +1643,14 @@ impl<'a> Executor<'a> {
                 for a in &attrs {
                     let asid = a.schema(vas)?;
                     out.push(' ');
-                    out.push_str(&schema.node(asid).name.as_ref().expect("attributes are named").local);
+                    out.push_str(
+                        &schema
+                            .node(asid)
+                            .name
+                            .as_ref()
+                            .expect("attributes are named")
+                            .local,
+                    );
                     out.push_str("=\"");
                     out.push_str(&sedna_xml::escape_attr(&a.value_string(vas)?));
                     out.push('"');
@@ -1683,7 +1696,12 @@ impl<'a> Executor<'a> {
         let node = self.arena.get(id);
         match node.kind {
             NodeKind::Element => {
-                let name = node.name.as_ref().expect("elements are named").local.clone();
+                let name = node
+                    .name
+                    .as_ref()
+                    .expect("elements are named")
+                    .local
+                    .clone();
                 out.push('<');
                 out.push_str(&name);
                 let mut content = Vec::new();

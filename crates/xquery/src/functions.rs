@@ -19,50 +19,222 @@ pub struct Builtin {
 /// The registry. Indexes into this slice are the `FnResolution::Builtin`
 /// payload.
 pub static BUILTINS: &[Builtin] = &[
-    Builtin { name: "doc", min_arity: 1, max_arity: 1 },
-    Builtin { name: "document", min_arity: 1, max_arity: 1 },
-    Builtin { name: "count", min_arity: 1, max_arity: 1 },
-    Builtin { name: "empty", min_arity: 1, max_arity: 1 },
-    Builtin { name: "exists", min_arity: 1, max_arity: 1 },
-    Builtin { name: "not", min_arity: 1, max_arity: 1 },
-    Builtin { name: "true", min_arity: 0, max_arity: 0 },
-    Builtin { name: "false", min_arity: 0, max_arity: 0 },
-    Builtin { name: "boolean", min_arity: 1, max_arity: 1 },
-    Builtin { name: "string", min_arity: 0, max_arity: 1 },
-    Builtin { name: "number", min_arity: 0, max_arity: 1 },
-    Builtin { name: "data", min_arity: 1, max_arity: 1 },
-    Builtin { name: "name", min_arity: 0, max_arity: 1 },
-    Builtin { name: "local-name", min_arity: 0, max_arity: 1 },
-    Builtin { name: "string-length", min_arity: 0, max_arity: 1 },
-    Builtin { name: "concat", min_arity: 2, max_arity: 64 },
-    Builtin { name: "contains", min_arity: 2, max_arity: 2 },
-    Builtin { name: "starts-with", min_arity: 2, max_arity: 2 },
-    Builtin { name: "ends-with", min_arity: 2, max_arity: 2 },
-    Builtin { name: "substring", min_arity: 2, max_arity: 3 },
-    Builtin { name: "substring-before", min_arity: 2, max_arity: 2 },
-    Builtin { name: "substring-after", min_arity: 2, max_arity: 2 },
-    Builtin { name: "normalize-space", min_arity: 0, max_arity: 1 },
-    Builtin { name: "upper-case", min_arity: 1, max_arity: 1 },
-    Builtin { name: "lower-case", min_arity: 1, max_arity: 1 },
-    Builtin { name: "string-join", min_arity: 2, max_arity: 2 },
-    Builtin { name: "sum", min_arity: 1, max_arity: 1 },
-    Builtin { name: "avg", min_arity: 1, max_arity: 1 },
-    Builtin { name: "min", min_arity: 1, max_arity: 1 },
-    Builtin { name: "max", min_arity: 1, max_arity: 1 },
-    Builtin { name: "round", min_arity: 1, max_arity: 1 },
-    Builtin { name: "floor", min_arity: 1, max_arity: 1 },
-    Builtin { name: "ceiling", min_arity: 1, max_arity: 1 },
-    Builtin { name: "abs", min_arity: 1, max_arity: 1 },
-    Builtin { name: "position", min_arity: 0, max_arity: 0 },
-    Builtin { name: "last", min_arity: 0, max_arity: 0 },
-    Builtin { name: "distinct-values", min_arity: 1, max_arity: 1 },
-    Builtin { name: "reverse", min_arity: 1, max_arity: 1 },
-    Builtin { name: "subsequence", min_arity: 2, max_arity: 3 },
-    Builtin { name: "index-of", min_arity: 2, max_arity: 2 },
-    Builtin { name: "deep-equal", min_arity: 2, max_arity: 2 },
+    Builtin {
+        name: "doc",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "document",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "count",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "empty",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "exists",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "not",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "true",
+        min_arity: 0,
+        max_arity: 0,
+    },
+    Builtin {
+        name: "false",
+        min_arity: 0,
+        max_arity: 0,
+    },
+    Builtin {
+        name: "boolean",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "string",
+        min_arity: 0,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "number",
+        min_arity: 0,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "data",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "name",
+        min_arity: 0,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "local-name",
+        min_arity: 0,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "string-length",
+        min_arity: 0,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "concat",
+        min_arity: 2,
+        max_arity: 64,
+    },
+    Builtin {
+        name: "contains",
+        min_arity: 2,
+        max_arity: 2,
+    },
+    Builtin {
+        name: "starts-with",
+        min_arity: 2,
+        max_arity: 2,
+    },
+    Builtin {
+        name: "ends-with",
+        min_arity: 2,
+        max_arity: 2,
+    },
+    Builtin {
+        name: "substring",
+        min_arity: 2,
+        max_arity: 3,
+    },
+    Builtin {
+        name: "substring-before",
+        min_arity: 2,
+        max_arity: 2,
+    },
+    Builtin {
+        name: "substring-after",
+        min_arity: 2,
+        max_arity: 2,
+    },
+    Builtin {
+        name: "normalize-space",
+        min_arity: 0,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "upper-case",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "lower-case",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "string-join",
+        min_arity: 2,
+        max_arity: 2,
+    },
+    Builtin {
+        name: "sum",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "avg",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "min",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "max",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "round",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "floor",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "ceiling",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "abs",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "position",
+        min_arity: 0,
+        max_arity: 0,
+    },
+    Builtin {
+        name: "last",
+        min_arity: 0,
+        max_arity: 0,
+    },
+    Builtin {
+        name: "distinct-values",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "reverse",
+        min_arity: 1,
+        max_arity: 1,
+    },
+    Builtin {
+        name: "subsequence",
+        min_arity: 2,
+        max_arity: 3,
+    },
+    Builtin {
+        name: "index-of",
+        min_arity: 2,
+        max_arity: 2,
+    },
+    Builtin {
+        name: "deep-equal",
+        min_arity: 2,
+        max_arity: 2,
+    },
     // Sedna extension: scan a value index created with CREATE INDEX.
-    Builtin { name: "index-scan", min_arity: 2, max_arity: 2 },
-    Builtin { name: "index-scan-between", min_arity: 3, max_arity: 3 },
+    Builtin {
+        name: "index-scan",
+        min_arity: 2,
+        max_arity: 2,
+    },
+    Builtin {
+        name: "index-scan-between",
+        min_arity: 3,
+        max_arity: 3,
+    },
 ];
 
 /// Resolves `(name, arity)` against the registry.
@@ -91,11 +263,7 @@ mod tests {
     fn registry_has_no_duplicate_overlapping_entries() {
         for (i, a) in BUILTINS.iter().enumerate() {
             for b in &BUILTINS[i + 1..] {
-                assert!(
-                    a.name != b.name,
-                    "duplicate builtin {}",
-                    a.name
-                );
+                assert!(a.name != b.name, "duplicate builtin {}", a.name);
             }
         }
     }

@@ -44,7 +44,7 @@ pub mod update;
 pub mod value;
 
 pub use ast::{Expr, Statement};
-pub use cursor::Plan;
+pub use cursor::{OpProfile, Plan};
 pub use error::{QueryError, QueryResult};
 pub use exec::{ConstructMode, Database, DocEntry, ExecState, ExecStats, Executor};
 pub use update::{apply_update, plan_update_with_stats, UpdateTarget};

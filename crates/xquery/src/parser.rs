@@ -1344,10 +1344,7 @@ mod tests {
             parse("every $x in (1,2) satisfies $x > 0"),
             Expr::Quantified { some: false, .. }
         ));
-        assert!(matches!(
-            parse("if (1) then 2 else 3"),
-            Expr::If { .. }
-        ));
+        assert!(matches!(parse("if (1) then 2 else 3"), Expr::If { .. }));
     }
 
     #[test]
@@ -1413,7 +1410,8 @@ mod tests {
 
     #[test]
     fn update_statements() {
-        let s = parse_statement("UPDATE insert <author>New</author> into doc('l')/lib/book[1]").unwrap();
+        let s = parse_statement("UPDATE insert <author>New</author> into doc('l')/lib/book[1]")
+            .unwrap();
         assert!(matches!(
             s.kind,
             StatementKind::Update(UpdateStmt::Insert {
@@ -1422,9 +1420,11 @@ mod tests {
             })
         ));
         let s = parse_statement("UPDATE delete doc('l')//book[title = 'Old']").unwrap();
-        assert!(matches!(s.kind, StatementKind::Update(UpdateStmt::Delete { .. })));
-        let s =
-            parse_statement("UPDATE replace value of doc('l')//year with '2005'").unwrap();
+        assert!(matches!(
+            s.kind,
+            StatementKind::Update(UpdateStmt::Delete { .. })
+        ));
+        let s = parse_statement("UPDATE replace value of doc('l')//year with '2005'").unwrap();
         assert!(matches!(
             s.kind,
             StatementKind::Update(UpdateStmt::ReplaceValue { .. })
@@ -1443,7 +1443,13 @@ mod tests {
         )
         .unwrap();
         match s.kind {
-            StatementKind::Ddl(DdlStmt::CreateIndex { name, doc, on, by, key_type }) => {
+            StatementKind::Ddl(DdlStmt::CreateIndex {
+                name,
+                doc,
+                on,
+                by,
+                key_type,
+            }) => {
                 assert_eq!(name, "byyear");
                 assert_eq!(doc, "lib");
                 assert_eq!(on.len(), 2);
@@ -1453,7 +1459,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let s = parse_statement("DROP INDEX 'byyear'").unwrap();
-        assert_eq!(s.kind, StatementKind::Ddl(DdlStmt::DropIndex("byyear".into())));
+        assert_eq!(
+            s.kind,
+            StatementKind::Ddl(DdlStmt::DropIndex("byyear".into()))
+        );
     }
 
     #[test]

@@ -25,7 +25,6 @@
 
 use crate::ast::*;
 
-
 /// Statistics of what the rewriter did (used by the rewrite tests and the
 /// E5–E8 benchmarks to verify both variants really differ).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -178,9 +177,9 @@ pub fn infer_props(e: &Expr) -> Props {
             // at most one schema node (names are unique among a schema
             // node's children), so its single list is in DDO; anything
             // with descendant/wildcard steps may span schema nodes.
-            let single_schema_node = steps.iter().all(|s| {
-                s.axis == Axis::Child && matches!(s.test, NodeTest::Name(_))
-            });
+            let single_schema_node = steps
+                .iter()
+                .all(|s| s.axis == Axis::Child && matches!(s.test, NodeTest::Name(_)));
             Props {
                 is_ddo: single_schema_node,
                 max_one: false,
@@ -190,12 +189,39 @@ pub fn infer_props(e: &Expr) -> Props {
         Expr::FnCall { name, .. } => {
             // Aggregates and scalar functions yield at most one item.
             const SCALAR: &[&str] = &[
-                "count", "empty", "exists", "not", "true", "false", "boolean", "string",
-                "number", "name", "local-name", "string-length", "concat", "contains",
-                "starts-with", "ends-with", "substring", "substring-before",
-                "substring-after", "normalize-space", "upper-case", "lower-case",
-                "string-join", "sum", "avg", "min", "max", "round", "floor", "ceiling",
-                "abs", "position", "last",
+                "count",
+                "empty",
+                "exists",
+                "not",
+                "true",
+                "false",
+                "boolean",
+                "string",
+                "number",
+                "name",
+                "local-name",
+                "string-length",
+                "concat",
+                "contains",
+                "starts-with",
+                "ends-with",
+                "substring",
+                "substring-before",
+                "substring-after",
+                "normalize-space",
+                "upper-case",
+                "lower-case",
+                "string-join",
+                "sum",
+                "avg",
+                "min",
+                "max",
+                "round",
+                "floor",
+                "ceiling",
+                "abs",
+                "position",
+                "last",
             ];
             if name == "doc" || name == "document" || SCALAR.contains(&name.as_str()) {
                 Props {
@@ -303,7 +329,13 @@ pub fn may_depend_on_position(e: &Expr) -> bool {
                 return true;
             }
             const BOOLEAN_FNS: &[&str] = &[
-                "not", "boolean", "empty", "exists", "contains", "starts-with", "ends-with",
+                "not",
+                "boolean",
+                "empty",
+                "exists",
+                "contains",
+                "starts-with",
+                "ends-with",
                 "deep-equal",
             ];
             if BOOLEAN_FNS.contains(&name.as_str()) {
@@ -313,7 +345,9 @@ pub fn may_depend_on_position(e: &Expr) -> bool {
             true
         }
         Expr::If { cond, then, els } => {
-            contains_position_call(cond) || may_depend_on_position(then) || may_depend_on_position(els)
+            contains_position_call(cond)
+                || may_depend_on_position(then)
+                || may_depend_on_position(els)
         }
         // Numbers, variables, everything else: assume positional.
         _ => true,
@@ -465,9 +499,8 @@ fn inline_functions(stmt: &mut Statement, stats: &mut RewriteStats) {
     for _round in 0..8 {
         let mut changed = false;
         let functions = stmt.functions.clone();
-        let mut rewrite_in = |e: &mut Expr| {
-            inline_in_expr(e, &functions, &recursive, stats, &mut changed)
-        };
+        let mut rewrite_in =
+            |e: &mut Expr| inline_in_expr(e, &functions, &recursive, stats, &mut changed);
         match &mut stmt.kind {
             StatementKind::Query(e) => rewrite_in(e),
             StatementKind::Update(u) => match u {
@@ -662,7 +695,10 @@ impl Rewriter {
                             if self.opts.lazy_invariants
                                 && inside_loop
                                 && free_slots(expr).is_empty()
-                                && !matches!(expr, Expr::Cached { .. } | Expr::Literal(_) | Expr::Empty)
+                                && !matches!(
+                                    expr,
+                                    Expr::Cached { .. } | Expr::Literal(_) | Expr::Empty
+                                )
                             {
                                 let inner = std::mem::replace(expr, Expr::Empty);
                                 *expr = Expr::Cached {
@@ -679,7 +715,10 @@ impl Rewriter {
                             if self.opts.lazy_invariants
                                 && inside_loop
                                 && free_slots(expr).is_empty()
-                                && !matches!(expr, Expr::Cached { .. } | Expr::Literal(_) | Expr::Empty)
+                                && !matches!(
+                                    expr,
+                                    Expr::Cached { .. } | Expr::Literal(_) | Expr::Empty
+                                )
                             {
                                 let inner = std::mem::replace(expr, Expr::Empty);
                                 *expr = Expr::Cached {
@@ -764,7 +803,15 @@ impl Rewriter {
                 }
                 // §5.1.1: DDO is not required for aggregation inputs.
                 const ORDER_BLIND: &[&str] = &[
-                    "count", "empty", "exists", "not", "boolean", "sum", "avg", "min", "max",
+                    "count",
+                    "empty",
+                    "exists",
+                    "not",
+                    "boolean",
+                    "sum",
+                    "avg",
+                    "min",
+                    "max",
                     "distinct-values",
                 ];
                 if self.opts.remove_ddo && ORDER_BLIND.contains(&name.as_str()) {
@@ -827,10 +874,7 @@ impl Rewriter {
                 && steps[i].test == NodeTest::AnyKind
                 && steps[i].predicates.is_empty()
                 && steps[i + 1].axis == Axis::Child
-                && !steps[i + 1]
-                    .predicates
-                    .iter()
-                    .any(may_depend_on_position);
+                && !steps[i + 1].predicates.iter().any(may_depend_on_position);
             if combinable {
                 let next = steps.remove(i + 1);
                 steps[i] = Step {
@@ -983,7 +1027,10 @@ mod tests {
                 ));
                 assert!(matches!(
                     &clauses[1],
-                    FlworClause::For { expr: Expr::Cached { .. }, .. }
+                    FlworClause::For {
+                        expr: Expr::Cached { .. },
+                        ..
+                    }
                 ));
             }
             other => panic!("{other:?}"),
@@ -1043,7 +1090,13 @@ mod tests {
         let Expr::Ddo(inner) = e else { panic!() };
         assert!(!infer_props(&inner).is_ddo);
         // Variables are unknown.
-        assert!(!infer_props(&Expr::VarRef { name: "v".into(), slot: 0 }).is_ddo);
+        assert!(
+            !infer_props(&Expr::VarRef {
+                name: "v".into(),
+                slot: 0
+            })
+            .is_ddo
+        );
     }
 
     #[test]
@@ -1072,7 +1125,8 @@ mod tests {
 
     #[test]
     fn recursive_functions_not_inlined() {
-        let q = "declare function local:f($n) { if ($n le 0) then 0 else local:f($n - 1) }; local:f(3)";
+        let q =
+            "declare function local:f($n) { if ($n le 0) then 0 else local:f($n - 1) }; local:f(3)";
         let (_, stats) = rewrite(q);
         assert_eq!(stats.functions_inlined, 0);
     }
@@ -1092,7 +1146,13 @@ mod tests {
         fn has_user_call(e: &Expr) -> bool {
             let mut found = false;
             visit(e, &mut |x| {
-                if matches!(x, Expr::FnCall { resolved: FnResolution::User(_), .. }) {
+                if matches!(
+                    x,
+                    Expr::FnCall {
+                        resolved: FnResolution::User(_),
+                        ..
+                    }
+                ) {
                     found = true;
                 }
             });

@@ -92,9 +92,9 @@ impl Analyzer {
                 Ok(())
             }
             Expr::VarRef { name, slot } => {
-                *slot = self.lookup(name).ok_or_else(|| {
-                    QueryError::Static(format!("undeclared variable ${name}"))
-                })?;
+                *slot = self
+                    .lookup(name)
+                    .ok_or_else(|| QueryError::Static(format!("undeclared variable ${name}")))?;
                 Ok(())
             }
             Expr::Flwor {
@@ -107,7 +107,11 @@ impl Analyzer {
                 for clause in clauses.iter_mut() {
                     match clause {
                         FlworClause::For {
-                            var, slot, at, expr, ..
+                            var,
+                            slot,
+                            at,
+                            expr,
+                            ..
                         } => {
                             self.resolve(expr)?;
                             *slot = self.bind(var);
@@ -251,10 +255,7 @@ mod tests {
         match stmt.kind {
             StatementKind::Query(Expr::Flwor { clauses, ret, .. }) => {
                 let (xs, ys) = match (&clauses[0], &clauses[1]) {
-                    (
-                        FlworClause::For { slot: a, .. },
-                        FlworClause::Let { slot: b, expr, .. },
-                    ) => {
+                    (FlworClause::For { slot: a, .. }, FlworClause::Let { slot: b, expr, .. }) => {
                         // $x inside the let initializer resolved to x's slot.
                         match expr {
                             Expr::Arith(_, lhs, _) => match lhs.as_ref() {
@@ -366,9 +367,7 @@ mod tests {
     #[test]
     fn update_targets_analyzed() {
         assert!(matches!(
-            analyze(
-                parse_statement("UPDATE delete $undeclared").unwrap()
-            ),
+            analyze(parse_statement("UPDATE delete $undeclared").unwrap()),
             Err(QueryError::Static(_))
         ));
     }

@@ -148,11 +148,7 @@ fn targets_to_handles(
                     "constructed nodes cannot be update targets".into(),
                 ))
             }
-            Item::Atom(_) => {
-                return Err(QueryError::Dynamic(
-                    "update target is not a node".into(),
-                ))
-            }
+            Item::Atom(_) => return Err(QueryError::Dynamic("update target is not a node".into())),
         }
     }
     let doc = doc_idx.ok_or_else(|| QueryError::Dynamic("empty update target".into()))?;
@@ -247,7 +243,8 @@ pub fn execute_plan(
         }
         UpdatePlan::ReplaceValue { targets, value } => {
             for &h in targets {
-                let node = sedna_storage::NodeRef(sedna_storage::indirection::deref_handle(vas, h)?);
+                let node =
+                    sedna_storage::NodeRef(sedna_storage::indirection::deref_handle(vas, h)?);
                 match node.kind(vas)? {
                     NodeKind::Element => {
                         // Replace all children with a single text node.
@@ -335,8 +332,7 @@ pub fn execute_plan(
                             None => None,
                         };
                         for c in content {
-                            let h =
-                                insert_owned(vas, schema, doc, parent, left, Some(target), c)?;
+                            let h = insert_owned(vas, schema, doc, parent, left, Some(target), c)?;
                             outcome.inserted_roots.push(h);
                             left = Some(h);
                         }
@@ -412,4 +408,3 @@ pub fn apply_update(
 const _: () = {
     let _ = std::mem::size_of::<UpdateTarget>;
 };
-

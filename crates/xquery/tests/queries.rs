@@ -147,10 +147,7 @@ fn arithmetic_and_functions() {
     assert_eq!(run_query(&fx, "avg((2, 4))"), "3");
     assert_eq!(run_query(&fx, "min((3, 1, 2))"), "1");
     assert_eq!(run_query(&fx, "max((3, 1, 2))"), "3");
-    assert_eq!(
-        run_query(&fx, "string-join(('a', 'b', 'c'), '-')"),
-        "a-b-c"
-    );
+    assert_eq!(run_query(&fx, "string-join(('a', 'b', 'c'), '-')"), "a-b-c");
     assert_eq!(run_query(&fx, "substring('hello world', 7)"), "world");
     assert_eq!(run_query(&fx, "substring('hello', 2, 3)"), "ell");
     assert_eq!(run_query(&fx, "normalize-space('  a   b  ')"), "a b");
@@ -172,15 +169,24 @@ fn arithmetic_and_functions() {
 fn quantified_expressions() {
     let fx = fixture(LIBRARY);
     assert_eq!(
-        run_query(&fx, "some $a in doc('lib')//author satisfies string($a) = 'Codd'"),
+        run_query(
+            &fx,
+            "some $a in doc('lib')//author satisfies string($a) = 'Codd'"
+        ),
         "true"
     );
     assert_eq!(
-        run_query(&fx, "every $a in doc('lib')//author satisfies string-length(string($a)) > 3"),
+        run_query(
+            &fx,
+            "every $a in doc('lib')//author satisfies string-length(string($a)) > 3"
+        ),
         "true"
     );
     assert_eq!(
-        run_query(&fx, "every $a in doc('lib')//author satisfies starts-with(string($a), 'A')"),
+        run_query(
+            &fx,
+            "every $a in doc('lib')//author satisfies starts-with(string($a), 'A')"
+        ),
         "false"
     );
 }
@@ -189,7 +195,10 @@ fn quantified_expressions() {
 fn if_then_else_and_logic() {
     let fx = fixture(LIBRARY);
     assert_eq!(
-        run_query(&fx, "if (count(doc('lib')//book) = 2) then 'two' else 'other'"),
+        run_query(
+            &fx,
+            "if (count(doc('lib')//book) = 2) then 'two' else 'other'"
+        ),
         "two"
     );
     assert_eq!(run_query(&fx, "true() and not(false())"), "true");
@@ -221,10 +230,7 @@ fn axes_parent_ancestor_siblings() {
         ),
         "Abiteboul"
     );
-    assert_eq!(
-        run_query(&fx, "count(doc('lib')//title/self::title)"),
-        "3"
-    );
+    assert_eq!(run_query(&fx, "count(doc('lib')//title/self::title)"), "3");
 }
 
 #[test]
@@ -240,15 +246,24 @@ fn attributes_and_wildcards() {
 fn set_operations() {
     let fx = fixture(LIBRARY);
     assert_eq!(
-        run_query(&fx, "count(doc('lib')//book/title union doc('lib')//paper/title)"),
+        run_query(
+            &fx,
+            "count(doc('lib')//book/title union doc('lib')//paper/title)"
+        ),
         "3"
     );
     assert_eq!(
-        run_query(&fx, "count(doc('lib')//title intersect doc('lib')//book/title)"),
+        run_query(
+            &fx,
+            "count(doc('lib')//title intersect doc('lib')//book/title)"
+        ),
         "2"
     );
     assert_eq!(
-        run_query(&fx, "count(doc('lib')//title except doc('lib')//book/title)"),
+        run_query(
+            &fx,
+            "count(doc('lib')//title except doc('lib')//book/title)"
+        ),
         "1"
     );
 }
@@ -295,10 +310,7 @@ fn user_functions_and_variables() {
 fn general_vs_value_comparison() {
     let fx = fixture(LIBRARY);
     // General comparison is existential over sequences.
-    assert_eq!(
-        run_query(&fx, "doc('lib')//author = 'Codd'"),
-        "true"
-    );
+    assert_eq!(run_query(&fx, "doc('lib')//author = 'Codd'"), "true");
     assert_eq!(run_query(&fx, "(1, 2, 3) = 3"), "true");
     assert_eq!(run_query(&fx, "(1, 2, 3) = 9"), "false");
     // Value comparison requires singletons.

@@ -19,9 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = Database::create(&dir, DbConfig::default())?;
     let mut s = db.session();
     s.execute("CREATE DOCUMENT 'ledger'")?;
-    s.load_xml("ledger", "<ledger><entry id=\"1\">opening balance</entry></ledger>")?;
+    s.load_xml(
+        "ledger",
+        "<ledger><entry id=\"1\">opening balance</entry></ledger>",
+    )?;
     s.execute("UPDATE insert <entry id=\"2\">first deposit</entry> into doc('ledger')/ledger")?;
-    println!("entries committed: {}", s.query("count(doc('ledger')//entry)")?);
+    println!(
+        "entries committed: {}",
+        s.query("count(doc('ledger')//entry)")?
+    );
 
     // Take a full hot backup while running.
     drop(s);

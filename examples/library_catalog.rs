@@ -32,11 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t = Instant::now();
     let expensive = s.query("count(index-scan-between('byprice', 100, 200))")?;
-    println!("books priced 100..200 via index: {expensive}  ({:?})", t.elapsed());
+    println!(
+        "books priced 100..200 via index: {expensive}  ({:?})",
+        t.elapsed()
+    );
 
     let t = Instant::now();
     let same_scan = s.query("count(doc('lib')/library/book[number(price) >= 100])")?;
-    println!("same via path scan:             {same_scan}  ({:?})", t.elapsed());
+    println!(
+        "same via path scan:             {same_scan}  ({:?})",
+        t.elapsed()
+    );
 
     // Top publishers by volume, with FLWOR + order by.
     let q = "for $p in distinct-values(doc('lib')//publisher) \

@@ -22,7 +22,8 @@ fn mixed_sessions_stress_then_recover() {
     {
         let mut s = db.session();
         s.execute("CREATE DOCUMENT 'lib'").unwrap();
-        s.load_xml("lib", &sedna_workload::library(150, 77)).unwrap();
+        s.load_xml("lib", &sedna_workload::library(150, 77))
+            .unwrap();
     }
     let committed = Arc::new(AtomicU64::new(0));
     let reads = Arc::new(AtomicU64::new(0));
@@ -189,9 +190,7 @@ fn sharded_pool_eviction_pressure_readers_and_writer() {
                     let fref = pool.acquire(page, phys, store.as_ref()).unwrap();
                     if let Some(mut w) = pool.try_write(&fref, phys) {
                         let off = PAGE_HEADER_LEN;
-                        let mut c = u64::from_le_bytes(
-                            w.bytes()[off..off + 8].try_into().unwrap(),
-                        );
+                        let mut c = u64::from_le_bytes(w.bytes()[off..off + 8].try_into().unwrap());
                         c += 1;
                         w.bytes_mut()[off..off + 8].copy_from_slice(&c.to_le_bytes());
                         tally[i] += 1;
@@ -260,7 +259,9 @@ fn deadlock_victim_can_retry() {
         let mut s = db1.session();
         loop {
             s.begin_update().unwrap();
-            if s.execute("UPDATE replace value of doc('a')//v with '1'").is_err() {
+            if s.execute("UPDATE replace value of doc('a')//v with '1'")
+                .is_err()
+            {
                 let _ = s.rollback();
                 continue;
             }
@@ -281,7 +282,9 @@ fn deadlock_victim_can_retry() {
         let mut s = db2.session();
         loop {
             s.begin_update().unwrap();
-            if s.execute("UPDATE replace value of doc('b')//v with '2'").is_err() {
+            if s.execute("UPDATE replace value of doc('b')//v with '2'")
+                .is_err()
+            {
                 let _ = s.rollback();
                 continue;
             }

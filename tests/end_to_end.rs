@@ -22,7 +22,8 @@ fn workload_documents_load_and_query() {
     assert_eq!(s.query("count(doc('lib')/library/book)").unwrap(), "300");
 
     s.execute("CREATE DOCUMENT 'site'").unwrap();
-    s.load_xml("site", &sedna_workload::auction(200, 2)).unwrap();
+    s.load_xml("site", &sedna_workload::auction(200, 2))
+        .unwrap();
     assert_eq!(s.query("count(doc('site')//item)").unwrap(), "200");
     assert_eq!(s.query("count(doc('site')//person)").unwrap(), "100");
 
@@ -30,7 +31,8 @@ fn workload_documents_load_and_query() {
     s.load_xml("deep", &sedna_workload::deep(40, 3, 3)).unwrap();
     assert_eq!(s.query("count(doc('deep')//para)").unwrap(), "121");
     assert_eq!(
-        s.query("string(doc('deep')//sec[@level = 39]/para[1])").unwrap(),
+        s.query("string(doc('deep')//sec[@level = 39]/para[1])")
+            .unwrap(),
         // `(//sec)[40]` selects the 40th section globally — unlike
         // `//sec[40]`, which filters per parent and selects nothing here.
         s.query("string((doc('deep')//sec)[40]/para[1])").unwrap(),
@@ -46,11 +48,19 @@ fn update_mix_then_integrity() {
     let mut s = db.session();
     s.execute("CREATE DOCUMENT 'lib'").unwrap();
     s.load_xml("lib", &sedna_workload::library(100, 4)).unwrap();
-    let before: usize = s.query("count(doc('lib')//author)").unwrap().parse().unwrap();
+    let before: usize = s
+        .query("count(doc('lib')//author)")
+        .unwrap()
+        .parse()
+        .unwrap();
     for stmt in sedna_workload::author_insert_statements(60, 100, 5) {
         s.execute(&stmt).unwrap();
     }
-    let after: usize = s.query("count(doc('lib')//author)").unwrap().parse().unwrap();
+    let after: usize = s
+        .query("count(doc('lib')//author)")
+        .unwrap()
+        .parse()
+        .unwrap();
     assert_eq!(after, before + 60);
     // Structural integrity: every author has a book or paper parent.
     assert_eq!(

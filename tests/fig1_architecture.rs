@@ -40,7 +40,8 @@ fn governor_is_the_control_center() {
 fn transactions_run_the_full_pipeline() {
     let gov = Governor::new();
     let dir = tmpdir("pipeline");
-    gov.create_database("main", &dir, DbConfig::small()).unwrap();
+    gov.create_database("main", &dir, DbConfig::small())
+        .unwrap();
     let mut s = gov.connect("main").unwrap();
     s.execute("CREATE DOCUMENT 'd'").unwrap();
     s.load_xml("d", "<r><x>1</x><x>2</x></r>").unwrap();
@@ -49,7 +50,9 @@ fn transactions_run_the_full_pipeline() {
     // the three stages §3/§5 name.
     assert!(matches!(
         s.execute("for $x in"),
-        Err(sedna::DbError::Query(sedna_xquery::QueryError::Parse { .. }))
+        Err(sedna::DbError::Query(
+            sedna_xquery::QueryError::Parse { .. }
+        ))
     ));
     assert!(matches!(
         s.execute("$undeclared"),
@@ -71,7 +74,8 @@ fn all_three_statement_types_share_one_entry_point() {
     // provide uniform representation for all the 3 query/statement types".
     let gov = Governor::new();
     let dir = tmpdir("uniform");
-    gov.create_database("main", &dir, DbConfig::small()).unwrap();
+    gov.create_database("main", &dir, DbConfig::small())
+        .unwrap();
     let mut s = gov.connect("main").unwrap();
     // DDL
     assert_eq!(

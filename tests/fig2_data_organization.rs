@@ -77,11 +77,17 @@ fn block_lists_are_bidirectional() {
     // Small pages force several blocks per schema node.
     let xml = format!(
         "<r>{}</r>",
-        (0..200).map(|i| format!("<item>{i}</item>")).collect::<String>()
+        (0..200)
+            .map(|i| format!("<item>{i}</item>"))
+            .collect::<String>()
     );
     let (_sas, vas, schema, _doc) = setup(&xml, 1024);
     let r = schema
-        .find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("r")))
+        .find_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(&SchemaName::local("r")),
+        )
         .unwrap();
     let item = schema
         .find_child(r, NodeKind::Element, Some(&SchemaName::local("item")))
@@ -95,7 +101,11 @@ fn block_lists_are_bidirectional() {
     while !blk.is_null() {
         let page = vas.read(blk).unwrap();
         assert_eq!(block::prev_block(&page), prev, "backward link broken");
-        assert_eq!(block::schema_of(&page), item, "block belongs to its schema node");
+        assert_eq!(
+            block::schema_of(&page),
+            item,
+            "block belongs to its schema node"
+        );
         prev = blk;
         blk = block::next_block(&page);
         count += 1;
@@ -110,11 +120,17 @@ fn block_lists_are_bidirectional() {
 fn descriptors_are_partly_ordered() {
     let xml = format!(
         "<r>{}</r>",
-        (0..300).map(|i| format!("<item>{i}</item>")).collect::<String>()
+        (0..300)
+            .map(|i| format!("<item>{i}</item>"))
+            .collect::<String>()
     );
     let (_sas, vas, schema, _doc) = setup(&xml, 1024);
     let r = schema
-        .find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("r")))
+        .find_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(&SchemaName::local("r")),
+        )
         .unwrap();
     let item = schema
         .find_child(r, NodeKind::Element, Some(&SchemaName::local("item")))
@@ -157,7 +173,11 @@ fn descriptors_are_partly_ordered() {
 fn schema_maintained_incrementally_on_update() {
     let (_sas, vas, mut schema, mut doc) = setup(FIG2, 4096);
     let lib = schema
-        .find_child(SchemaTree::ROOT, NodeKind::Element, Some(&SchemaName::local("library")))
+        .find_child(
+            SchemaTree::ROOT,
+            NodeKind::Element,
+            Some(&SchemaName::local("library")),
+        )
         .unwrap();
     let before = schema.len();
     let book_slot_before = schema.child_slot(

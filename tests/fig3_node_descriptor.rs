@@ -40,7 +40,10 @@ fn descriptor_has_all_figure3_fields() {
     assert!(root.label(&vas).unwrap().is_ancestor_of(&label));
     // node handle (indirection entry pointing back at the descriptor)
     let handle = book1.handle(&vas).unwrap();
-    assert_eq!(indirection::deref_handle(&vas, handle).unwrap(), book1.ptr());
+    assert_eq!(
+        indirection::deref_handle(&vas, handle).unwrap(),
+        book1.ptr()
+    );
     // indirect parent: the raw field stores the PARENT'S HANDLE, not its
     // descriptor address.
     let parent_field = book1.parent_handle(&vas).unwrap();
@@ -59,7 +62,11 @@ fn descriptor_has_all_figure3_fields() {
     // children: only the FIRST child per child schema node is pointed to.
     let book_sid = book1.schema(&vas).unwrap();
     let author_sid = schema
-        .find_child(book_sid, NodeKind::Element, Some(&SchemaName::local("author")))
+        .find_child(
+            book_sid,
+            NodeKind::Element,
+            Some(&SchemaName::local("author")),
+        )
         .unwrap();
     let slot = schema.child_slot(book_sid, author_sid).unwrap();
     let head = book1.child_head(&vas, slot).unwrap().unwrap();

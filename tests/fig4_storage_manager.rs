@@ -43,15 +43,24 @@ fn equality_basis_mapping_no_translation_structure() {
         drop(w);
         pages.push(p);
     }
-    let a = *pages.iter().find(|p| p.layer() == 0 && p.addr() == 512).unwrap();
-    let b = *pages.iter().find(|p| p.layer() == 1 && p.addr() == 512).unwrap();
+    let a = *pages
+        .iter()
+        .find(|p| p.layer() == 0 && p.addr() == 512)
+        .unwrap();
+    let b = *pages
+        .iter()
+        .find(|p| p.layer() == 1 && p.addr() == 512)
+        .unwrap();
     vas.reset_stats();
     let _ = vas.read(a).unwrap();
     let _ = vas.read(b).unwrap(); // same slot, different layer → conflict
     let _ = vas.read(a).unwrap();
     assert!(vas.stats().layer_conflicts >= 2);
     // Distinct offsets in one layer: pure fast-path hits after first touch.
-    let c = *pages.iter().find(|p| p.layer() == 0 && p.addr() == 1024).unwrap();
+    let c = *pages
+        .iter()
+        .find(|p| p.layer() == 0 && p.addr() == 1024)
+        .unwrap();
     let _ = vas.read(c).unwrap();
     vas.reset_stats();
     for _ in 0..5 {
@@ -100,8 +109,14 @@ fn unit_of_disk_interaction_is_the_page_not_the_layer() {
         pages.push(p);
     }
     // Touch pages from layer 0 and layer 1 at distinct offsets.
-    let l0 = *pages.iter().find(|p| p.layer() == 0 && p.addr() == 1024).unwrap();
-    let l1 = *pages.iter().find(|p| p.layer() == 1 && p.addr() == 2048).unwrap();
+    let l0 = *pages
+        .iter()
+        .find(|p| p.layer() == 0 && p.addr() == 1024)
+        .unwrap();
+    let l1 = *pages
+        .iter()
+        .find(|p| p.layer() == 1 && p.addr() == 2048)
+        .unwrap();
     let _ = vas.read(l0).unwrap();
     let _ = vas.read(l1).unwrap();
     vas.reset_stats();
@@ -131,8 +146,14 @@ fn figure4_invariants_hold_per_shard() {
     }
     // Same within-layer offset in two layers still conflicts on the VAS
     // slot regardless of which pool shard holds each page.
-    let a = *pages.iter().find(|p| p.layer() == 0 && p.addr() == 512).unwrap();
-    let b = *pages.iter().find(|p| p.layer() == 1 && p.addr() == 512).unwrap();
+    let a = *pages
+        .iter()
+        .find(|p| p.layer() == 0 && p.addr() == 512)
+        .unwrap();
+    let b = *pages
+        .iter()
+        .find(|p| p.layer() == 1 && p.addr() == 512)
+        .unwrap();
     vas.reset_stats();
     let _ = vas.read(a).unwrap();
     let _ = vas.read(b).unwrap();
@@ -183,5 +204,9 @@ fn same_pointer_representation_in_memory_and_on_disk() {
     };
     assert_eq!(stored, p1, "bit-identical representation");
     let page = vas.read(stored).unwrap();
-    assert_eq!(XPtr::read_at(&page, 0), p1, "self-pointer in the SAS header");
+    assert_eq!(
+        XPtr::read_at(&page, 0),
+        p1,
+        "self-pointer in the SAS header"
+    );
 }

@@ -18,7 +18,10 @@ fn hundred_thousand_node_lifecycle() {
         let mut s = db.session();
         s.execute("CREATE DOCUMENT 'site'").unwrap();
         let nodes = s.load_xml("site", &xml).unwrap();
-        assert!(nodes > 80_000, "expected a large document, got {nodes} nodes");
+        assert!(
+            nodes > 80_000,
+            "expected a large document, got {nodes} nodes"
+        );
 
         // Analytical queries over the full document.
         assert_eq!(
@@ -58,7 +61,8 @@ fn hundred_thousand_node_lifecycle() {
 
         // Update mix: close the first 50 auctions.
         for _ in 0..50 {
-            s.execute("UPDATE delete doc('site')//open_auction[1]").unwrap();
+            s.execute("UPDATE delete doc('site')//open_auction[1]")
+                .unwrap();
         }
         assert_eq!(
             s.query("count(doc('site')//open_auction)").unwrap(),
@@ -91,7 +95,8 @@ fn hundred_thousand_node_lifecycle() {
         (items + 10).to_string()
     );
     assert_eq!(
-        s.query("string(doc('site')//item[@id = 'late7']/name)").unwrap(),
+        s.query("string(doc('site')//item[@id = 'late7']/name)")
+            .unwrap(),
         "Late 7"
     );
     // The index recovered and reflects the post-crash state.
