@@ -42,10 +42,12 @@ fn main() {
     // sweep (rewriting BENCH_net.json); `report exec` runs only the
     // streaming-executor comparison (rewriting BENCH_exec.json);
     // `report obs` runs only the tracing-overhead sweep (rewriting
-    // BENCH_obs.json); no argument runs everything.
+    // BENCH_obs.json); `report plan` runs only the planner ablation
+    // (rewriting BENCH_plan.json); no argument runs everything.
     let args: Vec<String> = std::env::args().collect();
     let only = |name: &str| args.iter().any(|a| a == name);
-    let filtered = only("buffer") || only("net") || only("exec") || only("obs");
+    let filtered =
+        only("buffer") || only("net") || only("exec") || only("obs") || only("plan");
     println!("# Sedna reproduction — experiment report");
     println!("# (cargo run --release -p sedna-bench --bin report)");
     println!();
@@ -74,6 +76,9 @@ fn main() {
     }
     if !filtered || only("obs") {
         bench_obs();
+    }
+    if !filtered || only("plan") {
+        bench_plan();
     }
     println!("# done");
 }
@@ -753,6 +758,173 @@ fn bench_obs() {
     ));
     std::fs::write("BENCH_obs.json", &json).unwrap();
     println!("wrote BENCH_obs.json");
+    println!();
+}
+
+// ------------------------------------------------------------------
+// Plan — rule-based vs cost-based planner ablation (planner PR)
+// ------------------------------------------------------------------
+
+/// One query of the planner ablation, measured under both planners.
+struct PlanBenchRow {
+    name: &'static str,
+    query: &'static str,
+    rule_based_us: f64,
+    cost_based_us: f64,
+    access_path: &'static str,
+}
+
+/// Builds the skewed database: a hot path with `hot` items and a cold
+/// path with `cold` items, both equality-indexed.
+fn plan_db(name: &str, cost_based: bool, hot: usize, cold: usize) -> TempDb {
+    let cfg = sedna::DbConfig {
+        cost_based_planner: cost_based,
+        ..sedna::DbConfig::small()
+    };
+    let tmp = TempDb::new(name, cfg);
+    let mut s = tmp.db.session();
+    s.execute("CREATE DOCUMENT 'd'").unwrap();
+    let mut xml = String::with_capacity(32 * (hot + cold));
+    xml.push_str("<r><hot>");
+    for i in 0..hot {
+        xml.push_str(&format!("<item><k>h{i}</k></item>"));
+    }
+    xml.push_str("</hot><cold>");
+    for i in 0..cold {
+        xml.push_str(&format!("<item><k>c{i}</k></item>"));
+    }
+    xml.push_str("</cold></r>");
+    s.load_xml("d", &xml).unwrap();
+    s.execute("CREATE INDEX 'ixh' ON doc('d')/r/hot/item BY k AS xs:string")
+        .unwrap();
+    s.execute("CREATE INDEX 'ixc' ON doc('d')/r/cold/item BY k AS xs:string")
+        .unwrap();
+    tmp
+}
+
+fn bench_plan() {
+    const HOT: usize = 10;
+    const COLD: usize = 10_000;
+    println!("## Plan — rule-based vs cost-based planner (schema-statistics ablation)");
+    println!("skewed document: hot path {HOT} items, cold path {COLD} items, both indexed;");
+    println!("rule-based = DbConfig::cost_based_planner off (rewriter only, always scans)");
+
+    let cold_q = "doc('d')/r/cold/item[k = \"c9999\"]/k/text()";
+    let hot_q = "doc('d')/r/hot/item[k = \"h5\"]/k/text()";
+
+    let measure = |cost_based: bool, query: &str, expect: &str, reps: u32| -> f64 {
+        let tmp = plan_db(
+            &format!("plan-{}-{}", cost_based, query.len()),
+            cost_based,
+            HOT,
+            COLD,
+        );
+        let mut s = tmp.db.session();
+        assert_eq!(s.query(query).unwrap(), expect, "both planners must agree");
+        let t = time_avg(reps, || {
+            std::hint::black_box(s.query(query).unwrap());
+        });
+        t.as_secs_f64() * 1e6
+    };
+
+    let mut rows = Vec::new();
+    for (name, query, expect, access_path) in [
+        (
+            "cold_equality_index_favorable",
+            cold_q,
+            "c9999",
+            "index",
+        ),
+        ("hot_equality_scan_favorable", hot_q, "h5", "scan"),
+    ] {
+        let rule = measure(false, query, expect, 30);
+        let cost = measure(true, query, expect, 30);
+        rows.push(PlanBenchRow {
+            name,
+            query,
+            rule_based_us: rule,
+            cost_based_us: cost,
+            access_path,
+        });
+    }
+
+    // Decision + executor-counter proof on one cost-based database:
+    // both access paths must actually be chosen, and the index plan must
+    // really probe the B-tree.
+    let tmp = plan_db("plan-proof", true, HOT, COLD);
+    let mut s = tmp.db.session();
+    assert_eq!(s.query(cold_q).unwrap(), "c9999");
+    assert_eq!(
+        s.last_plan_decision().unwrap().access_path,
+        sedna::AccessPath::Index,
+        "cold equality must route through the index"
+    );
+    assert!(s.last_stats.index_lookups >= 1, "index plan must probe");
+    assert_eq!(s.query(hot_q).unwrap(), "h5");
+    assert_eq!(
+        s.last_plan_decision().unwrap().access_path,
+        sedna::AccessPath::Scan,
+        "hot equality must keep the scan"
+    );
+    let snap = tmp.db.metrics_snapshot();
+    let chosen_scan = snap.counter("sedna_plan_chosen_scan_total");
+    let chosen_index = snap.counter("sedna_plan_chosen_index_total");
+    let index_lookups = snap.counter("sedna_exec_index_lookups_total");
+    assert!(chosen_scan >= 1 && chosen_index >= 1);
+
+    println!(
+        "{:<32} {:>14} {:>14} {:>9} {:>7}",
+        "query", "rule-based µs", "cost-based µs", "speedup", "path"
+    );
+    for r in &rows {
+        println!(
+            "{:<32} {:>14.1} {:>14.1} {:>8.1}x {:>7}",
+            r.name,
+            r.rule_based_us,
+            r.cost_based_us,
+            r.rule_based_us / r.cost_based_us.max(1e-9),
+            r.access_path
+        );
+    }
+    let cold_speedup = rows[0].rule_based_us / rows[0].cost_based_us.max(1e-9);
+    let hot_delta_pct =
+        (rows[1].cost_based_us - rows[1].rule_based_us) / rows[1].rule_based_us.max(1e-9) * 100.0;
+    println!(
+        "cold equality: {cold_speedup:.1}x via the index (acceptance: >= 5x); \
+         hot equality: {hot_delta_pct:+.1}% (acceptance: within 10%)"
+    );
+    println!(
+        "chosen-path counters: scan {chosen_scan}, index {chosen_index}; \
+         executor index lookups {index_lookups}"
+    );
+
+    // Machine-readable trajectory record (hand-rolled JSON, no deps).
+    let mut json = String::from("{\n  \"experiment\": \"plan_cost_ablation\",\n");
+    json.push_str(&format!(
+        "  \"doc\": {{\"hot_items\": {HOT}, \"cold_items\": {COLD}}},\n"
+    ));
+    json.push_str("  \"queries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"query\": \"{}\", \"rule_based_us\": {:.1}, \
+             \"cost_based_us\": {:.1}, \"speedup\": {:.2}, \"access_path\": \"{}\"}}{}\n",
+            r.name,
+            r.query.replace('"', "\\\""),
+            r.rule_based_us,
+            r.cost_based_us,
+            r.rule_based_us / r.cost_based_us.max(1e-9),
+            r.access_path,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"counters\": {{\"plan_chosen_scan_total\": {chosen_scan}, \
+         \"plan_chosen_index_total\": {chosen_index}, \
+         \"exec_index_lookups_total\": {index_lookups}}}\n}}\n"
+    ));
+    std::fs::write("BENCH_plan.json", &json).unwrap();
+    println!("wrote BENCH_plan.json");
     println!();
 }
 

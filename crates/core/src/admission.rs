@@ -131,6 +131,37 @@ impl CatalogGeneration {
     }
 }
 
+/// The statistics epoch: a monotonic counter bumped whenever a bulk data
+/// change moves the descriptive-schema statistics enough to matter for
+/// planning (document load/drop, any committed update statement).
+///
+/// It is deliberately separate from [`CatalogGeneration`]: the catalog
+/// generation tracks catalog *shape* (DDL), while the stats epoch tracks
+/// data *volume*. The cost-based planner keys cached plans by both, so a
+/// bulk load re-costs every cached plan (a scan-favorable plan may have
+/// become index-favorable) without pretending the catalog changed.
+#[derive(Debug, Default)]
+pub(crate) struct StatsEpoch(AtomicU64);
+
+impl StatsEpoch {
+    pub(crate) fn new() -> StatsEpoch {
+        StatsEpoch::default()
+    }
+
+    /// The epoch statements should be planned (and cached) at. Acquire
+    /// pairs with the Release in [`StatsEpoch::bump`], so a session that
+    /// observes the new epoch also observes the data change behind it.
+    pub(crate) fn current(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Marks every plan costed so far as stale. Release pairs with the
+    /// Acquire in [`StatsEpoch::current`].
+    pub(crate) fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Release);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +199,16 @@ mod tests {
         g.bump();
         g.bump();
         assert_eq!(g.current(), 2);
+    }
+
+    #[test]
+    fn stats_epoch_is_independent_of_the_catalog_generation() {
+        let g = CatalogGeneration::new();
+        let e = StatsEpoch::new();
+        e.bump();
+        e.bump();
+        e.bump();
+        assert_eq!(e.current(), 3);
+        assert_eq!(g.current(), 0, "data changes must not move the catalog");
     }
 }

@@ -57,6 +57,13 @@ pub struct DbConfig {
     ///
     /// [`Database::get_trace`]: crate::Database::get_trace
     pub trace_sample: SamplingPolicy,
+    /// Plan statements with the cost-based planner fed by the
+    /// descriptive-schema statistics (access-path choice among
+    /// structural scan / B-tree index / descendant expansion, plus
+    /// selectivity-ordered predicates). `false` falls back to the
+    /// purely rule-based rewriter — kept for the planner ablation
+    /// benchmark and as an escape hatch.
+    pub cost_based_planner: bool,
 }
 
 impl Default for DbConfig {
@@ -74,6 +81,7 @@ impl Default for DbConfig {
             truncate_log_on_checkpoint: true,
             slow_query_ms: 0,
             trace_sample: SamplingPolicy::Off,
+            cost_based_planner: true,
         }
     }
 }

@@ -13,7 +13,7 @@ use sedna_wal::{plan_recovery, CheckpointData, PageOp, RedoOp, WalRecord, WalWri
 
 use sedna_obs::{SpanEvent, TraceBuffer};
 
-use crate::admission::{CatalogGeneration, SessionGate};
+use crate::admission::{CatalogGeneration, SessionGate, StatsEpoch};
 use crate::catalog::{self, Catalog};
 use crate::config::DbConfig;
 use crate::error::{DbError, DbResult};
@@ -117,6 +117,12 @@ pub(crate) struct DbInner {
     /// bump lazily invalidates every cached plan — in this session and
     /// every other — without a conservative cache clear.
     pub(crate) catalog_generation: CatalogGeneration,
+    /// Statistics epoch: bumped on bulk data changes (document load/drop,
+    /// committed update statements). The cost-based planner keys cached
+    /// plans by it, so plans re-cost once the descriptive-schema
+    /// statistics they were estimated from are superseded. Deliberately
+    /// separate from `catalog_generation` (shape vs volume).
+    pub(crate) stats_epoch: StatsEpoch,
     /// Database-wide shared plan cache (L2). Sessions consult their own
     /// cache first (L1) and fall back here, so a statement compiled by
     /// one connection is reused by every other until the catalog
@@ -203,6 +209,7 @@ impl Database {
                 obs,
                 sessions: SessionGate::new(),
                 catalog_generation: CatalogGeneration::new(),
+                stats_epoch: StatsEpoch::new(),
                 shared_plans,
                 traces: TraceBuffer::new(TRACE_RING_CAPACITY),
                 slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
@@ -316,6 +323,7 @@ impl Database {
                 obs,
                 sessions: SessionGate::new(),
                 catalog_generation: CatalogGeneration::new(),
+                stats_epoch: StatsEpoch::new(),
                 shared_plans,
                 traces: TraceBuffer::new(TRACE_RING_CAPACITY),
                 slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
@@ -358,6 +366,28 @@ impl Database {
     /// instead of requiring a conservative clear.
     pub fn catalog_generation(&self) -> u64 {
         self.inner.catalog_generation.current()
+    }
+
+    /// The current statistics epoch. Bumped on every bulk data change
+    /// (document load/drop, committed update statement); the cost-based
+    /// planner keys cached plans by it so access-path choices are
+    /// re-costed once the statistics that justified them are superseded.
+    pub fn stats_epoch(&self) -> u64 {
+        self.inner.stats_epoch.current()
+    }
+
+    /// A snapshot of the descriptive-schema statistics of document
+    /// `doc`: one row per schema node (path, kind, node/block counts,
+    /// total text bytes, child fan-out histogram). This is the raw
+    /// material of the cost-based planner, exposed for introspection
+    /// and tests.
+    pub fn schema_stats(&self, doc: &str) -> DbResult<Vec<sedna_schema::SchemaNodeStats>> {
+        let catalog = self.inner.catalog.read();
+        let data = catalog
+            .docs
+            .get(doc)
+            .ok_or_else(|| DbError::NotFound(format!("document '{doc}'")))?;
+        Ok(data.schema.stats_snapshot())
     }
 
     /// Buffer pages currently pinned by live page guards (open cursors,

@@ -59,4 +59,4 @@ pub use sedna_obs::{
 };
 pub use sedna_storage::ParentMode;
 pub use sedna_xquery::exec::{ConstructMode, ExecStats};
-pub use sedna_xquery::OpProfile;
+pub use sedna_xquery::{AccessPath, OpProfile, PlanDecision};

@@ -29,6 +29,9 @@ pub(crate) struct QueryMetrics {
     pub(crate) plan_cache_misses: Counter,
     pub(crate) plan_cache_shared_hits: Counter,
     pub(crate) plan_cache_shared_misses: Counter,
+    pub(crate) plan_chosen_scan: Counter,
+    pub(crate) plan_chosen_index: Counter,
+    pub(crate) plan_chosen_descendant: Counter,
     pub(crate) items_pulled: Counter,
     pub(crate) cursor_depth: Gauge,
     pub(crate) ttfi_ns: Histogram,
@@ -107,6 +110,21 @@ impl QueryMetrics {
             "sedna_plan_cache_shared_misses_total",
             "Statements that missed both the session and the shared plan cache",
             &self.plan_cache_shared_misses,
+        );
+        reg.register_counter(
+            "sedna_plan_chosen_scan_total",
+            "Statements the cost-based planner compiled with a structural-scan access path",
+            &self.plan_chosen_scan,
+        );
+        reg.register_counter(
+            "sedna_plan_chosen_index_total",
+            "Statements the cost-based planner compiled with a B-tree index access path",
+            &self.plan_chosen_index,
+        );
+        reg.register_counter(
+            "sedna_plan_chosen_descendant_total",
+            "Statements the cost-based planner compiled with a descendant-expansion access path",
+            &self.plan_chosen_descendant,
         );
         reg.register_counter(
             "sedna_exec_items_pulled_total",

@@ -6,22 +6,39 @@
 //! *rewritten* [`Statement`] per statement text in a bounded LRU, so a
 //! session re-running the same query skips straight to the executor.
 //!
-//! Invalidation contract: every entry is keyed by the **catalog
-//! generation** current when it was inserted (a counter on the database
-//! that every catalog-shape change bumps — DDL, or an update-transaction
-//! rollback restoring catalog entries). A lookup whose generation no
-//! longer matches is a miss and evicts the stale entry. This replaces
-//! the earlier conservative clear-on-any-DDL: unrelated statements stay
-//! cached across catalog changes performed by *other* sessions too,
-//! because the generation is shared database state rather than a
-//! per-session flag.
+//! Invalidation contract: every entry is stamped with a [`PlanKey`] —
+//! the **catalog generation** (bumped by every catalog-shape change:
+//! DDL, or an update-transaction rollback restoring catalog entries),
+//! the **statistics epoch** (bumped by bulk data changes: document
+//! load/drop, committed updates — so the cost-based planner re-costs
+//! plans whose access-path choice may have flipped), and whether the
+//! plan was costed for a **streaming** (cursor) client. A lookup whose
+//! key no longer matches is a miss and evicts the stale entry. This
+//! replaces the earlier conservative clear-on-any-DDL: unrelated
+//! statements stay cached across catalog changes performed by *other*
+//! sessions too, because both counters are shared database state rather
+//! than per-session flags.
 
 use std::collections::HashMap;
 
 use sedna_xquery::ast::Statement;
 
+/// Validity stamp of a cached plan: the catalog/statistics state it was
+/// planned under, plus the client shape it was costed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PlanKey {
+    /// Catalog generation at plan time (catalog *shape*).
+    pub(crate) generation: u64,
+    /// Statistics epoch at plan time (data *volume*; re-costs plans
+    /// after bulk updates).
+    pub(crate) stats_epoch: u64,
+    /// Whether the plan was costed for a streaming cursor client (the
+    /// planner prefers pipelines where `Plan::is_streaming()` holds).
+    pub(crate) streaming: bool,
+}
+
 /// A bounded LRU mapping statement text to its parse+rewrite result,
-/// validity-stamped with the catalog generation.
+/// validity-stamped with a [`PlanKey`].
 ///
 /// Recency is tracked with a monotonic sequence number per entry;
 /// eviction scans for the minimum. Capacities are small (default 64),
@@ -37,7 +54,7 @@ pub(crate) struct PlanCache {
 #[derive(Debug)]
 struct CacheEntry {
     stmt: Statement,
-    generation: u64,
+    key: PlanKey,
     last_used: u64,
 }
 
@@ -51,15 +68,15 @@ impl PlanCache {
         }
     }
 
-    /// Looks up the rewritten statement for `text` at catalog
-    /// `generation`, refreshing recency. An entry cached under a
-    /// different generation is stale: it is evicted and the lookup
-    /// misses.
-    pub(crate) fn get(&mut self, text: &str, generation: u64) -> Option<Statement> {
+    /// Looks up the rewritten statement for `text` planned under `key`,
+    /// refreshing recency. An entry cached under a different key
+    /// (superseded catalog generation or stats epoch, or the other
+    /// client shape) is stale: it is evicted and the lookup misses.
+    pub(crate) fn get(&mut self, text: &str, key: PlanKey) -> Option<Statement> {
         self.seq += 1;
         let seq = self.seq;
         match self.entries.get_mut(text) {
-            Some(e) if e.generation == generation => {
+            Some(e) if e.key == key => {
                 e.last_used = seq;
                 Some(e.stmt.clone())
             }
@@ -71,10 +88,10 @@ impl PlanCache {
         }
     }
 
-    /// Inserts the rewritten statement for `text` stamped with
-    /// `generation`, evicting the least-recently-used entry when full.
-    /// No-op when disabled.
-    pub(crate) fn insert(&mut self, text: &str, generation: u64, stmt: Statement) {
+    /// Inserts the rewritten statement for `text` stamped with `key`,
+    /// evicting the least-recently-used entry when full. No-op when
+    /// disabled.
+    pub(crate) fn insert(&mut self, text: &str, key: PlanKey, stmt: Statement) {
         if self.capacity == 0 {
             return;
         }
@@ -93,7 +110,7 @@ impl PlanCache {
             text.to_string(),
             CacheEntry {
                 stmt,
-                generation,
+                key,
                 last_used: self.seq,
             },
         );
@@ -113,58 +130,102 @@ mod tests {
         sedna_xquery::parser::parse_statement(text).unwrap()
     }
 
+    fn key(generation: u64) -> PlanKey {
+        PlanKey {
+            generation,
+            stats_epoch: 0,
+            streaming: false,
+        }
+    }
+
     #[test]
     fn hit_returns_inserted_plan() {
         let mut c = PlanCache::new(4);
         let s = stmt("doc('d')/r");
-        c.insert("doc('d')/r", 0, s.clone());
-        assert_eq!(c.get("doc('d')/r", 0), Some(s));
-        assert_eq!(c.get("doc('d')/other", 0), None);
+        c.insert("doc('d')/r", key(0), s.clone());
+        assert_eq!(c.get("doc('d')/r", key(0)), Some(s));
+        assert_eq!(c.get("doc('d')/other", key(0)), None);
     }
 
     #[test]
     fn generation_mismatch_misses_and_evicts() {
         let mut c = PlanCache::new(4);
-        c.insert("a", 3, stmt("1"));
-        assert!(c.get("a", 3).is_some());
+        c.insert("a", key(3), stmt("1"));
+        assert!(c.get("a", key(3)).is_some());
         // A catalog change bumped the generation: stale entry evicted.
-        assert_eq!(c.get("a", 4), None);
+        assert_eq!(c.get("a", key(4)), None);
         assert_eq!(c.len(), 0);
         // Re-inserted at the new generation, it hits again.
-        c.insert("a", 4, stmt("1"));
-        assert!(c.get("a", 4).is_some());
+        c.insert("a", key(4), stmt("1"));
+        assert!(c.get("a", key(4)).is_some());
+    }
+
+    #[test]
+    fn stats_epoch_mismatch_misses_and_evicts() {
+        let mut c = PlanCache::new(4);
+        let k0 = PlanKey {
+            generation: 1,
+            stats_epoch: 7,
+            streaming: false,
+        };
+        c.insert("a", k0, stmt("1"));
+        assert!(c.get("a", k0).is_some());
+        // A bulk load bumped the stats epoch: the plan must re-cost.
+        let k1 = PlanKey {
+            stats_epoch: 8,
+            ..k0
+        };
+        assert_eq!(c.get("a", k1), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn streaming_and_materialized_plans_do_not_mix() {
+        let mut c = PlanCache::new(4);
+        let mat = PlanKey {
+            generation: 0,
+            stats_epoch: 0,
+            streaming: false,
+        };
+        let cur = PlanKey {
+            streaming: true,
+            ..mat
+        };
+        c.insert("a", mat, stmt("1"));
+        // A cursor client must not be served the materialized costing.
+        assert_eq!(c.get("a", cur), None);
     }
 
     #[test]
     fn lru_evicts_coldest() {
         let mut c = PlanCache::new(2);
-        c.insert("a", 0, stmt("1"));
-        c.insert("b", 0, stmt("2"));
+        c.insert("a", key(0), stmt("1"));
+        c.insert("b", key(0), stmt("2"));
         // Touch "a" so "b" is the LRU victim.
-        assert!(c.get("a", 0).is_some());
-        c.insert("c", 0, stmt("3"));
+        assert!(c.get("a", key(0)).is_some());
+        c.insert("c", key(0), stmt("3"));
         assert_eq!(c.len(), 2);
-        assert!(c.get("a", 0).is_some());
-        assert!(c.get("b", 0).is_none());
-        assert!(c.get("c", 0).is_some());
+        assert!(c.get("a", key(0)).is_some());
+        assert!(c.get("b", key(0)).is_none());
+        assert!(c.get("c", key(0)).is_some());
     }
 
     #[test]
     fn reinsert_updates_in_place_without_evicting() {
         let mut c = PlanCache::new(2);
-        c.insert("a", 0, stmt("1"));
-        c.insert("b", 0, stmt("2"));
-        c.insert("a", 0, stmt("1 + 1"));
+        c.insert("a", key(0), stmt("1"));
+        c.insert("b", key(0), stmt("2"));
+        c.insert("a", key(0), stmt("1 + 1"));
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get("a", 0), Some(stmt("1 + 1")));
-        assert!(c.get("b", 0).is_some());
+        assert_eq!(c.get("a", key(0)), Some(stmt("1 + 1")));
+        assert!(c.get("b", key(0)).is_some());
     }
 
     #[test]
     fn zero_capacity_disables() {
         let mut c = PlanCache::new(0);
-        c.insert("a", 0, stmt("1"));
+        c.insert("a", key(0), stmt("1"));
         assert_eq!(c.len(), 0);
-        assert!(c.get("a", 0).is_none());
+        assert!(c.get("a", key(0)).is_none());
     }
 }

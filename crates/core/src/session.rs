@@ -27,23 +27,24 @@ use sedna_sync::Arc;
 
 use sedna_obs::trace::{events, SamplingPolicy, TraceCollector};
 use sedna_sas::{Vas, View, XPtr};
-use sedna_schema::NodeKind;
+use sedna_schema::{NodeKind, SchemaTree};
 use sedna_storage::{build, indirection, NodeRef};
 use sedna_txn::{LockMode, TxnHandle};
 use sedna_wal::WalRecord;
-use sedna_xquery::ast::{DdlStmt, Expr, PathStart, Statement, StatementKind};
+use sedna_xquery::ast::{DdlStmt, Expr, PathStart, Statement, StatementKind, Step};
 use sedna_xquery::cursor::Plan;
 use sedna_xquery::exec::{Database as QueryView, DocEntry, ExecStats, Executor, IndexEntry};
+use sedna_xquery::planner::{self, AccessPath, IndexSpec, PlanDecision, PlannerInput};
 use sedna_xquery::update;
 use sedna_xquery::value::Item as QueryItem;
-use sedna_xquery::OpProfile;
+use sedna_xquery::{cost, OpProfile};
 
 use crate::catalog::{self, Catalog, DocData, IndexData, IndexMeta};
 use crate::database::DbInner;
 use crate::error::{DbError, DbResult};
 use crate::introspect::{SessionTrack, SlowQueryEntry, TxnMode};
 use crate::metrics::QueryProfile;
-use crate::plan_cache::PlanCache;
+use crate::plan_cache::{PlanCache, PlanKey};
 use crate::stream::{CursorObs, QueryCursor};
 
 /// The result of executing one statement.
@@ -206,6 +207,12 @@ pub struct Session {
     /// Operator profile of the query most recently run by `run_query`,
     /// picked up by `execute_planned` into the statement profile.
     last_plan: Option<OpProfile>,
+    /// Access-path decision of the statement most recently *compiled*
+    /// by this session (plan-cache misses only: a cache hit reuses the
+    /// already-costed statement and leaves this untouched). `None` until
+    /// the session compiles a statement with the cost-based planner
+    /// enabled.
+    last_decision: Option<PlanDecision>,
 }
 
 impl Session {
@@ -225,6 +232,7 @@ impl Session {
             time_plans: false,
             trace_forced: false,
             last_plan: None,
+            last_decision: None,
         }
     }
 
@@ -263,6 +271,18 @@ impl Session {
     /// Number of plans currently held by this session's plan cache.
     pub fn plan_cache_len(&self) -> usize {
         self.plan_cache.len()
+    }
+
+    /// The cost-based planner's decision for the statement this session
+    /// most recently **compiled** — access path chosen, index rewrites
+    /// applied, predicates reordered, and the estimated cardinality.
+    /// Untouched by plan-cache hits (the cached statement already embodies
+    /// its decision); `None` until a compile happens with
+    /// [`DbConfig::cost_based_planner`] enabled.
+    ///
+    /// [`DbConfig::cost_based_planner`]: crate::DbConfig::cost_based_planner
+    pub fn last_plan_decision(&self) -> Option<PlanDecision> {
+        self.last_decision
     }
 
     /// Zeroes the accumulated [`Session::session_stats`] totals.
@@ -524,7 +544,9 @@ impl Session {
     fn execute_stream_observed(&mut self, text: &str) -> DbResult<StreamOutcome> {
         let started = Instant::now();
         let mut tc = self.start_trace(text);
-        let (stmt, parse_ns, rewrite_ns) = self.plan_statement(text)?;
+        // Outside an explicit transaction a query executes through a
+        // streaming cursor, so cost the plan for a cursor client.
+        let (stmt, parse_ns, rewrite_ns) = self.plan_statement(text, self.txn.is_none())?;
         record_phase_spans(&mut tc, parse_ns, rewrite_ns);
         if self.txn.is_none() && matches!(stmt.kind, StatementKind::Query(_)) {
             let q = self.db.obs.query.clone();
@@ -563,23 +585,31 @@ impl Session {
         })
     }
 
-    /// Parse + analyse + rewrite with the two-level plan cache: this
-    /// session's own cache (L1), then the database-wide shared cache
-    /// (L2), then the real pipeline. An L2 hit is promoted into L1; a
-    /// full miss populates both, so a statement compiled by one
-    /// connection is reused by every other until the catalog generation
-    /// moves. Cached plans report zero parse/rewrite nanoseconds.
-    fn plan_statement(&mut self, text: &str) -> DbResult<(Statement, u64, u64)> {
+    /// Parse + analyse + rewrite + cost-based plan with the two-level
+    /// plan cache: this session's own cache (L1), then the database-wide
+    /// shared cache (L2), then the real pipeline. An L2 hit is promoted
+    /// into L1; a full miss populates both, so a statement compiled by
+    /// one connection is reused by every other until its [`PlanKey`]
+    /// (catalog generation, statistics epoch, client shape) moves.
+    /// `streaming` says whether the statement may execute through a
+    /// cursor — the planner penalizes index access for cursor clients,
+    /// so the two shapes cache separately. Cached plans report zero
+    /// parse/rewrite nanoseconds.
+    fn plan_statement(&mut self, text: &str, streaming: bool) -> DbResult<(Statement, u64, u64)> {
         let q = self.db.obs.query.clone();
-        let generation = self.db.catalog_generation.current();
-        if let Some(stmt) = self.plan_cache.get(text, generation) {
+        let key = PlanKey {
+            generation: self.db.catalog_generation.current(),
+            stats_epoch: self.db.stats_epoch.current(),
+            streaming,
+        };
+        if let Some(stmt) = self.plan_cache.get(text, key) {
             q.plan_cache_hits.inc();
             return Ok((stmt, 0, 0));
         }
-        let shared = self.db.shared_plans.lock().get(text, generation);
+        let shared = self.db.shared_plans.lock().get(text, key);
         if let Some(stmt) = shared {
             q.plan_cache_shared_hits.inc();
-            self.plan_cache.insert(text, generation, stmt.clone());
+            self.plan_cache.insert(text, key, stmt.clone());
             return Ok((stmt, 0, 0));
         }
         // Missed both levels: run the front half of the paper's pipeline,
@@ -592,14 +622,61 @@ impl Session {
         let parse_ns = parse_span.finish();
         let rewrite_span = q.rewrite_ns.span();
         let stmt = sedna_xquery::static_ctx::analyze(stmt)?;
-        let stmt = sedna_xquery::rewrite::rewrite_statement(stmt);
+        let mut stmt = sedna_xquery::rewrite::rewrite_statement(stmt);
+        if self.db.cfg.cost_based_planner {
+            self.cost_plan(&mut stmt, streaming);
+        }
         let rewrite_ns = rewrite_span.finish();
-        self.plan_cache.insert(text, generation, stmt.clone());
+        self.plan_cache.insert(text, key, stmt.clone());
         self.db
             .shared_plans
             .lock()
-            .insert(text, generation, stmt.clone());
+            .insert(text, key, stmt.clone());
         Ok((stmt, parse_ns, rewrite_ns))
+    }
+
+    /// Runs the cost-based planner over a freshly rewritten statement:
+    /// assembles the planner's view (the referenced documents'
+    /// descriptive-schema statistics plus the declared indexes on them)
+    /// under a short catalog read guard, lets it rewrite profitable
+    /// equality predicates onto B-tree index scans and order predicates
+    /// by selectivity, then records the access-path choice in the
+    /// `sedna_plan_chosen_*` counters and
+    /// [`Session::last_plan_decision`].
+    fn cost_plan(&mut self, stmt: &mut Statement, streaming: bool) {
+        let decision = {
+            let catalog = self.db.catalog.read();
+            let names = collect_doc_names(stmt);
+            let docs: HashMap<String, &SchemaTree> = names
+                .iter()
+                .filter_map(|n| catalog.docs.get(n).map(|d| (n.clone(), &d.schema)))
+                .collect();
+            let indexes: Vec<IndexSpec> = catalog
+                .indexes
+                .values()
+                .filter(|i| docs.contains_key(&i.meta.doc))
+                .map(|i| IndexSpec {
+                    name: i.meta.name.clone(),
+                    doc: i.meta.doc.clone(),
+                    on: i.meta.on.clone(),
+                    by: i.meta.by.clone(),
+                    key_type: i.meta.key_type,
+                })
+                .collect();
+            let input = PlannerInput {
+                docs,
+                indexes,
+                streaming,
+            };
+            planner::plan_statement(stmt, &input)
+        };
+        let q = &self.db.obs.query;
+        match decision.access_path {
+            AccessPath::Scan => q.plan_chosen_scan.inc(),
+            AccessPath::Index => q.plan_chosen_index.inc(),
+            AccessPath::Descendant => q.plan_chosen_descendant.inc(),
+        }
+        self.last_decision = Some(decision);
     }
 
     fn execute_inner(&mut self, text: &str) -> DbResult<InnerOutcome> {
@@ -615,7 +692,7 @@ impl Session {
     fn execute_observed(&mut self, text: &str) -> DbResult<InnerOutcome> {
         let started = Instant::now();
         let mut tc = self.start_trace(text);
-        let (stmt, parse_ns, rewrite_ns) = self.plan_statement(text)?;
+        let (stmt, parse_ns, rewrite_ns) = self.plan_statement(text, false)?;
         record_phase_spans(&mut tc, parse_ns, rewrite_ns);
         self.run_planned_observed(text, stmt, parse_ns, rewrite_ns, started, tc)
     }
@@ -735,6 +812,13 @@ impl Session {
             // plan — this session's and other sessions' — key-misses
             // lazily instead of requiring a conservative cache clear.
             self.db.catalog_generation.bump();
+        }
+        if matches!(&result, Ok(InnerOutcome::Updated(n)) if *n > 0) {
+            // Data volume changed (but not the catalog shape): bump the
+            // statistics epoch so cached plans re-cost against the new
+            // descriptive-schema statistics — an access-path choice that
+            // was right at the old cardinalities may have flipped.
+            self.db.stats_epoch.bump();
         }
         if result.is_ok() {
             q.statements.inc();
@@ -900,6 +984,14 @@ impl Session {
         // statement produces the per-operator pull/item counts surfaced
         // by EXPLAIN ANALYZE. Per-operator wall time is opt-in.
         let mut plan = Plan::compile(body);
+        if self.db.cfg.cost_based_planner {
+            // Stamp per-operator cardinality estimates from the schema
+            // statistics, so EXPLAIN ANALYZE renders `est=N act=M`.
+            plan.annotate_estimates(&|doc: &str, steps: &[Step]| {
+                let entry = view.docs.iter().find(|d| d.name == doc)?;
+                cost::estimate_path_cardinality(entry.schema, steps)
+            });
+        }
         if self.time_plans {
             plan.enable_timing();
         }
@@ -1358,6 +1450,52 @@ impl Session {
                 }
                 build::build_from_events(&self.vas, &mut d.schema, &mut d.storage, &events)?
             };
+            // Indexes declared before the load must cover the new nodes.
+            // The document was empty, so the whole ON-path population is
+            // the delta — the same full build CREATE INDEX performs.
+            let index_names: Vec<String> = {
+                let catalog = self.db.catalog.read();
+                catalog.indexes_of(doc_name)
+            };
+            for iname in &index_names {
+                let entries = {
+                    let catalog = self.db.catalog.read();
+                    let d = catalog.doc(doc_name)?;
+                    let meta = &catalog
+                        .indexes
+                        .get(iname)
+                        .ok_or_else(|| DbError::NotFound(format!("index '{iname}'")))?
+                        .meta;
+                    let mut out = Vec::new();
+                    for sid in catalog::on_schema_nodes(&d.schema, meta) {
+                        for node in scan_schema_list(&self.vas, &d.schema, sid)? {
+                            if let Some(raw) =
+                                catalog::eval_by_path(&self.vas, &d.schema, node, &meta.by)?
+                            {
+                                if let Some(key) = catalog::make_key(meta.key_type, &raw) {
+                                    let h = node.handle(&self.vas).map_err(DbError::Storage)?;
+                                    out.push((key, h));
+                                }
+                            }
+                        }
+                    }
+                    out
+                };
+                if entries.is_empty() {
+                    continue;
+                }
+                {
+                    let mut catalog = self.db.catalog.write();
+                    let idx = catalog
+                        .indexes
+                        .get_mut(iname)
+                        .ok_or_else(|| DbError::NotFound(format!("index '{iname}'")))?;
+                    for (key, h) in entries {
+                        idx.tree.insert(&self.vas, &key, h)?;
+                    }
+                }
+                self.mark_touched(&format!("index:{iname}"), TouchKind::Index)?;
+            }
             self.mark_touched(&format!("doc:{doc_name}"), TouchKind::Doc)?;
             Ok(n)
         })();
@@ -1368,6 +1506,11 @@ impl Session {
                     let _ = self.rollback();
                 }
             }
+        }
+        if result.is_ok() {
+            // A bulk load is the biggest single data-volume change there
+            // is: re-cost every cached plan against the new statistics.
+            self.db.stats_epoch.bump();
         }
         result
     }

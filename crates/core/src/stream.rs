@@ -22,7 +22,8 @@ use sedna_sync::Arc;
 use sedna_obs::trace::{events, TraceCollector};
 use sedna_sas::Vas;
 use sedna_txn::TxnHandle;
-use sedna_xquery::ast::{Statement, StatementKind};
+use sedna_xquery::ast::{Statement, StatementKind, Step};
+use sedna_xquery::cost;
 use sedna_xquery::cursor::Plan;
 use sedna_xquery::exec::{
     Database as QueryView, DocEntry, ExecState, ExecStats, Executor, IndexEntry,
@@ -146,6 +147,15 @@ impl QueryCursor {
         }
         let docs: Vec<(String, DocData)> = snapshot.docs.into_iter().collect();
         let indexes: Vec<(String, IndexData)> = snapshot.indexes.into_iter().collect();
+        if db.cfg.cost_based_planner {
+            // Stamp per-operator cardinality estimates from the schema
+            // statistics, so a drained cursor's folded-back profile
+            // renders `est=N act=M` exactly like the materialized path.
+            plan.annotate_estimates(&|doc: &str, steps: &[Step]| {
+                let (_, d) = docs.iter().find(|(n, _)| n == doc)?;
+                cost::estimate_path_cardinality(&d.schema, steps)
+            });
+        }
         db.obs.query.cursor_depth.set(plan.depth() as i64);
         if let (Some(t), Some(span)) = (obs.trace.as_mut(), open_span) {
             t.end(span);

@@ -87,6 +87,81 @@ fn concurrent_ddl_invalidates_cached_plans_without_wrong_results() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Builds a skewed document: `count` items `<item><k>vN</k></item>`
+/// under one root.
+fn skewed_doc(count: usize) -> String {
+    let mut xml = String::from("<r>");
+    for i in 0..count {
+        xml.push_str(&format!("<item><k>v{i}</k></item>"));
+    }
+    xml.push_str("</r>");
+    xml
+}
+
+/// A data-volume change must re-cost cached plans without touching the
+/// catalog generation: the same equality query is planned as a
+/// structural scan while the document is empty, keeps hitting the plan
+/// cache, and — after a bulk load bumps the statistics epoch — key-misses,
+/// replans, and flips to the B-tree index access path.
+#[test]
+fn stats_epoch_bump_recosts_cached_plans_from_scan_to_index() {
+    let dir = tmpdir("epoch");
+    let db = Database::create(&dir, DbConfig::default()).unwrap();
+    let mut s = db.session();
+    s.execute("CREATE DOCUMENT 'd'").unwrap();
+    s.execute("CREATE INDEX 'byk' ON doc('d')/r/item BY k AS xs:string")
+        .unwrap();
+
+    let q = "doc('d')/r/item[k = \"v500\"]/k/text()";
+    // Empty document: nothing to gain from the index, the planner keeps
+    // the structural scan.
+    assert_eq!(s.query(q).unwrap(), "");
+    let d = s.last_plan_decision().unwrap();
+    assert_eq!(d.access_path, sedna::AccessPath::Scan);
+    assert_eq!(d.index_rewrites, 0);
+    // Same key, same epoch: the second run hits the cache.
+    s.query(q).unwrap();
+    assert_eq!(s.last_profile().unwrap().parse_ns, 0);
+
+    // Bulk load ~600 items: a pure data-volume change. The statistics
+    // epoch must move; the catalog generation must NOT (no shape change).
+    let generation = db.catalog_generation();
+    let epoch = db.stats_epoch();
+    s.load_xml("d", &skewed_doc(600)).unwrap();
+    assert_eq!(db.catalog_generation(), generation);
+    assert!(db.stats_epoch() > epoch, "bulk load must bump the epoch");
+
+    // The cached plan key-misses, replans at the new statistics, and the
+    // cold path now routes through the index — with the right answer.
+    assert_eq!(s.query(q).unwrap(), "v500");
+    assert!(
+        s.last_profile().unwrap().parse_ns > 0,
+        "stale plan must key-miss after the epoch bump"
+    );
+    let d = s.last_plan_decision().unwrap();
+    assert_eq!(d.access_path, sedna::AccessPath::Index);
+    assert!(d.index_rewrites >= 1);
+    // And the chosen index plan really probed the B-tree.
+    assert!(s.last_stats.index_lookups >= 1);
+
+    let snap = db.metrics_snapshot();
+    assert!(snap.counter("sedna_plan_chosen_scan_total") >= 1);
+    assert!(snap.counter("sedna_plan_chosen_index_total") >= 1);
+    assert!(snap.counter("sedna_exec_index_lookups_total") >= 1);
+
+    // EXPLAIN ANALYZE surfaces the planner's estimates next to the
+    // measured counts — exact here, because the bare-path statistics are.
+    let report = s.explain_analyze("doc('d')/r/item").unwrap();
+    assert!(
+        report.contains("est=600 act=600"),
+        "estimate must render beside the actual count:\n{report}"
+    );
+
+    drop(s);
+    db.close().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Admission control under a thundering herd: with `max_sessions = 2`,
 /// racing `try_session` calls never over-admit, rejected callers see a
 /// clean `Conflict`, and the slot count recovers to zero.

@@ -23,4 +23,7 @@ pub mod path;
 mod tree;
 
 pub use path::{PathStep, SchemaAxis, SchemaTest};
-pub use tree::{NodeKind, SchemaName, SchemaNode, SchemaNodeId, SchemaTree};
+pub use tree::{
+    fanout_bucket, NodeKind, SchemaName, SchemaNode, SchemaNodeId, SchemaNodeStats, SchemaTree,
+    FANOUT_BUCKETS,
+};

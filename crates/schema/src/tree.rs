@@ -99,6 +99,17 @@ impl std::fmt::Display for SchemaName {
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct SchemaNodeId(pub u32);
 
+/// Number of log₂ buckets in a schema node's child fan-out histogram.
+/// Bucket *i* counts parent instances having `2^i ..= 2^(i+1)-1` children
+/// of this schema node; the last bucket absorbs everything larger.
+pub const FANOUT_BUCKETS: usize = 8;
+
+/// The log₂ bucket a fan-out of `count` (≥ 1) falls into.
+pub fn fanout_bucket(count: u64) -> usize {
+    debug_assert!(count >= 1, "bucket of a zero fan-out");
+    (63 - count.leading_zeros() as usize).min(FANOUT_BUCKETS - 1)
+}
+
 /// One node of the descriptive schema.
 #[derive(Clone, Debug)]
 pub struct SchemaNode {
@@ -120,6 +131,78 @@ pub struct SchemaNode {
     pub node_count: u64,
     /// Number of data blocks in the list.
     pub block_count: u32,
+    /// Total byte length of the text values carried by this schema
+    /// node's data nodes (0 for kinds without values).
+    pub text_len: u64,
+    /// Child fan-out histogram: bucket *i* counts **parent instances**
+    /// currently having `2^i ..` children of this schema node (see
+    /// [`fanout_bucket`]). Parents with zero such children are not
+    /// counted, so the bucket sum is the number of distinct parent
+    /// instances owning at least one child here.
+    pub fanout: [u32; FANOUT_BUCKETS],
+}
+
+impl SchemaNode {
+    /// Average text length per node (0 when the list is empty).
+    pub fn avg_text_len(&self) -> u64 {
+        if self.node_count == 0 {
+            0
+        } else {
+            self.text_len / self.node_count
+        }
+    }
+
+    /// Number of parent instances with at least one child of this
+    /// schema node (the fan-out histogram's bucket sum).
+    pub fn parents_with_children(&self) -> u64 {
+        self.fanout.iter().map(|&b| b as u64).sum()
+    }
+
+    /// Average fan-out: children of this schema node per parent
+    /// instance that has any (1 when no histogram data exists yet).
+    pub fn avg_fanout(&self) -> f64 {
+        let parents = self.parents_with_children();
+        if parents == 0 {
+            1.0
+        } else {
+            self.node_count as f64 / parents as f64
+        }
+    }
+
+    /// Moves one parent instance between fan-out buckets as its count of
+    /// children under this schema node changes from `old` to `new`
+    /// (either may be 0 — entering/leaving the histogram).
+    pub fn fanout_transition(&mut self, old: u64, new: u64) {
+        if old >= 1 {
+            let b = fanout_bucket(old);
+            self.fanout[b] = self.fanout[b].saturating_sub(1);
+        }
+        if new >= 1 {
+            self.fanout[fanout_bucket(new)] += 1;
+        }
+    }
+}
+
+/// A read-only statistics snapshot of one schema node, as surfaced by
+/// `Database::schema_stats` for introspection and the cost-based planner
+/// tests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchemaNodeStats {
+    /// Schema node id.
+    pub id: SchemaNodeId,
+    /// Slash-separated path from the root (`/library/book`; text and
+    /// other unnamed kinds render as `#text`-style kind markers).
+    pub path: String,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Data nodes described by this schema node.
+    pub node_count: u64,
+    /// Data blocks in its list.
+    pub block_count: u32,
+    /// Total text bytes across its data nodes.
+    pub text_len: u64,
+    /// Child fan-out histogram (see [`SchemaNode::fanout`]).
+    pub fanout: [u32; FANOUT_BUCKETS],
 }
 
 /// The descriptive schema of one document: a tree of [`SchemaNode`]s.
@@ -144,6 +227,8 @@ impl SchemaTree {
                 last_block: XPtr::NULL,
                 node_count: 0,
                 block_count: 0,
+                text_len: 0,
+                fanout: [0; FANOUT_BUCKETS],
             }],
         }
     }
@@ -205,6 +290,8 @@ impl SchemaTree {
             last_block: XPtr::NULL,
             node_count: 0,
             block_count: 0,
+            text_len: 0,
+            fanout: [0; FANOUT_BUCKETS],
         });
         self.node_mut(parent).children.push(id);
         (id, true)
@@ -280,6 +367,10 @@ impl SchemaTree {
             out.extend_from_slice(&node.last_block.to_bytes());
             out.extend_from_slice(&node.node_count.to_le_bytes());
             out.extend_from_slice(&node.block_count.to_le_bytes());
+            out.extend_from_slice(&node.text_len.to_le_bytes());
+            for b in &node.fanout {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
         }
         out
     }
@@ -309,6 +400,11 @@ impl SchemaTree {
             let last_block = XPtr::from_raw(r.u64()?);
             let node_count = r.u64()?;
             let block_count = r.u32()?;
+            let text_len = r.u64()?;
+            let mut fanout = [0u32; FANOUT_BUCKETS];
+            for b in &mut fanout {
+                *b = r.u32()?;
+            }
             nodes.push(SchemaNode {
                 kind,
                 name,
@@ -318,12 +414,45 @@ impl SchemaTree {
                 last_block,
                 node_count,
                 block_count,
+                text_len,
+                fanout,
             });
         }
         if nodes.is_empty() {
             return None;
         }
         Some(SchemaTree { nodes })
+    }
+
+    /// A statistics snapshot of every schema node, in creation order,
+    /// with human-readable root paths.
+    pub fn stats_snapshot(&self) -> Vec<SchemaNodeStats> {
+        self.ids()
+            .map(|id| {
+                let n = self.node(id);
+                let path = self
+                    .path_of(id)
+                    .into_iter()
+                    .skip(1) // the document root contributes no segment
+                    .map(|p| {
+                        let node = self.node(p);
+                        match &node.name {
+                            Some(name) => format!("/{name}"),
+                            None => format!("/#{:?}", node.kind).to_lowercase(),
+                        }
+                    })
+                    .collect::<String>();
+                SchemaNodeStats {
+                    id,
+                    path: if path.is_empty() { "/".into() } else { path },
+                    kind: n.kind,
+                    node_count: n.node_count,
+                    block_count: n.block_count,
+                    text_len: n.text_len,
+                    fanout: n.fanout,
+                }
+            })
+            .collect()
     }
 }
 
@@ -589,6 +718,8 @@ mod tests {
         t.node_mut(lib).last_block = XPtr::new(1, 0x8000);
         t.node_mut(lib).node_count = 7;
         t.node_mut(lib).block_count = 2;
+        t.node_mut(lib).text_len = 12345;
+        t.node_mut(lib).fanout = [1, 0, 3, 0, 0, 0, 0, 9];
         let bytes = t.to_bytes();
         let back = SchemaTree::from_bytes(&bytes).unwrap();
         assert_eq!(back.len(), t.len());
@@ -602,6 +733,69 @@ mod tests {
         assert_eq!(back.node(lib2).first_block, XPtr::new(1, 0x4000));
         assert_eq!(back.node(lib2).node_count, 7);
         assert_eq!(back.child_count(lib2), 2);
+        assert_eq!(back.node(lib2).text_len, 12345);
+        assert_eq!(back.node(lib2).fanout, [1, 0, 3, 0, 0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn fanout_buckets_are_log2() {
+        assert_eq!(fanout_bucket(1), 0);
+        assert_eq!(fanout_bucket(2), 1);
+        assert_eq!(fanout_bucket(3), 1);
+        assert_eq!(fanout_bucket(4), 2);
+        assert_eq!(fanout_bucket(127), 6);
+        assert_eq!(fanout_bucket(128), 7);
+        assert_eq!(fanout_bucket(u64::MAX), FANOUT_BUCKETS - 1);
+    }
+
+    #[test]
+    fn fanout_transitions_move_parents_between_buckets() {
+        let mut t = SchemaTree::new();
+        let e = t
+            .get_or_add_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(SchemaName::local("x")),
+            )
+            .0;
+        // A parent grows from 0 to 1 to 2 children.
+        t.node_mut(e).fanout_transition(0, 1);
+        assert_eq!(t.node(e).fanout[0], 1);
+        t.node_mut(e).fanout_transition(1, 2);
+        assert_eq!(t.node(e).fanout[0], 0);
+        assert_eq!(t.node(e).fanout[1], 1);
+        assert_eq!(t.node(e).parents_with_children(), 1);
+        // And shrinks back out of the histogram.
+        t.node_mut(e).fanout_transition(2, 0);
+        assert_eq!(t.node(e).parents_with_children(), 0);
+    }
+
+    #[test]
+    fn stats_snapshot_paths_and_averages() {
+        let mut t = fig2_schema();
+        let lib = t
+            .find_child(
+                SchemaTree::ROOT,
+                NodeKind::Element,
+                Some(&SchemaName::local("library")),
+            )
+            .unwrap();
+        let book = t
+            .find_child(lib, NodeKind::Element, Some(&SchemaName::local("book")))
+            .unwrap();
+        t.node_mut(book).node_count = 10;
+        t.node_mut(book).text_len = 250;
+        t.node_mut(book).fanout_transition(0, 10);
+        let snap = t.stats_snapshot();
+        assert_eq!(snap[0].path, "/");
+        let b = snap
+            .iter()
+            .find(|s| s.path == "/library/book")
+            .expect("book stats present");
+        assert_eq!(b.node_count, 10);
+        assert_eq!(b.text_len, 250);
+        assert_eq!(t.node(book).avg_text_len(), 25);
+        assert!((t.node(book).avg_fanout() - 10.0).abs() < 1e-9);
     }
 
     #[test]

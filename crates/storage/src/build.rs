@@ -25,6 +25,9 @@ struct Open {
     last_child_label: Option<Label>,
     /// Child schema nodes that already have their head pointer set.
     seen_child_sids: Vec<SchemaNodeId>,
+    /// Children appended so far per entry of `seen_child_sids` — feeds the
+    /// schema fan-out histogram in O(1) per node instead of a sibling walk.
+    child_sid_counts: Vec<u64>,
 }
 
 /// Streams XML events into a [`DocStorage`].
@@ -58,6 +61,7 @@ impl<'a> DocBuilder<'a> {
                 last_child_handle: XPtr::NULL,
                 last_child_label: None,
                 seen_child_sids: Vec::new(),
+                child_sid_counts: Vec::new(),
             }],
             nodes_built: 0,
         })
@@ -108,6 +112,7 @@ impl<'a> DocBuilder<'a> {
             last_child_handle: XPtr::NULL,
             last_child_label: None,
             seen_child_sids: Vec::new(),
+            child_sid_counts: Vec::new(),
         });
         Ok(())
     }
@@ -143,7 +148,8 @@ impl<'a> DocBuilder<'a> {
         let top = self.stack.last().expect("document node always open");
         let (sid, _added) = self.schema.get_or_add_child(top.sid, kind, name);
         let label = LabelAlloc::child(&top.label, top.last_child_label.as_ref(), None);
-        let is_first_of_sid = !top.seen_child_sids.contains(&sid);
+        let sid_idx = top.seen_child_sids.iter().position(|&s| s == sid);
+        let is_first_of_sid = sid_idx.is_none();
 
         let handle = self.doc.append_at_tail(
             self.vas,
@@ -160,9 +166,18 @@ impl<'a> DocBuilder<'a> {
         let top = self.stack.last_mut().expect("document node always open");
         top.last_child_handle = handle;
         top.last_child_label = Some(label);
-        if is_first_of_sid {
-            top.seen_child_sids.push(sid);
-        }
+        let prior = match sid_idx {
+            Some(i) => {
+                top.child_sid_counts[i] += 1;
+                top.child_sid_counts[i] - 1
+            }
+            None => {
+                top.seen_child_sids.push(sid);
+                top.child_sid_counts.push(1);
+                0
+            }
+        };
+        self.schema.node_mut(sid).fanout_transition(prior, prior + 1);
         self.nodes_built += 1;
         Ok(handle)
     }

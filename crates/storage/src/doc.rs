@@ -396,6 +396,31 @@ impl DocStorage {
         Ok(pos)
     }
 
+    /// Number of `parent_ptr`'s children that belong to schema node `sid`,
+    /// walked from the parent's child slot (O(fan-out of that schema)).
+    /// Used to maintain the per-schema-node fan-out histogram.
+    fn same_schema_child_count(
+        &self,
+        vas: &Vas,
+        schema: &SchemaTree,
+        parent_ptr: XPtr,
+        parent_sid: SchemaNodeId,
+        sid: SchemaNodeId,
+    ) -> StorageResult<u64> {
+        let Some(slot) = schema.child_slot(parent_sid, sid) else {
+            return Ok(0);
+        };
+        // A slot beyond the parent block's current width has no head yet.
+        let width = {
+            let page = vas.read(parent_ptr)?;
+            block::child_slots(&page) as usize
+        };
+        if slot >= width {
+            return Ok(0);
+        }
+        Ok(NodeRef(parent_ptr).children_by_schema(vas, slot)?.len() as u64)
+    }
+
     /// The block's descriptor slots in chain (document) order.
     fn chain_slots(&self, vas: &Vas, blk: XPtr) -> StorageResult<Vec<u16>> {
         let page = vas.read(blk)?;
@@ -809,6 +834,7 @@ impl DocStorage {
             let mut page = vas.write(desc_ptr)?;
             let off = desc_ptr.offset_in_page(ps);
             d::set_value(&mut page, off, text_ref);
+            schema.node_mut(sid).text_len += v.len() as u64;
         }
 
         // Sibling links (re-deref: placement may have split blocks).
@@ -838,6 +864,16 @@ impl DocStorage {
             let width = block::child_slots(&page);
             d::set_child(&mut page, off, slot, width, desc_ptr);
             self.stats.pointer_updates += 1;
+        }
+
+        // Fan-out histogram: the parent gained one child of this schema.
+        {
+            let parent_ptr = deref_handle(vas, parent)?;
+            let now = self.same_schema_child_count(vas, schema, parent_ptr, parent_sid, sid)?;
+            debug_assert!(now >= 1, "freshly inserted child must be countable");
+            schema
+                .node_mut(sid)
+                .fanout_transition(now.saturating_sub(1), now);
         }
 
         schema.node_mut(sid).node_count += 1;
@@ -998,6 +1034,19 @@ impl DocStorage {
             nxt
         };
 
+        // Fan-out histogram input: same-schema sibling count while the
+        // node is still linked.
+        let same_sid_before = if parent_field.is_null() {
+            0
+        } else {
+            let parent_ptr = match self.mode {
+                ParentMode::Indirect => deref_handle(vas, parent_field)?,
+                ParentMode::Direct => parent_field,
+            };
+            let parent_sid = NodeRef(parent_ptr).schema(vas)?;
+            self.same_schema_child_count(vas, schema, parent_ptr, parent_sid, sid)?
+        };
+
         // Free the value and a spilled label.
         let (value_ref, spilled_ref, left, right) = {
             let page = vas.read(desc_ptr)?;
@@ -1018,6 +1067,9 @@ impl DocStorage {
             )
         };
         if !value_ref.is_null() {
+            let len = TextStore::read(vas, value_ref)?.len() as u64;
+            let snode = schema.node_mut(sid);
+            snode.text_len = snode.text_len.saturating_sub(len);
             TextStore::free(vas, value_ref)?;
         }
         if !spilled_ref.is_null() {
@@ -1083,6 +1135,11 @@ impl DocStorage {
             block::free_indir_entry(&mut page, ps, handle.offset_in_page(ps));
         }
 
+        if same_sid_before > 0 {
+            schema
+                .node_mut(sid)
+                .fanout_transition(same_sid_before, same_sid_before - 1);
+        }
         schema.node_mut(sid).node_count -= 1;
         self.maybe_free_block(vas, schema, blk)?;
         if handle.page(ps) != blk {
@@ -1185,6 +1242,7 @@ impl DocStorage {
             let mut page = vas.write(desc_ptr)?;
             let off = desc_ptr.offset_in_page(ps);
             d::set_value(&mut page, off, text_ref);
+            schema.node_mut(sid).text_len += v.len() as u64;
         }
 
         // Sibling link to the previous last child.
@@ -1213,8 +1271,15 @@ impl DocStorage {
         Ok(handle)
     }
 
-    /// Replaces the string value of the node behind `handle`.
-    pub fn set_value(&mut self, vas: &Vas, handle: XPtr, value: &[u8]) -> StorageResult<()> {
+    /// Replaces the string value of the node behind `handle`, keeping the
+    /// schema node's text-length statistic in step.
+    pub fn set_value(
+        &mut self,
+        vas: &Vas,
+        schema: &mut SchemaTree,
+        handle: XPtr,
+        value: &[u8],
+    ) -> StorageResult<()> {
         let ps = vas.page_size();
         let desc_ptr = deref_handle(vas, handle)?;
         let sid = NodeRef(desc_ptr).schema(vas)?;
@@ -1223,11 +1288,15 @@ impl DocStorage {
             d::value(&page, desc_ptr.offset_in_page(ps))
         };
         if !old.is_null() {
+            let old_len = TextStore::read(vas, old)?.len() as u64;
+            let snode = schema.node_mut(sid);
+            snode.text_len = snode.text_len.saturating_sub(old_len);
             TextStore::free(vas, old)?;
         }
         let new_ref = self.text.alloc(vas, sid.0, value)?;
         let mut page = vas.write(desc_ptr)?;
         d::set_value(&mut page, desc_ptr.offset_in_page(ps), new_ref);
+        schema.node_mut(sid).text_len += value.len() as u64;
         Ok(())
     }
 }

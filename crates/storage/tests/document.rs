@@ -613,6 +613,7 @@ fn set_value_replaces_text() {
     let th = text.handle(&vas).unwrap();
     doc.set_value(
         &vas,
+        &mut schema,
         th,
         b"replacement value that is much longer than before",
     )

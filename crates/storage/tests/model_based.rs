@@ -319,7 +319,7 @@ fn run_model(ops: Vec<Op>, mode: ParentMode, page_size: usize) {
                     continue;
                 }
                 let node = texts[node_sel % texts.len()];
-                doc.set_value(&vas, handles[node].unwrap(), value.as_bytes())
+                doc.set_value(&vas, &mut schema, handles[node].unwrap(), value.as_bytes())
                     .unwrap();
                 model.nodes[node].value = value;
             }

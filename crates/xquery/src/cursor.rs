@@ -86,6 +86,19 @@ impl Plan {
         self.root.profile()
     }
 
+    /// Stamps the planner's cardinality estimates onto the operator
+    /// tree, so `EXPLAIN ANALYZE` can render `est=N act=M` per operator.
+    /// `estimate_path` maps a `(document, steps)` path rooted at a
+    /// document node to an estimated item count (see
+    /// [`crate::cost::estimate_path_cardinality`]); operators whose
+    /// cardinality cannot be derived from it stay unannotated.
+    pub fn annotate_estimates<F>(&mut self, estimate_path: &F)
+    where
+        F: Fn(&str, &[Step]) -> Option<u64>,
+    {
+        annotate_op(&mut self.root, estimate_path);
+    }
+
     /// Pulls the next item, or `None` when the plan is exhausted.
     pub fn next(&mut self, ex: &mut Executor<'_>) -> QueryResult<Option<Item>> {
         self.root.next(ex)
@@ -104,6 +117,9 @@ struct Op {
     /// unless timing is enabled.
     cum_ns: u64,
     timed: bool,
+    /// Planner cardinality estimate ([`Plan::annotate_estimates`]);
+    /// `None` when the operator's output is not estimable.
+    est: Option<u64>,
 }
 
 impl From<OpKind> for Op {
@@ -114,6 +130,7 @@ impl From<OpKind> for Op {
             items: 0,
             cum_ns: 0,
             timed: false,
+            est: None,
         }
     }
 }
@@ -227,6 +244,10 @@ pub struct OpProfile {
     /// `cum_ns` minus the children's `cum_ns` — the operator's own
     /// work.
     pub self_ns: u64,
+    /// Planner cardinality estimate, when the plan was annotated
+    /// ([`Plan::annotate_estimates`]); compare against `items` (the
+    /// actual count) to judge the cost model.
+    pub est: Option<u64>,
     /// Input operators.
     pub children: Vec<OpProfile>,
 }
@@ -253,14 +274,18 @@ impl OpProfile {
         if !self.detail.is_empty() {
             let _ = write!(out, " {}", self.detail);
         }
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "  (pulls={} items={} self={} total={})",
+            "  (pulls={} items={} self={} total={}",
             self.pulls,
             self.items,
             fmt_ns(self.self_ns),
             fmt_ns(self.cum_ns)
         );
+        if let Some(est) = self.est {
+            let _ = write!(out, " est={est} act={}", self.items);
+        }
+        out.push_str(")\n");
         for c in &self.children {
             c.render_into(out, depth + 1);
         }
@@ -381,6 +406,66 @@ fn compile_op(e: &Expr) -> Op {
     }
 }
 
+/// Bottom-up estimate annotation: each operator's estimate is derived
+/// from its children's and the planner's path-cardinality oracle.
+/// Returns the estimate assigned to `op` (for the parent's use).
+fn annotate_op<F>(op: &mut Op, f: &F) -> Option<u64>
+where
+    F: Fn(&str, &[Step]) -> Option<u64>,
+{
+    let est = match &mut op.kind {
+        OpKind::DocRoot { .. } => Some(1),
+        OpKind::StructuralScan { doc, steps, .. } => f(doc, steps),
+        OpKind::Step { input, .. } => {
+            annotate_op(input, f);
+            // A pure DocRoot + Step chain is a document-rooted path: ask
+            // the oracle about the prefix ending at this step.
+            doc_chain(op).and_then(|(doc, steps)| f(&doc, &steps))
+        }
+        OpKind::Filter {
+            input, predicate, ..
+        } => {
+            let child = annotate_op(input, f);
+            let sel = crate::cost::predicate_selectivity(predicate);
+            child.map(|c| {
+                if c == 0 {
+                    0
+                } else {
+                    ((c as f64 * sel).round() as u64).max(1)
+                }
+            })
+        }
+        OpKind::Ddo { input, .. } => annotate_op(input, f),
+        OpKind::Concat { parts, .. } => parts
+            .iter_mut()
+            .map(|p| annotate_op(p, f))
+            .sum::<Option<u64>>(),
+        OpKind::Range { lo, hi, .. } => match (&*lo, &*hi) {
+            (Expr::Literal(Atom::Number(a)), Expr::Literal(Atom::Number(b))) if b >= a => {
+                Some((*b - *a) as u64 + 1)
+            }
+            _ => None,
+        },
+        OpKind::For { .. } | OpKind::Materialize { .. } => None,
+    };
+    op.est = est;
+    est
+}
+
+/// The `(document, step prefix)` of a pure DocRoot + Step operator
+/// chain, or `None` when any other operator interrupts it.
+fn doc_chain(op: &Op) -> Option<(String, Vec<Step>)> {
+    match &op.kind {
+        OpKind::DocRoot { name, .. } => Some((name.clone(), Vec::new())),
+        OpKind::Step { input, step, .. } => {
+            let (doc, mut steps) = doc_chain(input)?;
+            steps.push(step.clone());
+            Some((doc, steps))
+        }
+        _ => None,
+    }
+}
+
 impl Op {
     fn materialize(e: &Expr) -> Op {
         Op::from(OpKind::Materialize {
@@ -431,6 +516,7 @@ impl Op {
             items: self.items,
             cum_ns: self.cum_ns,
             self_ns: self.cum_ns.saturating_sub(child_ns),
+            est: self.est,
             children,
         }
     }
@@ -970,6 +1056,27 @@ mod tests {
         assert_eq!(text.lines().count(), 4);
         assert!(text.starts_with("Ddo  (pulls=0 items=0"));
         assert!(text.contains("\n      DocRoot doc('lib')  (pulls=0"));
+    }
+
+    #[test]
+    fn estimates_annotate_the_tree_and_render() {
+        let mut plan = Plan::compile(&Expr::Ddo(doc_path("lib", &["a", "b"]).boxed()));
+        plan.annotate_estimates(&|doc: &str, steps: &[Step]| {
+            assert_eq!(doc, "lib");
+            Some(10u64.pow(steps.len() as u32))
+        });
+        let p = plan.profile();
+        // Ddo passes its input's estimate through; each Step got the
+        // oracle's answer for its own prefix length.
+        assert_eq!(p.est, Some(100));
+        assert_eq!(p.children[0].est, Some(100));
+        assert_eq!(p.children[0].children[0].est, Some(10));
+        assert_eq!(p.children[0].children[0].children[0].est, Some(1));
+        let text = p.render();
+        assert!(text.contains("est=100 act=0)"), "{text}");
+        // An unannotated plan renders exactly as before.
+        let plain = Plan::compile(&doc_path("lib", &["a"])).profile().render();
+        assert!(!plain.contains("est="), "{plain}");
     }
 
     #[test]

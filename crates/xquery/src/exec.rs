@@ -802,6 +802,20 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
+    /// Resolves a declared index by name, counting the lookup — the one
+    /// place `index_lookups` is bumped; both index builtins go through
+    /// it, so the counter and the actual B-tree accesses cannot drift.
+    fn index_entry(&mut self, iname: &str) -> QueryResult<&'a IndexEntry<'a>> {
+        let entry = self
+            .db
+            .indexes
+            .iter()
+            .find(|e| e.name == iname)
+            .ok_or_else(|| QueryError::Dynamic(format!("no such index '{iname}'")))?;
+        self.stats.index_lookups += 1;
+        Ok(entry)
+    }
+
     /// Resolves a structural path to the schema nodes whose block lists
     /// hold the result (the schema-level half of §5.1.4).
     pub(crate) fn structural_sids(&self, doc: usize, steps: &[Step]) -> Vec<SchemaNodeId> {
@@ -1531,15 +1545,9 @@ impl<'a> Executor<'a> {
             }
             "index-scan" => {
                 let iname = one_string(self, arg(0))?;
-                let entry = self
-                    .db
-                    .indexes
-                    .iter()
-                    .find(|e| e.name == iname)
-                    .ok_or_else(|| QueryError::Dynamic(format!("no such index '{iname}'")))?;
                 let key_atom = self.atomize_item(&arg(1)[0])?;
                 let key = atom_to_index_key(&key_atom);
-                self.stats.index_lookups += 1;
+                let entry = self.index_entry(&iname)?;
                 let handles = entry
                     .index
                     .lookup(self.db.vas, &key)
@@ -1554,15 +1562,9 @@ impl<'a> Executor<'a> {
             }
             "index-scan-between" => {
                 let iname = one_string(self, arg(0))?;
-                let entry = self
-                    .db
-                    .indexes
-                    .iter()
-                    .find(|e| e.name == iname)
-                    .ok_or_else(|| QueryError::Dynamic(format!("no such index '{iname}'")))?;
                 let lo = atom_to_index_key(&self.atomize_item(&arg(1)[0])?);
                 let hi = atom_to_index_key(&self.atomize_item(&arg(2)[0])?);
-                self.stats.index_lookups += 1;
+                let entry = self.index_entry(&iname)?;
                 let handles = entry
                     .index
                     .range(self.db.vas, Some(&lo), true, Some(&hi), true)

@@ -18,6 +18,11 @@
 //!   analysis), lazy evaluation of loop-invariant nested-FLWOR binding
 //!   expressions, and extraction of structural location paths onto the
 //!   descriptive schema.
+//! * [`planner`] / [`cost`] — the cost-based planner layered on top of
+//!   the rewriter: per-path cardinality estimation from the statistics
+//!   maintained on the descriptive schema, access-path choice between
+//!   structural scans and declared B-tree value indexes, and
+//!   selectivity-ordered predicates (see `docs/planner.md`).
 //! * [`exec`] — the executor of §5.2: a library of physical operations,
 //!   each "implemented as iterator [providing the] well known
 //!   open-next-close interface", evaluated demand-driven; element
@@ -32,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cost;
 pub mod cursor;
 mod error;
 pub mod exec;
 pub mod functions;
 pub mod parser;
+pub mod planner;
 pub mod rewrite;
 pub mod static_ctx;
 pub mod token;
@@ -47,6 +54,7 @@ pub use ast::{Expr, Statement};
 pub use cursor::{OpProfile, Plan};
 pub use error::{QueryError, QueryResult};
 pub use exec::{ConstructMode, Database, DocEntry, ExecState, ExecStats, Executor};
+pub use planner::{plan_statement, AccessPath, IndexSpec, PlanDecision, PlannerInput};
 pub use update::{apply_update, plan_update_with_stats, UpdateTarget};
 pub use value::{Atom, Item, Sequence};
 

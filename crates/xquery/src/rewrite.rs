@@ -366,8 +366,8 @@ fn contains_position_call(e: &Expr) -> bool {
     found
 }
 
-/// Generic immutable visitor.
-fn visit(e: &Expr, f: &mut impl FnMut(&Expr)) {
+/// Generic immutable visitor (shared with the cost-based planner).
+pub(crate) fn visit(e: &Expr, f: &mut impl FnMut(&Expr)) {
     f(e);
     match e {
         Expr::Sequence(items) => items.iter().for_each(|i| visit(i, f)),

@@ -268,7 +268,7 @@ pub fn execute_plan(
                             Some(value.as_bytes()),
                         )?;
                     }
-                    _ => doc.set_value(vas, h, value.as_bytes())?,
+                    _ => doc.set_value(vas, schema, h, value.as_bytes())?,
                 }
             }
             outcome.affected = targets.len();
