@@ -43,11 +43,17 @@ fn main() {
     // streaming-executor comparison (rewriting BENCH_exec.json);
     // `report obs` runs only the tracing-overhead sweep (rewriting
     // BENCH_obs.json); `report plan` runs only the planner ablation
-    // (rewriting BENCH_plan.json); no argument runs everything.
+    // (rewriting BENCH_plan.json); `report fork` runs only the
+    // copy-on-write forking sweep (rewriting BENCH_fork.json); no
+    // argument runs everything.
     let args: Vec<String> = std::env::args().collect();
     let only = |name: &str| args.iter().any(|a| a == name);
-    let filtered =
-        only("buffer") || only("net") || only("exec") || only("obs") || only("plan");
+    let filtered = only("buffer")
+        || only("net")
+        || only("exec")
+        || only("obs")
+        || only("plan")
+        || only("fork");
     println!("# Sedna reproduction — experiment report");
     println!("# (cargo run --release -p sedna-bench --bin report)");
     println!();
@@ -79,6 +85,9 @@ fn main() {
     }
     if !filtered || only("plan") {
         bench_plan();
+    }
+    if !filtered || only("fork") {
+        bench_fork();
     }
     println!("# done");
 }
@@ -829,12 +838,7 @@ fn bench_plan() {
 
     let mut rows = Vec::new();
     for (name, query, expect, access_path) in [
-        (
-            "cold_equality_index_favorable",
-            cold_q,
-            "c9999",
-            "index",
-        ),
+        ("cold_equality_index_favorable", cold_q, "c9999", "index"),
         ("hot_equality_scan_favorable", hot_q, "h5", "scan"),
     ] {
         let rule = measure(false, query, expect, 30);
@@ -1447,7 +1451,7 @@ fn e11_recovery() {
             .iter()
             .flat_map(|(_, _, ops)| ops.iter())
             .map(|op| match op {
-                sedna_wal::RedoOp::Page(_, sedna_wal::PageOp::Image(img)) => img.len(),
+                sedna_wal::RedoOp::Page(_, _, sedna_wal::PageOp::Image(img)) => img.len(),
                 _ => 16,
             })
             .sum();
@@ -1535,4 +1539,163 @@ fn e12_hot_backup() {
 #[allow(dead_code)]
 fn _keep(p: XPtr) -> u64 {
     p.raw()
+}
+
+// ------------------------------------------------------------------
+// Fork — instant copy-on-write database forking (fork PR)
+// ------------------------------------------------------------------
+
+/// One measured database size of the fork-latency sweep.
+struct ForkBenchRow {
+    scale: &'static str,
+    books: usize,
+    nodes: u64,
+    data_bytes: u64,
+    fork_ms: f64,
+}
+
+/// Builds a library database of `books` books, checkpoints it, and
+/// measures the mean latency of `Database::fork` over several forks.
+/// Fork time is O(catalog) — a WAL record plus a catalog clone — so it
+/// must not scale with the database size.
+fn run_fork_latency(scale: &'static str, books: usize) -> ForkBenchRow {
+    let tmp = TempDb::new(&format!("fork-{books}"), sedna::DbConfig::default());
+    let mut s = tmp.db.session();
+    s.execute("CREATE DOCUMENT 'lib'").unwrap();
+    let nodes = s
+        .load_xml("lib", &sedna_workload::library(books, 42))
+        .unwrap();
+    drop(s);
+    tmp.db.checkpoint().unwrap();
+    let data_bytes = std::fs::metadata(tmp.dir().join("data.sedna"))
+        .unwrap()
+        .len();
+
+    const FORKS: u32 = 8;
+    // Warmup: first fork pays one-time lazy costs.
+    tmp.db.fork("warmup").unwrap();
+    tmp.db.drop_fork("warmup").unwrap();
+    let t = Instant::now();
+    for i in 0..FORKS {
+        tmp.db.fork(&format!("f{i}")).unwrap();
+    }
+    let fork_ms = t.elapsed().as_secs_f64() * 1e3 / FORKS as f64;
+    for i in 0..FORKS {
+        tmp.db.drop_fork(&format!("f{i}")).unwrap();
+    }
+    ForkBenchRow {
+        scale,
+        books,
+        nodes,
+        data_bytes,
+        fork_ms,
+    }
+}
+
+/// Post-fork throughput on both branches of a freshly forked 10x
+/// database: write statements per second (shared update stream,
+/// different seeds per branch) and read queries per second.
+fn run_fork_throughput() -> (f64, f64, f64, f64) {
+    let tmp = TempDb::new("fork-tput", sedna::DbConfig::default());
+    let mut parent = tmp.db.session();
+    parent.execute("CREATE DOCUMENT 'lib'").unwrap();
+    parent
+        .load_xml("lib", &sedna_workload::library(1300, 42))
+        .unwrap();
+    let fork_db = tmp.db.fork("tput").unwrap();
+    let mut fork = fork_db.session();
+
+    const WRITES: usize = 200;
+    let parent_stmts = sedna_workload::update_statements(WRITES, 101);
+    let fork_stmts = sedna_workload::update_statements(WRITES, 202);
+    let t = Instant::now();
+    for stmt in &parent_stmts {
+        parent.execute(stmt).unwrap();
+    }
+    let parent_writes = WRITES as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for stmt in &fork_stmts {
+        fork.execute(stmt).unwrap();
+    }
+    let fork_writes = WRITES as f64 / t.elapsed().as_secs_f64();
+
+    const READS: usize = 50;
+    let q = "count(doc('lib')/library/book/note)";
+    let t = Instant::now();
+    for _ in 0..READS {
+        std::hint::black_box(parent.query(q).unwrap());
+    }
+    let parent_reads = READS as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..READS {
+        std::hint::black_box(fork.query(q).unwrap());
+    }
+    let fork_reads = READS as f64 / t.elapsed().as_secs_f64();
+
+    drop(parent);
+    drop(fork);
+    drop(fork_db);
+    tmp.db.drop_fork("tput").unwrap();
+    (parent_writes, fork_writes, parent_reads, fork_reads)
+}
+
+fn bench_fork() {
+    println!("## Fork — instant copy-on-write forking");
+    println!("fork latency across a 100x database-size spread (must stay flat:");
+    println!("a fork copies zero data pages), plus post-fork read/write");
+    println!("throughput on both branches");
+
+    let rows = vec![
+        run_fork_latency("1x", 130),
+        run_fork_latency("10x", 1300),
+        run_fork_latency("100x", 13000),
+    ];
+    println!(
+        "{:<6} {:>8} {:>10} {:>14} {:>10}",
+        "scale", "books", "nodes", "data bytes", "fork ms"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:>8} {:>10} {:>14} {:>10.3}",
+            r.scale, r.books, r.nodes, r.data_bytes, r.fork_ms
+        );
+    }
+    let flatness = rows[2].fork_ms / rows[0].fork_ms.max(1e-9);
+    let growth = rows[2].data_bytes as f64 / rows[0].data_bytes.max(1) as f64;
+    println!("fork latency 100x vs 1x: {flatness:.2}x while the data file grew {growth:.0}x");
+    assert!(
+        flatness < 5.0,
+        "fork latency must stay flat across database sizes; got {flatness:.2}x"
+    );
+
+    let (pw, fw, pr, fr) = run_fork_throughput();
+    println!("post-fork throughput (10x database, both branches):");
+    println!("  parent: {pw:.0} writes/s, {pr:.0} reads/s");
+    println!("  fork:   {fw:.0} writes/s, {fr:.0} reads/s");
+
+    // Machine-readable trajectory record (hand-rolled JSON, no deps).
+    let mut json = String::from("{\n  \"experiment\": \"fork_latency\",\n  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scale\": \"{}\", \"books\": {}, \"nodes\": {}, \"data_bytes\": {}, \
+             \"fork_ms\": {:.3}}}{}\n",
+            r.scale,
+            r.books,
+            r.nodes,
+            r.data_bytes,
+            r.fork_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"latency_100x_vs_1x\": {flatness:.3},\n  \"data_growth_100x_vs_1x\": {growth:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"post_fork_throughput\": {{\"parent_writes_per_sec\": {pw:.0}, \
+         \"fork_writes_per_sec\": {fw:.0}, \"parent_reads_per_sec\": {pr:.0}, \
+         \"fork_reads_per_sec\": {fr:.0}}}\n}}\n"
+    ));
+    std::fs::write("BENCH_fork.json", &json).unwrap();
+    println!("wrote BENCH_fork.json");
+    println!();
 }

@@ -64,6 +64,19 @@ pub struct DbConfig {
     /// purely rule-based rewriter — kept for the planner ablation
     /// benchmark and as an escape hatch.
     pub cost_based_planner: bool,
+    /// Snapshot-retention policy: keep up to this many commit
+    /// snapshots per branch for `AS OF` time-travel reads
+    /// ([`Database::session_as_of`]). Retained snapshots pin their page
+    /// versions against purge until evicted by count or by
+    /// [`DbConfig::retain_ms`]. `0` disables retention (the default —
+    /// snapshots then live only as long as readers pin them).
+    ///
+    /// [`Database::session_as_of`]: crate::Database::session_as_of
+    pub retain_snapshots: usize,
+    /// Maximum age in milliseconds of a policy-retained snapshot; older
+    /// ones are released at the next commit. `0` means no age limit
+    /// (eviction by [`DbConfig::retain_snapshots`] count only).
+    pub retain_ms: u64,
 }
 
 impl Default for DbConfig {
@@ -82,6 +95,8 @@ impl Default for DbConfig {
             slow_query_ms: 0,
             trace_sample: SamplingPolicy::Off,
             cost_based_planner: true,
+            retain_snapshots: 0,
+            retain_ms: 0,
         }
     }
 }

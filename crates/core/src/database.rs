@@ -1,15 +1,20 @@
 //! The database manager: buffer manager + transaction manager (Figure 1),
-//! WAL durability, checkpoints, two-step recovery, and hot backup.
+//! WAL durability, checkpoints, two-step recovery, hot backup, and the
+//! copy-on-write fork family (instant database forks + `AS OF`
+//! time-travel reads).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, RwLock};
-use sedna_sas::{FilePageStore, PageResolver, PageStore, Sas, SasConfig, XPtr};
+use sedna_sas::{FilePageStore, PageResolver, PageStore, Sas, SasConfig, View, XPtr};
 use sedna_sync::Arc;
-use sedna_txn::TxnManager;
+use sedna_txn::{branch_latest_view, TxnManager, ROOT_BRANCH};
 use sedna_wal::record::AllocSnapshot;
-use sedna_wal::{plan_recovery, CheckpointData, PageOp, RedoOp, WalRecord, WalWriter};
+use sedna_wal::{
+    plan_recovery, BranchEvent, BranchMeta, CheckpointData, PageOp, RedoOp, WalRecord, WalWriter,
+};
 
 use sedna_obs::{SpanEvent, TraceBuffer};
 
@@ -18,7 +23,7 @@ use crate::catalog::{self, Catalog};
 use crate::config::DbConfig;
 use crate::error::{DbError, DbResult};
 use crate::introspect::{ActivityReport, ActivityTracker, SlowLog, SlowQueryEntry};
-use crate::metrics::DbObs;
+use crate::metrics::{DbObs, ForkMetrics};
 use crate::plan_cache::PlanCache;
 use crate::session::Session;
 
@@ -47,7 +52,8 @@ fn write_epoch(dir: &Path, epoch: u64) -> std::io::Result<()> {
 /// Gate coordinating update transactions with checkpoints: updaters hold
 /// it shared; a checkpoint runs exclusively (so the flushed state is
 /// transaction-consistent — the paper's "fixate transaction-consistent
-/// state").
+/// state"). One gate serves an entire fork family: a checkpoint drains
+/// updaters of every branch, and fork/drop-fork run exclusively too.
 ///
 /// Stays on `parking_lot` (not the `sedna-sync` shim): it is a blocking
 /// condition-variable protocol, not a lock-free hot path, and no loom
@@ -98,15 +104,103 @@ impl TxnGate {
     }
 }
 
+/// The fork-family registry shared by a root database and its forks:
+/// branch-id allocation plus the live fork list. Forks are held
+/// **strongly** — a fork stays alive (and recoverable) until
+/// [`Database::drop_fork`], even if every external handle to it is
+/// dropped. The resulting `DbInner → Family → DbInner` cycle is broken
+/// exactly by `drop_fork` removing the entry.
+pub(crate) struct Family {
+    state: Mutex<FamilyState>,
+}
+
+struct FamilyState {
+    /// Next branch id to hand out; ids are never reused, so recovery can
+    /// rely on "higher id == forked later" for parent-before-child order.
+    next_branch: u32,
+    /// Live forks: `(branch, name, inner)`.
+    forks: Vec<(u32, String, Arc<DbInner>)>,
+}
+
+impl Family {
+    fn new() -> Arc<Family> {
+        Arc::new(Family {
+            state: Mutex::new(FamilyState {
+                next_branch: 1,
+                forks: Vec::new(),
+            }),
+        })
+    }
+
+    fn alloc_branch(&self) -> u32 {
+        let mut st = self.state.lock();
+        let b = st.next_branch;
+        st.next_branch += 1;
+        b
+    }
+
+    fn bump_next_branch(&self, min_next: u32) {
+        let mut st = self.state.lock();
+        st.next_branch = st.next_branch.max(min_next);
+    }
+
+    fn add_fork(&self, branch: u32, name: String, inner: Arc<DbInner>) {
+        self.state.lock().forks.push((branch, name, inner));
+    }
+
+    fn remove_fork(&self, branch: u32) {
+        self.state.lock().forks.retain(|(b, _, _)| *b != branch);
+    }
+
+    fn fork_by_name(&self, name: &str) -> Option<(u32, Arc<DbInner>)> {
+        self.state
+            .lock()
+            .forks
+            .iter()
+            .find(|(_, n, _)| n == name)
+            .map(|(b, _, inner)| (*b, Arc::clone(inner)))
+    }
+
+    fn forks(&self) -> Vec<(u32, String, Arc<DbInner>)> {
+        self.state.lock().forks.clone()
+    }
+}
+
+/// One policy-retained commit snapshot (`AS OF` support): the version
+/// manager pins its page versions against purge; the catalog clone
+/// restores the metadata view of that moment.
+struct RetainedSnapshot {
+    ts: u64,
+    at: Instant,
+    catalog: Catalog,
+}
+
 pub(crate) struct DbInner {
     pub(crate) cfg: DbConfig,
     pub(crate) dir: PathBuf,
     pub(crate) sas: Arc<Sas>,
     pub(crate) store: Arc<FilePageStore>,
-    pub(crate) txns: TxnManager,
-    pub(crate) wal: Mutex<WalWriter>,
+    pub(crate) txns: Arc<TxnManager>,
+    pub(crate) wal: Arc<Mutex<WalWriter>>,
     pub(crate) catalog: RwLock<Catalog>,
-    pub(crate) gate: TxnGate,
+    pub(crate) gate: Arc<TxnGate>,
+    /// The branch this handle reads and writes ([`ROOT_BRANCH`] for the
+    /// primary database).
+    pub(crate) branch: u32,
+    /// Fork name; empty for the root.
+    pub(crate) name: String,
+    /// The family registry shared with every fork of this database.
+    pub(crate) family: Arc<Family>,
+    /// Strong reference to the root member (forks only; `None` on the
+    /// root itself). Keeps the root's catalog reachable for family-wide
+    /// checkpoints even if the caller dropped its root handle.
+    root: Option<Arc<DbInner>>,
+    /// Fork-family metric handles; registered once, in the root's
+    /// registry, and shared by every member.
+    pub(crate) fork_metrics: ForkMetrics,
+    /// Ring of policy-retained snapshots of *this* branch, oldest first
+    /// (see [`DbConfig::retain_snapshots`] / [`DbConfig::retain_ms`]).
+    retained: Mutex<VecDeque<RetainedSnapshot>>,
     pub(crate) obs: DbObs,
     /// Session admission control (live-session accounting behind
     /// [`Database::try_session`]); see [`SessionGate`].
@@ -127,7 +221,8 @@ pub(crate) struct DbInner {
     /// cache first (L1) and fall back here, so a statement compiled by
     /// one connection is reused by every other until the catalog
     /// generation moves. Held briefly around get/insert only — never
-    /// across parse or execution.
+    /// across parse or execution. Per family member: a fork never shares
+    /// compiled plans (or their generation/stats epochs) with its parent.
     pub(crate) shared_plans: Mutex<PlanCache>,
     /// Ring of recently kept query traces (see [`DbConfig::trace_sample`]).
     pub(crate) traces: TraceBuffer,
@@ -160,9 +255,63 @@ impl DbInner {
         self.sessions.release();
         self.obs.sessions.sub(1);
     }
+
+    /// The SAS view of this branch's latest committed state (what a
+    /// session parked between transactions reads through).
+    pub(crate) fn latest_view(&self) -> View {
+        branch_latest_view(self.branch)
+    }
+
+    /// The root member of this family (`self` when this is the root).
+    fn root_member(&self) -> &DbInner {
+        self.root.as_deref().unwrap_or(self)
+    }
+
+    /// Applies the snapshot-retention policy after a successful update
+    /// commit: retains the new commit snapshot for `AS OF` reads and
+    /// evicts by count and age.
+    pub(crate) fn note_retention(&self) {
+        let keep = self.cfg.retain_snapshots;
+        let max_ms = self.cfg.retain_ms;
+        if keep == 0 && max_ms == 0 {
+            return;
+        }
+        let snap = self.txns.versions.create_snapshot_on(self.branch);
+        let mut ring = self.retained.lock();
+        if ring.back().is_some_and(|r| r.ts == snap.ts) {
+            // Already retained at this ts; drop the extra pin.
+            self.txns.versions.release_snapshot_on(self.branch, snap.ts);
+        } else {
+            ring.push_back(RetainedSnapshot {
+                ts: snap.ts,
+                at: Instant::now(),
+                catalog: self.catalog.read().clone(),
+            });
+        }
+        while keep > 0 && ring.len() > keep {
+            let r = ring.pop_front().expect("ring non-empty");
+            self.txns.versions.release_snapshot_on(self.branch, r.ts);
+        }
+        if max_ms > 0 {
+            let cutoff = std::time::Duration::from_millis(max_ms);
+            while ring.front().is_some_and(|r| r.at.elapsed() > cutoff) {
+                let r = ring.pop_front().expect("ring non-empty");
+                self.txns.versions.release_snapshot_on(self.branch, r.ts);
+            }
+        }
+    }
+
+    /// Releases every policy-retained snapshot (fork drop).
+    fn clear_retention(&self) {
+        let mut ring = self.retained.lock();
+        for r in ring.drain(..) {
+            self.txns.versions.release_snapshot_on(self.branch, r.ts);
+        }
+    }
 }
 
-/// A Sedna database instance.
+/// A Sedna database instance — the root of a fork family, or one of its
+/// copy-on-write forks (see [`Database::fork`]).
 #[derive(Clone)]
 pub struct Database {
     pub(crate) inner: Arc<DbInner>,
@@ -182,7 +331,7 @@ impl Database {
     pub fn create(dir: &Path, cfg: DbConfig) -> DbResult<Database> {
         std::fs::create_dir_all(dir)?;
         let store = Arc::new(FilePageStore::create(&dir.join(DATA_FILE), cfg.page_size)?);
-        let txns = TxnManager::new(Arc::clone(&store) as Arc<dyn PageStore>);
+        let txns = Arc::new(TxnManager::new(Arc::clone(&store) as Arc<dyn PageStore>));
         let resolver: Arc<dyn PageResolver> = Arc::clone(&txns.versions) as Arc<dyn PageResolver>;
         let sas = Sas::new(
             Self::sas_config(&cfg),
@@ -195,6 +344,9 @@ impl Database {
         sas.pool().metrics().register_into(&obs.registry);
         txns.metrics().register_into(&obs.registry);
         wal.metrics().register_into(&obs.registry);
+        let fork_metrics = ForkMetrics::default();
+        fork_metrics.register_into(&obs.registry);
+        fork_metrics.branches.set(1);
         let shared_plans = Mutex::new(PlanCache::new(cfg.plan_cache_capacity));
         let db = Database {
             inner: Arc::new(DbInner {
@@ -203,9 +355,15 @@ impl Database {
                 sas,
                 store,
                 txns,
-                wal: Mutex::new(wal),
+                wal: Arc::new(Mutex::new(wal)),
                 catalog: RwLock::new(Catalog::default()),
-                gate: TxnGate::new(),
+                gate: Arc::new(TxnGate::new()),
+                branch: ROOT_BRANCH,
+                name: String::new(),
+                family: Family::new(),
+                root: None,
+                fork_metrics,
+                retained: Mutex::new(VecDeque::new()),
                 obs,
                 sessions: SessionGate::new(),
                 catalog_generation: CatalogGeneration::new(),
@@ -221,6 +379,210 @@ impl Database {
         Ok(db)
     }
 
+    /// Builds a family member sharing the storage/transaction/WAL stack
+    /// of `shared` but carrying its own branch, catalog, and per-database
+    /// state (plan caches, metrics ring, sessions, ...).
+    fn new_family_member(
+        shared: &Arc<DbInner>,
+        branch: u32,
+        name: String,
+        mut catalog: Catalog,
+    ) -> Arc<DbInner> {
+        // Forks register only their per-fork metric families; the shared
+        // pool/txn/wal/fork handles live in the root's registry and must
+        // not be duplicated (the governor merges every registry).
+        let obs = DbObs::new();
+        for idx in catalog.indexes.values_mut() {
+            idx.tree.set_metrics(obs.index.clone());
+        }
+        let root = Some(match &shared.root {
+            Some(r) => Arc::clone(r),
+            None => Arc::clone(shared),
+        });
+        Arc::new(DbInner {
+            cfg: shared.cfg.clone(),
+            dir: shared.dir.clone(),
+            sas: Arc::clone(&shared.sas),
+            store: Arc::clone(&shared.store),
+            txns: Arc::clone(&shared.txns),
+            wal: Arc::clone(&shared.wal),
+            catalog: RwLock::new(catalog),
+            gate: Arc::clone(&shared.gate),
+            branch,
+            name,
+            family: Arc::clone(&shared.family),
+            root,
+            fork_metrics: shared.fork_metrics.clone(),
+            retained: Mutex::new(VecDeque::new()),
+            obs,
+            sessions: SessionGate::new(),
+            catalog_generation: CatalogGeneration::new(),
+            stats_epoch: StatsEpoch::new(),
+            shared_plans: Mutex::new(PlanCache::new(shared.cfg.plan_cache_capacity)),
+            traces: TraceBuffer::new(TRACE_RING_CAPACITY),
+            slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
+            activity: ActivityTracker::default(),
+        })
+    }
+
+    /// Forks this database instantly: the fork shares every committed
+    /// page with its branch point copy-on-write and diverges through the
+    /// ordinary version-chain write path. O(catalog): no data page is
+    /// read or copied; the cost is one catalog clone plus one WAL record.
+    ///
+    /// The fork is durable (it survives restart and checkpoint) and
+    /// lives until [`Database::drop_fork`] — dropping all handles to it
+    /// does not discard it. Fork names are unique within the family.
+    pub fn fork(&self, name: &str) -> DbResult<Database> {
+        if name.is_empty() {
+            return Err(DbError::Conflict("fork name must not be empty".into()));
+        }
+        let inner = &self.inner;
+        inner.gate.run_exclusive(|| -> DbResult<Database> {
+            if inner.family.fork_by_name(name).is_some() {
+                return Err(DbError::Conflict(format!("fork '{name}' already exists")));
+            }
+            let branch = inner.family.alloc_branch();
+            let ts = inner.txns.versions.current_ts();
+            {
+                let mut wal = inner.wal.lock();
+                wal.append(&WalRecord::Fork {
+                    branch,
+                    parent: inner.branch,
+                    ts,
+                    name: name.to_string(),
+                })?;
+                wal.flush()?;
+            }
+            inner.txns.versions.create_branch(branch, inner.branch, ts);
+            let catalog = inner.catalog.read().clone();
+            let fork = Self::new_family_member(inner, branch, name.to_string(), catalog);
+            inner
+                .family
+                .add_fork(branch, name.to_string(), Arc::clone(&fork));
+            inner.fork_metrics.creates.inc();
+            inner
+                .fork_metrics
+                .branches
+                .set(inner.txns.versions.stats().branches as i64);
+            Ok(Database { inner: fork })
+        })
+    }
+
+    /// Drops the fork named `name` from this family, reclaiming every
+    /// page version unique to it. Refused while the fork has child forks
+    /// or live sessions.
+    pub fn drop_fork(&self, name: &str) -> DbResult<()> {
+        let inner = &self.inner;
+        let (branch, fork) = inner
+            .family
+            .fork_by_name(name)
+            .ok_or_else(|| DbError::NotFound(format!("fork '{name}'")))?;
+        inner.gate.run_exclusive(|| -> DbResult<()> {
+            if inner.txns.versions.has_children(branch) {
+                return Err(DbError::Conflict(format!(
+                    "fork '{name}' has child forks; drop them first"
+                )));
+            }
+            if fork.sessions.active() > 0 {
+                return Err(DbError::Conflict(format!(
+                    "fork '{name}' has active sessions"
+                )));
+            }
+            fork.clear_retention();
+            {
+                let mut wal = inner.wal.lock();
+                wal.append(&WalRecord::DropFork { branch })?;
+                wal.flush()?;
+            }
+            inner.txns.versions.drop_branch(branch);
+            inner.family.remove_fork(branch);
+            inner.fork_metrics.drops.inc();
+            inner
+                .fork_metrics
+                .branches
+                .set(inner.txns.versions.stats().branches as i64);
+            Ok(())
+        })
+    }
+
+    /// The live forks of this family as `(name, handle)` pairs, in
+    /// creation order.
+    pub fn forks(&self) -> Vec<(String, Database)> {
+        self.inner
+            .family
+            .forks()
+            .into_iter()
+            .map(|(_, name, inner)| (name, Database { inner }))
+            .collect()
+    }
+
+    /// The branch id this handle operates on (`0` for the root).
+    pub fn branch(&self) -> u32 {
+        self.inner.branch
+    }
+
+    /// Whether this handle is a fork (not the family root).
+    pub fn is_fork(&self) -> bool {
+        self.inner.branch != ROOT_BRANCH
+    }
+
+    /// The fork's name; `None` on the root.
+    pub fn fork_name(&self) -> Option<&str> {
+        (!self.inner.name.is_empty()).then_some(self.inner.name.as_str())
+    }
+
+    /// The commit timestamp at which this fork branched off its parent
+    /// (the branch point); `None` on the root.
+    pub fn fork_point(&self) -> Option<u64> {
+        self.inner
+            .txns
+            .versions
+            .branches()
+            .into_iter()
+            .find(|(b, _)| *b == self.inner.branch)
+            .map(|(_, info)| info.fork_ts)
+    }
+
+    /// Commit timestamps currently retained for `AS OF` reads on this
+    /// branch, oldest first (see [`DbConfig::retain_snapshots`]).
+    pub fn retained_snapshots(&self) -> Vec<u64> {
+        self.inner.retained.lock().iter().map(|r| r.ts).collect()
+    }
+
+    /// Opens a read-only time-travel session pinned to the newest
+    /// retained snapshot with commit timestamp `<= ts` (`AS OF` reads).
+    /// The session sees that historical state byte-for-byte while
+    /// concurrent writers proceed non-blocking; any update statement or
+    /// explicit transaction control on it is rejected. Fails when the
+    /// retention policy ([`DbConfig::retain_snapshots`] /
+    /// [`DbConfig::retain_ms`]) holds no snapshot at or before `ts`.
+    pub fn session_as_of(&self, ts: u64) -> DbResult<Session> {
+        let inner = &self.inner;
+        let (snap_ts, catalog) = {
+            let ring = inner.retained.lock();
+            ring.iter()
+                .rev()
+                .find(|r| r.ts <= ts)
+                .map(|r| (r.ts, r.catalog.clone()))
+        }
+        .ok_or_else(|| {
+            DbError::NotFound(format!(
+                "no retained snapshot at or before ts {ts} (see DbConfig::retain_snapshots)"
+            ))
+        })?;
+        let handle = inner
+            .txns
+            .begin_read_only_at(inner.branch, snap_ts)
+            .ok_or_else(|| {
+                DbError::Conflict(format!("snapshot {snap_ts} is no longer retained"))
+            })?;
+        inner
+            .reserve_session(false)
+            .expect("unlimited reservation cannot fail");
+        Ok(Session::new_as_of(Arc::clone(inner), handle, catalog))
+    }
+
     /// Opens an existing database, running the two-step recovery of §6.4:
     /// restore the persistent snapshot from the last checkpoint, then redo
     /// committed transactions from the log.
@@ -234,7 +596,7 @@ impl Database {
         let wal_path = dir.join(WAL_FILE);
         let plan = plan_recovery(&wal_path, upto_ts)?;
         let store = Arc::new(FilePageStore::open(&dir.join(DATA_FILE), cfg.page_size)?);
-        let txns = TxnManager::new(Arc::clone(&store) as Arc<dyn PageStore>);
+        let txns = Arc::new(TxnManager::new(Arc::clone(&store) as Arc<dyn PageStore>));
         let resolver: Arc<dyn PageResolver> = Arc::clone(&txns.versions) as Arc<dyn PageResolver>;
         let sas = Sas::new(
             Self::sas_config(&cfg),
@@ -242,62 +604,124 @@ impl Database {
             resolver,
         )?;
         txns.versions.set_pool(Arc::clone(sas.pool()));
+        let versions = &txns.versions;
+
+        // Per-branch reconstruction state: catalogs keyed by branch, and
+        // the definition of every branch alive at the end of replay.
+        let mut catalogs: HashMap<u32, Catalog> = HashMap::new();
+        catalogs.insert(ROOT_BRANCH, Catalog::default());
+        let mut branch_defs: Vec<(u32, String)> = Vec::new();
+        let mut max_branch = ROOT_BRANCH;
 
         // -------- Step 1: restore the persistent snapshot. --------
-        let mut catalog = Catalog::default();
-        let mut page_map: std::collections::HashMap<u64, sedna_sas::PhysId> =
-            std::collections::HashMap::new();
         if let Some(cp) = &plan.checkpoint {
-            for &(page, phys) in &cp.page_table {
+            for &(page, phys, branch, ts) in &cp.page_table {
                 store.mark_allocated(phys);
-                txns.versions.install_committed(page, phys);
-                page_map.insert(page.raw(), phys);
+                versions.install_committed_at(branch, page, phys, ts);
             }
-            catalog = catalog::catalog_from_blob(&cp.catalog)
+            for &(page, branch, ts) in &cp.drops {
+                versions.install_drop(branch, page, ts);
+            }
+            let catalog = catalog::catalog_from_blob(&cp.catalog)
                 .ok_or_else(|| DbError::Conflict("corrupt catalog in checkpoint record".into()))?;
+            catalogs.insert(ROOT_BRANCH, catalog);
+            for BranchMeta {
+                branch,
+                parent,
+                fork_ts,
+                name,
+                catalog,
+            } in &cp.branches
+            {
+                versions.create_branch(*branch, *parent, *fork_ts);
+                let cat = catalog::catalog_from_blob(catalog).ok_or_else(|| {
+                    DbError::Conflict(format!(
+                        "corrupt fork catalog in checkpoint (branch {branch})"
+                    ))
+                })?;
+                catalogs.insert(*branch, cat);
+                branch_defs.push((*branch, name.clone()));
+                max_branch = max_branch.max(*branch);
+            }
         }
 
-        // -------- Step 2: redo committed transactions. --------
-        for (_txn, _ts, ops) in &plan.redo {
+        // -------- Step 2: redo committed transactions, interleaved with
+        // fork lifecycle events in exact log order. An event anchored at
+        // redo index `i` applies after the first `i` redo entries.
+        let mut events = plan.branch_events.iter().peekable();
+        for idx in 0..=plan.redo.len() {
+            while let Some((anchor, ev)) = events.peek() {
+                if *anchor > idx {
+                    break;
+                }
+                match ev {
+                    BranchEvent::Fork {
+                        branch,
+                        parent,
+                        ts,
+                        name,
+                    } => {
+                        versions.create_branch(*branch, *parent, *ts);
+                        let parent_cat = catalogs.get(parent).cloned().unwrap_or_default();
+                        catalogs.insert(*branch, parent_cat);
+                        branch_defs.push((*branch, name.clone()));
+                        max_branch = max_branch.max(*branch);
+                    }
+                    BranchEvent::DropFork { branch } => {
+                        versions.drop_branch(*branch);
+                        catalogs.remove(branch);
+                        branch_defs.retain(|(b, _)| b != branch);
+                    }
+                }
+                events.next();
+            }
+            let Some((_txn, ts, ops)) = plan.redo.get(idx) else {
+                continue;
+            };
             for op in ops {
                 match op {
-                    RedoOp::Page(page, PageOp::Image(image)) => {
-                        let phys = match page_map.get(&page.raw()) {
-                            Some(&p) => p,
+                    RedoOp::Page(page, branch, PageOp::Image(image)) => {
+                        // Reuse the newest same-branch slot when no child
+                        // branch still resolves to it; otherwise the old
+                        // image stays live and the redo gets a fresh slot.
+                        let phys = match versions.redo_reuse_slot(*branch, *page, *ts) {
+                            Some(p) => p,
                             None => {
                                 let p = store.alloc()?;
-                                txns.versions.install_committed(*page, p);
-                                page_map.insert(page.raw(), p);
+                                versions.install_committed_at(*branch, *page, p, *ts);
                                 p
                             }
                         };
                         store.write(phys, image)?;
                     }
-                    RedoOp::Page(page, PageOp::Free) => {
-                        if page_map.remove(&page.raw()).is_some() {
-                            txns.versions.on_page_free(*page, None)?;
+                    RedoOp::Page(page, branch, PageOp::Free) => {
+                        versions.install_drop(*branch, *page, *ts);
+                    }
+                    RedoOp::CatalogPut(branch, key, payload) => {
+                        let cat = catalogs.entry(*branch).or_default();
+                        apply_catalog_put(cat, key, payload)?;
+                    }
+                    RedoOp::CatalogDrop(branch, key) => {
+                        if let Some(cat) = catalogs.get_mut(branch) {
+                            apply_catalog_drop(cat, key);
                         }
-                    }
-                    RedoOp::CatalogPut(key, payload) => {
-                        apply_catalog_put(&mut catalog, key, payload)?;
-                    }
-                    RedoOp::CatalogDrop(key) => {
-                        apply_catalog_drop(&mut catalog, key);
                     }
                 }
             }
         }
-        txns.versions.set_current_ts(plan.max_ts);
+        versions.set_current_ts(plan.max_ts);
 
-        // Rebuild the free-slot list: live slots are exactly the mapped
-        // ones.
-        let live: BTreeSet<u64> = page_map.values().map(|p| p.0).collect();
+        // Sweep versions no surviving view resolves to (images superseded
+        // within the log tail, versions whose only reader was a dropped
+        // fork), then rebuild the free-slot list from what remains.
+        versions.purge_all();
+        let live: BTreeSet<u64> = versions.live_phys().into_iter().map(|p| p.0).collect();
         store.rebuild_free_list(&live);
 
         // Rebuild the SAS address allocator: next address past every live
         // page (checkpoint free-list recycled addresses are dropped —
         // they are regained at the post-recovery checkpoint).
-        let alloc_state = rebuild_alloc(&plan, &page_map, cfg.page_size, cfg.layer_size);
+        let alloc_state = rebuild_alloc(&plan, cfg.page_size, cfg.layer_size);
         sas.allocator().restore(alloc_state);
 
         let wal = WalWriter::open(&wal_path)?;
@@ -305,6 +729,9 @@ impl Database {
         sas.pool().metrics().register_into(&obs.registry);
         txns.metrics().register_into(&obs.registry);
         wal.metrics().register_into(&obs.registry);
+        let fork_metrics = ForkMetrics::default();
+        fork_metrics.register_into(&obs.registry);
+        let mut catalog = catalogs.remove(&ROOT_BRANCH).unwrap_or_default();
         // Recovered indexes report into this database's shared handles.
         for idx in catalog.indexes.values_mut() {
             idx.tree.set_metrics(obs.index.clone());
@@ -317,9 +744,15 @@ impl Database {
                 sas,
                 store,
                 txns,
-                wal: Mutex::new(wal),
+                wal: Arc::new(Mutex::new(wal)),
                 catalog: RwLock::new(catalog),
-                gate: TxnGate::new(),
+                gate: Arc::new(TxnGate::new()),
+                branch: ROOT_BRANCH,
+                name: String::new(),
+                family: Family::new(),
+                root: None,
+                fork_metrics,
+                retained: Mutex::new(VecDeque::new()),
                 obs,
                 sessions: SessionGate::new(),
                 catalog_generation: CatalogGeneration::new(),
@@ -330,6 +763,21 @@ impl Database {
                 activity: ActivityTracker::default(),
             }),
         };
+        // Rebuild surviving forks (ids are monotonic, so sorting puts
+        // parents before children; `new_family_member` only needs the
+        // root's shared stack either way).
+        db.inner.family.bump_next_branch(max_branch + 1);
+        let mut defs = branch_defs;
+        defs.sort_by_key(|(b, _)| *b);
+        for (branch, name) in defs {
+            let cat = catalogs.remove(&branch).unwrap_or_default();
+            let fork = Self::new_family_member(&db.inner, branch, name.clone(), cat);
+            db.inner.family.add_fork(branch, name, fork);
+        }
+        db.inner
+            .fork_metrics
+            .branches
+            .set(db.inner.txns.versions.stats().branches as i64);
         // Standard practice: checkpoint right after recovery, so the next
         // crash replays from here.
         db.checkpoint()?;
@@ -451,7 +899,8 @@ impl Database {
 
     /// Takes a checkpoint: flushes the buffer pool, fixates the
     /// transaction-consistent state as the **persistent snapshot**, and
-    /// logs it (§6.4).
+    /// logs it (§6.4). The checkpoint covers the whole fork family —
+    /// every branch's latest state and catalog is carried by the record.
     pub fn checkpoint(&self) -> DbResult<()> {
         self.checkpoint_inner(self.inner.cfg.truncate_log_on_checkpoint)
     }
@@ -466,15 +915,33 @@ impl Database {
             // The create_snapshot ref is dropped; persistence keeps it.
             inner.txns.versions.release_snapshot(snap.ts);
             let alloc = inner.sas.allocator().state();
+            let (page_table, drops) = inner.txns.versions.checkpoint_table();
+            let infos: HashMap<u32, sedna_txn::BranchInfo> =
+                inner.txns.versions.branches().into_iter().collect();
+            let mut branches = Vec::new();
+            for (branch, name, member) in inner.family.forks() {
+                let Some(info) = infos.get(&branch) else {
+                    continue;
+                };
+                branches.push(BranchMeta {
+                    branch,
+                    parent: info.parent,
+                    fork_ts: info.fork_ts,
+                    name,
+                    catalog: catalog::catalog_blob(&member.catalog.read()),
+                });
+            }
             let cp = CheckpointData {
                 ts: snap.ts,
-                page_table: inner.txns.versions.committed_table(),
+                page_table,
+                drops,
                 alloc: AllocSnapshot {
                     next_layer: alloc.next_layer,
                     next_addr: alloc.next_addr,
                     free: alloc.free,
                 },
-                catalog: catalog::catalog_blob(&inner.catalog.read()),
+                catalog: catalog::catalog_blob(&inner.root_member().catalog.read()),
+                branches,
             };
             let mut wal = inner.wal.lock();
             let cp_lsn = wal.append(&WalRecord::Checkpoint(cp))?;
@@ -544,7 +1011,9 @@ impl Database {
         Self::open_with_limit(target_dir, cfg, upto_ts)
     }
 
-    /// Buffer-pool statistics.
+    /// Buffer-pool statistics. The pool — like the data file — is shared
+    /// by the whole fork family: a page referenced by several branches is
+    /// cached (and pinned) once, not once per fork.
     pub fn buffer_stats(&self) -> sedna_sas::BufferStats {
         self.inner.sas.pool().stats()
     }
@@ -612,16 +1081,19 @@ fn apply_catalog_drop(catalog: &mut Catalog, key: &str) {
 /// them.
 fn rebuild_alloc(
     plan: &sedna_wal::RecoveryPlan,
-    page_map: &std::collections::HashMap<u64, sedna_sas::PhysId>,
     page_size: usize,
     layer_size: u64,
 ) -> sedna_sas::AllocState {
     // Every page address known to exist (checkpoint + redo, including
     // pages later freed — their addresses were issued at some point).
-    let mut seen: std::collections::HashSet<u64> = page_map.keys().copied().collect();
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    if let Some(cp) = &plan.checkpoint {
+        seen.extend(cp.page_table.iter().map(|(page, ..)| page.raw()));
+        seen.extend(cp.drops.iter().map(|(page, ..)| page.raw()));
+    }
     for (_, _, ops) in &plan.redo {
         for op in ops {
-            if let RedoOp::Page(page, _) = op {
+            if let RedoOp::Page(page, _, _) = op {
                 seen.insert(page.raw());
             }
         }

@@ -44,15 +44,69 @@ impl Governor {
     }
 
     /// Opens an existing on-disk database (running recovery) and registers
-    /// it.
+    /// it — together with every fork recovery resurrected, each under its
+    /// own name.
     pub fn open_database(&self, name: &str, dir: &Path, cfg: DbConfig) -> DbResult<Database> {
         let mut dbs = self.databases.write();
         if dbs.contains_key(name) {
             return Err(DbError::Conflict(format!("database '{name}' already open")));
         }
         let db = Database::open(dir, cfg)?;
+        for (fork_name, fork) in db.forks() {
+            if dbs.contains_key(&fork_name) {
+                return Err(DbError::Conflict(format!(
+                    "recovered fork '{fork_name}' collides with a registered database"
+                )));
+            }
+            dbs.insert(fork_name, fork);
+        }
         dbs.insert(name.to_string(), db.clone());
         Ok(db)
+    }
+
+    /// Forks the registered database `parent` into a new database named
+    /// `name` (instant, copy-on-write; see [`Database::fork`]) and
+    /// registers the fork so clients can connect to it by name.
+    pub fn fork_database(&self, parent: &str, name: &str) -> DbResult<Database> {
+        let mut dbs = self.databases.write();
+        let src = dbs
+            .get(parent)
+            .cloned()
+            .ok_or_else(|| DbError::NotFound(format!("database '{parent}'")))?;
+        if dbs.contains_key(name) {
+            return Err(DbError::Conflict(format!(
+                "database '{name}' already exists"
+            )));
+        }
+        let fork = src.fork(name)?;
+        dbs.insert(name.to_string(), fork.clone());
+        Ok(fork)
+    }
+
+    /// Drops the registered database `name`. A fork is dropped from its
+    /// family ([`Database::drop_fork`]) and unregistered; a root database
+    /// is refused while it still has live forks, otherwise closed
+    /// (final checkpoint) and unregistered.
+    pub fn drop_database(&self, name: &str) -> DbResult<()> {
+        let mut dbs = self.databases.write();
+        let db = dbs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NotFound(format!("database '{name}'")))?;
+        if db.is_fork() {
+            // Unregister only after the family drop succeeds.
+            db.drop_fork(name)?;
+            dbs.remove(name);
+            return Ok(());
+        }
+        if !db.forks().is_empty() {
+            return Err(DbError::Conflict(format!(
+                "database '{name}' has live forks; drop them first"
+            )));
+        }
+        db.close()?;
+        dbs.remove(name);
+        Ok(())
     }
 
     /// A registered database by name.

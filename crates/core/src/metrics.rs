@@ -165,6 +165,40 @@ impl QueryMetrics {
     }
 }
 
+/// Fork-subsystem metric handles (`sedna_fork_*`). One set per fork
+/// family, owned by the root branch's registry and shared (cloned) into
+/// every fork's `DbInner` — forks must not re-register them, since the
+/// governor merges every database registry into one snapshot.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ForkMetrics {
+    /// Live branches of the family, the root included.
+    pub(crate) branches: Gauge,
+    /// Forks created over the family's lifetime.
+    pub(crate) creates: Counter,
+    /// Forks dropped over the family's lifetime.
+    pub(crate) drops: Counter,
+}
+
+impl ForkMetrics {
+    pub(crate) fn register_into(&self, reg: &Registry) {
+        reg.register_gauge(
+            "sedna_fork_branches",
+            "Live branches of this database's fork family (root included)",
+            &self.branches,
+        );
+        reg.register_counter(
+            "sedna_fork_creates_total",
+            "Database forks created",
+            &self.creates,
+        );
+        reg.register_counter(
+            "sedna_fork_drops_total",
+            "Database forks dropped",
+            &self.drops,
+        );
+    }
+}
+
 /// A database's observability hub: the registry each subsystem's metric
 /// handles are registered into, plus the handle sets owned at this layer
 /// (query pipeline, shared index counters).

@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use sedna_sync::Arc;
 
 use sedna_obs::trace::{events, SamplingPolicy, TraceCollector};
-use sedna_sas::{Vas, View, XPtr};
+use sedna_sas::{Vas, XPtr};
 use sedna_schema::{NodeKind, SchemaTree};
 use sedna_storage::{build, indirection, NodeRef};
 use sedna_txn::{LockMode, TxnHandle};
@@ -213,11 +213,18 @@ pub struct Session {
     /// the session compiles a statement with the cost-based planner
     /// enabled.
     last_decision: Option<PlanDecision>,
+    /// `AS OF` time-travel session: permanently pinned to one retained
+    /// snapshot. The read-only transaction it was created with lives for
+    /// the whole session; explicit transaction control is rejected.
+    pinned: bool,
 }
 
 impl Session {
     pub(crate) fn new(db: Arc<DbInner>) -> Session {
         let vas = db.sas.session();
+        // Parked sessions read this branch's latest committed state (the
+        // root and every fork get their own latest-view encoding).
+        vas.begin(db.latest_view(), None);
         let plan_cache = PlanCache::new(db.cfg.plan_cache_capacity);
         let track = db.activity.register();
         Session {
@@ -233,6 +240,45 @@ impl Session {
             trace_forced: false,
             last_plan: None,
             last_decision: None,
+            pinned: false,
+        }
+    }
+
+    /// Builds an `AS OF` session: read-only, pinned for its whole
+    /// lifetime to the retained snapshot `handle` references, seeing
+    /// `catalog` (the metadata as of that snapshot). Created through
+    /// [`Database::session_as_of`].
+    ///
+    /// [`Database::session_as_of`]: crate::Database::session_as_of
+    pub(crate) fn new_as_of(db: Arc<DbInner>, handle: TxnHandle, catalog: Catalog) -> Session {
+        let mut session = Session::new(db);
+        session.vas.begin(handle.view(), None);
+        session.txn = Some(TxnState::ReadOnly {
+            handle,
+            snapshot: catalog,
+        });
+        session.track.set_txn_mode(TxnMode::ReadOnly);
+        session.pinned = true;
+        session
+    }
+
+    /// Whether this is a pinned `AS OF` time-travel session.
+    pub fn is_as_of(&self) -> bool {
+        self.pinned
+    }
+
+    /// The commit timestamp of the snapshot a pinned `AS OF` session
+    /// reads; `None` on ordinary sessions.
+    pub fn as_of_ts(&self) -> Option<u64> {
+        if !self.pinned {
+            return None;
+        }
+        match &self.txn {
+            Some(TxnState::ReadOnly { handle, .. }) => match handle.kind {
+                sedna_txn::TxnKind::ReadOnly { snapshot_ts } => Some(snapshot_ts),
+                _ => None,
+            },
+            _ => None,
         }
     }
 
@@ -296,11 +342,17 @@ impl Session {
 
     /// Begins an explicit update transaction.
     pub fn begin_update(&mut self) -> DbResult<()> {
+        if self.pinned {
+            return Err(DbError::Conflict(
+                "AS OF sessions are pinned to their snapshot; transaction control is not available"
+                    .into(),
+            ));
+        }
         if self.txn.is_some() {
             return Err(DbError::Conflict("a transaction is already active".into()));
         }
         self.db.gate.enter_shared();
-        let handle = self.db.txns.begin_update();
+        let handle = self.db.txns.begin_update_on(self.db.branch);
         self.vas.begin(handle.view(), handle.token());
         {
             let mut wal = self.db.wal.lock();
@@ -322,10 +374,16 @@ impl Session {
     /// snapshot allows non-blocking processing for read-only
     /// transactions".
     pub fn begin_read_only(&mut self) -> DbResult<()> {
+        if self.pinned {
+            return Err(DbError::Conflict(
+                "AS OF sessions are pinned to their snapshot; transaction control is not available"
+                    .into(),
+            ));
+        }
         if self.txn.is_some() {
             return Err(DbError::Conflict("a transaction is already active".into()));
         }
-        let handle = self.db.txns.begin_read_only();
+        let handle = self.db.txns.begin_read_only_on(self.db.branch);
         self.vas.begin(handle.view(), None);
         let snapshot = self.db.catalog.read().clone();
         self.txn = Some(TxnState::ReadOnly { handle, snapshot });
@@ -335,11 +393,17 @@ impl Session {
 
     /// Commits the active transaction.
     pub fn commit(&mut self) -> DbResult<()> {
+        if self.pinned {
+            return Err(DbError::Conflict(
+                "AS OF sessions are pinned to their snapshot; transaction control is not available"
+                    .into(),
+            ));
+        }
         match self.txn.take() {
             None => Err(DbError::Conflict("no active transaction".into())),
             Some(TxnState::ReadOnly { handle, .. }) => {
                 self.db.txns.commit(&handle);
-                self.vas.begin(View::LATEST, None);
+                self.vas.begin(self.db.latest_view(), None);
                 self.track.set_txn_mode(TxnMode::None);
                 Ok(())
             }
@@ -355,8 +419,13 @@ impl Session {
                 // generation — they stay valid across this commit.
                 let result = self.commit_update(&handle, &touched, &dropped);
                 self.db.gate.exit_shared();
-                self.vas.begin(View::LATEST, None);
+                self.vas.begin(self.db.latest_view(), None);
                 self.track.set_txn_mode(TxnMode::None);
+                if result.is_ok() {
+                    // Snapshot-retention policy: keep this commit
+                    // reachable for AS OF readers (no-op when disabled).
+                    self.db.note_retention();
+                }
                 result
             }
         }
@@ -380,6 +449,7 @@ impl Session {
                 };
                 wal.append(&WalRecord::PageImage {
                     txn: txn_id.0,
+                    branch: self.db.branch,
                     page,
                     image,
                 })?;
@@ -388,6 +458,7 @@ impl Session {
             for page in versions.pending_frees(txn_id) {
                 wal.append(&WalRecord::PageFree {
                     txn: txn_id.0,
+                    branch: self.db.branch,
                     page,
                 })?;
             }
@@ -410,6 +481,7 @@ impl Session {
                 };
                 wal.append(&WalRecord::CatalogPut {
                     txn: txn_id.0,
+                    branch: self.db.branch,
                     key: key.clone(),
                     payload,
                 })?;
@@ -417,6 +489,7 @@ impl Session {
             for key in dropped {
                 wal.append(&WalRecord::CatalogDrop {
                     txn: txn_id.0,
+                    branch: self.db.branch,
                     key: key.clone(),
                 })?;
             }
@@ -437,11 +510,17 @@ impl Session {
     /// Rolls back the active transaction. "If it is rolled back, all its
     /// versions are simply discarded."
     pub fn rollback(&mut self) -> DbResult<()> {
+        if self.pinned {
+            return Err(DbError::Conflict(
+                "AS OF sessions are pinned to their snapshot; transaction control is not available"
+                    .into(),
+            ));
+        }
         match self.txn.take() {
             None => Err(DbError::Conflict("no active transaction".into())),
             Some(TxnState::ReadOnly { handle, .. }) => {
                 self.db.txns.abort(&handle);
-                self.vas.begin(View::LATEST, None);
+                self.vas.begin(self.db.latest_view(), None);
                 self.track.set_txn_mode(TxnMode::None);
                 Ok(())
             }
@@ -485,7 +564,7 @@ impl Session {
                     self.db.sas.allocator().free_page(page);
                 }
                 self.db.gate.exit_shared();
-                self.vas.begin(View::LATEST, None);
+                self.vas.begin(self.db.latest_view(), None);
                 self.track.set_txn_mode(TxnMode::None);
                 if restored {
                     // The rollback rewound catalog entries, so plans
@@ -628,10 +707,7 @@ impl Session {
         }
         let rewrite_ns = rewrite_span.finish();
         self.plan_cache.insert(text, key, stmt.clone());
-        self.db
-            .shared_plans
-            .lock()
-            .insert(text, key, stmt.clone());
+        self.db.shared_plans.lock().insert(text, key, stmt.clone());
         Ok((stmt, parse_ns, rewrite_ns))
     }
 
@@ -1572,7 +1648,13 @@ impl Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
-        if self.txn.is_some() {
+        if self.pinned {
+            // AS OF sessions refuse rollback(); release the pinned
+            // snapshot reference directly.
+            if let Some(TxnState::ReadOnly { handle, .. }) = self.txn.take() {
+                self.db.txns.abort(&handle);
+            }
+        } else if self.txn.is_some() {
             let _ = self.rollback();
         }
         // Matches the reservation taken in `Database::{session,

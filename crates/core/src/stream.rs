@@ -133,7 +133,7 @@ impl QueryCursor {
         if obs.timed || obs.trace.is_some() {
             plan.enable_timing();
         }
-        let handle = db.txns.begin_read_only();
+        let handle = db.txns.begin_read_only_on(db.branch);
         let vas = db.sas.session();
         vas.begin(handle.view(), None);
         let snapshot = db.catalog.read().clone();

@@ -11,11 +11,7 @@
 use sedna::{AccessPath, Database, DbConfig};
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "sedna-statsrec-{}-{}",
-        std::process::id(),
-        name
-    ));
+    let dir = std::env::temp_dir().join(format!("sedna-statsrec-{}-{}", std::process::id(), name));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }

@@ -35,6 +35,8 @@ struct Args {
     max_sessions: usize,
     slow_query_ms: u64,
     trace_sample: SamplingPolicy,
+    retain_snapshots: usize,
+    retain_ms: u64,
 }
 
 const USAGE: &str = "\
@@ -56,6 +58,10 @@ OPTIONS:
                           slow-query log with their trace. 0 = off (default: 0)
     --trace-sample <P>    Query-trace sampling policy: off, slow, always,
                           or 1-in-<N> (default: off)
+    --retain-snapshots <N> Committed snapshots retained per database for
+                          AS OF time-travel reads. 0 = off (default: 0)
+    --retain-ms <N>       Age cap in ms on retained snapshots. 0 = no
+                          age cap (default: 0)
     --help                Show this help
 ";
 
@@ -70,6 +76,8 @@ fn parse_args() -> Result<Args, String> {
         max_sessions: 0,
         slow_query_ms: 0,
         trace_sample: SamplingPolicy::Off,
+        retain_snapshots: 0,
+        retain_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -104,6 +112,16 @@ fn parse_args() -> Result<Args, String> {
                 args.trace_sample = SamplingPolicy::parse(&v)
                     .ok_or_else(|| format!("--trace-sample: unknown policy '{v}'"))?;
             }
+            "--retain-snapshots" => {
+                args.retain_snapshots = value("--retain-snapshots")?
+                    .parse()
+                    .map_err(|e| format!("--retain-snapshots: {e}"))?;
+            }
+            "--retain-ms" => {
+                args.retain_ms = value("--retain-ms")?
+                    .parse()
+                    .map_err(|e| format!("--retain-ms: {e}"))?;
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -120,6 +138,8 @@ fn run(args: Args) -> Result<(), String> {
         max_sessions: args.max_sessions,
         slow_query_ms: args.slow_query_ms,
         trace_sample: args.trace_sample,
+        retain_snapshots: args.retain_snapshots,
+        retain_ms: args.retain_ms,
         ..DbConfig::default()
     };
     let create = args.create || !args.dir.exists();

@@ -102,6 +102,86 @@ impl SednaClient {
         }
     }
 
+    /// Connects to `addr` and opens a read-only time-travel session on
+    /// `database`, pinned to the newest retained snapshot with commit
+    /// timestamp `<= ts` (`AS OF` reads). Transaction control and
+    /// updates are rejected on the session; queries see the historical
+    /// state while concurrent writers proceed non-blocking.
+    pub fn connect_as_of(
+        addr: impl ToSocketAddrs,
+        database: &str,
+        ts: u64,
+    ) -> Result<SednaClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = SednaClient {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        };
+        client.send(&Request::AsOf {
+            version: PROTOCOL_VERSION,
+            database: database.to_string(),
+            ts,
+        })?;
+        match client.recv()? {
+            Response::SessionStarted => Ok(client),
+            other => Err(unexpected("SessionStarted", &other)),
+        }
+    }
+
+    /// Connects without starting a wire session. The admin requests —
+    /// [`SednaClient::fork`], [`SednaClient::drop_fork`],
+    /// [`SednaClient::drop_database`], plus `ping`, `metrics`, and
+    /// `shutdown_server` — are sessionless, so they work on such a
+    /// connection; anything else is refused by the server.
+    pub fn connect_admin(addr: impl ToSocketAddrs) -> Result<SednaClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(SednaClient {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Forks the database `parent` into a new copy-on-write database
+    /// named `name` (instant; shares all pages until either side
+    /// diverges). Returns the branch-point commit timestamp.
+    pub fn fork(&mut self, parent: &str, name: &str) -> Result<u64, ClientError> {
+        self.send(&Request::Fork {
+            parent: parent.to_string(),
+            name: name.to_string(),
+        })?;
+        match self.recv()? {
+            Response::ForkOk { ts } => Ok(ts),
+            other => Err(unexpected("ForkOk", &other)),
+        }
+    }
+
+    /// Drops the fork `name` (refused for root databases, forks with
+    /// child forks, and forks with active sessions).
+    pub fn drop_fork(&mut self, name: &str) -> Result<(), ClientError> {
+        self.send(&Request::DropFork {
+            name: name.to_string(),
+        })?;
+        match self.recv()? {
+            Response::ForkDropped => Ok(()),
+            other => Err(unexpected("ForkDropped", &other)),
+        }
+    }
+
+    /// Drops the database `name`: a fork is removed from its family; a
+    /// root database is closed (final checkpoint) and unregistered —
+    /// refused while it still has live forks.
+    pub fn drop_database(&mut self, name: &str) -> Result<(), ClientError> {
+        self.send(&Request::DropDatabase {
+            name: name.to_string(),
+        })?;
+        match self.recv()? {
+            Response::DatabaseDropped => Ok(()),
+            other => Err(unexpected("DatabaseDropped", &other)),
+        }
+    }
+
     /// Begins an update transaction.
     pub fn begin(&mut self) -> Result<(), ClientError> {
         self.txn_op(Request::Begin { read_only: false })

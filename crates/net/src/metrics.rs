@@ -53,6 +53,14 @@ pub struct NetMetrics {
     pub msg_get_trace: Counter,
     /// `ExplainAnalyze` requests received.
     pub msg_explain_analyze: Counter,
+    /// `Fork` requests received.
+    pub msg_fork: Counter,
+    /// `DropFork` requests received.
+    pub msg_drop_fork: Counter,
+    /// `DropDatabase` requests received.
+    pub msg_drop_database: Counter,
+    /// `AsOf` session-open requests received.
+    pub msg_as_of: Counter,
     /// Wall time per request, receipt to response flushed.
     pub request_ns: Histogram,
     /// Frame bytes received.
@@ -184,6 +192,26 @@ impl NetMetrics {
             "ExplainAnalyze requests received",
             &self.msg_explain_analyze,
         );
+        registry.register_counter(
+            "sedna_net_msg_fork_total",
+            "Fork requests received",
+            &self.msg_fork,
+        );
+        registry.register_counter(
+            "sedna_net_msg_drop_fork_total",
+            "DropFork requests received",
+            &self.msg_drop_fork,
+        );
+        registry.register_counter(
+            "sedna_net_msg_drop_database_total",
+            "DropDatabase requests received",
+            &self.msg_drop_database,
+        );
+        registry.register_counter(
+            "sedna_net_msg_as_of_total",
+            "AsOf session-open requests received",
+            &self.msg_as_of,
+        );
         registry.register_histogram(
             "sedna_net_request_ns",
             "Wall time per request, receipt to response flushed (ns)",
@@ -232,6 +260,10 @@ impl NetMetrics {
             codes::SLOW_LOG => Some(&self.msg_slow_log),
             codes::GET_TRACE => Some(&self.msg_get_trace),
             codes::EXPLAIN_ANALYZE => Some(&self.msg_explain_analyze),
+            codes::FORK => Some(&self.msg_fork),
+            codes::DROP_FORK => Some(&self.msg_drop_fork),
+            codes::DROP_DATABASE => Some(&self.msg_drop_database),
+            codes::AS_OF => Some(&self.msg_as_of),
             _ => None,
         }
     }

@@ -66,6 +66,19 @@ pub mod codes {
     /// Execute a statement with per-operator timing and return the
     /// rendered report: `stmt: str`.
     pub const EXPLAIN_ANALYZE: u8 = 0x10;
+    /// Fork a database copy-on-write (sessionless admin request):
+    /// `parent: str`, `name: str`.
+    pub const FORK: u8 = 0x11;
+    /// Drop a fork (sessionless admin request): `name: str`.
+    pub const DROP_FORK: u8 = 0x12;
+    /// Drop a database — a fork, or a root without live forks
+    /// (sessionless admin request): `name: str`.
+    pub const DROP_DATABASE: u8 = 0x13;
+    /// Open an `AS OF` time-travel session pinned to the newest retained
+    /// snapshot at or before `ts`: `version: u8`, `database: str`,
+    /// `ts: u64`. Answered with [`SESSION_STARTED`], like
+    /// [`START_SESSION`].
+    pub const AS_OF: u8 = 0x14;
 
     /// Session opened.
     pub const SESSION_STARTED: u8 = 0x81;
@@ -108,6 +121,13 @@ pub mod codes {
     pub const TRACE: u8 = 0x90;
     /// An `EXPLAIN ANALYZE` report: `report: str`.
     pub const EXPLAIN: u8 = 0x91;
+    /// Fork created: `ts: u64`, the fork's branch-point commit
+    /// timestamp.
+    pub const FORK_OK: u8 = 0x92;
+    /// Fork dropped.
+    pub const FORK_DROPPED: u8 = 0x93;
+    /// Database dropped.
+    pub const DATABASE_DROPPED: u8 = 0x94;
     /// Structured error envelope: `kind: str`, `message: str`.
     pub const ERROR: u8 = 0xEE;
 }
@@ -179,6 +199,36 @@ pub enum Request {
     ExplainAnalyze {
         /// Statement text.
         stmt: String,
+    },
+    /// Fork a registered database copy-on-write under a new name
+    /// (sessionless admin request).
+    Fork {
+        /// The database (root or fork) to fork from.
+        parent: String,
+        /// The new fork's name (must be free at the governor).
+        name: String,
+    },
+    /// Drop a fork by name (sessionless admin request).
+    DropFork {
+        /// The fork to drop.
+        name: String,
+    },
+    /// Drop a database by name — a fork, or a root database without
+    /// live forks (sessionless admin request).
+    DropDatabase {
+        /// The database to drop.
+        name: String,
+    },
+    /// Open an `AS OF` time-travel session on `database`, pinned to the
+    /// newest retained snapshot with commit timestamp `<= ts`. Answered
+    /// with [`Response::SessionStarted`]; the session is read-only.
+    AsOf {
+        /// Client protocol revision ([`PROTOCOL_VERSION`]).
+        version: u8,
+        /// Name of the database registered at the governor.
+        database: String,
+        /// The time-travel target commit timestamp.
+        ts: u64,
     },
 }
 
@@ -262,6 +312,16 @@ pub enum Response {
     },
     /// A rendered `EXPLAIN ANALYZE` report.
     Explain(String),
+    /// Fork created; carries the branch-point commit timestamp (usable
+    /// as an `AS OF` target on the parent).
+    ForkOk {
+        /// The fork's branch-point commit timestamp.
+        ts: u64,
+    },
+    /// Fork dropped.
+    ForkDropped,
+    /// Database dropped.
+    DatabaseDropped,
     /// Structured error: machine-readable `kind` plus human `message`.
     Error {
         /// Stable error class (`query`, `conflict`, `not_found`, ...).
@@ -291,6 +351,10 @@ impl Request {
             Request::SlowLog => codes::SLOW_LOG,
             Request::GetTrace { .. } => codes::GET_TRACE,
             Request::ExplainAnalyze { .. } => codes::EXPLAIN_ANALYZE,
+            Request::Fork { .. } => codes::FORK,
+            Request::DropFork { .. } => codes::DROP_FORK,
+            Request::DropDatabase { .. } => codes::DROP_DATABASE,
+            Request::AsOf { .. } => codes::AS_OF,
         }
     }
 
@@ -318,6 +382,20 @@ impl Request {
             }
             Request::GetTrace { trace_id } => b.extend_from_slice(&trace_id.to_be_bytes()),
             Request::ExplainAnalyze { stmt } => put_str(&mut b, stmt),
+            Request::Fork { parent, name } => {
+                put_str(&mut b, parent);
+                put_str(&mut b, name);
+            }
+            Request::DropFork { name } | Request::DropDatabase { name } => put_str(&mut b, name),
+            Request::AsOf {
+                version,
+                database,
+                ts,
+            } => {
+                b.push(*version);
+                put_str(&mut b, database);
+                b.extend_from_slice(&ts.to_be_bytes());
+            }
             Request::CloseSession
             | Request::Commit
             | Request::Rollback
@@ -371,6 +449,21 @@ impl Request {
             codes::EXPLAIN_ANALYZE => Request::ExplainAnalyze {
                 stmt: c.take_str()?,
             },
+            codes::FORK => Request::Fork {
+                parent: c.take_str()?,
+                name: c.take_str()?,
+            },
+            codes::DROP_FORK => Request::DropFork {
+                name: c.take_str()?,
+            },
+            codes::DROP_DATABASE => Request::DropDatabase {
+                name: c.take_str()?,
+            },
+            codes::AS_OF => Request::AsOf {
+                version: c.take_u8()?,
+                database: c.take_str()?,
+                ts: c.take_u64()?,
+            },
             other => return Err(bad(format!("unknown request code {other:#04x}"))),
         };
         c.finish()?;
@@ -413,6 +506,9 @@ impl Response {
             Response::SlowLogReply(_) => codes::SLOW_LOG_REPLY,
             Response::Trace { .. } => codes::TRACE,
             Response::Explain(_) => codes::EXPLAIN,
+            Response::ForkOk { .. } => codes::FORK_OK,
+            Response::ForkDropped => codes::FORK_DROPPED,
+            Response::DatabaseDropped => codes::DATABASE_DROPPED,
             Response::Error { .. } => codes::ERROR,
         }
     }
@@ -464,6 +560,7 @@ impl Response {
                 }
                 b.push(u8::from(*done));
             }
+            Response::ForkOk { ts } => b.extend_from_slice(&ts.to_be_bytes()),
             Response::Error { kind, message } => {
                 put_str(&mut b, kind);
                 put_str(&mut b, message);
@@ -474,6 +571,8 @@ impl Response {
             | Response::Done
             | Response::ResultEnd
             | Response::Pong
+            | Response::ForkDropped
+            | Response::DatabaseDropped
             | Response::ShuttingDown => {}
         }
         b
@@ -561,6 +660,9 @@ impl Response {
                 json: c.take_str()?,
             },
             codes::EXPLAIN => Response::Explain(c.take_str()?),
+            codes::FORK_OK => Response::ForkOk { ts: c.take_u64()? },
+            codes::FORK_DROPPED => Response::ForkDropped,
+            codes::DATABASE_DROPPED => Response::DatabaseDropped,
             codes::ERROR => Response::Error {
                 kind: c.take_str()?,
                 message: c.take_str()?,
@@ -741,6 +843,19 @@ mod tests {
         roundtrip_request(Request::ExplainAnalyze {
             stmt: "doc('d')//title".into(),
         });
+        roundtrip_request(Request::Fork {
+            parent: "db".into(),
+            name: "db-staging".into(),
+        });
+        roundtrip_request(Request::DropFork {
+            name: "db-staging".into(),
+        });
+        roundtrip_request(Request::DropDatabase { name: "db".into() });
+        roundtrip_request(Request::AsOf {
+            version: PROTOCOL_VERSION,
+            database: "db".into(),
+            ts: 41,
+        });
     }
 
     #[test]
@@ -837,6 +952,9 @@ mod tests {
             json: "{\"traceEvents\":[]}".into(),
         });
         roundtrip_response(Response::Explain("phase execute 12 ns".into()));
+        roundtrip_response(Response::ForkOk { ts: 7 });
+        roundtrip_response(Response::ForkDropped);
+        roundtrip_response(Response::DatabaseDropped);
         roundtrip_response(Response::Error {
             kind: "query".into(),
             message: "parse error at offset 3".into(),

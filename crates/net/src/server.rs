@@ -486,6 +486,88 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
             send(conn, m, &Response::ShuttingDown)?;
             Ok(true)
         }
+        Request::AsOf {
+            version,
+            database,
+            ts,
+        } => {
+            if version != PROTOCOL_VERSION {
+                send(
+                    conn,
+                    m,
+                    &Response::Error {
+                        kind: "protocol".into(),
+                        message: format!(
+                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                )?;
+                return Ok(true);
+            }
+            if conn.session.is_some() {
+                send(
+                    conn,
+                    m,
+                    &Response::Error {
+                        kind: "conflict".into(),
+                        message: "session already started on this connection".into(),
+                    },
+                )?;
+                return Ok(false);
+            }
+            match shared
+                .governor
+                .database(&database)
+                .and_then(|db| db.session_as_of(ts))
+            {
+                Ok(sess) => {
+                    conn.session = Some(sess);
+                    conn.db_name = Some(database);
+                    m.sessions_opened.inc();
+                    m.sessions_active.add(1);
+                    send(conn, m, &Response::SessionStarted)?;
+                    Ok(false)
+                }
+                Err(e) => {
+                    send_db_error(conn, m, &e)?;
+                    Ok(true)
+                }
+            }
+        }
+        // Admin requests: sessionless, so a tool connection can manage
+        // forks without opening a wire session first.
+        Request::Fork { parent, name } => {
+            match shared.governor.fork_database(&parent, &name) {
+                Ok(fork) => {
+                    let ts = fork.fork_point().unwrap_or(0);
+                    send(conn, m, &Response::ForkOk { ts })?;
+                }
+                Err(e) => send_db_error(conn, m, &e)?,
+            }
+            Ok(false)
+        }
+        Request::DropFork { name } => {
+            let result = shared.governor.database(&name).and_then(|db| {
+                if !db.is_fork() {
+                    return Err(DbError::Conflict(format!(
+                        "database '{name}' is not a fork; use DropDatabase"
+                    )));
+                }
+                shared.governor.drop_database(&name)
+            });
+            match result {
+                Ok(()) => send(conn, m, &Response::ForkDropped)?,
+                Err(e) => send_db_error(conn, m, &e)?,
+            }
+            Ok(false)
+        }
+        Request::DropDatabase { name } => {
+            match shared.governor.drop_database(&name) {
+                Ok(()) => send(conn, m, &Response::DatabaseDropped)?,
+                Err(e) => send_db_error(conn, m, &e)?,
+            }
+            Ok(false)
+        }
         other => {
             let Some(sess) = conn.session.as_mut() else {
                 send(

@@ -457,6 +457,130 @@ fn introspection_over_the_wire() {
 }
 
 #[test]
+fn forking_and_time_travel_over_the_wire() {
+    // Own setup: the database retains snapshots so AS OF sessions have
+    // history to pin.
+    let dir = tmpdir("fork");
+    let governor = Governor::new();
+    let cfg = DbConfig {
+        retain_snapshots: 16,
+        ..DbConfig::small()
+    };
+    governor.create_database("db", &dir, cfg).unwrap();
+    let handle = Server::start(
+        Arc::clone(&governor),
+        NetConfig {
+            poll_interval: Duration::from_millis(5),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.execute("CREATE DOCUMENT 'd'").unwrap();
+    c.load_xml("d", "<r><v>1</v></r>").unwrap();
+
+    // Fork through a sessionless admin connection.
+    let mut admin = SednaClient::connect_admin(handle.addr()).unwrap();
+    admin.ping().unwrap();
+    let fork_ts = admin.fork("db", "db-staging").unwrap();
+    assert!(fork_ts > 0);
+    // Duplicate fork names are refused with a structured conflict.
+    match admin.fork("db", "db-staging").unwrap_err() {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "conflict"),
+        other => panic!("expected a conflict envelope, got {other}"),
+    }
+
+    // The fork serves wire sessions under its own name and sees the
+    // parent's data.
+    let mut f = SednaClient::connect(handle.addr(), "db-staging").unwrap();
+    assert_eq!(
+        f.query("count(doc('d')//v)").unwrap(),
+        vec!["1".to_string()]
+    );
+
+    // Divergence is isolated both ways.
+    f.execute("UPDATE insert <v>2</v> into doc('d')/r").unwrap();
+    c.execute("UPDATE insert <v>3</v> into doc('d')/r").unwrap();
+    c.execute("UPDATE insert <v>4</v> into doc('d')/r").unwrap();
+    assert_eq!(
+        f.query("count(doc('d')//v)").unwrap(),
+        vec!["2".to_string()]
+    );
+    assert_eq!(
+        c.query("count(doc('d')//v)").unwrap(),
+        vec!["3".to_string()]
+    );
+
+    // AS OF: a session pinned to the branch-point snapshot sees the
+    // historical state while a concurrent writer keeps committing.
+    let mut t = SednaClient::connect_as_of(handle.addr(), "db", fork_ts).unwrap();
+    assert_eq!(
+        t.query("count(doc('d')//v)").unwrap(),
+        vec!["1".to_string()]
+    );
+    c.execute("UPDATE insert <v>5</v> into doc('d')/r").unwrap();
+    assert_eq!(
+        t.query("count(doc('d')//v)").unwrap(),
+        vec!["1".to_string()]
+    );
+    // Transaction control and updates are refused on an AS OF session.
+    match t.begin().unwrap_err() {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "conflict"),
+        other => panic!("expected a conflict envelope, got {other}"),
+    }
+    match t
+        .execute("UPDATE insert <v>9</v> into doc('d')/r")
+        .unwrap_err()
+    {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "conflict"),
+        other => panic!("expected a conflict envelope, got {other}"),
+    }
+    t.close().unwrap();
+
+    // Dropping a fork with an active wire session is refused; after the
+    // session closes it succeeds.
+    match admin.drop_fork("db-staging").unwrap_err() {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "conflict"),
+        other => panic!("expected a conflict envelope, got {other}"),
+    }
+    f.close().unwrap();
+    admin.drop_fork("db-staging").unwrap();
+    // DropFork refuses root databases.
+    match admin.drop_fork("db").unwrap_err() {
+        ClientError::Server { kind, message } => {
+            assert_eq!(kind, "conflict");
+            assert!(message.contains("not a fork"), "message: {message}");
+        }
+        other => panic!("expected a conflict envelope, got {other}"),
+    }
+    // The dropped fork's name no longer resolves.
+    match SednaClient::connect(handle.addr(), "db-staging").unwrap_err() {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "not_found"),
+        other => panic!("expected a not_found envelope, got {other}"),
+    }
+
+    // DropDatabase closes the root and unregisters it (it was refused
+    // while the fork was alive — the governor enforces drop order).
+    c.close().unwrap();
+    admin.drop_database("db").unwrap();
+    match SednaClient::connect(handle.addr(), "db").unwrap_err() {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "not_found"),
+        other => panic!("expected a not_found envelope, got {other}"),
+    }
+
+    // Every new message type is metered.
+    let m = handle.metrics();
+    assert!(m.msg_fork.get() >= 2);
+    assert!(m.msg_drop_fork.get() >= 3);
+    assert!(m.msg_drop_database.get() >= 1);
+    assert!(m.msg_as_of.get() >= 1);
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn wire_shutdown_request_drains_the_server() {
     let (handle, dir, _governor) = start_server("wire-shutdown", 0);
     let c = SednaClient::connect(handle.addr(), "db").unwrap();

@@ -145,11 +145,7 @@ pub struct SchemaNode {
 impl SchemaNode {
     /// Average text length per node (0 when the list is empty).
     pub fn avg_text_len(&self) -> u64 {
-        if self.node_count == 0 {
-            0
-        } else {
-            self.text_len / self.node_count
-        }
+        self.text_len.checked_div(self.node_count).unwrap_or(0)
     }
 
     /// Number of parent instances with at least one child of this

@@ -177,7 +177,9 @@ impl<'a> DocBuilder<'a> {
                 0
             }
         };
-        self.schema.node_mut(sid).fanout_transition(prior, prior + 1);
+        self.schema
+            .node_mut(sid)
+            .fanout_transition(prior, prior + 1);
         self.nodes_built += 1;
         Ok(handle)
     }

@@ -31,7 +31,10 @@ pub mod version;
 pub use lock::{LockError, LockManager, LockMode, Resource};
 pub use manager::{TxnHandle, TxnKind, TxnManager};
 pub use metrics::{LockMetrics, TxnMetrics};
-pub use version::{Snapshot, VersionManager, VersionStats};
+pub use version::{
+    branch_latest_view, branch_snapshot_view, snapshot_view, txn_view, BranchInfo, Snapshot,
+    VersionManager, VersionStats, ROOT_BRANCH,
+};
 
 /// Transaction identifier.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]

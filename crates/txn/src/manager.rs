@@ -8,7 +8,7 @@ use sedna_sas::{PageStore, TxnToken, View};
 
 use crate::lock::LockManager;
 use crate::metrics::TxnMetrics;
-use crate::version::{snapshot_view, txn_view, VersionManager};
+use crate::version::{branch_snapshot_view, txn_view, VersionManager, ROOT_BRANCH};
 use crate::TxnId;
 
 /// What kind of transaction a handle denotes.
@@ -32,6 +32,9 @@ pub struct TxnHandle {
     pub id: TxnId,
     /// Update or read-only.
     pub kind: TxnKind,
+    /// Branch (fork) the transaction runs on; [`ROOT_BRANCH`] for the
+    /// primary database.
+    pub branch: u32,
 }
 
 impl TxnHandle {
@@ -39,7 +42,7 @@ impl TxnHandle {
     pub fn view(&self) -> View {
         match self.kind {
             TxnKind::Update => txn_view(self.id),
-            TxnKind::ReadOnly { snapshot_ts } => snapshot_view(snapshot_ts),
+            TxnKind::ReadOnly { snapshot_ts } => branch_snapshot_view(self.branch, snapshot_ts),
         }
     }
 
@@ -71,12 +74,14 @@ impl TxnManager {
     /// Creates a transaction manager whose versions allocate from `store`.
     pub fn new(store: Arc<dyn PageStore>) -> TxnManager {
         let metrics = TxnMetrics::default();
+        let versions = VersionManager::new(store);
+        versions.set_snapshot_gauge(metrics.snapshots_retained.clone());
         TxnManager {
             locks: LockManager::with_metrics(
                 std::time::Duration::from_secs(10),
                 metrics.locks.clone(),
             ),
-            versions: VersionManager::new(store),
+            versions,
             next_id: AtomicU64::new(1),
             metrics,
         }
@@ -87,30 +92,61 @@ impl TxnManager {
         &self.metrics
     }
 
-    /// Begins an updating transaction.
+    /// Begins an updating transaction on the root branch.
     pub fn begin_update(&self) -> TxnHandle {
+        self.begin_update_on(ROOT_BRANCH)
+    }
+
+    /// Begins an updating transaction on `branch`.
+    pub fn begin_update_on(&self, branch: u32) -> TxnHandle {
         // relaxed: ID allocation only needs uniqueness, not ordering with other state.
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.metrics.update_begins.inc();
-        self.versions.begin_update(id);
+        self.versions.begin_update_on(id, branch);
         TxnHandle {
             id,
             kind: TxnKind::Update,
+            branch,
         }
     }
 
-    /// Begins a read-only transaction pinned to the current snapshot.
+    /// Begins a read-only transaction pinned to the current root-branch
+    /// snapshot.
     pub fn begin_read_only(&self) -> TxnHandle {
+        self.begin_read_only_on(ROOT_BRANCH)
+    }
+
+    /// Begins a read-only transaction pinned to the current snapshot of
+    /// `branch`.
+    pub fn begin_read_only_on(&self, branch: u32) -> TxnHandle {
         // relaxed: ID allocation only needs uniqueness, not ordering with other state.
         let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
         self.metrics.readonly_begins.inc();
-        let snap = self.versions.create_snapshot();
+        let snap = self.versions.create_snapshot_on(branch);
         TxnHandle {
             id,
             kind: TxnKind::ReadOnly {
                 snapshot_ts: snap.ts,
             },
+            branch,
         }
+    }
+
+    /// Begins a read-only transaction pinned to an already-retained
+    /// snapshot of `branch` at exactly `ts` (`AS OF` reads). Returns
+    /// `None` when no such snapshot is retained.
+    pub fn begin_read_only_at(&self, branch: u32, ts: u64) -> Option<TxnHandle> {
+        if !self.versions.pin_snapshot(branch, ts) {
+            return None;
+        }
+        // relaxed: ID allocation only needs uniqueness, not ordering with other state.
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.metrics.readonly_begins.inc();
+        Some(TxnHandle {
+            id,
+            kind: TxnKind::ReadOnly { snapshot_ts: ts },
+            branch,
+        })
     }
 
     /// Commits; returns the commit timestamp (0 for read-only).
@@ -123,7 +159,7 @@ impl TxnManager {
                 ts
             }
             TxnKind::ReadOnly { snapshot_ts } => {
-                self.versions.release_snapshot(snapshot_ts);
+                self.versions.release_snapshot_on(txn.branch, snapshot_ts);
                 0
             }
         }
@@ -141,7 +177,7 @@ impl TxnManager {
                 fresh
             }
             TxnKind::ReadOnly { snapshot_ts } => {
-                self.versions.release_snapshot(snapshot_ts);
+                self.versions.release_snapshot_on(txn.branch, snapshot_ts);
                 Vec::new()
             }
         }

@@ -1,6 +1,6 @@
 //! Transaction-layer metric handles (`sedna_txn_*`).
 
-use sedna_obs::{Counter, Histogram, Registry};
+use sedna_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Lock-manager metric handles, shared with [`TxnMetrics`]: the lock
 /// manager increments them on its wait path, the transaction manager
@@ -29,6 +29,9 @@ pub struct TxnMetrics {
     pub commits: Counter,
     /// Transactions aborted.
     pub aborts: Counter,
+    /// Snapshots currently retained by readers, checkpoints, or the
+    /// retention policy.
+    pub snapshots_retained: Gauge,
     /// Lock-manager counters (waits, deadlocks, timeouts, wait time).
     pub locks: LockMetrics,
 }
@@ -56,6 +59,11 @@ impl TxnMetrics {
             "sedna_txn_aborts_total",
             "Transactions aborted",
             &self.aborts,
+        );
+        reg.register_gauge(
+            "sedna_txn_snapshots_retained",
+            "Snapshots currently retained (readers, checkpoints, retention policy)",
+            &self.snapshots_retained,
         );
         reg.register_counter(
             "sedna_txn_lock_waits_total",

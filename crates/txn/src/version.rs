@@ -1,4 +1,5 @@
-//! Snapshot-based page multiversioning (Section 6.1).
+//! Snapshot-based page multiversioning (Section 6.1) with copy-on-write
+//! database branches layered on top.
 //!
 //! "When using multiversioning, each data element may have several
 //! versions. Sedna uses snapshot-based scheme with data elements being
@@ -13,11 +14,23 @@
 //! the faulting view may see. Old versions are purged exactly as the paper
 //! says — "this condition is checked when a new version of a page is
 //! created".
+//!
+//! # Branches (database forks)
+//!
+//! A fork is a *branch*: a `(parent, fork_ts)` pair registered with
+//! [`VersionManager::create_branch`]. Every version carries the branch it
+//! was committed on; a read on branch `B` resolves through the fork
+//! lineage — newest committed version on `B`, else the parent's versions
+//! capped at `fork_ts`, recursively up to the root. Creating a branch
+//! therefore copies **zero** pages; parent and fork diverge page by page
+//! through the ordinary copy-on-write `resolve_write` path, each new
+//! version tagged with the writer's branch.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use sedna_obs::Gauge;
 use sedna_sas::{
     BufferPool, PageResolver, PageStore, PhysId, SasError, SasResult, TxnToken, View, WritePlan,
     XPtr,
@@ -25,20 +38,54 @@ use sedna_sas::{
 
 use crate::TxnId;
 
+/// The root branch every database starts on.
+pub const ROOT_BRANCH: u32 = 0;
+
 /// Bit marking a [`View`] as an updating transaction's own view.
 const TXN_VIEW_FLAG: u64 = 1 << 63;
 
-/// View of an updating transaction (sees its own working versions).
+/// Bit marking a [`View`] as scoped to a non-root branch. Bits 32..62
+/// carry the branch id, the low 32 bits carry `ts + 1` for snapshot views
+/// or zero for latest-on-branch.
+const BRANCH_VIEW_FLAG: u64 = 1 << 62;
+const BRANCH_SHIFT: u32 = 32;
+const BRANCH_MASK: u64 = (1 << 30) - 1;
+const BRANCH_TS_MASK: u64 = u32::MAX as u64;
+
+/// View of an updating transaction (sees its own working versions). The
+/// transaction's branch is looked up from its registration, so the
+/// encoding is branch-free.
 pub fn txn_view(txn: TxnId) -> View {
     View(TXN_VIEW_FLAG | txn.0)
 }
 
-/// View of a read-only transaction pinned to snapshot `ts`.
+/// View of a read-only transaction pinned to root-branch snapshot `ts`.
 /// Encoded as `ts + 1` so that the empty-database snapshot (`ts = 0`)
 /// stays distinct from [`View::LATEST`].
 pub fn snapshot_view(ts: u64) -> View {
-    debug_assert!(ts & TXN_VIEW_FLAG == 0);
+    debug_assert!(ts & (TXN_VIEW_FLAG | BRANCH_VIEW_FLAG) == 0);
     View(ts + 1)
+}
+
+/// View of a read-only transaction pinned to snapshot `ts` on `branch`.
+/// Root-branch views keep the legacy encoding.
+pub fn branch_snapshot_view(branch: u32, ts: u64) -> View {
+    if branch == ROOT_BRANCH {
+        return snapshot_view(ts);
+    }
+    debug_assert!(u64::from(branch) <= BRANCH_MASK && ts < BRANCH_TS_MASK);
+    View(BRANCH_VIEW_FLAG | (u64::from(branch) << BRANCH_SHIFT) | (ts + 1))
+}
+
+/// The last-committed-state view of `branch` (what auto-commit reads on a
+/// fork use between transactions). `branch_latest_view(ROOT_BRANCH)` is
+/// [`View::LATEST`].
+pub fn branch_latest_view(branch: u32) -> View {
+    if branch == ROOT_BRANCH {
+        return View::LATEST;
+    }
+    debug_assert!(u64::from(branch) <= BRANCH_MASK);
+    View(BRANCH_VIEW_FLAG | (u64::from(branch) << BRANCH_SHIFT))
 }
 
 /// The paper's snapshot: "logically snapshot is just a pair: (timestamp,
@@ -51,37 +98,50 @@ pub struct Snapshot {
     pub active: Vec<TxnId>,
 }
 
+/// A branch registration: where it forked from and at which commit
+/// timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Branch this one forked from.
+    pub parent: u32,
+    /// Commit timestamp of the fork point: parent versions committed at or
+    /// before `fork_ts` are visible to the branch until it overwrites them.
+    pub fork_ts: u64,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Version {
     phys: PhysId,
     /// Commit timestamp; `None` = working (uncommitted).
     committed: Option<u64>,
     creator: TxnId,
+    /// Branch the version was (or will be) committed on.
+    branch: u32,
 }
 
-/// Whether (and how) a page has been freed.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+/// Whether (and how) a page has been freed on one branch. Absence from the
+/// chain's drop map means the page is live on that branch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum DropState {
-    /// Page is live.
-    #[default]
-    Live,
     /// Freed by an uncommitted transaction (undone on rollback).
     PendingBy(TxnId),
-    /// Free committed; old versions may still serve snapshot readers.
-    Dropped,
+    /// Free committed at this timestamp; earlier versions may still serve
+    /// snapshot readers and descendant branches forked before the drop.
+    DroppedAt(u64),
 }
 
 #[derive(Default)]
 struct Chain {
-    /// Newest first.
+    /// Newest first; the working version (at most one per chain, enforced
+    /// by document locks shared across the fork family) is always first.
     versions: Vec<Version>,
-    /// Drop state; snapshot readers may still see old versions of a
-    /// dropped page.
-    dropped: DropState,
+    /// Per-branch drop state.
+    drops: HashMap<u32, DropState>,
 }
 
 struct SnapshotState {
     snap: Snapshot,
+    branch: u32,
     refs: usize,
     persistent: bool,
 }
@@ -93,22 +153,83 @@ pub struct VersionStats {
     pub versions_created: u64,
     /// Obsolete versions purged (physical slots reclaimed).
     pub versions_purged: u64,
+    /// Snapshots currently retained (pinned by readers, checkpoints, or
+    /// the retention policy).
+    pub snapshots_retained: u64,
+    /// Live branches, the root included.
+    pub branches: u64,
 }
 
 struct VmState {
     chains: HashMap<u64, Chain>,
-    /// Last assigned commit timestamp.
+    /// Last assigned commit timestamp (shared by every branch).
     current_ts: u64,
     snapshots: Vec<SnapshotState>,
     active: Vec<TxnId>,
+    /// Non-root branches by id.
+    branches: HashMap<u32, BranchInfo>,
+    /// Branch each active non-root transaction runs on.
+    txn_branch: HashMap<u64, u32>,
     stats: VersionStats,
 }
 
+impl VmState {
+    fn branch_of(&self, txn: TxnId) -> u32 {
+        self.txn_branch.get(&txn.0).copied().unwrap_or(ROOT_BRANCH)
+    }
+
+    /// Every `(branch, ts_limit)` pair some live reader may resolve
+    /// through: the latest state of each branch plus every pinned
+    /// snapshot.
+    fn live_views(&self) -> Vec<(u32, u64)> {
+        let mut views = vec![(ROOT_BRANCH, u64::MAX)];
+        views.extend(self.branches.keys().map(|&b| (b, u64::MAX)));
+        views.extend(self.snapshots.iter().map(|s| (s.branch, s.snap.ts)));
+        views
+    }
+}
+
+/// Walks the fork lineage from `branch`, capped at commit timestamp
+/// `lim`, and returns the version a committed read resolves to (`None`
+/// when the page is absent or dropped for that view).
+fn lineage_find<'a>(
+    chain: &'a Chain,
+    branches: &HashMap<u32, BranchInfo>,
+    mut branch: u32,
+    mut lim: u64,
+) -> Option<&'a Version> {
+    loop {
+        let ver = chain
+            .versions
+            .iter()
+            .filter(|v| v.branch == branch && v.committed.is_some_and(|c| c <= lim))
+            .max_by_key(|v| v.committed);
+        let drop_ts = match chain.drops.get(&branch) {
+            Some(DropState::DroppedAt(d)) if *d <= lim => Some(*d),
+            _ => None,
+        };
+        match (ver, drop_ts) {
+            // A version newer than the drop re-creates the page.
+            (Some(v), Some(d)) if d >= v.committed.unwrap_or(0) => return None,
+            (Some(v), _) => return Some(v),
+            // Dropped with nothing newer: ancestors are hidden too.
+            (None, Some(_)) => return None,
+            (None, None) => {}
+        }
+        let info = branches.get(&branch)?;
+        lim = lim.min(info.fork_ts);
+        branch = info.parent;
+    }
+}
+
 /// The version manager: a [`PageResolver`] that maintains per-page version
-/// chains, snapshots, commit/rollback, and purging.
+/// chains, snapshots, branches, commit/rollback, and purging. One manager
+/// serves an entire fork family.
 pub struct VersionManager {
     store: Arc<dyn PageStore>,
     pool: Mutex<Option<Arc<BufferPool>>>,
+    /// Mirrors the retained-snapshot count (`sedna_txn_snapshots_retained`).
+    snapshot_gauge: Mutex<Option<Gauge>>,
     state: Mutex<VmState>,
 }
 
@@ -118,11 +239,14 @@ impl VersionManager {
         Arc::new(VersionManager {
             store,
             pool: Mutex::new(None),
+            snapshot_gauge: Mutex::new(None),
             state: Mutex::new(VmState {
                 chains: HashMap::new(),
                 current_ts: 0,
                 snapshots: Vec::new(),
                 active: Vec::new(),
+                branches: HashMap::new(),
+                txn_branch: HashMap::new(),
                 stats: VersionStats::default(),
             }),
         })
@@ -132,6 +256,18 @@ impl VersionManager {
     /// dropped from memory.
     pub fn set_pool(&self, pool: Arc<BufferPool>) {
         *self.pool.lock() = Some(pool);
+    }
+
+    /// Wires in the gauge mirroring the retained-snapshot count.
+    pub fn set_snapshot_gauge(&self, gauge: Gauge) {
+        gauge.set(self.state.lock().snapshots.len() as i64);
+        *self.snapshot_gauge.lock() = Some(gauge);
+    }
+
+    fn sync_snapshot_gauge(&self, retained: usize) {
+        if let Some(g) = self.snapshot_gauge.lock().as_ref() {
+            g.set(retained as i64);
+        }
     }
 
     /// Discards cached frames for a batch of freed version slots. Grouping
@@ -146,14 +282,23 @@ impl VersionManager {
         }
     }
 
-    /// Registers an update transaction as active.
+    /// Registers an update transaction as active on the root branch.
     pub fn begin_update(&self, txn: TxnId) {
-        self.state.lock().active.push(txn);
+        self.begin_update_on(txn, ROOT_BRANCH);
+    }
+
+    /// Registers an update transaction as active on `branch`.
+    pub fn begin_update_on(&self, txn: TxnId, branch: u32) {
+        let mut st = self.state.lock();
+        st.active.push(txn);
+        if branch != ROOT_BRANCH {
+            st.txn_branch.insert(txn.0, branch);
+        }
     }
 
     /// Commits `txn`: its working versions become the last committed ones
-    /// and its pending page frees are finalized. Returns the commit
-    /// timestamp.
+    /// on its branch and its pending page frees are finalized. Returns the
+    /// commit timestamp.
     pub fn commit(&self, txn: TxnId) -> u64 {
         let mut freed = Vec::new();
         let ts;
@@ -161,26 +306,30 @@ impl VersionManager {
             let mut st = self.state.lock();
             st.current_ts += 1;
             ts = st.current_ts;
-            let have_snapshots = !st.snapshots.is_empty();
-            let mut fully_gone = Vec::new();
+            let mut touched = Vec::new();
             for (&page, chain) in st.chains.iter_mut() {
+                let mut changed = false;
                 if let Some(v) = chain.versions.first_mut() {
                     if v.committed.is_none() && v.creator == txn {
                         v.committed = Some(ts);
+                        changed = true;
                     }
                 }
-                if chain.dropped == DropState::PendingBy(txn) {
-                    chain.dropped = DropState::Dropped;
-                    if !have_snapshots {
-                        freed.extend(chain.versions.iter().map(|v| v.phys));
-                        fully_gone.push(page);
+                for d in chain.drops.values_mut() {
+                    if *d == DropState::PendingBy(txn) {
+                        *d = DropState::DroppedAt(ts);
+                        changed = true;
                     }
+                }
+                if changed {
+                    touched.push(page);
                 }
             }
-            for page in fully_gone {
-                st.chains.remove(&page);
+            for page in touched {
+                freed.extend(Self::purge_chain(&mut st, page));
             }
             st.active.retain(|&t| t != txn);
+            st.txn_branch.remove(&txn.0);
         }
         self.invalidate_batch(&freed);
         for phys in freed {
@@ -213,7 +362,7 @@ impl VersionManager {
         let mut out: Vec<XPtr> = st
             .chains
             .iter()
-            .filter(|(_, c)| c.dropped == DropState::PendingBy(txn))
+            .filter(|(_, c)| c.drops.values().any(|d| *d == DropState::PendingBy(txn)))
             .map(|(&page, _)| XPtr::from_raw(page))
             .collect();
         out.sort();
@@ -241,14 +390,13 @@ impl VersionManager {
                     }
                 }
                 // A free performed by the aborting txn is undone.
-                if chain.dropped == DropState::PendingBy(txn) {
-                    chain.dropped = DropState::Live;
-                }
+                chain.drops.retain(|_, d| *d != DropState::PendingBy(txn));
             }
             for page in emptied {
                 st.chains.remove(&page);
             }
             st.active.retain(|&t| t != txn);
+            st.txn_branch.remove(&txn.0);
         }
         self.invalidate_batch(&discarded);
         for phys in discarded {
@@ -257,44 +405,90 @@ impl VersionManager {
         fresh_pages
     }
 
-    /// Creates a snapshot of the current committed state. "To create a new
-    /// snapshot, we simply store the current timestamp and the list of
-    /// currently active transactions."
+    /// Creates a snapshot of the current committed state of the root
+    /// branch.
     pub fn create_snapshot(&self) -> Snapshot {
+        self.create_snapshot_on(ROOT_BRANCH)
+    }
+
+    /// Creates a snapshot of the current committed state of `branch`. "To
+    /// create a new snapshot, we simply store the current timestamp and
+    /// the list of currently active transactions."
+    pub fn create_snapshot_on(&self, branch: u32) -> Snapshot {
         let mut st = self.state.lock();
         let snap = Snapshot {
             ts: st.current_ts,
             active: st.active.clone(),
         };
-        if let Some(existing) = st.snapshots.iter_mut().find(|s| s.snap.ts == snap.ts) {
+        if let Some(existing) = st
+            .snapshots
+            .iter_mut()
+            .find(|s| s.branch == branch && s.snap.ts == snap.ts)
+        {
             existing.refs += 1;
             return existing.snap.clone();
         }
         st.snapshots.push(SnapshotState {
             snap: snap.clone(),
+            branch,
             refs: 1,
             persistent: false,
         });
+        let retained = st.snapshots.len();
+        drop(st);
+        self.sync_snapshot_gauge(retained);
         snap
     }
 
-    /// Releases a snapshot acquired with [`VersionManager::create_snapshot`].
-    pub fn release_snapshot(&self, ts: u64) {
+    /// Takes an extra reference on an already-retained snapshot of
+    /// `branch` at exactly `ts` (`AS OF` session pinning). Returns whether
+    /// the snapshot was found.
+    pub fn pin_snapshot(&self, branch: u32, ts: u64) -> bool {
         let mut st = self.state.lock();
-        if let Some(idx) = st.snapshots.iter().position(|s| s.snap.ts == ts) {
+        match st
+            .snapshots
+            .iter_mut()
+            .find(|s| s.branch == branch && s.snap.ts == ts)
+        {
+            Some(s) => {
+                s.refs += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases a root-branch snapshot acquired with
+    /// [`VersionManager::create_snapshot`].
+    pub fn release_snapshot(&self, ts: u64) {
+        self.release_snapshot_on(ROOT_BRANCH, ts);
+    }
+
+    /// Releases a snapshot of `branch` at `ts`.
+    pub fn release_snapshot_on(&self, branch: u32, ts: u64) {
+        let mut st = self.state.lock();
+        if let Some(idx) = st
+            .snapshots
+            .iter()
+            .position(|s| s.branch == branch && s.snap.ts == ts)
+        {
             st.snapshots[idx].refs -= 1;
             if st.snapshots[idx].refs == 0 && !st.snapshots[idx].persistent {
                 st.snapshots.remove(idx);
             }
         }
+        let retained = st.snapshots.len();
+        drop(st);
+        self.sync_snapshot_gauge(retained);
     }
 
-    /// Marks the snapshot at `ts` persistent (checkpoint support, §6.4):
-    /// it survives with zero refs until explicitly demoted.
+    /// Marks the root-branch snapshot at `ts` persistent (checkpoint
+    /// support, §6.4): it survives with zero refs until explicitly
+    /// demoted.
     pub fn mark_persistent(&self, ts: u64) {
         let mut st = self.state.lock();
         for s in st.snapshots.iter_mut() {
-            if s.snap.ts == ts {
+            if s.branch == ROOT_BRANCH && s.snap.ts == ts {
                 s.persistent = true;
             } else if s.persistent {
                 s.persistent = false;
@@ -302,6 +496,9 @@ impl VersionManager {
         }
         // Drop demoted, unreferenced snapshots.
         st.snapshots.retain(|s| s.refs > 0 || s.persistent);
+        let retained = st.snapshots.len();
+        drop(st);
+        self.sync_snapshot_gauge(retained);
     }
 
     /// Active snapshots (diagnostics/tests).
@@ -316,41 +513,200 @@ impl VersionManager {
 
     /// Version counters.
     pub fn stats(&self) -> VersionStats {
-        self.state.lock().stats
-    }
-
-    /// The `(page, phys)` table of last-committed versions — what a
-    /// checkpoint persists.
-    pub fn committed_table(&self) -> Vec<(XPtr, PhysId)> {
         let st = self.state.lock();
-        st.chains
-            .iter()
-            .filter(|(_, c)| c.dropped != DropState::Dropped)
-            .filter_map(|(&page, c)| {
-                c.versions
-                    .iter()
-                    .find(|v| v.committed.is_some())
-                    .map(|v| (XPtr::from_raw(page), v.phys))
-            })
-            .collect()
+        let mut stats = st.stats;
+        stats.snapshots_retained = st.snapshots.len() as u64;
+        stats.branches = st.branches.len() as u64 + 1;
+        stats
     }
 
-    /// Installs a committed version during recovery ("converting versions
-    /// belonging to the persistent snapshot into last committed ones").
-    pub fn install_committed(&self, page: XPtr, phys: PhysId) {
+    /// Registers a fork of `parent` taken at commit timestamp `fork_ts`.
+    /// O(1): no chain is touched.
+    pub fn create_branch(&self, branch: u32, parent: u32, fork_ts: u64) {
         let mut st = self.state.lock();
-        let ts = st.current_ts;
-        st.chains.insert(
-            page.raw(),
-            Chain {
-                versions: vec![Version {
-                    phys,
-                    committed: Some(ts),
-                    creator: TxnId(0),
-                }],
-                dropped: DropState::Live,
+        debug_assert!(branch != ROOT_BRANCH && !st.branches.contains_key(&branch));
+        st.branches.insert(branch, BranchInfo { parent, fork_ts });
+    }
+
+    /// Registered non-root branches.
+    pub fn branches(&self) -> Vec<(u32, BranchInfo)> {
+        let st = self.state.lock();
+        let mut out: Vec<_> = st.branches.iter().map(|(&b, &i)| (b, i)).collect();
+        out.sort_by_key(|(b, _)| *b);
+        out
+    }
+
+    /// Does `branch` have registered child branches?
+    pub fn has_children(&self, branch: u32) -> bool {
+        self.state
+            .lock()
+            .branches
+            .values()
+            .any(|i| i.parent == branch)
+    }
+
+    /// Unregisters `branch` and reclaims every version committed on it.
+    /// The caller must ensure the branch has no child branches and no
+    /// active transactions or pinned snapshots of its own.
+    pub fn drop_branch(&self, branch: u32) {
+        let mut freed = Vec::new();
+        {
+            let mut st = self.state.lock();
+            st.branches.remove(&branch);
+            st.snapshots.retain(|s| s.branch != branch);
+            let pages: Vec<u64> = st.chains.keys().copied().collect();
+            for page in pages {
+                let mut purged = 0u64;
+                if let Some(chain) = st.chains.get_mut(&page) {
+                    chain.versions.retain(|v| {
+                        let keep = v.branch != branch;
+                        if !keep {
+                            freed.push(v.phys);
+                            purged += 1;
+                        }
+                        keep
+                    });
+                    chain.drops.remove(&branch);
+                    if chain.versions.is_empty() {
+                        st.chains.remove(&page);
+                    }
+                }
+                st.stats.versions_purged += purged;
+                freed.extend(Self::purge_chain(&mut st, page));
+            }
+            let retained = st.snapshots.len();
+            drop(st);
+            self.sync_snapshot_gauge(retained);
+        }
+        self.invalidate_batch(&freed);
+        for phys in freed {
+            let _ = self.store.free(phys);
+        }
+    }
+
+    /// The version table a checkpoint persists: every `(page, phys,
+    /// branch, commit_ts)` row some branch's latest state resolves to,
+    /// plus the committed per-branch drop rows `(page, branch, drop_ts)`
+    /// that hide inherited versions. Snapshots are deliberately excluded —
+    /// they do not survive a restart.
+    #[allow(clippy::type_complexity)]
+    pub fn checkpoint_table(&self) -> (Vec<(XPtr, PhysId, u32, u64)>, Vec<(XPtr, u32, u64)>) {
+        let st = self.state.lock();
+        let mut views = vec![(ROOT_BRANCH, u64::MAX)];
+        views.extend(st.branches.keys().map(|&b| (b, u64::MAX)));
+        let mut rows = Vec::new();
+        let mut drops = Vec::new();
+        for (&page, chain) in st.chains.iter() {
+            let mut needed: HashSet<(u32, u64)> = HashSet::new();
+            for &(b, lim) in &views {
+                if let Some(v) = lineage_find(chain, &st.branches, b, lim) {
+                    needed.insert((v.branch, v.committed.expect("committed")));
+                }
+            }
+            let before = rows.len();
+            for v in &chain.versions {
+                if let Some(ts) = v.committed {
+                    if needed.contains(&(v.branch, ts)) {
+                        rows.push((XPtr::from_raw(page), v.phys, v.branch, ts));
+                    }
+                }
+            }
+            if rows.len() > before {
+                for (&b, d) in chain.drops.iter() {
+                    if let DropState::DroppedAt(ts) = d {
+                        drops.push((XPtr::from_raw(page), b, *ts));
+                    }
+                }
+            }
+        }
+        rows.sort();
+        drops.sort();
+        (rows, drops)
+    }
+
+    /// Installs a committed root-branch version during recovery
+    /// ("converting versions belonging to the persistent snapshot into
+    /// last committed ones").
+    pub fn install_committed(&self, page: XPtr, phys: PhysId) {
+        let ts = self.state.lock().current_ts;
+        self.install_committed_at(ROOT_BRANCH, page, phys, ts);
+    }
+
+    /// Installs a committed version on `branch` with its true commit
+    /// timestamp (checkpoint rows and redo).
+    pub fn install_committed_at(&self, branch: u32, page: XPtr, phys: PhysId, ts: u64) {
+        let mut st = self.state.lock();
+        let chain = st.chains.entry(page.raw()).or_default();
+        chain.versions.insert(
+            0,
+            Version {
+                phys,
+                committed: Some(ts),
+                creator: TxnId(0),
+                branch,
             },
         );
+    }
+
+    /// Records a committed drop of `page` on `branch` during recovery.
+    pub fn install_drop(&self, branch: u32, page: XPtr, ts: u64) {
+        let mut st = self.state.lock();
+        let chain = st.chains.entry(page.raw()).or_default();
+        chain.drops.insert(branch, DropState::DroppedAt(ts));
+    }
+
+    /// During redo: if the newest committed version of `page` on `branch`
+    /// can be overwritten in place by a newer image committed at `ts`,
+    /// bumps its timestamp and returns its slot. Returns `None` when a
+    /// fresh slot must be allocated because a child branch forked between
+    /// the two writes still resolves to the existing version.
+    pub fn redo_reuse_slot(&self, branch: u32, page: XPtr, ts: u64) -> Option<PhysId> {
+        let mut st = self.state.lock();
+        let (idx, vts, phys) = {
+            let chain = st.chains.get(&page.raw())?;
+            let (idx, v) = chain
+                .versions
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.branch == branch && v.committed.is_some())
+                .max_by_key(|(_, v)| v.committed)?;
+            (idx, v.committed.expect("committed"), v.phys)
+        };
+        let pinned = st
+            .branches
+            .values()
+            .any(|i| i.parent == branch && i.fork_ts >= vts);
+        if pinned {
+            return None;
+        }
+        let chain = st.chains.get_mut(&page.raw()).expect("chain exists");
+        chain.versions[idx].committed = Some(ts);
+        Some(phys)
+    }
+
+    /// Drops every version no live view resolves to (end-of-recovery
+    /// sweep, before the free list is rebuilt). Returns the freed slots.
+    pub fn purge_all(&self) -> Vec<PhysId> {
+        let mut st = self.state.lock();
+        let pages: Vec<u64> = st.chains.keys().copied().collect();
+        let mut freed = Vec::new();
+        for page in pages {
+            freed.extend(Self::purge_chain(&mut st, page));
+        }
+        freed
+    }
+
+    /// Every physical slot referenced by some chain (recovery free-list
+    /// rebuild).
+    pub fn live_phys(&self) -> Vec<PhysId> {
+        let st = self.state.lock();
+        let mut out: Vec<PhysId> = st
+            .chains
+            .values()
+            .flat_map(|c| c.versions.iter().map(|v| v.phys))
+            .collect();
+        out.sort();
+        out
     }
 
     /// The last assigned commit timestamp.
@@ -364,35 +720,30 @@ impl VersionManager {
         st.current_ts = st.current_ts.max(ts);
     }
 
-    /// Is the version committed at `vts` the one some live snapshot reads
-    /// — i.e. the newest version with `committed <= s.ts`?
-    fn needed_by_snapshot(snapshots: &[SnapshotState], all_commits: &[u64], vts: u64) -> bool {
-        snapshots.iter().any(|s| {
-            let sts = s.snap.ts;
-            vts <= sts && !all_commits.iter().any(|&c| c > vts && c <= sts)
-        })
-    }
-
     /// Purges chain versions made obsolete; returns freed physical slots.
-    /// A version is retained when it is working, is the last committed
-    /// one, or is what some live snapshot reads.
+    /// A version is retained when it is working or when some live view —
+    /// the latest state of any branch, or a pinned snapshot — resolves to
+    /// it through the fork lineage.
     fn purge_chain(st: &mut VmState, page: u64) -> Vec<PhysId> {
         let mut freed = Vec::new();
+        let views = st.live_views();
         let VmState {
             chains,
-            snapshots,
+            branches,
             stats,
             ..
         } = st;
         if let Some(chain) = chains.get_mut(&page) {
-            let commits: Vec<u64> = chain.versions.iter().filter_map(|v| v.committed).collect();
-            let newest = commits.iter().copied().max();
+            let mut needed: HashSet<(u32, u64)> = HashSet::new();
+            for &(b, lim) in &views {
+                if let Some(v) = lineage_find(chain, branches, b, lim) {
+                    needed.insert((v.branch, v.committed.expect("committed")));
+                }
+            }
             chain.versions.retain(|v| {
                 let retain = match v.committed {
                     None => true,
-                    Some(ts) => {
-                        Some(ts) == newest || Self::needed_by_snapshot(snapshots, &commits, ts)
-                    }
+                    Some(ts) => needed.contains(&(v.branch, ts)),
                 };
                 if !retain {
                     freed.push(v.phys);
@@ -400,6 +751,13 @@ impl VersionManager {
                 }
                 retain
             });
+            let has_pending = chain
+                .drops
+                .values()
+                .any(|d| matches!(d, DropState::PendingBy(_)));
+            if chain.versions.is_empty() && !has_pending {
+                chains.remove(&page);
+            }
         }
         freed
     }
@@ -418,47 +776,39 @@ impl PageResolver for VersionManager {
             .ok_or(SasError::NoSuchPage(page))?;
         if view.0 & TXN_VIEW_FLAG != 0 {
             let txn = TxnId(view.0 & !TXN_VIEW_FLAG);
-            // Own working version first, then last committed.
+            // Own working version first, then the committed lineage.
             if let Some(v) = chain.versions.first() {
                 if v.committed.is_none() && v.creator == txn {
                     return Ok(v.phys);
                 }
             }
-            if chain.dropped == DropState::Dropped || chain.dropped == DropState::PendingBy(txn) {
+            let branch = st.branch_of(txn);
+            if chain.drops.get(&branch) == Some(&DropState::PendingBy(txn)) {
                 return Err(SasError::NoSuchPage(page));
             }
-            return chain
-                .versions
-                .iter()
-                .find(|v| v.committed.is_some())
+            return lineage_find(chain, &st.branches, branch, u64::MAX)
                 .map(|v| v.phys)
                 .ok_or(SasError::NoSuchPage(page));
         }
-        if view == View::LATEST {
-            if chain.dropped == DropState::Dropped {
-                return Err(SasError::NoSuchPage(page));
-            }
-            return chain
-                .versions
-                .iter()
-                .find(|v| v.committed.is_some())
-                .map(|v| v.phys)
-                .ok_or(SasError::NoSuchPage(page));
-        }
-        // Snapshot view: newest version with committed <= ts.
-        let ts = view.0 - 1;
-        chain
-            .versions
-            .iter()
-            .filter(|v| v.committed.is_some_and(|c| c <= ts))
-            .max_by_key(|v| v.committed)
+        let (branch, lim) = if view.0 & BRANCH_VIEW_FLAG != 0 {
+            let branch = ((view.0 >> BRANCH_SHIFT) & BRANCH_MASK) as u32;
+            let low = view.0 & BRANCH_TS_MASK;
+            (branch, if low == 0 { u64::MAX } else { low - 1 })
+        } else if view == View::LATEST {
+            (ROOT_BRANCH, u64::MAX)
+        } else {
+            (ROOT_BRANCH, view.0 - 1)
+        };
+        lineage_find(chain, &st.branches, branch, lim)
             .map(|v| v.phys)
             .ok_or(SasError::NoSuchPage(page))
     }
 
     fn resolve_write(&self, page: XPtr, txn: TxnToken) -> SasResult<WritePlan> {
         let txn = TxnId(txn.0);
-        let mut st = self.state.lock();
+        let mut guard = self.state.lock();
+        let st = &mut *guard;
+        let branch = st.branch_of(txn);
         let chain = st
             .chains
             .get_mut(&page.raw())
@@ -477,26 +827,27 @@ impl PageResolver for VersionManager {
                 )));
             }
         }
-        let old_phys = chain
-            .versions
-            .first()
+        // Copy-on-write source: what the writer's branch currently sees.
+        let old_phys = lineage_find(chain, &st.branches, branch, u64::MAX)
             .map(|v| v.phys)
             .ok_or(SasError::NoSuchPage(page))?;
         let new_phys = self.store.alloc()?;
+        let chain = st.chains.get_mut(&page.raw()).expect("chain exists");
         chain.versions.insert(
             0,
             Version {
                 phys: new_phys,
                 committed: None,
                 creator: txn,
+                branch,
             },
         );
         st.stats.versions_created += 1;
         // "Old versions are purged when they are not needed anymore [...]
         // this condition is checked when a new version of a page is
         // created."
-        let freed = Self::purge_chain(&mut st, page.raw());
-        drop(st);
+        let freed = Self::purge_chain(st, page.raw());
+        drop(guard);
         self.invalidate_batch(&freed);
         for phys in freed {
             self.store.free(phys)?;
@@ -515,29 +866,36 @@ impl PageResolver for VersionManager {
                 phys,
                 committed: None,
                 creator: TxnId(t.0),
+                branch: st.branch_of(TxnId(t.0)),
             },
             None => Version {
                 phys,
                 committed: Some(st.current_ts),
                 creator: TxnId(0),
+                branch: ROOT_BRANCH,
             },
         };
         let prev = st.chains.insert(
             page.raw(),
             Chain {
                 versions: vec![version],
-                dropped: DropState::Live,
+                drops: HashMap::new(),
             },
         );
         if let Some(prev) = prev {
             // The address was recycled. Old committed versions that some
-            // snapshot may still read are preserved in the new chain
-            // (ordering by commit timestamp keeps visibility correct);
-            // the rest are freed.
-            let have_snapshots = !st.snapshots.is_empty();
-            if have_snapshots {
+            // snapshot or sibling branch may still read are preserved in
+            // the new chain, together with the drop history that hides
+            // them from newer views; the rest are freed by a purge pass.
+            let keep = !st.snapshots.is_empty() || !st.branches.is_empty();
+            if keep {
                 let chain = st.chains.get_mut(&page.raw()).expect("just inserted");
                 chain.versions.extend(prev.versions);
+                chain.drops.extend(
+                    prev.drops
+                        .into_iter()
+                        .filter(|(_, d)| matches!(d, DropState::DroppedAt(_))),
+                );
             } else {
                 for v in prev.versions {
                     let _ = self.store.free(v.phys);
@@ -550,11 +908,13 @@ impl PageResolver for VersionManager {
     fn on_page_free(&self, page: XPtr, txn: Option<TxnToken>) -> SasResult<()> {
         let mut freed = Vec::new();
         {
-            let mut st = self.state.lock();
-            let have_snapshots = !st.snapshots.is_empty();
-            let Some(chain) = st.chains.get_mut(&page.raw()) else {
+            let mut guard = self.state.lock();
+            let st = &mut *guard;
+            if !st.chains.contains_key(&page.raw()) {
                 return Ok(());
-            };
+            }
+            let branch = txn.map(|t| st.branch_of(TxnId(t.0))).unwrap_or(ROOT_BRANCH);
+            let chain = st.chains.get_mut(&page.raw()).expect("checked above");
             // Discard the working version of the freeing transaction.
             if let (Some(t), Some(v)) = (txn, chain.versions.first()) {
                 if v.committed.is_none() && v.creator == TxnId(t.0) {
@@ -566,16 +926,20 @@ impl PageResolver for VersionManager {
                 Some(t) if !chain.versions.is_empty() => {
                     // Committed versions remain until the transaction
                     // commits (the free is undone on rollback).
-                    chain.dropped = DropState::PendingBy(TxnId(t.0));
+                    chain.drops.insert(branch, DropState::PendingBy(TxnId(t.0)));
                 }
-                _ => {
-                    // Non-transactional free, or the page never had a
-                    // committed version: reclaim what snapshots don't pin.
-                    if have_snapshots && chain.versions.iter().any(|v| v.committed.is_some()) {
-                        chain.dropped = DropState::Dropped;
-                    } else if let Some(chain) = st.chains.remove(&page.raw()) {
-                        freed.extend(chain.versions.iter().map(|v| v.phys));
-                    }
+                Some(_) => {
+                    // The page never had a committed version: the chain
+                    // held only this transaction's working version.
+                    st.chains.remove(&page.raw());
+                }
+                None => {
+                    // Non-transactional free: an immediately-committed
+                    // drop; the purge pass reclaims whatever no snapshot
+                    // or branch still reads.
+                    let ts = st.current_ts;
+                    chain.drops.insert(branch, DropState::DroppedAt(ts));
+                    freed.extend(Self::purge_chain(st, page.raw()));
                 }
             }
         }
@@ -753,20 +1117,26 @@ mod tests {
     }
 
     #[test]
-    fn committed_table_round_trip() {
+    fn checkpoint_table_round_trip() {
         let (vm, _store) = setup();
         let t1 = TxnId(1);
         vm.begin_update(t1);
         let p1 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
         let p2 = vm.on_page_alloc(page(2), Some(t1.token())).unwrap();
-        vm.commit(t1);
-        let mut table = vm.committed_table();
-        table.sort();
-        assert_eq!(table, vec![(page(1), p1), (page(2), p2)]);
+        let ts = vm.commit(t1);
+        let (table, drops) = vm.checkpoint_table();
+        assert_eq!(
+            table,
+            vec![
+                (page(1), p1, ROOT_BRANCH, ts),
+                (page(2), p2, ROOT_BRANCH, ts)
+            ]
+        );
+        assert!(drops.is_empty());
 
         let (vm2, _s2) = setup();
-        for (pg, ph) in table {
-            vm2.install_committed(pg, ph);
+        for (pg, ph, branch, ts) in table {
+            vm2.install_committed_at(branch, pg, ph, ts);
         }
         assert_eq!(vm2.resolve_read(page(1), View::LATEST).unwrap(), p1);
     }
@@ -789,5 +1159,228 @@ mod tests {
             p0
         );
         vm.release_snapshot(snap.ts);
+    }
+
+    #[test]
+    fn fork_shares_pages_then_diverges() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        let fork_ts = vm.commit(t1);
+
+        vm.create_branch(1, ROOT_BRANCH, fork_ts);
+        // Zero-copy: the fork resolves straight to the parent's slot.
+        assert_eq!(vm.resolve_read(page(1), branch_latest_view(1)).unwrap(), p0);
+
+        // Fork writes: CoW from the shared slot, parent unaffected.
+        let tf = TxnId(2);
+        vm.begin_update_on(tf, 1);
+        let plan = vm.resolve_write(page(1), tf.token()).unwrap();
+        assert_eq!(plan.copy_from, Some(p0));
+        vm.commit(tf);
+        assert_eq!(
+            vm.resolve_read(page(1), branch_latest_view(1)).unwrap(),
+            plan.phys
+        );
+        assert_eq!(vm.resolve_read(page(1), View::LATEST).unwrap(), p0);
+
+        // Parent writes after the fork: fork still pinned to fork_ts state.
+        let tp = TxnId(3);
+        vm.begin_update(tp);
+        let pplan = vm.resolve_write(page(1), tp.token()).unwrap();
+        assert_eq!(pplan.copy_from, Some(p0));
+        vm.commit(tp);
+        assert_eq!(vm.resolve_read(page(1), View::LATEST).unwrap(), pplan.phys);
+        assert_eq!(
+            vm.resolve_read(page(1), branch_latest_view(1)).unwrap(),
+            plan.phys
+        );
+    }
+
+    #[test]
+    fn fork_pins_parent_version_against_purge() {
+        let (vm, store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        let fork_ts = vm.commit(t1);
+        vm.create_branch(1, ROOT_BRANCH, fork_ts);
+        // Parent churns the page; the fork's version must survive.
+        for i in 2..6 {
+            let t = TxnId(i);
+            vm.begin_update(t);
+            vm.resolve_write(page(1), t.token()).unwrap();
+            vm.commit(t);
+        }
+        assert_eq!(vm.resolve_read(page(1), branch_latest_view(1)).unwrap(), p0);
+        // Only the fork-pinned version and the parent's newest remain.
+        assert!(store.allocated() <= 2, "allocated {}", store.allocated());
+
+        vm.drop_branch(1);
+        assert!(store.allocated() <= 1, "allocated {}", store.allocated());
+        assert!(vm.resolve_read(page(1), View::LATEST).is_ok());
+    }
+
+    #[test]
+    fn parent_drop_invisible_to_pre_drop_fork() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        let fork_ts = vm.commit(t1);
+        vm.create_branch(1, ROOT_BRANCH, fork_ts);
+        // Parent drops the page post-fork.
+        let t2 = TxnId(2);
+        vm.begin_update(t2);
+        vm.on_page_free(page(1), Some(t2.token())).unwrap();
+        vm.commit(t2);
+        assert!(vm.resolve_read(page(1), View::LATEST).is_err());
+        assert_eq!(vm.resolve_read(page(1), branch_latest_view(1)).unwrap(), p0);
+
+        // Fork drops it too: now nobody needs the chain.
+        let t3 = TxnId(3);
+        vm.begin_update_on(t3, 1);
+        vm.on_page_free(page(1), Some(t3.token())).unwrap();
+        vm.commit(t3);
+        assert!(vm.resolve_read(page(1), branch_latest_view(1)).is_err());
+    }
+
+    #[test]
+    fn fork_drop_invisible_to_parent() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        let fork_ts = vm.commit(t1);
+        vm.create_branch(1, ROOT_BRANCH, fork_ts);
+        let tf = TxnId(2);
+        vm.begin_update_on(tf, 1);
+        vm.on_page_free(page(1), Some(tf.token())).unwrap();
+        vm.commit(tf);
+        assert!(vm.resolve_read(page(1), branch_latest_view(1)).is_err());
+        assert_eq!(vm.resolve_read(page(1), View::LATEST).unwrap(), p0);
+    }
+
+    #[test]
+    fn branch_snapshot_views_resolve_on_the_branch() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        let fork_ts = vm.commit(t1);
+        vm.create_branch(1, ROOT_BRANCH, fork_ts);
+        // Fork diverges, then we snapshot the fork.
+        let tf = TxnId(2);
+        vm.begin_update_on(tf, 1);
+        let plan = vm.resolve_write(page(1), tf.token()).unwrap();
+        vm.commit(tf);
+        let snap = vm.create_snapshot_on(1);
+        assert_eq!(
+            vm.resolve_read(page(1), branch_snapshot_view(1, snap.ts))
+                .unwrap(),
+            plan.phys
+        );
+        // The fork keeps churning; the branch snapshot stays pinned.
+        let tg = TxnId(3);
+        vm.begin_update_on(tg, 1);
+        vm.resolve_write(page(1), tg.token()).unwrap();
+        vm.commit(tg);
+        assert_eq!(
+            vm.resolve_read(page(1), branch_snapshot_view(1, snap.ts))
+                .unwrap(),
+            plan.phys
+        );
+        // A pre-divergence fork snapshot view reads through to the parent.
+        assert_eq!(
+            vm.resolve_read(page(1), branch_snapshot_view(1, fork_ts))
+                .unwrap(),
+            p0
+        );
+        vm.release_snapshot_on(1, snap.ts);
+    }
+
+    #[test]
+    fn checkpoint_table_preserves_fork_lineage() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        let fork_ts = vm.commit(t1);
+        vm.create_branch(1, ROOT_BRANCH, fork_ts);
+        // Parent rewrites the page post-fork: both versions are needed.
+        let t2 = TxnId(2);
+        vm.begin_update(t2);
+        let plan = vm.resolve_write(page(1), t2.token()).unwrap();
+        let ts2 = vm.commit(t2);
+        let (table, drops) = vm.checkpoint_table();
+        assert_eq!(
+            table,
+            vec![
+                (page(1), p0, ROOT_BRANCH, fork_ts),
+                (page(1), plan.phys, ROOT_BRANCH, ts2),
+            ]
+        );
+        assert!(drops.is_empty());
+
+        // Round-trip into a fresh manager.
+        let (vm2, _s2) = setup();
+        vm2.create_branch(1, ROOT_BRANCH, fork_ts);
+        for (pg, ph, branch, ts) in table {
+            vm2.install_committed_at(branch, pg, ph, ts);
+        }
+        vm2.set_current_ts(ts2);
+        assert_eq!(vm2.resolve_read(page(1), View::LATEST).unwrap(), plan.phys);
+        assert_eq!(
+            vm2.resolve_read(page(1), branch_latest_view(1)).unwrap(),
+            p0
+        );
+    }
+
+    #[test]
+    fn pin_snapshot_holds_retained_snapshot() {
+        let (vm, _store) = setup();
+        let t1 = TxnId(1);
+        vm.begin_update(t1);
+        let p0 = vm.on_page_alloc(page(1), Some(t1.token())).unwrap();
+        vm.commit(t1);
+        let snap = vm.create_snapshot();
+        assert!(vm.pin_snapshot(ROOT_BRANCH, snap.ts));
+        assert!(!vm.pin_snapshot(ROOT_BRANCH, snap.ts + 7));
+        // First release (the original ref) keeps it pinned.
+        vm.release_snapshot(snap.ts);
+        let t2 = TxnId(2);
+        vm.begin_update(t2);
+        vm.resolve_write(page(1), t2.token()).unwrap();
+        vm.commit(t2);
+        assert_eq!(
+            vm.resolve_read(page(1), snapshot_view(snap.ts)).unwrap(),
+            p0
+        );
+        assert_eq!(vm.stats().snapshots_retained, 1);
+        vm.release_snapshot(snap.ts);
+        assert_eq!(vm.stats().snapshots_retained, 0);
+    }
+
+    #[test]
+    fn redo_reuse_respects_fork_pin() {
+        let (vm, _store) = setup();
+        // Recovery-style install: parent version at ts 5, fork at ts 6.
+        vm.install_committed_at(ROOT_BRANCH, page(1), PhysId(0), 5);
+        vm.create_branch(1, ROOT_BRANCH, 6);
+        // A later parent image at ts 9 must NOT overwrite the slot the
+        // fork still reads.
+        assert_eq!(vm.redo_reuse_slot(ROOT_BRANCH, page(1), 9), None);
+        vm.install_committed_at(ROOT_BRANCH, page(1), PhysId(1), 9);
+        assert_eq!(
+            vm.resolve_read(page(1), branch_latest_view(1)).unwrap(),
+            PhysId(0)
+        );
+        assert_eq!(vm.resolve_read(page(1), View::LATEST).unwrap(), PhysId(1));
+        // A still-later image may overwrite ts 9 in place (no fork pins it).
+        assert_eq!(
+            vm.redo_reuse_slot(ROOT_BRANCH, page(1), 12),
+            Some(PhysId(1))
+        );
     }
 }

@@ -34,6 +34,6 @@ pub mod record;
 pub mod recovery;
 pub mod writer;
 
-pub use record::{CheckpointData, WalError, WalRecord, WalResult};
-pub use recovery::{plan_recovery, PageOp, RecoveryPlan, RedoOp};
+pub use record::{BranchMeta, CheckpointData, WalError, WalRecord, WalResult};
+pub use recovery::{plan_recovery, BranchEvent, PageOp, RecoveryPlan, RedoOp};
 pub use writer::{WalMetrics, WalReader, WalWriter};

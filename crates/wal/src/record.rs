@@ -49,17 +49,40 @@ pub struct AllocSnapshot {
     pub free: Vec<XPtr>,
 }
 
+/// Per-fork metadata carried by checkpoints so forks survive restart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BranchMeta {
+    /// The fork's branch id.
+    pub branch: u32,
+    /// The branch it was forked from.
+    pub parent: u32,
+    /// Commit timestamp of the fork point.
+    pub fork_ts: u64,
+    /// The fork's database name.
+    pub name: String,
+    /// Opaque serialized catalog of the fork at checkpoint time.
+    pub catalog: Vec<u8>,
+}
+
 /// Payload of a checkpoint record: the persistent snapshot.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct CheckpointData {
     /// Commit timestamp the snapshot is consistent with.
     pub ts: u64,
-    /// Page table of the persistent snapshot: SAS page → physical slot.
-    pub page_table: Vec<(XPtr, PhysId)>,
+    /// Page table of the persistent snapshot: SAS page → physical slot,
+    /// tagged with the branch that owns the version and its commit
+    /// timestamp (so fork lineage resolution survives restart).
+    pub page_table: Vec<(XPtr, PhysId, u32, u64)>,
+    /// Pages dropped on a branch while still visible to an ancestor or
+    /// descendant: `(page, branch, drop_ts)`.
+    pub drops: Vec<(XPtr, u32, u64)>,
     /// SAS address-allocator state.
     pub alloc: AllocSnapshot,
-    /// Opaque serialized catalog (schemas, document anchors, indexes).
+    /// Opaque serialized catalog of the root branch (schemas, document
+    /// anchors, indexes).
     pub catalog: Vec<u8>,
+    /// Live forks at checkpoint time, parents before children.
+    pub branches: Vec<BranchMeta>,
 }
 
 /// One write-ahead-log record.
@@ -75,6 +98,8 @@ pub enum WalRecord {
     PageImage {
         /// Transaction id.
         txn: u64,
+        /// Branch the write happened on.
+        branch: u32,
         /// The SAS page.
         page: XPtr,
         /// The page bytes.
@@ -84,6 +109,8 @@ pub enum WalRecord {
     PageFree {
         /// Transaction id.
         txn: u64,
+        /// Branch the free happened on.
+        branch: u32,
         /// The freed SAS page.
         page: XPtr,
     },
@@ -94,6 +121,8 @@ pub enum WalRecord {
     CatalogPut {
         /// Transaction id.
         txn: u64,
+        /// Branch whose catalog the entry belongs to.
+        branch: u32,
         /// Namespaced key (`doc:<name>` / `index:<name>`).
         key: String,
         /// Opaque payload owned by the database core.
@@ -103,6 +132,8 @@ pub enum WalRecord {
     CatalogDrop {
         /// Transaction id.
         txn: u64,
+        /// Branch whose catalog the entry belongs to.
+        branch: u32,
         /// Namespaced key.
         key: String,
     },
@@ -120,6 +151,23 @@ pub enum WalRecord {
     },
     /// A checkpoint: the persistent snapshot.
     Checkpoint(CheckpointData),
+    /// A database fork: `branch` splits off `parent` at commit
+    /// timestamp `ts`, sharing all pages copy-on-write.
+    Fork {
+        /// The new branch id.
+        branch: u32,
+        /// The branch being forked.
+        parent: u32,
+        /// Commit timestamp of the fork point.
+        ts: u64,
+        /// The fork's database name.
+        name: String,
+    },
+    /// A fork dropped: its branch-private versions are garbage.
+    DropFork {
+        /// The dropped branch id.
+        branch: u32,
+    },
 }
 
 const T_BEGIN: u8 = 1;
@@ -130,6 +178,8 @@ const T_ABORT: u8 = 5;
 const T_CHECKPOINT: u8 = 6;
 const T_CATALOG_PUT: u8 = 7;
 const T_CATALOG_DROP: u8 = 8;
+const T_FORK: u8 = 9;
+const T_DROP_FORK: u8 = 10;
 
 /// CRC-32 (IEEE 802.3 polynomial, bitwise implementation — log records
 /// are not hot enough to justify a table).
@@ -193,26 +243,40 @@ impl WalRecord {
                 out.push(T_BEGIN);
                 put_u64(&mut out, *txn);
             }
-            WalRecord::PageImage { txn, page, image } => {
+            WalRecord::PageImage {
+                txn,
+                branch,
+                page,
+                image,
+            } => {
                 out.push(T_PAGE_IMAGE);
                 put_u64(&mut out, *txn);
+                put_u32(&mut out, *branch);
                 put_u64(&mut out, page.raw());
                 put_bytes(&mut out, image);
             }
-            WalRecord::PageFree { txn, page } => {
+            WalRecord::PageFree { txn, branch, page } => {
                 out.push(T_PAGE_FREE);
                 put_u64(&mut out, *txn);
+                put_u32(&mut out, *branch);
                 put_u64(&mut out, page.raw());
             }
-            WalRecord::CatalogPut { txn, key, payload } => {
+            WalRecord::CatalogPut {
+                txn,
+                branch,
+                key,
+                payload,
+            } => {
                 out.push(T_CATALOG_PUT);
                 put_u64(&mut out, *txn);
+                put_u32(&mut out, *branch);
                 put_bytes(&mut out, key.as_bytes());
                 put_bytes(&mut out, payload);
             }
-            WalRecord::CatalogDrop { txn, key } => {
+            WalRecord::CatalogDrop { txn, branch, key } => {
                 out.push(T_CATALOG_DROP);
                 put_u64(&mut out, *txn);
+                put_u32(&mut out, *branch);
                 put_bytes(&mut out, key.as_bytes());
             }
             WalRecord::Commit { txn, ts } => {
@@ -228,9 +292,17 @@ impl WalRecord {
                 out.push(T_CHECKPOINT);
                 put_u64(&mut out, cp.ts);
                 put_u32(&mut out, cp.page_table.len() as u32);
-                for (page, phys) in &cp.page_table {
+                for (page, phys, branch, ts) in &cp.page_table {
                     put_u64(&mut out, page.raw());
                     put_u64(&mut out, phys.0);
+                    put_u32(&mut out, *branch);
+                    put_u64(&mut out, *ts);
+                }
+                put_u32(&mut out, cp.drops.len() as u32);
+                for (page, branch, ts) in &cp.drops {
+                    put_u64(&mut out, page.raw());
+                    put_u32(&mut out, *branch);
+                    put_u64(&mut out, *ts);
                 }
                 put_u32(&mut out, cp.alloc.next_layer);
                 put_u32(&mut out, cp.alloc.next_addr);
@@ -239,6 +311,30 @@ impl WalRecord {
                     put_u64(&mut out, p.raw());
                 }
                 put_bytes(&mut out, &cp.catalog);
+                put_u32(&mut out, cp.branches.len() as u32);
+                for b in &cp.branches {
+                    put_u32(&mut out, b.branch);
+                    put_u32(&mut out, b.parent);
+                    put_u64(&mut out, b.fork_ts);
+                    put_bytes(&mut out, b.name.as_bytes());
+                    put_bytes(&mut out, &b.catalog);
+                }
+            }
+            WalRecord::Fork {
+                branch,
+                parent,
+                ts,
+                name,
+            } => {
+                out.push(T_FORK);
+                put_u32(&mut out, *branch);
+                put_u32(&mut out, *parent);
+                put_u64(&mut out, *ts);
+                put_bytes(&mut out, name.as_bytes());
+            }
+            WalRecord::DropFork { branch } => {
+                out.push(T_DROP_FORK);
+                put_u32(&mut out, *branch);
             }
         }
         out
@@ -251,20 +347,24 @@ impl WalRecord {
             T_BEGIN => WalRecord::Begin { txn: c.u64()? },
             T_PAGE_IMAGE => WalRecord::PageImage {
                 txn: c.u64()?,
+                branch: c.u32()?,
                 page: XPtr::from_raw(c.u64()?),
                 image: c.bytes()?,
             },
             T_PAGE_FREE => WalRecord::PageFree {
                 txn: c.u64()?,
+                branch: c.u32()?,
                 page: XPtr::from_raw(c.u64()?),
             },
             T_CATALOG_PUT => WalRecord::CatalogPut {
                 txn: c.u64()?,
+                branch: c.u32()?,
                 key: String::from_utf8(c.bytes()?).ok()?,
                 payload: c.bytes()?,
             },
             T_CATALOG_DROP => WalRecord::CatalogDrop {
                 txn: c.u64()?,
+                branch: c.u32()?,
                 key: String::from_utf8(c.bytes()?).ok()?,
             },
             T_COMMIT => WalRecord::Commit {
@@ -279,7 +379,17 @@ impl WalRecord {
                 for _ in 0..n {
                     let page = XPtr::from_raw(c.u64()?);
                     let phys = PhysId(c.u64()?);
-                    page_table.push((page, phys));
+                    let branch = c.u32()?;
+                    let vts = c.u64()?;
+                    page_table.push((page, phys, branch, vts));
+                }
+                let nd = c.u32()? as usize;
+                let mut drops = Vec::with_capacity(nd);
+                for _ in 0..nd {
+                    let page = XPtr::from_raw(c.u64()?);
+                    let branch = c.u32()?;
+                    let dts = c.u64()?;
+                    drops.push((page, branch, dts));
                 }
                 let next_layer = c.u32()?;
                 let next_addr = c.u32()?;
@@ -289,17 +399,37 @@ impl WalRecord {
                     free.push(XPtr::from_raw(c.u64()?));
                 }
                 let catalog = c.bytes()?;
+                let nb = c.u32()? as usize;
+                let mut branches = Vec::with_capacity(nb);
+                for _ in 0..nb {
+                    branches.push(BranchMeta {
+                        branch: c.u32()?,
+                        parent: c.u32()?,
+                        fork_ts: c.u64()?,
+                        name: String::from_utf8(c.bytes()?).ok()?,
+                        catalog: c.bytes()?,
+                    });
+                }
                 WalRecord::Checkpoint(CheckpointData {
                     ts,
                     page_table,
+                    drops,
                     alloc: AllocSnapshot {
                         next_layer,
                         next_addr,
                         free,
                     },
                     catalog,
+                    branches,
                 })
             }
+            T_FORK => WalRecord::Fork {
+                branch: c.u32()?,
+                parent: c.u32()?,
+                ts: c.u64()?,
+                name: String::from_utf8(c.bytes()?).ok()?,
+            },
+            T_DROP_FORK => WalRecord::DropFork { branch: c.u32()? },
             _ => return None,
         };
         (c.pos == buf.len()).then_some(rec)
@@ -326,28 +456,56 @@ mod tests {
             WalRecord::Begin { txn: 7 },
             WalRecord::PageImage {
                 txn: 7,
+                branch: 0,
                 page: XPtr::new(2, 4096),
                 image: vec![1, 2, 3, 4, 5],
             },
             WalRecord::PageFree {
                 txn: 7,
+                branch: 3,
                 page: XPtr::new(2, 8192),
+            },
+            WalRecord::CatalogPut {
+                txn: 7,
+                branch: 1,
+                key: "doc:lib".into(),
+                payload: vec![9, 9],
+            },
+            WalRecord::CatalogDrop {
+                txn: 7,
+                branch: 1,
+                key: "index:by-author".into(),
             },
             WalRecord::Commit { txn: 7, ts: 99 },
             WalRecord::Abort { txn: 8 },
             WalRecord::Checkpoint(CheckpointData {
                 ts: 42,
                 page_table: vec![
-                    (XPtr::new(0, 4096), PhysId(0)),
-                    (XPtr::new(1, 0), PhysId(5)),
+                    (XPtr::new(0, 4096), PhysId(0), 0, 10),
+                    (XPtr::new(1, 0), PhysId(5), 2, 41),
                 ],
+                drops: vec![(XPtr::new(0, 8192), 2, 40)],
                 alloc: AllocSnapshot {
                     next_layer: 1,
                     next_addr: 8192,
                     free: vec![XPtr::new(0, 12288)],
                 },
                 catalog: b"catalog-bytes".to_vec(),
+                branches: vec![BranchMeta {
+                    branch: 2,
+                    parent: 0,
+                    fork_ts: 17,
+                    name: "staging".into(),
+                    catalog: b"fork-catalog".to_vec(),
+                }],
             }),
+            WalRecord::Fork {
+                branch: 2,
+                parent: 0,
+                ts: 17,
+                name: "staging".into(),
+            },
+            WalRecord::DropFork { branch: 2 },
         ];
         for rec in records {
             let enc = rec.encode();

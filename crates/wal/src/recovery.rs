@@ -30,15 +30,39 @@ pub enum PageOp {
     Free,
 }
 
-/// One redo operation of a committed transaction, in log order.
+/// One redo operation of a committed transaction, in log order. The
+/// `u32` is the branch (fork) the operation happened on.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RedoOp {
-    /// A page operation.
-    Page(XPtr, PageOp),
-    /// Install a catalog entry.
-    CatalogPut(String, Vec<u8>),
-    /// Remove a catalog entry.
-    CatalogDrop(String),
+    /// A page operation on a branch.
+    Page(XPtr, u32, PageOp),
+    /// Install a catalog entry in a branch's catalog.
+    CatalogPut(u32, String, Vec<u8>),
+    /// Remove a catalog entry from a branch's catalog.
+    CatalogDrop(u32, String),
+}
+
+/// A fork-lifecycle event found in the log tail. Events are anchored to
+/// a position in [`RecoveryPlan::redo`] so replay can interleave them
+/// with committed transactions in exact log order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BranchEvent {
+    /// `branch` forked off `parent` at commit timestamp `ts`.
+    Fork {
+        /// The new branch id.
+        branch: u32,
+        /// The branch forked from.
+        parent: u32,
+        /// Fork-point commit timestamp.
+        ts: u64,
+        /// The fork's database name.
+        name: String,
+    },
+    /// `branch` was dropped.
+    DropFork {
+        /// The dropped branch id.
+        branch: u32,
+    },
 }
 
 /// The outcome of scanning the log.
@@ -50,6 +74,10 @@ pub struct RecoveryPlan {
     /// Step 2: per committed transaction, in commit order:
     /// `(txn, commit_ts, operations in log order)`.
     pub redo: Vec<(u64, u64, Vec<RedoOp>)>,
+    /// Fork/drop-fork events after the checkpoint, in log order. Each is
+    /// `(idx, event)`: the event happened after the first `idx` entries
+    /// of [`RecoveryPlan::redo`].
+    pub branch_events: Vec<(usize, BranchEvent)>,
     /// Transactions that began but never committed (their records are
     /// ignored; versioning already isolated them).
     pub losers: Vec<u64>,
@@ -79,38 +107,54 @@ pub fn plan_recovery(log: &Path, upto_ts: Option<u64>) -> WalResult<RecoveryPlan
     // Group redo ops by transaction, keep log order within each.
     let mut pending: HashMap<u64, Vec<RedoOp>> = HashMap::new();
     let mut began: Vec<u64> = Vec::new();
+    // Commit timestamp most recently seen in the tail; used to place
+    // ts-less DropFork records for point-in-time limits.
+    let mut seen_ts = plan.max_ts;
     for (_, rec) in tail {
         match rec {
             WalRecord::Begin { txn } => {
                 began.push(*txn);
                 pending.entry(*txn).or_default();
             }
-            WalRecord::PageImage { txn, page, image } => {
-                pending
-                    .entry(*txn)
-                    .or_default()
-                    .push(RedoOp::Page(*page, PageOp::Image(image.clone())));
+            WalRecord::PageImage {
+                txn,
+                branch,
+                page,
+                image,
+            } => {
+                pending.entry(*txn).or_default().push(RedoOp::Page(
+                    *page,
+                    *branch,
+                    PageOp::Image(image.clone()),
+                ));
             }
-            WalRecord::PageFree { txn, page } => {
+            WalRecord::PageFree { txn, branch, page } => {
                 pending
                     .entry(*txn)
                     .or_default()
-                    .push(RedoOp::Page(*page, PageOp::Free));
+                    .push(RedoOp::Page(*page, *branch, PageOp::Free));
             }
-            WalRecord::CatalogPut { txn, key, payload } => {
-                pending
-                    .entry(*txn)
-                    .or_default()
-                    .push(RedoOp::CatalogPut(key.clone(), payload.clone()));
+            WalRecord::CatalogPut {
+                txn,
+                branch,
+                key,
+                payload,
+            } => {
+                pending.entry(*txn).or_default().push(RedoOp::CatalogPut(
+                    *branch,
+                    key.clone(),
+                    payload.clone(),
+                ));
             }
-            WalRecord::CatalogDrop { txn, key } => {
+            WalRecord::CatalogDrop { txn, branch, key } => {
                 pending
                     .entry(*txn)
                     .or_default()
-                    .push(RedoOp::CatalogDrop(key.clone()));
+                    .push(RedoOp::CatalogDrop(*branch, key.clone()));
             }
             WalRecord::Commit { txn, ts } => {
                 plan.max_ts = plan.max_ts.max(*ts);
+                seen_ts = seen_ts.max(*ts);
                 let ops = pending.remove(txn).unwrap_or_default();
                 if upto_ts.is_none_or(|limit| *ts <= limit) {
                     plan.redo.push((*txn, *ts, ops));
@@ -120,6 +164,30 @@ pub fn plan_recovery(log: &Path, upto_ts: Option<u64>) -> WalResult<RecoveryPlan
             WalRecord::Abort { txn } => {
                 pending.remove(txn);
                 began.retain(|t| t != txn);
+            }
+            WalRecord::Fork {
+                branch,
+                parent,
+                ts,
+                name,
+            } => {
+                if upto_ts.is_none_or(|limit| *ts <= limit) {
+                    plan.branch_events.push((
+                        plan.redo.len(),
+                        BranchEvent::Fork {
+                            branch: *branch,
+                            parent: *parent,
+                            ts: *ts,
+                            name: name.clone(),
+                        },
+                    ));
+                }
+            }
+            WalRecord::DropFork { branch } => {
+                if upto_ts.is_none_or(|limit| seen_ts <= limit) {
+                    plan.branch_events
+                        .push((plan.redo.len(), BranchEvent::DropFork { branch: *branch }));
+                }
             }
             WalRecord::Checkpoint(_) => unreachable!("tail starts after the last checkpoint"),
         }
@@ -155,12 +223,14 @@ mod tests {
             w.append(&WalRecord::Begin { txn: 2 }).unwrap();
             w.append(&WalRecord::PageImage {
                 txn: 1,
+                branch: 0,
                 page: page(1),
                 image: vec![1],
             })
             .unwrap();
             w.append(&WalRecord::PageImage {
                 txn: 2,
+                branch: 0,
                 page: page(2),
                 image: vec![2],
             })
@@ -175,7 +245,7 @@ mod tests {
         assert_eq!(plan.redo[0].0, 1);
         assert_eq!(
             plan.redo[0].2,
-            vec![RedoOp::Page(page(1), PageOp::Image(vec![1]))]
+            vec![RedoOp::Page(page(1), 0, PageOp::Image(vec![1]))]
         );
         assert_eq!(plan.losers, vec![2]);
         assert_eq!(plan.max_ts, 10);
@@ -190,6 +260,7 @@ mod tests {
             w.append(&WalRecord::Begin { txn: 1 }).unwrap();
             w.append(&WalRecord::PageImage {
                 txn: 1,
+                branch: 0,
                 page: page(1),
                 image: vec![1],
             })
@@ -197,14 +268,17 @@ mod tests {
             w.append(&WalRecord::Commit { txn: 1, ts: 1 }).unwrap();
             w.append(&WalRecord::Checkpoint(CheckpointData {
                 ts: 1,
-                page_table: vec![(page(1), PhysId(0))],
+                page_table: vec![(page(1), PhysId(0), 0, 1)],
+                drops: Vec::new(),
                 alloc: AllocSnapshot::default(),
                 catalog: vec![7, 7],
+                branches: Vec::new(),
             }))
             .unwrap();
             w.append(&WalRecord::Begin { txn: 2 }).unwrap();
             w.append(&WalRecord::PageImage {
                 txn: 2,
+                branch: 0,
                 page: page(2),
                 image: vec![2],
             })
@@ -214,7 +288,7 @@ mod tests {
         }
         let plan = plan_recovery(&path, None).unwrap();
         let cp = plan.checkpoint.unwrap();
-        assert_eq!(cp.page_table, vec![(page(1), PhysId(0))]);
+        assert_eq!(cp.page_table, vec![(page(1), PhysId(0), 0, 1)]);
         assert_eq!(cp.catalog, vec![7, 7]);
         // Txn 1 predates the checkpoint: not redone.
         assert_eq!(plan.redo.len(), 1);
@@ -230,6 +304,7 @@ mod tests {
             w.append(&WalRecord::Begin { txn: 1 }).unwrap();
             w.append(&WalRecord::PageImage {
                 txn: 1,
+                branch: 0,
                 page: page(1),
                 image: vec![1],
             })
@@ -252,6 +327,7 @@ mod tests {
                 w.append(&WalRecord::Begin { txn }).unwrap();
                 w.append(&WalRecord::PageImage {
                     txn,
+                    branch: 0,
                     page: page(txn as u32),
                     image: vec![txn as u8],
                 })
@@ -275,12 +351,14 @@ mod tests {
             w.append(&WalRecord::Begin { txn: 1 }).unwrap();
             w.append(&WalRecord::PageImage {
                 txn: 1,
+                branch: 0,
                 page: page(1),
                 image: vec![1],
             })
             .unwrap();
             w.append(&WalRecord::PageFree {
                 txn: 1,
+                branch: 0,
                 page: page(1),
             })
             .unwrap();
@@ -291,10 +369,71 @@ mod tests {
         assert_eq!(
             plan.redo[0].2,
             vec![
-                RedoOp::Page(page(1), PageOp::Image(vec![1])),
-                RedoOp::Page(page(1), PageOp::Free),
+                RedoOp::Page(page(1), 0, PageOp::Image(vec![1])),
+                RedoOp::Page(page(1), 0, PageOp::Free),
             ]
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fork_events_anchored_in_log_order() {
+        let path = tmpfile("plan6.log");
+        {
+            let mut w = WalWriter::create(&path).unwrap();
+            w.append(&WalRecord::Begin { txn: 1 }).unwrap();
+            w.append(&WalRecord::PageImage {
+                txn: 1,
+                branch: 0,
+                page: page(1),
+                image: vec![1],
+            })
+            .unwrap();
+            w.append(&WalRecord::Commit { txn: 1, ts: 10 }).unwrap();
+            w.append(&WalRecord::Fork {
+                branch: 2,
+                parent: 0,
+                ts: 10,
+                name: "dev".into(),
+            })
+            .unwrap();
+            w.append(&WalRecord::Begin { txn: 2 }).unwrap();
+            w.append(&WalRecord::PageImage {
+                txn: 2,
+                branch: 2,
+                page: page(1),
+                image: vec![2],
+            })
+            .unwrap();
+            w.append(&WalRecord::Commit { txn: 2, ts: 11 }).unwrap();
+            w.append(&WalRecord::DropFork { branch: 2 }).unwrap();
+            w.flush().unwrap();
+        }
+        let plan = plan_recovery(&path, None).unwrap();
+        assert_eq!(plan.redo.len(), 2);
+        assert_eq!(
+            plan.branch_events,
+            vec![
+                (
+                    1,
+                    BranchEvent::Fork {
+                        branch: 2,
+                        parent: 0,
+                        ts: 10,
+                        name: "dev".into(),
+                    }
+                ),
+                (2, BranchEvent::DropFork { branch: 2 }),
+            ]
+        );
+        // Point-in-time at ts 10: fork included, the later drop excluded.
+        let plan = plan_recovery(&path, Some(10)).unwrap();
+        assert_eq!(plan.redo.len(), 1);
+        assert_eq!(plan.branch_events.len(), 1);
+        assert!(matches!(
+            plan.branch_events[0].1,
+            BranchEvent::Fork { branch: 2, .. }
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 }

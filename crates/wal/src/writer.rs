@@ -254,6 +254,7 @@ mod tests {
             WalRecord::Begin { txn: 1 },
             WalRecord::PageImage {
                 txn: 1,
+                branch: 0,
                 page: XPtr::new(0, 4096),
                 image: vec![9u8; 128],
             },

@@ -241,6 +241,31 @@ pub fn author_insert_statements(n: usize, books: usize, seed: u64) -> Vec<String
         .collect()
 }
 
+/// A deterministic mixed update stream against the `'lib'` library
+/// document — the divergence workload shared by the fork benchmark and
+/// the fork tests. Statements only touch the first ten books, so any
+/// [`library`] document with `books >= 10` accepts the whole stream:
+/// even steps insert a `<note>` element into a random book, odd steps
+/// replace a random book's price.
+pub fn update_statements(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let book = rng.gen_range(1..=10);
+            if i % 2 == 0 {
+                format!(
+                    "UPDATE insert <note>rev {i} seed {seed}</note> into doc('lib')/library/book[{book}]"
+                )
+            } else {
+                format!(
+                    "UPDATE replace value of doc('lib')/library/book[{book}]/price with '{}'",
+                    rng.gen_range(10..120)
+                )
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +299,22 @@ mod tests {
         for s in stmts {
             assert!(s.starts_with("UPDATE insert <author>"));
             assert!(s.contains("doc('lib')/library/book["));
+        }
+    }
+
+    #[test]
+    fn divergence_stream_is_deterministic_and_bounded() {
+        let stmts = update_statements(20, 11);
+        assert_eq!(stmts, update_statements(20, 11));
+        assert_ne!(stmts, update_statements(20, 12));
+        assert_eq!(stmts.len(), 20);
+        for (i, s) in stmts.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(s.starts_with("UPDATE insert <note>"), "stmt {i}: {s}");
+            } else {
+                assert!(s.starts_with("UPDATE replace value of"), "stmt {i}: {s}");
+            }
+            assert!(s.contains("doc('lib')/library/book["), "stmt {i}: {s}");
         }
     }
 }

@@ -340,7 +340,11 @@ impl Planner<'_, '_> {
         // Stable: equal selectivities keep their written order.
         order.sort_by(|&a, &b| sel[a].total_cmp(&sel[b]));
         let mut drained: Vec<Option<Expr>> = preds.drain(..).map(Some).collect();
-        preds.extend(order.into_iter().map(|i| drained[i].take().expect("unique index")));
+        preds.extend(
+            order
+                .into_iter()
+                .map(|i| drained[i].take().expect("unique index")),
+        );
         self.decision.predicates_reordered += 1;
     }
 
@@ -366,7 +370,11 @@ impl Planner<'_, '_> {
             let mut order: Vec<usize> = (0..parts.len()).collect();
             order.sort_by(|&a, &b| sel[a].total_cmp(&sel[b]));
             let mut drained: Vec<Option<Expr>> = parts.drain(..).map(Some).collect();
-            parts.extend(order.into_iter().map(|i| drained[i].take().expect("unique index")));
+            parts.extend(
+                order
+                    .into_iter()
+                    .map(|i| drained[i].take().expect("unique index")),
+            );
             self.decision.predicates_reordered += 1;
         }
         let mut it = parts.into_iter();
@@ -427,8 +435,7 @@ impl Planner<'_, '_> {
         for k in 0..steps.len() {
             // The prefix must be bare except for exactly one predicate
             // on its last step — the one the index can answer.
-            if steps[k].predicates.len() != 1
-                || steps[..k].iter().any(|s| !s.predicates.is_empty())
+            if steps[k].predicates.len() != 1 || steps[..k].iter().any(|s| !s.predicates.is_empty())
             {
                 continue;
             }
@@ -628,7 +635,9 @@ mod tests {
                     start: PathStart::Expr(call),
                     steps,
                 } => {
-                    assert!(matches!(call.as_ref(), Expr::FnCall { name, .. } if name == "index-scan"));
+                    assert!(
+                        matches!(call.as_ref(), Expr::FnCall { name, .. } if name == "index-scan")
+                    );
                     assert_eq!(steps.len(), 1);
                 }
                 other => panic!("{other:?}"),
