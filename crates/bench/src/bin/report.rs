@@ -360,11 +360,14 @@ struct NetBenchRow {
 /// `clients` threads, each with its own [`sedna_net::SednaClient`],
 /// running the same one-item query (Execute + FetchNext + ResultEnd:
 /// three round-trips) for a fixed wall-clock window.
-fn run_net_client_sweep(addr: std::net::SocketAddr, clients: usize) -> NetBenchRow {
+fn run_net_client_sweep(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    window: Duration,
+) -> NetBenchRow {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Arc, Barrier, Mutex};
 
-    const WINDOW: Duration = Duration::from_millis(400);
     let gate = Arc::new(Barrier::new(clients + 1));
     let stop = Arc::new(AtomicBool::new(false));
     let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
@@ -392,7 +395,7 @@ fn run_net_client_sweep(addr: std::net::SocketAddr, clients: usize) -> NetBenchR
         .collect();
     gate.wait();
     let t = Instant::now();
-    std::thread::sleep(WINDOW);
+    std::thread::sleep(window);
     // relaxed: a plain stop flag; no data is published through it.
     stop.store(true, Ordering::Relaxed);
     for h in handles {
@@ -412,9 +415,23 @@ fn run_net_client_sweep(addr: std::net::SocketAddr, clients: usize) -> NetBenchR
     }
 }
 
+/// OS-level thread count of this process (`Threads:` in
+/// `/proc/self/status`); 0 where that file does not exist.
+fn os_thread_count() -> i64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
 fn bench_net() {
-    println!("## Net — wire-protocol client sweep (sednad in-process)");
-    println!("each query = Execute + FetchNext item stream over loopback TCP");
+    println!("## Net — wire-protocol sweep (readiness-loop server in-process)");
+    println!("each query = Execute + FetchBatch item stream over loopback TCP");
 
     let dir = std::env::temp_dir().join(format!("sedna-bench-net-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -431,8 +448,7 @@ fn bench_net() {
     let handle = sedna_net::Server::start(
         governor,
         sedna_net::NetConfig {
-            workers: 16,
-            queue_depth: 32,
+            workers: 8,
             ..sedna_net::NetConfig::default()
         },
     )
@@ -445,7 +461,7 @@ fn bench_net() {
         "clients", "queries/sec", "mean µs", "p95 µs"
     );
     for &clients in &[1usize, 2, 4, 8] {
-        let row = run_net_client_sweep(addr, clients);
+        let row = run_net_client_sweep(addr, clients, Duration::from_millis(400));
         println!(
             "{:<8} {:>14.0} {:>12.1} {:>12.1}",
             row.clients, row.queries_per_sec, row.mean_us, row.p95_us
@@ -453,18 +469,56 @@ fn bench_net() {
         rows.push(row);
     }
 
+    // Idle-heavy sweep: N open connections, ~1% of them active, the
+    // rest silent. The point of the readiness loop: idle connections
+    // cost a kernel registration, not a thread or a poll tick, so the
+    // server's thread count must not move and the active clients' tail
+    // latency must stay flat as N grows. The single-active rows at each
+    // N are the controls: they isolate the cost of the idle herd from
+    // the cost of concurrent active load (compare them to the 1-client
+    // row of the sweep above).
+    println!();
+    println!("idle-heavy sweep: N connections, 1% active, --workers 8");
+    println!(
+        "{:<8} {:>8} {:>14} {:>12} {:>12} {:>10}",
+        "conns", "active", "queries/sec", "mean µs", "p95 µs", "+threads"
+    );
+    let mut idle_rows = Vec::new();
+    for &(total, active) in &[(64usize, 1usize), (256, 1), (256, 2), (1024, 1), (1024, 10)] {
+        let threads_before = os_thread_count();
+        let mut idle = Vec::with_capacity(total - active);
+        for _ in 0..(total - active) {
+            idle.push(sedna_net::SednaClient::connect_admin(addr).unwrap());
+        }
+        // Let the event thread register the whole herd.
+        std::thread::sleep(Duration::from_millis(100));
+        let threads_added = os_thread_count() - threads_before;
+        let row = run_net_client_sweep(addr, active, Duration::from_millis(1500));
+        println!(
+            "{:<8} {:>8} {:>14.0} {:>12.1} {:>12.1} {:>10}",
+            total, active, row.queries_per_sec, row.mean_us, row.p95_us, threads_added
+        );
+        idle_rows.push((total, active, row, threads_added));
+        drop(idle);
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
     let m = handle.metrics();
     println!(
-        "server counters: {} connections opened, {} sessions opened/{} closed, {} items streamed",
+        "server counters: {} connections opened, {} sessions opened/{} closed, \
+         {} items streamed, {} event wakeups, {} dispatches",
         m.connections_opened.get(),
         m.sessions_opened.get(),
         m.sessions_closed.get(),
-        m.items_streamed.get()
+        m.items_streamed.get(),
+        m.event_wakeups.get(),
+        m.dispatches.get()
     );
 
     // Machine-readable trajectory record (hand-rolled JSON, no deps).
     let mut json = String::from("{\n  \"experiment\": \"net_client_sweep\",\n");
     json.push_str("  \"query\": \"count(doc('lib')//book)\",\n  \"window_ms\": 400,\n");
+    json.push_str("  \"idle_sweep_window_ms\": 1500,\n  \"workers\": 8,\n");
     json.push_str("  \"sweep\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -476,11 +530,26 @@ fn bench_net() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n  \"idle_sweep\": [\n");
+    for (i, (total, active, r, threads_added)) in idle_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"connections\": {total}, \"active_clients\": {active}, \
+             \"queries_per_sec\": {:.0}, \"mean_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"server_threads_added_by_idle_conns\": {threads_added}}}{}\n",
+            r.queries_per_sec,
+            r.mean_us,
+            r.p95_us,
+            if i + 1 < idle_rows.len() { "," } else { "" }
+        ));
+    }
     json.push_str(&format!(
-        "  ],\n  \"items_streamed\": {},\n  \"bytes_in\": {},\n  \"bytes_out\": {}\n}}\n",
+        "  ],\n  \"items_streamed\": {},\n  \"bytes_in\": {},\n  \"bytes_out\": {},\n  \
+         \"event_wakeups\": {},\n  \"dispatches\": {}\n}}\n",
         m.items_streamed.get(),
         m.bytes_in.get(),
-        m.bytes_out.get()
+        m.bytes_out.get(),
+        m.event_wakeups.get(),
+        m.dispatches.get()
     ));
     std::fs::write("BENCH_net.json", &json).unwrap();
     println!("wrote BENCH_net.json");

@@ -1,0 +1,63 @@
+//! Statement cancellation: a shared flag a session checks at statement
+//! boundaries and a streaming cursor checks on every pull.
+//!
+//! The wire layer (protocol v2 `Cancel`) sets the flag out-of-band —
+//! from the event thread, while a worker is executing — and the running
+//! statement aborts at its next check point with [`DbError::Cancelled`].
+//! Aborting through the ordinary error path means the cursor's
+//! `finish()` runs: the read-only transaction commits and every page pin
+//! is released, exactly as on a failed pull. Clearing the flag re-arms
+//! the session for subsequent statements.
+//!
+//! [`DbError::Cancelled`]: crate::DbError::Cancelled
+
+use sedna_sync::atomic::{AtomicBool, Ordering};
+use sedna_sync::Arc;
+
+/// A cloneable cancellation flag. Clones share the flag, so the network
+/// layer can hold one end per connection while the session and its live
+/// cursors observe the other.
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelFlag {
+    /// Creates a fresh, un-cancelled flag.
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation: the owning session fails its next
+    /// statement start, and any live cursor fails its next pull, with
+    /// [`DbError::Cancelled`](crate::DbError::Cancelled).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested and not yet cleared.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Re-arms the flag so later statements run normally.
+    pub fn clear(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelFlag::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        a.clear();
+        assert!(!b.is_cancelled());
+    }
+}

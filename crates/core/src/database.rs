@@ -24,7 +24,7 @@ use crate::config::DbConfig;
 use crate::error::{DbError, DbResult};
 use crate::introspect::{ActivityReport, ActivityTracker, SlowLog, SlowQueryEntry};
 use crate::metrics::{DbObs, ForkMetrics};
-use crate::plan_cache::PlanCache;
+use crate::plan_cache::SharedPlanCache;
 use crate::session::Session;
 
 /// Traces the ring keeps before overwriting the oldest.
@@ -220,10 +220,12 @@ pub(crate) struct DbInner {
     /// Database-wide shared plan cache (L2). Sessions consult their own
     /// cache first (L1) and fall back here, so a statement compiled by
     /// one connection is reused by every other until the catalog
-    /// generation moves. Held briefly around get/insert only — never
-    /// across parse or execution. Per family member: a fork never shares
+    /// generation moves. Sharded by statement-text hash so pipelined
+    /// statements compiling on different workers don't serialize; each
+    /// shard lock is held briefly around get/insert only — never across
+    /// parse or execution. Per family member: a fork never shares
     /// compiled plans (or their generation/stats epochs) with its parent.
-    pub(crate) shared_plans: Mutex<PlanCache>,
+    pub(crate) shared_plans: SharedPlanCache,
     /// Ring of recently kept query traces (see [`DbConfig::trace_sample`]).
     pub(crate) traces: TraceBuffer,
     /// Ring of recent slow queries (see [`DbConfig::slow_query_ms`]).
@@ -347,7 +349,10 @@ impl Database {
         let fork_metrics = ForkMetrics::default();
         fork_metrics.register_into(&obs.registry);
         fork_metrics.branches.set(1);
-        let shared_plans = Mutex::new(PlanCache::new(cfg.plan_cache_capacity));
+        let shared_plans = SharedPlanCache::new(
+            cfg.plan_cache_capacity,
+            obs.query.plan_cache_shared_lock_waits.clone(),
+        );
         let db = Database {
             inner: Arc::new(DbInner {
                 cfg,
@@ -399,6 +404,10 @@ impl Database {
             Some(r) => Arc::clone(r),
             None => Arc::clone(shared),
         });
+        let shared_plans = SharedPlanCache::new(
+            shared.cfg.plan_cache_capacity,
+            obs.query.plan_cache_shared_lock_waits.clone(),
+        );
         Arc::new(DbInner {
             cfg: shared.cfg.clone(),
             dir: shared.dir.clone(),
@@ -418,7 +427,7 @@ impl Database {
             sessions: SessionGate::new(),
             catalog_generation: CatalogGeneration::new(),
             stats_epoch: StatsEpoch::new(),
-            shared_plans: Mutex::new(PlanCache::new(shared.cfg.plan_cache_capacity)),
+            shared_plans,
             traces: TraceBuffer::new(TRACE_RING_CAPACITY),
             slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
             activity: ActivityTracker::default(),
@@ -736,7 +745,10 @@ impl Database {
         for idx in catalog.indexes.values_mut() {
             idx.tree.set_metrics(obs.index.clone());
         }
-        let shared_plans = Mutex::new(PlanCache::new(cfg.plan_cache_capacity));
+        let shared_plans = SharedPlanCache::new(
+            cfg.plan_cache_capacity,
+            obs.query.plan_cache_shared_lock_waits.clone(),
+        );
         let db = Database {
             inner: Arc::new(DbInner {
                 cfg,
@@ -859,7 +871,7 @@ impl Database {
 
     /// Entries currently in the database-wide shared plan cache.
     pub fn shared_plan_count(&self) -> usize {
-        self.inner.shared_plans.lock().len()
+        self.inner.shared_plans.len()
     }
 
     /// A pg_stat_activity-style view of this database: one row per live

@@ -22,6 +22,9 @@ pub enum DbError {
     /// Named object already exists, or the operation conflicts with the
     /// session state (e.g. update inside a read-only transaction).
     Conflict(String),
+    /// The statement was aborted by a cancellation request (protocol v2
+    /// `Cancel`, or [`CancelFlag::cancel`](crate::CancelFlag::cancel)).
+    Cancelled,
 }
 
 /// Result alias for database operations.
@@ -39,6 +42,7 @@ impl std::fmt::Display for DbError {
             DbError::Io(e) => write!(f, "I/O error: {e}"),
             DbError::NotFound(what) => write!(f, "not found: {what}"),
             DbError::Conflict(what) => write!(f, "conflict: {what}"),
+            DbError::Cancelled => write!(f, "statement cancelled"),
         }
     }
 }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod cancel;
 pub mod catalog;
 mod config;
 mod database;
@@ -43,6 +44,7 @@ mod stream;
 #[cfg(all(test, loom))]
 mod loom_models;
 
+pub use cancel::CancelFlag;
 pub use catalog::{Catalog, DocData, IndexData, IndexMeta};
 pub use config::DbConfig;
 pub use database::Database;

@@ -29,6 +29,7 @@ pub(crate) struct QueryMetrics {
     pub(crate) plan_cache_misses: Counter,
     pub(crate) plan_cache_shared_hits: Counter,
     pub(crate) plan_cache_shared_misses: Counter,
+    pub(crate) plan_cache_shared_lock_waits: Counter,
     pub(crate) plan_chosen_scan: Counter,
     pub(crate) plan_chosen_index: Counter,
     pub(crate) plan_chosen_descendant: Counter,
@@ -110,6 +111,11 @@ impl QueryMetrics {
             "sedna_plan_cache_shared_misses_total",
             "Statements that missed both the session and the shared plan cache",
             &self.plan_cache_shared_misses,
+        );
+        reg.register_counter(
+            "sedna_plan_cache_shared_lock_waits_total",
+            "Shared plan-cache lookups that had to block on a contended shard lock",
+            &self.plan_cache_shared_lock_waits,
         );
         reg.register_counter(
             "sedna_plan_chosen_scan_total",

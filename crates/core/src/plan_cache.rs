@@ -20,7 +20,10 @@
 //! than per-session flags.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
 
+use parking_lot::Mutex;
+use sedna_obs::Counter;
 use sedna_xquery::ast::Statement;
 
 /// Validity stamp of a cached plan: the catalog/statistics state it was
@@ -119,6 +122,77 @@ impl PlanCache {
     /// Number of cached plans, stale entries included (tests/diagnostics).
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
+    }
+}
+
+/// Number of independently locked shards of a [`SharedPlanCache`].
+/// Fixed: contention scales with concurrently *compiling* sessions, not
+/// data volume, and 8 shards already pushes the collision probability
+/// for a worker-pool's worth of concurrent lookups below 1-in-2.
+const SHARD_COUNT: usize = 8;
+
+/// The database-wide (L2) plan cache: [`PlanCache`] sharded by a hash
+/// of the statement text so pipelined statements arriving on different
+/// worker threads don't serialize on one mutex. Each shard is an
+/// independent LRU over its slice of the key space; the per-shard
+/// capacity divides the configured total.
+///
+/// Contention is observable: a lookup that cannot take its shard lock
+/// immediately counts one `sedna_plan_cache_shared_lock_waits_total`
+/// before blocking.
+#[derive(Debug)]
+pub(crate) struct SharedPlanCache {
+    shards: Box<[Mutex<PlanCache>]>,
+    lock_waits: Counter,
+}
+
+impl SharedPlanCache {
+    /// Creates a cache holding at most ~`capacity` plans across
+    /// [`SHARD_COUNT`] shards (0 disables it).
+    pub(crate) fn new(capacity: usize, lock_waits: Counter) -> SharedPlanCache {
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(SHARD_COUNT).max(1)
+        };
+        let shards = (0..SHARD_COUNT)
+            .map(|_| Mutex::new(PlanCache::new(per_shard)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SharedPlanCache { shards, lock_waits }
+    }
+
+    fn shard(&self, text: &str) -> &Mutex<PlanCache> {
+        let h = BuildHasherDefault::<DefaultHasher>::default().hash_one(text);
+        &self.shards[(h as usize) % SHARD_COUNT]
+    }
+
+    /// Locks the statement's shard, counting the acquisition as a wait
+    /// when it cannot be taken immediately.
+    fn lock_shard(&self, text: &str) -> parking_lot::MutexGuard<'_, PlanCache> {
+        let shard = self.shard(text);
+        match shard.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.lock_waits.inc();
+                shard.lock()
+            }
+        }
+    }
+
+    /// Sharded [`PlanCache::get`].
+    pub(crate) fn get(&self, text: &str, key: PlanKey) -> Option<Statement> {
+        self.lock_shard(text).get(text, key)
+    }
+
+    /// Sharded [`PlanCache::insert`].
+    pub(crate) fn insert(&self, text: &str, key: PlanKey, stmt: Statement) {
+        self.lock_shard(text).insert(text, key, stmt);
+    }
+
+    /// Total cached plans across all shards (tests/diagnostics).
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -227,5 +301,62 @@ mod tests {
         c.insert("a", key(0), stmt("1"));
         assert_eq!(c.len(), 0);
         assert!(c.get("a", key(0)).is_none());
+    }
+
+    #[test]
+    fn sharded_cache_roundtrips_across_shards() {
+        let c = SharedPlanCache::new(64, Counter::new());
+        // Enough distinct texts to land in several shards.
+        let texts: Vec<String> = (0..32).map(|i| format!("{i} + {i}")).collect();
+        for t in &texts {
+            c.insert(t, key(0), stmt(t));
+        }
+        assert_eq!(c.len(), 32);
+        for t in &texts {
+            assert_eq!(c.get(t, key(0)), Some(stmt(t)));
+        }
+        // Stale-key eviction still works through the sharding.
+        assert_eq!(c.get(&texts[0], key(1)), None);
+        assert_eq!(c.len(), 31);
+    }
+
+    #[test]
+    fn sharded_cache_zero_capacity_disables() {
+        let c = SharedPlanCache::new(0, Counter::new());
+        c.insert("a", key(0), stmt("1"));
+        assert_eq!(c.len(), 0);
+        assert!(c.get("a", key(0)).is_none());
+    }
+
+    #[test]
+    fn sharded_cache_counts_contended_lookups() {
+        use sedna_sync::atomic::{AtomicBool, Ordering};
+
+        let waits = Counter::new();
+        let c = SharedPlanCache::new(64, waits.clone());
+        c.insert("a", key(0), stmt("1"));
+        // Uncontended traffic never touches the wait counter.
+        assert!(c.get("a", key(0)).is_some());
+        assert_eq!(waits.get(), 0);
+        // Hold one shard's lock from another thread: a lookup hashing to
+        // that shard must count a wait (and still complete). The holder
+        // releases only after it has seen the wait recorded, so the
+        // assertion is race-free.
+        let locked = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let guard = c.lock_shard("a");
+                locked.store(true, Ordering::Release);
+                while waits.get() == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                drop(guard);
+            });
+            while !locked.load(Ordering::Acquire) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert!(c.get("a", key(0)).is_some());
+        });
+        assert_eq!(waits.get(), 1);
     }
 }

@@ -39,6 +39,7 @@ use sedna_xquery::update;
 use sedna_xquery::value::Item as QueryItem;
 use sedna_xquery::{cost, OpProfile};
 
+use crate::cancel::CancelFlag;
 use crate::catalog::{self, Catalog, DocData, IndexData, IndexMeta};
 use crate::database::DbInner;
 use crate::error::{DbError, DbResult};
@@ -217,6 +218,10 @@ pub struct Session {
     /// snapshot. The read-only transaction it was created with lives for
     /// the whole session; explicit transaction control is rejected.
     pinned: bool,
+    /// Cancellation flag shared with whoever drives this session (the
+    /// wire layer's per-connection flag). Checked at statement start and,
+    /// via [`CursorObs`], on every streaming-cursor pull.
+    cancel: CancelFlag,
 }
 
 impl Session {
@@ -241,7 +246,23 @@ impl Session {
             last_plan: None,
             last_decision: None,
             pinned: false,
+            cancel: CancelFlag::new(),
         }
+    }
+
+    /// The session's cancellation flag. [`CancelFlag::cancel`] on any
+    /// clone makes the next statement start — and any live streaming
+    /// cursor's next pull — fail with [`DbError::Cancelled`];
+    /// [`CancelFlag::clear`] re-arms the session.
+    pub fn cancel_flag(&self) -> CancelFlag {
+        self.cancel.clone()
+    }
+
+    /// Replaces the session's cancellation flag with `flag`, so a driver
+    /// holding the flag before the session exists (the wire layer's
+    /// per-connection flag) can wire it in at `StartSession` time.
+    pub fn set_cancel_flag(&mut self, flag: CancelFlag) {
+        self.cancel = flag;
     }
 
     /// Builds an `AS OF` session: read-only, pinned for its whole
@@ -621,6 +642,9 @@ impl Session {
     }
 
     fn execute_stream_observed(&mut self, text: &str) -> DbResult<StreamOutcome> {
+        if self.cancel.is_cancelled() {
+            return Err(DbError::Cancelled);
+        }
         let started = Instant::now();
         let mut tc = self.start_trace(text);
         // Outside an explicit transaction a query executes through a
@@ -641,6 +665,7 @@ impl Session {
                     forced: self.trace_forced,
                     track: Arc::clone(&self.track),
                     profile_slot: Arc::clone(&self.last_profile),
+                    cancel: self.cancel.clone(),
                 },
             )?;
             q.statements.inc();
@@ -685,7 +710,7 @@ impl Session {
             q.plan_cache_hits.inc();
             return Ok((stmt, 0, 0));
         }
-        let shared = self.db.shared_plans.lock().get(text, key);
+        let shared = self.db.shared_plans.get(text, key);
         if let Some(stmt) = shared {
             q.plan_cache_shared_hits.inc();
             self.plan_cache.insert(text, key, stmt.clone());
@@ -707,7 +732,7 @@ impl Session {
         }
         let rewrite_ns = rewrite_span.finish();
         self.plan_cache.insert(text, key, stmt.clone());
-        self.db.shared_plans.lock().insert(text, key, stmt.clone());
+        self.db.shared_plans.insert(text, key, stmt.clone());
         Ok((stmt, parse_ns, rewrite_ns))
     }
 

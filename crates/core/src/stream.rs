@@ -62,6 +62,10 @@ pub(crate) struct CursorObs {
     pub(crate) track: Arc<SessionTrack>,
     /// The owning session's `last_profile` slot.
     pub(crate) profile_slot: Arc<Mutex<Option<QueryProfile>>>,
+    /// The owning session's cancellation flag: a pull that observes it
+    /// set finishes the cursor (committing the transaction, releasing
+    /// every pin) and fails with [`DbError::Cancelled`].
+    pub(crate) cancel: crate::cancel::CancelFlag,
 }
 
 /// A live streaming cursor over one auto-commit query.
@@ -187,6 +191,14 @@ impl QueryCursor {
     pub fn next_item(&mut self) -> DbResult<Option<String>> {
         if self.done {
             return Ok(None);
+        }
+        if self.obs.cancel.is_cancelled() {
+            // Abort through the ordinary completion path: the read-only
+            // transaction commits and every pin is already released
+            // (pins live only inside a pull), so a cancelled cursor
+            // leaks nothing.
+            self.finish();
+            return Err(DbError::Cancelled);
         }
         let state = self.state.take().unwrap_or_default();
         // Rebuild the executor's borrowed view over the owned catalog

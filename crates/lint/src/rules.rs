@@ -8,9 +8,13 @@
 //!   `sas`, `core`) must not import `std::sync` directly: a `std`
 //!   `Mutex` or atomic would silently bypass the loom scheduler and the
 //!   model checks would no longer cover the code that actually runs.
-//! * **R2** — no `unwrap()`/`expect()` in the `sedna-net` request path:
-//!   a panic in a worker kills the connection *and* poisons shared
-//!   state; request handling must return protocol errors instead.
+//! * **R2** — no `unwrap()`/`expect()` and no explicit panic macros
+//!   (`panic!`, `unreachable!`, `todo!`, `unimplemented!`) in the
+//!   `sedna-net` request path: a panic in a worker kills the connection
+//!   *and* poisons shared state, and a panic on the event thread takes
+//!   every connection with it; request handling must keep its matches
+//!   total and return protocol errors instead. Covers all of
+//!   `crates/net/src` — server, event loop, connection state, poller.
 //!   Test code (`#[cfg(test)]` blocks) is exempt.
 //! * **R3** — every `Ordering::Relaxed` carries a `// relaxed:`
 //!   justification within the preceding four lines: relaxed atomics are
@@ -123,6 +127,10 @@ fn cfg_test_mask(lines: &[Line]) -> Vec<bool> {
     mask
 }
 
+/// Explicit-panic macros R2 also bans on the request path: the event
+/// thread owns every connection, so one panic takes the server down.
+const R2_PANIC_MACROS: [&str; 4] = ["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
 pub fn r2_no_unwrap_in_net(path: &str, lines: &[Line]) -> Vec<Finding> {
     if !path.starts_with("crates/net/src") {
         return Vec::new();
@@ -141,6 +149,16 @@ pub fn r2_no_unwrap_in_net(path: &str, lines: &[Line]) -> Vec<Finding> {
                 msg: "unwrap()/expect() on the request path; a worker panic \
                       drops the connection and poisons shared state — return \
                       a protocol error instead"
+                    .into(),
+            });
+        } else if R2_PANIC_MACROS.iter().any(|m| l.code.contains(m)) {
+            out.push(Finding {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "R2",
+                msg: "panic!/unreachable!/todo!/unimplemented! on the request \
+                      path; keep matches total and return a protocol error \
+                      instead of aborting the serving thread"
                     .into(),
             });
         }
@@ -407,6 +425,26 @@ mod tests {
         assert!(r2_no_unwrap_in_net("crates/net/src/server.rs", &test).is_empty());
         // Other crates are out of scope.
         assert!(r2_no_unwrap_in_net("crates/wal/src/lib.rs", &bad).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_explicit_panic_macros() {
+        for snippet in [
+            "fn f() { panic!(\"boom\"); }\n",
+            "fn f() { unreachable!() }\n",
+            "fn f() { todo!(\"later\") }\n",
+            "fn f() { unimplemented!() }\n",
+        ] {
+            let lines = scan(snippet);
+            let f = r2_no_unwrap_in_net("crates/net/src/poller.rs", &lines);
+            assert_eq!(f.len(), 1, "expected one finding for {snippet:?}");
+            assert_eq!(f[0].line, 1);
+        }
+        // #[cfg(test)] blocks and other crates stay exempt.
+        let test = scan("#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"x\"); }\n}\n");
+        assert!(r2_no_unwrap_in_net("crates/net/src/conn.rs", &test).is_empty());
+        let bad = scan("fn f() { unreachable!() }\n");
+        assert!(r2_no_unwrap_in_net("crates/core/src/lib.rs", &bad).is_empty());
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! `sednad` — the standalone Sedna server process.
 //!
-//! Opens (or creates) one database under the governor, starts the
-//! network listener, and serves until SIGTERM/SIGINT or a client's
+//! Opens (or creates) one or more databases under the governor, starts
+//! the network listener, and serves until SIGTERM/SIGINT or a client's
 //! `Shutdown` request, then drains: the listener stops accepting,
 //! in-flight requests finish, and every database is closed with a WAL
 //! flush and a final checkpoint.
 //!
 //! ```text
 //! sednad --dir ./data --db mydb --create --addr 127.0.0.1:5050
+//! sednad --dir ./data --db a,b,c --create --auth admin:s3cret
 //! ```
+//!
+//! With a single `--db name` the database lives directly in `--dir`;
+//! with a comma-separated list each database gets its own subdirectory
+//! `<dir>/<name>`, and clients pick one at `StartSession`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use sedna::{DbConfig, Governor, SamplingPolicy};
-use sedna_net::{NetConfig, Server};
+use sedna_net::{Credentials, NetConfig, Server};
 
 /// Flipped by the signal handler; the main loop polls it.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -27,11 +32,13 @@ extern "C" fn on_signal(_sig: libc::c_int) {
 
 struct Args {
     dir: PathBuf,
-    db: String,
+    dbs: Vec<String>,
     addr: String,
     create: bool,
     workers: usize,
-    queue_depth: usize,
+    pipeline_depth: usize,
+    max_conns: usize,
+    auth: Option<Credentials>,
     max_sessions: usize,
     slow_query_ms: u64,
     trace_sample: SamplingPolicy,
@@ -47,13 +54,25 @@ USAGE:
 
 OPTIONS:
     --dir <PATH>          Data directory (default: ./sedna-data)
-    --db <NAME>           Database name (default: db)
+    --db <NAMES>          Database name, or a comma-separated list to
+                          serve several databases from one process; each
+                          of a list gets its own <dir>/<name>
+                          subdirectory (default: db)
     --addr <HOST:PORT>    Listen address (default: 127.0.0.1:5050)
-    --create              Create the database instead of opening it
-                          (implied when the data directory is missing)
-    --workers <N>         Worker threads / concurrent connections (default: 8)
-    --queue-depth <N>     Accepted connections that may wait for a worker (default: 16)
-    --max-sessions <N>    Database session limit, 0 = unlimited (default: 0)
+    --create              Create the database(s) instead of opening
+                          (implied when a database's directory is missing)
+    --workers <N>         Worker threads, i.e. concurrently executing
+                          requests; idle connections cost no thread
+                          (default: 8)
+    --pipeline-depth <N>  Requests a client may pipeline on one
+                          connection before the server stops reading
+                          from it (default: 16)
+    --max-conns <N>       Connections the server will carry; beyond this
+                          new connections are rejected with `overloaded`
+                          (default: 4096)
+    --auth <USER:PASS>    Require these credentials at StartSession
+                          (protocol v2; v1 clients are turned away)
+    --max-sessions <N>    Per-database session limit, 0 = unlimited (default: 0)
     --slow-query-ms <N>   Slow-query threshold in ms; offenders land in the
                           slow-query log with their trace. 0 = off (default: 0)
     --trace-sample <P>    Query-trace sampling policy: off, slow, always,
@@ -68,11 +87,13 @@ OPTIONS:
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         dir: PathBuf::from("./sedna-data"),
-        db: "db".to_string(),
+        dbs: vec!["db".to_string()],
         addr: "127.0.0.1:5050".to_string(),
         create: false,
         workers: 8,
-        queue_depth: 16,
+        pipeline_depth: 16,
+        max_conns: 4096,
+        auth: None,
         max_sessions: 0,
         slow_query_ms: 0,
         trace_sample: SamplingPolicy::Off,
@@ -84,7 +105,16 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--dir" => args.dir = PathBuf::from(value("--dir")?),
-            "--db" => args.db = value("--db")?,
+            "--db" => {
+                args.dbs = value("--db")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if args.dbs.is_empty() {
+                    return Err("--db: expected at least one database name".into());
+                }
+            }
             "--addr" => args.addr = value("--addr")?,
             "--create" => args.create = true,
             "--workers" => {
@@ -92,10 +122,25 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
             }
-            "--queue-depth" => {
-                args.queue_depth = value("--queue-depth")?
+            "--pipeline-depth" => {
+                args.pipeline_depth = value("--pipeline-depth")?
                     .parse()
-                    .map_err(|e| format!("--queue-depth: {e}"))?;
+                    .map_err(|e| format!("--pipeline-depth: {e}"))?;
+            }
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--auth" => {
+                let v = value("--auth")?;
+                let (user, password) = v
+                    .split_once(':')
+                    .ok_or_else(|| "--auth: expected USER:PASS".to_string())?;
+                args.auth = Some(Credentials {
+                    user: user.to_string(),
+                    password: password.to_string(),
+                });
             }
             "--max-sessions" => {
                 args.max_sessions = value("--max-sessions")?
@@ -142,31 +187,34 @@ fn run(args: Args) -> Result<(), String> {
         retain_ms: args.retain_ms,
         ..DbConfig::default()
     };
-    let create = args.create || !args.dir.exists();
-    if create {
-        governor
-            .create_database(&args.db, &args.dir, cfg)
-            .map_err(|e| format!("creating database '{}': {e}", args.db))?;
-        eprintln!(
-            "sednad: created database '{}' in {}",
-            args.db,
-            args.dir.display()
-        );
-    } else {
-        governor
-            .open_database(&args.db, &args.dir, cfg)
-            .map_err(|e| format!("opening database '{}': {e}", args.db))?;
-        eprintln!(
-            "sednad: opened database '{}' from {}",
-            args.db,
-            args.dir.display()
-        );
+    for db in &args.dbs {
+        // One database lives directly in --dir (the historical layout);
+        // several share it through per-database subdirectories.
+        let dir = if args.dbs.len() == 1 {
+            args.dir.clone()
+        } else {
+            args.dir.join(db)
+        };
+        let create = args.create || !dir.exists();
+        if create {
+            governor
+                .create_database(db, &dir, cfg.clone())
+                .map_err(|e| format!("creating database '{db}': {e}"))?;
+            eprintln!("sednad: created database '{db}' in {}", dir.display());
+        } else {
+            governor
+                .open_database(db, &dir, cfg.clone())
+                .map_err(|e| format!("opening database '{db}': {e}"))?;
+            eprintln!("sednad: opened database '{db}' from {}", dir.display());
+        }
     }
 
     let net = NetConfig {
         addr: args.addr,
         workers: args.workers,
-        queue_depth: args.queue_depth,
+        pipeline_depth: args.pipeline_depth,
+        max_conns: args.max_conns,
+        auth: args.auth,
         ..NetConfig::default()
     };
     let handle = Server::start(governor, net).map_err(|e| format!("starting listener: {e}"))?;

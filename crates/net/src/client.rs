@@ -84,8 +84,22 @@ pub struct SednaClient {
 }
 
 impl SednaClient {
-    /// Connects to `addr` and starts a session on `database`.
+    /// Connects to `addr` and starts a session on `database` with empty
+    /// credentials (sufficient unless the server was started with
+    /// authentication; then use [`SednaClient::connect_with_auth`]).
     pub fn connect(addr: impl ToSocketAddrs, database: &str) -> Result<SednaClient, ClientError> {
+        SednaClient::connect_with_auth(addr, database, "", "")
+    }
+
+    /// Connects to `addr` and starts a session on `database`,
+    /// authenticating with `user`/`password` (protocol v2 carries the
+    /// credentials in `StartSession`).
+    pub fn connect_with_auth(
+        addr: impl ToSocketAddrs,
+        database: &str,
+        user: &str,
+        password: &str,
+    ) -> Result<SednaClient, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let mut client = SednaClient {
@@ -95,6 +109,8 @@ impl SednaClient {
         client.send(&Request::StartSession {
             version: PROTOCOL_VERSION,
             database: database.to_string(),
+            user: user.to_string(),
+            password: password.to_string(),
         })?;
         match client.recv()? {
             Response::SessionStarted => Ok(client),
@@ -112,6 +128,18 @@ impl SednaClient {
         database: &str,
         ts: u64,
     ) -> Result<SednaClient, ClientError> {
+        SednaClient::connect_as_of_with_auth(addr, database, ts, "", "")
+    }
+
+    /// [`SednaClient::connect_as_of`] with credentials, for servers
+    /// started with authentication.
+    pub fn connect_as_of_with_auth(
+        addr: impl ToSocketAddrs,
+        database: &str,
+        ts: u64,
+        user: &str,
+        password: &str,
+    ) -> Result<SednaClient, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let mut client = SednaClient {
@@ -122,6 +150,8 @@ impl SednaClient {
             version: PROTOCOL_VERSION,
             database: database.to_string(),
             ts,
+            user: user.to_string(),
+            password: password.to_string(),
         })?;
         match client.recv()? {
             Response::SessionStarted => Ok(client),
@@ -339,6 +369,34 @@ impl SednaClient {
             Response::Loaded(n) => Ok(n),
             other => Err(unexpected("Loaded", &other)),
         }
+    }
+
+    /// Requests cancellation of the statement currently executing on
+    /// this connection (typically one whose result is being streamed).
+    /// Fire-and-forget: the server raises the cancel flag the moment the
+    /// frame is parsed — ahead of everything queued — but acknowledges
+    /// with `Cancelled` strictly *in order*, after the responses to
+    /// every request sent before the cancel. Interleaved pulls observe a
+    /// `cancelled` error; use [`SednaClient::recv_response`] to consume
+    /// the pipelined replies.
+    pub fn cancel(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Cancel)
+    }
+
+    /// Sends a request without waiting for its response, for pipelining:
+    /// several requests may be in flight on the connection at once, and
+    /// the server answers each in order. Pair with
+    /// [`SednaClient::recv_response`].
+    pub fn send_request(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.send(req)
+    }
+
+    /// Receives the next raw response in order, without converting error
+    /// envelopes or drain notices into `Err` — a pipelined batch can
+    /// interleave successes and errors, and the caller matching them up
+    /// wants both as values.
+    pub fn recv_response(&mut self) -> Result<Response, ClientError> {
+        Ok(Response::read_from(&mut self.stream, self.max_frame)?)
     }
 
     /// Liveness probe.

@@ -6,25 +6,33 @@
 //! establishes the connection, and a per-client session component serves
 //! statements. This crate provides:
 //!
-//! * [`protocol`] — the length-prefixed binary wire protocol: message
-//!   codes for session control, transactions, statement execution, and
-//!   item-at-a-time result streaming (`FetchNext`), plus a structured
-//!   error envelope;
-//! * [`server`] — the listener with its bounded worker pool, admission
-//!   control, and graceful drain-to-checkpoint shutdown;
+//! * [`protocol`] — the length-prefixed binary wire protocol (v2):
+//!   message codes for session control (with credential
+//!   authentication), transactions, statement execution, out-of-band
+//!   `Cancel`, and item-at-a-time result streaming (`FetchNext`), plus
+//!   a structured error envelope;
+//! * [`server`] — the non-blocking readiness-loop listener: one event
+//!   thread owns every socket (epoll/poll via an internal poller
+//!   abstraction), parses frames incrementally, and feeds a bounded
+//!   worker pool; supports per-connection request pipelining with
+//!   in-order responses, admission control, and graceful
+//!   drain-to-checkpoint shutdown;
 //! * [`client`] — [`SednaClient`], a blocking Rust client;
 //! * [`metrics`] — the `sedna_net_*` metric family, registered into the
 //!   governor's registry and exported through
 //!   `Governor::render_prometheus`.
 //!
 //! The `sednad` binary (in `src/bin/`) ties these together into a
-//! standalone server process.
+//! standalone server process, optionally serving several databases at
+//! once (`--db a,b,c`).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod metrics;
+mod poller;
 pub mod protocol;
 pub mod server;
 
@@ -33,4 +41,4 @@ pub use metrics::NetMetrics;
 pub use protocol::{
     ActivityRow, Request, Response, SlowLogRow, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
-pub use server::{error_kind, NetConfig, Server, ServerHandle};
+pub use server::{error_kind, Credentials, NetConfig, Server, ServerHandle};

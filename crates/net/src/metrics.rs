@@ -61,6 +61,17 @@ pub struct NetMetrics {
     pub msg_drop_database: Counter,
     /// `AsOf` session-open requests received.
     pub msg_as_of: Counter,
+    /// `Cancel` requests received.
+    pub msg_cancel: Counter,
+    /// Readiness wakeups of the event thread (events or timer ticks).
+    pub event_wakeups: Counter,
+    /// Request batches handed from the event thread to the worker pool.
+    pub dispatches: Counter,
+    /// Requests received while the connection already had a request
+    /// executing or queued (pipelining in action).
+    pub pipelined_requests: Counter,
+    /// Session opens refused for missing or wrong credentials.
+    pub auth_failures: Counter,
     /// Wall time per request, receipt to response flushed.
     pub request_ns: Histogram,
     /// Frame bytes received.
@@ -212,6 +223,31 @@ impl NetMetrics {
             "AsOf session-open requests received",
             &self.msg_as_of,
         );
+        registry.register_counter(
+            "sedna_net_msg_cancel_total",
+            "Cancel requests received",
+            &self.msg_cancel,
+        );
+        registry.register_counter(
+            "sedna_net_event_wakeups_total",
+            "Readiness wakeups of the event thread (events or timer ticks)",
+            &self.event_wakeups,
+        );
+        registry.register_counter(
+            "sedna_net_dispatches_total",
+            "Request batches handed from the event thread to the worker pool",
+            &self.dispatches,
+        );
+        registry.register_counter(
+            "sedna_net_pipelined_requests_total",
+            "Requests received while the connection already had a request executing or queued",
+            &self.pipelined_requests,
+        );
+        registry.register_counter(
+            "sedna_net_auth_failures_total",
+            "Session opens refused for missing or wrong credentials",
+            &self.auth_failures,
+        );
         registry.register_histogram(
             "sedna_net_request_ns",
             "Wall time per request, receipt to response flushed (ns)",
@@ -264,6 +300,7 @@ impl NetMetrics {
             codes::DROP_FORK => Some(&self.msg_drop_fork),
             codes::DROP_DATABASE => Some(&self.msg_drop_database),
             codes::AS_OF => Some(&self.msg_as_of),
+            codes::CANCEL => Some(&self.msg_cancel),
             _ => None,
         }
     }

@@ -1,0 +1,481 @@
+//! A minimal readiness poller: the one OS-facing corner of the event
+//! loop (`epoll(7)` on Linux, portable `poll(2)` elsewhere), with a
+//! self-wake channel so other threads can interrupt a blocked wait.
+//!
+//! The abstraction is deliberately tiny — register / rearm / deregister
+//! / wait / wake — because the server's event thread is the only
+//! consumer. Connection sockets are registered **oneshot**: after a
+//! readiness report the kernel disarms the interest, and the event loop
+//! re-arms it once it has drained the socket. That gives N idle
+//! connections a cost of N kernel registrations and zero syscalls per
+//! poll tick, which is the whole point of the readiness rebuild (the
+//! old server burned one `read` timeout per idle connection per tick).
+//!
+//! The `poll(2)` backend is compiled (and unit-tested) on every
+//! platform so the non-Linux path can never rot; Linux builds merely
+//! don't select it as [`Poller`].
+#![allow(unsafe_code)]
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Token the wake channel is registered under; never reported to the
+/// caller and never assigned to a connection.
+pub(crate) const WAKE_TOKEN: u64 = u64::MAX;
+
+/// One readiness report: the registered token, plus whether the kernel
+/// flagged hangup/error alongside readability (the socket read will
+/// surface the detail; the flag lets callers skip pointless rearms).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub(crate) token: u64,
+    pub(crate) hup: bool,
+}
+
+/// The poller the server compiles against.
+#[cfg(target_os = "linux")]
+pub(crate) type Poller = epoll::EpollPoller;
+/// The poller the server compiles against.
+#[cfg(not(target_os = "linux"))]
+pub(crate) type Poller = pollfd::PollPoller;
+
+/// Builds the nonblocking self-wake socketpair both backends share.
+fn wake_pair() -> io::Result<(UnixStream, UnixStream)> {
+    let (r, w) = UnixStream::pair()?;
+    r.set_nonblocking(true)?;
+    w.set_nonblocking(true)?;
+    Ok((r, w))
+}
+
+/// Drains every pending wake byte (the channel is level-readable until
+/// empty; leaving bytes behind would spin the wait).
+fn drain_wake(r: &mut &UnixStream) {
+    let mut buf = [0u8; 64];
+    while matches!(r.read(&mut buf), Ok(n) if n > 0) {}
+}
+
+/// Sends one wake byte. A full pipe or closed peer both mean a wake is
+/// already pending (or the poller is gone), so errors are ignored.
+fn send_wake(w: &UnixStream) {
+    let _ = (&*w).write(&[1u8]);
+}
+
+/// Clamps a timeout to the millisecond `int` both syscalls take.
+fn timeout_ms(timeout: Duration) -> i32 {
+    i32::try_from(timeout.as_millis())
+        .unwrap_or(i32::MAX)
+        .max(1)
+}
+
+/// A cloneable cross-thread handle onto a poller's wake channel, so
+/// worker threads can interrupt the event thread's wait without owning
+/// the poller.
+#[derive(Clone)]
+pub(crate) struct Waker(std::sync::Arc<UnixStream>);
+
+impl Waker {
+    /// Interrupts a blocked wait (best-effort: a full channel means a
+    /// wake is already pending).
+    pub(crate) fn wake(&self) {
+        send_wake(&self.0);
+    }
+}
+
+/// Blocks until `fd` is writable or `timeout` elapses; `Ok(false)` on
+/// timeout. Used by workers to pace blocking writes over the event
+/// thread's nonblocking sockets.
+pub(crate) fn wait_writable(fd: RawFd, timeout: Duration) -> io::Result<bool> {
+    let mut p = libc::pollfd {
+        fd,
+        events: libc::POLLOUT,
+        revents: 0,
+    };
+    let r = unsafe { libc::poll(&mut p, 1, timeout_ms(timeout)) };
+    if r < 0 {
+        let e = io::Error::last_os_error();
+        if e.kind() == io::ErrorKind::Interrupted {
+            return Ok(false);
+        }
+        return Err(e);
+    }
+    Ok(r > 0)
+}
+
+#[cfg(target_os = "linux")]
+pub(crate) mod epoll {
+    use super::*;
+
+    /// `epoll(7)`-backed poller: one epoll instance owns every
+    /// registration; connection sockets use `EPOLLONESHOT`.
+    pub(crate) struct EpollPoller {
+        ep: RawFd,
+        wake_r: UnixStream,
+        wake_w: UnixStream,
+    }
+
+    fn cvt(r: i32) -> io::Result<i32> {
+        if r < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(r)
+        }
+    }
+
+    impl EpollPoller {
+        pub(crate) fn new() -> io::Result<EpollPoller> {
+            let ep = cvt(unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) })?;
+            let (wake_r, wake_w) = match wake_pair() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    unsafe { libc::close(ep) };
+                    return Err(e);
+                }
+            };
+            let poller = EpollPoller { ep, wake_r, wake_w };
+            poller.ctl(
+                libc::EPOLL_CTL_ADD,
+                poller.wake_r.as_raw_fd(),
+                libc::EPOLLIN as u32,
+                WAKE_TOKEN,
+            )?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: libc::c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = libc::epoll_event { events, u64: token };
+            cvt(unsafe { libc::epoll_ctl(self.ep, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        fn oneshot_interest() -> u32 {
+            (libc::EPOLLIN | libc::EPOLLRDHUP | libc::EPOLLONESHOT) as u32
+        }
+
+        /// Registers a connection socket for exactly one readability
+        /// report; [`EpollPoller::rearm`] re-enables it.
+        pub(crate) fn register(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.ctl(libc::EPOLL_CTL_ADD, fd, Self::oneshot_interest(), token)
+        }
+
+        /// Registers a listener-style fd level-triggered: it stays armed
+        /// across waits.
+        pub(crate) fn register_persistent(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.ctl(libc::EPOLL_CTL_ADD, fd, libc::EPOLLIN as u32, token)
+        }
+
+        /// Re-enables a oneshot registration after its report was
+        /// handled.
+        pub(crate) fn rearm(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.ctl(libc::EPOLL_CTL_MOD, fd, Self::oneshot_interest(), token)
+        }
+
+        /// Removes a registration; harmless if the fd was never added.
+        pub(crate) fn deregister(&self, fd: RawFd) {
+            let mut ev = libc::epoll_event { events: 0, u64: 0 };
+            let _ = unsafe { libc::epoll_ctl(self.ep, libc::EPOLL_CTL_DEL, fd, &mut ev) };
+        }
+
+        /// Waits for readiness, filling `out` (wake reports are drained
+        /// internally and not surfaced). An interrupted wait returns
+        /// empty rather than erroring.
+        pub(crate) fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            out.clear();
+            const CAP: usize = 256;
+            let mut buf = [libc::epoll_event { events: 0, u64: 0 }; CAP];
+            let n = {
+                let r = unsafe {
+                    libc::epoll_wait(self.ep, buf.as_mut_ptr(), CAP as i32, timeout_ms(timeout))
+                };
+                if r < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(e);
+                }
+                r as usize
+            };
+            for ev in &buf[..n] {
+                let token = ev.u64;
+                let events = ev.events;
+                if token == WAKE_TOKEN {
+                    drain_wake(&mut &self.wake_r);
+                    continue;
+                }
+                let hup = events & (libc::EPOLLHUP | libc::EPOLLERR | libc::EPOLLRDHUP) as u32 != 0;
+                out.push(Event { token, hup });
+            }
+            Ok(())
+        }
+
+        /// Interrupts a blocked [`EpollPoller::wait`] from any thread.
+        /// Production code wakes through a [`Waker`] clone instead; the
+        /// direct form exists for the shared readiness test suite.
+        #[cfg_attr(not(test), allow(dead_code))]
+        pub(crate) fn wake(&self) {
+            send_wake(&self.wake_w);
+        }
+
+        /// A cloneable wake handle for other threads.
+        pub(crate) fn waker(&self) -> io::Result<Waker> {
+            Ok(Waker(std::sync::Arc::new(self.wake_w.try_clone()?)))
+        }
+    }
+
+    impl Drop for EpollPoller {
+        fn drop(&mut self) {
+            unsafe { libc::close(self.ep) };
+        }
+    }
+}
+
+// On Linux the epoll backend is selected, so this one is only reached
+// by its unit tests — which is exactly why it stays compiled.
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+pub(crate) mod pollfd {
+    use super::*;
+    use parking_lot::Mutex;
+
+    struct Slot {
+        fd: RawFd,
+        token: u64,
+        armed: bool,
+        oneshot: bool,
+    }
+
+    /// Portable `poll(2)`-backed poller: keeps the registration table in
+    /// user space and rebuilds the pollfd array per wait. O(N) per wait
+    /// rather than epoll's O(ready), but correct everywhere `poll`
+    /// exists; oneshot semantics are emulated by disarming a slot when
+    /// its readiness is reported.
+    pub(crate) struct PollPoller {
+        slots: Mutex<Vec<Slot>>,
+        wake_r: UnixStream,
+        wake_w: UnixStream,
+    }
+
+    impl PollPoller {
+        pub(crate) fn new() -> io::Result<PollPoller> {
+            let (wake_r, wake_w) = wake_pair()?;
+            Ok(PollPoller {
+                slots: Mutex::new(Vec::new()),
+                wake_r,
+                wake_w,
+            })
+        }
+
+        fn add(&self, fd: RawFd, token: u64, oneshot: bool) -> io::Result<()> {
+            let mut slots = self.slots.lock();
+            if slots.iter().any(|s| s.fd == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            slots.push(Slot {
+                fd,
+                token,
+                armed: true,
+                oneshot,
+            });
+            Ok(())
+        }
+
+        /// Registers a connection socket for exactly one readability
+        /// report; [`PollPoller::rearm`] re-enables it.
+        pub(crate) fn register(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.add(fd, token, true)
+        }
+
+        /// Registers a listener-style fd that stays armed across waits.
+        pub(crate) fn register_persistent(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.add(fd, token, false)
+        }
+
+        /// Re-enables a oneshot registration after its report was
+        /// handled.
+        pub(crate) fn rearm(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            let mut slots = self.slots.lock();
+            match slots.iter_mut().find(|s| s.fd == fd) {
+                Some(slot) => {
+                    slot.token = token;
+                    slot.armed = true;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Removes a registration; harmless if the fd was never added.
+        pub(crate) fn deregister(&self, fd: RawFd) {
+            self.slots.lock().retain(|s| s.fd != fd);
+        }
+
+        /// Waits for readiness, filling `out` (wake reports are drained
+        /// internally and not surfaced). An interrupted wait returns
+        /// empty rather than erroring.
+        pub(crate) fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            out.clear();
+            let mut fds: Vec<libc::pollfd> = vec![libc::pollfd {
+                fd: self.wake_r.as_raw_fd(),
+                events: libc::POLLIN,
+                revents: 0,
+            }];
+            {
+                let slots = self.slots.lock();
+                fds.extend(slots.iter().filter(|s| s.armed).map(|s| libc::pollfd {
+                    fd: s.fd,
+                    events: libc::POLLIN,
+                    revents: 0,
+                }));
+            }
+            let r = unsafe {
+                libc::poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as libc::nfds_t,
+                    timeout_ms(timeout),
+                )
+            };
+            if r < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            if fds[0].revents != 0 {
+                drain_wake(&mut &self.wake_r);
+            }
+            let mut slots = self.slots.lock();
+            for p in &fds[1..] {
+                if p.revents == 0 {
+                    continue;
+                }
+                let hup = p.revents & (libc::POLLHUP | libc::POLLERR) != 0;
+                if let Some(slot) = slots.iter_mut().find(|s| s.fd == p.fd) {
+                    if slot.oneshot {
+                        slot.armed = false;
+                    }
+                    out.push(Event {
+                        token: slot.token,
+                        hup,
+                    });
+                }
+            }
+            Ok(())
+        }
+
+        /// Interrupts a blocked [`PollPoller::wait`] from any thread.
+        /// Production code wakes through a [`Waker`] clone instead; the
+        /// direct form exists for the shared readiness test suite.
+        #[cfg_attr(not(test), allow(dead_code))]
+        pub(crate) fn wake(&self) {
+            send_wake(&self.wake_w);
+        }
+
+        /// A cloneable wake handle for other threads.
+        pub(crate) fn waker(&self) -> io::Result<Waker> {
+            Ok(Waker(std::sync::Arc::new(self.wake_w.try_clone()?)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    /// Both backends must pass the same behavioral checks; `run` takes
+    /// constructor-erased closures so the suite stays in one place.
+    fn readiness_suite<P>(
+        new: impl Fn() -> P,
+        register: impl Fn(&P, RawFd, u64) -> io::Result<()>,
+        rearm: impl Fn(&P, RawFd, u64) -> io::Result<()>,
+        deregister: impl Fn(&P, RawFd),
+        wait: impl Fn(&mut P, &mut Vec<Event>, Duration) -> io::Result<()>,
+        wake: impl Fn(&P),
+    ) {
+        let mut poller = new();
+        let mut events = Vec::new();
+
+        // Idle wait times out empty.
+        wait(&mut poller, &mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.is_empty());
+
+        // A readable registered fd is reported with its token.
+        let (r, w) = pair();
+        register(&poller, r.as_raw_fd(), 7).unwrap();
+        (&w).write_all(b"x").unwrap();
+        wait(&mut poller, &mut events, Duration::from_millis(1000)).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+
+        // Oneshot: without a rearm the same readiness is not re-reported.
+        wait(&mut poller, &mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.is_empty(), "oneshot fd reported twice");
+
+        // Rearm re-enables the report (the byte is still unread).
+        rearm(&poller, r.as_raw_fd(), 9).unwrap();
+        wait(&mut poller, &mut events, Duration::from_millis(1000)).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 9);
+
+        // Peer hangup is flagged.
+        rearm(&poller, r.as_raw_fd(), 9).unwrap();
+        drop(w);
+        wait(&mut poller, &mut events, Duration::from_millis(1000)).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].hup);
+
+        // Deregistered fds go silent.
+        deregister(&poller, r.as_raw_fd());
+        wait(&mut poller, &mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.is_empty());
+
+        // wake() interrupts a long wait promptly and is not surfaced as
+        // an event.
+        let started = Instant::now();
+        wake(&poller);
+        wait(&mut poller, &mut events, Duration::from_millis(5000)).unwrap();
+        assert!(events.is_empty());
+        assert!(started.elapsed() < Duration::from_millis(1000));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_backend_reports_readiness() {
+        readiness_suite(
+            || epoll::EpollPoller::new().unwrap(),
+            |p, fd, t| p.register(fd, t),
+            |p, fd, t| p.rearm(fd, t),
+            |p, fd| p.deregister(fd),
+            |p, out, d| p.wait(out, d),
+            |p| p.wake(),
+        );
+    }
+
+    #[test]
+    fn poll_backend_reports_readiness() {
+        readiness_suite(
+            || pollfd::PollPoller::new().unwrap(),
+            |p, fd, t| p.register(fd, t),
+            |p, fd, t| p.rearm(fd, t),
+            |p, fd| p.deregister(fd),
+            |p, out, d| p.wait(out, d),
+            |p| p.wake(),
+        );
+    }
+
+    #[test]
+    fn wait_writable_reports_a_writable_socket() {
+        let (a, _b) = pair();
+        assert!(wait_writable(a.as_raw_fd(), Duration::from_millis(100)).unwrap());
+    }
+}

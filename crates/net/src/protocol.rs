@@ -21,16 +21,23 @@
 
 use std::io::{self, Read, Write};
 
-/// Protocol revision carried in [`Request::StartSession`]; the server
-/// refuses mismatched clients with a `protocol` error.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol revision carried in [`Request::StartSession`]. Version 2
+/// adds request pipelining, [`Request::Cancel`], and credentials on
+/// [`Request::StartSession`] / [`Request::AsOf`]. The server still
+/// accepts version-1 clients (whose session-open bodies simply omit the
+/// credential fields) unless it is configured to require authentication;
+/// versions above [`PROTOCOL_VERSION`] are refused with a `protocol`
+/// error.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Default cap on a single frame (length field), applied by both ends.
 pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
 
 /// Message codes, one byte at the head of every frame.
 pub mod codes {
-    /// Open a session: `version: u8`, `database: str`.
+    /// Open a session: `version: u8`, `database: str`, then (version 2)
+    /// `user: str`, `password: str`. Version-1 bodies end after the
+    /// database name.
     pub const START_SESSION: u8 = 0x01;
     /// Close the session gracefully (empty body).
     pub const CLOSE_SESSION: u8 = 0x02;
@@ -76,9 +83,16 @@ pub mod codes {
     pub const DROP_DATABASE: u8 = 0x13;
     /// Open an `AS OF` time-travel session pinned to the newest retained
     /// snapshot at or before `ts`: `version: u8`, `database: str`,
-    /// `ts: u64`. Answered with [`SESSION_STARTED`], like
-    /// [`START_SESSION`].
+    /// `ts: u64`, then (version 2) `user: str`, `password: str`.
+    /// Answered with [`SESSION_STARTED`], like [`START_SESSION`].
     pub const AS_OF: u8 = 0x14;
+    /// Abort the running (or queued) statement out-of-band: the server
+    /// reads ahead of in-flight requests, flags the session, and the
+    /// statement fails with a `cancelled` error at its next pull or
+    /// statement boundary. Answered in request order with [`CANCELLED`]
+    /// once the abort has taken effect and any open cursor is dropped.
+    /// Empty body. Protocol version 2.
+    pub const CANCEL: u8 = 0x15;
 
     /// Session opened.
     pub const SESSION_STARTED: u8 = 0x81;
@@ -128,6 +142,10 @@ pub mod codes {
     pub const FORK_DROPPED: u8 = 0x93;
     /// Database dropped.
     pub const DATABASE_DROPPED: u8 = 0x94;
+    /// A [`CANCEL`] took effect: the statement (if any) was aborted,
+    /// its cursor dropped, and the session is ready for more work.
+    /// Protocol version 2.
+    pub const CANCELLED: u8 = 0x95;
     /// Structured error envelope: `kind: str`, `message: str`.
     pub const ERROR: u8 = 0xEE;
 }
@@ -136,12 +154,17 @@ pub mod codes {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Open a session on `database`, announcing the client's protocol
-    /// `version`.
+    /// `version` and (version 2) its credentials.
     StartSession {
         /// Client protocol revision ([`PROTOCOL_VERSION`]).
         version: u8,
         /// Name of the database registered at the governor.
         database: String,
+        /// User name (empty on version-1 frames and unauthenticated
+        /// version-2 clients).
+        user: String,
+        /// Password (empty like `user`).
+        password: String,
     },
     /// Close the session gracefully.
     CloseSession,
@@ -229,7 +252,16 @@ pub enum Request {
         database: String,
         /// The time-travel target commit timestamp.
         ts: u64,
+        /// User name (empty on version-1 frames and unauthenticated
+        /// version-2 clients).
+        user: String,
+        /// Password (empty like `user`).
+        password: String,
     },
+    /// Abort the running (or queued) statement out-of-band. Answered in
+    /// request order with [`Response::Cancelled`] once any open cursor
+    /// has been dropped; the connection stays usable.
+    Cancel,
 }
 
 /// One session's row in an [`Response::ActivityReply`].
@@ -322,6 +354,9 @@ pub enum Response {
     ForkDropped,
     /// Database dropped.
     DatabaseDropped,
+    /// A [`Request::Cancel`] took effect: the statement (if any) was
+    /// aborted and the session is ready for more work.
+    Cancelled,
     /// Structured error: machine-readable `kind` plus human `message`.
     Error {
         /// Stable error class (`query`, `conflict`, `not_found`, ...).
@@ -355,6 +390,7 @@ impl Request {
             Request::DropFork { .. } => codes::DROP_FORK,
             Request::DropDatabase { .. } => codes::DROP_DATABASE,
             Request::AsOf { .. } => codes::AS_OF,
+            Request::Cancel => codes::CANCEL,
         }
     }
 
@@ -362,9 +398,20 @@ impl Request {
     pub fn encode_body(&self) -> Vec<u8> {
         let mut b = Vec::new();
         match self {
-            Request::StartSession { version, database } => {
+            Request::StartSession {
+                version,
+                database,
+                user,
+                password,
+            } => {
                 b.push(*version);
                 put_str(&mut b, database);
+                // Credentials exist from version 2 on; a version-1 frame
+                // must stay byte-identical to what version-1 peers emit.
+                if *version >= 2 {
+                    put_str(&mut b, user);
+                    put_str(&mut b, password);
+                }
             }
             Request::Begin { read_only } => b.push(u8::from(*read_only)),
             Request::Execute { stmt, trace } => {
@@ -391,10 +438,16 @@ impl Request {
                 version,
                 database,
                 ts,
+                user,
+                password,
             } => {
                 b.push(*version);
                 put_str(&mut b, database);
                 b.extend_from_slice(&ts.to_be_bytes());
+                if *version >= 2 {
+                    put_str(&mut b, user);
+                    put_str(&mut b, password);
+                }
             }
             Request::CloseSession
             | Request::Commit
@@ -404,7 +457,8 @@ impl Request {
             | Request::GetMetrics
             | Request::Shutdown
             | Request::Activity
-            | Request::SlowLog => {}
+            | Request::SlowLog
+            | Request::Cancel => {}
         }
         b
     }
@@ -413,10 +467,22 @@ impl Request {
     pub fn decode(code: u8, body: &[u8]) -> io::Result<Request> {
         let mut c = Cursor::new(body);
         let req = match code {
-            codes::START_SESSION => Request::StartSession {
-                version: c.take_u8()?,
-                database: c.take_str()?,
-            },
+            codes::START_SESSION => {
+                let version = c.take_u8()?;
+                let database = c.take_str()?;
+                // Version-1 bodies end here; version-2 carries creds.
+                let (user, password) = if c.remaining() > 0 {
+                    (c.take_str()?, c.take_str()?)
+                } else {
+                    (String::new(), String::new())
+                };
+                Request::StartSession {
+                    version,
+                    database,
+                    user,
+                    password,
+                }
+            }
             codes::CLOSE_SESSION => Request::CloseSession,
             codes::BEGIN => Request::Begin {
                 read_only: c.take_u8()? != 0,
@@ -459,11 +525,24 @@ impl Request {
             codes::DROP_DATABASE => Request::DropDatabase {
                 name: c.take_str()?,
             },
-            codes::AS_OF => Request::AsOf {
-                version: c.take_u8()?,
-                database: c.take_str()?,
-                ts: c.take_u64()?,
-            },
+            codes::AS_OF => {
+                let version = c.take_u8()?;
+                let database = c.take_str()?;
+                let ts = c.take_u64()?;
+                let (user, password) = if c.remaining() > 0 {
+                    (c.take_str()?, c.take_str()?)
+                } else {
+                    (String::new(), String::new())
+                };
+                Request::AsOf {
+                    version,
+                    database,
+                    ts,
+                    user,
+                    password,
+                }
+            }
+            codes::CANCEL => Request::Cancel,
             other => return Err(bad(format!("unknown request code {other:#04x}"))),
         };
         c.finish()?;
@@ -509,6 +588,7 @@ impl Response {
             Response::ForkOk { .. } => codes::FORK_OK,
             Response::ForkDropped => codes::FORK_DROPPED,
             Response::DatabaseDropped => codes::DATABASE_DROPPED,
+            Response::Cancelled => codes::CANCELLED,
             Response::Error { .. } => codes::ERROR,
         }
     }
@@ -573,6 +653,7 @@ impl Response {
             | Response::Pong
             | Response::ForkDropped
             | Response::DatabaseDropped
+            | Response::Cancelled
             | Response::ShuttingDown => {}
         }
         b
@@ -663,6 +744,7 @@ impl Response {
             codes::FORK_OK => Response::ForkOk { ts: c.take_u64()? },
             codes::FORK_DROPPED => Response::ForkDropped,
             codes::DATABASE_DROPPED => Response::DatabaseDropped,
+            codes::CANCELLED => Response::Cancelled,
             codes::ERROR => Response::Error {
                 kind: c.take_str()?,
                 message: c.take_str()?,
@@ -813,6 +895,20 @@ mod tests {
         roundtrip_request(Request::StartSession {
             version: PROTOCOL_VERSION,
             database: "db".into(),
+            user: "admin".into(),
+            password: "s3cret".into(),
+        });
+        roundtrip_request(Request::StartSession {
+            version: PROTOCOL_VERSION,
+            database: "db".into(),
+            user: String::new(),
+            password: String::new(),
+        });
+        roundtrip_request(Request::StartSession {
+            version: 1,
+            database: "db".into(),
+            user: String::new(),
+            password: String::new(),
         });
         roundtrip_request(Request::CloseSession);
         roundtrip_request(Request::Begin { read_only: true });
@@ -855,7 +951,78 @@ mod tests {
             version: PROTOCOL_VERSION,
             database: "db".into(),
             ts: 41,
+            user: "admin".into(),
+            password: "s3cret".into(),
         });
+        roundtrip_request(Request::AsOf {
+            version: 1,
+            database: "db".into(),
+            ts: 41,
+            user: String::new(),
+            password: String::new(),
+        });
+        roundtrip_request(Request::Cancel);
+    }
+
+    #[test]
+    fn version_1_session_open_has_no_credential_bytes() {
+        // A version-1 peer encodes `version, database` and nothing else;
+        // both directions must keep that byte layout.
+        let body = Request::StartSession {
+            version: 1,
+            database: "db".into(),
+            user: String::new(),
+            password: String::new(),
+        }
+        .encode_body();
+        let mut expected = vec![1u8];
+        put_str(&mut expected, "db");
+        assert_eq!(body, expected);
+        // And a bare version-1 body decodes with empty credentials.
+        let req = Request::decode(codes::START_SESSION, &expected).unwrap();
+        assert_eq!(
+            req,
+            Request::StartSession {
+                version: 1,
+                database: "db".into(),
+                user: String::new(),
+                password: String::new(),
+            }
+        );
+    }
+
+    #[test]
+    fn version_2_session_open_carries_credentials() {
+        let body = Request::StartSession {
+            version: 2,
+            database: "db".into(),
+            user: "u".into(),
+            password: "p".into(),
+        }
+        .encode_body();
+        let mut expected = vec![2u8];
+        put_str(&mut expected, "db");
+        put_str(&mut expected, "u");
+        put_str(&mut expected, "p");
+        assert_eq!(body, expected);
+    }
+
+    #[test]
+    fn version_1_as_of_body_decodes_with_empty_credentials() {
+        let mut body = vec![1u8];
+        put_str(&mut body, "db");
+        body.extend_from_slice(&99u64.to_be_bytes());
+        let req = Request::decode(codes::AS_OF, &body).unwrap();
+        assert_eq!(
+            req,
+            Request::AsOf {
+                version: 1,
+                database: "db".into(),
+                ts: 99,
+                user: String::new(),
+                password: String::new(),
+            }
+        );
     }
 
     #[test]
@@ -955,6 +1122,7 @@ mod tests {
         roundtrip_response(Response::ForkOk { ts: 7 });
         roundtrip_response(Response::ForkDropped);
         roundtrip_response(Response::DatabaseDropped);
+        roundtrip_response(Response::Cancelled);
         roundtrip_response(Response::Error {
             kind: "query".into(),
             message: "parse error at offset 3".into(),

@@ -1,40 +1,69 @@
-//! The network listener and its bounded worker pool.
+//! The network listener: a non-blocking readiness loop feeding a
+//! bounded worker pool.
 //!
 //! Figure 1 of the paper puts a *listener* in the governor process that
 //! accepts client connections and hands each one to a per-client session
-//! component. This module reproduces that shape with a thread-per-worker
-//! pool: an acceptor thread pushes accepted sockets onto a bounded queue
-//! and `workers` threads pop from it, each serving one connection at a
-//! time through the request loop in [`serve_conn`] (wire session →
-//! [`sedna::Session`]).
+//! component. This module reproduces that shape with a readiness-loop
+//! split: one **event thread** owns every socket in non-blocking mode
+//! behind a small poller abstraction (`epoll(7)` on Linux, `poll(2)`
+//! elsewhere — see [`crate::poller`]), parses frames incrementally per
+//! connection, and hands complete requests to `workers` **worker
+//! threads** that execute them against the wire session
+//! ([`sedna::Session`]) and write the responses. N idle connections cost
+//! O(N) kernel registrations and zero per-tick syscalls — there is no
+//! per-connection read-timeout poll, so the server's thread count is
+//! independent of its connection count.
 //!
-//! Admission control happens twice: at the queue (a full queue rejects
-//! the connection with an `overloaded` error before any protocol
-//! exchange) and at `StartSession` (the database's
+//! Because the event thread keeps reading while a worker executes, a
+//! client may **pipeline** up to `pipeline_depth` requests; responses
+//! come back strictly in request order (one worker serves one
+//! connection's batch at a time). A `Cancel` frame is special: the event
+//! thread raises the connection's cancel flag the moment the frame is
+//! *parsed*, which aborts the statement currently executing on a worker;
+//! the `Cancelled` acknowledgement is still delivered in order.
+//!
+//! Admission control happens twice: at accept (`max_conns` registered
+//! connections; beyond that the listener answers `overloaded` and
+//! closes) and at `StartSession` (the database's
 //! [`sedna::DbConfig::max_sessions`] limit, enforced through
-//! `Governor::try_connect`).
+//! `Governor::try_connect`, plus optional credential checks when
+//! [`NetConfig::auth`] is set).
 //!
-//! Shutdown is a drain: a shared flag flips, the acceptor wakes (poked
-//! with a loopback connect) and stops accepting, idle connections are
-//! told [`Response::ShuttingDown`] at their next poll tick, in-flight
-//! requests finish, and then [`ServerHandle::shutdown`] closes every
-//! database through `Governor::shutdown` (WAL flush + final checkpoint).
+//! Shutdown is a drain: a shared flag flips and the poller is woken; the
+//! event thread stops accepting, tells idle connections
+//! [`Response::ShuttingDown`], lets in-flight batches finish (the drain
+//! is honored at frame-batch boundaries), and exits once the connection
+//! table is empty. [`ServerHandle::shutdown`] then closes every database
+//! through `Governor::shutdown` (WAL flush + final checkpoint).
 
-use std::collections::VecDeque;
-use std::io::{self, Read};
+use std::collections::HashMap;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use sedna::{chrome_trace_json, DbError, DbResult, Governor, QueryCursor, Session, StreamOutcome};
+use sedna::{chrome_trace_json, CancelFlag, DbError, DbResult, Governor, StreamOutcome};
 
+use crate::conn::{fetch_items, Conn, Fault, Frame, Pending, SessionState};
 use crate::metrics::NetMetrics;
+use crate::poller::{self, Poller, Waker};
 use crate::protocol::{
-    ActivityRow, Request, Response, SlowLogRow, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    codes, ActivityRow, Request, Response, SlowLogRow, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
+
+/// Credentials a v2 client must present at `StartSession`/`AsOf` when
+/// the server is started with [`NetConfig::auth`] set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credentials {
+    /// Expected user name.
+    pub user: String,
+    /// Expected password.
+    pub password: String,
+}
 
 /// Listener configuration.
 #[derive(Debug, Clone)]
@@ -42,21 +71,29 @@ pub struct NetConfig {
     /// Bind address (`127.0.0.1:0` picks a free port; see
     /// [`ServerHandle::addr`]).
     pub addr: String,
-    /// Worker threads, i.e. concurrently served connections.
+    /// Worker threads, i.e. concurrently *executing* requests. Idle
+    /// connections don't occupy a worker.
     pub workers: usize,
-    /// Accepted connections that may wait for a free worker before the
-    /// listener starts rejecting with `overloaded`.
-    pub queue_depth: usize,
     /// Cap on a single frame in either direction.
     pub max_frame: usize,
-    /// Socket read-timeout tick: how often an idle worker re-checks the
-    /// drain flag and the idle clock.
+    /// Upper bound on one event-loop wait: the drain flag and the
+    /// idle/stalled-frame clocks are checked at least this often. Not a
+    /// per-connection tick — idle connections cost no syscalls.
     pub poll_interval: Duration,
     /// Close connections that stay silent between requests this long.
     pub idle_timeout: Duration,
-    /// Deadline for reading the rest of a frame once its first byte
-    /// arrived, and for writing a response.
+    /// Deadline for completing a frame once its first byte arrived, and
+    /// for writing a response.
     pub request_timeout: Duration,
+    /// Requests a client may have in flight on one connection before
+    /// the server stops reading from it (backpressure).
+    pub pipeline_depth: usize,
+    /// Registered connections the event thread will carry; beyond this
+    /// the listener rejects with `overloaded`.
+    pub max_conns: usize,
+    /// When set, `StartSession`/`AsOf` must carry these credentials
+    /// (protocol v2); v1 clients, which cannot, are turned away.
+    pub auth: Option<Credentials>,
 }
 
 impl Default for NetConfig {
@@ -64,16 +101,18 @@ impl Default for NetConfig {
         NetConfig {
             addr: "127.0.0.1:0".into(),
             workers: 8,
-            queue_depth: 16,
             max_frame: DEFAULT_MAX_FRAME,
             poll_interval: Duration::from_millis(25),
             idle_timeout: Duration::from_secs(300),
             request_timeout: Duration::from_secs(30),
+            pipeline_depth: 16,
+            max_conns: 4096,
+            auth: None,
         }
     }
 }
 
-/// State shared by the acceptor, the workers, and the handle.
+/// State shared by the event thread, the workers, and the handle.
 struct Shared {
     governor: Arc<Governor>,
     metrics: NetMetrics,
@@ -82,15 +121,39 @@ struct Shared {
     addr: SocketAddr,
 }
 
-/// The network server: [`Server::start`] binds, spawns the acceptor and
-/// worker threads, and returns a [`ServerHandle`].
+/// A batch of parsed frames for one connection, handed to a worker.
+struct Job {
+    token: u64,
+    frames: Vec<Frame>,
+    /// Framing violation to report (and close on) after the frames.
+    fault: Option<Fault>,
+    state: SessionState,
+    /// Clone of the connection's socket for writing responses.
+    stream: TcpStream,
+    cancel: CancelFlag,
+}
+
+/// A worker's completion notice, returning the session state.
+struct Done {
+    token: u64,
+    state: SessionState,
+    close: bool,
+}
+
+/// The network server: [`Server::start`] binds, spawns the event thread
+/// and worker pool, and returns a [`ServerHandle`].
 pub struct Server;
+
+/// Token the listener is registered under (connections start at 1).
+const LISTENER_TOKEN: u64 = 0;
 
 impl Server {
     /// Binds `cfg.addr`, registers the `sedna_net_*` metrics into the
-    /// governor's registry, and spawns the acceptor plus worker pool.
+    /// governor's registry, and spawns the event thread plus worker
+    /// pool.
     pub fn start(governor: Arc<Governor>, cfg: NetConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let metrics = NetMetrics::new();
         metrics.register_into(governor.registry());
@@ -101,26 +164,44 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr,
         });
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(shared.cfg.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let poller = Poller::new()?;
+        let waker = poller.waker()?;
+        poller.register_persistent(listener.as_raw_fd(), LISTENER_TOKEN)?;
+        let (work_tx, work_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
         let mut workers = Vec::with_capacity(shared.cfg.workers.max(1));
         for i in 0..shared.cfg.workers.max(1) {
             let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&rx);
+            let work_rx = Arc::clone(&work_rx);
+            let done_tx = done_tx.clone();
+            let waker = waker.clone();
             let handle = thread::Builder::new()
                 .name(format!("sedna-net-worker-{i}"))
-                .spawn(move || worker_loop(&shared, &rx))?;
+                .spawn(move || worker_loop(&shared, &work_rx, &done_tx, &waker))?;
             workers.push(handle);
         }
-        let acceptor = {
+        let event = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
-                .name("sedna-net-acceptor".into())
-                .spawn(move || acceptor_loop(&shared, listener, tx))?
+                .name("sedna-net-event".into())
+                .spawn(move || {
+                    EventLoop {
+                        shared,
+                        listener,
+                        poller,
+                        work_tx,
+                        done_rx,
+                        conns: HashMap::new(),
+                        next_token: 1,
+                    }
+                    .run()
+                })?
         };
         Ok(ServerHandle {
             shared,
-            acceptor: Some(acceptor),
+            waker,
+            event: Some(event),
             workers,
         })
     }
@@ -131,7 +212,8 @@ impl Server {
 /// orderly stop.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    waker: Waker,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -141,7 +223,8 @@ impl ServerHandle {
         self.shared.addr
     }
 
-    /// The server's metric handles (shared with the worker threads).
+    /// The server's metric handles (shared with the event thread and
+    /// the workers).
     pub fn metrics(&self) -> &NetMetrics {
         &self.shared.metrics
     }
@@ -163,11 +246,12 @@ impl ServerHandle {
 
     fn drain(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept().
-        let _ = TcpStream::connect(self.shared.addr);
-        if let Some(h) = self.acceptor.take() {
+        self.waker.wake();
+        if let Some(h) = self.event.take() {
             let _ = h.join();
         }
+        // The event thread's exit dropped the job channel, so the
+        // workers' queue pops fail and they return.
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -180,31 +264,353 @@ impl Drop for ServerHandle {
     }
 }
 
-fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((s, _)) => s,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+/// The event thread: owns the poller, the listener, and every
+/// connection's socket-side state.
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    poller: Poller,
+    work_tx: Sender<Job>,
+    done_rx: Receiver<Done>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if self
+                .poller
+                .wait(&mut events, self.shared.cfg.poll_interval)
+                .is_err()
+            {
+                // The poller is unrecoverable; fall into the drain path
+                // so the server stops instead of spinning.
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            self.shared.metrics.event_wakeups.inc();
+            // Completions first, so busy flags are fresh before events.
+            self.drain_done();
+            for &ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else {
+                    self.conn_ready(ev.token, ev.hup);
+                }
+            }
+            self.drain_done();
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.drain_idle_conns();
+                if self.conns.is_empty() {
                     break;
                 }
-                // Transient accept failure (e.g. fd pressure): back off.
-                thread::sleep(Duration::from_millis(10));
-                continue;
             }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Either the drain poke or a late client; both just close.
-            break;
+            if last_sweep.elapsed() >= self.shared.cfg.poll_interval {
+                self.sweep_timeouts();
+                last_sweep = Instant::now();
+            }
         }
-        shared.metrics.connections_opened.inc();
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(stream)) => reject_overloaded(shared, stream),
-            Err(TrySendError::Disconnected(_)) => break,
+        // Dropping `self` drops `work_tx`, which ends the workers.
+    }
+
+    fn drain_done(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.handle_done(done);
         }
     }
-    // Dropping `tx` here lets the workers drain the queue and exit.
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failure (e.g. fd pressure): leave the
+                // listener armed and retry at the next wakeup.
+                Err(_) => break,
+            };
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                continue;
+            }
+            let m = &self.shared.metrics;
+            m.connections_opened.inc();
+            if self.conns.len() >= self.shared.cfg.max_conns.max(1) {
+                reject_overloaded(&self.shared, stream);
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            if self.poller.register(stream.as_raw_fd(), token).is_err() {
+                continue;
+            }
+            self.conns.insert(token, Conn::new(stream));
+            m.connections_active.add(1);
+        }
+    }
+
+    /// A connection's socket reported readable: drain it, parse frames,
+    /// dispatch, and rearm.
+    fn conn_ready(&mut self, token: u64, hup: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.armed = false;
+        // A hangup still gets its read: the kernel may hold final bytes
+        // (data-then-FIN), and the read is what observes the EOF.
+        let alive = conn.read_ready() && !hup;
+        let (frames, fault) = conn.parse_frames(self.shared.cfg.max_frame);
+        let m = &self.shared.metrics;
+        for frame in frames {
+            m.bytes_in.add((frame.body.len() + 5) as u64);
+            if let Some(c) = m.msg_counter(frame.code) {
+                c.inc();
+            }
+            if frame.code == codes::CANCEL {
+                // Out-of-band: abort the statement executing right now;
+                // the ordered Cancelled ack follows through the queue.
+                conn.cancel.cancel();
+            }
+            if conn.busy || !conn.queue.is_empty() {
+                m.pipelined_requests.inc();
+            }
+            conn.queue.push_back(frame);
+        }
+        if fault.is_some() {
+            conn.fault = fault;
+        }
+        if !alive {
+            // Peer closed (or the read hard-failed). Frames already
+            // queued still get served — the drain below tears the
+            // connection down once they are.
+            conn.closing = true;
+        }
+        self.pump(token);
+    }
+
+    /// Dispatches queued work if the connection is idle, rearms the
+    /// readiness registration unless backpressured, and tears down
+    /// connections with nothing left to do.
+    fn pump(&mut self, token: u64) {
+        if !self.dispatch(token) {
+            return;
+        }
+        let depth = self.shared.cfg.pipeline_depth.max(1);
+        let mut rearm = None;
+        let mut teardown = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.closing && !conn.busy && conn.queue.is_empty() {
+                teardown = true;
+            } else if !conn.armed
+                && !conn.closing
+                && conn.fault.is_none()
+                && conn.queue.len() < depth
+            {
+                rearm = Some(conn.stream.as_raw_fd());
+            }
+        }
+        if teardown {
+            self.teardown(token);
+            return;
+        }
+        if let Some(fd) = rearm {
+            let ok = self.poller.rearm(fd, token).is_ok();
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if ok {
+                    conn.armed = true;
+                } else if conn.busy {
+                    conn.closing = true;
+                } else {
+                    self.teardown(token);
+                }
+            }
+        }
+    }
+
+    /// Hands the connection's queued frames (and any trailing fault) to
+    /// the worker pool as one in-order batch. Returns `false` if the
+    /// connection vanished.
+    fn dispatch(&mut self, token: u64) -> bool {
+        let depth = self.shared.cfg.pipeline_depth.max(1);
+        let job = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            if conn.busy || (conn.queue.is_empty() && conn.fault.is_none()) {
+                return true;
+            }
+            let n = conn.queue.len().min(depth);
+            let frames: Vec<Frame> = conn.queue.drain(..n).collect();
+            // A fault closes the connection, so it only ships once every
+            // queued frame ahead of it has shipped too.
+            let fault = if conn.queue.is_empty() {
+                conn.fault.take()
+            } else {
+                None
+            };
+            let Some(state) = conn.state.take() else {
+                return true;
+            };
+            let stream = match conn.stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => {
+                    conn.state = Some(state);
+                    self.teardown(token);
+                    return false;
+                }
+            };
+            conn.busy = true;
+            Job {
+                token,
+                frames,
+                fault,
+                state,
+                stream,
+                cancel: conn.cancel.clone(),
+            }
+        };
+        self.shared.metrics.dispatches.inc();
+        if let Err(lost) = self.work_tx.send(job) {
+            // Workers are gone (drain): restore the state so teardown
+            // accounts the session, then close.
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.busy = false;
+                conn.state = Some(lost.0.state);
+            }
+            self.teardown(token);
+            return false;
+        }
+        true
+    }
+
+    fn handle_done(&mut self, done: Done) {
+        let token = done.token;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.busy = false;
+        conn.state = Some(done.state);
+        if done.close {
+            self.teardown(token);
+            return;
+        }
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            // Drain honored at the batch boundary: the batch's responses
+            // are written; anything still queued is refused.
+            self.notify(token, &Response::ShuttingDown);
+            self.teardown(token);
+            return;
+        }
+        self.pump(token);
+    }
+
+    /// During a drain, closes every connection that is not executing.
+    fn drain_idle_conns(&mut self) {
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            self.notify(token, &Response::ShuttingDown);
+            self.teardown(token);
+        }
+    }
+
+    /// Closes connections that idled out, or stalled mid-frame past the
+    /// request deadline.
+    fn sweep_timeouts(&mut self) {
+        let cfg = &self.shared.cfg;
+        let mut idle = Vec::new();
+        let mut stalled = Vec::new();
+        for (token, conn) in &self.conns {
+            if conn.busy || conn.closing || !conn.queue.is_empty() {
+                continue;
+            }
+            if let Some(started) = conn.frame_started {
+                if started.elapsed() >= cfg.request_timeout {
+                    stalled.push(*token);
+                }
+            } else if conn.last_activity.elapsed() >= cfg.idle_timeout {
+                idle.push(*token);
+            }
+        }
+        for token in idle {
+            self.notify(
+                token,
+                &Response::Error {
+                    kind: "timeout".into(),
+                    message: "idle timeout".into(),
+                },
+            );
+            self.teardown(token);
+        }
+        for token in stalled {
+            self.notify(
+                token,
+                &Response::Error {
+                    kind: "protocol".into(),
+                    message: "malformed or timed-out frame".into(),
+                },
+            );
+            self.teardown(token);
+        }
+    }
+
+    /// Best-effort, non-blocking notification from the event thread
+    /// (only used on paths where the connection closes right after, so a
+    /// full send buffer just loses a courtesy message).
+    fn notify(&mut self, token: u64, resp: &Response) {
+        let m = &self.shared.metrics;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if matches!(resp, Response::Error { .. }) {
+            m.errors.inc();
+        }
+        let mut buf = Vec::new();
+        if resp.write_to(&mut buf).is_err() {
+            return;
+        }
+        let mut off = 0usize;
+        while off < buf.len() {
+            match conn.stream.write(&buf[off..]) {
+                Ok(0) => break,
+                Ok(n) => off += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        m.bytes_out.add(off as u64);
+    }
+
+    /// Removes a connection: deregisters the socket, accounts the
+    /// session, and drops the state (rolling back any open transaction
+    /// and releasing any live cursor's pins).
+    fn teardown(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        self.poller.deregister(conn.stream.as_raw_fd());
+        let m = &self.shared.metrics;
+        if let Some(state) = conn.state.take() {
+            if state.session.is_some() {
+                // Dropping the Session rolls back any open transaction
+                // and releases the admission slot; mirror that in the
+                // wire metrics so opened == closed + active stays an
+                // invariant even for aborted connections.
+                m.sessions_active.sub(1);
+                m.sessions_closed.inc();
+            }
+        }
+        m.connections_active.sub(1);
+    }
 }
 
 fn reject_overloaded(shared: &Shared, mut stream: TcpStream) {
@@ -213,241 +619,168 @@ fn reject_overloaded(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let resp = Response::Error {
         kind: "overloaded".into(),
-        message: "server worker queue is full; retry later".into(),
+        message: "server connection limit reached; retry later".into(),
     };
     if let Ok(n) = resp.write_to(&mut stream) {
         shared.metrics.bytes_out.add(n as u64);
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>, done_tx: &Sender<Done>, waker: &Waker) {
     loop {
         // The guard drops at the end of this statement, so a worker
-        // serving a connection never blocks its peers' queue pops. A
-        // poisoned lock (a peer panicked mid-pop) is recovered rather
-        // than unwrapped: the receiver is still structurally sound, and
+        // serving a batch never blocks its peers' queue pops. A poisoned
+        // lock (a peer panicked mid-pop) is recovered rather than
+        // unwrapped: the receiver is still structurally sound, and
         // killing every worker over one bad connection would turn a
         // single panic into a full outage.
         let next = match rx.lock() {
             Ok(guard) => guard.recv(),
             Err(poisoned) => poisoned.into_inner().recv(),
         };
-        match next {
-            Ok(stream) => serve_conn(shared, stream),
+        let mut job = match next {
+            Ok(job) => job,
             Err(_) => break,
-        }
+        };
+        let close = serve_batch(shared, waker, &mut job);
+        let _ = done_tx.send(Done {
+            token: job.token,
+            state: job.state,
+            close,
+        });
+        waker.wake();
     }
 }
 
-/// One connection's server-side state: the wire session and the result
-/// of its last query, streamed out via `FetchNext` / `FetchBatch`.
-struct Conn {
-    stream: TcpStream,
-    session: Option<Session>,
-    /// Name of the database the session is on (for introspection
-    /// requests that need the [`sedna::Database`] handle).
-    db_name: Option<String>,
-    pending: Pending,
-}
-
-/// The last query's result state.
-///
-/// Auto-commit queries arrive as a live [`QueryCursor`]: items are
-/// pulled from the executor pipeline one fetch at a time, and the
-/// cursor's read-only transaction (with its page pins) stays open
-/// between fetches. Replacing or clearing the state drops the cursor,
-/// which releases every pin and commits its transaction — so a client
-/// that executes a new statement, closes the session, or disconnects
-/// mid-stream never leaks the snapshot.
-enum Pending {
-    /// No result, or the previous result is drained.
-    None,
-    /// Materialized items (queries inside an explicit transaction).
-    Buffered(VecDeque<String>),
-    /// A live streaming cursor (auto-commit queries).
-    Stream(Box<QueryCursor>),
-}
-
-/// Pulls up to `max` items from the connection's pending result,
-/// returning the batch and whether the result is now exhausted. On a
-/// mid-stream error the cursor has already finished itself (transaction
-/// committed, pins released); the pending state is cleared so later
-/// fetches see a clean end-of-result.
-fn fetch_items(pending: &mut Pending, max: usize, m: &NetMetrics) -> DbResult<(Vec<String>, bool)> {
-    match pending {
-        Pending::None => Ok((Vec::new(), true)),
-        Pending::Buffered(items) => {
-            let n = max.min(items.len());
-            let batch: Vec<String> = items.drain(..n).collect();
-            m.items_streamed.add(batch.len() as u64);
-            let done = items.is_empty();
-            if done {
-                *pending = Pending::None;
-            }
-            Ok((batch, done))
-        }
-        Pending::Stream(cur) => {
-            let mut batch = Vec::new();
-            let mut done = false;
-            let mut err = None;
-            while batch.len() < max {
-                match cur.next_item() {
-                    Ok(Some(item)) => batch.push(item),
-                    Ok(None) => {
-                        done = true;
-                        break;
-                    }
-                    Err(e) => {
-                        err = Some(e);
-                        break;
-                    }
-                }
-            }
-            m.items_streamed.add(batch.len() as u64);
-            if let Some(e) = err {
-                *pending = Pending::None;
-                return Err(e);
-            }
-            if done {
-                *pending = Pending::None;
-            }
-            Ok((batch, done))
-        }
-    }
-}
-
-fn serve_conn(shared: &Shared, stream: TcpStream) {
+/// Serves one dispatched batch in order. Returns whether the connection
+/// should close; once a request closes the connection, the rest of the
+/// batch is dropped (the client's pipelined successors die with it, as
+/// they would have on a serial connection).
+fn serve_batch(shared: &Shared, waker: &Waker, job: &mut Job) -> bool {
     let m = &shared.metrics;
-    m.connections_active.add(1);
-    let mut conn = Conn {
-        stream,
-        session: None,
-        db_name: None,
-        pending: Pending::None,
-    };
-    let _ = conn.stream.set_nodelay(true);
-    let _ = conn.stream.set_read_timeout(Some(shared.cfg.poll_interval));
-    let _ = conn
-        .stream
-        .set_write_timeout(Some(shared.cfg.request_timeout));
-    loop {
-        match read_frame_interruptible(&mut conn.stream, &shared.cfg, &shared.shutdown) {
-            ReadOutcome::Frame(code, body) => {
-                m.bytes_in.add((body.len() + 5) as u64);
-                if let Some(c) = m.msg_counter(code) {
-                    c.inc();
-                }
-                let span = m.request_ns.span();
-                let close = match Request::decode(code, &body) {
-                    Ok(req) => handle_request(&mut conn, req, shared).unwrap_or(true),
-                    Err(e) => {
-                        let _ = send(
-                            &mut conn,
-                            m,
-                            &Response::Error {
-                                kind: "protocol".into(),
-                                message: e.to_string(),
-                            },
-                        );
-                        true
-                    }
-                };
-                drop(span);
-                if close {
-                    break;
-                }
-            }
-            ReadOutcome::ShutdownTick => {
-                let _ = send(&mut conn, m, &Response::ShuttingDown);
-                break;
-            }
-            ReadOutcome::IdleTimeout => {
-                let _ = send(
-                    &mut conn,
-                    m,
-                    &Response::Error {
-                        kind: "timeout".into(),
-                        message: "idle timeout".into(),
-                    },
-                );
-                break;
-            }
-            ReadOutcome::Oversize(len) => {
-                let _ = send(
-                    &mut conn,
-                    m,
-                    &Response::Error {
-                        kind: "protocol".into(),
-                        message: format!(
-                            "frame of {len} bytes exceeds the {}-byte limit",
-                            shared.cfg.max_frame
-                        ),
-                    },
-                );
-                break;
-            }
-            ReadOutcome::Malformed => {
-                let _ = send(
-                    &mut conn,
-                    m,
-                    &Response::Error {
-                        kind: "protocol".into(),
-                        message: "malformed or timed-out frame".into(),
-                    },
-                );
-                break;
-            }
-            ReadOutcome::Closed => break,
+    let timeout = shared.cfg.request_timeout;
+    let frames: Vec<Frame> = job.frames.drain(..).collect();
+    let mut close = false;
+    for frame in frames {
+        if close {
+            break;
+        }
+        let span = m.request_ns.span();
+        let outcome = match Request::decode(frame.code, &frame.body) {
+            Ok(req) => handle_request(job, req, shared, waker),
+            Err(e) => send(
+                &mut job.stream,
+                m,
+                &Response::Error {
+                    kind: "protocol".into(),
+                    message: e.to_string(),
+                },
+                timeout,
+            )
+            .map(|()| true),
+        };
+        drop(span);
+        close = outcome.unwrap_or(true);
+    }
+    if !close {
+        if let Some(fault) = job.fault.take() {
+            let resp = match fault {
+                Fault::Malformed => Response::Error {
+                    kind: "protocol".into(),
+                    message: "malformed frame".into(),
+                },
+                Fault::Oversize(len) => Response::Error {
+                    kind: "protocol".into(),
+                    message: format!(
+                        "frame of {len} bytes exceeds the {}-byte limit",
+                        shared.cfg.max_frame
+                    ),
+                },
+            };
+            let _ = send(&mut job.stream, m, &resp, timeout);
+            close = true;
         }
     }
-    if conn.session.take().is_some() {
-        // Dropping the Session rolls back any open transaction and
-        // releases the admission slot; mirror that in the wire metrics
-        // so opened == closed + active stays an invariant even for
-        // aborted connections.
-        m.sessions_active.sub(1);
-        m.sessions_closed.inc();
+    close
+}
+
+/// Gates a session-open on protocol version and credentials. Returns the
+/// refusal to send (the connection closes) or `None` to proceed.
+fn session_gate(version: u8, user: &str, password: &str, shared: &Shared) -> Option<Response> {
+    let m = &shared.metrics;
+    if version == 0 || version > PROTOCOL_VERSION {
+        return Some(Response::Error {
+            kind: "protocol".into(),
+            message: format!(
+                "protocol version {version} unsupported (server speaks 1..={PROTOCOL_VERSION})"
+            ),
+        });
     }
-    m.connections_active.sub(1);
+    let creds = shared.cfg.auth.as_ref()?;
+    if version < 2 {
+        m.auth_failures.inc();
+        return Some(Response::Error {
+            kind: "auth".into(),
+            message: "authentication required; protocol v1 carries no credentials — reconnect \
+                      with protocol v2"
+                .into(),
+        });
+    }
+    if user != creds.user || password != creds.password {
+        m.auth_failures.inc();
+        return Some(Response::Error {
+            kind: "auth".into(),
+            message: "authentication failed".into(),
+        });
+    }
+    None
 }
 
 /// Serves one decoded request. `Ok(true)` means close the connection
 /// afterwards; `Err` means the response could not be written (peer gone).
-fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<bool> {
+fn handle_request(job: &mut Job, req: Request, shared: &Shared, waker: &Waker) -> io::Result<bool> {
     let m = &shared.metrics;
+    let timeout = shared.cfg.request_timeout;
+    let Job {
+        state,
+        stream,
+        cancel,
+        ..
+    } = job;
     match req {
-        Request::StartSession { version, database } => {
-            if version != PROTOCOL_VERSION {
-                send(
-                    conn,
-                    m,
-                    &Response::Error {
-                        kind: "protocol".into(),
-                        message: format!(
-                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
-                        ),
-                    },
-                )?;
+        Request::StartSession {
+            version,
+            database,
+            user,
+            password,
+        } => {
+            if let Some(refusal) = session_gate(version, &user, &password, shared) {
+                send(stream, m, &refusal, timeout)?;
                 return Ok(true);
             }
-            if conn.session.is_some() {
+            if state.session.is_some() {
                 send(
-                    conn,
+                    stream,
                     m,
                     &Response::Error {
                         kind: "conflict".into(),
                         message: "session already started on this connection".into(),
                     },
+                    timeout,
                 )?;
                 return Ok(false);
             }
             match shared.governor.try_connect(&database) {
-                Ok(sess) => {
-                    conn.session = Some(sess);
-                    conn.db_name = Some(database);
+                Ok(mut sess) => {
+                    // The connection's cancel flag reaches the executor
+                    // through the session, so a parsed Cancel aborts the
+                    // running statement.
+                    sess.set_cancel_flag(cancel.clone());
+                    state.session = Some(sess);
+                    state.db_name = Some(database);
                     m.sessions_opened.inc();
                     m.sessions_active.add(1);
-                    send(conn, m, &Response::SessionStarted)?;
+                    send(stream, m, &Response::SessionStarted, timeout)?;
                     Ok(false)
                 }
                 Err(e) => {
@@ -455,63 +788,70 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                         // The database's session limit turned us away.
                         m.connections_rejected.inc();
                     }
-                    send_db_error(conn, m, &e)?;
+                    send_db_error(stream, m, &e, timeout)?;
                     Ok(true)
                 }
             }
         }
         Request::CloseSession => {
-            if conn.session.take().is_some() {
+            if state.session.take().is_some() {
                 m.sessions_active.sub(1);
                 m.sessions_closed.inc();
             }
             // Drops any live cursor: pins released, transaction committed.
-            conn.pending = Pending::None;
-            send(conn, m, &Response::SessionClosed)?;
+            state.pending = Pending::None;
+            send(stream, m, &Response::SessionClosed, timeout)?;
             Ok(true)
         }
+        Request::Cancel => {
+            // Served strictly in order, so every request queued before
+            // the Cancel has already been answered: dropping the pending
+            // result here aborts exactly the statement the client raced
+            // against (a live cursor's Drop commits its transaction and
+            // releases its pins). The flag itself was raised out-of-band
+            // when the frame was parsed; clearing it re-arms the
+            // connection for later statements.
+            state.pending = Pending::None;
+            cancel.clear();
+            send(stream, m, &Response::Cancelled, timeout)?;
+            Ok(false)
+        }
         Request::Ping => {
-            send(conn, m, &Response::Pong)?;
+            send(stream, m, &Response::Pong, timeout)?;
             Ok(false)
         }
         Request::GetMetrics => {
             let text = shared.governor.render_prometheus();
-            send(conn, m, &Response::Metrics(text))?;
+            send(stream, m, &Response::Metrics(text), timeout)?;
             Ok(false)
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            // Wake the acceptor so the drain starts immediately.
-            let _ = TcpStream::connect(shared.addr);
-            send(conn, m, &Response::ShuttingDown)?;
+            // Wake the event thread so the drain starts immediately.
+            waker.wake();
+            send(stream, m, &Response::ShuttingDown, timeout)?;
             Ok(true)
         }
         Request::AsOf {
             version,
             database,
             ts,
+            user,
+            password,
         } => {
-            if version != PROTOCOL_VERSION {
-                send(
-                    conn,
-                    m,
-                    &Response::Error {
-                        kind: "protocol".into(),
-                        message: format!(
-                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
-                        ),
-                    },
-                )?;
+            if let Some(refusal) = session_gate(version, &user, &password, shared) {
+                send(stream, m, &refusal, timeout)?;
                 return Ok(true);
             }
-            if conn.session.is_some() {
+            if state.session.is_some() {
                 send(
-                    conn,
+                    stream,
                     m,
                     &Response::Error {
                         kind: "conflict".into(),
                         message: "session already started on this connection".into(),
                     },
+                    timeout,
                 )?;
                 return Ok(false);
             }
@@ -520,16 +860,17 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                 .database(&database)
                 .and_then(|db| db.session_as_of(ts))
             {
-                Ok(sess) => {
-                    conn.session = Some(sess);
-                    conn.db_name = Some(database);
+                Ok(mut sess) => {
+                    sess.set_cancel_flag(cancel.clone());
+                    state.session = Some(sess);
+                    state.db_name = Some(database);
                     m.sessions_opened.inc();
                     m.sessions_active.add(1);
-                    send(conn, m, &Response::SessionStarted)?;
+                    send(stream, m, &Response::SessionStarted, timeout)?;
                     Ok(false)
                 }
                 Err(e) => {
-                    send_db_error(conn, m, &e)?;
+                    send_db_error(stream, m, &e, timeout)?;
                     Ok(true)
                 }
             }
@@ -540,9 +881,9 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
             match shared.governor.fork_database(&parent, &name) {
                 Ok(fork) => {
                     let ts = fork.fork_point().unwrap_or(0);
-                    send(conn, m, &Response::ForkOk { ts })?;
+                    send(stream, m, &Response::ForkOk { ts }, timeout)?;
                 }
-                Err(e) => send_db_error(conn, m, &e)?,
+                Err(e) => send_db_error(stream, m, &e, timeout)?,
             }
             Ok(false)
         }
@@ -556,27 +897,28 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                 shared.governor.drop_database(&name)
             });
             match result {
-                Ok(()) => send(conn, m, &Response::ForkDropped)?,
-                Err(e) => send_db_error(conn, m, &e)?,
+                Ok(()) => send(stream, m, &Response::ForkDropped, timeout)?,
+                Err(e) => send_db_error(stream, m, &e, timeout)?,
             }
             Ok(false)
         }
         Request::DropDatabase { name } => {
             match shared.governor.drop_database(&name) {
-                Ok(()) => send(conn, m, &Response::DatabaseDropped)?,
-                Err(e) => send_db_error(conn, m, &e)?,
+                Ok(()) => send(stream, m, &Response::DatabaseDropped, timeout)?,
+                Err(e) => send_db_error(stream, m, &e, timeout)?,
             }
             Ok(false)
         }
         other => {
-            let Some(sess) = conn.session.as_mut() else {
+            let Some(sess) = state.session.as_mut() else {
                 send(
-                    conn,
+                    stream,
                     m,
                     &Response::Error {
                         kind: "conflict".into(),
                         message: "no session started on this connection".into(),
                     },
+                    timeout,
                 )?;
                 return Ok(false);
             };
@@ -597,28 +939,28 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                     match executed {
                         Ok(StreamOutcome::Items(items)) => {
                             let n = items.len() as u64;
-                            conn.pending = Pending::Buffered(items.into_iter().collect());
+                            state.pending = Pending::Buffered(items.into_iter().collect());
                             Ok(Response::QueryOk(n))
                         }
                         Ok(StreamOutcome::Cursor(cur)) => {
                             // A live cursor: nothing has executed yet, so the
                             // cardinality is unknown — the sentinel tells the
                             // client to fetch until end-of-result.
-                            conn.pending = Pending::Stream(cur);
+                            state.pending = Pending::Stream(cur);
                             Ok(Response::QueryOk(u64::MAX))
                         }
                         Ok(StreamOutcome::Updated(n)) => {
-                            conn.pending = Pending::None;
+                            state.pending = Pending::None;
                             Ok(Response::Updated(n as u64))
                         }
                         Ok(StreamOutcome::Done) => {
-                            conn.pending = Pending::None;
+                            state.pending = Pending::None;
                             Ok(Response::Done)
                         }
                         Err(e) => Err(e),
                     }
                 }
-                Request::FetchNext => match fetch_items(&mut conn.pending, 1, m) {
+                Request::FetchNext => match fetch_items(&mut state.pending, 1, m) {
                     Ok((mut batch, _)) => match batch.pop() {
                         Some(item) => Ok(Response::Item(item)),
                         None => Ok(Response::ResultEnd),
@@ -632,12 +974,12 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                             message: "fetch batch size must be at least 1".into(),
                         })
                     } else {
-                        fetch_items(&mut conn.pending, max as usize, m)
+                        fetch_items(&mut state.pending, max as usize, m)
                             .map(|(items, done)| Response::ItemBatch { items, done })
                     }
                 }
                 Request::LoadXml { doc, xml } => sess.load_xml(&doc, &xml).map(Response::Loaded),
-                Request::Activity => database_of(conn.db_name.as_deref(), shared).map(|db| {
+                Request::Activity => database_of(state.db_name.as_deref(), shared).map(|db| {
                     let report = db.activity();
                     Response::ActivityReply {
                         sessions: report
@@ -654,7 +996,7 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                         pinned_pages: report.pinned_pages,
                     }
                 }),
-                Request::SlowLog => database_of(conn.db_name.as_deref(), shared).map(|db| {
+                Request::SlowLog => database_of(state.db_name.as_deref(), shared).map(|db| {
                     Response::SlowLogReply(
                         db.slow_log()
                             .into_iter()
@@ -672,7 +1014,7 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                     } else {
                         trace_id
                     };
-                    database_of(conn.db_name.as_deref(), shared).and_then(|db| {
+                    database_of(state.db_name.as_deref(), shared).and_then(|db| {
                         db.get_trace(id)
                             .map(|events| Response::Trace {
                                 trace_id: id,
@@ -689,14 +1031,19 @@ fn handle_request(conn: &mut Conn, req: Request, shared: &Shared) -> io::Result<
                 }
                 Request::ExplainAnalyze { stmt } => {
                     // Replaces any pending result, exactly like Execute.
-                    conn.pending = Pending::None;
+                    state.pending = Pending::None;
                     sess.explain_analyze(&stmt).map(Response::Explain)
                 }
-                _ => unreachable!("sessionless requests handled above"),
+                // Every sessionless request was handled above; this arm
+                // is structurally unreachable but kept total so the
+                // match needs no panic.
+                _ => Err(DbError::Conflict(
+                    "request cannot be served on a session connection".into(),
+                )),
             };
             match resp {
-                Ok(r) => send(conn, m, &r)?,
-                Err(e) => send_db_error(conn, m, &e)?,
+                Ok(r) => send(stream, m, &r, timeout)?,
+                Err(e) => send_db_error(stream, m, &e, timeout)?,
             }
             Ok(false)
         }
@@ -711,24 +1058,63 @@ fn database_of(name: Option<&str>, shared: &Shared) -> DbResult<sedna::Database>
     shared.governor.database(name)
 }
 
-fn send(conn: &mut Conn, m: &NetMetrics, resp: &Response) -> io::Result<()> {
+/// Serializes `resp` and writes it to the (non-blocking) socket,
+/// waiting for writability between short writes up to `timeout`.
+fn send(
+    stream: &mut TcpStream,
+    m: &NetMetrics,
+    resp: &Response,
+    timeout: Duration,
+) -> io::Result<()> {
     if matches!(resp, Response::Error { .. }) {
         m.errors.inc();
     }
-    let n = resp.write_to(&mut conn.stream)?;
+    let mut buf = Vec::new();
+    let n = resp.write_to(&mut buf)?;
+    write_all_nb(stream, &buf, timeout)?;
     m.bytes_out.add(n as u64);
     Ok(())
 }
 
-fn send_db_error(conn: &mut Conn, m: &NetMetrics, e: &DbError) -> io::Result<()> {
+fn send_db_error(
+    stream: &mut TcpStream,
+    m: &NetMetrics,
+    e: &DbError,
+    timeout: Duration,
+) -> io::Result<()> {
     send(
-        conn,
+        stream,
         m,
         &Response::Error {
             kind: error_kind(e).into(),
             message: e.to_string(),
         },
+        timeout,
     )
+}
+
+/// Writes the whole buffer to a non-blocking socket, parking on
+/// `poll(2)` writability whenever the send buffer fills, within a total
+/// deadline of `timeout`.
+fn write_all_nb(stream: &mut TcpStream, buf: &[u8], timeout: Duration) -> io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    let mut off = 0usize;
+    while off < buf.len() {
+        match stream.write(&buf[off..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(io::ErrorKind::TimedOut.into());
+                }
+                poller::wait_writable(stream.as_raw_fd(), deadline - now)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Stable machine-readable class for a [`DbError`], carried in the wire
@@ -744,96 +1130,6 @@ pub fn error_kind(e: &DbError) -> &'static str {
         DbError::Io(_) => "io",
         DbError::NotFound(_) => "not_found",
         DbError::Conflict(_) => "conflict",
+        DbError::Cancelled => "cancelled",
     }
-}
-
-enum ReadOutcome {
-    /// A complete frame: `(code, body)`.
-    Frame(u8, Vec<u8>),
-    /// Clean EOF or peer reset.
-    Closed,
-    /// Drain flag observed at a frame boundary.
-    ShutdownTick,
-    /// No request arrived within the idle timeout.
-    IdleTimeout,
-    /// Declared frame length exceeds the configured cap.
-    Oversize(usize),
-    /// Zero-length frame, or the frame stalled past the request timeout.
-    Malformed,
-}
-
-/// Reads one frame with a short socket read-timeout as the poll tick, so
-/// the worker notices the drain flag and the idle clock between frames.
-/// The drain flag is only honored at frame *boundaries*: once the first
-/// header byte of a frame arrived, the read switches to the request
-/// deadline so a partially read frame is never abandoned mid-stream
-/// (which would desynchronize the connection).
-fn read_frame_interruptible(
-    stream: &mut TcpStream,
-    cfg: &NetConfig,
-    shutdown: &AtomicBool,
-) -> ReadOutcome {
-    let mut hdr = [0u8; 5];
-    let mut got = 0usize;
-    let idle_start = Instant::now();
-    let mut frame_start: Option<Instant> = None;
-    while got < 5 {
-        match stream.read(&mut hdr[got..]) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(n) => {
-                if frame_start.is_none() {
-                    frame_start = Some(Instant::now());
-                }
-                got += n;
-            }
-            Err(e) if is_timeout(&e) => match frame_start {
-                None => {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return ReadOutcome::ShutdownTick;
-                    }
-                    if idle_start.elapsed() >= cfg.idle_timeout {
-                        return ReadOutcome::IdleTimeout;
-                    }
-                }
-                Some(t) => {
-                    if t.elapsed() >= cfg.request_timeout {
-                        return ReadOutcome::Malformed;
-                    }
-                }
-            },
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return ReadOutcome::Closed,
-        }
-    }
-    let len = u32::from_be_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
-    if len == 0 {
-        return ReadOutcome::Malformed;
-    }
-    if len > cfg.max_frame {
-        return ReadOutcome::Oversize(len);
-    }
-    let mut body = vec![0u8; len - 1];
-    let mut got = 0usize;
-    let deadline = Instant::now() + cfg.request_timeout;
-    while got < body.len() {
-        match stream.read(&mut body[got..]) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(n) => got += n,
-            Err(e) if is_timeout(&e) => {
-                if Instant::now() >= deadline {
-                    return ReadOutcome::Malformed;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return ReadOutcome::Closed,
-        }
-    }
-    ReadOutcome::Frame(hdr[4], body)
-}
-
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
 }

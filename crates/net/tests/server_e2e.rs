@@ -6,7 +6,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sedna::{DbConfig, Governor};
-use sedna_net::{ClientError, ExecReply, NetConfig, SednaClient, Server, ServerHandle};
+use sedna_net::{
+    ClientError, Credentials, ExecReply, NetConfig, Request, Response, SednaClient, Server,
+    ServerHandle,
+};
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("sedna-net-e2e-{}-{}", std::process::id(), name));
@@ -591,6 +594,315 @@ fn wire_shutdown_request_drains_the_server() {
         assert!(Instant::now() < deadline, "drain flag never flipped");
         std::thread::sleep(Duration::from_millis(5));
     }
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Like [`start_server`] but with full control over the listener's
+/// [`NetConfig`] (the address is always rewritten to a free loopback
+/// port and the poll tick kept fast).
+fn start_server_cfg(name: &str, cfg: NetConfig) -> (ServerHandle, PathBuf, Arc<Governor>) {
+    let dir = tmpdir(name);
+    let governor = Governor::new();
+    governor
+        .create_database("db", &dir, DbConfig::small())
+        .unwrap();
+    let handle = Server::start(
+        Arc::clone(&governor),
+        NetConfig {
+            addr: "127.0.0.1:0".into(),
+            poll_interval: Duration::from_millis(5),
+            ..cfg
+        },
+    )
+    .unwrap();
+    (handle, dir, governor)
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order_with_interleaved_errors() {
+    let (handle, dir, _governor) = start_server("pipeline", 0);
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.execute("CREATE DOCUMENT 'lib'").unwrap();
+    c.load_xml(
+        "lib",
+        "<library><book><title>A</title></book><book><title>B</title></book></library>",
+    )
+    .unwrap();
+
+    // Five requests on the wire before reading a single response. The
+    // server may pipeline up to `pipeline_depth` of them, but responses
+    // must come back strictly in request order — errors included, and
+    // an error must not disturb the requests queued behind it.
+    c.send_request(&Request::Ping).unwrap();
+    c.send_request(&Request::Execute {
+        stmt: "doc('no-such-doc')//x".into(),
+        trace: false,
+    })
+    .unwrap();
+    c.send_request(&Request::Ping).unwrap();
+    c.send_request(&Request::Execute {
+        stmt: "doc('lib')//title/text()".into(),
+        trace: false,
+    })
+    .unwrap();
+    c.send_request(&Request::FetchBatch { max: 10 }).unwrap();
+
+    assert!(matches!(c.recv_response().unwrap(), Response::Pong));
+    match c.recv_response().unwrap() {
+        Response::Error { kind, message } => {
+            assert!(!kind.is_empty());
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected the bad statement's error envelope, got {other:?}"),
+    }
+    assert!(matches!(c.recv_response().unwrap(), Response::Pong));
+    assert!(matches!(c.recv_response().unwrap(), Response::QueryOk(_)));
+    match c.recv_response().unwrap() {
+        Response::ItemBatch { items, done } => {
+            assert_eq!(items, vec!["A".to_string(), "B".to_string()]);
+            assert!(done);
+        }
+        other => panic!("expected the pipelined batch, got {other:?}"),
+    }
+
+    // The connection stays healthy for plain request/response use.
+    assert_eq!(
+        c.query("count(doc('lib')//book)").unwrap(),
+        vec!["2".to_string()]
+    );
+    c.close().unwrap();
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_aborts_a_streamed_statement_and_releases_its_resources() {
+    let (handle, dir, governor) = start_server("cancel", 0);
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.execute("CREATE DOCUMENT 'big'").unwrap();
+    let mut xml = String::from("<r>");
+    for i in 0..500 {
+        xml.push_str(&format!("<v>{i}</v>"));
+    }
+    xml.push_str("</r>");
+    c.load_xml("big", &xml).unwrap();
+    let db = governor.database("db").unwrap();
+
+    // Open a live streaming cursor and pull one item, so the statement
+    // is genuinely mid-stream: cursor open, read-only transaction held.
+    assert_eq!(
+        c.execute("doc('big')//v/text()").unwrap(),
+        ExecReply::Query(u64::MAX)
+    );
+    assert_eq!(c.fetch_next().unwrap().as_deref(), Some("0"));
+
+    // Cancel. The ack arrives in request order, and by the time it does
+    // the cursor is dropped: pins released, transaction finished.
+    c.cancel().unwrap();
+    match c.recv_response().unwrap() {
+        Response::Cancelled => {}
+        other => panic!("expected the Cancelled ack, got {other:?}"),
+    }
+    assert_eq!(
+        db.pinned_pages(),
+        0,
+        "cancel must release the cursor's pins"
+    );
+
+    // The connection is reusable: the abandoned result is simply empty
+    // and a fresh statement runs to completion.
+    assert!(c.fetch_next().unwrap().is_none());
+    assert_eq!(
+        c.query("count(doc('big')//v)").unwrap(),
+        vec!["500".to_string()]
+    );
+
+    // A cancel with nothing running is a no-op that still acks in order.
+    c.cancel().unwrap();
+    assert!(matches!(c.recv_response().unwrap(), Response::Cancelled));
+    c.ping().unwrap();
+    c.close().unwrap();
+
+    // Session accounting balances: nothing leaked by the abort path.
+    let m = handle.metrics();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while m.sessions_active.get() != 0 {
+        assert!(Instant::now() < deadline, "cancelled session leaked");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(m.sessions_opened.get(), m.sessions_closed.get());
+    assert!(m.msg_cancel.get() >= 2);
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_races_a_pipelined_fetch_without_corrupting_the_stream() {
+    let (handle, dir, governor) = start_server("cancel-race", 0);
+    let mut c = SednaClient::connect(handle.addr(), "db").unwrap();
+    c.execute("CREATE DOCUMENT 'big'").unwrap();
+    let mut xml = String::from("<r>");
+    for i in 0..300 {
+        xml.push_str(&format!("<v>{i}</v>"));
+    }
+    xml.push_str("</r>");
+    c.load_xml("big", &xml).unwrap();
+    let db = governor.database("db").unwrap();
+
+    // Execute, FetchBatch, and Cancel pipelined in one burst. The
+    // cancel flag is raised the moment the server *parses* the Cancel
+    // frame, so the Execute/FetchBatch may be aborted mid-statement
+    // (`cancelled` envelopes) or may have already produced results —
+    // both are legal; what is fixed is the response order, the ordered
+    // Cancelled ack, and that nothing leaks.
+    c.send_request(&Request::Execute {
+        stmt: "doc('big')//v/text()".into(),
+        trace: false,
+    })
+    .unwrap();
+    c.send_request(&Request::FetchBatch { max: 50 }).unwrap();
+    c.send_request(&Request::Cancel).unwrap();
+
+    match c.recv_response().unwrap() {
+        Response::QueryOk(_) => {}
+        Response::Error { kind, .. } => assert_eq!(kind, "cancelled"),
+        other => panic!("expected QueryOk or a cancelled envelope, got {other:?}"),
+    }
+    match c.recv_response().unwrap() {
+        Response::ItemBatch { .. } => {}
+        Response::Error { kind, .. } => assert_eq!(kind, "cancelled"),
+        other => panic!("expected ItemBatch or a cancelled envelope, got {other:?}"),
+    }
+    assert!(matches!(c.recv_response().unwrap(), Response::Cancelled));
+
+    // Whatever the race decided, the aftermath is clean: no pins, a
+    // cleared cancel flag, and a connection that serves new statements.
+    assert_eq!(db.pinned_pages(), 0);
+    assert_eq!(
+        c.query("count(doc('big')//v)").unwrap(),
+        vec!["300".to_string()]
+    );
+    c.close().unwrap();
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auth_rejects_bad_credentials_and_protocol_v1_clients() {
+    let (handle, dir, _governor) = start_server_cfg(
+        "auth",
+        NetConfig {
+            auth: Some(Credentials {
+                user: "admin".into(),
+                password: "s3cret".into(),
+            }),
+            ..NetConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    // Empty and wrong credentials are refused with an `auth` envelope
+    // and the connection is closed.
+    match SednaClient::connect(addr, "db").unwrap_err() {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "auth"),
+        other => panic!("expected an auth envelope, got {other}"),
+    }
+    match SednaClient::connect_with_auth(addr, "db", "admin", "wrong").unwrap_err() {
+        ClientError::Server { kind, .. } => assert_eq!(kind, "auth"),
+        other => panic!("expected an auth envelope, got {other}"),
+    }
+
+    // A protocol-v1 StartSession has no credential fields at all, so an
+    // authenticating server must turn it away rather than treat it as
+    // an empty password.
+    let mut v1 = SednaClient::connect_admin(addr).unwrap();
+    v1.send_request(&Request::StartSession {
+        version: 1,
+        database: "db".into(),
+        user: String::new(),
+        password: String::new(),
+    })
+    .unwrap();
+    match v1.recv_response().unwrap() {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, "auth");
+            assert!(
+                message.contains("v2"),
+                "message should say how to fix it: {message}"
+            );
+        }
+        other => panic!("expected an auth envelope for the v1 client, got {other:?}"),
+    }
+
+    // The right credentials work, and the session is fully functional.
+    let mut ok = SednaClient::connect_with_auth(addr, "db", "admin", "s3cret").unwrap();
+    ok.execute("CREATE DOCUMENT 'd'").unwrap();
+    ok.load_xml("d", "<r><v>1</v></r>").unwrap();
+    assert_eq!(
+        ok.query("count(doc('d')//v)").unwrap(),
+        vec!["1".to_string()]
+    );
+    ok.close().unwrap();
+
+    let m = handle.metrics();
+    assert!(
+        m.auth_failures.get() >= 3,
+        "three refusals must be counted, got {}",
+        m.auth_failures.get()
+    );
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_negotiation_keeps_v1_clients_working_and_refuses_unknown_versions() {
+    let (handle, dir, _governor) = start_server("v1", 0);
+    let addr = handle.addr();
+
+    // A v1 client (no credentials on the wire) round-trips against an
+    // unauthenticated v2 server: the frames it sends are byte-identical
+    // to the old protocol's.
+    let mut v1 = SednaClient::connect_admin(addr).unwrap();
+    v1.send_request(&Request::StartSession {
+        version: 1,
+        database: "db".into(),
+        user: String::new(),
+        password: String::new(),
+    })
+    .unwrap();
+    assert!(matches!(
+        v1.recv_response().unwrap(),
+        Response::SessionStarted
+    ));
+    v1.execute("CREATE DOCUMENT 'd'").unwrap();
+    v1.load_xml("d", "<r><v>7</v></r>").unwrap();
+    assert_eq!(
+        v1.query("doc('d')//v/text()").unwrap(),
+        vec!["7".to_string()]
+    );
+    v1.close().unwrap();
+
+    // Versions the server does not speak are refused with a `protocol`
+    // envelope naming the supported range.
+    for bad in [0u8, 9] {
+        let mut c = SednaClient::connect_admin(addr).unwrap();
+        c.send_request(&Request::StartSession {
+            version: bad,
+            database: "db".into(),
+            user: String::new(),
+            password: String::new(),
+        })
+        .unwrap();
+        match c.recv_response().unwrap() {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, "protocol");
+                assert!(message.contains("1..=2"), "message: {message}");
+            }
+            other => panic!("expected a protocol envelope for version {bad}, got {other:?}"),
+        }
+    }
+
     handle.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }

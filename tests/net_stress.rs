@@ -31,7 +31,6 @@ fn concurrent_clients_with_forced_aborts() {
         Arc::clone(&governor),
         NetConfig {
             workers: CLIENTS + 2,
-            queue_depth: 2 * CLIENTS,
             poll_interval: Duration::from_millis(5),
             ..NetConfig::default()
         },
